@@ -1,0 +1,258 @@
+//! In-memory set-semantics evaluation (the Saxon stand-in and test oracle).
+//!
+//! Implements the normative semantics of DESIGN.md §8 directly over the
+//! materialized [`Document`] tree:
+//!
+//! ```text
+//! eval(ε, S)        = S
+//! eval(l, S)        = children of S with matching label
+//! eval(l+, S)       = least fixpoint of chains of l-children
+//! eval(l*, S)       = S ∪ eval(l+, S)
+//! eval(E?, S)       = S ∪ eval(E, S)
+//! eval(E1|E2, S)    = eval(E1, S) ∪ eval(E2, S)
+//! eval(E1.E2, S)    = eval(E2, eval(E1, S))
+//! eval(E1[E2], S)   = { n ∈ eval(E1, S) | eval(E2, {n}) ≠ ∅ }
+//! ```
+//!
+//! Node sets are kept as sorted `Vec<NodeId>` (node ids are document order),
+//! so results come out in document order for free.
+
+use spex_query::{Label, Rpeq};
+use spex_xml::{Document, NodeId, NodeKind};
+
+/// Set-semantics evaluator over a materialized document.
+pub struct DomEvaluator<'d> {
+    doc: &'d Document,
+}
+
+impl<'d> DomEvaluator<'d> {
+    /// Wrap a document.
+    pub fn new(doc: &'d Document) -> Self {
+        DomEvaluator { doc }
+    }
+
+    /// Evaluate `query` from the document root; the result is the selected
+    /// nodes in document order.
+    pub fn evaluate(&self, query: &Rpeq) -> Vec<NodeId> {
+        self.eval(query, &[NodeId::ROOT])
+    }
+
+    /// Evaluate and serialize each selected node's subtree (the same
+    /// fragments the SPEX output transducer emits).
+    pub fn evaluate_fragments(&self, query: &Rpeq) -> Vec<String> {
+        self.evaluate(query)
+            .into_iter()
+            .map(|n| self.doc.subtree_string(n))
+            .collect()
+    }
+
+    fn eval(&self, query: &Rpeq, context: &[NodeId]) -> Vec<NodeId> {
+        match query {
+            Rpeq::Empty => context.to_vec(),
+            Rpeq::Step(l) => self.children_matching(context, l),
+            Rpeq::Plus(l) => self.closure(context, l),
+            Rpeq::Star(l) => {
+                let mut out = context.to_vec();
+                merge_into(&mut out, self.closure(context, l));
+                out
+            }
+            Rpeq::Optional(e) => {
+                let mut out = context.to_vec();
+                merge_into(&mut out, self.eval(e, context));
+                out
+            }
+            Rpeq::Union(a, b) => {
+                let mut out = self.eval(a, context);
+                merge_into(&mut out, self.eval(b, context));
+                out
+            }
+            Rpeq::Concat(a, b) => {
+                let mid = self.eval(a, context);
+                self.eval(b, &mid)
+            }
+            Rpeq::Following(l) => self.following(context, l),
+            Rpeq::Preceding(l) => self.preceding(context, l),
+            Rpeq::Qualified(e, q) => {
+                let selected = self.eval(e, context);
+                selected
+                    .into_iter()
+                    .filter(|n| !self.eval(q, &[*n]).is_empty())
+                    .collect()
+            }
+        }
+    }
+
+    fn children_matching(&self, context: &[NodeId], label: &Label) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for n in context {
+            for c in self.doc.child_elements(*n) {
+                if self.label_matches(label, c) {
+                    out.push(c);
+                }
+            }
+        }
+        dedup_sorted(&mut out);
+        out
+    }
+
+    /// Chains of `label`-children: the least fixpoint of one more step.
+    fn closure(&self, context: &[NodeId], label: &Label) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        let mut frontier = self.children_matching(context, label);
+        while !frontier.is_empty() {
+            let next = self.children_matching(&frontier, label);
+            merge_into(&mut out, frontier);
+            frontier = next.into_iter().filter(|n| !out.contains(n)).collect();
+        }
+        out
+    }
+
+    /// `following::l`: elements labelled `l` that begin after some context
+    /// node ends — i.e. with a larger node id and not a descendant.
+    fn following(&self, context: &[NodeId], label: &Label) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for n in self.doc.elements() {
+            if !self.label_matches(label, n) {
+                continue;
+            }
+            let after_some = context.iter().any(|s| n > *s && !self.is_descendant(n, *s));
+            if after_some {
+                out.push(n);
+            }
+        }
+        dedup_sorted(&mut out);
+        out
+    }
+
+    /// `preceding::l`: elements labelled `l` that end before some context
+    /// node begins — a smaller node id and not an ancestor of the context.
+    fn preceding(&self, context: &[NodeId], label: &Label) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for n in self.doc.elements() {
+            if !self.label_matches(label, n) {
+                continue;
+            }
+            let before_some =
+                context.iter().any(|s| n < *s && !self.is_descendant(*s, n));
+            if before_some {
+                out.push(n);
+            }
+        }
+        dedup_sorted(&mut out);
+        out
+    }
+
+    fn is_descendant(&self, node: NodeId, ancestor: NodeId) -> bool {
+        let mut cur = node;
+        while let Some(p) = self.doc.parent(cur) {
+            if p == ancestor {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    fn label_matches(&self, label: &Label, node: NodeId) -> bool {
+        match self.doc.kind(node) {
+            NodeKind::Element { name, .. } => label.matches(name),
+            _ => false,
+        }
+    }
+}
+
+/// Merge `extra` into the sorted, deduplicated `out`.
+fn merge_into(out: &mut Vec<NodeId>, extra: Vec<NodeId>) {
+    out.extend(extra);
+    dedup_sorted(out);
+}
+
+fn dedup_sorted(v: &mut Vec<NodeId>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// Convenience: parse, materialize, evaluate, serialize.
+pub fn evaluate_str(query: &str, xml: &str) -> Result<Vec<String>, String> {
+    let q: Rpeq = query.parse().map_err(|e| format!("{e}"))?;
+    let doc = Document::parse_str(xml).map_err(|e| format!("{e}"))?;
+    Ok(DomEvaluator::new(&doc).evaluate_fragments(&q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "<a><a><c/></a><b/><c/></a>";
+
+    fn frags(query: &str, xml: &str) -> Vec<String> {
+        evaluate_str(query, xml).unwrap()
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(frags("a.c", FIG1), vec!["<c></c>"]);
+        assert_eq!(frags("a+.c+", FIG1), vec!["<c></c>", "<c></c>"]);
+        assert_eq!(frags("_*.a[b].c", FIG1), vec!["<c></c>"]);
+    }
+
+    #[test]
+    fn closure_chains_only() {
+        // b is reachable from root only through a.a — `a+.b` needs the chain.
+        let xml = "<a><a><b/></a><x><b/></x></a>";
+        assert_eq!(frags("a+.b", xml), vec!["<b></b>"]);
+        // `_*.b` sees both.
+        assert_eq!(frags("_*.b", xml).len(), 2);
+    }
+
+    #[test]
+    fn document_order_output() {
+        let xml = "<r><z id=\"1\"/><a><z id=\"2\"/></a><z id=\"3\"/></r>";
+        let f = frags("_*.z", xml);
+        assert_eq!(
+            f,
+            vec![r#"<z id="1"></z>"#, r#"<z id="2"></z>"#, r#"<z id="3"></z>"#]
+        );
+    }
+
+    #[test]
+    fn qualifier_filters() {
+        let xml = "<r><p><q/></p><p/></r>";
+        assert_eq!(frags("r.p[q]", xml), vec!["<p><q></q></p>"]);
+        assert_eq!(frags("r.p[nope]", xml), Vec::<String>::new());
+    }
+
+    #[test]
+    fn epsilon_and_star_include_context() {
+        let xml = "<r><x/></r>";
+        let doc = Document::parse_str(xml).unwrap();
+        let e = DomEvaluator::new(&doc);
+        assert_eq!(e.evaluate(&"%".parse().unwrap()), vec![NodeId::ROOT]);
+        // `_*` includes the virtual root itself.
+        let star = e.evaluate(&"_*".parse().unwrap());
+        assert!(star.contains(&NodeId::ROOT));
+        assert_eq!(star.len(), 3); // root, r, x
+    }
+
+    #[test]
+    fn union_dedup() {
+        let xml = "<r><x/></r>";
+        assert_eq!(frags("r.(x|x)", xml), vec!["<x></x>"]);
+        assert_eq!(frags("(r|r).x", xml), vec!["<x></x>"]);
+    }
+
+    #[test]
+    fn no_duplicate_via_multiple_paths() {
+        // `_*._` must select each element once even though `_*` reaches a
+        // node's parent in several ways.
+        let xml = "<r><x><y/></x></r>";
+        let f = frags("_*._", xml);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn text_nodes_never_selected() {
+        let xml = "<r>text<x/>more</r>";
+        assert_eq!(frags("_*._", xml).len(), 2); // r and x only
+    }
+}

@@ -1,0 +1,180 @@
+//! Multi-query boolean document filtering (the XFilter/YFilter stand-in).
+//!
+//! "The XFilter and YFilter engines are used for deciding if entire XML
+//! documents are matched by XPath expressions that represent user profiles.
+//! Therefore, they are not focused on answering XPath expressions" (§VIII).
+//! [`FilterSet`] registers many queries and decides, in a single pass over
+//! one document, which of them match — the selective-dissemination-of-
+//! information (SDI) scenario of the paper's introduction.
+//!
+//! Like YFilter, the structure-only fragment is handled natively (via the
+//! [`crate::stream_nfa`] automata); queries with qualifiers are supported by
+//! delegating each to a SPEX-style check is *not* done here — they are
+//! rejected, making the comparison with SPEX (which handles them in-stream)
+//! explicit in the multi-query benchmark E12.
+
+use crate::stream_nfa::{QualifiersUnsupported, StreamNfa};
+use spex_query::Rpeq;
+use spex_xml::XmlEvent;
+
+/// A set of boolean filter queries evaluated together over one stream pass.
+pub struct FilterSet {
+    queries: Vec<(String, StreamNfa)>,
+}
+
+impl FilterSet {
+    /// An empty filter set.
+    pub fn new() -> Self {
+        FilterSet { queries: Vec::new() }
+    }
+
+    /// Register a profile query under `id`.
+    pub fn add(&mut self, id: impl Into<String>, query: &Rpeq) -> Result<(), QualifiersUnsupported> {
+        let nfa = StreamNfa::compile(query)?;
+        self.queries.push((id.into(), nfa));
+        Ok(())
+    }
+
+    /// Number of registered profiles.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// One pass over `events`: the ids of all matching profiles, in
+    /// registration order.
+    ///
+    /// All automata advance simultaneously on a shared stack (one frame per
+    /// open element holding every automaton's state set); a profile is
+    /// reported as soon as its accepting state is reached and then stops
+    /// being tracked.
+    pub fn matching<'a>(&self, events: impl IntoIterator<Item = &'a XmlEvent>) -> Vec<String> {
+        let n = self.queries.len();
+        let mut matched = vec![false; n];
+        let mut remaining = n;
+        // stack[depth][query] = state set.
+        let mut stack: Vec<Vec<Vec<bool>>> = Vec::new();
+        for ev in events {
+            if remaining == 0 {
+                break;
+            }
+            match ev {
+                XmlEvent::StartDocument => {
+                    let frame: Vec<Vec<bool>> = self
+                        .queries
+                        .iter()
+                        .map(|(_, nfa)| nfa.initial_states())
+                        .collect();
+                    stack.push(frame);
+                }
+                XmlEvent::EndDocument => {
+                    stack.pop();
+                }
+                XmlEvent::StartElement { name, .. } => {
+                    let top = match stack.last() {
+                        Some(t) => t.clone(),
+                        None => self
+                            .queries
+                            .iter()
+                            .map(|(_, nfa)| nfa.initial_states())
+                            .collect(),
+                    };
+                    let mut frame = Vec::with_capacity(n);
+                    for (qi, (states, (_, nfa))) in
+                        top.into_iter().zip(self.queries.iter()).enumerate()
+                    {
+                        if matched[qi] {
+                            frame.push(Vec::new());
+                            continue;
+                        }
+                        let next = nfa.advance_closed(&states, name);
+                        if nfa.accepts(&next) {
+                            matched[qi] = true;
+                            remaining -= 1;
+                        }
+                        frame.push(next);
+                    }
+                    stack.push(frame);
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matched[*i])
+            .map(|(_, (id, _))| id.clone())
+            .collect()
+    }
+}
+
+impl Default for FilterSet {
+    fn default() -> Self {
+        FilterSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_xml::reader::parse_events;
+
+    fn set(queries: &[(&str, &str)]) -> FilterSet {
+        let mut s = FilterSet::new();
+        for (id, q) in queries {
+            s.add(*id, &q.parse().unwrap()).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn profiles_match_independently() {
+        let s = set(&[("p1", "_*.b"), ("p2", "_*.z"), ("p3", "a.c"), ("p4", "c.a")]);
+        let events = parse_events("<a><a><c/></a><b/><c/></a>").unwrap();
+        assert_eq!(s.matching(&events), vec!["p1", "p3"]);
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let s = FilterSet::new();
+        assert!(s.is_empty());
+        let events = parse_events("<a/>").unwrap();
+        assert!(s.matching(&events).is_empty());
+    }
+
+    #[test]
+    fn early_exit_when_all_matched() {
+        let s = set(&[("p", "_")]);
+        // Matches at the root element; the rest of the stream is skipped
+        // (observable only via timing, but at least it must not crash).
+        let events = parse_events("<a><b/><c/></a>").unwrap();
+        assert_eq!(s.matching(&events), vec!["p"]);
+    }
+
+    #[test]
+    fn qualified_queries_rejected() {
+        let mut s = FilterSet::new();
+        assert!(s.add("p", &"a[b]".parse().unwrap()).is_err());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn many_profiles_one_pass() {
+        let mut s = FilterSet::new();
+        for i in 0..100 {
+            s.add(format!("q{i}"), &format!("_*.tag{}", i % 10).parse().unwrap()).unwrap();
+        }
+        let events = parse_events("<r><tag3/><x><tag7/></x></r>").unwrap();
+        let hits = s.matching(&events);
+        assert_eq!(hits.len(), 20); // q3, q13, …, q93 and q7, q17, …
+        assert!(hits.contains(&"q3".to_string()));
+        assert!(hits.contains(&"q97".to_string()));
+    }
+}

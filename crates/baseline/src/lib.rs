@@ -1,0 +1,39 @@
+//! # spex-baseline — the processors SPEX is evaluated against
+//!
+//! The paper's evaluation (§VI) compares the SPEX prototype with two
+//! in-memory regular-path-expression processors — the Saxon XSLT processor
+//! and Fxgrep, "an evaluator for regular tree expressions" — and its related
+//! work (§VIII) discusses the streaming automata of X-Scan and
+//! XFilter/YFilter. Neither tool is available (or would be meaningful) as a
+//! dependency here, so this crate implements a faithful stand-in for each
+//! *algorithmic class* (the substitutions are tabulated in DESIGN.md §5):
+//!
+//! * [`dom`] — **Saxon stand-in**: materialize the document tree, then
+//!   evaluate the rpeq by set semantics, node-set by node-set. Memory is
+//!   Θ(document); results are exact for the full rpeq language. This is also
+//!   the *oracle* the SPEX engine is property-tested against.
+//! * [`tree_nfa`] — **Fxgrep stand-in**: compile the rpeq's path structure
+//!   into a Glushkov position NFA and run it down the materialized tree,
+//!   evaluating qualifiers by recursive sub-automaton runs. A genuinely
+//!   different algorithm with the same in-memory profile.
+//! * [`stream_nfa`] — **X-Scan stand-in**: a streaming NFA over open/close
+//!   events with a stack of state sets; selects nodes for qualifier-free
+//!   rpeq in one pass and constant memory per depth level. Qualifiers are
+//!   rejected ("their relations to the other expressions are left to a host
+//!   application", §VIII).
+//! * [`filter`] — **XFilter/YFilter stand-in**: many queries, one stream,
+//!   boolean document-filtering semantics for selective dissemination of
+//!   information.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod filter;
+pub mod stream_nfa;
+pub mod tree_nfa;
+
+pub use dom::DomEvaluator;
+pub use filter::FilterSet;
+pub use stream_nfa::StreamNfa;
+pub use tree_nfa::TreeNfaEvaluator;

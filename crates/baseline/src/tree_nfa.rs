@@ -1,0 +1,329 @@
+//! Automaton-based in-memory evaluation (the Fxgrep stand-in).
+//!
+//! The rpeq is compiled — Thompson-style — into an NFA whose alphabet is
+//! *child steps* (tree edges labelled with element names); qualifiers become
+//! predicate transitions gated by a recursive run of the qualifier's
+//! sub-automaton. The automaton is then run down the materialized document
+//! tree: a node is selected iff the state set reached at it contains the
+//! accepting state.
+//!
+//! Same complexity class as the [`crate::dom`] evaluator (Θ(document)
+//! memory), but a genuinely different algorithm — useful both as a second
+//! baseline for the Fig. 14 experiments and as an independent implementation
+//! for differential testing of the SPEX engine.
+
+use spex_query::{Label, Rpeq};
+use spex_xml::{Document, NodeId, NodeKind};
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+enum Trans {
+    /// ε-transition.
+    Eps(usize),
+    /// Consume one child step with a matching label.
+    Step(Label, usize),
+    /// Pass iff the qualifier automaton matches at the current node.
+    Pred(Rc<Nfa>, usize),
+}
+
+/// A compiled automaton.
+#[derive(Debug, Default)]
+pub struct Nfa {
+    /// transitions[state] — outgoing transitions.
+    transitions: Vec<Vec<Trans>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    /// Compile a query into an automaton.
+    pub fn compile(query: &Rpeq) -> Nfa {
+        let mut nfa = Nfa::default();
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        build(&mut nfa, query, start, accept);
+        nfa
+    }
+
+    /// Number of states (for size/complexity assertions).
+    pub fn states(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+/// Wire `expr` between `from` and `to`.
+fn build(nfa: &mut Nfa, expr: &Rpeq, from: usize, to: usize) {
+    match expr {
+        Rpeq::Empty => nfa.transitions[from].push(Trans::Eps(to)),
+        Rpeq::Step(l) => nfa.transitions[from].push(Trans::Step(l.clone(), to)),
+        // Closures get a private loop state: the construction invariant is
+        // that `build` never adds transitions *out of* `to`, so sub-automata
+        // sharing a target state (unions, concatenation contexts) cannot
+        // leak into each other.
+        Rpeq::Plus(l) => {
+            let m = nfa.new_state();
+            nfa.transitions[from].push(Trans::Step(l.clone(), m));
+            nfa.transitions[m].push(Trans::Step(l.clone(), m));
+            nfa.transitions[m].push(Trans::Eps(to));
+        }
+        Rpeq::Star(l) => {
+            let m = nfa.new_state();
+            nfa.transitions[from].push(Trans::Eps(m));
+            nfa.transitions[m].push(Trans::Step(l.clone(), m));
+            nfa.transitions[m].push(Trans::Eps(to));
+        }
+        Rpeq::Optional(e) => {
+            nfa.transitions[from].push(Trans::Eps(to));
+            build(nfa, e, from, to);
+        }
+        Rpeq::Union(a, b) => {
+            build(nfa, a, from, to);
+            build(nfa, b, from, to);
+        }
+        Rpeq::Concat(a, b) => {
+            let mid = nfa.new_state();
+            build(nfa, a, from, mid);
+            build(nfa, b, mid, to);
+        }
+        Rpeq::Qualified(e, q) => {
+            let mid = nfa.new_state();
+            build(nfa, e, from, mid);
+            let sub = Rc::new(Nfa::compile(q));
+            nfa.transitions[mid].push(Trans::Pred(sub, to));
+        }
+        Rpeq::Following(_) | Rpeq::Preceding(_) => {
+            panic!("the tree-NFA baseline covers the paper's core rpeq only; \
+                    `following::`/`preceding::` are SPEX-engine extensions")
+        }
+    }
+}
+
+/// Tree-NFA evaluator. See the [module documentation](self).
+pub struct TreeNfaEvaluator<'d> {
+    doc: &'d Document,
+}
+
+impl<'d> TreeNfaEvaluator<'d> {
+    /// Wrap a document.
+    pub fn new(doc: &'d Document) -> Self {
+        TreeNfaEvaluator { doc }
+    }
+
+    /// Evaluate `query` from the document root; selected nodes come out in
+    /// document order (the traversal is a depth-first left-to-right walk).
+    pub fn evaluate(&self, query: &Rpeq) -> Vec<NodeId> {
+        let nfa = Nfa::compile(query);
+        let mut selected = Vec::new();
+        let mut states = vec![false; nfa.states()];
+        states[nfa.start] = true;
+        self.close(&nfa, NodeId::ROOT, &mut states);
+        if states[nfa.accept] {
+            selected.push(NodeId::ROOT);
+        }
+        self.walk(&nfa, NodeId::ROOT, &states, &mut selected);
+        selected
+    }
+
+    /// Evaluate and serialize fragments (same shape as the SPEX engine and
+    /// the DOM oracle).
+    pub fn evaluate_fragments(&self, query: &Rpeq) -> Vec<String> {
+        self.evaluate(query)
+            .into_iter()
+            .map(|n| self.doc.subtree_string(n))
+            .collect()
+    }
+
+    /// ε/predicate closure of `states` at `node`.
+    fn close(&self, nfa: &Nfa, node: NodeId, states: &mut [bool]) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..states.len() {
+                if !states[s] {
+                    continue;
+                }
+                for t in &nfa.transitions[s] {
+                    match t {
+                        Trans::Eps(to) => {
+                            if !states[*to] {
+                                states[*to] = true;
+                                changed = true;
+                            }
+                        }
+                        Trans::Pred(sub, to) => {
+                            if !states[*to] && self.qualifier_holds(sub, node) {
+                                states[*to] = true;
+                                changed = true;
+                            }
+                        }
+                        Trans::Step(..) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Does the qualifier automaton select any node starting from `node`?
+    fn qualifier_holds(&self, nfa: &Nfa, node: NodeId) -> bool {
+        let mut states = vec![false; nfa.states()];
+        states[nfa.start] = true;
+        self.close(nfa, node, &mut states);
+        if states[nfa.accept] {
+            return true;
+        }
+        self.any_descendant_accepts(nfa, node, &states)
+    }
+
+    fn any_descendant_accepts(&self, nfa: &Nfa, node: NodeId, states: &[bool]) -> bool {
+        for child in self.doc.child_elements(node) {
+            let mut next = self.advance(nfa, states, child);
+            if next.iter().any(|b| *b) {
+                self.close(nfa, child, &mut next);
+                if next[nfa.accept] {
+                    return true;
+                }
+                if self.any_descendant_accepts(nfa, child, &next) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Consume the step to `child`: all `Step` transitions with a matching
+    /// label fire.
+    fn advance(&self, nfa: &Nfa, states: &[bool], child: NodeId) -> Vec<bool> {
+        let mut next = vec![false; nfa.states()];
+        let name = match self.doc.kind(child) {
+            NodeKind::Element { name, .. } => name,
+            _ => return next,
+        };
+        for (s, active) in states.iter().enumerate() {
+            if !active {
+                continue;
+            }
+            for t in &nfa.transitions[s] {
+                if let Trans::Step(l, to) = t {
+                    if l.matches(name) {
+                        next[*to] = true;
+                    }
+                }
+            }
+        }
+        next
+    }
+
+    fn walk(&self, nfa: &Nfa, node: NodeId, states: &[bool], selected: &mut Vec<NodeId>) {
+        for child in self.doc.child_elements(node) {
+            let mut next = self.advance(nfa, states, child);
+            if !next.iter().any(|b| *b) {
+                continue;
+            }
+            self.close(nfa, child, &mut next);
+            if next[nfa.accept] {
+                selected.push(child);
+            }
+            self.walk(nfa, child, &next, selected);
+        }
+    }
+}
+
+/// Convenience: parse, materialize, evaluate, serialize.
+pub fn evaluate_str(query: &str, xml: &str) -> Result<Vec<String>, String> {
+    let q: Rpeq = query.parse().map_err(|e| format!("{e}"))?;
+    let doc = Document::parse_str(xml).map_err(|e| format!("{e}"))?;
+    Ok(TreeNfaEvaluator::new(&doc).evaluate_fragments(&q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "<a><a><c/></a><b/><c/></a>";
+
+    fn frags(query: &str, xml: &str) -> Vec<String> {
+        evaluate_str(query, xml).unwrap()
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(frags("a.c", FIG1), vec!["<c></c>"]);
+        assert_eq!(frags("a+.c+", FIG1), vec!["<c></c>", "<c></c>"]);
+        assert_eq!(frags("_*.a[b].c", FIG1), vec!["<c></c>"]);
+    }
+
+    #[test]
+    fn agrees_with_dom_oracle_on_fixed_cases() {
+        let xml = "<r><a><b/><c><b/></c></a><b/><d><a><b/></a></d></r>";
+        for q in [
+            "%", "_", "_*", "_*._", "r.a.b", "_*.b", "r._.b", "a|r", "r.(a|d).b",
+            "r.a?.b", "r.a*.b", "_*.a[b]", "_*.a[b]._*.b", "r[a].b", "_*.c[b]",
+            "r.d.a[b].b", "_*[b]", "r.a[_*.b[nope]]",
+        ] {
+            let query: Rpeq = q.parse().unwrap();
+            let doc = Document::parse_str(xml).unwrap();
+            let dom = crate::dom::DomEvaluator::new(&doc).evaluate(&query);
+            let nfa = TreeNfaEvaluator::new(&doc).evaluate(&query);
+            assert_eq!(dom, nfa, "disagreement on query {q}");
+        }
+    }
+
+    #[test]
+    fn closure_requires_chains() {
+        let xml = "<a><a><b/></a><x><b/></x></a>";
+        assert_eq!(frags("a+.b", xml), vec!["<b></b>"]);
+    }
+
+    #[test]
+    fn nfa_size_linear_in_query() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let q: Rpeq = (0..n)
+                .map(|i| format!("s{i}"))
+                .collect::<Vec<_>>()
+                .join(".")
+                .parse()
+                .unwrap();
+            let nfa = Nfa::compile(&q);
+            assert!(nfa.states() <= 2 * n + 2);
+        }
+    }
+
+    #[test]
+    fn closure_loops_do_not_leak_into_sibling_branches() {
+        // Regression: `(a*|c)` must not allow "c then a" — the closure loop
+        // lives on a private state, not on the shared target.
+        let xml = "<r><c><a/></c></r>";
+        let f = frags("r.(a*|c)", xml);
+        assert_eq!(f, vec!["<r><c><a></a></c></r>", "<c><a></a></c>"]);
+        // And `a*.b` does not allow an extra a after b.
+        let xml2 = "<r><b><a/></b></r>";
+        assert_eq!(frags("r.a*.b", xml2), vec!["<b><a></a></b>"]);
+    }
+
+    #[test]
+    fn root_selected_by_nullable_queries() {
+        let doc = Document::parse_str("<r/>").unwrap();
+        let e = TreeNfaEvaluator::new(&doc);
+        assert_eq!(e.evaluate(&"%".parse().unwrap()), vec![NodeId::ROOT]);
+        let star = e.evaluate(&"_*".parse().unwrap());
+        assert!(star.contains(&NodeId::ROOT));
+    }
+
+    #[test]
+    fn qualifier_on_nullable_expression() {
+        // `%[x]` selects the root iff it has an x somewhere… precisely: iff
+        // eval(x, {root}) ≠ ∅, i.e. an x child.
+        let has = Document::parse_str("<x/>").unwrap();
+        let hasnt = Document::parse_str("<y/>").unwrap();
+        let q: Rpeq = "%[x]".parse().unwrap();
+        assert_eq!(TreeNfaEvaluator::new(&has).evaluate(&q), vec![NodeId::ROOT]);
+        assert!(TreeNfaEvaluator::new(&hasnt).evaluate(&q).is_empty());
+    }
+}

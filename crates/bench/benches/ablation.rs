@@ -1,0 +1,107 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Generality cost** — what does the transducer network's machinery
+//!   (condition formulas, qualifier support, fragment output) cost on
+//!   queries that do not need it? Compare SPEX against the specialized
+//!   streaming NFA (X-Scan stand-in) on the qualifier-free fragment, where
+//!   both are single-pass/stack-bounded and select the same nodes.
+//! * **Prefix sharing** — the §IX multi-query optimization: one shared
+//!   network versus independent networks for queries with common prefixes.
+//! * **Qualifier placement** — past conditions (stream-through) versus
+//!   future conditions (buffer-until-determined) on the same data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spex_baseline::StreamNfa;
+use spex_bench::stream_bytes;
+use spex_core::multi::SharedQuerySet;
+use spex_core::{CompiledNetwork, CountingSink, Evaluator};
+use spex_query::Rpeq;
+use spex_xml::XmlEvent;
+
+fn spex_count(net: &CompiledNetwork, events: &[XmlEvent]) -> usize {
+    let mut sink = CountingSink::new();
+    let mut eval = Evaluator::new(net, &mut sink);
+    for ev in events {
+        eval.push(ev.clone());
+    }
+    eval.finish();
+    sink.results
+}
+
+fn generality_cost(c: &mut Criterion) {
+    let events: Vec<XmlEvent> =
+        spex_workloads::dmoz_structure(0.005).collect();
+    let mut group = c.benchmark_group("ablation_generality");
+    group.throughput(Throughput::Bytes(stream_bytes(&events)));
+    group.sample_size(10);
+    for q in ["_*.Topic.Title", "_*._"] {
+        let query: Rpeq = q.parse().unwrap();
+        let net = CompiledNetwork::compile(&query);
+        group.bench_with_input(BenchmarkId::new("spex", q), &events, |b, events| {
+            b.iter(|| spex_count(&net, events));
+        });
+        let nfa = StreamNfa::compile(&query).unwrap();
+        group.bench_with_input(BenchmarkId::new("stream_nfa", q), &events, |b, events| {
+            b.iter(|| nfa.select(events).len());
+        });
+    }
+    group.finish();
+}
+
+fn prefix_sharing(c: &mut Criterion) {
+    let events: Vec<XmlEvent> =
+        spex_workloads::QuoteStream::new(3, 10).take(30_000).collect();
+    let mut group = c.benchmark_group("ablation_prefix_sharing");
+    group.sample_size(10);
+    for n in [10usize, 40] {
+        let queries: Vec<(String, Rpeq)> = (0..n)
+            .map(|i| {
+                let labels = ["symbol", "price", "volume", "alert"];
+                (
+                    format!("q{i}"),
+                    format!("quotes.quote.{}", labels[i % labels.len()]).parse().unwrap(),
+                )
+            })
+            .collect();
+        let shared = SharedQuerySet::compile(&queries);
+        group.bench_with_input(BenchmarkId::new("shared", n), &events, |b, events| {
+            b.iter(|| shared.count_events(events.iter().cloned()).0);
+        });
+        let nets: Vec<CompiledNetwork> =
+            queries.iter().map(|(_, q)| CompiledNetwork::compile(q)).collect();
+        group.bench_with_input(BenchmarkId::new("separate", n), &events, |b, events| {
+            b.iter(|| nets.iter().map(|net| spex_count(net, events)).sum::<usize>());
+        });
+    }
+    group.finish();
+}
+
+fn qualifier_placement(c: &mut Criterion) {
+    // Identical data volume; the flag is before the values (past condition,
+    // streams through) or after them (future condition, buffers).
+    let make = |flag_first: bool| -> Vec<XmlEvent> {
+        let mut xml = String::from("<db>");
+        for i in 0..5_000 {
+            if flag_first {
+                xml.push_str(&format!("<rec><flag/><v>{i}</v><v>{i}</v></rec>"));
+            } else {
+                xml.push_str(&format!("<rec><v>{i}</v><v>{i}</v><flag/></rec>"));
+            }
+        }
+        xml.push_str("</db>");
+        spex_xml::reader::parse_events(&xml).unwrap()
+    };
+    let query: Rpeq = "_*.rec[flag].v".parse().unwrap();
+    let net = CompiledNetwork::compile(&query);
+    let mut group = c.benchmark_group("ablation_qualifier_placement");
+    group.sample_size(10);
+    for (name, events) in [("past_condition", make(true)), ("future_condition", make(false))] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &events, |b, events| {
+            b.iter(|| spex_count(&net, events));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generality_cost, prefix_sharing, qualifier_placement);
+criterion_main!(benches);

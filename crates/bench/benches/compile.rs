@@ -1,0 +1,43 @@
+//! Experiment E5 — Lemma V.1: the translation of an rpeq into a SPEX
+//! network takes time linear in the query size (and produces a network of
+//! linear degree — asserted by tests; this bench measures the time side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spex_core::CompiledNetwork;
+use spex_query::Rpeq;
+
+fn compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_linear_in_n");
+    for n in [4usize, 16, 64, 256] {
+        let text = (0..n)
+            .map(|i| format!("_*.s{i}[t{i}]"))
+            .collect::<Vec<_>>()
+            .join(".");
+        let q: Rpeq = text.parse().unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| CompiledNetwork::compile(q).degree());
+        });
+    }
+    group.finish();
+
+    // Parsing included (full front end).
+    let mut group = c.benchmark_group("parse_and_compile");
+    for n in [16usize, 256] {
+        let text = (0..n)
+            .map(|i| format!("_*.s{i}[t{i}]"))
+            .collect::<Vec<_>>()
+            .join(".");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &text, |b, text| {
+            b.iter(|| {
+                let q: Rpeq = text.parse().unwrap();
+                CompiledNetwork::compile(&q).degree()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_time);
+criterion_main!(benches);

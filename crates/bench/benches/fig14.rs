@@ -1,0 +1,35 @@
+//! Experiment E1/E2 — Fig. 14 of the paper: MONDIAL (small, structured) and
+//! WordNet (medium, flat) processed by SPEX and the two in-memory stand-ins
+//! across the four query classes. The paper's claim: SPEX is competitive on
+//! the small document and mostly wins on the medium one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spex_bench::{mondial_events, run_query, stream_bytes, wordnet_events, Processor};
+use spex_workloads::{queries_for, Dataset};
+
+fn bench_dataset(c: &mut Criterion, name: &str, dataset: Dataset, events: &[spex_xml::XmlEvent]) {
+    let mut group = c.benchmark_group(format!("fig14_{name}"));
+    group.throughput(Throughput::Bytes(stream_bytes(events)));
+    group.sample_size(10);
+    for qc in queries_for(dataset) {
+        for p in Processor::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("class{}_{}", qc.class, p.label()), qc.text),
+                &qc,
+                |b, qc| {
+                    let q = qc.rpeq();
+                    b.iter(|| run_query(p, &q, events).results);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig14(c: &mut Criterion) {
+    bench_dataset(c, "mondial", Dataset::Mondial, mondial_events());
+    bench_dataset(c, "wordnet", Dataset::Wordnet, wordnet_events());
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment E3 — Fig. 15 of the paper: SPEX over the large DMOZ streams.
+//! Criterion uses a small fixed scale for statistically stable numbers; the
+//! `harness fig15` command runs the big single-shot measurements (up to the
+//! full 300 MB / 1 GB with `SPEX_BENCH_FULL=1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spex_bench::run_spex_streaming;
+use spex_workloads::{dmoz_content, dmoz_structure, queries_for, Dataset};
+
+const SCALE: f64 = 0.01; // ~3 MB structure / ~10 MB content per iteration
+
+fn fig15(c: &mut Criterion) {
+    for (name, dataset) in [
+        ("structure", Dataset::DmozStructure),
+        ("content", Dataset::DmozContent),
+    ] {
+        let bytes: u64 = match dataset {
+            Dataset::DmozStructure => {
+                dmoz_structure(SCALE).map(|e| e.to_string().len() as u64).sum()
+            }
+            _ => dmoz_content(SCALE).map(|e| e.to_string().len() as u64).sum(),
+        };
+        let mut group = c.benchmark_group(format!("fig15_dmoz_{name}"));
+        group.throughput(Throughput::Bytes(bytes));
+        group.sample_size(10);
+        for qc in queries_for(dataset) {
+            group.bench_with_input(
+                BenchmarkId::new(format!("class{}", qc.class), qc.text),
+                &qc,
+                |b, qc| {
+                    let q = qc.rpeq();
+                    b.iter(|| match dataset {
+                        Dataset::DmozStructure => {
+                            run_spex_streaming(&q, dmoz_structure(SCALE)).0.results
+                        }
+                        _ => run_spex_streaming(&q, dmoz_content(SCALE)).0.results,
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

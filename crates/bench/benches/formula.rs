@@ -1,0 +1,49 @@
+//! Experiment E7 — the §V formula-size analysis: evaluation cost of
+//! qualified wildcard closures over recursive documents, where condition
+//! formulas grow with the stream depth (and with the number of stacked
+//! qualified closure steps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spex_bench::{run_query, Processor};
+use spex_query::Rpeq;
+use spex_xml::XmlEvent;
+
+/// `<a><a>…<leaf/>…</a></a>` with `width` siblings at every level: depth d,
+/// recursive labels — the worst case for closure-scope nesting.
+fn recursive_doc(depth: usize) -> Vec<XmlEvent> {
+    let mut xml = String::new();
+    for _ in 0..depth {
+        xml.push_str("<a><leaf></leaf>");
+    }
+    for _ in 0..depth {
+        xml.push_str("</a>");
+    }
+    spex_xml::reader::parse_events(&xml).unwrap()
+}
+
+fn formula_growth(c: &mut Criterion) {
+    let queries = [
+        ("no_qualifier", "_*.a+._*.leaf"),
+        ("one_qualified_closure", "_*._[leaf]._*._"),
+        ("two_qualified_closures", "_*._[leaf]._*._[leaf]._*._"),
+    ];
+    let mut group = c.benchmark_group("formula_growth");
+    group.sample_size(10);
+    for depth in [8usize, 16, 32] {
+        let events = recursive_doc(depth);
+        for (name, q) in queries {
+            let query: Rpeq = q.parse().unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &events,
+                |b, events| {
+                    b.iter(|| run_query(Processor::Spex, &query, events).results);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, formula_growth);
+criterion_main!(benches);

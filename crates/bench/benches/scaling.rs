@@ -1,0 +1,25 @@
+//! Experiment E6 — Theorem V.1: SPEX evaluation time is linear in the
+//! stream size. Criterion's throughput reporting makes the check direct:
+//! bytes/second should stay flat across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spex_bench::run_spex_streaming;
+use spex_query::Rpeq;
+use spex_workloads::dmoz_structure;
+
+fn scaling(c: &mut Criterion) {
+    let q: Rpeq = "_*.Topic[editor].Title".parse().unwrap();
+    let mut group = c.benchmark_group("scaling_stream_size");
+    group.sample_size(10);
+    for scale in [0.005f64, 0.01, 0.02, 0.04] {
+        let bytes: u64 = dmoz_structure(scale).map(|e| e.to_string().len() as u64).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| run_spex_streaming(&q, dmoz_structure(s)).0.results);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

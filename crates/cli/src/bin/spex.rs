@@ -1,0 +1,22 @@
+//! The `spex` command-line tool: streamed evaluation of regular path
+//! expressions with qualifiers against XML files or stdin. See `spex --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match spex_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("spex: {e}");
+            eprintln!();
+            eprint!("{}", spex_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let code = spex_cli::run(
+        &options,
+        &mut std::io::stdin().lock(),
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    );
+    std::process::exit(code);
+}

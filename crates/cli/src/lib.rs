@@ -1,0 +1,431 @@
+//! Library backing the `spex` command-line tool: argument parsing and the
+//! command implementations, factored out of the binary so they can be unit-
+//! and integration-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spex_core::{CompiledNetwork, CountingSink, Evaluator, SpanCollector};
+use spex_query::Rpeq;
+use std::io::{Read, Write};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// The query (rpeq syntax, or XPath with `--xpath`).
+    pub query: Option<String>,
+    /// Input file (stdin when absent).
+    pub file: Option<String>,
+    /// Interpret the query as XPath.
+    pub xpath: bool,
+    /// Print only the number of results.
+    pub count: bool,
+    /// Print result start offsets (event index) instead of fragments.
+    pub spans: bool,
+    /// Print the compiled network and exit.
+    pub explain: bool,
+    /// Print evaluation statistics to stderr.
+    pub stats: bool,
+    /// Generate a dataset instead of evaluating: `mondial`, `wordnet`,
+    /// `dmoz-structure`, `dmoz-content`.
+    pub generate: Option<String>,
+    /// Scale factor for generated datasets.
+    pub scale: f64,
+    /// Print the help text.
+    pub help: bool,
+    /// Accept a sequence of documents on the input (SDI streams).
+    pub stream: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            query: None,
+            file: None,
+            xpath: false,
+            count: false,
+            spans: false,
+            explain: false,
+            stats: false,
+            generate: None,
+            scale: 1.0,
+            help: false,
+            stream: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+spex — streamed evaluation of regular path expressions with qualifiers
+
+USAGE:
+    spex [OPTIONS] QUERY [FILE]
+    spex --generate DATASET [--scale X] > out.xml
+
+ARGS:
+    QUERY   regular path expression, e.g. '_*.country[province].name'
+    FILE    XML input (stdin when omitted)
+
+OPTIONS:
+    --xpath          parse QUERY as XPath (//country[province]/name)
+    --count          print only the number of results
+    --spans          print result start offsets (event indices)
+    --explain        print the compiled transducer network and exit
+    --stats          print evaluation statistics to stderr
+    --stream         treat the input as a sequence of documents (SDI mode)
+    --generate D     emit a synthetic dataset: mondial | wordnet |
+                     dmoz-structure | dmoz-content
+    --scale X        dataset scale factor (default 1.0)
+    -h, --help       this text
+";
+
+/// Parse command-line arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--xpath" => o.xpath = true,
+            "--count" => o.count = true,
+            "--spans" => o.spans = true,
+            "--explain" => o.explain = true,
+            "--stats" => o.stats = true,
+            "--stream" => o.stream = true,
+            "-h" | "--help" => o.help = true,
+            "--generate" => {
+                o.generate = Some(
+                    it.next()
+                        .ok_or_else(|| "--generate needs a dataset name".to_string())?
+                        .clone(),
+                )
+            }
+            "--scale" => {
+                o.scale = it
+                    .next()
+                    .ok_or_else(|| "--scale needs a number".to_string())?
+                    .parse()
+                    .map_err(|e| format!("invalid --scale: {e}"))?
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            _ => positional.push(a),
+        }
+    }
+    let mut pos = positional.into_iter();
+    o.query = pos.next().cloned();
+    o.file = pos.next().cloned();
+    if pos.next().is_some() {
+        return Err("too many positional arguments".to_string());
+    }
+    Ok(o)
+}
+
+/// Run the tool; returns the process exit code.
+pub fn run(
+    options: &Options,
+    stdin: &mut dyn Read,
+    stdout: &mut dyn Write,
+    stderr: &mut dyn Write,
+) -> i32 {
+    match run_inner(options, stdin, stdout, stderr) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(stderr, "spex: {e}");
+            1
+        }
+    }
+}
+
+fn run_inner(
+    options: &Options,
+    stdin: &mut dyn Read,
+    stdout: &mut dyn Write,
+    stderr: &mut dyn Write,
+) -> Result<(), String> {
+    if options.help {
+        write!(stdout, "{USAGE}").map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    if let Some(dataset) = &options.generate {
+        return generate(dataset, options.scale, stdout);
+    }
+    let query_text = options
+        .query
+        .as_ref()
+        .ok_or_else(|| format!("missing QUERY\n\n{USAGE}"))?;
+    let query: Rpeq = if options.xpath {
+        spex_query::xpath::parse_xpath(query_text).map_err(|e| e.to_string())?
+    } else {
+        query_text.parse().map_err(|e: spex_query::ParseError| e.to_string())?
+    };
+    let network = CompiledNetwork::compile(&query);
+    if options.explain {
+        writeln!(stdout, "query: {query}").map_err(|e| e.to_string())?;
+        writeln!(stdout, "network ({} transducers):", network.degree())
+            .map_err(|e| e.to_string())?;
+        write!(stdout, "{}", network.spec().dump()).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+
+    // Choose the sink by output mode.
+    let stats = if options.count {
+        let mut sink = CountingSink::new();
+        let stats = evaluate(&network, options, stdin, &mut sink)?;
+        writeln!(stdout, "{}", sink.results).map_err(|e| e.to_string())?;
+        stats
+    } else if options.spans {
+        let mut sink = SpanCollector::new();
+        let stats = evaluate(&network, options, stdin, &mut sink)?;
+        for s in &sink.starts {
+            writeln!(stdout, "{s}").map_err(|e| e.to_string())?;
+        }
+        stats
+    } else {
+        // Progressive delivery: fragments reach stdout as they are decided,
+        // not after the stream ends.
+        let mut sink = spex_core::StreamingSink::new(&mut *stdout);
+        let stats = evaluate(&network, options, stdin, &mut sink)?;
+        if let Some(e) = sink.take_error() {
+            return Err(e.to_string());
+        }
+        stats
+    };
+
+    if options.stats {
+        writeln!(
+            stderr,
+            "events: {}  depth: {}  results: {}  dropped: {}  vars: {}  \
+             peak buffered: {}  max formula: {}  stacks: d={} c={}",
+            stats.ticks,
+            stats.max_stream_depth,
+            stats.results,
+            stats.dropped,
+            stats.vars_created,
+            stats.peak_buffered_events,
+            stats.max_formula_size,
+            stats.max_depth_stack,
+            stats.max_cond_stack,
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn evaluate(
+    network: &CompiledNetwork,
+    options: &Options,
+    stdin: &mut dyn Read,
+    sink: &mut dyn spex_core::ResultSink,
+) -> Result<spex_core::EngineStats, String> {
+    let mut eval = Evaluator::new(network, sink);
+    let push = |eval: &mut Evaluator, input: &mut dyn std::io::Read| -> Result<(), String> {
+        let reader = spex_xml::Reader::new(input);
+        let reader = if options.stream { reader.multi_document() } else { reader };
+        for ev in reader {
+            eval.push(ev.map_err(|e| e.to_string())?);
+        }
+        Ok(())
+    };
+    match &options.file {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut buffered = std::io::BufReader::new(file);
+            push(&mut eval, &mut buffered)?;
+        }
+        None => {
+            push(&mut eval, stdin)?;
+        }
+    }
+    Ok(eval.finish())
+}
+
+fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), String> {
+    let mut w = spex_xml::Writer::with_options(
+        std::io::BufWriter::new(stdout),
+        spex_xml::WriteOptions { declaration: true, indent: None },
+    );
+    match dataset {
+        "mondial" => {
+            for ev in spex_workloads::mondial() {
+                w.write(&ev).map_err(|e| e.to_string())?;
+            }
+        }
+        "wordnet" => {
+            for ev in spex_workloads::wordnet() {
+                w.write(&ev).map_err(|e| e.to_string())?;
+            }
+        }
+        "dmoz-structure" => {
+            for ev in spex_workloads::dmoz_structure(scale) {
+                w.write(&ev).map_err(|e| e.to_string())?;
+            }
+        }
+        "dmoz-content" => {
+            for ev in spex_workloads::dmoz_content(scale) {
+                w.write(&ev).map_err(|e| e.to_string())?;
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` (try mondial, wordnet, dmoz-structure, dmoz-content)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let o = parse_args(&args(&["a.b", "file.xml"])).unwrap();
+        assert_eq!(o.query.as_deref(), Some("a.b"));
+        assert_eq!(o.file.as_deref(), Some("file.xml"));
+        assert!(!o.count);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = parse_args(&args(&["--count", "--stats", "--xpath", "//a", "--scale", "0.5"]))
+            .unwrap();
+        assert!(o.count && o.stats && o.xpath);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.query.as_deref(), Some("//a"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&["--scale"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c"])).is_err());
+    }
+
+    fn run_cli(argv: &[&str], input: &str) -> (i32, String, String) {
+        let o = parse_args(&args(argv)).unwrap();
+        let mut stdin = input.as_bytes();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run(&o, &mut stdin, &mut out, &mut err);
+        (code, String::from_utf8(out).unwrap(), String::from_utf8(err).unwrap())
+    }
+
+    #[test]
+    fn evaluate_from_stdin() {
+        let (code, out, _) = run_cli(&["a.c"], "<a><a><c/></a><b/><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<c></c>\n");
+    }
+
+    #[test]
+    fn count_mode() {
+        let (code, out, _) = run_cli(&["--count", "_*._"], "<a><b/><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "3");
+    }
+
+    #[test]
+    fn spans_mode() {
+        let (code, out, _) = run_cli(&["--spans", "a.c"], "<a><a><c/></a><b/><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "8");
+    }
+
+    #[test]
+    fn explain_mode() {
+        let (code, out, _) = run_cli(&["--explain", "_*.a[b].c"], "");
+        assert_eq!(code, 0);
+        assert!(out.contains("VC(q0)"));
+        assert!(out.contains("transducers"));
+    }
+
+    #[test]
+    fn xpath_mode() {
+        let (code, out, _) = run_cli(&["--xpath", "//a[b]/c"], "<a><a><c/></a><b/><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<c></c>\n");
+    }
+
+    #[test]
+    fn stats_to_stderr() {
+        let (code, _, err) = run_cli(&["--stats", "a"], "<a/>");
+        assert_eq!(code, 0);
+        assert!(err.contains("events: 4"));
+    }
+
+    #[test]
+    fn bad_query_reports_error() {
+        let (code, _, err) = run_cli(&["a..b"], "<a/>");
+        assert_eq!(code, 1);
+        assert!(err.contains("parse error"));
+    }
+
+    #[test]
+    fn bad_xml_reports_error() {
+        let (code, _, err) = run_cli(&["a"], "<a><b></a>");
+        assert_eq!(code, 1);
+        assert!(err.contains("mismatched"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out, _) = run_cli(&["--help"], "");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_mondial_is_valid_xml() {
+        let o = parse_args(&args(&["--generate", "mondial"])).unwrap();
+        let mut stdin = "".as_bytes();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run(&o, &mut stdin, &mut out, &mut err);
+        assert_eq!(code, 0);
+        let xml = String::from_utf8(out).unwrap();
+        assert!(xml.starts_with("<?xml"));
+        let stats = spex_xml::StreamStats::of_str(&xml).unwrap();
+        assert!(stats.elements > 20_000);
+    }
+
+    #[test]
+    fn generate_unknown_dataset_fails() {
+        let o = parse_args(&args(&["--generate", "nope"])).unwrap();
+        let mut stdin = "".as_bytes();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        assert_eq!(run(&o, &mut stdin, &mut out, &mut err), 1);
+    }
+
+    #[test]
+    fn stream_mode_accepts_document_sequences() {
+        let (code, out, _) = run_cli(&["--stream", "r.x"], "<r><x>1</x></r><r><x>2</x></r>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<x>1</x>\n<x>2</x>\n");
+        // Without --stream the same input is an error.
+        let (code, _, err) = run_cli(&["r.x"], "<r><x>1</x></r><r><x>2</x></r>");
+        assert_eq!(code, 1);
+        assert!(err.contains("after the root element"));
+    }
+
+    #[test]
+    fn file_input_and_missing_file() {
+        let dir = std::env::temp_dir().join("spex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.xml");
+        std::fs::write(&path, "<a><c/></a>").unwrap();
+        let (code, out, _) = run_cli(&["a.c", path.to_str().unwrap()], "");
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "<c></c>");
+        let (code, _, err) = run_cli(&["a.c", "/nonexistent/x.xml"], "");
+        assert_eq!(code, 1);
+        assert!(err.contains("x.xml"));
+    }
+}

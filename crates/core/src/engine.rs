@@ -1,0 +1,313 @@
+//! The user-facing evaluator: couples an XML event source with a compiled
+//! network run.
+//!
+//! ```
+//! use spex_core::{CompiledNetwork, Evaluator, FragmentCollector};
+//!
+//! let net = CompiledNetwork::compile(&"_*.c".parse().unwrap());
+//! let mut sink = FragmentCollector::new();
+//! let mut eval = Evaluator::new(&net, &mut sink);
+//! eval.push_str("<a><c>1</c><b><c>2</c></b></a>").unwrap();
+//! let stats = eval.finish();
+//! assert_eq!(sink.fragments(), ["<c>1</c>".to_string(), "<c>2</c>".to_string()]);
+//! assert_eq!(stats.results, 2);
+//! ```
+
+use crate::compile::CompiledNetwork;
+use crate::network::Run;
+use crate::sink::{FragmentCollector, ResultSink};
+use crate::stats::EngineStats;
+use spex_query::Rpeq;
+use spex_xml::{XmlError, XmlEvent};
+use std::fmt;
+
+/// Errors surfaced by the convenience evaluation functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The query text did not parse.
+    Query(spex_query::ParseError),
+    /// The query parsed but lies outside the compilable fragment.
+    Compile(crate::compile::CompileError),
+    /// The XML stream was malformed.
+    Xml(XmlError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Query(e) => write!(f, "{e}"),
+            EvalError::Compile(e) => write!(f, "{e}"),
+            EvalError::Xml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<spex_query::ParseError> for EvalError {
+    fn from(e: spex_query::ParseError) -> Self {
+        EvalError::Query(e)
+    }
+}
+
+impl From<XmlError> for EvalError {
+    fn from(e: XmlError) -> Self {
+        EvalError::Xml(e)
+    }
+}
+
+impl From<crate::compile::CompileError> for EvalError {
+    fn from(e: crate::compile::CompileError) -> Self {
+        EvalError::Compile(e)
+    }
+}
+
+/// A streaming evaluation of one compiled query over one stream.
+///
+/// Push events (or whole documents) as they arrive; results reach the sink
+/// progressively. The evaluator survives multiple consecutive documents on
+/// the same stream (each `<$>…</$>` pair is processed independently, as in
+/// the paper's infinite-stream experiments) — transducer stacks are balanced
+/// and return to their initial states at every `</$>`.
+pub struct Evaluator<'n, 's> {
+    run: Run<'n, 's>,
+}
+
+impl<'n, 's> Evaluator<'n, 's> {
+    /// Start an evaluation of `network` delivering results to `sink`.
+    pub fn new(network: &'n CompiledNetwork, sink: &'s mut dyn ResultSink) -> Self {
+        Evaluator { run: network.run(sink) }
+    }
+
+    /// Feed one stream event.
+    pub fn push(&mut self, event: XmlEvent) {
+        self.run.push(event);
+    }
+
+    /// Parse `xml` and feed every event (one complete document).
+    pub fn push_str(&mut self, xml: &str) -> Result<(), XmlError> {
+        for ev in spex_xml::Reader::from_bytes(xml.as_bytes().to_vec()) {
+            self.run.push(ev?);
+        }
+        Ok(())
+    }
+
+    /// Feed every event from a byte source (streaming, constant memory).
+    pub fn push_reader<R: std::io::Read>(&mut self, input: R) -> Result<(), XmlError> {
+        for ev in spex_xml::Reader::new(input) {
+            self.run.push(ev?);
+        }
+        Ok(())
+    }
+
+    /// Enable transition tracing (see [`Run::set_tracing`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.run.set_tracing(on);
+    }
+
+    /// Drain per-node transition traces.
+    pub fn take_traces(&mut self) -> Vec<String> {
+        self.run.take_traces()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        self.run.stats()
+    }
+
+    /// Finish the evaluation, flushing the output transducer.
+    pub fn finish(self) -> EngineStats {
+        self.run.finish()
+    }
+}
+
+/// Evaluate a query (text syntax) against a complete XML document, returning
+/// the serialized result fragments in document order.
+pub fn evaluate_str(query: &str, xml: &str) -> Result<Vec<String>, EvalError> {
+    let q: Rpeq = query.parse()?;
+    let net = CompiledNetwork::try_compile(&q)?;
+    let mut sink = FragmentCollector::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    eval.push_str(xml)?;
+    eval.finish();
+    Ok(sink.into_fragments())
+}
+
+/// Evaluate a parsed query against an event sequence.
+pub fn evaluate_events(
+    query: &Rpeq,
+    events: impl IntoIterator<Item = XmlEvent>,
+) -> (Vec<String>, EngineStats) {
+    let net = CompiledNetwork::compile(query);
+    let mut sink = FragmentCollector::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    for ev in events {
+        eval.push(ev);
+    }
+    let stats = eval.finish();
+    (sink.into_fragments(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "<a><a><c/></a><b/><c/></a>";
+
+    #[test]
+    fn example_iii_1_child_steps() {
+        // `a.c` selects c-children of a-children of the root: only the
+        // second <c>.
+        assert_eq!(evaluate_str("a.c", FIG1).unwrap(), vec!["<c></c>"]);
+    }
+
+    #[test]
+    fn example_iii_2_closures() {
+        // `a+.c+` selects both <c> elements (each reached through a chain of
+        // a's then a chain of c's).
+        assert_eq!(evaluate_str("a+.c+", FIG1).unwrap(), vec!["<c></c>", "<c></c>"]);
+    }
+
+    #[test]
+    fn complete_example_iii_10() {
+        // `_*.a[b].c`: candidate₁ (the inner c) is dropped — its a-parent
+        // has no b child; candidate₂ (the outer c) is a result.
+        assert_eq!(evaluate_str("_*.a[b].c", FIG1).unwrap(), vec!["<c></c>"]);
+    }
+
+    #[test]
+    fn wildcard_and_descendants() {
+        let xml = "<r><x><y/></x><y/></r>";
+        assert_eq!(evaluate_str("_*.y", xml).unwrap(), vec!["<y></y>", "<y></y>"]);
+        assert_eq!(evaluate_str("r.y", xml).unwrap(), vec!["<y></y>"]);
+        assert_eq!(evaluate_str("r.x.y", xml).unwrap(), vec!["<y></y>"]);
+    }
+
+    #[test]
+    fn nested_results_from_wildcard_query() {
+        // Class-3 query `_*._`: every element is a result, fragments nest.
+        let frags = evaluate_str("_*._", "<r><x><y/></x></r>").unwrap();
+        assert_eq!(
+            frags,
+            vec!["<r><x><y></y></x></r>", "<x><y></y></x>", "<y></y>"]
+        );
+    }
+
+    #[test]
+    fn union_queries() {
+        let xml = "<r><x/><y/><z/></r>";
+        assert_eq!(evaluate_str("r.(x|z)", xml).unwrap(), vec!["<x></x>", "<z></z>"]);
+    }
+
+    #[test]
+    fn optional_queries() {
+        let xml = "<r><x><y/></x><y/></r>";
+        // r.x?.y — y children of r or of x-children of r.
+        let frags = evaluate_str("r.x?.y", xml).unwrap();
+        assert_eq!(frags, vec!["<y></y>", "<y></y>"]);
+    }
+
+    #[test]
+    fn star_queries() {
+        let xml = "<r><a><a><b/></a></a><b/></r>";
+        // r.a*.b — b children of r, r/a, r/a/a.
+        let frags = evaluate_str("r.a*.b", xml).unwrap();
+        assert_eq!(frags, vec!["<b></b>", "<b></b>"]);
+    }
+
+    #[test]
+    fn epsilon_selects_the_document() {
+        let frags = evaluate_str("%", "<r><x/></r>").unwrap();
+        assert_eq!(frags, vec!["<r><x></x></r>"]);
+    }
+
+    #[test]
+    fn qualifier_with_descendant_condition() {
+        let xml = "<lib><book><meta><isbn/></meta></book><book/></lib>";
+        // Books having an isbn somewhere below.
+        let frags = evaluate_str("lib.book[_*.isbn]", xml).unwrap();
+        assert_eq!(frags, vec!["<book><meta><isbn></isbn></meta></book>"]);
+    }
+
+    #[test]
+    fn past_conditions_stream_immediately() {
+        // Class-4 style: the qualifier is satisfied *before* the candidate
+        // appears, so the result streams without buffering.
+        let xml = "<r><a><b/><c>late</c></a></r>";
+        let q: Rpeq = "_*.a[b].c".parse().unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let mut sink = FragmentCollector::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        eval.push_str(xml).unwrap();
+        eval.finish();
+        assert_eq!(sink.fragments(), ["<c>late</c>".to_string()]);
+        let (start, first_delivery) = sink.timing[0];
+        // Delivered the moment it started: past condition.
+        assert_eq!(start, first_delivery);
+    }
+
+    #[test]
+    fn future_conditions_buffer_until_determined() {
+        // Class-2 style: the qualifier is satisfied *after* the candidate.
+        let xml = "<r><a><c>early</c><b/></a></r>";
+        let q: Rpeq = "_*.a[b].c".parse().unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let mut sink = FragmentCollector::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        eval.push_str(xml).unwrap();
+        eval.finish();
+        assert_eq!(sink.fragments(), ["<c>early</c>".to_string()]);
+        let (start, first_delivery) = sink.timing[0];
+        assert!(first_delivery > start, "future condition must buffer");
+    }
+
+    #[test]
+    fn text_content_is_preserved_in_fragments() {
+        let frags = evaluate_str("r.x", "<r><x a=\"1\">t<y>u</y>v</x></r>").unwrap();
+        assert_eq!(frags, vec![r#"<x a="1">t<y>u</y>v</x>"#]);
+    }
+
+    #[test]
+    fn multiple_documents_on_one_stream() {
+        // SDI scenario: consecutive documents, same evaluator.
+        let q: Rpeq = "r.x".parse().unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let mut sink = FragmentCollector::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        for _ in 0..3 {
+            eval.push_str("<r><x/></r>").unwrap();
+        }
+        let stats = eval.finish();
+        assert_eq!(sink.fragments().len(), 3);
+        assert_eq!(stats.results, 3);
+    }
+
+    #[test]
+    fn no_match_no_results() {
+        assert!(evaluate_str("nope", FIG1).unwrap().is_empty());
+        assert!(evaluate_str("a.nope.c", FIG1).unwrap().is_empty());
+        assert!(evaluate_str("_*.a[nope]", FIG1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_errors_reported() {
+        assert!(matches!(evaluate_str("a..b", "<a/>"), Err(EvalError::Query(_))));
+        assert!(matches!(evaluate_str("a", "<a"), Err(EvalError::Xml(_))));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let q: Rpeq = "_*.a[b].c".parse().unwrap();
+        let (frags, stats) = evaluate_events(
+            &q,
+            spex_xml::reader::parse_events(FIG1).unwrap(),
+        );
+        assert_eq!(frags.len(), 1);
+        assert_eq!(stats.ticks, 12);
+        assert_eq!(stats.vars_created, 2); // co1, co2 of §III.10
+        assert_eq!(stats.candidates_created, 2); // candidate1 and candidate2
+        assert_eq!(stats.results, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.max_stream_depth, 4); // $, a, a, c
+    }
+}

@@ -1,0 +1,561 @@
+//! SPEX networks (Definition 3) and their tick-synchronous executor.
+//!
+//! A SPEX network is a DAG of transducers with one source (the input
+//! transducer) and — for plain rpeq queries — one sink (the output
+//! transducer; conjunctive queries, §VII, have one sink per head variable).
+//! The executor realizes the paper's discipline that "at any time there is
+//! only one \[document\] message in the network" (§III.2): each stream event
+//! is one *tick*; within a tick every node, in topological order, consumes
+//! the messages its predecessors produced and appends its output to its
+//! successors' inboxes.
+
+use crate::message::{DocEvent, Message, SymbolTable};
+use crate::sink::ResultSink;
+use crate::stats::EngineStats;
+use crate::transducers::child::{Child, MatchLabel};
+use crate::transducers::closure::Closure;
+use crate::transducers::input::Input;
+use crate::transducers::join::Join;
+use crate::transducers::output::Output;
+use crate::transducers::split::Split;
+use crate::transducers::union_::Union;
+use crate::transducers::var_creator::VarCreator;
+use crate::transducers::var_determinant::VarDeterminant;
+use crate::transducers::var_filter::VarFilter;
+use crate::transducers::Transducer;
+use spex_formula::{QualifierId, VarFactory};
+use spex_query::Label;
+use spex_xml::XmlEvent;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The template of one network node — which transducer to instantiate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeSpec {
+    /// Input transducer IN (the source).
+    Input,
+    /// Child transducer CH(label).
+    Child(Label),
+    /// Closure transducer CL(label).
+    Closure(Label),
+    /// Following transducer FO(label) — the `following::` axis extension.
+    Following(Label),
+    /// Preceding transducer PR(label) — the `preceding::` axis extension;
+    /// its speculative variables are minted under the qualifier id.
+    Preceding(Label, QualifierId),
+    /// Variable creator VC(q).
+    VarCreator(QualifierId),
+    /// Positive variable filter VF(q+); the pair is the id range of
+    /// qualifiers nested inside this qualifier's sub-network.
+    VarFilterPos(QualifierId, (u32, u32)),
+    /// Negative variable filter VF(q−).
+    VarFilterNeg(QualifierId),
+    /// Variable determinant VD for a qualifier, with the same inner range.
+    VarDeterminant(QualifierId, (u32, u32)),
+    /// Split SP (two output tapes).
+    Split,
+    /// Join JO (two input tapes).
+    Join,
+    /// Union connector UN.
+    Union,
+    /// Output transducer OU (a sink).
+    Output,
+}
+
+impl NodeSpec {
+    /// Short description in the paper's notation, e.g. `CH(a)`, `VC(q0)`.
+    pub fn describe(&self) -> String {
+        match self {
+            NodeSpec::Input => "IN".to_string(),
+            NodeSpec::Child(l) => format!("CH({l})"),
+            NodeSpec::Closure(l) => format!("CL({l})"),
+            NodeSpec::Following(l) => format!("FO({l})"),
+            NodeSpec::Preceding(l, q) => format!("PR({l},{q})"),
+            NodeSpec::VarCreator(q) => format!("VC({q})"),
+            NodeSpec::VarFilterPos(q, _) => format!("VF({q}+)"),
+            NodeSpec::VarFilterNeg(q) => format!("VF({q}-)"),
+            NodeSpec::VarDeterminant(..) => "VD".to_string(),
+            NodeSpec::Split => "SP".to_string(),
+            NodeSpec::Join => "JO".to_string(),
+            NodeSpec::Union => "UN".to_string(),
+            NodeSpec::Output => "OU".to_string(),
+        }
+    }
+}
+
+/// A tape: the output of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tape {
+    pub(crate) node: usize,
+}
+
+impl Tape {
+    /// The producing node's id (stable within one builder; used as a memo
+    /// key by the multi-query compiler).
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+/// An immutable, compiled network shape: nodes in topological order plus the
+/// input wiring.
+#[derive(Debug, Clone)]
+pub struct NetworkSpec {
+    pub(crate) nodes: Vec<NodeSpec>,
+    /// For each node, its input tapes (upstream node ids) in port order.
+    pub(crate) inputs: Vec<Vec<usize>>,
+    /// Sink node ids (one per query head).
+    pub(crate) sinks: Vec<usize>,
+}
+
+impl NetworkSpec {
+    /// The network degree — the number of transducers (Definition 3 /
+    /// Lemma V.1: linear in the query length).
+    pub fn degree(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node descriptions in topological order (used by tests and by the
+    /// CLI's `--explain`).
+    pub fn describe(&self) -> Vec<String> {
+        self.nodes.iter().map(NodeSpec::describe).collect()
+    }
+
+    /// Human-readable wiring, one line per node.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ins: Vec<String> = self.inputs[i].iter().map(|u| u.to_string()).collect();
+            out.push_str(&format!("{i:3}: {} <- [{}]\n", n.describe(), ins.join(", ")));
+        }
+        out
+    }
+}
+
+/// Builder used by the compiler (the σ of the denotational semantics).
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<NodeSpec>,
+    inputs: Vec<Vec<usize>>,
+    sinks: Vec<usize>,
+    qualifiers: u32,
+}
+
+impl NetworkBuilder {
+    /// Start an empty network with its input transducer; returns the
+    /// builder and the input's output tape.
+    pub fn with_input() -> (NetworkBuilder, Tape) {
+        let mut b = NetworkBuilder::default();
+        let t = b.add(NodeSpec::Input, &[]);
+        (b, t)
+    }
+
+    /// Add a node reading from the given tapes; returns its output tape.
+    pub fn add(&mut self, spec: NodeSpec, inputs: &[Tape]) -> Tape {
+        let id = self.nodes.len();
+        for t in inputs {
+            debug_assert!(t.node < id, "nodes must be added in topological order");
+        }
+        self.nodes.push(spec);
+        self.inputs.push(inputs.iter().map(|t| t.node).collect());
+        Tape { node: id }
+    }
+
+    /// Add a single-input node in a chain.
+    pub fn chain(&mut self, spec: NodeSpec, input: Tape) -> Tape {
+        self.add(spec, &[input])
+    }
+
+    /// Add a split; both output tapes are the same node (consumers attach to
+    /// it independently, fan-out copies messages).
+    pub fn split(&mut self, input: Tape) -> (Tape, Tape) {
+        let t = self.chain(NodeSpec::Split, input);
+        (t, t)
+    }
+
+    /// Add a join over two tapes.
+    pub fn join(&mut self, left: Tape, right: Tape) -> Tape {
+        self.add(NodeSpec::Join, &[left, right])
+    }
+
+    /// Mint a fresh qualifier id.
+    pub fn fresh_qualifier(&mut self) -> QualifierId {
+        let q = QualifierId(self.qualifiers);
+        self.qualifiers += 1;
+        q
+    }
+
+    /// Number of qualifier ids minted so far (used to compute a qualifier's
+    /// inner id range).
+    pub fn qualifier_count(&self) -> u32 {
+        self.qualifiers
+    }
+
+    /// Terminate `tape` with an output transducer (a sink).
+    pub fn add_sink(&mut self, tape: Tape) -> Tape {
+        let t = self.chain(NodeSpec::Output, tape);
+        self.sinks.push(t.node);
+        t
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> NetworkSpec {
+        debug_assert!(!self.sinks.is_empty(), "a network needs at least one sink");
+        NetworkSpec { nodes: self.nodes, inputs: self.inputs, sinks: self.sinks }
+    }
+}
+
+enum NodeInstance {
+    Single(Box<dyn Transducer>),
+    Join(Join),
+    Output(Output),
+}
+
+/// A running instantiation of a network over one stream, pushing results
+/// into borrowed sinks (one per network sink).
+pub struct Run<'n, 's> {
+    /// Kept for lifetime anchoring and future introspection APIs.
+    #[allow(dead_code)]
+    spec: &'n NetworkSpec,
+    nodes: Vec<NodeInstance>,
+    /// Which sink (index into `sinks`) each node feeds, for output nodes.
+    sink_index: Vec<usize>,
+    /// inbox[node][port] — messages for the current tick.
+    inbox: Vec<Vec<Vec<Message>>>,
+    /// consumers[node] — (downstream node, port) pairs.
+    consumers: Vec<Vec<(usize, usize)>>,
+    symbols: SymbolTable,
+    factory: Rc<RefCell<VarFactory>>,
+    sinks: Vec<&'s mut dyn ResultSink>,
+    stats: EngineStats,
+    tick: u64,
+    depth: usize,
+    tracing: bool,
+}
+
+impl<'n, 's> Run<'n, 's> {
+    /// Instantiate `spec` with one sink per network sink node.
+    pub fn new(spec: &'n NetworkSpec, sinks: Vec<&'s mut dyn ResultSink>) -> Self {
+        assert_eq!(
+            sinks.len(),
+            spec.sinks.len(),
+            "network has {} sink(s), {} provided",
+            spec.sinks.len(),
+            sinks.len()
+        );
+        let mut symbols = SymbolTable::new();
+        let factory = Rc::new(RefCell::new(VarFactory::new()));
+        let mut nodes = Vec::with_capacity(spec.nodes.len());
+        let mut sink_index = vec![usize::MAX; spec.nodes.len()];
+        for (i, n) in spec.nodes.iter().enumerate() {
+            let inst = match n {
+                NodeSpec::Input => NodeInstance::Single(Box::new(Input::new())),
+                NodeSpec::Child(l) => NodeInstance::Single(Box::new(Child::new(
+                    MatchLabel::resolve(l, &mut symbols),
+                ))),
+                NodeSpec::Closure(l) => NodeInstance::Single(Box::new(Closure::new(
+                    MatchLabel::resolve(l, &mut symbols),
+                ))),
+                NodeSpec::Following(l) => NodeInstance::Single(Box::new(
+                    crate::transducers::following::Following::new(MatchLabel::resolve(
+                        l,
+                        &mut symbols,
+                    )),
+                )),
+                NodeSpec::Preceding(l, q) => NodeInstance::Single(Box::new(
+                    crate::transducers::preceding::Preceding::new(
+                        MatchLabel::resolve(l, &mut symbols),
+                        *q,
+                        factory.clone(),
+                    ),
+                )),
+                NodeSpec::VarCreator(q) => {
+                    NodeInstance::Single(Box::new(VarCreator::new(*q, factory.clone())))
+                }
+                NodeSpec::VarFilterPos(q, inner) => {
+                    NodeInstance::Single(Box::new(VarFilter::positive(*q, inner.0..inner.1)))
+                }
+                NodeSpec::VarFilterNeg(q) => {
+                    NodeInstance::Single(Box::new(VarFilter::negative(*q)))
+                }
+                NodeSpec::VarDeterminant(q, inner) => {
+                    NodeInstance::Single(Box::new(VarDeterminant::new(*q, inner.0..inner.1)))
+                }
+                NodeSpec::Split => NodeInstance::Single(Box::new(Split::new())),
+                NodeSpec::Union => NodeInstance::Single(Box::new(Union::new())),
+                NodeSpec::Join => NodeInstance::Join(Join::new()),
+                NodeSpec::Output => {
+                    let idx = spec
+                        .sinks
+                        .iter()
+                        .position(|s| *s == i)
+                        .expect("output node registered as sink");
+                    sink_index[i] = idx;
+                    NodeInstance::Output(Output::new())
+                }
+            };
+            nodes.push(inst);
+        }
+        // Wire consumers: node u feeds (v, port) for each input edge of v.
+        let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); spec.nodes.len()];
+        for (v, ins) in spec.inputs.iter().enumerate() {
+            for (port, u) in ins.iter().enumerate() {
+                consumers[*u].push((v, port));
+            }
+        }
+        let inbox = spec
+            .inputs
+            .iter()
+            .map(|ins| vec![Vec::new(); ins.len().max(1)])
+            .collect();
+        Run {
+            spec,
+            nodes,
+            sink_index,
+            inbox,
+            consumers,
+            symbols,
+            factory,
+            sinks,
+            stats: EngineStats::default(),
+            tick: 0,
+            depth: 0,
+            tracing: false,
+        }
+    }
+
+    /// Enable transition tracing on every node (for the golden paper-trace
+    /// tests).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        for n in &mut self.nodes {
+            match n {
+                NodeInstance::Single(t) => t.set_tracing(on),
+                NodeInstance::Join(j) => j.set_tracing(on),
+                NodeInstance::Output(_) => {}
+            }
+        }
+    }
+
+    /// Drain per-node transition traces fired since the last call, rendered
+    /// in the paper's `"1,5"` style, indexed by node id.
+    pub fn take_traces(&mut self) -> Vec<String> {
+        self.nodes
+            .iter_mut()
+            .map(|n| match n {
+                NodeInstance::Single(t) => {
+                    crate::transducers::format_transitions(&t.take_transitions())
+                }
+                NodeInstance::Join(j) => {
+                    crate::transducers::format_transitions(&j.take_transitions())
+                }
+                NodeInstance::Output(_) => String::new(),
+            })
+            .collect()
+    }
+
+    /// Feed one stream event through the network (one tick).
+    pub fn push(&mut self, event: XmlEvent) {
+        let doc = match &event {
+            XmlEvent::StartDocument => DocEvent::Open {
+                label: crate::message::DOC_SYMBOL,
+                payload: Rc::new(event),
+            },
+            XmlEvent::EndDocument => DocEvent::Close {
+                label: crate::message::DOC_SYMBOL,
+                payload: Rc::new(event),
+            },
+            XmlEvent::StartElement { name, .. } => {
+                let label = self.symbols.intern(name);
+                DocEvent::Open { label, payload: Rc::new(event) }
+            }
+            XmlEvent::EndElement { name } => {
+                let label = self.symbols.intern(name);
+                DocEvent::Close { label, payload: Rc::new(event) }
+            }
+            _ => DocEvent::Item { payload: Rc::new(event) },
+        };
+        match &doc {
+            DocEvent::Open { .. } => {
+                self.depth += 1;
+                self.stats.max_stream_depth = self.stats.max_stream_depth.max(self.depth);
+            }
+            DocEvent::Close { .. } => self.depth = self.depth.saturating_sub(1),
+            DocEvent::Item { .. } => {}
+        }
+        self.inbox[0][0].push(Message::Doc(doc));
+        self.run_tick();
+        self.tick += 1;
+    }
+
+    fn run_tick(&mut self) {
+        let mut outbuf: Vec<Message> = Vec::new();
+        for id in 0..self.nodes.len() {
+            outbuf.clear();
+            match &mut self.nodes[id] {
+                NodeInstance::Single(t) => {
+                    let msgs = std::mem::take(&mut self.inbox[id][0]);
+                    for m in msgs {
+                        self.stats.messages += 1;
+                        self.stats.observe_formula(m.formula_size());
+                        t.step(m, &mut outbuf);
+                    }
+                    let (d, c) = t.stack_sizes();
+                    self.stats.observe_stacks(d, c);
+                }
+                NodeInstance::Join(j) => {
+                    let left = std::mem::take(&mut self.inbox[id][0]);
+                    let right = std::mem::take(&mut self.inbox[id][1]);
+                    self.stats.messages += (left.len() + right.len()) as u64;
+                    j.step2(left, right, &mut outbuf);
+                }
+                NodeInstance::Output(_) => {
+                    let msgs = std::mem::take(&mut self.inbox[id][0]);
+                    let sink_idx = self.sink_index[id];
+                    // Split borrow: re-borrow the node mutably inside.
+                    if let NodeInstance::Output(o) = &mut self.nodes[id] {
+                        for m in msgs {
+                            self.stats.messages += 1;
+                            self.stats.observe_formula(m.formula_size());
+                            o.step(m, self.sinks[sink_idx], self.tick, &mut self.stats);
+                        }
+                    }
+                    continue;
+                }
+            }
+            // Fan out to consumers; the last consumer takes ownership.
+            let consumers = &self.consumers[id];
+            match consumers.len() {
+                0 => {}
+                1 => {
+                    let (v, p) = consumers[0];
+                    self.inbox[v][p].append(&mut outbuf);
+                }
+                _ => {
+                    for (v, p) in &consumers[..consumers.len() - 1] {
+                        self.inbox[*v][*p].extend(outbuf.iter().cloned());
+                    }
+                    let (v, p) = consumers[consumers.len() - 1];
+                    self.inbox[v][p].append(&mut outbuf);
+                }
+            }
+        }
+    }
+
+    /// End of stream: flush the output transducer(s) and return the
+    /// collected statistics.
+    pub fn finish(mut self) -> EngineStats {
+        for id in 0..self.nodes.len() {
+            let sink_idx = self.sink_index[id];
+            if let NodeInstance::Output(o) = &mut self.nodes[id] {
+                o.finish(self.sinks[sink_idx], self.tick, &mut self.stats);
+            }
+        }
+        self.stats.ticks = self.tick;
+        self.stats.vars_created = u64::from(self.factory.borrow().minted());
+        self.stats
+    }
+
+    /// Statistics so far (final values come from [`Run::finish`]).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The current tick number (document messages pushed so far).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::FragmentCollector;
+
+    /// Hand-build the IN → CH(a) → CH(c) → OU network of example III.1 and
+    /// run the Fig. 1 stream through the executor.
+    #[test]
+    fn hand_built_child_chain() {
+        let (mut b, t) = NetworkBuilder::with_input();
+        let t = b.chain(NodeSpec::Child(Label::name("a")), t);
+        let t = b.chain(NodeSpec::Child(Label::name("c")), t);
+        b.add_sink(t);
+        let spec = b.finish();
+        assert_eq!(spec.degree(), 4);
+        assert_eq!(spec.describe(), vec!["IN", "CH(a)", "CH(c)", "OU"]);
+
+        let mut sink = FragmentCollector::new();
+        let mut run = Run::new(&spec, vec![&mut sink]);
+        for ev in spex_xml::reader::parse_events("<a><a><c/></a><b/><c/></a>").unwrap() {
+            run.push(ev);
+        }
+        let stats = run.finish();
+        assert_eq!(sink.fragments(), ["<c></c>".to_string()]);
+        assert_eq!(stats.results, 1);
+        assert_eq!(stats.ticks, 12);
+    }
+
+    /// A hand-built split/join pair is transparent for plain streams.
+    #[test]
+    fn split_join_is_transparent() {
+        let (mut b, t) = NetworkBuilder::with_input();
+        let (t1, t2) = b.split(t);
+        let t = b.join(t1, t2);
+        let t = b.chain(NodeSpec::Union, t);
+        let t = b.chain(NodeSpec::Child(Label::name("b")), t);
+        b.add_sink(t);
+        let spec = b.finish();
+
+        let mut sink = FragmentCollector::new();
+        let mut run = Run::new(&spec, vec![&mut sink]);
+        for ev in spex_xml::reader::parse_events("<a><b>x</b><c/></a>").unwrap() {
+            run.push(ev);
+        }
+        run.finish();
+        // `b` is not a child of the root (the root is `a`), so no results…
+        assert!(sink.fragments().is_empty());
+
+        // …but a `CH(a)`-prefixed network selects it.
+        let (mut b2, t) = NetworkBuilder::with_input();
+        let t = b2.chain(NodeSpec::Child(Label::name("a")), t);
+        let (t1, t2) = b2.split(t);
+        let t = b2.join(t1, t2);
+        let t = b2.chain(NodeSpec::Union, t);
+        let t = b2.chain(NodeSpec::Child(Label::name("b")), t);
+        b2.add_sink(t);
+        let spec2 = b2.finish();
+        let mut sink2 = FragmentCollector::new();
+        let mut run2 = Run::new(&spec2, vec![&mut sink2]);
+        for ev in spex_xml::reader::parse_events("<a><b>x</b><c/></a>").unwrap() {
+            run2.push(ev);
+        }
+        run2.finish();
+        assert_eq!(sink2.fragments(), ["<b>x</b>".to_string()]);
+    }
+
+    #[test]
+    fn stats_track_depth_and_messages() {
+        let (mut b, t) = NetworkBuilder::with_input();
+        let t = b.chain(NodeSpec::Child(Label::name("x")), t);
+        b.add_sink(t);
+        let spec = b.finish();
+        let mut sink = FragmentCollector::new();
+        let mut run = Run::new(&spec, vec![&mut sink]);
+        for ev in spex_xml::reader::parse_events("<a><b><c/></b></a>").unwrap() {
+            run.push(ev);
+        }
+        let stats = run.finish();
+        assert_eq!(stats.max_stream_depth, 4); // $, a, b, c
+        assert!(stats.messages >= 8 * 3);
+        assert!(stats.max_depth_stack <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink")]
+    fn sink_count_mismatch_panics() {
+        let (mut b, t) = NetworkBuilder::with_input();
+        b.add_sink(t);
+        let spec = b.finish();
+        let _ = Run::new(&spec, vec![]);
+    }
+}

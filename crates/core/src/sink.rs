@@ -1,0 +1,258 @@
+//! Progressive result delivery.
+//!
+//! The output transducer emits result fragments — the range of document
+//! messages from a matched `<l>` to its `</l>` — in document order, as soon
+//! as (a) the fragment's condition formula is determined true and (b) all
+//! earlier candidates are decided (§III.8). A [`ResultSink`] receives those
+//! fragments event by event; the `tick` arguments let tests assert
+//! *progressiveness* (content of "past condition" results is delivered
+//! before the stream ends).
+
+use spex_xml::XmlEvent;
+
+/// Metadata identifying a result fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultMeta {
+    /// The tick (document-message index, 0-based from `<$>`) at which the
+    /// fragment's opening message appeared in the stream. This uniquely
+    /// identifies the result node, which the equivalence tests exploit.
+    pub start_tick: u64,
+}
+
+/// Receives result fragments progressively.
+pub trait ResultSink {
+    /// A fragment begins. `now` is the current tick (when this became known).
+    fn begin(&mut self, meta: ResultMeta, now: u64);
+    /// One event of the current fragment, in document order.
+    fn event(&mut self, event: &XmlEvent, now: u64);
+    /// The current fragment is complete.
+    fn end(&mut self, now: u64);
+}
+
+/// Collects fragments as serialized XML strings.
+#[derive(Debug, Default)]
+pub struct FragmentCollector {
+    fragments: Vec<String>,
+    current: Option<Vec<XmlEvent>>,
+    /// `(start_tick, first_delivery_tick)` per fragment, for progressiveness
+    /// assertions.
+    pub timing: Vec<(u64, u64)>,
+}
+
+impl FragmentCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        FragmentCollector::default()
+    }
+
+    /// The collected fragments, serialized compactly.
+    pub fn fragments(&self) -> &[String] {
+        &self.fragments
+    }
+
+    /// Consume the collector, returning the fragments.
+    pub fn into_fragments(self) -> Vec<String> {
+        self.fragments
+    }
+}
+
+impl ResultSink for FragmentCollector {
+    fn begin(&mut self, meta: ResultMeta, now: u64) {
+        self.current = Some(Vec::new());
+        self.timing.push((meta.start_tick, now));
+    }
+
+    fn event(&mut self, event: &XmlEvent, _now: u64) {
+        if let Some(cur) = &mut self.current {
+            cur.push(event.clone());
+        }
+    }
+
+    fn end(&mut self, _now: u64) {
+        if let Some(events) = self.current.take() {
+            self.fragments.push(spex_xml::writer::events_to_string(&events));
+        }
+    }
+}
+
+/// Counts results without storing them (for throughput benchmarks).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Number of complete fragments received.
+    pub results: usize,
+    /// Number of events received across all fragments.
+    pub events: usize,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl ResultSink for CountingSink {
+    fn begin(&mut self, _meta: ResultMeta, _now: u64) {}
+
+    fn event(&mut self, _event: &XmlEvent, _now: u64) {
+        self.events += 1;
+    }
+
+    fn end(&mut self, _now: u64) {
+        self.results += 1;
+    }
+}
+
+/// Writes result fragments to an [`std::io::Write`] sink **as they are
+/// emitted** — one fragment per line. This is SPEX's progressive delivery
+/// made visible: for past-condition queries, output appears while the input
+/// is still streaming in.
+///
+/// Write errors are sticky: the first one is kept and delivery stops;
+/// inspect it with [`StreamingSink::take_error`].
+pub struct StreamingSink<W: std::io::Write> {
+    writer: spex_xml::Writer<W>,
+    error: Option<spex_xml::XmlError>,
+    /// Completed fragments so far.
+    pub results: usize,
+}
+
+impl<W: std::io::Write> StreamingSink<W> {
+    /// Stream fragments to `out`.
+    pub fn new(out: W) -> Self {
+        StreamingSink { writer: spex_xml::Writer::new(out), error: None, results: 0 }
+    }
+
+    /// The first write error, if any occurred.
+    pub fn take_error(&mut self) -> Option<spex_xml::XmlError> {
+        self.error.take()
+    }
+
+    fn try_write(&mut self, event: &XmlEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write(event) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: std::io::Write> ResultSink for StreamingSink<W> {
+    fn begin(&mut self, _meta: ResultMeta, _now: u64) {}
+
+    fn event(&mut self, event: &XmlEvent, _now: u64) {
+        self.try_write(event);
+    }
+
+    fn end(&mut self, _now: u64) {
+        self.results += 1;
+        // One fragment per line; flush so consumers see it immediately.
+        self.try_write(&XmlEvent::text("\n"));
+        if let Err(e) = self.writer.flush_inner() {
+            if self.error.is_none() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Collects only the start ticks of result fragments — the node identities.
+/// This is what the SPEX-vs-baseline equivalence tests compare.
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    /// Start tick of each result, in emission (document) order.
+    pub starts: Vec<u64>,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        SpanCollector::default()
+    }
+}
+
+impl ResultSink for SpanCollector {
+    fn begin(&mut self, meta: ResultMeta, _now: u64) {
+        self.starts.push(meta.start_tick);
+    }
+
+    fn event(&mut self, _event: &XmlEvent, _now: u64) {}
+
+    fn end(&mut self, _now: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_collector_serializes() {
+        let mut c = FragmentCollector::new();
+        c.begin(ResultMeta { start_tick: 3 }, 5);
+        c.event(&XmlEvent::open("a"), 5);
+        c.event(&XmlEvent::text("x"), 6);
+        c.event(&XmlEvent::close("a"), 7);
+        c.end(7);
+        assert_eq!(c.fragments(), ["<a>x</a>".to_string()]);
+        assert_eq!(c.timing, vec![(3, 5)]);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut c = CountingSink::new();
+        for _ in 0..2 {
+            c.begin(ResultMeta { start_tick: 0 }, 0);
+            c.event(&XmlEvent::open("a"), 0);
+            c.event(&XmlEvent::close("a"), 0);
+            c.end(0);
+        }
+        assert_eq!(c.results, 2);
+        assert_eq!(c.events, 4);
+    }
+
+    #[test]
+    fn streaming_sink_writes_progressively() {
+        let mut out = Vec::new();
+        {
+            let mut s = StreamingSink::new(&mut out);
+            s.begin(ResultMeta { start_tick: 1 }, 1);
+            s.event(&XmlEvent::open("a"), 1);
+            s.event(&XmlEvent::text("x"), 2);
+            s.event(&XmlEvent::close("a"), 3);
+            s.end(3);
+            assert_eq!(s.results, 1);
+            assert!(s.take_error().is_none());
+        }
+        assert_eq!(String::from_utf8(out).unwrap(), "<a>x</a>\n");
+    }
+
+    #[test]
+    fn streaming_sink_keeps_first_write_error() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("nope"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = StreamingSink::new(Broken);
+        s.begin(ResultMeta { start_tick: 0 }, 0);
+        s.event(&XmlEvent::open("a"), 0);
+        s.event(&XmlEvent::close("a"), 0);
+        s.end(0);
+        assert!(s.take_error().is_some());
+    }
+
+    #[test]
+    fn span_collector_records_starts() {
+        let mut c = SpanCollector::new();
+        c.begin(ResultMeta { start_tick: 2 }, 9);
+        c.end(9);
+        c.begin(ResultMeta { start_tick: 7 }, 9);
+        c.end(9);
+        assert_eq!(c.starts, vec![2, 7]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Engine instrumentation.
+//!
+//! §V of the paper bounds, per transducer, the depth-stack height (≤ stream
+//! depth *d*), the condition-stack height (≤ *d*), the size of condition
+//! formulas (*o(φ)*), and the output transducer's candidate buffer (worst
+//! case linear in the stream size *s*, but only for fragments whose
+//! membership is still undetermined). [`EngineStats`] records the measured
+//! counterparts so the complexity experiments (E6/E7 in DESIGN.md) and the
+//! bounded-memory tests on infinite streams (E11) can assert them.
+
+/// Measured resource usage of one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Document messages pushed through the network (one per tick).
+    pub ticks: u64,
+    /// Total messages processed across all transducers.
+    pub messages: u64,
+    /// Largest condition formula observed in any activation message
+    /// (the paper's o(φ)).
+    pub max_formula_size: usize,
+    /// Largest condition stack across all transducers at any tick.
+    pub max_cond_stack: usize,
+    /// Largest depth stack across all transducers at any tick
+    /// (bounded by the stream depth *d*).
+    pub max_depth_stack: usize,
+    /// Maximum element nesting depth seen in the stream (*d*).
+    pub max_stream_depth: usize,
+    /// Peak number of events buffered by the output transducer for
+    /// undetermined candidates.
+    pub peak_buffered_events: usize,
+    /// Peak number of simultaneously live (undetermined or still-open)
+    /// candidates in the output transducer.
+    pub peak_live_candidates: usize,
+    /// Result candidates ever created.
+    pub candidates_created: u64,
+    /// Candidates that became results.
+    pub results: u64,
+    /// Candidates dropped because their condition became false.
+    pub dropped: u64,
+    /// Condition variables (qualifier instances) minted.
+    pub vars_created: u64,
+}
+
+impl EngineStats {
+    /// Record an observed formula size.
+    pub fn observe_formula(&mut self, size: usize) {
+        self.max_formula_size = self.max_formula_size.max(size);
+    }
+
+    /// Record observed stack heights of one transducer.
+    pub fn observe_stacks(&mut self, depth_stack: usize, cond_stack: usize) {
+        self.max_depth_stack = self.max_depth_stack.max(depth_stack);
+        self.max_cond_stack = self.max_cond_stack.max(cond_stack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_keep_maxima() {
+        let mut s = EngineStats::default();
+        s.observe_formula(3);
+        s.observe_formula(1);
+        assert_eq!(s.max_formula_size, 3);
+        s.observe_stacks(2, 5);
+        s.observe_stacks(4, 1);
+        assert_eq!(s.max_depth_stack, 4);
+        assert_eq!(s.max_cond_stack, 5);
+    }
+}

@@ -1,0 +1,31 @@
+//! # spex-formula — condition variables and condition formulas
+//!
+//! SPEX activation messages carry *condition formulas*: "conjunctions and/or
+//! disjunctions of condition variables" (Definition 2 of the paper). A
+//! condition variable represents one *instance* of a qualifier: the
+//! variable-creator transducer VC(q) mints a fresh variable for every
+//! activation it sees, the variable-determinant VD sets instances to `true`
+//! when the qualifier's sub-expression matched, and VC sets them to `false`
+//! when the instance's scope closes unsatisfied.
+//!
+//! This crate provides:
+//!
+//! * [`CondVar`] — a condition variable tagged with the [`QualifierId`] it
+//!   belongs to (the tag is what the variable-filter transducers VF(q±)
+//!   dispatch on),
+//! * [`Formula`] — normalized positive boolean formulas over condition
+//!   variables, with the normalization the paper relies on in its complexity
+//!   analysis (§V): flattening, duplicate removal ("a formula contains at
+//!   most one reference to a condition variable") and absorption,
+//! * substitution ([`Formula::assign`]) implementing the paper's
+//!   `update(c, v, β)` stack operation,
+//! * size metrics ([`Formula::size`]) matching the paper's *o(φ)* measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formula;
+pub mod var;
+
+pub use formula::Formula;
+pub use var::{CondVar, QualifierId, VarFactory};

@@ -1,0 +1,102 @@
+//! Condition variables and qualifier identities.
+
+use std::fmt;
+
+/// Identifies one qualifier `[E]` occurrence in the compiled query. Assigned
+/// by the network compiler; the variable-filter transducers VF(q+)/VF(q−)
+/// dispatch on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QualifierId(pub u32);
+
+impl fmt::Display for QualifierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A condition variable: one *instance* of a qualifier, minted by the
+/// variable-creator transducer VC(q) for one activation.
+///
+/// In the paper's complete example (§III.10) these are written `co1`, `co2`:
+/// the first and second instance of the qualifier `[b]`. Here they render as
+/// `c1.1`, `c1.2` (qualifier id, then instance serial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondVar {
+    /// The qualifier this instance belongs to.
+    pub qualifier: QualifierId,
+    /// Instance serial number, unique within an evaluation run.
+    pub serial: u32,
+}
+
+impl CondVar {
+    /// Create a variable (mostly used in tests; the engine uses
+    /// [`VarFactory`]).
+    pub fn new(qualifier: u32, serial: u32) -> Self {
+        CondVar { qualifier: QualifierId(qualifier), serial }
+    }
+}
+
+impl fmt::Display for CondVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.{}", self.qualifier.0, self.serial)
+    }
+}
+
+/// Mints fresh condition variables. One factory is shared by all
+/// variable-creator transducers of a network run, so serials are unique
+/// across qualifiers.
+#[derive(Debug, Default, Clone)]
+pub struct VarFactory {
+    next: u32,
+}
+
+impl VarFactory {
+    /// A factory starting at serial 1 (matching the paper's `co1`, `co2`
+    /// numbering).
+    pub fn new() -> Self {
+        VarFactory { next: 1 }
+    }
+
+    /// Mint a fresh variable for `qualifier`.
+    pub fn fresh(&mut self, qualifier: QualifierId) -> CondVar {
+        let serial = self.next;
+        self.next += 1;
+        CondVar { qualifier, serial }
+    }
+
+    /// How many variables have been minted.
+    pub fn minted(&self) -> u32 {
+        self.next.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_mints_unique_serials() {
+        let mut f = VarFactory::new();
+        let a = f.fresh(QualifierId(0));
+        let b = f.fresh(QualifierId(0));
+        let c = f.fresh(QualifierId(1));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a.serial, 1);
+        assert_eq!(b.serial, 2);
+        assert_eq!(c.serial, 3);
+        assert_eq!(f.minted(), 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CondVar::new(1, 2).to_string(), "c1.2");
+        assert_eq!(QualifierId(7).to_string(), "q7");
+    }
+
+    #[test]
+    fn ordering_is_by_qualifier_then_serial() {
+        assert!(CondVar::new(0, 5) < CondVar::new(1, 1));
+        assert!(CondVar::new(1, 1) < CondVar::new(1, 2));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for formula normalization: the smart constructors
+//! must preserve boolean semantics, be idempotent, and keep the
+//! single-reference-per-disjunct property the paper's complexity analysis
+//! uses.
+
+use proptest::prelude::*;
+use spex_formula::{CondVar, Formula};
+
+const NUM_VARS: u32 = 5;
+
+/// An arbitrary (unnormalized) formula expression over variables 0..NUM_VARS,
+/// built as a tree of operations that we replay through the smart
+/// constructors.
+#[derive(Debug, Clone)]
+enum Expr {
+    T,
+    F,
+    V(u32),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::T),
+        Just(Expr::F),
+        (0..NUM_VARS).prop_map(Expr::V),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_formula(e: &Expr) -> Formula {
+    match e {
+        Expr::T => Formula::True,
+        Expr::F => Formula::False,
+        Expr::V(i) => Formula::Var(CondVar::new(0, *i)),
+        Expr::And(a, b) => Formula::and(to_formula(a), to_formula(b)),
+        Expr::Or(a, b) => Formula::or(to_formula(a), to_formula(b)),
+    }
+}
+
+/// Reference semantics directly on the expression tree.
+fn eval_expr(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::T => true,
+        Expr::F => false,
+        Expr::V(i) => bits & (1 << i) != 0,
+        Expr::And(a, b) => eval_expr(a, bits) && eval_expr(b, bits),
+        Expr::Or(a, b) => eval_expr(a, bits) || eval_expr(b, bits),
+    }
+}
+
+fn assignment(bits: u32) -> impl Fn(CondVar) -> bool {
+    move |v: CondVar| bits & (1 << v.serial) != 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn normalization_preserves_semantics(e in expr_strategy()) {
+        let f = to_formula(&e);
+        for bits in 0..(1u32 << NUM_VARS) {
+            prop_assert_eq!(f.eval(&assignment(bits)), eval_expr(&e, bits),
+                "formula {} disagrees at bits {:05b}", f, bits);
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent(e in expr_strategy()) {
+        let f = to_formula(&e);
+        // Rebuilding the normalized formula through the constructors changes
+        // nothing.
+        let rebuilt = match f.clone() {
+            Formula::And(kids) => Formula::conj(kids),
+            Formula::Or(kids) => Formula::disj(kids),
+            other => other,
+        };
+        prop_assert_eq!(f, rebuilt);
+    }
+
+    #[test]
+    fn assign_agrees_with_semantics(e in expr_strategy(), var in 0..NUM_VARS, value: bool) {
+        let f = to_formula(&e);
+        let g = f.assign(CondVar::new(0, var), value);
+        for bits in 0..(1u32 << NUM_VARS) {
+            let bits_with = if value { bits | (1 << var) } else { bits & !(1 << var) };
+            prop_assert_eq!(g.eval(&assignment(bits)), f.eval(&assignment(bits_with)));
+        }
+        // The assigned variable is gone.
+        prop_assert!(!g.contains(CondVar::new(0, var)));
+    }
+
+    #[test]
+    fn fully_assigned_formula_is_constant(e in expr_strategy(), bits in 0..(1u32 << NUM_VARS)) {
+        let mut f = to_formula(&e);
+        for i in 0..NUM_VARS {
+            f = f.assign(CondVar::new(0, i), bits & (1 << i) != 0);
+        }
+        prop_assert_eq!(f.value(), Some(eval_expr(&e, bits)));
+    }
+
+    #[test]
+    fn dedup_bounds_top_level_width(e in expr_strategy()) {
+        // After normalization, the children of any node are distinct and
+        // each variable occurs at most once per conjunction/disjunction of
+        // plain variables.
+        fn check(f: &Formula) -> bool {
+            match f {
+                Formula::And(kids) | Formula::Or(kids) => {
+                    let mut sorted = kids.clone();
+                    sorted.dedup();
+                    sorted.len() == kids.len() && kids.iter().all(check)
+                }
+                _ => true,
+            }
+        }
+        prop_assert!(check(&to_formula(&e)));
+    }
+
+    #[test]
+    fn size_bounded_by_variable_count_times_width(e in expr_strategy()) {
+        let f = to_formula(&e);
+        // With 5 variables and full normalization, a formula's size can not
+        // exceed the number of distinct variable subsets actually present —
+        // crude bound: 2^5 * 5. Mostly this guards against normalization
+        // blow-ups.
+        prop_assert!(f.size() <= 32 * 5, "oversized formula: {}", f);
+    }
+}

@@ -1,0 +1,299 @@
+//! The rpeq abstract syntax tree.
+
+use std::fmt;
+
+/// A step label: either a concrete element name or the wildcard `_` which
+/// matches every label (§II.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// `_` — matches any element name.
+    Wildcard,
+    /// A concrete element name.
+    Name(String),
+}
+
+impl Label {
+    /// Construct a named label.
+    pub fn name(n: impl Into<String>) -> Label {
+        Label::Name(n.into())
+    }
+
+    /// Does this label match the element name `name`?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            Label::Wildcard => true,
+            Label::Name(n) => n == name,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Wildcard => write!(f, "_"),
+            Label::Name(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A regular path expression with qualifiers, following the grammar of
+/// §II.2:
+///
+/// ```text
+/// rpeq ::= ε | label | label* | label+ | (rpeq|rpeq) | (rpeq . rpeq)
+///        | rpeq? | rpeq [ rpeq ]
+/// ```
+///
+/// The paper notes that `label*` ≡ `(label+ | ε)` and `rpeq?` ≡ `(rpeq | ε)`;
+/// both derived forms are kept in the AST so the compiler can emit the exact
+/// networks of Fig. 11.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Rpeq {
+    /// ε — the empty path (selects the context node itself).
+    Empty,
+    /// `label` — one child step.
+    Step(Label),
+    /// `label+` — one or more nested `label` steps (positive closure).
+    Plus(Label),
+    /// `label*` — zero or more nested `label` steps (Kleene closure).
+    Star(Label),
+    /// `(rpeq | rpeq)` — union.
+    Union(Box<Rpeq>, Box<Rpeq>),
+    /// `(rpeq . rpeq)` — concatenation.
+    Concat(Box<Rpeq>, Box<Rpeq>),
+    /// `rpeq?` — optional.
+    Optional(Box<Rpeq>),
+    /// `rpeq [ rpeq ]` — the first expression filtered by a qualifier.
+    Qualified(Box<Rpeq>, Box<Rpeq>),
+    /// `~label` — the *following* step: all `label` elements that begin
+    /// after the context node ends, in document order. An extension beyond
+    /// the paper's grammar; §I notes the SPEX prototype supported the
+    /// `following` axis. Written `following::label` in XPath.
+    Following(Label),
+    /// `^label` — the *preceding* step: all `label` elements that end
+    /// before the context node begins. The streaming implementation emits
+    /// candidates speculatively under fresh condition variables that later
+    /// context arrivals satisfy — the "future condition" machinery of the
+    /// paper turned inside out. Written `preceding::label` in XPath.
+    Preceding(Label),
+}
+
+impl Rpeq {
+    /// Child step with a named label.
+    pub fn step(name: impl Into<String>) -> Rpeq {
+        Rpeq::Step(Label::name(name))
+    }
+
+    /// Wildcard child step `_`.
+    pub fn any() -> Rpeq {
+        Rpeq::Step(Label::Wildcard)
+    }
+
+    /// `label+` with a named label.
+    pub fn plus(name: impl Into<String>) -> Rpeq {
+        Rpeq::Plus(Label::name(name))
+    }
+
+    /// `label*` with a named label.
+    pub fn star(name: impl Into<String>) -> Rpeq {
+        Rpeq::Star(Label::name(name))
+    }
+
+    /// `_*` — the descendant-or-self prefix used throughout the paper's
+    /// example queries (`_*.province.city`, …).
+    pub fn descend() -> Rpeq {
+        Rpeq::Star(Label::Wildcard)
+    }
+
+    /// `self . other`.
+    pub fn then(self, other: Rpeq) -> Rpeq {
+        Rpeq::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `(self | other)`.
+    pub fn or(self, other: Rpeq) -> Rpeq {
+        Rpeq::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self?`.
+    pub fn optional(self) -> Rpeq {
+        Rpeq::Optional(Box::new(self))
+    }
+
+    /// `self [ qualifier ]`.
+    pub fn with_qualifier(self, qualifier: Rpeq) -> Rpeq {
+        Rpeq::Qualified(Box::new(self), Box::new(qualifier))
+    }
+
+    /// `~label` — the following step (see [`Rpeq::Following`]).
+    pub fn following(name: impl Into<String>) -> Rpeq {
+        Rpeq::Following(Label::name(name))
+    }
+
+    /// `^label` — the preceding step (see [`Rpeq::Preceding`]).
+    pub fn preceding(name: impl Into<String>) -> Rpeq {
+        Rpeq::Preceding(Label::name(name))
+    }
+
+    /// Concatenate a sequence of expressions (left-associated, matching the
+    /// text parser); an empty sequence yields ε.
+    pub fn concat_all(parts: impl IntoIterator<Item = Rpeq>) -> Rpeq {
+        parts
+            .into_iter()
+            .reduce(|acc, p| Rpeq::Concat(Box::new(acc), Box::new(p)))
+            .unwrap_or(Rpeq::Empty)
+    }
+
+    /// Visit every node of the expression tree (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Rpeq)) {
+        f(self);
+        match self {
+            Rpeq::Empty | Rpeq::Step(_) | Rpeq::Plus(_) | Rpeq::Star(_) | Rpeq::Following(_) | Rpeq::Preceding(_) => {}
+            Rpeq::Union(a, b) | Rpeq::Concat(a, b) | Rpeq::Qualified(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Rpeq::Optional(a) => a.visit(f),
+        }
+    }
+
+    /// Does the expression contain any qualifier?
+    pub fn has_qualifiers(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |n| {
+            if matches!(n, Rpeq::Qualified(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Does the expression contain any closure step (`label+`/`label*`)?
+    pub fn has_closure(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |n| {
+            if matches!(n, Rpeq::Plus(_) | Rpeq::Star(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+// Precedence levels for printing: union < concat < postfix.
+fn prec(e: &Rpeq) -> u8 {
+    match e {
+        Rpeq::Union(..) => 0,
+        Rpeq::Concat(..) => 1,
+        _ => 2,
+    }
+}
+
+impl fmt::Display for Rpeq {
+    /// The canonical text syntax; `parse(format(q)) == q` (tested by
+    /// property tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn child(e: &Rpeq, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+            if prec(e) < min {
+                write!(f, "(")?;
+                write!(f, "{e}")?;
+                write!(f, ")")
+            } else {
+                write!(f, "{e}")
+            }
+        }
+        match self {
+            Rpeq::Empty => write!(f, "%"),
+            Rpeq::Step(l) => write!(f, "{l}"),
+            Rpeq::Following(l) => write!(f, "~{l}"),
+            Rpeq::Preceding(l) => write!(f, "^{l}"),
+            Rpeq::Plus(l) => write!(f, "{l}+"),
+            Rpeq::Star(l) => write!(f, "{l}*"),
+            Rpeq::Union(a, b) => {
+                child(a, f, 0)?;
+                write!(f, "|")?;
+                child(b, f, 1) // right operand needs parens if it is a union
+                               // (unions are left-grouped canonically)
+            }
+            Rpeq::Concat(a, b) => {
+                child(a, f, 1)?;
+                write!(f, ".")?;
+                child(b, f, 2) // right-nested concat gets parens: canonical
+                               // form is left-grouped
+            }
+            Rpeq::Optional(a) => {
+                child(a, f, 2)?;
+                write!(f, "?")
+            }
+            Rpeq::Qualified(a, q) => {
+                child(a, f, 2)?;
+                write!(f, "[{q}]")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Rpeq {
+    type Err = crate::parse::ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_matching() {
+        assert!(Label::Wildcard.matches("anything"));
+        assert!(Label::name("a").matches("a"));
+        assert!(!Label::name("a").matches("b"));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let q = Rpeq::descend()
+            .then(Rpeq::step("a").with_qualifier(Rpeq::step("b")))
+            .then(Rpeq::step("c"));
+        assert_eq!(q.to_string(), "_*.a[b].c");
+        assert!(q.has_qualifiers());
+        assert!(q.has_closure());
+    }
+
+    #[test]
+    fn concat_all_edge_cases() {
+        assert_eq!(Rpeq::concat_all([]), Rpeq::Empty);
+        assert_eq!(Rpeq::concat_all([Rpeq::step("a")]), Rpeq::step("a"));
+        let q = Rpeq::concat_all([Rpeq::step("a"), Rpeq::step("b"), Rpeq::step("c")]);
+        assert_eq!(q.to_string(), "a.b.c");
+    }
+
+    #[test]
+    fn display_parenthesizes_by_precedence() {
+        let union_then = Rpeq::step("a").or(Rpeq::step("b")).then(Rpeq::step("c"));
+        assert_eq!(union_then.to_string(), "(a|b).c");
+        let opt_union = Rpeq::step("a").or(Rpeq::step("b")).optional();
+        assert_eq!(opt_union.to_string(), "(a|b)?");
+        let qual = Rpeq::step("a").with_qualifier(Rpeq::step("b").or(Rpeq::step("c")));
+        assert_eq!(qual.to_string(), "a[b|c]");
+    }
+
+    #[test]
+    fn visit_counts_nodes() {
+        let q: Rpeq = Rpeq::descend().then(Rpeq::step("a").with_qualifier(Rpeq::step("b")));
+        let mut n = 0;
+        q.visit(&mut |_| n += 1);
+        assert_eq!(n, 5); // concat, star, qualified, step a, step b
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(!Rpeq::step("a").has_qualifiers());
+        assert!(!Rpeq::step("a").has_closure());
+        assert!(Rpeq::plus("a").has_closure());
+        assert!(Rpeq::star("a").has_closure());
+        assert!(Rpeq::step("a").with_qualifier(Rpeq::Empty).has_qualifiers());
+    }
+}

@@ -1,0 +1,47 @@
+//! # spex-query — regular path expressions with qualifiers (rpeq)
+//!
+//! The query language of the SPEX paper (§II.2):
+//!
+//! ```text
+//! rpeq ::= ε | label | label* | label+ | (rpeq|rpeq) | (rpeq . rpeq)
+//!        | rpeq? | rpeq [ rpeq ]
+//! ```
+//!
+//! where `label` is an element name or the wildcard `_` matching every label.
+//! A query is evaluated from the document root; `label` is a child step,
+//! `label+` selects chains of nested `label` elements, and a qualifier
+//! `[rpeq]` holds for a node iff the inner expression selects a non-empty
+//! node set from it. The language covers the XPath fragment with `child` and
+//! `descendant` forward steps and structural qualifiers (and, via the
+//! rewriting of *XPath: Looking Forward* cited by the paper, expressions with
+//! backward steps can be brought into it).
+//!
+//! Modules:
+//!
+//! * [`ast`] — the [`Rpeq`] syntax tree and [`Label`],
+//! * [`parse`] — the concrete text syntax, e.g. `_*.country[province].name`,
+//! * [`xpath`] — sugar translating the corresponding XPath subset
+//!   (`//country[province]/name`) into rpeq,
+//! * [`metrics`] — query-size measures used by the complexity experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use spex_query::Rpeq;
+//!
+//! let q: Rpeq = "_*.a[b].c".parse().unwrap();
+//! assert_eq!(q.to_string(), "_*.a[b].c");
+//! assert_eq!(spex_query::xpath::parse_xpath("//a[b]/c").unwrap(), q);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod metrics;
+pub mod parse;
+pub mod xpath;
+
+pub use ast::{Label, Rpeq};
+pub use metrics::QueryMetrics;
+pub use parse::ParseError;

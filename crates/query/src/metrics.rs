@@ -1,0 +1,148 @@
+//! Query-size measures.
+//!
+//! §V of the paper expresses complexity bounds in terms of the query length
+//! *n* and structural features: the number of qualifiers, the number of
+//! closure steps, and — the worst case for formula growth — the number of
+//! qualifiers applied to wildcard-closure steps. [`QueryMetrics`] computes
+//! all of them; the complexity benchmarks (experiment E5/E7 in DESIGN.md)
+//! sweep over these measures.
+
+use crate::ast::{Label, Rpeq};
+
+/// Structural measures of an rpeq expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryMetrics {
+    /// Total number of AST nodes — the paper's query length *n* (the
+    /// translation of Lemma V.1 is linear in this).
+    pub length: usize,
+    /// Number of child steps (`label`).
+    pub steps: usize,
+    /// Number of closure steps (`label+` or `label*`).
+    pub closure_steps: usize,
+    /// Number of closure steps whose label is the wildcard `_`.
+    pub wildcard_closures: usize,
+    /// Number of qualifiers `[…]`.
+    pub qualifiers: usize,
+    /// Number of unions.
+    pub unions: usize,
+    /// Number of optionals `?`.
+    pub optionals: usize,
+    /// Number of following steps `~label` (extension).
+    pub following_steps: usize,
+    /// Number of preceding steps `^label` (extension).
+    pub preceding_steps: usize,
+    /// Maximum qualifier nesting depth.
+    pub qualifier_depth: usize,
+}
+
+impl QueryMetrics {
+    /// Compute the measures of `query`.
+    pub fn of(query: &Rpeq) -> QueryMetrics {
+        let mut m = QueryMetrics::default();
+        fn go(q: &Rpeq, m: &mut QueryMetrics, qdepth: usize) {
+            m.length += 1;
+            match q {
+                Rpeq::Empty => {}
+                Rpeq::Step(_) => m.steps += 1,
+                Rpeq::Following(_) => m.following_steps += 1,
+                Rpeq::Preceding(_) => m.preceding_steps += 1,
+                Rpeq::Plus(l) | Rpeq::Star(l) => {
+                    m.closure_steps += 1;
+                    if matches!(l, Label::Wildcard) {
+                        m.wildcard_closures += 1;
+                    }
+                }
+                Rpeq::Union(a, b) => {
+                    m.unions += 1;
+                    go(a, m, qdepth);
+                    go(b, m, qdepth);
+                }
+                Rpeq::Concat(a, b) => {
+                    go(a, m, qdepth);
+                    go(b, m, qdepth);
+                }
+                Rpeq::Optional(a) => {
+                    m.optionals += 1;
+                    go(a, m, qdepth);
+                }
+                Rpeq::Qualified(a, q) => {
+                    m.qualifiers += 1;
+                    m.qualifier_depth = m.qualifier_depth.max(qdepth + 1);
+                    go(a, m, qdepth);
+                    go(q, m, qdepth + 1);
+                }
+            }
+        }
+        go(query, &mut m, 0);
+        m
+    }
+
+    /// The rpeq language fragment the query belongs to, as classified in §V.
+    pub fn fragment(&self) -> Fragment {
+        match (self.qualifiers > 0, self.closure_steps > 0) {
+            (false, _) => Fragment::NoQualifiers,
+            (true, false) => Fragment::QualifiersNoClosure,
+            (true, true) => Fragment::QualifiersAndClosure,
+        }
+    }
+}
+
+/// The language fragments of the paper's §V formula-size analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fragment {
+    /// `rpeq*` in the paper: no qualifiers — formula size o(φ) = 1.
+    NoQualifiers,
+    /// `rpeq[]`: qualifiers but no closure — o(φ) = min(n, d).
+    QualifiersNoClosure,
+    /// `rpeq*[]`: qualifiers and closure — o(φ) = O(dⁿ) in general,
+    /// Σ nᵢ ≤ d in the sequential-matching case of Remark V.1.
+    QualifiersAndClosure,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(s: &str) -> QueryMetrics {
+        QueryMetrics::of(&s.parse().unwrap())
+    }
+
+    #[test]
+    fn simple_counts() {
+        let x = m("_*.a[b].c");
+        assert_eq!(x.steps, 3); // a, b, c
+        assert_eq!(x.closure_steps, 1);
+        assert_eq!(x.wildcard_closures, 1);
+        assert_eq!(x.qualifiers, 1);
+        assert_eq!(x.qualifier_depth, 1);
+        assert_eq!(x.length, 7); // concat, concat, star, qualified, a, b, c
+    }
+
+    #[test]
+    fn nested_qualifier_depth() {
+        assert_eq!(m("a[b[c]]").qualifier_depth, 2);
+        assert_eq!(m("a[b].c[d]").qualifier_depth, 1);
+        assert_eq!(m("a").qualifier_depth, 0);
+    }
+
+    #[test]
+    fn union_and_optional_counts() {
+        let x = m("(a|b)?.c");
+        assert_eq!(x.unions, 1);
+        assert_eq!(x.optionals, 1);
+        assert_eq!(x.steps, 3);
+    }
+
+    #[test]
+    fn fragments() {
+        assert_eq!(m("a.b.c+").fragment(), Fragment::NoQualifiers);
+        assert_eq!(m("a[b].c").fragment(), Fragment::QualifiersNoClosure);
+        assert_eq!(m("_*.a[b]").fragment(), Fragment::QualifiersAndClosure);
+    }
+
+    #[test]
+    fn length_is_linear_in_text() {
+        // Sanity: longer query, larger n.
+        assert!(m("a.b.c.d.e.f").length > m("a.b").length);
+    }
+}

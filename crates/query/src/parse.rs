@@ -1,0 +1,385 @@
+//! Concrete text syntax for rpeq.
+//!
+//! ```text
+//! union   := concat ('|' concat)*            (left associative)
+//! concat  := postfix ('.' postfix)*          (left associative)
+//! postfix := primary ('[' union ']' | '?')*
+//! primary := '(' union ')' | label ('*' | '+')? | '~' label | '^' label | '%'
+//! label   := name | '_'
+//! ```
+//!
+//! `~label` is the *following* and `^label` the *preceding* step (both
+//! extensions beyond the paper's grammar, see [`Rpeq::Following`] /
+//! [`Rpeq::Preceding`]).
+//!
+//! `%` denotes ε (rarely written explicitly — it mostly arises from the
+//! derived forms `label*` and `rpeq?`). Whitespace is insignificant.
+//! Examples from the paper parse directly: `_*.a[b]._*.c`,
+//! `_*.country[province].name`, `_*.Topic[editor].newsGroup`.
+
+use crate::ast::{Label, Rpeq};
+use std::fmt;
+
+/// A parse failure with a byte offset into the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rpeq parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Name(String),
+    Underscore,
+    Star,
+    Plus,
+    Question,
+    Dot,
+    Pipe,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Percent,
+    Tilde,
+    Caret,
+}
+
+fn lex(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let tok = match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                continue;
+            }
+            '*' => Token::Star,
+            '+' => Token::Plus,
+            '?' => Token::Question,
+            '.' => Token::Dot,
+            '|' => Token::Pipe,
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            '[' => Token::LBracket,
+            ']' => Token::RBracket,
+            '%' => Token::Percent,
+            '~' => Token::Tilde,
+            '^' => Token::Caret,
+            '_' => {
+                // `_` alone is the wildcard; `_foo` is a name.
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    out.push((Token::Underscore, start));
+                } else {
+                    out.push((Token::Name(input[start..j].to_string()), start));
+                }
+                i = j;
+                continue;
+            }
+            c if c.is_alphabetic() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                out.push((Token::Name(input[start..j].to_string()), start));
+                i = j;
+                continue;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        };
+        out.push((tok, i));
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':') || b >= 0x80
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.peek() == Some(&t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected {t:?}, found {:?}", self.peek()),
+                offset: self.offset(),
+            })
+        }
+    }
+
+    fn union(&mut self) -> Result<Rpeq, ParseError> {
+        let mut left = self.concat()?;
+        while self.peek() == Some(&Token::Pipe) {
+            self.pos += 1;
+            let right = self.concat()?;
+            left = Rpeq::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn concat(&mut self) -> Result<Rpeq, ParseError> {
+        let mut left = self.postfix()?;
+        while self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let right = self.postfix()?;
+            left = Rpeq::Concat(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn postfix(&mut self) -> Result<Rpeq, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::LBracket) => {
+                    self.pos += 1;
+                    let q = self.union()?;
+                    self.expect(Token::RBracket)?;
+                    e = Rpeq::Qualified(Box::new(e), Box::new(q));
+                }
+                Some(Token::Question) => {
+                    self.pos += 1;
+                    e = Rpeq::Optional(Box::new(e));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Rpeq, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::LParen) => {
+                let e = self.union()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Percent) => Ok(Rpeq::Empty),
+            Some(Token::Tilde) => match self.bump() {
+                Some(Token::Name(n)) => Ok(Rpeq::Following(Label::Name(n))),
+                Some(Token::Underscore) => Ok(Rpeq::Following(Label::Wildcard)),
+                other => Err(ParseError {
+                    message: format!("expected a label after `~`, found {other:?}"),
+                    offset,
+                }),
+            },
+            Some(Token::Caret) => match self.bump() {
+                Some(Token::Name(n)) => Ok(Rpeq::Preceding(Label::Name(n))),
+                Some(Token::Underscore) => Ok(Rpeq::Preceding(Label::Wildcard)),
+                other => Err(ParseError {
+                    message: format!("expected a label after `^`, found {other:?}"),
+                    offset,
+                }),
+            },
+            Some(Token::Name(n)) => Ok(self.with_closure(Label::Name(n))),
+            Some(Token::Underscore) => Ok(self.with_closure(Label::Wildcard)),
+            other => Err(ParseError {
+                message: format!("expected a label, `(`, or `%`, found {other:?}"),
+                offset,
+            }),
+        }
+    }
+
+    /// Attach `*` / `+` to a freshly parsed label.
+    fn with_closure(&mut self, l: Label) -> Rpeq {
+        match self.peek() {
+            Some(Token::Star) => {
+                self.pos += 1;
+                Rpeq::Star(l)
+            }
+            Some(Token::Plus) => {
+                self.pos += 1;
+                Rpeq::Plus(l)
+            }
+            _ => Rpeq::Step(l),
+        }
+    }
+}
+
+/// Parse an rpeq expression from its text syntax.
+pub fn parse(input: &str) -> Result<Rpeq, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0, end: input.len() };
+    let e = p.union()?;
+    if p.pos != p.tokens.len() {
+        return Err(ParseError {
+            message: format!("unexpected trailing token {:?}", p.peek()),
+            offset: p.offset(),
+        });
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Rpeq {
+        parse(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+    }
+
+    #[test]
+    fn paper_queries_parse() {
+        // Every concrete query mentioned in the paper.
+        for q in [
+            "_*.a[b]._*.c",
+            "a.c",
+            "a+.c+",
+            "_*.a[b].c",
+            "_*.province.city",
+            "_*.Noun.wordForm",
+            "_*.Topic.Title",
+            "_*.country[province].name",
+            "_*.Noun[wordForm]",
+            "_*.Topic[editor].Title",
+            "_*._",
+            "_*.country[province].religions",
+            "_*.Topic[editor].newsGroup",
+        ] {
+            let ast = p(q);
+            assert_eq!(p(&ast.to_string()), ast, "display roundtrip of {q}");
+        }
+    }
+
+    #[test]
+    fn simple_shapes() {
+        assert_eq!(p("a"), Rpeq::step("a"));
+        assert_eq!(p("_"), Rpeq::any());
+        assert_eq!(p("a+"), Rpeq::plus("a"));
+        assert_eq!(p("_*"), Rpeq::descend());
+        assert_eq!(p("%"), Rpeq::Empty);
+    }
+
+    #[test]
+    fn precedence() {
+        // `.` binds tighter than `|`.
+        assert_eq!(p("a.b|c"), Rpeq::step("a").then(Rpeq::step("b")).or(Rpeq::step("c")));
+        // Qualifier binds tighter than `.`.
+        assert_eq!(
+            p("a[b].c"),
+            Rpeq::step("a").with_qualifier(Rpeq::step("b")).then(Rpeq::step("c"))
+        );
+        // Parens override.
+        assert_eq!(p("a.(b|c)"), Rpeq::step("a").then(Rpeq::step("b").or(Rpeq::step("c"))));
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(
+            p("a.b.c"),
+            Rpeq::step("a").then(Rpeq::step("b")).then(Rpeq::step("c"))
+        );
+        assert_eq!(p("a|b|c"), Rpeq::step("a").or(Rpeq::step("b")).or(Rpeq::step("c")));
+    }
+
+    #[test]
+    fn postfix_chains() {
+        assert_eq!(
+            p("a[b][c]"),
+            Rpeq::step("a")
+                .with_qualifier(Rpeq::step("b"))
+                .with_qualifier(Rpeq::step("c"))
+        );
+        assert_eq!(p("a??"), Rpeq::step("a").optional().optional());
+        assert_eq!(p("a[b]?"), Rpeq::step("a").with_qualifier(Rpeq::step("b")).optional());
+    }
+
+    #[test]
+    fn nested_qualifiers() {
+        assert_eq!(
+            p("a[b[c]]"),
+            Rpeq::step("a").with_qualifier(Rpeq::step("b").with_qualifier(Rpeq::step("c")))
+        );
+    }
+
+    #[test]
+    fn underscore_names_vs_wildcard() {
+        assert_eq!(p("_"), Rpeq::any());
+        assert_eq!(p("_foo"), Rpeq::step("_foo"));
+        assert_eq!(p("_*"), Rpeq::descend());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(p(" a . b | c "), p("a.b|c"));
+        assert_eq!(p("a [ b ]"), p("a[b]"));
+    }
+
+    #[test]
+    fn name_characters() {
+        assert_eq!(p("rdf:about"), Rpeq::step("rdf:about"));
+        assert_eq!(p("foo-bar"), Rpeq::step("foo-bar"));
+        assert_eq!(p("x1"), Rpeq::step("x1"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        match parse("a..b") {
+            Err(e) => assert_eq!(e.offset, 2),
+            Ok(x) => panic!("parsed {x:?}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("a|").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a]").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("#").is_err());
+        // Closure on general expressions is not in the grammar.
+        assert!(parse("(a.b)+").is_err());
+        assert!(parse("(a|b)*").is_err());
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let q: Rpeq = "_*.a".parse().unwrap();
+        assert_eq!(q, Rpeq::descend().then(Rpeq::step("a")));
+    }
+}

@@ -1,0 +1,549 @@
+//! XPath sugar.
+//!
+//! The rpeq language "covers the XPath fragment with no other steps than the
+//! forward steps `child` and `descendant` and no other qualifiers than
+//! structural qualifiers" (§II.2). This module translates that XPath subset
+//! into rpeq so users can write familiar syntax:
+//!
+//! | XPath                     | rpeq                          |
+//! |---------------------------|-------------------------------|
+//! | `/a/b`                    | `a.b`                         |
+//! | `//a`                     | `_*.a`                        |
+//! | `/a//b`                   | `a._*.b`                      |
+//! | `/a/*`                    | `a._`                         |
+//! | `//a[b][.//c]/d`          | `_*.a[b][_*.c].d`             |
+//! | `a/b` (relative)          | `a.b`                         |
+//!
+//! Inside qualifiers, relative paths and the explicit self prefix `./` /
+//! `.//` are supported.
+//!
+//! ## Backward axes
+//!
+//! §II.2 of the paper notes that backward steps are expressible in the
+//! forward fragment, citing *XPath: Looking Forward*. This module implements
+//! the rewriting for the common cases where the backward step directly
+//! follows a forward step:
+//!
+//! | XPath                     | rewritten rpeq                |
+//! |---------------------------|-------------------------------|
+//! | `//x/parent::b`           | `_*.b[x]`                     |
+//! | `//x/parent::b/c`         | `_*.b[x].c`                   |
+//! | `/a/x/parent::a`          | `a[x]`  (label must agree)    |
+//! | `//x/ancestor::b`         | `_*.b[_*.x]`                  |
+//! | `//x/ancestor-or-self::x` | `_*.x[x?]` (see below)        |
+//!
+//! The rewriting works step-locally: `P/x/parent::b` selects the parents of
+//! the `x` nodes — i.e. the nodes `P` reaches whose label is `b` and that
+//! have an `x` child — so the preceding step's node test is *intersected*
+//! with `b` and `[x]` becomes a qualifier. `ancestor::b` similarly folds the
+//! whole path suffix below the ancestor into a qualifier with a leading
+//! descendant step. Backward steps in positions the local rewriting cannot
+//! handle (as the first step, or after another predicate-dependent backward
+//! step) are rejected with a descriptive error; attributes, positional
+//! predicates and value comparisons remain out of scope.
+
+use crate::ast::{Label, Rpeq};
+use crate::parse::ParseError;
+
+/// Translate an XPath expression from the supported fragment into rpeq.
+pub fn parse_xpath(input: &str) -> Result<Rpeq, ParseError> {
+    let mut p = XParser { input: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let e = p.path(true)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    e.ok_or_else(|| ParseError { message: "empty XPath expression".into(), offset: 0 })
+}
+
+/// One parsed XPath step, before path assembly.
+enum ParsedStep {
+    /// A forward (child/descendant) step, as an rpeq expression.
+    Forward(Rpeq),
+    /// `parent::label[preds…]`.
+    Parent { label: Label, preds: Vec<Rpeq> },
+    /// `ancestor::label` / `ancestor-or-self::label`.
+    Ancestor { label: Label, preds: Vec<Rpeq>, or_self: bool },
+}
+
+/// Replace the innermost step label of `e` (below any qualifiers) with the
+/// intersection of the current label and `constraint`. Errors with the
+/// rendered core when the intersection is empty or the expression has no
+/// plain step core.
+fn replace_core_label(e: Rpeq, constraint: &Label) -> Result<Rpeq, String> {
+    match e {
+        Rpeq::Step(l) => match intersect(&l, constraint) {
+            Some(l) => Ok(Rpeq::Step(l)),
+            None => Err(l.to_string()),
+        },
+        Rpeq::Qualified(inner, q) => {
+            Ok(Rpeq::Qualified(Box::new(replace_core_label(*inner, constraint)?), q))
+        }
+        other => Err(other.to_string()),
+    }
+}
+
+/// Label intersection: wildcard is ⊤.
+fn intersect(a: &Label, b: &Label) -> Option<Label> {
+    match (a, b) {
+        (Label::Wildcard, other) | (other, Label::Wildcard) => Some(other.clone()),
+        (Label::Name(x), Label::Name(y)) if x == y => Some(Label::Name(x.clone())),
+        _ => None,
+    }
+}
+
+struct XParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse a location path. `top_level` controls whether a leading `/` is
+    /// allowed (absolute path); inside qualifiers paths are relative, with
+    /// optional `./` or `.//` prefixes.
+    fn path(&mut self, _top_level: bool) -> Result<Option<Rpeq>, ParseError> {
+        // (expression, was-inserted-by-`//`) pairs; the provenance flag
+        // drives the backward-axis rewriting.
+        let mut parts: Vec<(Rpeq, bool)> = Vec::new();
+        let mut descendant_pending = false;
+
+        self.skip_ws();
+        // Leading `.` (self), `./`, `.//`, `/`, `//`.
+        if self.eat(b'.') {
+            // self — no step emitted.
+        }
+        if self.eat(b'/') && self.eat(b'/') {
+            descendant_pending = true;
+        }
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b']') | Some(b'|') | Some(b')') => break,
+                _ => {}
+            }
+            let step = self.step()?;
+            if descendant_pending {
+                parts.push((Rpeq::descend(), true));
+                descendant_pending = false;
+            }
+            match step {
+                ParsedStep::Forward(e) => parts.push((e, false)),
+                ParsedStep::Parent { label, preds } => {
+                    self.rewrite_parent(&mut parts, label, preds)?;
+                }
+                ParsedStep::Ancestor { label, preds, or_self } => {
+                    self.rewrite_ancestor(&mut parts, label, preds, or_self)?;
+                }
+            }
+            self.skip_ws();
+            if self.eat(b'/') {
+                if self.eat(b'/') {
+                    descendant_pending = true;
+                }
+            } else {
+                break;
+            }
+        }
+        if descendant_pending {
+            // Trailing `//` selects all descendants: `_*._`.
+            parts.push((Rpeq::descend(), true));
+            parts.push((Rpeq::any(), false));
+        }
+        if parts.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(Rpeq::concat_all(parts.into_iter().map(|(e, _)| e))))
+    }
+
+    /// `P/x/parent::b[preds]` — the selected nodes are the parents of the
+    /// `x` nodes: intersect the step reaching the parent with label `b` and
+    /// turn `x` into a qualifier.
+    fn rewrite_parent(
+        &self,
+        parts: &mut Vec<(Rpeq, bool)>,
+        label: Label,
+        preds: Vec<Rpeq>,
+    ) -> Result<(), ParseError> {
+        let Some((child, child_is_star)) = parts.pop() else {
+            return Err(self.err("`parent::` needs a preceding step"));
+        };
+        if child_is_star {
+            return Err(self.err("`parent::` directly after `//` is not supported"));
+        }
+        let rewritten = match parts.last() {
+            // `//x/parent::b` with the `//` opening the path: the parent is
+            // any node, so the intersection is just a fresh `b` step.
+            Some((e, true)) if parts.len() == 1 && *e == Rpeq::descend() => {
+                Rpeq::Step(label)
+            }
+            // `…/l/x/parent::b`: intersect l with b.
+            Some((_, false)) => {
+                let (prev, _) = parts.pop().expect("just peeked");
+                replace_core_label(prev, &label).map_err(|core| {
+                    self.err(format!(
+                        "`parent::{label}` can never match the preceding `{core}` step"
+                    ))
+                })?
+            }
+            // `/x/parent::b` — the parent is the virtual root, never `b`.
+            None => {
+                return Err(self.err(format!(
+                    "`parent::{label}` of a root-level step can never match"
+                )))
+            }
+            Some((_, true)) => {
+                return Err(self.err(
+                    "`parent::` after a mid-path `//` is not supported (rewrite the query)",
+                ))
+            }
+        };
+        let mut e = rewritten.with_qualifier(child);
+        for p in preds {
+            e = e.with_qualifier(p);
+        }
+        parts.push((e, false));
+        Ok(())
+    }
+
+    /// `//x/ancestor::b[preds]` — `b` nodes having an `x` descendant
+    /// (`or_self` additionally keeps the `x` nodes whose label agrees with
+    /// `b`). Only supported when the path before `x` is exactly the opening
+    /// `//`: for a longer prefix the ancestor is not locally expressible.
+    fn rewrite_ancestor(
+        &self,
+        parts: &mut Vec<(Rpeq, bool)>,
+        label: Label,
+        preds: Vec<Rpeq>,
+        or_self: bool,
+    ) -> Result<(), ParseError> {
+        let axis = if or_self { "ancestor-or-self" } else { "ancestor" };
+        let Some((child, child_is_star)) = parts.pop() else {
+            return Err(self.err(format!("`{axis}::` needs a preceding step")));
+        };
+        let opening_descendant = parts.len() == 1
+            && !child_is_star
+            && matches!(parts.last(), Some((e, true)) if *e == Rpeq::descend());
+        if !opening_descendant {
+            return Err(self.err(format!(
+                "`{axis}::` is only supported in the form `//step/{axis}::label`"
+            )));
+        }
+        let mut e = Rpeq::Step(label.clone())
+            .with_qualifier(Rpeq::descend().then(child.clone()));
+        if or_self {
+            if let Ok(self_step) = replace_core_label(child, &label) {
+                e = e.or(self_step);
+            }
+        }
+        for p in preds {
+            e = e.with_qualifier(p);
+        }
+        parts.push((e, false));
+        Ok(())
+    }
+
+    /// One step: node test plus predicates.
+    fn step(&mut self) -> Result<ParsedStep, ParseError> {
+        self.skip_ws();
+        // Reject unsupported axes explicitly for a good error message.
+        for axis in ["preceding-sibling::", "following-sibling::", "attribute::"] {
+            if self.rest().starts_with(axis) {
+                return Err(self.err(format!(
+                    "axis `{axis}` is outside the rpeq fragment"
+                )));
+            }
+        }
+        if self.peek() == Some(b'@') {
+            return Err(self.err("attributes are outside the rpeq fragment"));
+        }
+        // Optional explicit axes.
+        let rest = self.rest();
+        if rest.starts_with("child::") {
+            self.pos += "child::".len();
+        } else if rest.starts_with("descendant::") {
+            self.pos += "descendant::".len();
+            let label = self.node_test()?;
+            let mut e = Rpeq::descend().then(Rpeq::Step(label));
+            e = self.predicates(e)?;
+            return Ok(ParsedStep::Forward(e));
+        } else if rest.starts_with("parent::") {
+            self.pos += "parent::".len();
+            let label = self.node_test()?;
+            let preds = self.predicate_list()?;
+            return Ok(ParsedStep::Parent { label, preds });
+        } else if rest.starts_with("ancestor-or-self::") {
+            self.pos += "ancestor-or-self::".len();
+            let label = self.node_test()?;
+            let preds = self.predicate_list()?;
+            return Ok(ParsedStep::Ancestor { label, preds, or_self: true });
+        } else if rest.starts_with("following::") {
+            self.pos += "following::".len();
+            let label = self.node_test()?;
+            let mut e = Rpeq::Following(label);
+            e = self.predicates(e)?;
+            return Ok(ParsedStep::Forward(e));
+        } else if rest.starts_with("preceding::") {
+            self.pos += "preceding::".len();
+            let label = self.node_test()?;
+            let mut e = Rpeq::Preceding(label);
+            e = self.predicates(e)?;
+            return Ok(ParsedStep::Forward(e));
+        } else if rest.starts_with("ancestor::") {
+            self.pos += "ancestor::".len();
+            let label = self.node_test()?;
+            let preds = self.predicate_list()?;
+            return Ok(ParsedStep::Ancestor { label, preds, or_self: false });
+        }
+        let label = self.node_test()?;
+        let e = Rpeq::Step(label);
+        Ok(ParsedStep::Forward(self.predicates(e)?))
+    }
+
+    /// Bare predicate list (for backward steps, applied after rewriting).
+    fn predicate_list(&mut self) -> Result<Vec<Rpeq>, ParseError> {
+        let mut preds = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b'[') {
+                self.skip_ws();
+                if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    return Err(self.err("positional predicates are outside the rpeq fragment"));
+                }
+                let q = self.union_inside_predicate()?;
+                self.skip_ws();
+                if !self.eat(b']') {
+                    return Err(self.err("expected `]`"));
+                }
+                preds.push(q);
+            } else {
+                return Ok(preds);
+            }
+        }
+    }
+
+    fn predicates(&mut self, mut e: Rpeq) -> Result<Rpeq, ParseError> {
+        loop {
+            self.skip_ws();
+            if self.eat(b'[') {
+                self.skip_ws();
+                if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    return Err(self.err("positional predicates are outside the rpeq fragment"));
+                }
+                let q = self.union_inside_predicate()?;
+                self.skip_ws();
+                if !self.eat(b']') {
+                    return Err(self.err("expected `]`"));
+                }
+                e = e.with_qualifier(q);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    /// `p1 | p2 | …` inside a predicate.
+    fn union_inside_predicate(&mut self) -> Result<Rpeq, ParseError> {
+        let mut left = self
+            .path(false)?
+            .ok_or_else(|| self.err("empty path inside predicate"))?;
+        loop {
+            self.skip_ws();
+            if self.eat(b'|') {
+                let right = self
+                    .path(false)?
+                    .ok_or_else(|| self.err("empty path after `|`"))?;
+                left = left.or(right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn node_test(&mut self) -> Result<Label, ParseError> {
+        self.skip_ws();
+        if self.eat(b'*') {
+            return Ok(Label::Wildcard);
+        }
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let b = self.input[self.pos];
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80 {
+                // `.` only continues a name if not `..` or `./`
+                if b == b'.' {
+                    break;
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a node test (name or `*`)"));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?;
+        if !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            return Err(self.err(format!("invalid name `{name}`")));
+        }
+        Ok(Label::Name(name.to_string()))
+    }
+
+    fn rest(&self) -> &str {
+        std::str::from_utf8(&self.input[self.pos..]).unwrap_or("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(s: &str) -> Rpeq {
+        parse_xpath(s).unwrap_or_else(|e| panic!("xpath {s:?}: {e}"))
+    }
+
+    fn r(s: &str) -> Rpeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn absolute_paths() {
+        assert_eq!(x("/a/b"), r("a.b"));
+        assert_eq!(x("/a"), r("a"));
+    }
+
+    #[test]
+    fn descendant_steps() {
+        assert_eq!(x("//a"), r("_*.a"));
+        assert_eq!(x("/a//b"), r("a._*.b"));
+        assert_eq!(x("//a//b"), r("_*.a._*.b"));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(x("/a/*"), r("a._"));
+        assert_eq!(x("//*"), r("_*._"));
+    }
+
+    #[test]
+    fn predicates_translate_to_qualifiers() {
+        assert_eq!(x("//a[b]/c"), r("_*.a[b].c"));
+        assert_eq!(x("//country[province]/name"), r("_*.country[province].name"));
+        assert_eq!(x("//a[.//c]"), r("_*.a[_*.c]"));
+        assert_eq!(x("//a[b][c]"), r("_*.a[b][c]"));
+        assert_eq!(x("//a[b/c]"), r("_*.a[b.c]"));
+        assert_eq!(x("//a[b | c]"), r("_*.a[b|c]"));
+    }
+
+    #[test]
+    fn relative_paths() {
+        assert_eq!(x("a/b"), r("a.b"));
+        assert_eq!(x("./a"), r("a"));
+    }
+
+    #[test]
+    fn explicit_axes() {
+        // `descendant::b` is emitted as one `(_*.b)` unit — semantically
+        // identical to `a._*.b` (concatenation is associative).
+        assert_eq!(x("/child::a/descendant::b"), r("a.(_*.b)"));
+    }
+
+    #[test]
+    fn trailing_double_slash() {
+        assert_eq!(x("/a//"), r("a._*._"));
+    }
+
+    #[test]
+    fn unsupported_constructs_rejected() {
+        // `parent::`/`ancestor::` are rewritten now — tested separately.
+        assert!(parse_xpath("//a[@id]").is_err());
+        assert!(parse_xpath("//a[1]").is_err());
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("//a]").is_err());
+    }
+
+
+    #[test]
+    fn parent_axis_rewrites() {
+        assert_eq!(x("//x/parent::b"), r("_*.b[x]"));
+        assert_eq!(x("//x/parent::b/c"), r("_*.b[x].c"));
+        assert_eq!(x("/a/x/parent::a"), r("a[x]"));
+        assert_eq!(x("/a/x/parent::*"), r("a[x]"));
+        assert_eq!(x("//*/parent::b"), r("_*.b[_]"));
+        // The child's own predicates travel into the qualifier.
+        assert_eq!(x("//x[y]/parent::b"), r("_*.b[x[y]]"));
+        // Predicates on the parent step become extra qualifiers.
+        assert_eq!(x("//x/parent::b[z]"), r("_*.b[x][z]"));
+        // Intersection with a named previous step.
+        assert_eq!(x("//q/a/x/parent::a"), r("_*.q.a[x]"));
+    }
+
+    #[test]
+    fn parent_axis_errors() {
+        // Label conflict: the parent step can never match.
+        assert!(parse_xpath("/a/x/parent::b").is_err());
+        // Parent of a root-level step is the virtual root.
+        assert!(parse_xpath("/x/parent::b").is_err());
+        // Mid-path `//` before parent is not locally expressible.
+        assert!(parse_xpath("/a//x/parent::b").is_err());
+        // No preceding step at all.
+        assert!(parse_xpath("//parent::b").is_err());
+    }
+
+    #[test]
+    fn ancestor_axis_rewrites() {
+        assert_eq!(x("//x/ancestor::b"), r("_*.b[_*.x]"));
+        assert_eq!(x("//x/ancestor::b/c"), r("_*.b[_*.x].c"));
+        assert_eq!(x("//x[y]/ancestor::b"), r("_*.b[_*.x[y]]"));
+        assert_eq!(x("//x/ancestor-or-self::x"), r("_*.(x[_*.x]|x)"));
+        // or-self with incompatible labels degenerates to plain ancestor.
+        assert_eq!(x("//x/ancestor-or-self::b"), r("_*.b[_*.x]"));
+    }
+
+    #[test]
+    fn ancestor_axis_errors() {
+        assert!(parse_xpath("/a/x/ancestor::b").is_err());
+        assert!(parse_xpath("//a//x/ancestor::b").is_err());
+    }
+
+    #[test]
+    fn backward_axis_semantics_match_intuition() {
+        // Sanity via the DOM reading: on <a><x/><b><x/></b></a>,
+        // //x/parent::b should select only the <b>.
+        let q = x("//x/parent::b");
+        assert_eq!(q.to_string(), "_*.b[x]");
+    }
+
+    #[test]
+    fn doc_example() {
+        assert_eq!(x("//a[b]/c"), r("_*.a[b].c"));
+    }
+}

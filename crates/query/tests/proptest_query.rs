@@ -1,0 +1,61 @@
+//! Property-based tests: the printer and parser are mutually inverse on the
+//! whole rpeq language.
+
+use proptest::prelude::*;
+use spex_query::{Label, Rpeq};
+
+fn label_strategy() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        3 => "[a-z][a-z0-9]{0,4}".prop_map(Label::Name),
+        1 => Just(Label::Wildcard),
+    ]
+}
+
+pub fn rpeq_strategy() -> impl Strategy<Value = Rpeq> {
+    let leaf = prop_oneof![
+        4 => label_strategy().prop_map(Rpeq::Step),
+        2 => label_strategy().prop_map(Rpeq::Plus),
+        2 => label_strategy().prop_map(Rpeq::Star),
+        1 => Just(Rpeq::Empty),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Rpeq::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Rpeq::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Rpeq::Qualified(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Rpeq::Optional(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_roundtrip(q in rpeq_strategy()) {
+        let text = q.to_string();
+        let parsed: Rpeq = text.parse()
+            .unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn metrics_never_panic_and_length_positive(q in rpeq_strategy()) {
+        let m = spex_query::QueryMetrics::of(&q);
+        prop_assert!(m.length >= 1);
+        prop_assert!(m.length >= m.steps + m.closure_steps);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[a-z_.*+?()\\[\\]|% ]{0,40}") {
+        let _ = s.parse::<Rpeq>();
+    }
+
+    #[test]
+    fn xpath_never_panics(s in "[a-z/*\\[\\]@:.| ]{0,40}") {
+        let _ = spex_query::xpath::parse_xpath(&s);
+    }
+}

@@ -1,0 +1,318 @@
+//! Synthetic DMOZ (Open Directory Project): "large, flat RDF documents" —
+//! structure: 300 MB / 3,940,716 elements; content: 1 GB / 13,233,278
+//! elements; both of maximum depth 3 (Fig. 15).
+//!
+//! At these sizes the documents must not be materialized — neither by the
+//! consumer (that is SPEX's whole point) nor by the generator. [`DmozStream`]
+//! is therefore a *streaming* event iterator: events are produced on demand
+//! with constant memory, deterministic in the seed.
+//!
+//! The benchmarks default to 1/10 scale (`scale = 0.1`) and report the scale
+//! factor; set the environment variable `SPEX_BENCH_FULL=1` to run the
+//! paper's full sizes (see the spex-bench crate).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spex_xml::{Attribute, XmlEvent};
+use std::collections::VecDeque;
+
+/// Which DMOZ dump to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmozKind {
+    /// `structure.rdf`: 300 MB, 3,940,716 elements at full scale.
+    Structure,
+    /// `content.rdf`: 1 GB, 13,233,278 elements at full scale.
+    Content,
+}
+
+/// Full-scale topic counts, tuned so that element counts and serialized
+/// sizes land on the paper's figures.
+const STRUCTURE_TOPICS_FULL: usize = 720_000;
+const CONTENT_TOPICS_FULL: usize = 1_061_000;
+
+/// A DMOZ-like document at `scale` (1.0 = the paper's size), as a streaming
+/// event iterator.
+pub fn dmoz_structure(scale: f64) -> DmozStream {
+    DmozStream::new(DmozKind::Structure, scale, 0x444d4f5a)
+}
+
+/// The content dump at `scale`.
+pub fn dmoz_content(scale: f64) -> DmozStream {
+    DmozStream::new(DmozKind::Content, scale, 0x434f4e54)
+}
+
+/// Streaming generator. See the [module documentation](self).
+pub struct DmozStream {
+    kind: DmozKind,
+    rng: StdRng,
+    topics_left: usize,
+    queue: VecDeque<XmlEvent>,
+    state: State,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum State {
+    Start,
+    Body,
+    Done,
+}
+
+impl DmozStream {
+    /// Create a stream of `kind` at `scale` with an explicit seed.
+    pub fn new(kind: DmozKind, scale: f64, seed: u64) -> Self {
+        let full = match kind {
+            DmozKind::Structure => STRUCTURE_TOPICS_FULL,
+            DmozKind::Content => CONTENT_TOPICS_FULL,
+        };
+        let topics = ((full as f64) * scale).round().max(1.0) as usize;
+        DmozStream {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            topics_left: topics,
+            queue: VecDeque::new(),
+            state: State::Start,
+        }
+    }
+
+    /// Number of topics this stream will produce.
+    pub fn topics(&self) -> usize {
+        self.topics_left
+    }
+
+    fn refill(&mut self) {
+        match self.state {
+            State::Start => {
+                self.queue.push_back(XmlEvent::StartDocument);
+                self.queue.push_back(XmlEvent::StartElement {
+                    name: "RDF".into(),
+                    attributes: vec![
+                        Attribute::new("xmlns:r", "http://www.w3.org/TR/RDF/"),
+                        Attribute::new("xmlns:d", "http://purl.org/dc/elements/1.0/"),
+                    ],
+                });
+                self.state = State::Body;
+            }
+            State::Body => {
+                if self.topics_left == 0 {
+                    self.queue.push_back(XmlEvent::close("RDF"));
+                    self.queue.push_back(XmlEvent::EndDocument);
+                    self.state = State::Done;
+                    return;
+                }
+                self.topics_left -= 1;
+                let id = self.topics_left;
+                match self.kind {
+                    DmozKind::Structure => self.push_structure_topic(id),
+                    DmozKind::Content => self.push_content_entry(id),
+                }
+            }
+            State::Done => {}
+        }
+    }
+
+    fn push_structure_topic(&mut self, id: usize) {
+        let q = &mut self.queue;
+        let rng = &mut self.rng;
+        q.push_back(XmlEvent::StartElement {
+            name: "Topic".into(),
+            attributes: vec![
+                Attribute::new(
+                    "r:id",
+                    format!(
+                        "Top/World/Category_{}/Subcategory_{}/Entry{id}",
+                        TOPICS[id % TOPICS.len()],
+                        id % 997,
+                    ),
+                ),
+                Attribute::new(
+                    "lastUpdate",
+                    format!("2002-{:02}-{:02}T12:00:00", id % 12 + 1, id % 28 + 1),
+                ),
+            ],
+        });
+        text_el(q, "catid", id.to_string());
+        text_el(
+            q,
+            "Title",
+            format!(
+                "Category {} number {id}, a curated directory section about {}",
+                TOPICS[id % TOPICS.len()],
+                TOPICS[(id + 5) % TOPICS.len()],
+            ),
+        );
+        // ~30% of topics have an editor; ~55% of those announce a newsgroup.
+        if rng.gen_bool(0.30) {
+            text_el(q, "editor", format!("directory-editor-{}", rng.gen_range(0..5_000)));
+            if rng.gen_bool(0.55) {
+                text_el(q, "newsGroup", format!("news:alt.{}.{id}", TOPICS[id % TOPICS.len()]));
+            }
+        }
+        for _ in 0..rng.gen_range(1..=3) {
+            q.push_back(XmlEvent::StartElement {
+                name: "narrow".into(),
+                attributes: vec![Attribute::new(
+                    "r:resource",
+                    format!(
+                        "Top/World/Category_{}/Subcategory_{}/Entry{}",
+                        TOPICS[id % TOPICS.len()],
+                        id % 997,
+                        rng.gen_range(0..100_000),
+                    ),
+                )],
+            });
+            q.push_back(XmlEvent::close("narrow"));
+        }
+        q.push_back(XmlEvent::close("Topic"));
+    }
+
+    fn push_content_entry(&mut self, id: usize) {
+        let q = &mut self.queue;
+        let rng = &mut self.rng;
+        q.push_back(XmlEvent::StartElement {
+            name: "Topic".into(),
+            attributes: vec![Attribute::new("r:id", format!("Top/Cat{}/Sub{id}", id % 97))],
+        });
+        text_el(q, "catid", id.to_string());
+        text_el(q, "Title", format!("Category {} number {id}", TOPICS[id % TOPICS.len()]));
+        if rng.gen_bool(0.30) {
+            text_el(q, "editor", format!("editor{}", rng.gen_range(0..5_000)));
+            if rng.gen_bool(0.55) {
+                text_el(q, "newsGroup", format!("news:alt.{}.{id}", TOPICS[id % TOPICS.len()]));
+            }
+        }
+        q.push_back(XmlEvent::close("Topic"));
+        // Content interleaves ExternalPage entries with description text —
+        // this is what pushes the dump to 1 GB.
+        for _ in 0..rng.gen_range(2..=4) {
+            q.push_back(XmlEvent::StartElement {
+                name: "ExternalPage".into(),
+                attributes: vec![Attribute::new(
+                    "about",
+                    format!("http://example.org/{}/{}", TOPICS[id % TOPICS.len()], rng.gen::<u32>()),
+                )],
+            });
+            text_el(q, "Title", format!("{} site {}", TOPICS[id % TOPICS.len()], rng.gen::<u16>()));
+            text_el(
+                q,
+                "Description",
+                format!(
+                    "A comprehensive page about {} with further details, references and resources on {} and {} for visitors interested in {}. Updated regularly by volunteers.",
+                    TOPICS[id % TOPICS.len()],
+                    TOPICS[(id + 3) % TOPICS.len()],
+                    TOPICS[(id + 7) % TOPICS.len()],
+                    TOPICS[(id + 11) % TOPICS.len()],
+                ),
+            );
+            q.push_back(XmlEvent::close("ExternalPage"));
+        }
+    }
+}
+
+const TOPICS: &[&str] = &[
+    "astronomy", "chess", "cooking", "cycling", "gardening", "history", "linguistics",
+    "music", "photography", "physics", "poetry", "robotics", "sailing", "typography",
+];
+
+fn text_el(q: &mut VecDeque<XmlEvent>, name: &str, text: String) {
+    q.push_back(XmlEvent::open(name));
+    q.push_back(XmlEvent::Text(text));
+    q.push_back(XmlEvent::close(name));
+}
+
+impl Iterator for DmozStream {
+    type Item = XmlEvent;
+
+    fn next(&mut self) -> Option<XmlEvent> {
+        while self.queue.is_empty() {
+            if self.state == State::Done {
+                return None;
+            }
+            self.refill();
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_xml::StreamStats;
+
+    /// Characteristics at 1/100 scale extrapolate to the paper's numbers.
+    #[test]
+    fn structure_characteristics_extrapolate() {
+        let mut stats = StreamStats::new();
+        let mut bytes = 0usize;
+        for ev in dmoz_structure(0.01) {
+            bytes += ev.to_string().len();
+            stats.observe(&ev);
+        }
+        assert_eq!(stats.max_depth, 3);
+        let full_elements = stats.elements * 100;
+        assert!(
+            (3_500_000..=4_400_000).contains(&full_elements),
+            "extrapolated elements = {full_elements}"
+        );
+        let full_bytes = bytes * 100;
+        assert!(
+            (260_000_000..=340_000_000).contains(&full_bytes),
+            "extrapolated size = {full_bytes}"
+        );
+    }
+
+    #[test]
+    fn content_characteristics_extrapolate() {
+        let mut stats = StreamStats::new();
+        let mut bytes = 0usize;
+        for ev in dmoz_content(0.005) {
+            bytes += ev.to_string().len();
+            stats.observe(&ev);
+        }
+        assert_eq!(stats.max_depth, 3);
+        let full_elements = stats.elements * 200;
+        assert!(
+            (11_800_000..=14_700_000).contains(&full_elements),
+            "extrapolated elements = {full_elements}"
+        );
+        let full_bytes = bytes * 200;
+        assert!(
+            (880_000_000..=1_180_000_000).contains(&full_bytes),
+            "extrapolated size = {full_bytes}"
+        );
+    }
+
+    #[test]
+    fn stream_is_well_formed() {
+        let events: Vec<XmlEvent> = dmoz_structure(0.0005).collect();
+        let doc = spex_xml::Document::from_events(events).unwrap();
+        assert!(doc.element_count() > 1000);
+    }
+
+    #[test]
+    fn constant_memory_generation() {
+        // The iterator never holds more than one topic's worth of events.
+        let mut s = dmoz_structure(0.001);
+        let mut max_queue = 0;
+        while s.next().is_some() {
+            max_queue = max_queue.max(s.queue.len());
+        }
+        assert!(max_queue < 64, "queue grew to {max_queue}");
+    }
+
+    #[test]
+    fn editor_selectivity_filters() {
+        let events: Vec<XmlEvent> = dmoz_structure(0.001).collect();
+        let doc = spex_xml::Document::from_events(events).unwrap();
+        let eval = spex_baseline::DomEvaluator::new(&doc);
+        let with = eval.evaluate(&"_*.Topic[editor]".parse().unwrap()).len();
+        let total = eval.evaluate(&"_*.Topic".parse().unwrap()).len();
+        assert!(with > 0 && with < total / 2, "{with} of {total}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<XmlEvent> = dmoz_structure(0.0002).collect();
+        let b: Vec<XmlEvent> = dmoz_structure(0.0002).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,54 @@
+//! # spex-workloads — the datasets and query classes of the evaluation
+//!
+//! The paper's experiments (§VI) run over three databases that are not
+//! shipped with this repository (MONDIAL, a WordNet RDF excerpt, and the
+//! DMOZ Open Directory dumps). Per the substitution policy of DESIGN.md §5,
+//! this crate provides deterministic synthetic generators tuned to the
+//! *published characteristics* of each dataset — size, element count,
+//! maximum depth, and label vocabulary — which are the only parameters the
+//! compared algorithms are sensitive to:
+//!
+//! | dataset | size | elements | max depth | shape |
+//! |---|---|---|---|---|
+//! | [`mondial()`] | 1.2 MB | 24,184 | 5 | small, highly structured |
+//! | [`wordnet()`] | 9.5 MB | 207,899 | 3 | medium, flat, repetitive RDF |
+//! | [`dmoz`] structure | 300 MB | 3,940,716 | 3 | large, flat RDF |
+//! | [`dmoz`] content | 1 GB | 13,233,278 | 3 | very large, flat RDF |
+//!
+//! [`queries`] lists the four query classes of §VI for each dataset,
+//! [`random`] generates random documents/queries for differential testing,
+//! and [`infinite`] produces unbounded bounded-depth streams (the paper's
+//! "application-generated infinite streams").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dmoz;
+pub mod infinite;
+pub mod mondial;
+pub mod queries;
+pub mod random;
+pub mod wordnet;
+
+pub use dmoz::{dmoz_content, dmoz_structure, DmozStream};
+pub use infinite::QuoteStream;
+pub use mondial::mondial;
+pub use queries::{queries_for, Dataset, QueryClass};
+pub use wordnet::wordnet;
+
+use spex_xml::XmlEvent;
+
+/// Serialize a full event stream to XML text (convenience for feeding
+/// baselines that want bytes, and for measuring dataset sizes).
+pub fn events_to_xml(events: &[XmlEvent]) -> String {
+    spex_xml::writer::events_to_string(
+        events
+            .iter()
+            .filter(|e| !matches!(e, XmlEvent::StartDocument | XmlEvent::EndDocument)),
+    )
+}
+
+/// The serialized size, in bytes, of an event stream.
+pub fn xml_size(events: &[XmlEvent]) -> usize {
+    events_to_xml(events).len()
+}

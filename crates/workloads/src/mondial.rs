@@ -1,0 +1,185 @@
+//! Synthetic MONDIAL: "a small and highly structured XML document" —
+//! 1.2 MB, 24,184 elements, maximum depth 5 (Fig. 14, left).
+//!
+//! The real MONDIAL is a geographic database (countries, provinces, cities,
+//! religions, …); the generator reproduces its size, depth, element count
+//! and the label vocabulary used by the paper's queries
+//! (`country`, `province`, `city`, `name`, `religions`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spex_xml::{Attribute, XmlEvent};
+
+const COUNTRY_NAMES: &[&str] = &[
+    "Aldoria", "Belvania", "Corinthia", "Drovia", "Elandia", "Frestonia", "Galdor",
+    "Hestia", "Ilvania", "Jorvik", "Kaldonia", "Lormark", "Meridia", "Norvania",
+];
+
+const RELIGIONS: &[&str] = &["Animist", "Buddhist", "Catholic", "Orthodox", "Protestant", "Sunni"];
+
+/// Generation parameters (defaults reproduce the paper's figures).
+#[derive(Debug, Clone)]
+pub struct MondialConfig {
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Number of `country` elements.
+    pub countries: usize,
+}
+
+impl Default for MondialConfig {
+    fn default() -> Self {
+        // ~54.1 elements per country × 447 countries ≈ 24,184.
+        MondialConfig { seed: 0x4d4f4e44, countries: 447 }
+    }
+}
+
+/// Generate the default MONDIAL-like document.
+pub fn mondial() -> Vec<XmlEvent> {
+    mondial_with(&MondialConfig::default())
+}
+
+/// Generate with explicit parameters.
+pub fn mondial_with(cfg: &MondialConfig) -> Vec<XmlEvent> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.countries * 160);
+    out.push(XmlEvent::StartDocument);
+    out.push(XmlEvent::open("mondial"));
+    for i in 0..cfg.countries {
+        country(&mut rng, i, &mut out);
+    }
+    out.push(XmlEvent::close("mondial"));
+    out.push(XmlEvent::EndDocument);
+    out
+}
+
+fn name_of(rng: &mut StdRng, i: usize) -> String {
+    format!("{}{}", COUNTRY_NAMES[rng.gen_range(0..COUNTRY_NAMES.len())], i)
+}
+
+fn country(rng: &mut StdRng, i: usize, out: &mut Vec<XmlEvent>) {
+    out.push(XmlEvent::StartElement {
+        name: "country".into(),
+        attributes: vec![
+            Attribute::new("car_code", format!("C{i:03}")),
+            Attribute::new("area", rng.gen_range(1000..2_000_000).to_string()),
+            Attribute::new("capital", format!("cty-{i}-0-0")),
+            Attribute::new("memberships", format!("org-un org-wto org-icao-{}", i % 7)),
+        ],
+    });
+    text_el(out, "name", name_of(rng, i));
+    text_el(out, "population", rng.gen_range(10_000..90_000_000).to_string());
+    text_el(
+        out,
+        "government",
+        format!("{} republic with {} chambers", name_of(rng, i), rng.gen_range(1..=2)),
+    );
+    text_el(out, "indep_date", format!("19{:02}-{:02}-{:02}", rng.gen_range(10..99), rng.gen_range(1..13), rng.gen_range(1..29)));
+    // ~15% of countries have no province (exercises "future conditions"
+    // negatively for the class-2/4 qualifier queries).
+    let provinces = if rng.gen_bool(0.15) { 0 } else { rng.gen_range(4..=10) };
+    for p in 0..provinces {
+        province(rng, i, p, out);
+    }
+    for _ in 0..rng.gen_range(1..=3) {
+        out.push(XmlEvent::StartElement {
+            name: "religions".into(),
+            attributes: vec![Attribute::new(
+                "percentage",
+                format!("{:.1}", rng.gen_range(0.5..95.0)),
+            )],
+        });
+        out.push(XmlEvent::text(RELIGIONS[rng.gen_range(0..RELIGIONS.len())]));
+        out.push(XmlEvent::close("religions"));
+    }
+    out.push(XmlEvent::close("country"));
+}
+
+fn province(rng: &mut StdRng, country: usize, p: usize, out: &mut Vec<XmlEvent>) {
+    out.push(XmlEvent::StartElement {
+        name: "province".into(),
+        attributes: vec![
+            Attribute::new("id", format!("prov-{country}-{p}")),
+            Attribute::new("country", format!("C{country:03}")),
+            Attribute::new("capital", format!("cty-{country}-{p}-0")),
+        ],
+    });
+    text_el(out, "name", name_of(rng, p));
+    for c in 0..rng.gen_range(1..=3) {
+        out.push(XmlEvent::StartElement {
+            name: "city".into(),
+            attributes: vec![
+                Attribute::new("id", format!("cty-{country}-{p}-{c}")),
+                Attribute::new("province", format!("prov-{country}-{p}")),
+                Attribute::new("country", format!("C{country:03}")),
+            ],
+        });
+        text_el(out, "name", format!("Santa {} de {}", name_of(rng, p), name_of(rng, c)));
+        text_el(out, "population", rng.gen_range(500..9_000_000).to_string());
+        out.push(XmlEvent::close("city"));
+    }
+    out.push(XmlEvent::close("province"));
+}
+
+fn text_el(out: &mut Vec<XmlEvent>, name: &str, text: String) {
+    out.push(XmlEvent::open(name));
+    out.push(XmlEvent::text(text));
+    out.push(XmlEvent::close(name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_xml::StreamStats;
+
+    #[test]
+    fn matches_paper_characteristics() {
+        let events = mondial();
+        let stats = StreamStats::of_events(&events);
+        // Paper: 24,184 elements, depth 5, 1.2 MB. Allow ±12%.
+        assert!(
+            (21_000..=27_500).contains(&stats.elements),
+            "elements = {}",
+            stats.elements
+        );
+        assert_eq!(stats.max_depth, 5);
+        let size = crate::xml_size(&events);
+        assert!(
+            (1_050_000..=1_400_000).contains(&size),
+            "size = {size} bytes"
+        );
+    }
+
+    #[test]
+    fn vocabulary_covers_paper_queries() {
+        let stats = StreamStats::of_events(&mondial());
+        for label in ["country", "province", "city", "name", "religions"] {
+            assert!(stats.labels.contains_key(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(mondial(), mondial());
+        let other = mondial_with(&MondialConfig { seed: 7, countries: 10 });
+        assert_ne!(mondial(), other);
+    }
+
+    #[test]
+    fn well_formed() {
+        let events = mondial_with(&MondialConfig { seed: 1, countries: 20 });
+        let doc = spex_xml::Document::from_events(events).unwrap();
+        assert!(doc.element_count() > 100);
+    }
+
+    #[test]
+    fn some_countries_lack_provinces() {
+        // Needed so the class-2/4 qualifier queries actually filter.
+        let events = mondial();
+        let doc = spex_xml::Document::from_events(events).unwrap();
+        let eval = spex_baseline::DomEvaluator::new(&doc);
+        let with = eval.evaluate(&"_*.country[province]".parse().unwrap()).len();
+        let total = eval.evaluate(&"_*.country".parse().unwrap()).len();
+        assert!(with < total, "{with} vs {total}");
+        assert!(with > 0);
+    }
+}

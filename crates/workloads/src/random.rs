@@ -1,0 +1,176 @@
+//! Random documents and random queries for differential testing.
+//!
+//! The end-to-end equivalence tests (experiment apparatus, not a paper
+//! figure) generate random documents and random rpeq queries here and check
+//! that the SPEX engine, the DOM set-semantics oracle, and the tree-NFA
+//! evaluator select exactly the same nodes.
+//!
+//! The generators use a deliberately tiny label alphabet so that random
+//! queries actually hit random documents often.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spex_query::{Label, Rpeq};
+use spex_xml::XmlEvent;
+
+/// Document shape parameters.
+#[derive(Debug, Clone)]
+pub struct DocConfig {
+    /// Maximum tree depth (elements).
+    pub max_depth: usize,
+    /// Maximum children per element.
+    pub max_fanout: usize,
+    /// Label alphabet.
+    pub labels: Vec<String>,
+    /// Probability that an element gets a text child.
+    pub text_probability: f64,
+}
+
+impl Default for DocConfig {
+    fn default() -> Self {
+        DocConfig {
+            max_depth: 5,
+            max_fanout: 4,
+            labels: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            text_probability: 0.2,
+        }
+    }
+}
+
+/// Generate a random well-formed document event stream.
+pub fn random_document(rng: &mut StdRng, cfg: &DocConfig) -> Vec<XmlEvent> {
+    let mut out = vec![XmlEvent::StartDocument];
+    let root = cfg.labels[rng.gen_range(0..cfg.labels.len())].clone();
+    out.push(XmlEvent::open(root.clone()));
+    element_children(rng, cfg, 1, &mut out);
+    out.push(XmlEvent::close(root));
+    out.push(XmlEvent::EndDocument);
+    out
+}
+
+fn element_children(rng: &mut StdRng, cfg: &DocConfig, depth: usize, out: &mut Vec<XmlEvent>) {
+    if depth >= cfg.max_depth {
+        return;
+    }
+    let n = rng.gen_range(0..=cfg.max_fanout);
+    for _ in 0..n {
+        if rng.gen_bool(cfg.text_probability) {
+            out.push(XmlEvent::text(format!("t{}", rng.gen_range(0..100))));
+        }
+        let label = cfg.labels[rng.gen_range(0..cfg.labels.len())].clone();
+        out.push(XmlEvent::open(label.clone()));
+        element_children(rng, cfg, depth + 1, out);
+        out.push(XmlEvent::close(label));
+    }
+}
+
+/// Query shape parameters.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Maximum AST depth.
+    pub max_depth: usize,
+    /// Label alphabet (should overlap the document alphabet).
+    pub labels: Vec<String>,
+    /// Allow qualifiers.
+    pub qualifiers: bool,
+    /// Probability of picking the wildcard for a label.
+    pub wildcard_probability: f64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            max_depth: 4,
+            labels: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            qualifiers: true,
+            wildcard_probability: 0.25,
+        }
+    }
+}
+
+/// Generate a random rpeq query.
+pub fn random_query(rng: &mut StdRng, cfg: &QueryConfig) -> Rpeq {
+    gen_query(rng, cfg, cfg.max_depth)
+}
+
+fn gen_label(rng: &mut StdRng, cfg: &QueryConfig) -> Label {
+    if rng.gen_bool(cfg.wildcard_probability) {
+        Label::Wildcard
+    } else {
+        Label::Name(cfg.labels[rng.gen_range(0..cfg.labels.len())].clone())
+    }
+}
+
+fn gen_query(rng: &mut StdRng, cfg: &QueryConfig, depth: usize) -> Rpeq {
+    let leaf = depth == 0;
+    let choice = if leaf { rng.gen_range(0..4) } else { rng.gen_range(0..10) };
+    match choice {
+        0 => Rpeq::Step(gen_label(rng, cfg)),
+        1 => Rpeq::Plus(gen_label(rng, cfg)),
+        2 => Rpeq::Star(gen_label(rng, cfg)),
+        3 => Rpeq::Step(gen_label(rng, cfg)), // bias towards plain steps
+        4..=6 => Rpeq::Concat(
+            Box::new(gen_query(rng, cfg, depth - 1)),
+            Box::new(gen_query(rng, cfg, depth - 1)),
+        ),
+        7 => Rpeq::Union(
+            Box::new(gen_query(rng, cfg, depth - 1)),
+            Box::new(gen_query(rng, cfg, depth - 1)),
+        ),
+        8 => Rpeq::Optional(Box::new(gen_query(rng, cfg, depth - 1))),
+        _ if cfg.qualifiers => Rpeq::Qualified(
+            Box::new(gen_query(rng, cfg, depth - 1)),
+            Box::new(gen_query(rng, cfg, depth - 1)),
+        ),
+        _ => Rpeq::Concat(
+            Box::new(gen_query(rng, cfg, depth - 1)),
+            Box::new(gen_query(rng, cfg, depth - 1)),
+        ),
+    }
+}
+
+/// A seeded RNG for reproducible test batches.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_well_formed() {
+        let mut r = rng(1);
+        for _ in 0..50 {
+            let events = random_document(&mut r, &DocConfig::default());
+            spex_xml::Document::from_events(events).expect("well-formed");
+        }
+    }
+
+    #[test]
+    fn queries_parse_back() {
+        let mut r = rng(2);
+        for _ in 0..200 {
+            let q = random_query(&mut r, &QueryConfig::default());
+            let text = q.to_string();
+            let reparsed: Rpeq = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(reparsed, q);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = random_document(&mut rng(3), &DocConfig::default());
+        let b = random_document(&mut rng(3), &DocConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qualifier_free_mode() {
+        let cfg = QueryConfig { qualifiers: false, ..QueryConfig::default() };
+        let mut r = rng(4);
+        for _ in 0..100 {
+            assert!(!random_query(&mut r, &cfg).has_qualifiers());
+        }
+    }
+}

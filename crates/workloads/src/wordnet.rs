@@ -1,0 +1,148 @@
+//! Synthetic WordNet: "a medium sized, flat, and highly repetitive RDF
+//! representation" — 9.5 MB, 207,899 elements, maximum depth 3 (Fig. 14,
+//! right).
+//!
+//! The real excerpt is the lexical WordNet database in RDF; the generator
+//! reproduces its size, depth, element count and the label vocabulary the
+//! paper queries (`Noun`, `wordForm`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spex_xml::{Attribute, XmlEvent};
+
+const STEMS: &[&str] = &[
+    "light", "water", "stone", "cloud", "river", "mount", "field", "storm", "shadow",
+    "ember", "frost", "grove", "haven", "spark",
+];
+
+const SUFFIXES: &[&str] = &["ness", "ing", "er", "ship", "hood", "let", "age", "dom"];
+
+/// Generation parameters (defaults reproduce the paper's figures).
+#[derive(Debug, Clone)]
+pub struct WordnetConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of `Noun` entries.
+    pub nouns: usize,
+}
+
+impl Default for WordnetConfig {
+    fn default() -> Self {
+        // nouns × (1 + ~3.25 children) + 1 root ≈ 207,899.
+        WordnetConfig { seed: 0x574f5244, nouns: 48_900 }
+    }
+}
+
+/// Generate the default WordNet-like document.
+pub fn wordnet() -> Vec<XmlEvent> {
+    wordnet_with(&WordnetConfig::default())
+}
+
+/// Generate with explicit parameters.
+pub fn wordnet_with(cfg: &WordnetConfig) -> Vec<XmlEvent> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.nouns * 10);
+    out.push(XmlEvent::StartDocument);
+    out.push(XmlEvent::StartElement {
+        name: "rdf:RDF".into(),
+        attributes: vec![Attribute::new("xmlns:rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")],
+    });
+    for i in 0..cfg.nouns {
+        noun(&mut rng, i, &mut out);
+    }
+    out.push(XmlEvent::close("rdf:RDF"));
+    out.push(XmlEvent::EndDocument);
+    out
+}
+
+fn word(rng: &mut StdRng) -> String {
+    format!(
+        "{}{}",
+        STEMS[rng.gen_range(0..STEMS.len())],
+        SUFFIXES[rng.gen_range(0..SUFFIXES.len())]
+    )
+}
+
+fn noun(rng: &mut StdRng, i: usize, out: &mut Vec<XmlEvent>) {
+    out.push(XmlEvent::StartElement {
+        name: "Noun".into(),
+        attributes: vec![Attribute::new(
+            "rdf:about",
+            format!("http://wordnet.org/concept#{i:06}"),
+        )],
+    });
+    // ~8% of nouns have no wordForm — the class-2 qualifier query
+    // `_*.Noun[wordForm]` must actually filter.
+    let word_forms = if rng.gen_bool(0.08) { 0 } else { rng.gen_range(1..=3) };
+    for _ in 0..word_forms {
+        text_el(out, "wordForm", word(rng));
+    }
+    text_el(out, "glossaryEntry", format!("{} {} {}", word(rng), word(rng), word(rng)));
+    if rng.gen_bool(0.4) {
+        out.push(XmlEvent::StartElement {
+            name: "hyponymOf".into(),
+            attributes: vec![Attribute::new(
+                "rdf:resource",
+                format!("http://wordnet.org/concept#{:06}", rng.gen_range(0..i + 1)),
+            )],
+        });
+        out.push(XmlEvent::close("hyponymOf"));
+    }
+    out.push(XmlEvent::close("Noun"));
+}
+
+fn text_el(out: &mut Vec<XmlEvent>, name: &str, text: String) {
+    out.push(XmlEvent::open(name));
+    out.push(XmlEvent::text(text));
+    out.push(XmlEvent::close(name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spex_xml::StreamStats;
+
+    #[test]
+    fn matches_paper_characteristics() {
+        let events = wordnet();
+        let stats = StreamStats::of_events(&events);
+        // Paper: 207,899 elements, depth 3, 9.5 MB. Allow ±12%.
+        assert!(
+            (183_000..=233_000).contains(&stats.elements),
+            "elements = {}",
+            stats.elements
+        );
+        assert_eq!(stats.max_depth, 3);
+        let size = crate::xml_size(&events);
+        assert!(
+            (8_400_000..=10_700_000).contains(&size),
+            "size = {size} bytes"
+        );
+    }
+
+    #[test]
+    fn vocabulary_covers_paper_queries() {
+        let stats =
+            StreamStats::of_events(&wordnet_with(&WordnetConfig { seed: 1, nouns: 500 }));
+        assert!(stats.labels.contains_key("Noun"));
+        assert!(stats.labels.contains_key("wordForm"));
+    }
+
+    #[test]
+    fn some_nouns_lack_word_forms() {
+        let events = wordnet_with(&WordnetConfig { seed: 2, nouns: 2_000 });
+        let doc = spex_xml::Document::from_events(events).unwrap();
+        let eval = spex_baseline::DomEvaluator::new(&doc);
+        let with = eval.evaluate(&"_*.Noun[wordForm]".parse().unwrap()).len();
+        let total = eval.evaluate(&"_*.Noun".parse().unwrap()).len();
+        assert!(with < total);
+        assert!(with > total / 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = wordnet_with(&WordnetConfig { seed: 3, nouns: 100 });
+        let b = wordnet_with(&WordnetConfig { seed: 3, nouns: 100 });
+        assert_eq!(a, b);
+    }
+}

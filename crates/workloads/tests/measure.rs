@@ -1,0 +1,52 @@
+//! Prints (and checks) the dataset characteristics side by side with the
+//! paper's published figures. Run with `-- --nocapture` to see the table:
+//!
+//! ```text
+//! MONDIAL elems=24173 depth=5 size=1134333     (paper: 24,184 / 5 / 1.2 MB)
+//! WORDNET elems=207067 depth=3 size=9752344    (paper: 207,899 / 3 / 9.5 MB)
+//! DMOZ-S x100: elems=3935400 size=290062000    (paper: 3,940,716 / 300 MB)
+//! DMOZ-C x200: elems=13230200 size=1119829200  (paper: 13,233,278 / 1 GB)
+//! ```
+
+use spex_xml::StreamStats;
+
+#[test]
+fn measure_all() {
+    let m = spex_workloads::mondial();
+    let s = StreamStats::of_events(&m);
+    println!(
+        "MONDIAL elems={} depth={} size={}",
+        s.elements,
+        s.max_depth,
+        spex_workloads::events_to_xml(&m).len()
+    );
+    assert!((s.elements as i64 - 24_184).abs() < 3_000);
+
+    let w = spex_workloads::wordnet();
+    let s = StreamStats::of_events(&w);
+    println!(
+        "WORDNET elems={} depth={} size={}",
+        s.elements,
+        s.max_depth,
+        spex_workloads::events_to_xml(&w).len()
+    );
+    assert!((s.elements as i64 - 207_899).abs() < 25_000);
+
+    let mut s = StreamStats::new();
+    let mut b = 0usize;
+    for ev in spex_workloads::dmoz_structure(0.01) {
+        b += ev.to_string().len();
+        s.observe(&ev);
+    }
+    println!("DMOZ-S x100: elems={} size={}", s.elements * 100, b * 100);
+    assert!((s.elements as i64 * 100 - 3_940_716).abs() < 450_000);
+
+    let mut s = StreamStats::new();
+    let mut b = 0usize;
+    for ev in spex_workloads::dmoz_content(0.005) {
+        b += ev.to_string().len();
+        s.observe(&ev);
+    }
+    println!("DMOZ-C x200: elems={} size={}", s.elements * 200, b * 200);
+    assert!((s.elements as i64 * 200 - 13_233_278).abs() < 1_500_000);
+}

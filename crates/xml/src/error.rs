@@ -1,0 +1,166 @@
+//! Error and position types for the streaming parser.
+
+use std::fmt;
+
+/// A position in the input stream, tracked by the [`crate::Reader`] so parse
+/// errors and events can be attributed to a byte offset / line / column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// Byte offset from the start of the input (0-based).
+    pub offset: u64,
+    /// Line number (1-based). Lines are separated by `\n`.
+    pub line: u32,
+    /// Column number in characters on the current line (1-based).
+    pub column: u32,
+}
+
+impl Position {
+    /// The position of the very first byte.
+    pub fn start() -> Self {
+        Position { offset: 0, line: 1, column: 1 }
+    }
+
+    /// Advance the position over one byte of input.
+    pub fn advance(&mut self, byte: u8) {
+        self.offset += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} (byte {})", self.line, self.column, self.offset)
+    }
+}
+
+/// Errors produced while reading an XML stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The underlying reader failed. The payload is the I/O error rendered to
+    /// a string (so the error type stays `Clone` + `Eq`, which the transducer
+    /// network relies on for deterministic tests).
+    Io(String),
+    /// A construct was syntactically malformed.
+    Syntax {
+        /// Human-readable description of the problem.
+        message: String,
+        /// Where the problem was detected.
+        position: Position,
+    },
+    /// A close tag did not match the innermost open tag.
+    MismatchedTag {
+        /// The name that was expected (the innermost open element).
+        expected: String,
+        /// The name that was found in the close tag.
+        found: String,
+        /// Where the close tag started.
+        position: Position,
+    },
+    /// The input ended while elements were still open.
+    UnexpectedEof {
+        /// The innermost element still open, if any.
+        open_element: Option<String>,
+        /// Where the input ended.
+        position: Position,
+    },
+    /// Content was found after the document (root) element closed.
+    TrailingContent {
+        /// Where the trailing content started.
+        position: Position,
+    },
+    /// The document contained no root element at all.
+    EmptyDocument,
+    /// An entity reference could not be decoded.
+    BadEntity {
+        /// The raw entity text, e.g. `&unknown;`.
+        entity: String,
+        /// Where the entity started.
+        position: Position,
+    },
+}
+
+impl XmlError {
+    pub(crate) fn syntax(message: impl Into<String>, position: Position) -> Self {
+        XmlError::Syntax { message: message.into(), position }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+            XmlError::Syntax { message, position } => {
+                write!(f, "XML syntax error at {position}: {message}")
+            }
+            XmlError::MismatchedTag { expected, found, position } => write!(
+                f,
+                "mismatched close tag at {position}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnexpectedEof { open_element, position } => match open_element {
+                Some(name) => {
+                    write!(f, "unexpected end of input at {position}: <{name}> is still open")
+                }
+                None => write!(f, "unexpected end of input at {position}"),
+            },
+            XmlError::TrailingContent { position } => {
+                write!(f, "content after the root element at {position}")
+            }
+            XmlError::EmptyDocument => write!(f, "document has no root element"),
+            XmlError::BadEntity { entity, position } => {
+                write!(f, "unknown or malformed entity `{entity}` at {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_advances_over_newlines() {
+        let mut p = Position::start();
+        for b in b"ab\ncd" {
+            p.advance(*b);
+        }
+        assert_eq!(p.offset, 5);
+        assert_eq!(p.line, 2);
+        assert_eq!(p.column, 3);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let p = Position { offset: 10, line: 2, column: 3 };
+        assert_eq!(p.to_string(), "2:3 (byte 10)");
+        let e = XmlError::MismatchedTag {
+            expected: "a".into(),
+            found: "b".into(),
+            position: p,
+        };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::other("boom");
+        let e: XmlError = io.into();
+        assert!(matches!(e, XmlError::Io(ref s) if s.contains("boom")));
+    }
+}

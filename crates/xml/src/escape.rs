@@ -1,0 +1,131 @@
+//! Escaping of character data and decoding of entity references.
+//!
+//! The five predefined XML entities (`&lt; &gt; &amp; &apos; &quot;`) and
+//! numeric character references (`&#10;`, `&#x1F600;`) are supported.
+
+use std::borrow::Cow;
+
+/// Escape text content: `&`, `<` and `>` are replaced by entities.
+///
+/// Returns a borrowed string when no escaping is necessary, avoiding an
+/// allocation on the (dominant) happy path.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    escape_with(text, false)
+}
+
+/// Escape an attribute value for use inside double quotes: additionally
+/// escapes `"`.
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    escape_with(text, true)
+}
+
+fn escape_with(text: &str, attr: bool) -> Cow<'_, str> {
+    let needs = |c: char| matches!(c, '&' | '<' | '>') || (attr && c == '"');
+    if !text.chars().any(needs) {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Decode entity references in raw character data.
+///
+/// Returns `None` if an entity is unknown or malformed; the caller attaches
+/// position information. An unterminated `&...` sequence is rejected the same
+/// way, as required for well-formed XML.
+pub fn unescape(raw: &str) -> Option<Cow<'_, str>> {
+    if !raw.contains('&') {
+        return Some(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        let semi = tail.find(';')?;
+        let entity = &tail[1..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let code = if let Some(hex) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = entity.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
+                out.push(char::from_u32(code)?);
+            }
+        }
+        rest = &tail[semi + 1..];
+    }
+    out.push_str(rest);
+    Some(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_escapes_markup() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attr_escapes_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+        // Text escaping leaves double quotes alone.
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        assert_eq!(unescape("&lt;a&gt; &amp; &apos;x&apos; &quot;y&quot;").unwrap(), "<a> & 'x' \"y\"");
+    }
+
+    #[test]
+    fn unescape_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("&#x1F600;").unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn unescape_rejects_bad_entities() {
+        assert!(unescape("&nope;").is_none());
+        assert!(unescape("&#xZZ;").is_none());
+        assert!(unescape("&#
+;").is_none());
+        assert!(unescape("& unterminated").is_none());
+        // Surrogate code point is not a char.
+        assert!(unescape("&#xD800;").is_none());
+    }
+
+    #[test]
+    fn roundtrip_escape_unescape() {
+        let samples = ["", "plain", "a<b>c&d\"e'f", "&&&&", "<<<>>>"];
+        for s in samples {
+            assert_eq!(unescape(&escape_attr(s)).unwrap(), s, "attr roundtrip of {s:?}");
+            assert_eq!(unescape(&escape_text(s)).unwrap(), s, "text roundtrip of {s:?}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! SAX-like document messages.
+//!
+//! [`XmlEvent`] corresponds to the *document messages* of the SPEX paper
+//! (Definition 2): `<a>` / `</a>` messages plus the start-document message
+//! `<$>` and the end-document message `</$>`. Text, comments and processing
+//! instructions — omitted from the paper "for reasons of conciseness" — are
+//! carried as additional events; the transducer network forwards them
+//! untouched and they only matter when result fragments are serialized.
+
+use std::fmt;
+
+/// An attribute on a start-element event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attribute {
+    /// Attribute name (prefix included verbatim; namespaces are not resolved).
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Create an attribute.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute { name: name.into(), value: value.into() }
+    }
+}
+
+/// A document message in an XML stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum XmlEvent {
+    /// The start-document message `<$>`.
+    StartDocument,
+    /// The end-document message `</$>`.
+    EndDocument,
+    /// `<name attr="…">` — start of an element.
+    StartElement {
+        /// Element name (tag label).
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` — end of an element.
+    EndElement {
+        /// Element name, matching the corresponding start event.
+        name: String,
+    },
+    /// Character data between tags, entity references decoded. Consecutive
+    /// raw text and CDATA sections are merged into a single event.
+    Text(String),
+    /// `<!-- … -->`.
+    Comment(String),
+    /// `<?target data?>` (the XML declaration itself is *not* reported).
+    ProcessingInstruction {
+        /// PI target (e.g. `xml-stylesheet`).
+        target: String,
+        /// Raw data after the target, possibly empty.
+        data: String,
+    },
+}
+
+impl XmlEvent {
+    /// Convenience constructor for a start element without attributes.
+    pub fn open(name: impl Into<String>) -> Self {
+        XmlEvent::StartElement { name: name.into(), attributes: Vec::new() }
+    }
+
+    /// Convenience constructor for an end element.
+    pub fn close(name: impl Into<String>) -> Self {
+        XmlEvent::EndElement { name: name.into() }
+    }
+
+    /// Convenience constructor for a text event.
+    pub fn text(content: impl Into<String>) -> Self {
+        XmlEvent::Text(content.into())
+    }
+
+    /// The element name if this is a start or end element event.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            XmlEvent::StartElement { name, .. } | XmlEvent::EndElement { name } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Does this event increase the tree depth (open an element)?
+    ///
+    /// `StartDocument` counts as opening: the paper treats `<$>` as a document
+    /// message like any other, and the transducer depth stacks track it.
+    pub fn opens(&self) -> bool {
+        matches!(self, XmlEvent::StartElement { .. } | XmlEvent::StartDocument)
+    }
+
+    /// Does this event decrease the tree depth (close an element)?
+    pub fn closes(&self) -> bool {
+        matches!(self, XmlEvent::EndElement { .. } | XmlEvent::EndDocument)
+    }
+}
+
+impl fmt::Display for XmlEvent {
+    /// The compact stream rendering used in the paper's figures:
+    /// `<$> <a> </a> </$>`. Attributes and text are rendered inline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlEvent::StartDocument => write!(f, "<$>"),
+            XmlEvent::EndDocument => write!(f, "</$>"),
+            XmlEvent::StartElement { name, attributes } => {
+                write!(f, "<{name}")?;
+                for a in attributes {
+                    write!(f, " {}=\"{}\"", a.name, crate::escape::escape_attr(&a.value))?;
+                }
+                write!(f, ">")
+            }
+            XmlEvent::EndElement { name } => write!(f, "</{name}>"),
+            XmlEvent::Text(t) => write!(f, "{}", crate::escape::escape_text(t)),
+            XmlEvent::Comment(c) => write!(f, "<!--{c}-->"),
+            XmlEvent::ProcessingInstruction { target, data } => {
+                if data.is_empty() {
+                    write!(f, "<?{target}?>")
+                } else {
+                    write!(f, "<?{target} {data}?>")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(XmlEvent::StartDocument.to_string(), "<$>");
+        assert_eq!(XmlEvent::EndDocument.to_string(), "</$>");
+        assert_eq!(XmlEvent::open("a").to_string(), "<a>");
+        assert_eq!(XmlEvent::close("a").to_string(), "</a>");
+    }
+
+    #[test]
+    fn display_escapes_attributes_and_text() {
+        let e = XmlEvent::StartElement {
+            name: "a".into(),
+            attributes: vec![Attribute::new("x", "1\"2")],
+        };
+        assert_eq!(e.to_string(), r#"<a x="1&quot;2">"#);
+        assert_eq!(XmlEvent::text("a<b").to_string(), "a&lt;b");
+    }
+
+    #[test]
+    fn opens_and_closes_classification() {
+        assert!(XmlEvent::StartDocument.opens());
+        assert!(XmlEvent::open("x").opens());
+        assert!(XmlEvent::EndDocument.closes());
+        assert!(XmlEvent::close("x").closes());
+        assert!(!XmlEvent::text("t").opens());
+        assert!(!XmlEvent::text("t").closes());
+        assert!(!XmlEvent::Comment("c".into()).opens());
+    }
+
+    #[test]
+    fn element_name_access() {
+        assert_eq!(XmlEvent::open("a").element_name(), Some("a"));
+        assert_eq!(XmlEvent::close("b").element_name(), Some("b"));
+        assert_eq!(XmlEvent::text("t").element_name(), None);
+        assert_eq!(XmlEvent::StartDocument.element_name(), None);
+    }
+}

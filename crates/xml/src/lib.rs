@@ -1,0 +1,57 @@
+//! # spex-xml — XML stream substrate for SPEX
+//!
+//! This crate implements the XML stream data model of the SPEX paper
+//! (*An Evaluation of Regular Path Expressions with Qualifiers against XML
+//! Streams*, §II.1): an XML stream is the sequence of document messages
+//! produced by a depth-first left-to-right traversal of the document tree,
+//! wrapped in a start-document and an end-document message.
+//!
+//! Everything is written from scratch — no third-party XML parser is used —
+//! because building the substrate is part of the reproduction.
+//!
+//! Contents:
+//!
+//! * [`event`] — the [`XmlEvent`] message type (SAX-like events),
+//! * [`reader`] — a streaming, pull-based, non-validating XML parser
+//!   ([`Reader`]) that never materializes the document,
+//! * [`writer`] — an escaping serializer ([`Writer`]) turning event streams
+//!   back into XML text,
+//! * [`tree`] — an arena-allocated in-memory document tree ([`Document`]),
+//!   used by the in-memory baselines and as the test oracle,
+//! * [`escape`] — text/attribute escaping and entity decoding,
+//! * [`namespaces`] — streaming prefix→URI resolution (the "technical, but
+//!   not difficult" extension the paper sets aside in §II.1),
+//! * [`stats`] — stream statistics (size, element count, maximum depth)
+//!   matching the figures reported in the paper's evaluation section.
+//!
+//! ## Example
+//!
+//! ```
+//! use spex_xml::{Reader, XmlEvent};
+//!
+//! let xml = "<a><b attr='1'>hi</b></a>";
+//! let events: Vec<XmlEvent> = Reader::from_str(xml)
+//!     .map(|r| r.unwrap())
+//!     .collect();
+//! assert!(matches!(events.first(), Some(XmlEvent::StartDocument)));
+//! assert!(matches!(events.last(), Some(XmlEvent::EndDocument)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod escape;
+pub mod event;
+pub mod namespaces;
+pub mod reader;
+pub mod stats;
+pub mod tree;
+pub mod writer;
+
+pub use error::{Position, XmlError};
+pub use event::{Attribute, XmlEvent};
+pub use reader::Reader;
+pub use stats::StreamStats;
+pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
+pub use writer::{WriteOptions, Writer};

@@ -1,0 +1,230 @@
+//! Streaming namespace resolution.
+//!
+//! The SPEX paper sets namespaces aside ("the necessary extensions are
+//! technical, but not difficult", §II.1), and the engine matches element
+//! names verbatim — `rdf:RDF` is simply the label `rdf:RDF`. For downstream
+//! users who need real namespace semantics, [`NamespaceTracker`] implements
+//! the technical part: it observes the event stream and resolves any
+//! prefixed name to its `(namespace URI, local name)` pair according to the
+//! `xmlns`/`xmlns:p` attributes in scope, with constant memory in the stream
+//! length (the binding stack is bounded by the document depth).
+//!
+//! ```
+//! use spex_xml::{namespaces::NamespaceTracker, Reader, XmlEvent};
+//!
+//! let xml = r#"<r xmlns="urn:d" xmlns:a="urn:a"><a:x/><y/></r>"#;
+//! let mut ns = NamespaceTracker::new();
+//! let mut seen = Vec::new();
+//! for ev in Reader::from_str(xml) {
+//!     let ev = ev.unwrap();
+//!     ns.observe(&ev);
+//!     if let XmlEvent::StartElement { name, .. } = &ev {
+//!         let (uri, local) = ns.resolve_element(name);
+//!         seen.push((uri.map(str::to_string), local.to_string()));
+//!     }
+//!     ns.observe_end(&ev);
+//! }
+//! assert_eq!(seen[0], (Some("urn:d".into()), "r".into()));
+//! assert_eq!(seen[1], (Some("urn:a".into()), "x".into()));
+//! assert_eq!(seen[2], (Some("urn:d".into()), "y".into()));
+//! ```
+
+use crate::event::XmlEvent;
+
+/// One prefix binding, together with the depth at which it was declared.
+#[derive(Debug, Clone)]
+struct Binding {
+    /// Prefix (`""` for the default namespace).
+    prefix: String,
+    /// Namespace URI (`""` undeclares).
+    uri: String,
+    /// Element depth of the declaring element.
+    depth: usize,
+}
+
+/// Tracks in-scope namespace bindings over an event stream. See the
+/// [module documentation](self).
+#[derive(Debug, Default)]
+pub struct NamespaceTracker {
+    bindings: Vec<Binding>,
+    depth: usize,
+}
+
+impl NamespaceTracker {
+    /// An empty tracker (only the implicit `xml` prefix is pre-bound).
+    pub fn new() -> Self {
+        NamespaceTracker {
+            bindings: vec![Binding {
+                prefix: "xml".into(),
+                uri: "http://www.w3.org/XML/1998/namespace".into(),
+                depth: 0,
+            }],
+            depth: 0,
+        }
+    }
+
+    /// Observe an event *before* resolving names occurring in it (start
+    /// elements push their own declarations into scope first — they apply to
+    /// the element itself).
+    pub fn observe(&mut self, event: &XmlEvent) {
+        if let XmlEvent::StartElement { attributes, .. } = event {
+            self.depth += 1;
+            for a in attributes {
+                if a.name == "xmlns" {
+                    self.bindings.push(Binding {
+                        prefix: String::new(),
+                        uri: a.value.clone(),
+                        depth: self.depth,
+                    });
+                } else if let Some(p) = a.name.strip_prefix("xmlns:") {
+                    self.bindings.push(Binding {
+                        prefix: p.to_string(),
+                        uri: a.value.clone(),
+                        depth: self.depth,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Observe an event *after* resolving names in it (end elements pop
+    /// their declarations only after the close tag itself resolved).
+    pub fn observe_end(&mut self, event: &XmlEvent) {
+        if matches!(event, XmlEvent::EndElement { .. }) {
+            let d = self.depth;
+            self.bindings.retain(|b| b.depth < d);
+            self.depth = self.depth.saturating_sub(1);
+        }
+    }
+
+    /// Current element depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The URI bound to `prefix` (`""` for the default namespace), if any.
+    /// An empty-string binding (undeclaration) reports `None`.
+    pub fn uri_for(&self, prefix: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|b| b.prefix == prefix)
+            .map(|b| b.uri.as_str())
+            .filter(|u| !u.is_empty())
+    }
+
+    /// Resolve an *element* name to `(namespace URI, local name)`.
+    /// Unprefixed element names take the default namespace.
+    pub fn resolve_element<'a: 'b, 'b>(&'a self, name: &'b str) -> (Option<&'b str>, &'b str) {
+        match name.split_once(':') {
+            Some((p, local)) => (self.uri_for(p), local),
+            None => (self.uri_for(""), name),
+        }
+    }
+
+    /// Resolve an *attribute* name. Per the XML Namespaces spec, unprefixed
+    /// attributes are in *no* namespace (the default namespace does not
+    /// apply).
+    pub fn resolve_attribute<'a: 'b, 'b>(&'a self, name: &'b str) -> (Option<&'b str>, &'b str) {
+        match name.split_once(':') {
+            Some((p, local)) => (self.uri_for(p), local),
+            None => (None, name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_events;
+
+    fn resolve_all(xml: &str) -> Vec<(Option<String>, String)> {
+        let mut ns = NamespaceTracker::new();
+        let mut out = Vec::new();
+        for ev in parse_events(xml).unwrap() {
+            ns.observe(&ev);
+            if let XmlEvent::StartElement { name, .. } = &ev {
+                let (uri, local) = ns.resolve_element(name);
+                out.push((uri.map(str::to_string), local.to_string()));
+            }
+            ns.observe_end(&ev);
+        }
+        out
+    }
+
+    #[test]
+    fn default_namespace_scoping() {
+        let r = resolve_all(r#"<a xmlns="urn:one"><b/><c xmlns="urn:two"><d/></c><e/></a>"#);
+        assert_eq!(r[0], (Some("urn:one".into()), "a".into()));
+        assert_eq!(r[1], (Some("urn:one".into()), "b".into()));
+        assert_eq!(r[2], (Some("urn:two".into()), "c".into()));
+        assert_eq!(r[3], (Some("urn:two".into()), "d".into()));
+        assert_eq!(r[4], (Some("urn:one".into()), "e".into()));
+    }
+
+    #[test]
+    fn prefixed_names_and_shadowing() {
+        let r = resolve_all(
+            r#"<r xmlns:p="urn:a"><p:x/><m xmlns:p="urn:b"><p:x/></m><p:x/></r>"#,
+        );
+        assert_eq!(r[1], (Some("urn:a".into()), "x".into()));
+        assert_eq!(r[3], (Some("urn:b".into()), "x".into()));
+        assert_eq!(r[4], (Some("urn:a".into()), "x".into()));
+    }
+
+    #[test]
+    fn undeclaring_the_default_namespace() {
+        let r = resolve_all(r#"<a xmlns="urn:one"><b xmlns=""><c/></b></a>"#);
+        assert_eq!(r[1], (None, "b".into()));
+        assert_eq!(r[2], (None, "c".into()));
+    }
+
+    #[test]
+    fn unbound_prefix_resolves_to_no_namespace() {
+        let r = resolve_all("<a><q:b/></a>");
+        assert_eq!(r[1], (None, "b".into()));
+    }
+
+    #[test]
+    fn xml_prefix_is_prebound() {
+        let ns = NamespaceTracker::new();
+        assert_eq!(ns.uri_for("xml"), Some("http://www.w3.org/XML/1998/namespace"));
+    }
+
+    #[test]
+    fn attributes_ignore_default_namespace() {
+        let xml = r#"<a xmlns="urn:d" xmlns:p="urn:p"><b x="1" p:y="2"/></a>"#;
+        let mut ns = NamespaceTracker::new();
+        let mut checked = false;
+        for ev in parse_events(xml).unwrap() {
+            ns.observe(&ev);
+            if let XmlEvent::StartElement { name, attributes } = &ev {
+                if name == "b" {
+                    assert_eq!(ns.resolve_attribute(&attributes[0].name), (None, "x"));
+                    assert_eq!(
+                        ns.resolve_attribute(&attributes[1].name),
+                        (Some("urn:p"), "y")
+                    );
+                    checked = true;
+                }
+            }
+            ns.observe_end(&ev);
+        }
+        assert!(checked);
+    }
+
+    #[test]
+    fn bindings_bounded_by_depth() {
+        // Constant memory: bindings never outlive their element.
+        let xml = r#"<a xmlns:p="u"><b xmlns:q="v"/><c xmlns:r="w"/></a>"#;
+        let mut ns = NamespaceTracker::new();
+        let mut max = 0;
+        for ev in parse_events(xml).unwrap() {
+            ns.observe(&ev);
+            max = max.max(ns.bindings.len());
+            ns.observe_end(&ev);
+        }
+        assert!(max <= 3); // xml + p + at most one sibling binding
+        assert_eq!(ns.bindings.len(), 1); // only the xml prefix survives
+    }
+}

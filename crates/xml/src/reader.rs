@@ -1,0 +1,969 @@
+//! A streaming, pull-based XML parser.
+//!
+//! [`Reader`] consumes bytes from any [`std::io::Read`] source and yields
+//! [`XmlEvent`]s one at a time, using constant memory in the input size
+//! (memory is bounded by the open-element stack, i.e. the document depth, and
+//! the size of a single token). This is the property SPEX relies on: the
+//! stream is never materialized.
+//!
+//! The parser is non-validating but checks well-formedness: tags must nest
+//! properly, exactly one root element must exist, attribute values must be
+//! quoted, and entities must be decodable.
+
+use crate::error::{Position, Result, XmlError};
+use crate::escape::unescape;
+use crate::event::{Attribute, XmlEvent};
+use std::io::Read;
+
+const BUF_SIZE: usize = 8 * 1024;
+
+/// Internal buffered byte source with single-byte lookahead and position
+/// tracking.
+struct Bytes<R: Read> {
+    input: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    eof: bool,
+    position: Position,
+}
+
+impl<R: Read> Bytes<R> {
+    fn new(input: R) -> Self {
+        Bytes {
+            input,
+            buf: vec![0; BUF_SIZE],
+            pos: 0,
+            len: 0,
+            eof: false,
+            position: Position::start(),
+        }
+    }
+
+    fn fill(&mut self) -> Result<()> {
+        if self.pos < self.len || self.eof {
+            return Ok(());
+        }
+        loop {
+            match self.input.read(&mut self.buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.pos = 0;
+                    self.len = n;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>> {
+        self.fill()?;
+        if self.pos < self.len {
+            Ok(Some(self.buf[self.pos]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<u8>> {
+        self.fill()?;
+        if self.pos < self.len {
+            let b = self.buf[self.pos];
+            self.pos += 1;
+            self.position.advance(b);
+            Ok(Some(b))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Consume the next byte, failing with a syntax error on EOF.
+    fn expect_any(&mut self, what: &str) -> Result<u8> {
+        match self.next()? {
+            Some(b) => Ok(b),
+            None => Err(XmlError::UnexpectedEof { open_element: None, position: self.position })
+                .map_err(|e| attach_context(e, what)),
+        }
+    }
+}
+
+fn attach_context(e: XmlError, _what: &str) -> XmlError {
+    e
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Nothing emitted yet: the next event is `StartDocument`.
+    Fresh,
+    /// Before the root element (prolog).
+    Prolog,
+    /// Inside the root element.
+    Content,
+    /// After the root element closed (epilog).
+    Epilog,
+    /// Multi-document mode: a new document begins; emit `EndDocument`
+    /// first, then restart at `Fresh`.
+    Boundary,
+    /// `EndDocument` has been emitted (or a fatal error occurred).
+    Done,
+}
+
+/// Streaming pull parser. See the [module documentation](self).
+///
+/// `Reader` implements [`Iterator`] over `Result<XmlEvent, XmlError>`; after
+/// the first error (or after `EndDocument`) the iterator yields `None`.
+pub struct Reader<R: Read> {
+    bytes: Bytes<R>,
+    state: State,
+    /// Open-element stack (names), bounded by the document depth.
+    stack: Vec<String>,
+    /// An event parsed but not yet delivered (used for `<a/>`).
+    pending: Option<XmlEvent>,
+    /// Accept a sequence of documents back to back (see
+    /// [`Reader::multi_document`]).
+    multi: bool,
+    /// A `<` was already consumed while detecting a document boundary in
+    /// multi-document mode; the prolog continues right after it.
+    lt_consumed: bool,
+}
+
+impl Reader<&'static [u8]> {
+    /// Parse from a string slice. (Not the `FromStr` trait: the returned
+    /// reader is a different `Reader` instantiation.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Reader<std::io::Cursor<Vec<u8>>> {
+        Reader::new(std::io::Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    /// Parse from an owned byte vector.
+    pub fn from_bytes(bytes: Vec<u8>) -> Reader<std::io::Cursor<Vec<u8>>> {
+        Reader::new(std::io::Cursor::new(bytes))
+    }
+}
+
+impl<R: Read> Reader<R> {
+    /// Create a reader over an arbitrary byte source.
+    pub fn new(input: R) -> Self {
+        Reader {
+            bytes: Bytes::new(input),
+            state: State::Fresh,
+            stack: Vec::new(),
+            pending: None,
+            multi: false,
+            lt_consumed: false,
+        }
+    }
+
+    /// Accept a *sequence* of documents on one byte stream (back to back or
+    /// whitespace-separated): after a root element closes, the next `<name`
+    /// begins a new document — the reader emits `EndDocument` followed by a
+    /// fresh `StartDocument`. This is the paper's unbounded-stream setting
+    /// (§I): the SPEX engine evaluates consecutive documents on one
+    /// evaluator without reset.
+    pub fn multi_document(mut self) -> Self {
+        self.multi = true;
+        self
+    }
+
+    /// Current position in the input.
+    pub fn position(&self) -> Position {
+        self.bytes.position
+    }
+
+    /// Current element nesting depth (number of open elements).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pull the next event. `Ok(None)` means the stream finished cleanly
+    /// (after `EndDocument` was delivered).
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>> {
+        if let Some(e) = self.pending.take() {
+            return Ok(Some(e));
+        }
+        loop {
+            match self.state {
+                State::Fresh => {
+                    self.state = State::Prolog;
+                    return Ok(Some(XmlEvent::StartDocument));
+                }
+                State::Prolog => {
+                    if let Some(e) = self.prolog_event()? {
+                        return Ok(Some(e));
+                    }
+                    // prolog_event advanced the state; loop.
+                }
+                State::Content => return self.content_event().map(Some),
+                State::Epilog => {
+                    if let Some(e) = self.epilog_event()? {
+                        return Ok(Some(e));
+                    }
+                    if self.state == State::Done || self.state == State::Boundary {
+                        return Ok(Some(XmlEvent::EndDocument));
+                    }
+                }
+                State::Boundary => {
+                    self.state = State::Fresh;
+                }
+                State::Done => return Ok(None),
+            }
+        }
+    }
+
+    /// Handle one prolog construct. Returns an event to deliver, or `None`
+    /// if the construct was consumed silently (whitespace, XML declaration,
+    /// DOCTYPE) or the root element was opened (state switches to `Content`
+    /// and the start-element event is stored in `pending`... no: returned).
+    fn prolog_event(&mut self) -> Result<Option<XmlEvent>> {
+        if !self.lt_consumed {
+            self.skip_whitespace()?;
+        }
+        match if self.lt_consumed { Some(b'<') } else { self.bytes.peek()? } {
+            None => Err(XmlError::EmptyDocument),
+            Some(b'<') => {
+                if self.lt_consumed {
+                    self.lt_consumed = false;
+                } else {
+                    self.bytes.next()?;
+                }
+                match self.bytes.peek()? {
+                    Some(b'?') => {
+                        self.bytes.next()?;
+                        Ok(self.parse_pi()?)
+                    }
+                    Some(b'!') => {
+                        self.bytes.next()?;
+                        match self.bytes.peek()? {
+                            Some(b'-') => Ok(Some(self.parse_comment()?)),
+                            Some(b'D') => {
+                                self.skip_doctype()?;
+                                Ok(None)
+                            }
+                            _ => Err(XmlError::syntax(
+                                "unexpected `<!` construct in prolog",
+                                self.bytes.position,
+                            )),
+                        }
+                    }
+                    Some(b'/') => Err(XmlError::syntax(
+                        "close tag before any element was opened",
+                        self.bytes.position,
+                    )),
+                    _ => {
+                        let ev = self.parse_open_tag()?;
+                        // A self-closing root (`<a/>`) leaves the stack empty:
+                        // go straight to the epilog once the pending
+                        // `EndElement` is delivered.
+                        self.state = if self.stack.is_empty() {
+                            State::Epilog
+                        } else {
+                            State::Content
+                        };
+                        Ok(Some(ev))
+                    }
+                }
+            }
+            Some(_) => Err(XmlError::syntax(
+                "character data before the root element",
+                self.bytes.position,
+            )),
+        }
+    }
+
+    fn content_event(&mut self) -> Result<XmlEvent> {
+        // Text (possibly spanning CDATA sections) or markup.
+        match self.bytes.peek()? {
+            None => Err(XmlError::UnexpectedEof {
+                open_element: self.stack.last().cloned(),
+                position: self.bytes.position,
+            }),
+            Some(b'<') => self.markup_event(),
+            Some(_) => {
+                let text = self.parse_text()?;
+                Ok(XmlEvent::Text(text))
+            }
+        }
+    }
+
+    /// Parse a `<...>` construct in content context.
+    fn markup_event(&mut self) -> Result<XmlEvent> {
+        self.bytes.next()?; // consume '<'
+        match self.bytes.peek()? {
+            Some(b'/') => {
+                self.bytes.next()?;
+                let ev = self.parse_close_tag()?;
+                if self.stack.is_empty() {
+                    self.state = State::Epilog;
+                }
+                Ok(ev)
+            }
+            Some(b'?') => {
+                self.bytes.next()?;
+                match self.parse_pi()? {
+                    Some(ev) => Ok(ev),
+                    // The XML declaration is only legal at the very start;
+                    // treat it here as a syntax error.
+                    None => Err(XmlError::syntax(
+                        "XML declaration inside the document",
+                        self.bytes.position,
+                    )),
+                }
+            }
+            Some(b'!') => {
+                self.bytes.next()?;
+                match self.bytes.peek()? {
+                    Some(b'-') => self.parse_comment(),
+                    Some(b'[') => {
+                        let text = self.parse_cdata()?;
+                        Ok(XmlEvent::Text(text))
+                    }
+                    _ => Err(XmlError::syntax(
+                        "unexpected `<!` construct in content",
+                        self.bytes.position,
+                    )),
+                }
+            }
+            _ => self.parse_open_tag(),
+        }
+    }
+
+    fn epilog_event(&mut self) -> Result<Option<XmlEvent>> {
+        self.skip_whitespace()?;
+        match self.bytes.peek()? {
+            None => {
+                self.state = State::Done;
+                Ok(None)
+            }
+            Some(b'<') => {
+                self.bytes.next()?;
+                match self.bytes.peek()? {
+                    Some(b'?') => {
+                        self.bytes.next()?;
+                        Ok(self.parse_pi()?)
+                    }
+                    Some(b'!') => {
+                        self.bytes.next()?;
+                        match self.bytes.peek()? {
+                            Some(b'-') => Ok(Some(self.parse_comment()?)),
+                            Some(b'D') if self.multi => {
+                                // DOCTYPE of the *next* document.
+                                self.skip_doctype()?;
+                                self.state = State::Boundary;
+                                Ok(None)
+                            }
+                            _ => Err(XmlError::TrailingContent { position: self.bytes.position }),
+                        }
+                    }
+                    Some(b) if self.multi && is_name_start(b) => {
+                        // A new root element: document boundary. The `<` is
+                        // already consumed; the next prolog continues after
+                        // it.
+                        self.state = State::Boundary;
+                        self.lt_consumed = true;
+                        Ok(None)
+                    }
+                    _ => Err(XmlError::TrailingContent { position: self.bytes.position }),
+                }
+            }
+            Some(_) => Err(XmlError::TrailingContent { position: self.bytes.position }),
+        }
+    }
+
+    fn skip_whitespace(&mut self) -> Result<()> {
+        while let Some(b) = self.bytes.peek()? {
+            if b.is_ascii_whitespace() {
+                self.bytes.next()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a name (element or attribute). The first byte must already be
+    /// valid; subsequent bytes follow the (ASCII-approximated) NameChar rules.
+    /// Non-ASCII bytes are accepted verbatim so UTF-8 names pass through.
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.bytes.position;
+        let mut name = String::new();
+        match self.bytes.peek()? {
+            Some(b) if is_name_start(b) => {}
+            _ => return Err(XmlError::syntax("expected a name", start)),
+        }
+        while let Some(b) = self.bytes.peek()? {
+            if is_name_char(b) {
+                name.push(self.bytes.next()?.unwrap() as char);
+            } else if b >= 0x80 {
+                // Pass through UTF-8 continuation/start bytes.
+                name.push(self.bytes.next()?.unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(XmlError::syntax("empty name", start));
+        }
+        Ok(fix_latin(name))
+    }
+
+    fn parse_open_tag(&mut self) -> Result<XmlEvent> {
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace()?;
+            match self.bytes.peek()? {
+                Some(b'>') => {
+                    self.bytes.next()?;
+                    self.stack.push(name.clone());
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                Some(b'/') => {
+                    self.bytes.next()?;
+                    let b = self.bytes.expect_any("`>` after `/`")?;
+                    if b != b'>' {
+                        return Err(XmlError::syntax(
+                            "expected `>` after `/` in empty-element tag",
+                            self.bytes.position,
+                        ));
+                    }
+                    // Self-closing element: two events, nothing pushed to the
+                    // open-element stack (the element opens and closes
+                    // atomically). If this was the root element the caller
+                    // transitions to the epilog based on the empty stack.
+                    self.pending = Some(XmlEvent::EndElement { name: name.clone() });
+                    return Ok(XmlEvent::StartElement { name, attributes });
+                }
+                Some(b) if is_name_start(b) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace()?;
+                    let eq = self.bytes.expect_any("`=` in attribute")?;
+                    if eq != b'=' {
+                        return Err(XmlError::syntax(
+                            format!("expected `=` after attribute name `{attr_name}`"),
+                            self.bytes.position,
+                        ));
+                    }
+                    self.skip_whitespace()?;
+                    let value = self.parse_attr_value()?;
+                    attributes.push(Attribute { name: attr_name, value });
+                }
+                Some(_) => {
+                    return Err(XmlError::syntax(
+                        "unexpected character in start tag",
+                        self.bytes.position,
+                    ))
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: Some(name),
+                        position: self.bytes.position,
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let start = self.bytes.position;
+        let quote = self.bytes.expect_any("attribute value")?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(XmlError::syntax("attribute value must be quoted", start));
+        }
+        let mut raw = String::new();
+        loop {
+            match self.bytes.next()? {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: self.stack.last().cloned(),
+                        position: self.bytes.position,
+                    })
+                }
+                Some(b) if b == quote => break,
+                Some(b'<') => {
+                    return Err(XmlError::syntax("`<` in attribute value", self.bytes.position))
+                }
+                Some(b) => raw.push(b as char),
+            }
+        }
+        let raw = fix_latin(raw);
+        match unescape(&raw) {
+            Some(v) => Ok(v.into_owned()),
+            None => Err(XmlError::BadEntity { entity: raw, position: start }),
+        }
+    }
+
+    fn parse_close_tag(&mut self) -> Result<XmlEvent> {
+        let pos = self.bytes.position;
+        let name = self.parse_name()?;
+        self.skip_whitespace()?;
+        let b = self.bytes.expect_any("`>` in close tag")?;
+        if b != b'>' {
+            return Err(XmlError::syntax("expected `>` in close tag", self.bytes.position));
+        }
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
+            Some(open) => Err(XmlError::MismatchedTag { expected: open, found: name, position: pos }),
+            None => Err(XmlError::syntax("close tag without open element", pos)),
+        }
+    }
+
+    /// Parse raw character data up to the next `<`, decoding entities and
+    /// merging adjacent CDATA sections.
+    fn parse_text(&mut self) -> Result<String> {
+        let start = self.bytes.position;
+        let mut raw = String::new();
+        while let Some(b) = self.bytes.peek()? {
+            if b == b'<' {
+                break;
+            }
+            raw.push(self.bytes.next()?.unwrap() as char);
+        }
+        let raw = fix_latin(raw);
+        match unescape(&raw) {
+            Some(v) => Ok(v.into_owned()),
+            None => Err(XmlError::BadEntity { entity: raw, position: start }),
+        }
+    }
+
+    /// Parse a comment; the leading `<!` is already consumed and `-` peeked.
+    fn parse_comment(&mut self) -> Result<XmlEvent> {
+        let pos = self.bytes.position;
+        for _ in 0..2 {
+            let b = self.bytes.expect_any("comment opener")?;
+            if b != b'-' {
+                return Err(XmlError::syntax("malformed comment opener", pos));
+            }
+        }
+        let mut content = String::new();
+        let mut dashes = 0usize;
+        loop {
+            match self.bytes.next()? {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: self.stack.last().cloned(),
+                        position: self.bytes.position,
+                    })
+                }
+                Some(b'-') => dashes += 1,
+                Some(b'>') if dashes >= 2 => {
+                    // remove the two trailing dashes we buffered
+                    for _ in 0..dashes.saturating_sub(2) {
+                        content.push('-');
+                    }
+                    return Ok(XmlEvent::Comment(fix_latin(content)));
+                }
+                Some(b) => {
+                    for _ in 0..dashes {
+                        content.push('-');
+                    }
+                    dashes = 0;
+                    content.push(b as char);
+                }
+            }
+        }
+    }
+
+    /// Parse `<![CDATA[ ... ]]>`; `<!` consumed, `[` peeked.
+    fn parse_cdata(&mut self) -> Result<String> {
+        let pos = self.bytes.position;
+        for expected in b"[CDATA[" {
+            let b = self.bytes.expect_any("CDATA opener")?;
+            if b != *expected {
+                return Err(XmlError::syntax("malformed CDATA opener", pos));
+            }
+        }
+        let mut content = String::new();
+        let mut brackets = 0usize;
+        loop {
+            match self.bytes.next()? {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: self.stack.last().cloned(),
+                        position: self.bytes.position,
+                    })
+                }
+                Some(b']') => brackets += 1,
+                Some(b'>') if brackets >= 2 => {
+                    for _ in 0..brackets.saturating_sub(2) {
+                        content.push(']');
+                    }
+                    return Ok(fix_latin(content));
+                }
+                Some(b) => {
+                    for _ in 0..brackets {
+                        content.push(']');
+                    }
+                    brackets = 0;
+                    content.push(b as char);
+                }
+            }
+        }
+    }
+
+    /// Parse a processing instruction; `<?` already consumed. Returns `None`
+    /// for the XML declaration (`<?xml ...?>`), which is consumed silently.
+    fn parse_pi(&mut self) -> Result<Option<XmlEvent>> {
+        let target = self.parse_name()?;
+        let mut data = String::new();
+        let mut question = false;
+        loop {
+            match self.bytes.next()? {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: self.stack.last().cloned(),
+                        position: self.bytes.position,
+                    })
+                }
+                Some(b'?') => {
+                    if question {
+                        data.push('?');
+                    }
+                    question = true;
+                }
+                Some(b'>') if question => break,
+                Some(b) => {
+                    if question {
+                        data.push('?');
+                        question = false;
+                    }
+                    data.push(b as char);
+                }
+            }
+        }
+        if target.eq_ignore_ascii_case("xml") {
+            return Ok(None);
+        }
+        let data = fix_latin(data.trim().to_string());
+        Ok(Some(XmlEvent::ProcessingInstruction { target, data }))
+    }
+
+    /// Skip `<!DOCTYPE ...>`, including an internal subset `[...]`.
+    fn skip_doctype(&mut self) -> Result<()> {
+        // Consume "DOCTYPE"
+        for expected in b"DOCTYPE" {
+            let b = self.bytes.expect_any("DOCTYPE")?;
+            if b != *expected {
+                return Err(XmlError::syntax("malformed DOCTYPE", self.bytes.position));
+            }
+        }
+        let mut depth = 0usize;
+        loop {
+            match self.bytes.next()? {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: None,
+                        position: self.bytes.position,
+                    })
+                }
+                Some(b'[') => depth += 1,
+                Some(b']') => depth = depth.saturating_sub(1),
+                Some(b'>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Bytes were pushed into `String`s as single chars (latin-1 style); re-pack
+/// any bytes ≥ 0x80 back into proper UTF-8.
+///
+/// The parser reads byte-wise and stores each byte as a `char`; for ASCII
+/// documents this is already correct, and for UTF-8 input the bytes ≥ 0x80
+/// were widened to chars U+0080..U+00FF. This helper re-encodes them as the
+/// original byte sequence and validates the result as UTF-8; invalid UTF-8 is
+/// replaced (lossily) so the parser never fails on encoding alone.
+fn fix_latin(s: String) -> String {
+    if s.bytes().all(|b| b < 0x80) && s.chars().all(|c| (c as u32) < 0x80) {
+        return s;
+    }
+    let bytes: Vec<u8> = s
+        .chars()
+        .map(|c| {
+            let v = c as u32;
+            debug_assert!(v < 0x100, "parser only widens single bytes");
+            v as u8
+        })
+        .collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
+}
+
+impl<R: Read> Iterator for Reader<R> {
+    type Item = Result<XmlEvent>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => None,
+            Err(e) => {
+                self.state = State::Done;
+                self.pending = None;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parse a complete string into a vector of events (convenience for tests
+/// and small documents; not for streaming use).
+pub fn parse_events(xml: &str) -> Result<Vec<XmlEvent>> {
+    Reader::from_str(xml).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(xml: &str) -> Vec<XmlEvent> {
+        parse_events(xml).unwrap_or_else(|e| panic!("parse {xml:?}: {e}"))
+    }
+
+    fn err(xml: &str) -> XmlError {
+        match parse_events(xml) {
+            Ok(evs) => panic!("expected error for {xml:?}, got {evs:?}"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn figure_1_stream() {
+        // The exact document of Fig. 1 of the paper.
+        let xml = r#"<?xml version="1.0"?><a><a><c/></a><b/><c/></a>"#;
+        let evs = ok(xml);
+        let rendered: Vec<String> = evs.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "<$>", "<a>", "<a>", "<c>", "</c>", "</a>", "<b>", "</b>", "<c>", "</c>",
+                "</a>", "</$>"
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_and_both_quote_styles() {
+        let evs = ok(r#"<a x="1" y='two &amp; three'/>"#);
+        match &evs[1] {
+            XmlEvent::StartElement { name, attributes } => {
+                assert_eq!(name, "a");
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0], Attribute::new("x", "1"));
+                assert_eq!(attributes[1], Attribute::new("y", "two & three"));
+            }
+            other => panic!("expected start element, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_with_entities() {
+        let evs = ok("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>");
+        assert_eq!(evs[2], XmlEvent::text("1 < 2 && 3 > 2"));
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let evs = ok("<a><![CDATA[<not> & markup]]></a>");
+        assert_eq!(evs[2], XmlEvent::text("<not> & markup"));
+    }
+
+    #[test]
+    fn cdata_with_brackets() {
+        let evs = ok("<a><![CDATA[x]]y]]]></a>");
+        assert_eq!(evs[2], XmlEvent::text("x]]y]"));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = ok("<!-- head --><a><?pi some data?><!--in--></a><!--tail-->");
+        assert_eq!(evs[1], XmlEvent::Comment(" head ".into()));
+        assert_eq!(
+            evs[3],
+            XmlEvent::ProcessingInstruction { target: "pi".into(), data: "some data".into() }
+        );
+        assert_eq!(evs[4], XmlEvent::Comment("in".into()));
+        assert_eq!(evs[6], XmlEvent::Comment("tail".into()));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let evs = ok(r#"<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>"#);
+        assert_eq!(evs[1], XmlEvent::open("a"));
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let evs = ok("<a/>");
+        assert_eq!(
+            evs,
+            vec![
+                XmlEvent::StartDocument,
+                XmlEvent::open("a"),
+                XmlEvent::close("a"),
+                XmlEvent::EndDocument
+            ]
+        );
+    }
+
+    #[test]
+    fn utf8_text_roundtrips() {
+        let evs = ok("<a>grüße 東京 🚀</a>");
+        assert_eq!(evs[2], XmlEvent::text("grüße 東京 🚀"));
+    }
+
+    #[test]
+    fn utf8_element_names() {
+        let evs = ok("<grüße>x</grüße>");
+        assert_eq!(evs[1].element_name(), Some("grüße"));
+    }
+
+    #[test]
+    fn mismatched_tags_detected() {
+        assert!(matches!(err("<a><b></a></b>"), XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unexpected_eof_detected() {
+        assert!(matches!(err("<a><b>"), XmlError::UnexpectedEof { .. }));
+        assert!(matches!(err("<a attr="), XmlError::UnexpectedEof { .. } | XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn trailing_content_detected() {
+        assert!(matches!(err("<a/><b/>"), XmlError::TrailingContent { .. }));
+        assert!(matches!(err("<a/>text"), XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn empty_document_detected() {
+        assert!(matches!(err(""), XmlError::EmptyDocument));
+        assert!(matches!(err("   <!-- only comment -->  "), XmlError::EmptyDocument));
+    }
+
+    #[test]
+    fn bad_entity_detected() {
+        assert!(matches!(err("<a>&nope;</a>"), XmlError::BadEntity { .. }));
+    }
+
+    #[test]
+    fn depth_is_tracked() {
+        // Note: a self-closing `<c/>` never enters the open-element stack, so
+        // an explicit pair is used here.
+        let mut r = Reader::from_str("<a><b><c></c></b></a>");
+        let mut max = 0;
+        while let Some(ev) = r.next_event().unwrap() {
+            let _ = ev;
+            max = max.max(r.depth());
+        }
+        assert_eq!(max, 3);
+    }
+
+    #[test]
+    fn whitespace_text_is_reported() {
+        let evs = ok("<a> <b/> </a>");
+        assert_eq!(evs[2], XmlEvent::text(" "));
+        assert_eq!(evs[5], XmlEvent::text(" "));
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let mut it = Reader::from_str("<a><b></a>");
+        let mut saw_err = false;
+        let mut after_err = 0;
+        for item in &mut it {
+            if saw_err {
+                after_err += 1;
+            }
+            if item.is_err() {
+                saw_err = true;
+            }
+        }
+        assert!(saw_err);
+        assert_eq!(after_err, 0);
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        match err("<a>\n  <b></c></b></a>") {
+            XmlError::MismatchedTag { position, .. } => {
+                assert_eq!(position.line, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_document_mode_splits_documents() {
+        let input = "<a><x/></a>\n<b/>  <c>t</c>";
+        let events: Vec<XmlEvent> = Reader::from_bytes(input.as_bytes().to_vec())
+            .multi_document()
+            .collect::<Result<_>>()
+            .unwrap();
+        let rendered: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "<$>", "<a>", "<x>", "</x>", "</a>", "</$>",
+                "<$>", "<b>", "</b>", "</$>",
+                "<$>", "<c>", "t", "</c>", "</$>"
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_document_mode_with_prologs() {
+        let input = "<?xml version=\"1.0\"?><a/><?xml version=\"1.0\"?><b/>";
+        let events: Vec<XmlEvent> = Reader::from_bytes(input.as_bytes().to_vec())
+            .multi_document()
+            .collect::<Result<_>>()
+            .unwrap();
+        let docs = events
+            .iter()
+            .filter(|e| matches!(e, XmlEvent::StartDocument))
+            .count();
+        assert_eq!(docs, 2);
+    }
+
+    #[test]
+    fn single_document_mode_still_rejects_trailing() {
+        assert!(matches!(err("<a/><b/>"), XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn multi_document_mode_reports_errors_in_later_documents() {
+        let input = "<a/><b><c></b>";
+        let mut saw_err = false;
+        for item in Reader::from_bytes(input.as_bytes().to_vec()).multi_document() {
+            if item.is_err() {
+                saw_err = true;
+            }
+        }
+        assert!(saw_err);
+    }
+
+    #[test]
+    fn comment_with_embedded_dashes() {
+        let evs = ok("<a><!--a-b--c--></a>");
+        assert_eq!(evs[2], XmlEvent::Comment("a-b--c".into()));
+    }
+
+    #[test]
+    fn pi_with_question_marks() {
+        let evs = ok("<a><?p a?b??></a>");
+        assert_eq!(
+            evs[2],
+            XmlEvent::ProcessingInstruction { target: "p".into(), data: "a?b?".into() }
+        );
+    }
+}

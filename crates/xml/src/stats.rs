@@ -1,0 +1,152 @@
+//! Stream statistics.
+//!
+//! The paper's evaluation section characterizes every dataset by its size,
+//! number of elements, and maximum depth (e.g. *MONDIAL: 1.2 MB, 24,184
+//! elements, maximum depth 5*). [`StreamStats`] computes exactly those
+//! numbers — streaming, in one pass — so the synthetic workload generators
+//! can be tuned and verified against the paper's figures.
+
+use crate::event::XmlEvent;
+use std::collections::BTreeMap;
+
+/// One-pass statistics over an XML event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total number of events seen (including `StartDocument`/`EndDocument`).
+    pub events: usize,
+    /// Number of element nodes (start-element events).
+    pub elements: usize,
+    /// Number of text events.
+    pub text_nodes: usize,
+    /// Total bytes of text content.
+    pub text_bytes: usize,
+    /// Maximum element nesting depth (the paper's *d*; the root element has
+    /// depth 1).
+    pub max_depth: usize,
+    /// Element-name histogram in lexicographic order.
+    pub labels: BTreeMap<String, usize>,
+    current_depth: usize,
+}
+
+impl StreamStats {
+    /// Create empty statistics.
+    pub fn new() -> Self {
+        StreamStats::default()
+    }
+
+    /// Feed one event.
+    pub fn observe(&mut self, event: &XmlEvent) {
+        self.events += 1;
+        match event {
+            XmlEvent::StartElement { name, .. } => {
+                self.elements += 1;
+                self.current_depth += 1;
+                self.max_depth = self.max_depth.max(self.current_depth);
+                *self.labels.entry(name.clone()).or_insert(0) += 1;
+            }
+            XmlEvent::EndElement { .. } => {
+                self.current_depth = self.current_depth.saturating_sub(1);
+            }
+            XmlEvent::Text(t) => {
+                self.text_nodes += 1;
+                self.text_bytes += t.len();
+            }
+            _ => {}
+        }
+    }
+
+    /// Compute statistics for a full event sequence.
+    pub fn of_events<'a>(events: impl IntoIterator<Item = &'a XmlEvent>) -> Self {
+        let mut s = StreamStats::new();
+        for e in events {
+            s.observe(e);
+        }
+        s
+    }
+
+    /// Compute statistics by streaming a string through the parser.
+    pub fn of_str(xml: &str) -> crate::error::Result<Self> {
+        let mut s = StreamStats::new();
+        for ev in crate::Reader::from_str(xml) {
+            s.observe(&ev?);
+        }
+        Ok(s)
+    }
+
+    /// Number of distinct element labels.
+    pub fn distinct_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// A compact one-line summary in the style of the paper's figures:
+    /// `nr. elems.: 24,184, maximum depth: 5`.
+    pub fn summary(&self) -> String {
+        format!(
+            "nr. elems.: {}, maximum depth: {}",
+            group_thousands(self.elements),
+            self.max_depth
+        )
+    }
+}
+
+/// Format an integer with `,` thousands separators, as in the paper's
+/// figures (e.g. `24,184`).
+pub fn group_thousands(n: usize) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let chars: Vec<char> = digits.chars().collect();
+    for (i, c) in chars.iter().enumerate() {
+        if i > 0 && (chars.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_stats() {
+        let s = StreamStats::of_str("<a><a><c/></a><b/><c/></a>").unwrap();
+        assert_eq!(s.elements, 5);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.labels.get("a"), Some(&2));
+        assert_eq!(s.labels.get("b"), Some(&1));
+        assert_eq!(s.labels.get("c"), Some(&2));
+        assert_eq!(s.distinct_labels(), 3);
+        assert_eq!(s.events, 12);
+    }
+
+    #[test]
+    fn text_statistics() {
+        let s = StreamStats::of_str("<a>hello<b>world</b></a>").unwrap();
+        assert_eq!(s.text_nodes, 2);
+        assert_eq!(s.text_bytes, 10);
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(24184), "24,184");
+        assert_eq!(group_thousands(13233278), "13,233,278");
+    }
+
+    #[test]
+    fn summary_format_matches_paper() {
+        let s = StreamStats::of_str("<a><b/></a>").unwrap();
+        assert_eq!(s.summary(), "nr. elems.: 2, maximum depth: 2");
+    }
+
+    #[test]
+    fn depth_never_underflows() {
+        let mut s = StreamStats::new();
+        s.observe(&XmlEvent::close("a"));
+        s.observe(&XmlEvent::close("a"));
+        assert_eq!(s.max_depth, 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! An arena-allocated in-memory document tree.
+//!
+//! The tree corresponds to the *XML tree* representation of Fig. 1 in the
+//! paper (after the XPath data model). It is the substrate for the in-memory
+//! baseline processors (the Saxon/Fxgrep stand-ins of the evaluation section)
+//! and the test oracle for the streamed SPEX engine.
+//!
+//! Nodes live in a single `Vec` arena and are addressed by [`NodeId`];
+//! children are stored as contiguous index vectors, so document order is the
+//! order of a depth-first traversal and `NodeId`s are comparable: a node that
+//! starts earlier in the stream has a smaller id (ids are assigned in
+//! document order by the builder).
+
+use crate::error::{Result, XmlError};
+use crate::event::{Attribute, XmlEvent};
+use std::io::Read;
+
+/// Index of a node in a [`Document`] arena. The root has id 0. Ids are
+/// assigned in document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The document root (the virtual `$` node).
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The payload of a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual document root (`$` in the paper's stream notation).
+    Root,
+    /// An element node.
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment node.
+    Comment(String),
+    /// A processing-instruction node.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// An in-memory XML document. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Parse a complete document from a string.
+    pub fn parse_str(xml: &str) -> Result<Document> {
+        Self::from_events(crate::reader::parse_events(xml)?)
+    }
+
+    /// Parse a complete document from a byte source.
+    pub fn parse_reader<R: Read>(input: R) -> Result<Document> {
+        let mut builder = TreeBuilder::new();
+        for ev in crate::Reader::new(input) {
+            builder.push(ev?)?;
+        }
+        builder.finish()
+    }
+
+    /// Build a document from an event sequence (must start with
+    /// `StartDocument` and end with `EndDocument`).
+    pub fn from_events(events: impl IntoIterator<Item = XmlEvent>) -> Result<Document> {
+        let mut builder = TreeBuilder::new();
+        for ev in events {
+            builder.push(ev)?;
+        }
+        builder.finish()
+    }
+
+    /// Number of nodes, including the virtual root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A document always contains at least the virtual root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The payload of `id`.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// The element name of `id`, if it is an element.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The parent of `id` (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of `id` in document order (all node kinds).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Child *elements* of `id` in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|c| matches!(self.kind(*c), NodeKind::Element { .. }))
+    }
+
+    /// Depth of `id`: the root has depth 0, its element children depth 1, …
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum element depth in the document (the paper's *d*).
+    pub fn max_depth(&self) -> usize {
+        let mut max = 0;
+        for idx in 0..self.nodes.len() {
+            let id = NodeId(idx as u32);
+            if matches!(self.kind(id), NodeKind::Element { .. }) {
+                max = max.max(self.depth(id));
+            }
+        }
+        max
+    }
+
+    /// Total number of element nodes.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+
+    /// All element node ids in document order.
+    pub fn elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|id| matches!(self.kind(*id), NodeKind::Element { .. }))
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        if let NodeKind::Text(t) = self.kind(id) {
+            out.push_str(t);
+        }
+        for c in self.children(id) {
+            self.collect_text(*c, out);
+        }
+    }
+
+    /// Stream the subtree rooted at `id` as events (open/close/text/…);
+    /// streaming the root yields the full document stream including
+    /// `StartDocument` / `EndDocument` (`<$>` / `</$>`).
+    pub fn subtree_events(&self, id: NodeId) -> Vec<XmlEvent> {
+        let mut out = Vec::new();
+        self.push_events(id, &mut out);
+        out
+    }
+
+    fn push_events(&self, id: NodeId, out: &mut Vec<XmlEvent>) {
+        match self.kind(id) {
+            NodeKind::Root => {
+                out.push(XmlEvent::StartDocument);
+                for c in self.children(id) {
+                    self.push_events(*c, out);
+                }
+                out.push(XmlEvent::EndDocument);
+            }
+            NodeKind::Element { name, attributes } => {
+                out.push(XmlEvent::StartElement {
+                    name: name.clone(),
+                    attributes: attributes.clone(),
+                });
+                for c in self.children(id) {
+                    self.push_events(*c, out);
+                }
+                out.push(XmlEvent::EndElement { name: name.clone() });
+            }
+            NodeKind::Text(t) => out.push(XmlEvent::Text(t.clone())),
+            NodeKind::Comment(c) => out.push(XmlEvent::Comment(c.clone())),
+            NodeKind::ProcessingInstruction { target, data } => {
+                out.push(XmlEvent::ProcessingInstruction {
+                    target: target.clone(),
+                    data: data.clone(),
+                })
+            }
+        }
+    }
+
+    /// Serialize the subtree rooted at `id` as compact XML text.
+    pub fn subtree_string(&self, id: NodeId) -> String {
+        crate::writer::events_to_string(&self.subtree_events(id))
+    }
+
+    /// Serialize the whole document as compact XML text (without the
+    /// `<$>`/`</$>` wrappers, i.e. real XML).
+    pub fn to_xml(&self) -> String {
+        let events = self.subtree_events(NodeId::ROOT);
+        crate::writer::events_to_string(
+            events
+                .iter()
+                .filter(|e| !matches!(e, XmlEvent::StartDocument | XmlEvent::EndDocument)),
+        )
+    }
+}
+
+/// Incremental builder turning an event stream into a [`Document`].
+#[derive(Debug)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    stack: Vec<NodeId>,
+    started: bool,
+    finished: bool,
+}
+
+impl TreeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder { nodes: Vec::new(), stack: Vec::new(), started: false, finished: false }
+    }
+
+    /// Feed one event.
+    pub fn push(&mut self, event: XmlEvent) -> Result<()> {
+        match event {
+            XmlEvent::StartDocument => {
+                if self.started {
+                    return Err(XmlError::syntax("duplicate StartDocument", Default::default()));
+                }
+                self.started = true;
+                self.nodes.push(Node { kind: NodeKind::Root, parent: None, children: Vec::new() });
+                self.stack.push(NodeId::ROOT);
+            }
+            XmlEvent::EndDocument => {
+                if self.stack.len() != 1 {
+                    return Err(XmlError::syntax(
+                        "EndDocument with open elements",
+                        Default::default(),
+                    ));
+                }
+                self.stack.pop();
+                self.finished = true;
+            }
+            XmlEvent::StartElement { name, attributes } => {
+                let id = self.add(NodeKind::Element { name, attributes })?;
+                self.stack.push(id);
+            }
+            XmlEvent::EndElement { name } => {
+                let top = self.stack.pop().ok_or_else(|| {
+                    XmlError::syntax("EndElement without open element", Default::default())
+                })?;
+                match &self.nodes[top.index()].kind {
+                    NodeKind::Element { name: open, .. } if *open == name => {}
+                    NodeKind::Element { name: open, .. } => {
+                        return Err(XmlError::MismatchedTag {
+                            expected: open.clone(),
+                            found: name,
+                            position: Default::default(),
+                        })
+                    }
+                    _ => {
+                        return Err(XmlError::syntax(
+                            "EndElement closing the document root",
+                            Default::default(),
+                        ))
+                    }
+                }
+            }
+            XmlEvent::Text(t) => {
+                self.add(NodeKind::Text(t))?;
+            }
+            XmlEvent::Comment(c) => {
+                self.add(NodeKind::Comment(c))?;
+            }
+            XmlEvent::ProcessingInstruction { target, data } => {
+                self.add(NodeKind::ProcessingInstruction { target, data })?;
+            }
+        }
+        Ok(())
+    }
+
+    fn add(&mut self, kind: NodeKind) -> Result<NodeId> {
+        let parent = *self.stack.last().ok_or_else(|| {
+            XmlError::syntax("content outside the document", Default::default())
+        })?;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// Finish building; fails if the stream was incomplete.
+    pub fn finish(self) -> Result<Document> {
+        if !self.finished {
+            return Err(XmlError::UnexpectedEof { open_element: None, position: Default::default() });
+        }
+        Ok(Document { nodes: self.nodes })
+    }
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        TreeBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Document {
+        Document::parse_str("<a><a><c/></a><b/><c/></a>").unwrap()
+    }
+
+    #[test]
+    fn figure_1_tree_shape() {
+        let d = fig1();
+        // Virtual root with single child a.
+        let root_children: Vec<_> = d.child_elements(NodeId::ROOT).collect();
+        assert_eq!(root_children.len(), 1);
+        let a = root_children[0];
+        assert_eq!(d.name(a), Some("a"));
+        let kids: Vec<_> = d.child_elements(a).map(|c| d.name(c).unwrap().to_string()).collect();
+        assert_eq!(kids, vec!["a", "b", "c"]);
+        assert_eq!(d.element_count(), 5);
+        assert_eq!(d.max_depth(), 3); // root=0, a=1, inner a=2, inner c=3
+    }
+
+    #[test]
+    fn node_ids_are_document_ordered() {
+        let d = fig1();
+        let ids: Vec<_> = d.elements().collect();
+        let names: Vec<_> = ids.iter().map(|id| d.name(*id).unwrap()).collect();
+        assert_eq!(names, vec!["a", "a", "c", "b", "c"]);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parent_and_depth() {
+        let d = fig1();
+        let ids: Vec<_> = d.elements().collect();
+        let inner_c = ids[2];
+        assert_eq!(d.depth(inner_c), 3);
+        assert_eq!(d.parent(inner_c), Some(ids[1]));
+        assert_eq!(d.parent(NodeId::ROOT), None);
+        assert_eq!(d.depth(NodeId::ROOT), 0);
+    }
+
+    #[test]
+    fn events_roundtrip_through_tree() {
+        let xml = r#"<r a="1"><x>text</x><!--c--><?pi d?><y><z/></y>tail</r>"#;
+        let events = crate::reader::parse_events(xml).unwrap();
+        let d = Document::from_events(events.clone()).unwrap();
+        assert_eq!(d.subtree_events(NodeId::ROOT), events);
+    }
+
+    #[test]
+    fn to_xml_roundtrips() {
+        let xml = r#"<r a="1"><x>te&amp;xt</x><y><z></z></y></r>"#;
+        let d = Document::parse_str(xml).unwrap();
+        assert_eq!(d.to_xml(), xml);
+    }
+
+    #[test]
+    fn subtree_string_of_inner_node() {
+        let d = fig1();
+        let ids: Vec<_> = d.elements().collect();
+        assert_eq!(d.subtree_string(ids[1]), "<a><c></c></a>");
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let d = Document::parse_str("<a>one<b>two</b>three</a>").unwrap();
+        assert_eq!(d.text_content(NodeId::ROOT), "onetwothree");
+    }
+
+    #[test]
+    fn builder_rejects_bad_sequences() {
+        let mut b = TreeBuilder::new();
+        assert!(b.push(XmlEvent::open("a")).is_err()); // content before StartDocument
+
+        let mut b = TreeBuilder::new();
+        b.push(XmlEvent::StartDocument).unwrap();
+        b.push(XmlEvent::open("a")).unwrap();
+        assert!(b.push(XmlEvent::close("b")).is_err()); // mismatch
+
+        let mut b = TreeBuilder::new();
+        b.push(XmlEvent::StartDocument).unwrap();
+        b.push(XmlEvent::open("a")).unwrap();
+        assert!(b.push(XmlEvent::EndDocument).is_err()); // open element
+
+        let b = TreeBuilder::new();
+        assert!(b.finish().is_err()); // nothing fed
+    }
+}

@@ -1,0 +1,102 @@
+//! Coverage for public API entry points not exercised by the module tests:
+//! file/stream-oriented constructors and error paths.
+
+use spex_xml::{Document, Reader, StreamStats, WriteOptions, Writer, XmlEvent};
+use std::io::Write as _;
+
+#[test]
+fn parse_reader_streams_from_io() {
+    let xml = b"<r><a>1</a><b/></r>".to_vec();
+    let doc = Document::parse_reader(std::io::Cursor::new(xml)).unwrap();
+    assert_eq!(doc.element_count(), 3);
+    assert_eq!(doc.to_xml(), "<r><a>1</a><b></b></r>");
+}
+
+#[test]
+fn parse_reader_from_file() {
+    let dir = std::env::temp_dir().join("spex-xml-api-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.xml");
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all("<r><x/></r>".as_bytes()).unwrap();
+    drop(f);
+    let doc = Document::parse_reader(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(doc.element_count(), 2);
+}
+
+#[test]
+fn reader_over_chunked_io() {
+    /// Returns at most 3 bytes per read, splitting tokens across calls.
+    struct Trickle(Vec<u8>, usize);
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.1 >= self.0.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(3).min(self.0.len() - self.1);
+            buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+            self.1 += n;
+            Ok(n)
+        }
+    }
+    let xml = r#"<root attr="value with spaces"><child>text &amp; more</child></root>"#;
+    let events: Vec<XmlEvent> = Reader::new(Trickle(xml.as_bytes().to_vec(), 0))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(events, spex_xml::reader::parse_events(xml).unwrap());
+}
+
+#[test]
+fn writer_reports_io_errors() {
+    /// A sink that fails after a few bytes.
+    struct Full(usize);
+    impl std::io::Write for Full {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.0 == 0 {
+                return Err(std::io::Error::other("disk full"));
+            }
+            let n = buf.len().min(self.0);
+            self.0 -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut w = Writer::new(Full(4));
+    let mut failed = false;
+    for ev in spex_xml::reader::parse_events("<aaaa><bbbb/></aaaa>").unwrap() {
+        if w.write(&ev).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "the injected I/O failure must surface");
+}
+
+#[test]
+fn stats_of_str_propagates_parse_errors() {
+    assert!(StreamStats::of_str("<a><b></a>").is_err());
+}
+
+#[test]
+fn pretty_writer_handles_mixed_content() {
+    let events = spex_xml::reader::parse_events("<a>t<b/>u</a>").unwrap();
+    let mut w = Writer::with_options(
+        Vec::new(),
+        WriteOptions { declaration: false, indent: Some(2) },
+    );
+    w.write_all(&events).unwrap();
+    let s = String::from_utf8(w.into_inner().unwrap()).unwrap();
+    // Mixed content keeps its text; reparsing preserves the text pieces.
+    let roundtrip = spex_xml::reader::parse_events(&s).unwrap();
+    let texts: Vec<&str> = roundtrip
+        .iter()
+        .filter_map(|e| match e {
+            XmlEvent::Text(t) => Some(t.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(texts.concat().contains('t'));
+    assert!(texts.concat().contains('u'));
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the XML substrate:
+//!
+//! * serialize → parse → identical event stream / tree,
+//! * the parser never panics on arbitrary byte soup,
+//! * stream statistics agree with the materialized tree.
+
+use proptest::prelude::*;
+use spex_xml::{Attribute, Document, NodeId, Reader, StreamStats, Writer, XmlEvent};
+
+/// A strategy for element/attribute names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+/// Text without any constraints the escaper can't handle.
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes markup characters and non-ASCII to exercise escaping.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just(' '),
+            Just('é'),
+            Just('質'),
+        ],
+        1..20,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+/// Recursive strategy for a subtree, returned as a balanced event list.
+fn subtree_strategy(depth: u32) -> impl Strategy<Value = Vec<XmlEvent>> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(|t| vec![XmlEvent::Text(t)]),
+        (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..3))
+            .prop_map(|(n, attrs)| {
+                let attributes = dedup_attrs(attrs);
+                vec![
+                    XmlEvent::StartElement { name: n.clone(), attributes },
+                    XmlEvent::EndElement { name: n },
+                ]
+            }),
+    ];
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        (name_strategy(), proptest::collection::vec(inner, 0..4)).prop_map(|(n, kids)| {
+            let mut events = vec![XmlEvent::open(n.clone())];
+            for k in kids {
+                events.extend(k);
+            }
+            events.push(XmlEvent::close(n));
+            events
+        })
+    })
+}
+
+fn dedup_attrs(attrs: Vec<(String, String)>) -> Vec<Attribute> {
+    let mut seen = std::collections::HashSet::new();
+    attrs
+        .into_iter()
+        .filter(|(n, _)| seen.insert(n.clone()))
+        .map(|(n, v)| Attribute::new(n, v))
+        .collect()
+}
+
+/// A full document event stream: StartDocument, one root wrapping the
+/// subtree, EndDocument.
+fn document_strategy() -> impl Strategy<Value = Vec<XmlEvent>> {
+    (name_strategy(), proptest::collection::vec(subtree_strategy(3), 0..4)).prop_map(
+        |(root, kids)| {
+            let mut events = vec![XmlEvent::StartDocument, XmlEvent::open(root.clone())];
+            for k in kids {
+                events.extend(k);
+            }
+            events.push(XmlEvent::close(root));
+            events.push(XmlEvent::EndDocument);
+            events
+        },
+    )
+}
+
+/// Merge adjacent text events — the parser merges raw text runs, so the
+/// comparison must too.
+fn normalize(events: &[XmlEvent]) -> Vec<XmlEvent> {
+    let mut out: Vec<XmlEvent> = Vec::with_capacity(events.len());
+    for e in events {
+        if let (Some(XmlEvent::Text(prev)), XmlEvent::Text(t)) = (out.last_mut(), e) {
+            prev.push_str(t);
+            continue;
+        }
+        out.push(e.clone());
+    }
+    // Drop empty text events, which serialize to nothing.
+    out.retain(|e| !matches!(e, XmlEvent::Text(t) if t.is_empty()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_roundtrip(events in document_strategy()) {
+        let mut w = Writer::new(Vec::new());
+        w.write_all(&events).unwrap();
+        let xml = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let reparsed: Vec<XmlEvent> = Reader::from_bytes(xml.clone().into_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nxml: {xml}"));
+        prop_assert_eq!(normalize(&reparsed), normalize(&events));
+    }
+
+    #[test]
+    fn tree_roundtrip(events in document_strategy()) {
+        let doc = Document::from_events(events.clone()).unwrap();
+        let back = doc.subtree_events(NodeId::ROOT);
+        prop_assert_eq!(normalize(&back), normalize(&events));
+    }
+
+    #[test]
+    fn stats_agree_with_tree(events in document_strategy()) {
+        let stats = StreamStats::of_events(&events);
+        let doc = Document::from_events(events).unwrap();
+        prop_assert_eq!(stats.elements, doc.element_count());
+        prop_assert_eq!(stats.max_depth, doc.max_depth());
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_soup(input in "[ -~]{0,200}") {
+        // Errors allowed; panics are not.
+        let _ = spex_xml::reader::parse_events(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(input in proptest::collection::vec(any::<u8>(), 0..200)) {
+        for item in Reader::from_bytes(input) {
+            if item.is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn parser_accepts_its_own_pretty_output(events in document_strategy()) {
+        let mut w = Writer::with_options(
+            Vec::new(),
+            spex_xml::WriteOptions { declaration: true, indent: Some(2) },
+        );
+        w.write_all(&events).unwrap();
+        let xml = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let reparsed: Result<Vec<XmlEvent>, _> = Reader::from_bytes(xml.into_bytes()).collect();
+        prop_assert!(reparsed.is_ok());
+    }
+}

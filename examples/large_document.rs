@@ -1,0 +1,70 @@
+//! Querying a very large document with constant memory — the paper's Fig. 15
+//! scenario, where the in-memory processors ran out of memory on the DMOZ
+//! dumps while "the SPEX prototype uses a constant amount of memory … for
+//! all of the given queries and documents".
+//!
+//! A DMOZ-structure-like stream (default 1/20 of the paper's 300 MB; pass a
+//! scale factor as the first argument) is generated on the fly and never
+//! materialized: generator → SPEX network → counting sink.
+//!
+//! ```sh
+//! cargo run --release --example large_document          # 1/20 scale (~15 MB)
+//! cargo run --release --example large_document -- 0.5   # ~150 MB
+//! ```
+
+use spex::core::{CompiledNetwork, CountingSink, Evaluator};
+use spex::workloads::{dmoz_structure, queries_for, Dataset};
+use std::time::Instant;
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("DMOZ structure at scale {scale} (paper full size: 300 MB, 3,940,716 elements)\n");
+
+    for qc in queries_for(Dataset::DmozStructure) {
+        let network = CompiledNetwork::compile(&qc.rpeq());
+        let mut sink = CountingSink::new();
+        let mut eval = Evaluator::new(&network, &mut sink);
+        let start = Instant::now();
+        let mut events = 0u64;
+        let mut bytes = 0u64;
+        for ev in dmoz_structure(scale) {
+            bytes += ev.to_string().len() as u64;
+            events += 1;
+            eval.push(ev);
+        }
+        let stats = eval.finish();
+        let elapsed = start.elapsed();
+        println!(
+            "class {} {:32} {:>9.2?}  ({:.1} MB/s, {} results, peak buffered events {}, stacks d={} c={})",
+            qc.class,
+            qc.text,
+            elapsed,
+            bytes as f64 / 1e6 / elapsed.as_secs_f64(),
+            sink.results,
+            stats.peak_buffered_events,
+            stats.max_depth_stack,
+            stats.max_cond_stack,
+        );
+        let _ = events;
+    }
+
+    if let Some(kb) = peak_rss_kb() {
+        println!("\npeak RSS of this process: {:.1} MB", kb as f64 / 1024.0);
+        println!("(the paper's prototype used a constant 8.5–11 MB including the JVM;");
+        println!(" the point is that memory does not grow with the document size — try");
+        println!(" different scale factors and watch this number stay put.)");
+    }
+}

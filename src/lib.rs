@@ -1,0 +1,28 @@
+//! # SPEX — streamed and progressive evaluation of regular path expressions
+//! with qualifiers against XML streams
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual crates
+//! for details:
+//!
+//! * [`xml`] ([`spex_xml`]) — streaming XML parser, writer, tree, statistics,
+//! * [`query`] ([`spex_query`]) — the rpeq query language,
+//! * [`formula`] ([`spex_formula`]) — condition variables and boolean
+//!   condition formulas,
+//! * [`core`] ([`spex_core`]) — the SPEX transducer network, compiler and
+//!   evaluation engine (the paper's contribution),
+//! * [`baseline`] ([`spex_baseline`]) — the in-memory and automaton baselines
+//!   the paper compares against,
+//! * [`workloads`] ([`spex_workloads`]) — the synthetic datasets and query
+//!   classes of the evaluation section.
+
+#![forbid(unsafe_code)]
+
+pub use spex_baseline as baseline;
+pub use spex_core as core;
+pub use spex_formula as formula;
+pub use spex_query as query;
+pub use spex_workloads as workloads;
+pub use spex_xml as xml;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

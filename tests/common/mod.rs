@@ -1,0 +1,65 @@
+//! Shared helpers for the cross-crate integration tests.
+#![allow(dead_code)] // each test binary uses a subset
+
+use spex::core::{CompiledNetwork, Evaluator, SpanCollector};
+use spex::query::Rpeq;
+use spex::xml::{Document, NodeId, XmlEvent};
+
+/// Evaluate `query` with the SPEX engine, returning the *node identities*
+/// of the results: the tick (event index) at which each result fragment's
+/// opening message appeared.
+pub fn spex_spans(query: &Rpeq, events: &[XmlEvent]) -> Vec<u64> {
+    let net = CompiledNetwork::compile(query);
+    let mut sink = SpanCollector::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    for ev in events {
+        eval.push(ev.clone());
+    }
+    eval.finish();
+    sink.starts
+}
+
+/// Map every node of the materialized document to the tick of its opening
+/// event: the k-th element corresponds to the k-th `StartElement` event, and
+/// the virtual root to `StartDocument` (tick 0).
+pub fn node_open_ticks(doc: &Document, events: &[XmlEvent]) -> impl Fn(NodeId) -> u64 {
+    let mut open_ticks: Vec<u64> = Vec::with_capacity(doc.element_count());
+    for (i, ev) in events.iter().enumerate() {
+        if matches!(ev, XmlEvent::StartElement { .. }) {
+            open_ticks.push(i as u64);
+        }
+    }
+    let element_ids: Vec<NodeId> = doc.elements().collect();
+    move |id: NodeId| {
+        if id == NodeId::ROOT {
+            return 0;
+        }
+        let k = element_ids
+            .binary_search(&id)
+            .expect("node is an element of this document");
+        open_ticks[k]
+    }
+}
+
+/// Evaluate `query` with the DOM set-semantics oracle, returning the same
+/// node identities as [`spex_spans`].
+pub fn dom_spans(query: &Rpeq, events: &[XmlEvent]) -> Vec<u64> {
+    let doc = Document::from_events(events.to_vec()).expect("well-formed");
+    let tick_of = node_open_ticks(&doc, events);
+    spex::baseline::DomEvaluator::new(&doc)
+        .evaluate(query)
+        .into_iter()
+        .map(tick_of)
+        .collect()
+}
+
+/// Evaluate `query` with the tree-NFA evaluator, same identities.
+pub fn tree_nfa_spans(query: &Rpeq, events: &[XmlEvent]) -> Vec<u64> {
+    let doc = Document::from_events(events.to_vec()).expect("well-formed");
+    let tick_of = node_open_ticks(&doc, events);
+    spex::baseline::TreeNfaEvaluator::new(&doc)
+        .evaluate(query)
+        .into_iter()
+        .map(tick_of)
+        .collect()
+}

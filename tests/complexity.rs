@@ -1,0 +1,185 @@
+//! Measured counterparts of the §V complexity results (experiments E5/E7):
+//!
+//! * Lemma V.1 — network degree linear in the query length,
+//! * depth/condition stacks bounded by the stream depth *d*,
+//! * formula sizes per language fragment: o(φ) = 1 without qualifiers,
+//!   o(φ) ≤ min(n, d) without closure, growth with qualified wildcard
+//!   closures in the general case, and Σnᵢ ≤ d in the sequential case of
+//!   Remark V.1.
+
+mod common;
+
+use spex::core::{CompiledNetwork, CountingSink, Evaluator, EngineStats};
+use spex::query::{QueryMetrics, Rpeq};
+
+fn run_stats(query: &str, xml: &str) -> EngineStats {
+    let q: Rpeq = query.parse().unwrap();
+    let net = CompiledNetwork::compile(&q);
+    let mut sink = CountingSink::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    eval.push_str(xml).unwrap();
+    eval.finish()
+}
+
+/// A recursive document of the given element depth: `<a><a>…</a></a>`.
+fn nested(label: &str, depth: usize) -> String {
+    let mut xml = String::new();
+    for _ in 0..depth {
+        xml.push_str(&format!("<{label}>"));
+    }
+    xml.push_str("<leaf/>");
+    for _ in 0..depth {
+        xml.push_str(&format!("</{label}>"));
+    }
+    xml
+}
+
+#[test]
+fn lemma_v1_network_degree_linear() {
+    let mut prev = 0;
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let q: Rpeq = (0..n)
+            .map(|i| format!("_*.s{i}[t{i}]"))
+            .collect::<Vec<_>>()
+            .join(".")
+            .parse()
+            .unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let m = QueryMetrics::of(&q);
+        let degree = net.degree();
+        // Linear: bounded by a constant factor of the AST length, and
+        // monotone in n.
+        assert!(degree <= 6 * m.length + 2, "degree {degree} vs length {}", m.length);
+        assert!(degree > prev);
+        prev = degree;
+    }
+}
+
+#[test]
+fn stacks_bounded_by_stream_depth() {
+    for d in [2usize, 8, 32, 64] {
+        let xml = nested("a", d);
+        let stats = run_stats("_*.a[leaf]", &xml);
+        // The stream depth is d+2 ($, a×d … plus the leaf).
+        assert_eq!(stats.max_stream_depth, d + 2);
+        assert!(
+            stats.max_depth_stack <= d + 2,
+            "depth stack {} exceeds stream depth {}",
+            stats.max_depth_stack,
+            d + 2
+        );
+        assert!(
+            stats.max_cond_stack <= d + 2,
+            "cond stack {} exceeds stream depth {}",
+            stats.max_cond_stack,
+            d + 2
+        );
+    }
+}
+
+/// Fragment rpeq* (no qualifiers): "there can be only a single boolean
+/// formula in the condition stacks, i.e. true … o(φ) = 1."
+#[test]
+fn formula_size_constant_without_qualifiers() {
+    for d in [4usize, 16, 64] {
+        let stats = run_stats("_*.a+._*.leaf", &nested("a", d));
+        assert_eq!(stats.max_formula_size, 1, "at depth {d}");
+    }
+}
+
+/// Fragment rpeq[] (qualifiers, no closure): o(φ) ≤ min(n, d).
+#[test]
+fn formula_size_bounded_without_closure() {
+    // n qualifiers chained on child steps: the document is flat so d is
+    // small; formulas stay within min(n, d).
+    for n in [1usize, 2, 4] {
+        let query = format!(
+            "r{}",
+            (0..n).map(|_| "[x].r".to_string()).collect::<String>()
+        );
+        let mut xml = String::from("<r><x/>");
+        for _ in 0..n {
+            xml.push_str("<r><x/>");
+        }
+        for _ in 0..n {
+            xml.push_str("</r>");
+        }
+        xml.push_str("</r>");
+        let stats = run_stats(&query, &xml);
+        let d = stats.max_stream_depth;
+        assert!(
+            stats.max_formula_size <= n.min(d) + 1,
+            "o(φ) = {} for n = {n}, d = {d}",
+            stats.max_formula_size
+        );
+    }
+}
+
+/// Qualified wildcard closures: formulas grow with the number of
+/// simultaneously active matchings (the dⁿ analysis of §V); in the
+/// sequential case of Remark V.1 the growth is only additive (Σnᵢ ≤ d).
+#[test]
+fn formula_growth_with_qualified_closures() {
+    // Formula growth requires a *closure step downstream of a qualifier*
+    // (§V: "expressions with qualifiers on n wildcard closure steps"): the
+    // closure transducer merges the formulas of its nested match scopes by
+    // disjunction, so over a recursive document the disjunctions collect up
+    // to d qualifier-instance variables.
+    let q = "_*._[leaf]._*._";
+    let shallow = run_stats(q, &nested("a", 4));
+    let deep = run_stats(q, &nested("a", 24));
+    assert!(
+        deep.max_formula_size > shallow.max_formula_size,
+        "deep {} vs shallow {}",
+        deep.max_formula_size,
+        shallow.max_formula_size
+    );
+    // With one qualified closure the growth is linear in d (the dⁿ blow-up
+    // needs n stacked qualified closures).
+    assert!(deep.max_formula_size <= 2 * 26, "got {}", deep.max_formula_size);
+
+    // Sequential case (Remark V.1): when the two closure regions match
+    // disjoint stream regions, sizes stay additive.
+    let xml = format!("<top>{}{}</top>", nested("a", 10), nested("b", 10));
+    let seq = run_stats("_*.a[leaf]._*.b", &xml);
+    assert!(
+        seq.max_formula_size <= 24,
+        "sequential matching should stay additive, got {}",
+        seq.max_formula_size
+    );
+}
+
+/// The number of condition variables created equals the number of qualifier
+/// instances, bounded by qualifier matches (not stream size).
+#[test]
+fn variable_creation_counts() {
+    let xml = "<r><a><b/></a><a/><a><b/></a></r>";
+    let stats = run_stats("_*.a[b]", xml);
+    assert_eq!(stats.vars_created, 3, "one instance per a element");
+    let stats2 = run_stats("r[a]", xml);
+    assert_eq!(stats2.vars_created, 1);
+}
+
+/// Evaluation time is linear in the stream size: message counts scale
+/// linearly with stream length for a fixed query (Theorem V.1 proxy).
+#[test]
+fn messages_linear_in_stream_size() {
+    let q = "_*.rec[flag].v";
+    let make = |n: usize| {
+        let mut xml = String::from("<db>");
+        for i in 0..n {
+            xml.push_str(&format!("<rec><flag/><v>{i}</v></rec>"));
+        }
+        xml.push_str("</db>");
+        xml
+    };
+    let s1 = run_stats(q, &make(100));
+    let s4 = run_stats(q, &make(400));
+    let ratio = s4.messages as f64 / s1.messages as f64;
+    assert!(
+        (3.5..=4.5).contains(&ratio),
+        "messages should scale ~4x, got {ratio:.2} ({} vs {})",
+        s4.messages,
+        s1.messages
+    );
+}

@@ -1,0 +1,318 @@
+//! Differential testing: the streamed SPEX engine, the DOM set-semantics
+//! oracle, and the tree-NFA evaluator must select exactly the same nodes —
+//! on the paper's examples, on targeted corner cases, and on thousands of
+//! random (document, query) pairs.
+
+mod common;
+
+use common::{dom_spans, spex_spans, tree_nfa_spans};
+use spex::query::Rpeq;
+use spex::workloads::random::{
+    random_document, random_query, rng, DocConfig, QueryConfig,
+};
+use spex::xml::reader::parse_events;
+use spex::xml::XmlEvent;
+
+fn check(query: &Rpeq, events: &[XmlEvent], context: &str) {
+    let spex = spex_spans(query, events);
+    let dom = dom_spans(query, events);
+    assert_eq!(
+        spex, dom,
+        "SPEX vs DOM disagree on `{query}` over {context}"
+    );
+    let nfa = tree_nfa_spans(query, events);
+    assert_eq!(
+        dom, nfa,
+        "DOM vs tree-NFA disagree on `{query}` over {context}"
+    );
+}
+
+fn check_str(query: &str, xml: &str) {
+    let q: Rpeq = query.parse().unwrap();
+    let events = parse_events(xml).unwrap();
+    check(&q, &events, xml);
+}
+
+#[test]
+fn fixed_corner_cases() {
+    let docs = [
+        "<a/>",
+        "<a><a><a/></a></a>",
+        "<a><b/><b/><b/></a>",
+        "<a><a><c/></a><b/><c/></a>",
+        "<a><b><a><b><a/></b></a></b></a>",
+        "<r>t1<a>t2</a>t3<b><a/></b></r>",
+        "<a><a><a><b/></a><b/></a><b/></a>",
+    ];
+    let queries = [
+        "%", "_", "a", "b", "_*", "a+", "a*", "_+", "_*._", "a.a", "a.b", "_._",
+        "a+.b", "a*.b", "a.a.a", "(a|b)", "a.(a|b)", "(a|b).(a|b)", "a?", "a?.b",
+        "a[b]", "a[a]", "_*.a[b]", "a[b].b", "a[b[a]]", "a[a.b]", "_*[b]",
+        "a[b]?", "(a[b]|b)", "a+[b]", "_*._[b]", "a[_*.b]", "%[a]", "a[%]",
+        "a.%.b", "(%|a)", "_*.a[b]._*.b",
+    ];
+    for d in docs {
+        for q in queries {
+            check_str(q, d);
+        }
+    }
+}
+
+#[test]
+fn qualifier_timing_cases() {
+    // Past vs future conditions, multiple instances, nested scopes.
+    check_str("_*.a[b].c", "<r><a><c/><b/><c/></a></r>");
+    check_str("_*.a[b].c", "<r><a><b/><c/></a><a><c/></a></r>");
+    check_str("_*.a[b].c", "<a><a><b/><c/></a><c/></a>");
+    check_str("_*.a[b].c", "<a><a><c/><b/></a><c/><b/></a>");
+    check_str("_*.a[_*.b]", "<a><a><x><b/></x></a></a>");
+    check_str("a+[b]", "<a><a><b/></a></a>");
+    check_str("a+[b].c", "<a><a><b/><c/></a><c/></a>");
+}
+
+#[test]
+fn closure_scope_cases() {
+    // Nested closure scopes (the ns/s/e depth symbols of Fig. 3).
+    check_str("_*.a+", "<a><a><a/></a></a>");
+    check_str("_*.a+.b", "<x><a><a><b/></a><b/></a><b/></x>");
+    check_str("a+.a+", "<a><a><a><a/></a></a></a>");
+    check_str("_+._+", "<a><b><c><d/></c></b></a>");
+    check_str("a*.a*", "<a><a/></a>");
+}
+
+#[test]
+fn random_differential_small() {
+    let doc_cfg = DocConfig { max_depth: 4, max_fanout: 3, ..DocConfig::default() };
+    let q_cfg = QueryConfig { max_depth: 3, ..QueryConfig::default() };
+    let mut r = rng(0xD1FF);
+    for case in 0..400 {
+        let events = random_document(&mut r, &doc_cfg);
+        let query = random_query(&mut r, &q_cfg);
+        let xml = spex::workloads::events_to_xml(&events);
+        check(&query, &events, &format!("case {case}: {xml}"));
+    }
+}
+
+#[test]
+fn random_differential_deep_documents() {
+    let doc_cfg = DocConfig {
+        max_depth: 9,
+        max_fanout: 2,
+        labels: vec!["a".into(), "b".into()],
+        ..DocConfig::default()
+    };
+    let q_cfg = QueryConfig {
+        max_depth: 4,
+        labels: vec!["a".into(), "b".into()],
+        ..QueryConfig::default()
+    };
+    let mut r = rng(0xDEEF);
+    for case in 0..200 {
+        let events = random_document(&mut r, &doc_cfg);
+        let query = random_query(&mut r, &q_cfg);
+        let xml = spex::workloads::events_to_xml(&events);
+        check(&query, &events, &format!("deep case {case}: {xml}"));
+    }
+}
+
+#[test]
+fn random_differential_qualifier_heavy() {
+    // Bias towards qualifiers by nesting two random qualifier layers.
+    let doc_cfg = DocConfig { max_depth: 6, max_fanout: 3, ..DocConfig::default() };
+    let q_cfg = QueryConfig { max_depth: 2, ..QueryConfig::default() };
+    let mut r = rng(0x9A4C);
+    for case in 0..200 {
+        let events = random_document(&mut r, &doc_cfg);
+        let base = random_query(&mut r, &q_cfg);
+        let qual = random_query(&mut r, &q_cfg);
+        let query = Rpeq::descend().then(base.with_qualifier(qual));
+        let xml = spex::workloads::events_to_xml(&events);
+        check(&query, &events, &format!("qualifier case {case}: {xml}"));
+    }
+}
+
+#[test]
+fn fragments_agree_not_only_spans() {
+    // Full serialized fragments, not just node identities.
+    let xml = "<lib><book id=\"1\"><isbn/>text</book><book id=\"2\"/></lib>";
+    let q = "lib.book[isbn]";
+    let spex = spex::core::evaluate_str(q, xml).unwrap();
+    let doc = spex::xml::Document::parse_str(xml).unwrap();
+    let dom = spex::baseline::DomEvaluator::new(&doc)
+        .evaluate_fragments(&q.parse().unwrap());
+    assert_eq!(spex, dom);
+    assert_eq!(spex, vec!["<book id=\"1\"><isbn></isbn>text</book>"]);
+}
+
+#[test]
+fn following_axis_spex_vs_dom() {
+    // `~l` (following::l) — the SPEX-engine extension; compared against the
+    // DOM oracle only (the automaton baselines cover core rpeq).
+    let docs = [
+        "<r><a><b/></a><b/><c><b/></c></r>",
+        "<r><b/><a/><b/></r>",
+        "<a><a><c/></a><b/><c/></a>",
+        "<r><x><a/><b/></x><x><b/></x></r>",
+    ];
+    let queries = [
+        "r.a.~b",      // b's after each a closes
+        "_*.a.~_",     // everything after any a
+        "~b",          // following of the virtual root: nothing
+        "_*.b.~b",     // b's after b's
+        "r._.~b[%]",   // qualifier on a following step
+        "r.(a|x).~b",  // following after a union
+        "_*.a.~b.c",   // continue navigating below a following match
+    ];
+    for d in docs {
+        let events = parse_events(d).unwrap();
+        for q in queries {
+            let query: Rpeq = q.parse().unwrap();
+            let spex = spex_spans(&query, &events);
+            let dom = dom_spans(&query, &events);
+            assert_eq!(spex, dom, "query `{q}` over {d}");
+        }
+    }
+}
+
+#[test]
+fn following_axis_random_differential() {
+    let doc_cfg = DocConfig { max_depth: 5, max_fanout: 3, ..DocConfig::default() };
+    let q_cfg = QueryConfig { max_depth: 2, ..QueryConfig::default() };
+    let mut r = rng(0xF0110);
+    for case in 0..200 {
+        let events = random_document(&mut r, &doc_cfg);
+        // Random prefix, then a following step, then a random suffix.
+        let prefix = random_query(&mut r, &q_cfg);
+        let suffix = random_query(&mut r, &q_cfg);
+        let labels = ["a", "b", "c"];
+        let q = prefix
+            .then(Rpeq::following(labels[case % 3]))
+            .then(suffix);
+        let spex = spex_spans(&q, &events);
+        let dom = dom_spans(&q, &events);
+        assert_eq!(
+            spex,
+            dom,
+            "case {case}: `{q}` over {}",
+            spex::workloads::events_to_xml(&events)
+        );
+    }
+}
+
+#[test]
+fn preceding_axis_spex_vs_dom() {
+    let docs = [
+        "<r><b/><a/><b/></r>",
+        "<r><a><b/></a><b/><c><a/></c></r>",
+        "<b><a/></b>",
+        "<r><x><b/></x><x><a/></x><b/></r>",
+        "<a><a><c/></a><b/><c/></a>",
+    ];
+    let queries = [
+        "r.a.^b",      // b's before each a
+        "_*.a.^_",     // everything before any a
+        "^b",          // preceding of the virtual root: nothing
+        "_*.b.^b",     // b's before b's
+        "r._.^b.%",    // preceding then identity
+        "r.a.^x.b",    // continue navigating below a preceding match
+    ];
+    for d in docs {
+        let events = parse_events(d).unwrap();
+        for q in queries {
+            let query: Rpeq = q.parse().unwrap();
+            let spex = spex_spans(&query, &events);
+            let dom = dom_spans(&query, &events);
+            assert_eq!(spex, dom, "query `{q}` over {d}");
+        }
+    }
+}
+
+#[test]
+fn preceding_inside_qualifiers_is_rejected_with_rewrite_hint() {
+    // `_*.a[^b]` would make the qualifier instance and the speculative
+    // preceding variables mutually dependent; the compiler rejects it and
+    // points at the `following::` rewriting, which selects the same nodes:
+    let err = spex::core::evaluate_str("_*.a[^b]", "<r><b/><a/></r>").unwrap_err();
+    assert!(matches!(err, spex::core::EvalError::Compile(_)), "{err}");
+    assert!(err.to_string().contains('~'));
+    // The rewriting: `_*.a[^b]` ≡ `_*.b.~a` (a's preceded by some b).
+    let xml = "<r><b/><a/><a/><x><a/></x></r>";
+    let rewritten = spex::core::evaluate_str("_*.b.~a", xml).unwrap();
+    let doc = spex::xml::Document::parse_str(xml).unwrap();
+    let oracle = spex::baseline::DomEvaluator::new(&doc)
+        .evaluate_fragments(&"_*.a[^b]".parse().unwrap());
+    assert_eq!(rewritten, oracle);
+}
+
+#[test]
+fn preceding_axis_random_differential() {
+    let doc_cfg = DocConfig { max_depth: 5, max_fanout: 3, ..DocConfig::default() };
+    let q_cfg = QueryConfig { max_depth: 2, ..QueryConfig::default() };
+    let mut r = rng(0x9_4E4);
+    for case in 0..200 {
+        let events = random_document(&mut r, &doc_cfg);
+        let prefix = random_query(&mut r, &q_cfg);
+        let suffix = random_query(&mut r, &q_cfg);
+        let labels = ["a", "b", "c"];
+        let q = prefix
+            .then(Rpeq::preceding(labels[case % 3]))
+            .then(suffix);
+        let spex = spex_spans(&q, &events);
+        let dom = dom_spans(&q, &events);
+        assert_eq!(
+            spex,
+            dom,
+            "case {case}: `{q}` over {}",
+            spex::workloads::events_to_xml(&events)
+        );
+    }
+}
+
+#[test]
+fn backward_axis_rewriting_end_to_end() {
+    // //x/parent::b — parents of x nodes that are labelled b.
+    let xml = "<a><x/><b><x/></b><c><b><y/></b></c></a>";
+    let q = spex::query::xpath::parse_xpath("//x/parent::b").unwrap();
+    let frags = {
+        let events = parse_events(xml).unwrap();
+        let spans = spex_spans(&q, &events);
+        assert_eq!(dom_spans(&q, &events), spans);
+        spans
+    };
+    // Only the first <b> (it has an x child); it opens at tick 4
+    // (<$>=0, <a>=1, <x>=2, </x>=3).
+    assert_eq!(frags, vec![4]);
+
+    // //y/ancestor::b and ancestor-or-self.
+    let q2 = spex::query::xpath::parse_xpath("//y/ancestor::b").unwrap();
+    let events = parse_events(xml).unwrap();
+    let spans2 = spex_spans(&q2, &events);
+    assert_eq!(dom_spans(&q2, &events), spans2);
+    assert_eq!(spans2.len(), 1); // the b inside c
+
+    let q3 = spex::query::xpath::parse_xpath("//b/ancestor-or-self::b").unwrap();
+    let events3 = parse_events(xml).unwrap();
+    let spans3 = spex_spans(&q3, &events3);
+    assert_eq!(dom_spans(&q3, &events3), spans3);
+    assert_eq!(spans3.len(), 2); // both b elements (each is its own or-self)
+}
+
+#[test]
+fn stream_nfa_agrees_on_qualifier_free_fragment() {
+    let doc_cfg = DocConfig::default();
+    let q_cfg = QueryConfig { qualifiers: false, ..QueryConfig::default() };
+    let mut r = rng(0x5E1);
+    for _ in 0..200 {
+        let events = random_document(&mut r, &doc_cfg);
+        let query = random_query(&mut r, &q_cfg);
+        let spex = spex_spans(&query, &events);
+        let nfa = spex::baseline::StreamNfa::compile(&query).unwrap();
+        let mut picked = nfa.select(&events);
+        // The stream NFA reports only element nodes; SPEX's ε-ish queries
+        // may additionally select the virtual root (tick 0).
+        let spex_without_root: Vec<u64> =
+            spex.into_iter().filter(|t| *t != 0).collect();
+        picked.retain(|t| *t != 0);
+        assert_eq!(spex_without_root, picked, "on `{query}`");
+    }
+}

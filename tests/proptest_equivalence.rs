@@ -1,0 +1,113 @@
+//! Property-based differential testing with shrinking: for arbitrary
+//! documents and arbitrary rpeq queries, the streamed SPEX engine and the
+//! DOM set-semantics oracle select exactly the same nodes. On failure,
+//! proptest shrinks to a minimal counterexample — this is the suite that
+//! found the nested-qualifier and union-ordering bugs during development.
+
+mod common;
+
+use common::{dom_spans, spex_spans};
+use proptest::prelude::*;
+use spex::query::{Label, Rpeq};
+use spex::xml::XmlEvent;
+
+fn label() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())]
+}
+
+fn qlabel() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        3 => label().prop_map(Label::Name),
+        1 => Just(Label::Wildcard),
+    ]
+}
+
+/// Balanced subtree events.
+fn subtree(depth: u32) -> impl Strategy<Value = Vec<XmlEvent>> {
+    let leaf = label().prop_map(|l| vec![XmlEvent::open(l.clone()), XmlEvent::close(l)]);
+    leaf.prop_recursive(depth, 48, 3, |inner| {
+        (label(), proptest::collection::vec(inner, 0..3)).prop_map(|(l, kids)| {
+            let mut v = vec![XmlEvent::open(l.clone())];
+            for k in kids {
+                v.extend(k);
+            }
+            v.push(XmlEvent::close(l));
+            v
+        })
+    })
+}
+
+fn document() -> impl Strategy<Value = Vec<XmlEvent>> {
+    (label(), proptest::collection::vec(subtree(4), 0..3)).prop_map(|(root, kids)| {
+        let mut v = vec![XmlEvent::StartDocument, XmlEvent::open(root.clone())];
+        for k in kids {
+            v.extend(k);
+        }
+        v.push(XmlEvent::close(root));
+        v.push(XmlEvent::EndDocument);
+        v
+    })
+}
+
+fn query() -> impl Strategy<Value = Rpeq> {
+    let leaf = prop_oneof![
+        4 => qlabel().prop_map(Rpeq::Step),
+        2 => qlabel().prop_map(Rpeq::Plus),
+        2 => qlabel().prop_map(Rpeq::Star),
+        1 => Just(Rpeq::Empty),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Rpeq::Concat(Box::new(a), Box::new(b))),
+            1 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Rpeq::Union(Box::new(a), Box::new(b))),
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Rpeq::Qualified(Box::new(a), Box::new(b))),
+            1 => inner.prop_map(|a| Rpeq::Optional(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn spex_equals_dom_oracle(events in document(), q in query()) {
+        let spex = spex_spans(&q, &events);
+        let dom = dom_spans(&q, &events);
+        prop_assert_eq!(
+            spex, dom,
+            "query `{}` over {}",
+            q,
+            spex::workloads::events_to_xml(&events)
+        );
+    }
+
+    #[test]
+    fn shared_multi_query_equals_individual(events in document(), q1 in query(), q2 in query()) {
+        let set = spex::core::multi::SharedQuerySet::compile(&[
+            ("q1".to_string(), q1.clone()),
+            ("q2".to_string(), q2.clone()),
+        ]);
+        let (counts, _) = set.count_events(events.iter().cloned());
+        prop_assert_eq!(counts[0], spex_spans(&q1, &events).len(), "q1 `{}`", q1);
+        prop_assert_eq!(counts[1], spex_spans(&q2, &events).len(), "q2 `{}`", q2);
+    }
+
+    #[test]
+    fn engine_statistics_invariants(events in document(), q in query()) {
+        let net = spex::core::CompiledNetwork::compile(&q);
+        let mut sink = spex::core::CountingSink::new();
+        let mut eval = spex::core::Evaluator::new(&net, &mut sink);
+        for ev in &events {
+            eval.push(ev.clone());
+        }
+        let stats = eval.finish();
+        // §V invariants, on every run.
+        prop_assert!(stats.max_depth_stack <= stats.max_stream_depth);
+        prop_assert!(stats.max_cond_stack <= stats.max_stream_depth + 1);
+        prop_assert_eq!(stats.results + stats.dropped, stats.candidates_created);
+        prop_assert_eq!(stats.ticks as usize, events.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Failure injection and pathological inputs: the engine must degrade with
+//! errors, never panics or corrupted state.
+
+mod common;
+
+use spex::core::{CompiledNetwork, CountingSink, Evaluator, FragmentCollector};
+use spex::query::Rpeq;
+use spex::xml::{XmlError, XmlEvent};
+use std::io::Read;
+
+/// A reader that yields some bytes and then fails.
+struct FailingReader {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for FailingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Err(std::io::Error::other("injected I/O failure"));
+        }
+        let n = buf.len().min(self.data.len() - self.pos).min(7);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn io_failure_mid_stream_surfaces_as_error() {
+    let q: Rpeq = "_*.b".parse().unwrap();
+    let net = CompiledNetwork::compile(&q);
+    let mut sink = CountingSink::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    let reader = FailingReader { data: b"<a><b/><b/>".to_vec(), pos: 0 };
+    let err = eval.push_reader(reader).unwrap_err();
+    assert!(matches!(err, XmlError::Io(_)), "got {err:?}");
+    // The evaluator is still usable for what it saw; finishing flushes
+    // whatever was determined.
+    let stats = eval.finish();
+    assert!(stats.ticks >= 3);
+}
+
+#[test]
+fn malformed_xml_mid_stream_surfaces_as_error() {
+    let q: Rpeq = "a".parse().unwrap();
+    let net = CompiledNetwork::compile(&q);
+    let mut sink = FragmentCollector::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    let err = eval.push_str("<a><b></a></b>").unwrap_err();
+    assert!(matches!(err, XmlError::MismatchedTag { .. }));
+}
+
+/// Events pushed by hand (not through the parser) can violate the stream
+/// grammar; the engine must not panic on release builds. These sequences
+/// are *unsupported*, the contract is merely "no crash".
+#[test]
+fn hand_fed_unbalanced_events_do_not_panic() {
+    for seq in [
+        vec![XmlEvent::close("a")],
+        vec![XmlEvent::open("a")],
+        vec![XmlEvent::EndDocument],
+        vec![XmlEvent::open("a"), XmlEvent::close("b")],
+        vec![XmlEvent::text("loose"), XmlEvent::close("x"), XmlEvent::close("x")],
+    ] {
+        let q: Rpeq = "_*.a[b]".parse().unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let mut sink = CountingSink::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        for ev in seq {
+            eval.push(ev);
+        }
+        // finish() runs the output flush; must not panic either.
+        let _ = eval.stats();
+    }
+}
+
+#[test]
+fn very_deep_documents_stream_fine() {
+    // The engine and parser are iterative; depth is bounded only by memory.
+    let depth = 20_000;
+    let mut xml = String::with_capacity(depth * 7 + 16);
+    for _ in 0..depth {
+        xml.push_str("<d>");
+    }
+    xml.push_str("<leaf/>");
+    for _ in 0..depth {
+        xml.push_str("</d>");
+    }
+    let q: Rpeq = "_*.leaf".parse().unwrap();
+    let net = CompiledNetwork::compile(&q);
+    let mut sink = CountingSink::new();
+    let mut eval = Evaluator::new(&net, &mut sink);
+    eval.push_str(&xml).unwrap();
+    let stats = eval.finish();
+    assert_eq!(sink.results, 1);
+    assert_eq!(stats.max_stream_depth, depth + 2);
+}
+
+#[test]
+fn huge_fanout_documents_stream_fine() {
+    let n = 50_000;
+    let mut xml = String::with_capacity(n * 8 + 8);
+    xml.push_str("<r>");
+    for _ in 0..n {
+        xml.push_str("<x/>");
+    }
+    xml.push_str("</r>");
+    let frag_count = spex::core::evaluate_str("r.x", &xml).unwrap().len();
+    assert_eq!(frag_count, n);
+}
+
+#[test]
+fn pathological_label_reuse() {
+    // The same label at every level, as query step, closure and qualifier:
+    // maximal ambiguity for the scope tracking.
+    let xml = "<a><a><a><a/></a></a></a>";
+    for q in ["a.a.a.a", "a+.a", "a.a+", "a+[a].a", "a[a[a[a]]]", "_*.a[a+]"] {
+        let spex = common::spex_spans(&q.parse().unwrap(), &spex::xml::reader::parse_events(xml).unwrap());
+        let dom = common::dom_spans(&q.parse().unwrap(), &spex::xml::reader::parse_events(xml).unwrap());
+        assert_eq!(spex, dom, "on {q}");
+    }
+}
+
+#[test]
+fn unicode_labels_and_content_end_to_end() {
+    let xml = "<世界><grüße id=\"ü\">héllo 🌍</grüße></世界>";
+    let frags = spex::core::evaluate_str("世界.grüße", xml).unwrap();
+    assert_eq!(frags, vec!["<grüße id=\"ü\">héllo 🌍</grüße>"]);
+}
+
+#[test]
+fn entity_heavy_content() {
+    let xml = "<r><v>&lt;&gt;&amp;&quot;&apos;&#65;</v></r>";
+    let frags = spex::core::evaluate_str("r.v", xml).unwrap();
+    // Re-escaped on output (quotes need no escaping in text).
+    assert_eq!(frags, vec!["<v>&lt;&gt;&amp;\"'A</v>"]);
+}
+
+#[test]
+fn query_size_stress() {
+    // A 400-step query compiles and runs without blowing up.
+    let q_text = (0..400).map(|i| format!("s{i}")).collect::<Vec<_>>().join(".");
+    let q: Rpeq = q_text.parse().unwrap();
+    let net = CompiledNetwork::compile(&q);
+    assert_eq!(net.degree(), 402);
+    let frags = {
+        let mut sink = CountingSink::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        eval.push_str("<s0><s1/></s0>").unwrap();
+        eval.finish();
+        sink.results
+    };
+    assert_eq!(frags, 0);
+}
+
+#[test]
+fn empty_elements_and_whitespace_only_content() {
+    let xml = "<r>  <a>   </a>  <a/>  </r>";
+    let frags = spex::core::evaluate_str("r.a", xml).unwrap();
+    assert_eq!(frags, vec!["<a>   </a>", "<a></a>"]);
+}
