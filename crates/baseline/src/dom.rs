@@ -132,8 +132,7 @@ impl<'d> DomEvaluator<'d> {
             if !self.label_matches(label, n) {
                 continue;
             }
-            let before_some =
-                context.iter().any(|s| n < *s && !self.is_descendant(*s, n));
+            let before_some = context.iter().any(|s| n < *s && !self.is_descendant(*s, n));
             if before_some {
                 out.push(n);
             }
@@ -211,7 +210,11 @@ mod tests {
         let f = frags("_*.z", xml);
         assert_eq!(
             f,
-            vec![r#"<z id="1"></z>"#, r#"<z id="2"></z>"#, r#"<z id="3"></z>"#]
+            vec![
+                r#"<z id="1"></z>"#,
+                r#"<z id="2"></z>"#,
+                r#"<z id="3"></z>"#
+            ]
         );
     }
 

@@ -25,11 +25,17 @@ pub struct FilterSet {
 impl FilterSet {
     /// An empty filter set.
     pub fn new() -> Self {
-        FilterSet { queries: Vec::new() }
+        FilterSet {
+            queries: Vec::new(),
+        }
     }
 
     /// Register a profile query under `id`.
-    pub fn add(&mut self, id: impl Into<String>, query: &Rpeq) -> Result<(), QualifiersUnsupported> {
+    pub fn add(
+        &mut self,
+        id: impl Into<String>,
+        query: &Rpeq,
+    ) -> Result<(), QualifiersUnsupported> {
         let nfa = StreamNfa::compile(query)?;
         self.queries.push((id.into(), nfa));
         Ok(())
@@ -169,7 +175,11 @@ mod tests {
     fn many_profiles_one_pass() {
         let mut s = FilterSet::new();
         for i in 0..100 {
-            s.add(format!("q{i}"), &format!("_*.tag{}", i % 10).parse().unwrap()).unwrap();
+            s.add(
+                format!("q{i}"),
+                &format!("_*.tag{}", i % 10).parse().unwrap(),
+            )
+            .unwrap();
         }
         let events = parse_events("<r><tag3/><x><tag7/></x></r>").unwrap();
         let hits = s.matching(&events);

@@ -63,7 +63,12 @@ impl StreamNfa {
         if unsupported {
             return Err(QualifiersUnsupported);
         }
-        let mut nfa = StreamNfa { steps: vec![], eps: vec![], start: 0, accept: 0 };
+        let mut nfa = StreamNfa {
+            steps: vec![],
+            eps: vec![],
+            start: 0,
+            accept: 0,
+        };
         let start = nfa.new_state();
         let accept = nfa.new_state();
         nfa.start = start;
@@ -104,8 +109,12 @@ impl StreamNfa {
     }
 
     fn closure(&self, states: &mut [bool]) {
-        let mut work: Vec<usize> =
-            states.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i).collect();
+        let mut work: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| i)
+            .collect();
         while let Some(s) = work.pop() {
             for t in &self.eps[s] {
                 if !states[*t] {
@@ -214,17 +223,29 @@ impl StreamNfa {
 fn build(nfa: &mut StreamNfa, expr: &Rpeq, from: usize, to: usize) {
     match expr {
         Rpeq::Empty => nfa.eps[from].push(to),
-        Rpeq::Step(l) => nfa.steps[from].push(StepTrans { label: l.clone(), to }),
+        Rpeq::Step(l) => nfa.steps[from].push(StepTrans {
+            label: l.clone(),
+            to,
+        }),
         Rpeq::Plus(l) => {
             let m = nfa.new_state();
-            nfa.steps[from].push(StepTrans { label: l.clone(), to: m });
-            nfa.steps[m].push(StepTrans { label: l.clone(), to: m });
+            nfa.steps[from].push(StepTrans {
+                label: l.clone(),
+                to: m,
+            });
+            nfa.steps[m].push(StepTrans {
+                label: l.clone(),
+                to: m,
+            });
             nfa.eps[m].push(to);
         }
         Rpeq::Star(l) => {
             let m = nfa.new_state();
             nfa.eps[from].push(m);
-            nfa.steps[m].push(StepTrans { label: l.clone(), to: m });
+            nfa.steps[m].push(StepTrans {
+                label: l.clone(),
+                to: m,
+            });
             nfa.eps[m].push(to);
         }
         Rpeq::Optional(e) => {
@@ -297,10 +318,18 @@ mod tests {
         let xml = "<r><a><b/><c><b/></c></a><b/><d><a><b/></a></d></r>";
         let events = parse_events(xml).unwrap();
         let doc = spex_xml::Document::from_events(events.clone()).unwrap();
-        for q in ["_", "_*._", "r.a.b", "_*.b", "r._.b", "r.(a|d).b", "r.a?.b", "r.a*.b"] {
+        for q in [
+            "_",
+            "_*._",
+            "r.a.b",
+            "_*.b",
+            "r._.b",
+            "r.(a|d).b",
+            "r.a?.b",
+            "r.a*.b",
+        ] {
             let query: Rpeq = q.parse().unwrap();
-            let dom: Vec<String> =
-                crate::dom::DomEvaluator::new(&doc).evaluate_fragments(&query);
+            let dom: Vec<String> = crate::dom::DomEvaluator::new(&doc).evaluate_fragments(&query);
             let nfa = StreamNfa::compile(&query).unwrap();
             let picked = nfa.select(&events);
             assert_eq!(picked.len(), dom.len(), "count mismatch on {q}");

@@ -99,8 +99,10 @@ fn build(nfa: &mut Nfa, expr: &Rpeq, from: usize, to: usize) {
             nfa.transitions[mid].push(Trans::Pred(sub, to));
         }
         Rpeq::Following(_) | Rpeq::Preceding(_) => {
-            panic!("the tree-NFA baseline covers the paper's core rpeq only; \
-                    `following::`/`preceding::` are SPEX-engine extensions")
+            panic!(
+                "the tree-NFA baseline covers the paper's core rpeq only; \
+                    `following::`/`preceding::` are SPEX-engine extensions"
+            )
         }
     }
 }
@@ -263,9 +265,24 @@ mod tests {
     fn agrees_with_dom_oracle_on_fixed_cases() {
         let xml = "<r><a><b/><c><b/></c></a><b/><d><a><b/></a></d></r>";
         for q in [
-            "%", "_", "_*", "_*._", "r.a.b", "_*.b", "r._.b", "a|r", "r.(a|d).b",
-            "r.a?.b", "r.a*.b", "_*.a[b]", "_*.a[b]._*.b", "r[a].b", "_*.c[b]",
-            "r.d.a[b].b", "_*[b]", "r.a[_*.b[nope]]",
+            "%",
+            "_",
+            "_*",
+            "_*._",
+            "r.a.b",
+            "_*.b",
+            "r._.b",
+            "a|r",
+            "r.(a|d).b",
+            "r.a?.b",
+            "r.a*.b",
+            "_*.a[b]",
+            "_*.a[b]._*.b",
+            "r[a].b",
+            "_*.c[b]",
+            "r.d.a[b].b",
+            "_*[b]",
+            "r.a[_*.b[nope]]",
         ] {
             let query: Rpeq = q.parse().unwrap();
             let doc = Document::parse_str(xml).unwrap();

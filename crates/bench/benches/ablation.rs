@@ -29,8 +29,7 @@ fn spex_count(net: &CompiledNetwork, events: &[XmlEvent]) -> usize {
 }
 
 fn generality_cost(c: &mut Criterion) {
-    let events: Vec<XmlEvent> =
-        spex_workloads::dmoz_structure(0.005).collect();
+    let events: Vec<XmlEvent> = spex_workloads::dmoz_structure(0.005).collect();
     let mut group = c.benchmark_group("ablation_generality");
     group.throughput(Throughput::Bytes(stream_bytes(&events)));
     group.sample_size(10);
@@ -49,8 +48,9 @@ fn generality_cost(c: &mut Criterion) {
 }
 
 fn prefix_sharing(c: &mut Criterion) {
-    let events: Vec<XmlEvent> =
-        spex_workloads::QuoteStream::new(3, 10).take(30_000).collect();
+    let events: Vec<XmlEvent> = spex_workloads::QuoteStream::new(3, 10)
+        .take(30_000)
+        .collect();
     let mut group = c.benchmark_group("ablation_prefix_sharing");
     group.sample_size(10);
     for n in [10usize, 40] {
@@ -59,7 +59,9 @@ fn prefix_sharing(c: &mut Criterion) {
                 let labels = ["symbol", "price", "volume", "alert"];
                 (
                     format!("q{i}"),
-                    format!("quotes.quote.{}", labels[i % labels.len()]).parse().unwrap(),
+                    format!("quotes.quote.{}", labels[i % labels.len()])
+                        .parse()
+                        .unwrap(),
                 )
             })
             .collect();
@@ -67,10 +69,16 @@ fn prefix_sharing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("shared", n), &events, |b, events| {
             b.iter(|| shared.count_events(events.iter().cloned()).0);
         });
-        let nets: Vec<CompiledNetwork> =
-            queries.iter().map(|(_, q)| CompiledNetwork::compile(q)).collect();
+        let nets: Vec<CompiledNetwork> = queries
+            .iter()
+            .map(|(_, q)| CompiledNetwork::compile(q))
+            .collect();
         group.bench_with_input(BenchmarkId::new("separate", n), &events, |b, events| {
-            b.iter(|| nets.iter().map(|net| spex_count(net, events)).sum::<usize>());
+            b.iter(|| {
+                nets.iter()
+                    .map(|net| spex_count(net, events))
+                    .sum::<usize>()
+            });
         });
     }
     group.finish();
@@ -95,7 +103,10 @@ fn qualifier_placement(c: &mut Criterion) {
     let net = CompiledNetwork::compile(&query);
     let mut group = c.benchmark_group("ablation_qualifier_placement");
     group.sample_size(10);
-    for (name, events) in [("past_condition", make(true)), ("future_condition", make(false))] {
+    for (name, events) in [
+        ("past_condition", make(true)),
+        ("future_condition", make(false)),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &events, |b, events| {
             b.iter(|| spex_count(&net, events));
         });
@@ -103,5 +114,10 @@ fn qualifier_placement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, generality_cost, prefix_sharing, qualifier_placement);
+criterion_group!(
+    benches,
+    generality_cost,
+    prefix_sharing,
+    qualifier_placement
+);
 criterion_main!(benches);

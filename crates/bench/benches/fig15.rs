@@ -15,10 +15,12 @@ fn fig15(c: &mut Criterion) {
         ("content", Dataset::DmozContent),
     ] {
         let bytes: u64 = match dataset {
-            Dataset::DmozStructure => {
-                dmoz_structure(SCALE).map(|e| e.to_string().len() as u64).sum()
-            }
-            _ => dmoz_content(SCALE).map(|e| e.to_string().len() as u64).sum(),
+            Dataset::DmozStructure => dmoz_structure(SCALE)
+                .map(|e| e.to_string().len() as u64)
+                .sum(),
+            _ => dmoz_content(SCALE)
+                .map(|e| e.to_string().len() as u64)
+                .sum(),
         };
         let mut group = c.benchmark_group(format!("fig15_dmoz_{name}"));
         group.throughput(Throughput::Bytes(bytes));

@@ -33,13 +33,9 @@ fn formula_growth(c: &mut Criterion) {
         let events = recursive_doc(depth);
         for (name, q) in queries {
             let query: Rpeq = q.parse().unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(name, depth),
-                &events,
-                |b, events| {
-                    b.iter(|| run_query(Processor::Spex, &query, events).results);
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, depth), &events, |b, events| {
+                b.iter(|| run_query(Processor::Spex, &query, events).results);
+            });
         }
     }
     group.finish();

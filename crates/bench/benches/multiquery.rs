@@ -13,7 +13,11 @@ use spex_xml::XmlEvent;
 fn profiles(n: usize) -> Vec<Rpeq> {
     let labels = ["symbol", "price", "volume", "alert", "nothing1", "nothing2"];
     (0..n)
-        .map(|i| format!("quotes.quote.{}", labels[i % labels.len()]).parse().unwrap())
+        .map(|i| {
+            format!("quotes.quote.{}", labels[i % labels.len()])
+                .parse()
+                .unwrap()
+        })
         .collect()
 }
 
@@ -23,25 +27,29 @@ fn multiquery(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1usize, 10, 50] {
         let queries = profiles(n);
-        group.bench_with_input(BenchmarkId::new("spex_networks", n), &queries, |b, queries| {
-            let networks: Vec<CompiledNetwork> =
-                queries.iter().map(CompiledNetwork::compile).collect();
-            b.iter(|| {
-                let mut sinks: Vec<CountingSink> =
-                    (0..networks.len()).map(|_| CountingSink::new()).collect();
-                let mut evals: Vec<Evaluator> = networks
-                    .iter()
-                    .zip(sinks.iter_mut())
-                    .map(|(net, sink)| Evaluator::new(net, sink))
-                    .collect();
-                for ev in &docs {
-                    for e in &mut evals {
-                        e.push(ev.clone());
+        group.bench_with_input(
+            BenchmarkId::new("spex_networks", n),
+            &queries,
+            |b, queries| {
+                let networks: Vec<CompiledNetwork> =
+                    queries.iter().map(CompiledNetwork::compile).collect();
+                b.iter(|| {
+                    let mut sinks: Vec<CountingSink> =
+                        (0..networks.len()).map(|_| CountingSink::new()).collect();
+                    let mut evals: Vec<Evaluator> = networks
+                        .iter()
+                        .zip(sinks.iter_mut())
+                        .map(|(net, sink)| Evaluator::new(net, sink))
+                        .collect();
+                    for ev in &docs {
+                        for e in &mut evals {
+                            e.push(ev.clone());
+                        }
                     }
-                }
-                evals.into_iter().map(|e| e.finish().results).sum::<u64>()
-            });
-        });
+                    evals.into_iter().map(|e| e.finish().results).sum::<u64>()
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("nfa_filter", n), &queries, |b, queries| {
             let mut set = FilterSet::new();
             for (i, q) in queries.iter().enumerate() {

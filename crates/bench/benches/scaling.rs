@@ -12,7 +12,9 @@ fn scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_stream_size");
     group.sample_size(10);
     for scale in [0.005f64, 0.01, 0.02, 0.04] {
-        let bytes: u64 = dmoz_structure(scale).map(|e| e.to_string().len() as u64).sum();
+        let bytes: u64 = dmoz_structure(scale)
+            .map(|e| e.to_string().len() as u64)
+            .sum();
         group.throughput(Throughput::Bytes(bytes));
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
             b.iter(|| run_spex_streaming(&q, dmoz_structure(s)).0.results);

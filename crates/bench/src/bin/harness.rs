@@ -10,6 +10,7 @@
 //! harness scaling            Theorem V.1: time vs stream size
 //! harness formula_growth     §V: formula size vs depth and #qualified closures
 //! harness multiquery         §VIII/E12: many profiles over one stream
+//! harness transducers        §V per-transducer bounds, measured (messages, stacks)
 //! harness all                everything above
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
@@ -39,6 +40,7 @@ fn main() {
         "scaling" => scaling(),
         "formula_growth" => formula_growth(),
         "multiquery" => multiquery(),
+        "transducers" => transducers(),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -48,6 +50,7 @@ fn main() {
             scaling();
             formula_growth();
             multiquery();
+            transducers();
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -69,18 +72,27 @@ fn secs(r: &RunResult) -> String {
 /// classes.
 fn fig14() {
     for (name, events) in [("Mondial", mondial_events()), ("Wordnet", wordnet_events())] {
-        let dataset = if name == "Mondial" { Dataset::Mondial } else { Dataset::Wordnet };
+        let dataset = if name == "Mondial" {
+            Dataset::Mondial
+        } else {
+            Dataset::Wordnet
+        };
         let bytes = stream_bytes(events);
         header(&format!(
             "Fig. 14 — {name} ({:.1} MB, {} events)",
             bytes as f64 / 1e6,
             events.len()
         ));
-        println!("{:>6} {:<34} {:>10} {:>10} {:>10} {:>9}", "class", "query", "spex", "dom", "treenfa", "results");
+        println!(
+            "{:>6} {:<34} {:>10} {:>10} {:>10} {:>9}",
+            "class", "query", "spex", "dom", "treenfa", "results"
+        );
         for qc in queries_for(dataset) {
             let q = qc.rpeq();
-            let rows: Vec<RunResult> =
-                Processor::ALL.iter().map(|p| run_query(*p, &q, events)).collect();
+            let rows: Vec<RunResult> = Processor::ALL
+                .iter()
+                .map(|p| run_query(*p, &q, events))
+                .collect();
             println!(
                 "{:>6} {:<34} {:>10} {:>10} {:>10} {:>9}",
                 qc.class,
@@ -105,7 +117,10 @@ fn fig15() {
         ("DMOZ content (1 GB full)", Dataset::DmozContent),
     ] {
         header(&format!("Fig. 15 — {name}, scale {scale}"));
-        println!("{:>6} {:<34} {:>10} {:>12} {:>9} {:>14}", "class", "query", "spex", "MB/s", "results", "peak buffered");
+        println!(
+            "{:>6} {:<34} {:>10} {:>12} {:>9} {:>14}",
+            "class", "query", "spex", "MB/s", "results", "peak buffered"
+        );
         for qc in queries_for(dataset) {
             let q = qc.rpeq();
             let make = || -> Box<dyn Iterator<Item = XmlEvent>> {
@@ -123,7 +138,10 @@ fn fig15() {
                 secs(&r),
                 bytes as f64 / 1e6 / r.elapsed.as_secs_f64(),
                 r.results,
-                r.stats.as_ref().map(|s| s.peak_buffered_events).unwrap_or(0),
+                r.stats
+                    .as_ref()
+                    .map(|s| s.peak_buffered_events)
+                    .unwrap_or(0),
             );
         }
     }
@@ -171,7 +189,10 @@ fn memory() {
             }
         }
     }
-    println!("{:>10} {:<18} {:>10} {:>12}", "processor", "dataset", "file", "peak RSS");
+    println!(
+        "{:>10} {:<18} {:>10} {:>12}",
+        "processor", "dataset", "file", "peak RSS"
+    );
     for (name, _ds) in files {
         let path = dir.join(format!("{name}-{scale_tag}.xml"));
         let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
@@ -237,12 +258,57 @@ fn mem_probe(args: &[String]) {
             let doc = builder.finish().expect("tree");
             let n = match parse_proc(p) {
                 Processor::Dom => spex_baseline::DomEvaluator::new(&doc).evaluate(&q).len(),
-                _ => spex_baseline::TreeNfaEvaluator::new(&doc).evaluate(&q).len(),
+                _ => spex_baseline::TreeNfaEvaluator::new(&doc)
+                    .evaluate(&q)
+                    .len(),
             };
             let _ = n;
         }
     }
     println!("{}", peak_rss_kb().unwrap_or(0));
+}
+
+/// §V per-transducer bounds, measured: one row per network node for the
+/// Mondial class-2 query, so a hot or stack-heavy transducer is visible.
+/// Checks the paper's bounds row by row: every depth stack ≤ stream depth.
+fn transducers() {
+    header("§V — per-transducer measurements (Mondial, class-2 query)");
+    let qc = &queries_for(Dataset::Mondial)[1];
+    let events = mondial_events();
+    let r = run_query(Processor::Spex, &qc.rpeq(), events);
+    let stats = r.stats.as_ref().expect("spex stats");
+    let rows = r
+        .transducer_stats
+        .as_ref()
+        .expect("spex per-transducer stats");
+    println!(
+        "query: {} (stream depth {})",
+        qc.text, stats.max_stream_depth
+    );
+    println!(
+        "{:>5} {:<16} {:>12} {:>8} {:>8} {:>8}",
+        "node", "kind", "messages", "d-stack", "c-stack", "o(phi)"
+    );
+    for t in rows {
+        println!(
+            "{:>5} {:<16} {:>12} {:>8} {:>8} {:>8}",
+            t.node, t.kind, t.messages, t.max_depth_stack, t.max_cond_stack, t.max_formula_size
+        );
+        assert!(
+            t.max_depth_stack <= stats.max_stream_depth,
+            "Lemma V.2 violated at node {}",
+            t.node
+        );
+    }
+    let sum: u64 = rows.iter().map(|t| t.messages).sum();
+    println!(
+        "{:>5} {:<16} {:>12}   (= global message count)",
+        "", "total", sum
+    );
+    assert_eq!(
+        sum, stats.messages,
+        "per-transducer sum must equal the global count"
+    );
 }
 
 fn parse_proc(p: &str) -> Processor {
@@ -257,7 +323,10 @@ fn parse_proc(p: &str) -> Processor {
 /// length.
 fn lemma_v1() {
     header("Lemma V.1 — translation time / network degree vs query length");
-    println!("{:>6} {:>10} {:>8} {:>14}", "n", "AST len", "degree", "compile time");
+    println!(
+        "{:>6} {:>10} {:>8} {:>14}",
+        "n", "AST len", "degree", "compile time"
+    );
     for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
         let text = (0..n)
             .map(|i| format!("_*.s{i}[t{i}]"))
@@ -283,7 +352,9 @@ fn scaling() {
     let q = queries_for(Dataset::DmozStructure)[1].rpeq();
     println!("{:>10} {:>12} {:>10} {:>12}", "scale", "MB", "time", "MB/s");
     for scale in [0.005, 0.01, 0.02, 0.04, 0.08] {
-        let bytes: u64 = dmoz_structure(scale).map(|e| e.to_string().len() as u64).sum();
+        let bytes: u64 = dmoz_structure(scale)
+            .map(|e| e.to_string().len() as u64)
+            .sum();
         let (r, _) = run_spex_streaming(&q, dmoz_structure(scale));
         println!(
             "{:>10} {:>12.2} {:>10} {:>12.1}",
@@ -311,9 +382,13 @@ fn formula_growth() {
     };
     println!("{:>34} {:>6} {:>8}", "query", "d", "o(phi)");
     for d in [4usize, 8, 16, 32] {
-        let events: Vec<XmlEvent> =
-            spex_xml::reader::parse_events(&nested(d)).unwrap();
-        for q in ["_*.a+._*.leaf", "_*._[leaf]", "_*._[leaf]._*._", "_*._[leaf]._*._[leaf]._*._"] {
+        let events: Vec<XmlEvent> = spex_xml::reader::parse_events(&nested(d)).unwrap();
+        for q in [
+            "_*.a+._*.leaf",
+            "_*._[leaf]",
+            "_*._[leaf]._*._",
+            "_*._[leaf]._*._[leaf]._*._",
+        ] {
             let query: Rpeq = q.parse().unwrap();
             let r = run_query(Processor::Spex, &query, &events);
             println!(
@@ -331,10 +406,11 @@ fn formula_growth() {
 /// shared-pass NFA filter (XFilter/YFilter stand-in).
 fn multiquery() {
     header("E12 — multi-query filtering, 2,000 quote documents");
-    let docs: Vec<XmlEvent> = QuoteStream::new(5, 10)
-        .take(2_000 * 130)
-        .collect();
-    println!("{:>9} {:>14} {:>14} {:>14}", "profiles", "spex (each)", "spex (shared)", "nfa filter");
+    let docs: Vec<XmlEvent> = QuoteStream::new(5, 10).take(2_000 * 130).collect();
+    println!(
+        "{:>9} {:>14} {:>14} {:>14}",
+        "profiles", "spex (each)", "spex (shared)", "nfa filter"
+    );
     for n in [1usize, 10, 100] {
         let queries: Vec<Rpeq> = (0..n)
             .map(|i| {
@@ -345,8 +421,7 @@ fn multiquery() {
             })
             .collect();
         // SPEX: n independent networks, one pass each … shared event loop.
-        let networks: Vec<CompiledNetwork> =
-            queries.iter().map(CompiledNetwork::compile).collect();
+        let networks: Vec<CompiledNetwork> = queries.iter().map(CompiledNetwork::compile).collect();
         let start = Instant::now();
         let mut sinks: Vec<spex_core::CountingSink> =
             (0..n).map(|_| spex_core::CountingSink::new()).collect();

@@ -5,7 +5,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use spex_core::{CompiledNetwork, CountingSink, Evaluator, SpanCollector};
+use spex_core::{
+    CompiledNetwork, CountingSink, EngineStats, Evaluator, ResourceLimits, SpanCollector,
+    TransducerStats,
+};
 use spex_query::Rpeq;
 use std::io::{Read, Write};
 
@@ -26,6 +29,10 @@ pub struct Options {
     pub explain: bool,
     /// Print evaluation statistics to stderr.
     pub stats: bool,
+    /// Print statistics (global + per-transducer) as JSON to stderr.
+    pub stats_json: bool,
+    /// Resource caps enforced during evaluation.
+    pub limits: ResourceLimits,
     /// Generate a dataset instead of evaluating: `mondial`, `wordnet`,
     /// `dmoz-structure`, `dmoz-content`.
     pub generate: Option<String>,
@@ -47,6 +54,8 @@ impl Default for Options {
             spans: false,
             explain: false,
             stats: false,
+            stats_json: false,
+            limits: ResourceLimits::default(),
             generate: None,
             scale: 1.0,
             help: false,
@@ -73,7 +82,13 @@ OPTIONS:
     --spans          print result start offsets (event indices)
     --explain        print the compiled transducer network and exit
     --stats          print evaluation statistics to stderr
+    --stats-json     print statistics (global + per-transducer) as JSON to stderr
     --stream         treat the input as a sequence of documents (SDI mode)
+    --limit-depth N       abort when the stream nesting depth exceeds N
+    --limit-buffered N    abort when more than N events are buffered
+    --limit-candidates N  abort when more than N candidates are live
+    --limit-formula N     abort when a condition formula exceeds size N
+    --limit-messages N    abort after more than N transducer messages
     --generate D     emit a synthetic dataset: mondial | wordnet |
                      dmoz-structure | dmoz-content
     --scale X        dataset scale factor (default 1.0)
@@ -85,6 +100,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
+    fn number<T: std::str::FromStr>(
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        it.next()
+            .ok_or_else(|| format!("{flag} needs a number"))?
+            .parse()
+            .map_err(|e| format!("invalid {flag}: {e}"))
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--xpath" => o.xpath = true,
@@ -92,7 +119,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--spans" => o.spans = true,
             "--explain" => o.explain = true,
             "--stats" => o.stats = true,
+            "--stats-json" => o.stats_json = true,
             "--stream" => o.stream = true,
+            "--limit-depth" => o.limits.max_stream_depth = Some(number("--limit-depth", &mut it)?),
+            "--limit-buffered" => {
+                o.limits.max_buffered_events = Some(number("--limit-buffered", &mut it)?)
+            }
+            "--limit-candidates" => {
+                o.limits.max_live_candidates = Some(number("--limit-candidates", &mut it)?)
+            }
+            "--limit-formula" => {
+                o.limits.max_formula_size = Some(number("--limit-formula", &mut it)?)
+            }
+            "--limit-messages" => {
+                o.limits.max_total_messages = Some(number("--limit-messages", &mut it)?)
+            }
             "-h" | "--help" => o.help = true,
             "--generate" => {
                 o.generate = Some(
@@ -159,7 +200,9 @@ fn run_inner(
     let query: Rpeq = if options.xpath {
         spex_query::xpath::parse_xpath(query_text).map_err(|e| e.to_string())?
     } else {
-        query_text.parse().map_err(|e: spex_query::ParseError| e.to_string())?
+        query_text
+            .parse()
+            .map_err(|e: spex_query::ParseError| e.to_string())?
     };
     let network = CompiledNetwork::compile(&query);
     if options.explain {
@@ -171,29 +214,32 @@ fn run_inner(
     }
 
     // Choose the sink by output mode.
-    let stats = if options.count {
+    let (stats, transducers) = if options.count {
         let mut sink = CountingSink::new();
-        let stats = evaluate(&network, options, stdin, &mut sink)?;
+        let out = evaluate(&network, options, stdin, &mut sink)?;
         writeln!(stdout, "{}", sink.results).map_err(|e| e.to_string())?;
-        stats
+        out
     } else if options.spans {
         let mut sink = SpanCollector::new();
-        let stats = evaluate(&network, options, stdin, &mut sink)?;
+        let out = evaluate(&network, options, stdin, &mut sink)?;
         for s in &sink.starts {
             writeln!(stdout, "{s}").map_err(|e| e.to_string())?;
         }
-        stats
+        out
     } else {
         // Progressive delivery: fragments reach stdout as they are decided,
         // not after the stream ends.
         let mut sink = spex_core::StreamingSink::new(&mut *stdout);
-        let stats = evaluate(&network, options, stdin, &mut sink)?;
+        let out = evaluate(&network, options, stdin, &mut sink)?;
         if let Some(e) = sink.take_error() {
             return Err(e.to_string());
         }
-        stats
+        out
     };
 
+    if options.stats_json {
+        writeln!(stderr, "{}", stats_json(&stats, &transducers)).map_err(|e| e.to_string())?;
+    }
     if options.stats {
         writeln!(
             stderr,
@@ -219,13 +265,18 @@ fn evaluate(
     options: &Options,
     stdin: &mut dyn Read,
     sink: &mut dyn spex_core::ResultSink,
-) -> Result<spex_core::EngineStats, String> {
-    let mut eval = Evaluator::new(network, sink);
+) -> Result<(EngineStats, Vec<TransducerStats>), String> {
+    let mut eval = Evaluator::with_limits(network, sink, options.limits);
     let push = |eval: &mut Evaluator, input: &mut dyn std::io::Read| -> Result<(), String> {
         let reader = spex_xml::Reader::new(input);
-        let reader = if options.stream { reader.multi_document() } else { reader };
+        let reader = if options.stream {
+            reader.multi_document()
+        } else {
+            reader
+        };
         for ev in reader {
-            eval.push(ev.map_err(|e| e.to_string())?);
+            eval.try_push(ev.map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
         }
         Ok(())
     };
@@ -239,13 +290,66 @@ fn evaluate(
             push(&mut eval, stdin)?;
         }
     }
-    Ok(eval.finish())
+    Ok(eval.finish_full())
+}
+
+/// Render the statistics as one line of JSON (hand-rolled; the workspace has
+/// no serde dependency).
+fn stats_json(stats: &EngineStats, transducers: &[TransducerStats]) -> String {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let mut out = format!(
+        "{{\"ticks\":{},\"messages\":{},\"max_formula_size\":{},\"max_cond_stack\":{},\
+         \"max_depth_stack\":{},\"max_stream_depth\":{},\"peak_buffered_events\":{},\
+         \"peak_live_candidates\":{},\"candidates_created\":{},\"results\":{},\
+         \"dropped\":{},\"vars_created\":{},\"transducers\":[",
+        stats.ticks,
+        stats.messages,
+        stats.max_formula_size,
+        stats.max_cond_stack,
+        stats.max_depth_stack,
+        stats.max_stream_depth,
+        stats.peak_buffered_events,
+        stats.peak_live_candidates,
+        stats.candidates_created,
+        stats.results,
+        stats.dropped,
+        stats.vars_created,
+    );
+    for (i, t) in transducers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"node\":{},\"kind\":\"{}\",\"messages\":{},\"max_depth_stack\":{},\
+             \"max_cond_stack\":{},\"max_formula_size\":{}}}",
+            t.node,
+            esc(&t.kind),
+            t.messages,
+            t.max_depth_stack,
+            t.max_cond_stack,
+            t.max_formula_size,
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), String> {
     let mut w = spex_xml::Writer::with_options(
         std::io::BufWriter::new(stdout),
-        spex_xml::WriteOptions { declaration: true, indent: None },
+        spex_xml::WriteOptions {
+            declaration: true,
+            indent: None,
+        },
     );
     match dataset {
         "mondial" => {
@@ -295,8 +399,10 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let o = parse_args(&args(&["--count", "--stats", "--xpath", "//a", "--scale", "0.5"]))
-            .unwrap();
+        let o = parse_args(&args(&[
+            "--count", "--stats", "--xpath", "//a", "--scale", "0.5",
+        ]))
+        .unwrap();
         assert!(o.count && o.stats && o.xpath);
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.query.as_deref(), Some("//a"));
@@ -315,7 +421,11 @@ mod tests {
         let mut out = Vec::new();
         let mut err = Vec::new();
         let code = run(&o, &mut stdin, &mut out, &mut err);
-        (code, String::from_utf8(out).unwrap(), String::from_utf8(err).unwrap())
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
     }
 
     #[test]
@@ -359,6 +469,86 @@ mod tests {
         let (code, _, err) = run_cli(&["--stats", "a"], "<a/>");
         assert_eq!(code, 0);
         assert!(err.contains("events: 4"));
+    }
+
+    #[test]
+    fn parse_limit_flags() {
+        let o = parse_args(&args(&[
+            "--limit-depth",
+            "3",
+            "--limit-buffered",
+            "100",
+            "--limit-candidates",
+            "5",
+            "--limit-formula",
+            "8",
+            "--limit-messages",
+            "1000",
+            "a",
+        ]))
+        .unwrap();
+        assert_eq!(o.limits.max_stream_depth, Some(3));
+        assert_eq!(o.limits.max_buffered_events, Some(100));
+        assert_eq!(o.limits.max_live_candidates, Some(5));
+        assert_eq!(o.limits.max_formula_size, Some(8));
+        assert_eq!(o.limits.max_total_messages, Some(1000));
+        assert!(parse_args(&args(&["--limit-depth"])).is_err());
+        assert!(parse_args(&args(&["--limit-depth", "x"])).is_err());
+    }
+
+    #[test]
+    fn stats_json_to_stderr() {
+        let (code, out, err) = run_cli(&["--stats-json", "a.c"], "<a><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<c></c>\n");
+        let json = err.trim();
+        assert!(json.starts_with('{') && json.ends_with('}'), "got {json}");
+        assert!(json.contains("\"ticks\":6"));
+        assert!(json.contains("\"transducers\":["));
+        assert!(json.contains("\"kind\":\"CH(c)\""));
+        // Per-transducer message counts sum to the global count.
+        let global: u64 = json
+            .split("\"messages\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let per_node: u64 = json
+            .split("\"transducers\":")
+            .nth(1)
+            .unwrap()
+            .split("\"messages\":")
+            .skip(1)
+            .map(|s| {
+                s.split(',')
+                    .next()
+                    .unwrap()
+                    .trim_end_matches(&['}', ']'][..])
+            })
+            .map(|s| s.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(per_node, global, "in {json}");
+    }
+
+    #[test]
+    fn limit_breach_reports_error_after_flushing_determined_results() {
+        // Depth cap of 3 aborts at <d>; the <c> result at depth 3 was
+        // already determined and delivered before the abort.
+        let (code, out, err) =
+            run_cli(&["--limit-depth", "3", "a.c"], "<a><c>1</c><b><d/></b></a>");
+        assert_eq!(code, 1);
+        assert_eq!(out, "<c>1</c>\n");
+        assert!(
+            err.contains("resource limit exceeded: stream-depth 4 > limit 3"),
+            "got {err}"
+        );
+        // The same stream passes untouched without the cap.
+        let (code, out, _) = run_cli(&["a.c"], "<a><c>1</c><b><d/></b></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<c>1</c>\n");
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl CompiledNetwork {
         let (mut builder, tape) = NetworkBuilder::with_input();
         let tape = translate(query, &mut builder, tape);
         builder.add_sink(tape);
-        Ok(CompiledNetwork { spec: builder.finish(), query: query.clone() })
+        Ok(CompiledNetwork {
+            spec: builder.finish(),
+            query: query.clone(),
+        })
     }
 
     /// The network shape.
@@ -120,8 +123,12 @@ pub(crate) fn check_compilable(query: &Rpeq) -> Result<(), CompileError> {
             Rpeq::Preceding(_) if in_qualifier => Err(CompileError::PrecedingInQualifier {
                 qualifier: q.to_string(),
             }),
-            Rpeq::Empty | Rpeq::Step(_) | Rpeq::Plus(_) | Rpeq::Star(_)
-            | Rpeq::Following(_) | Rpeq::Preceding(_) => Ok(()),
+            Rpeq::Empty
+            | Rpeq::Step(_)
+            | Rpeq::Plus(_)
+            | Rpeq::Star(_)
+            | Rpeq::Following(_)
+            | Rpeq::Preceding(_) => Ok(()),
             Rpeq::Union(a, b) | Rpeq::Concat(a, b) => {
                 go(a, in_qualifier)?;
                 go(b, in_qualifier)
@@ -216,16 +223,22 @@ mod tests {
         assert_eq!(
             desc,
             vec![
-                "IN", "SP", "CL(_)", "JO", "UN", "CH(a)", "VC(q0)", "SP", "CH(b)", "VF(q0+)",
-                "VD", "JO", "CH(c)", "OU"
+                "IN", "SP", "CL(_)", "JO", "UN", "CH(a)", "VC(q0)", "SP", "CH(b)", "VF(q0+)", "VD",
+                "JO", "CH(c)", "OU"
             ]
         );
     }
 
     #[test]
     fn simple_chain_shapes() {
-        assert_eq!(compile("a.c").spec().describe(), vec!["IN", "CH(a)", "CH(c)", "OU"]);
-        assert_eq!(compile("a+.c+").spec().describe(), vec!["IN", "CL(a)", "CL(c)", "OU"]);
+        assert_eq!(
+            compile("a.c").spec().describe(),
+            vec!["IN", "CH(a)", "CH(c)", "OU"]
+        );
+        assert_eq!(
+            compile("a+.c+").spec().describe(),
+            vec!["IN", "CL(a)", "CL(c)", "OU"]
+        );
         assert_eq!(compile("%").spec().describe(), vec!["IN", "OU"]);
     }
 
@@ -261,7 +274,10 @@ mod tests {
     #[test]
     fn degree_linear_in_query_length() {
         for n in [1usize, 2, 4, 8, 16, 32, 64] {
-            let q = (0..n).map(|i| format!("s{i}")).collect::<Vec<_>>().join(".");
+            let q = (0..n)
+                .map(|i| format!("s{i}"))
+                .collect::<Vec<_>>()
+                .join(".");
             let net = compile(&q);
             let m = QueryMetrics::of(net.query());
             // Exactly one transducer per step, plus IN and OU.
@@ -276,7 +292,12 @@ mod tests {
                 .join(".");
             let net = compile(&q);
             let m = QueryMetrics::of(net.query());
-            assert!(net.degree() <= 6 * m.length + 2, "{} vs {}", net.degree(), m.length);
+            assert!(
+                net.degree() <= 6 * m.length + 2,
+                "{} vs {}",
+                net.degree(),
+                m.length
+            );
         }
     }
 

@@ -145,9 +145,15 @@ impl ConjunctiveQuery {
             let path: Rpeq = atom_text[open + 1..close].trim().parse()?;
             let target = atom_text[close + 1..].trim().to_string();
             if source.is_empty() || target.is_empty() {
-                return Err(CqError::Parse(format!("atom `{atom_text}` missing a variable")));
+                return Err(CqError::Parse(format!(
+                    "atom `{atom_text}` missing a variable"
+                )));
             }
-            atoms.push(Atom { source, path, target });
+            atoms.push(Atom {
+                source,
+                path,
+                target,
+            });
         }
         if atoms.is_empty() {
             return Err(CqError::Parse("empty body".into()));
@@ -278,7 +284,13 @@ impl ConjunctiveQuery {
             if !env.contains_key(&atom.source) {
                 return Err(CqError::Shape(format!("unbound `{}`", atom.source)));
             }
-            ensure_qualified(&atom.source, &mut builder, &mut env, &qualifiers_of, &mut qualified);
+            ensure_qualified(
+                &atom.source,
+                &mut builder,
+                &mut env,
+                &qualifiers_of,
+                &mut qualified,
+            );
             let out = translate(&atom.path, &mut builder, env[&atom.source]);
             env.insert(atom.target.clone(), out);
             if self.head.contains(&atom.target) {
@@ -303,11 +315,14 @@ impl ConjunctiveQuery {
     /// fragments per head variable.
     pub fn evaluate_str(&self, xml: &str) -> Result<BTreeMap<String, Vec<String>>, CqError> {
         let (spec, sink_vars) = self.compile()?;
-        let mut collectors: Vec<FragmentCollector> =
-            (0..sink_vars.len()).map(|_| FragmentCollector::new()).collect();
+        let mut collectors: Vec<FragmentCollector> = (0..sink_vars.len())
+            .map(|_| FragmentCollector::new())
+            .collect();
         {
-            let sinks: Vec<&mut dyn ResultSink> =
-                collectors.iter_mut().map(|c| c as &mut dyn ResultSink).collect();
+            let sinks: Vec<&mut dyn ResultSink> = collectors
+                .iter_mut()
+                .map(|c| c as &mut dyn ResultSink)
+                .collect();
             let mut run = Run::new(&spec, sinks);
             for ev in spex_xml::Reader::from_bytes(xml.as_bytes().to_vec()) {
                 run.push(ev?);
@@ -381,8 +396,7 @@ mod tests {
     #[test]
     fn paper_example_equivalent_to_rpeq() {
         // §VII: q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3  ≡  _*.a[b].c
-        let cq =
-            ConjunctiveQuery::parse("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3").unwrap();
+        let cq = ConjunctiveQuery::parse("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3").unwrap();
         let results = cq.evaluate_str(FIG1).unwrap();
         assert_eq!(results["X3"], vec!["<c></c>".to_string()]);
         let rpeq_results = crate::evaluate_str("_*.a[b].c", FIG1).unwrap();
@@ -413,8 +427,7 @@ mod tests {
         // Root child a has a b child, so its c child qualifies.
         assert_eq!(results["X3"], vec!["<c></c>".to_string()]);
         // Without the b — no result.
-        let cq2 =
-            ConjunctiveQuery::parse("q(X3) :- Root(a) X1, X1(nope) X2, X1(c) X3").unwrap();
+        let cq2 = ConjunctiveQuery::parse("q(X3) :- Root(a) X1, X1(nope) X2, X1(c) X3").unwrap();
         let results2 = cq2.evaluate_str(FIG1).unwrap();
         assert!(results2["X3"].is_empty());
     }
@@ -456,8 +469,7 @@ mod tests {
 
     #[test]
     fn display_roundtrips_through_parse() {
-        let cq =
-            ConjunctiveQuery::parse("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3").unwrap();
+        let cq = ConjunctiveQuery::parse("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3").unwrap();
         let printed = cq.to_string();
         let reparsed = ConjunctiveQuery::parse(&printed).unwrap();
         assert_eq!(cq, reparsed);

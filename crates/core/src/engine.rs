@@ -14,14 +14,17 @@
 //! ```
 
 use crate::compile::CompiledNetwork;
+use crate::limits::{LimitBreach, LimitKind, ResourceLimits};
 use crate::network::Run;
 use crate::sink::{FragmentCollector, ResultSink};
-use crate::stats::EngineStats;
+use crate::stats::{EngineStats, Tap, TransducerStats};
 use spex_query::Rpeq;
 use spex_xml::{XmlError, XmlEvent};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
-/// Errors surfaced by the convenience evaluation functions.
+/// Errors surfaced by the evaluator and the convenience functions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
     /// The query text did not parse.
@@ -30,6 +33,17 @@ pub enum EvalError {
     Compile(crate::compile::CompileError),
     /// The XML stream was malformed.
     Xml(XmlError),
+    /// A configured [`ResourceLimits`] cap was exceeded. Recoverable: the
+    /// run is drained (already-determined results flushed, buffers
+    /// released) but stays queryable for statistics.
+    ResourceExhausted {
+        /// The exceeded cap.
+        kind: LimitKind,
+        /// The configured cap value.
+        limit: u64,
+        /// The measured value that exceeded it.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -38,11 +52,36 @@ impl fmt::Display for EvalError {
             EvalError::Query(e) => write!(f, "{e}"),
             EvalError::Compile(e) => write!(f, "{e}"),
             EvalError::Xml(e) => write!(f, "{e}"),
+            EvalError::ResourceExhausted {
+                kind,
+                limit,
+                observed,
+            } => {
+                write!(
+                    f,
+                    "{}",
+                    LimitBreach {
+                        kind: *kind,
+                        limit: *limit,
+                        observed: *observed
+                    }
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<LimitBreach> for EvalError {
+    fn from(b: LimitBreach) -> Self {
+        EvalError::ResourceExhausted {
+            kind: b.kind,
+            limit: b.limit,
+            observed: b.observed,
+        }
+    }
+}
 
 impl From<spex_query::ParseError> for EvalError {
     fn from(e: spex_query::ParseError) -> Self {
@@ -76,28 +115,67 @@ pub struct Evaluator<'n, 's> {
 impl<'n, 's> Evaluator<'n, 's> {
     /// Start an evaluation of `network` delivering results to `sink`.
     pub fn new(network: &'n CompiledNetwork, sink: &'s mut dyn ResultSink) -> Self {
-        Evaluator { run: network.run(sink) }
+        Evaluator {
+            run: network.run(sink),
+        }
     }
 
-    /// Feed one stream event.
+    /// Like [`Evaluator::new`], with resource caps attached. Each cap is
+    /// checked after every event; a breached run returns
+    /// [`EvalError::ResourceExhausted`] from the push methods and refuses
+    /// further input, but statistics remain readable and results already
+    /// determined have reached the sink.
+    pub fn with_limits(
+        network: &'n CompiledNetwork,
+        sink: &'s mut dyn ResultSink,
+        limits: ResourceLimits,
+    ) -> Self {
+        let mut run = network.run(sink);
+        run.set_limits(limits);
+        Evaluator { run }
+    }
+
+    /// Feed one stream event. Infallible: after a resource-limit breach the
+    /// event is silently discarded (use [`Evaluator::try_push`] to observe
+    /// the breach; with no limits set nothing is ever discarded).
     pub fn push(&mut self, event: XmlEvent) {
         self.run.push(event);
     }
 
+    /// Feed one stream event, reporting a resource-limit breach.
+    pub fn try_push(&mut self, event: XmlEvent) -> Result<(), EvalError> {
+        self.run.try_push(event)
+    }
+
     /// Parse `xml` and feed every event (one complete document).
-    pub fn push_str(&mut self, xml: &str) -> Result<(), XmlError> {
+    pub fn push_str(&mut self, xml: &str) -> Result<(), EvalError> {
         for ev in spex_xml::Reader::from_bytes(xml.as_bytes().to_vec()) {
-            self.run.push(ev?);
+            self.run.try_push(ev?)?;
         }
         Ok(())
     }
 
     /// Feed every event from a byte source (streaming, constant memory).
-    pub fn push_reader<R: std::io::Read>(&mut self, input: R) -> Result<(), XmlError> {
+    pub fn push_reader<R: std::io::Read>(&mut self, input: R) -> Result<(), EvalError> {
         for ev in spex_xml::Reader::new(input) {
-            self.run.push(ev?);
+            self.run.try_push(ev?)?;
         }
         Ok(())
+    }
+
+    /// The first limit breach, if any cap was exceeded.
+    pub fn exhausted(&self) -> Option<LimitBreach> {
+        self.run.exhausted()
+    }
+
+    /// Attach a live observability tap (see [`Tap`]).
+    pub fn set_tap(&mut self, tap: Rc<RefCell<dyn Tap>>) {
+        self.run.set_tap(tap);
+    }
+
+    /// Per-transducer snapshots so far, indexed by node id.
+    pub fn transducer_stats(&self) -> &[TransducerStats] {
+        self.run.transducer_stats()
     }
 
     /// Enable transition tracing (see [`Run::set_tracing`]).
@@ -118,6 +196,12 @@ impl<'n, 's> Evaluator<'n, 's> {
     /// Finish the evaluation, flushing the output transducer.
     pub fn finish(self) -> EngineStats {
         self.run.finish()
+    }
+
+    /// Like [`Evaluator::finish`], also returning the per-transducer
+    /// snapshots.
+    pub fn finish_full(self) -> (EngineStats, Vec<TransducerStats>) {
+        self.run.finish_full()
     }
 }
 
@@ -165,7 +249,10 @@ mod tests {
     fn example_iii_2_closures() {
         // `a+.c+` selects both <c> elements (each reached through a chain of
         // a's then a chain of c's).
-        assert_eq!(evaluate_str("a+.c+", FIG1).unwrap(), vec!["<c></c>", "<c></c>"]);
+        assert_eq!(
+            evaluate_str("a+.c+", FIG1).unwrap(),
+            vec!["<c></c>", "<c></c>"]
+        );
     }
 
     #[test]
@@ -178,7 +265,10 @@ mod tests {
     #[test]
     fn wildcard_and_descendants() {
         let xml = "<r><x><y/></x><y/></r>";
-        assert_eq!(evaluate_str("_*.y", xml).unwrap(), vec!["<y></y>", "<y></y>"]);
+        assert_eq!(
+            evaluate_str("_*.y", xml).unwrap(),
+            vec!["<y></y>", "<y></y>"]
+        );
         assert_eq!(evaluate_str("r.y", xml).unwrap(), vec!["<y></y>"]);
         assert_eq!(evaluate_str("r.x.y", xml).unwrap(), vec!["<y></y>"]);
     }
@@ -196,7 +286,10 @@ mod tests {
     #[test]
     fn union_queries() {
         let xml = "<r><x/><y/><z/></r>";
-        assert_eq!(evaluate_str("r.(x|z)", xml).unwrap(), vec!["<x></x>", "<z></z>"]);
+        assert_eq!(
+            evaluate_str("r.(x|z)", xml).unwrap(),
+            vec!["<x></x>", "<z></z>"]
+        );
     }
 
     #[test]
@@ -291,17 +384,17 @@ mod tests {
 
     #[test]
     fn query_errors_reported() {
-        assert!(matches!(evaluate_str("a..b", "<a/>"), Err(EvalError::Query(_))));
+        assert!(matches!(
+            evaluate_str("a..b", "<a/>"),
+            Err(EvalError::Query(_))
+        ));
         assert!(matches!(evaluate_str("a", "<a"), Err(EvalError::Xml(_))));
     }
 
     #[test]
     fn stats_populated() {
         let q: Rpeq = "_*.a[b].c".parse().unwrap();
-        let (frags, stats) = evaluate_events(
-            &q,
-            spex_xml::reader::parse_events(FIG1).unwrap(),
-        );
+        let (frags, stats) = evaluate_events(&q, spex_xml::reader::parse_events(FIG1).unwrap());
         assert_eq!(frags.len(), 1);
         assert_eq!(stats.ticks, 12);
         assert_eq!(stats.vars_created, 2); // co1, co2 of §III.10

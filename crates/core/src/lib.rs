@@ -48,6 +48,7 @@
 pub mod compile;
 pub mod cq;
 pub mod engine;
+pub mod limits;
 pub mod message;
 pub mod multi;
 pub mod network;
@@ -57,6 +58,9 @@ pub mod transducers;
 
 pub use compile::{CompileError, CompiledNetwork};
 pub use engine::{evaluate_events, evaluate_str, EvalError, Evaluator};
+pub use limits::{LimitBreach, LimitKind, ResourceLimits};
 pub use message::{DocEvent, Message, Symbol, SymbolTable};
-pub use sink::{CountingSink, FragmentCollector, ResultMeta, ResultSink, SpanCollector, StreamingSink};
-pub use stats::EngineStats;
+pub use sink::{
+    CountingSink, FragmentCollector, ResultMeta, ResultSink, SpanCollector, StreamingSink,
+};
+pub use stats::{EngineStats, Tap, TransducerStats};

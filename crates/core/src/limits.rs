@@ -1,0 +1,289 @@
+//! Resource guardrails for an evaluation run.
+//!
+//! §V of the paper bounds every SPEX resource by a stream or query measure:
+//! stack heights by the stream depth *d*, condition formulas by *o(φ)*, the
+//! output buffer by the undetermined part of the stream. [`crate::EngineStats`]
+//! *measures* those quantities; [`ResourceLimits`] turns each measurement
+//! into an *enforceable cap*. Limits are checked after every tick (one
+//! document message through the whole network), at the exact points where
+//! the statistics already observe the quantity — so a breached run overshoots
+//! its cap by at most one tick's worth of allocation before it is aborted.
+//!
+//! A breached run is not poisoned: the output transducer emits every result
+//! whose membership was already determined, releases all undetermined
+//! buffers, and the run stays queryable (statistics, per-transducer
+//! snapshots). Further input is refused with the same
+//! [`crate::EvalError::ResourceExhausted`] error.
+//!
+//! ```
+//! use spex_core::{CompiledNetwork, CountingSink, Evaluator, ResourceLimits};
+//!
+//! let net = CompiledNetwork::compile(&"_*.x".parse().unwrap());
+//! let mut sink = CountingSink::new();
+//! let limits = ResourceLimits::default().with_max_stream_depth(3);
+//! let mut eval = Evaluator::with_limits(&net, &mut sink, limits);
+//! assert!(eval.push_str("<a><b><c><d/></c></b></a>").is_err());
+//! let stats = eval.finish(); // still queryable
+//! assert!(stats.max_stream_depth >= 4);
+//! ```
+
+use crate::stats::EngineStats;
+use std::fmt;
+
+/// Which cap of a [`ResourceLimits`] was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitKind {
+    /// Element nesting depth of the stream (the paper's *d*).
+    StreamDepth,
+    /// Events buffered by the output transducer for undetermined candidates.
+    BufferedEvents,
+    /// Simultaneously live candidates in the output transducer.
+    LiveCandidates,
+    /// Size of a condition formula in an activation message (*o(φ)*).
+    FormulaSize,
+    /// Total messages processed across all transducers.
+    TotalMessages,
+}
+
+impl LimitKind {
+    /// Stable lowercase name (used by the CLI flags and JSON output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LimitKind::StreamDepth => "stream-depth",
+            LimitKind::BufferedEvents => "buffered-events",
+            LimitKind::LiveCandidates => "live-candidates",
+            LimitKind::FormulaSize => "formula-size",
+            LimitKind::TotalMessages => "total-messages",
+        }
+    }
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One observed limit violation: the cap and the measurement that broke it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitBreach {
+    /// The exceeded cap.
+    pub kind: LimitKind,
+    /// The configured cap value.
+    pub limit: u64,
+    /// The measured value that exceeded it.
+    pub observed: u64,
+}
+
+impl fmt::Display for LimitBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource limit exceeded: {} {} > limit {}",
+            self.kind, self.observed, self.limit
+        )
+    }
+}
+
+/// Caps on the resources an evaluation run may consume. Every field is
+/// optional; the default is fully unlimited, which makes the guarded and
+/// unguarded code paths byte-identical in behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Cap on the stream's element nesting depth (*d*).
+    pub max_stream_depth: Option<usize>,
+    /// Cap on events buffered for undetermined candidates.
+    pub max_buffered_events: Option<usize>,
+    /// Cap on simultaneously live output candidates.
+    pub max_live_candidates: Option<usize>,
+    /// Cap on the size of any condition formula.
+    pub max_formula_size: Option<usize>,
+    /// Cap on total messages processed across all transducers.
+    pub max_total_messages: Option<u64>,
+}
+
+impl ResourceLimits {
+    /// No caps at all (the default).
+    pub fn unlimited() -> Self {
+        ResourceLimits::default()
+    }
+
+    /// `true` when no cap is set (checking is then a no-op).
+    pub fn is_unlimited(&self) -> bool {
+        *self == ResourceLimits::default()
+    }
+
+    /// Cap the stream nesting depth.
+    pub fn with_max_stream_depth(mut self, n: usize) -> Self {
+        self.max_stream_depth = Some(n);
+        self
+    }
+
+    /// Cap the output transducer's buffered events.
+    pub fn with_max_buffered_events(mut self, n: usize) -> Self {
+        self.max_buffered_events = Some(n);
+        self
+    }
+
+    /// Cap the number of live candidates.
+    pub fn with_max_live_candidates(mut self, n: usize) -> Self {
+        self.max_live_candidates = Some(n);
+        self
+    }
+
+    /// Cap the condition formula size.
+    pub fn with_max_formula_size(mut self, n: usize) -> Self {
+        self.max_formula_size = Some(n);
+        self
+    }
+
+    /// Cap the total message count.
+    pub fn with_max_total_messages(mut self, n: u64) -> Self {
+        self.max_total_messages = Some(n);
+        self
+    }
+
+    /// Check the measured peaks against the caps. The peaks in
+    /// [`EngineStats`] are monotone, so once a run breaches it keeps
+    /// breaching — callers latch the first breach.
+    pub fn check(&self, stats: &EngineStats) -> Result<(), LimitBreach> {
+        fn over(kind: LimitKind, limit: Option<usize>, observed: usize) -> Result<(), LimitBreach> {
+            match limit {
+                Some(l) if observed > l => Err(LimitBreach {
+                    kind,
+                    limit: l as u64,
+                    observed: observed as u64,
+                }),
+                _ => Ok(()),
+            }
+        }
+        over(
+            LimitKind::StreamDepth,
+            self.max_stream_depth,
+            stats.max_stream_depth,
+        )?;
+        over(
+            LimitKind::BufferedEvents,
+            self.max_buffered_events,
+            stats.peak_buffered_events,
+        )?;
+        over(
+            LimitKind::LiveCandidates,
+            self.max_live_candidates,
+            stats.peak_live_candidates,
+        )?;
+        over(
+            LimitKind::FormulaSize,
+            self.max_formula_size,
+            stats.max_formula_size,
+        )?;
+        if let Some(l) = self.max_total_messages {
+            if stats.messages > l {
+                return Err(LimitBreach {
+                    kind: LimitKind::TotalMessages,
+                    limit: l,
+                    observed: stats.messages,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited_and_never_breaches() {
+        let limits = ResourceLimits::default();
+        assert!(limits.is_unlimited());
+        let stats = EngineStats {
+            max_stream_depth: usize::MAX,
+            peak_buffered_events: usize::MAX,
+            peak_live_candidates: usize::MAX,
+            max_formula_size: usize::MAX,
+            messages: u64::MAX,
+            ..EngineStats::default()
+        };
+        assert_eq!(limits.check(&stats), Ok(()));
+    }
+
+    #[test]
+    fn each_cap_is_checked_against_its_peak() {
+        let stats = EngineStats {
+            max_stream_depth: 5,
+            peak_buffered_events: 10,
+            peak_live_candidates: 3,
+            max_formula_size: 7,
+            messages: 100,
+            ..EngineStats::default()
+        };
+        let cases = [
+            (
+                ResourceLimits::default().with_max_stream_depth(4),
+                LimitKind::StreamDepth,
+                4,
+                5,
+            ),
+            (
+                ResourceLimits::default().with_max_buffered_events(9),
+                LimitKind::BufferedEvents,
+                9,
+                10,
+            ),
+            (
+                ResourceLimits::default().with_max_live_candidates(2),
+                LimitKind::LiveCandidates,
+                2,
+                3,
+            ),
+            (
+                ResourceLimits::default().with_max_formula_size(6),
+                LimitKind::FormulaSize,
+                6,
+                7,
+            ),
+            (
+                ResourceLimits::default().with_max_total_messages(99),
+                LimitKind::TotalMessages,
+                99,
+                100,
+            ),
+        ];
+        for (limits, kind, limit, observed) in cases {
+            assert!(!limits.is_unlimited());
+            assert_eq!(
+                limits.check(&stats),
+                Err(LimitBreach {
+                    kind,
+                    limit,
+                    observed
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn limits_at_the_peak_are_not_a_breach() {
+        let stats = EngineStats {
+            max_stream_depth: 5,
+            ..EngineStats::default()
+        };
+        let limits = ResourceLimits::default().with_max_stream_depth(5);
+        assert_eq!(limits.check(&stats), Ok(()));
+    }
+
+    #[test]
+    fn breach_renders_kind_and_numbers() {
+        let b = LimitBreach {
+            kind: LimitKind::BufferedEvents,
+            limit: 8,
+            observed: 12,
+        };
+        assert_eq!(
+            b.to_string(),
+            "resource limit exceeded: buffered-events 12 > limit 8"
+        );
+    }
+}

@@ -37,7 +37,10 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// A fresh table containing only the reserved `$` symbol.
     pub fn new() -> Self {
-        let mut t = SymbolTable { names: Vec::new(), map: HashMap::new() };
+        let mut t = SymbolTable {
+            names: Vec::new(),
+            map: HashMap::new(),
+        };
         let s = t.intern("$");
         debug_assert_eq!(s, DOC_SYMBOL);
         t
@@ -147,9 +150,7 @@ impl Determination {
         match self {
             Determination::True => f.assign(c, true),
             Determination::False => f.assign(c, false),
-            Determination::Implied(r) => {
-                f.substitute(c, &Formula::or(Formula::Var(c), r.clone()))
-            }
+            Determination::Implied(r) => f.substitute(c, &Formula::or(Formula::Var(c), r.clone())),
         }
     }
 }
@@ -221,9 +222,14 @@ mod tests {
 
     #[test]
     fn doc_event_accessors() {
-        let open = DocEvent::Open { label: 3, payload: Rc::new(XmlEvent::open("x")) };
+        let open = DocEvent::Open {
+            label: 3,
+            payload: Rc::new(XmlEvent::open("x")),
+        };
         assert_eq!(open.label(), Some(3));
-        let item = DocEvent::Item { payload: Rc::new(XmlEvent::text("t")) };
+        let item = DocEvent::Item {
+            payload: Rc::new(XmlEvent::text("t")),
+        };
         assert_eq!(item.label(), None);
         assert_eq!(item.payload().to_string(), "t");
     }

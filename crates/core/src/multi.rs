@@ -56,9 +56,7 @@ impl SharedQuerySet {
     }
 
     /// Compile, reporting unsupported constructs as errors.
-    pub fn try_compile(
-        queries: &[(String, Rpeq)],
-    ) -> Result<SharedQuerySet, crate::CompileError> {
+    pub fn try_compile(queries: &[(String, Rpeq)]) -> Result<SharedQuerySet, crate::CompileError> {
         let (mut builder, source) = NetworkBuilder::with_input();
         // (input tape, pretty-printed chain element) → output tape.
         //
@@ -88,7 +86,11 @@ impl SharedQuerySet {
             ids.push(id.clone());
             unshared_degree += crate::compile::CompiledNetwork::compile(query).degree() - 2;
         }
-        Ok(SharedQuerySet { spec: builder.finish(), ids, unshared_degree })
+        Ok(SharedQuerySet {
+            spec: builder.finish(),
+            ids,
+            unshared_degree,
+        })
     }
 
     /// Query ids, in sink order.
@@ -118,6 +120,19 @@ impl SharedQuerySet {
         Run::new(&self.spec, sinks)
     }
 
+    /// Like [`SharedQuerySet::run`], with resource caps attached (see
+    /// [`crate::ResourceLimits`]); use [`Run::try_push`] to observe a
+    /// breach.
+    pub fn run_with_limits<'n, 's>(
+        &'n self,
+        sinks: Vec<&'s mut dyn ResultSink>,
+        limits: crate::limits::ResourceLimits,
+    ) -> Run<'n, 's> {
+        let mut run = self.run(sinks);
+        run.set_limits(limits);
+        run
+    }
+
     /// Convenience: evaluate a full event sequence, returning per-query
     /// result counts (id order) and the engine statistics.
     pub fn count_events(
@@ -127,8 +142,10 @@ impl SharedQuerySet {
         let mut counters: Vec<CountingSink> =
             (0..self.ids.len()).map(|_| CountingSink::new()).collect();
         let stats = {
-            let sinks: Vec<&mut dyn ResultSink> =
-                counters.iter_mut().map(|c| c as &mut dyn ResultSink).collect();
+            let sinks: Vec<&mut dyn ResultSink> = counters
+                .iter_mut()
+                .map(|c| c as &mut dyn ResultSink)
+                .collect();
             let mut run = self.run(sinks);
             for ev in events {
                 run.push(ev);
@@ -238,8 +255,7 @@ mod tests {
     fn sharing_scales_with_profile_count() {
         // 50 queries with a common `quotes.quote` prefix: 2 shared steps,
         // 50 distinct heads.
-        let texts: Vec<String> =
-            (0..50).map(|i| format!("quotes.quote.s{i}")).collect();
+        let texts: Vec<String> = (0..50).map(|i| format!("quotes.quote.s{i}")).collect();
         let queries: Vec<(String, Rpeq)> = texts
             .iter()
             .enumerate()

@@ -9,9 +9,11 @@
 //! the messages its predecessors produced and appends its output to its
 //! successors' inboxes.
 
+use crate::engine::EvalError;
+use crate::limits::{LimitBreach, ResourceLimits};
 use crate::message::{DocEvent, Message, SymbolTable};
 use crate::sink::ResultSink;
-use crate::stats::EngineStats;
+use crate::stats::{EngineStats, Tap, TransducerStats};
 use crate::transducers::child::{Child, MatchLabel};
 use crate::transducers::closure::Closure;
 use crate::transducers::input::Input;
@@ -126,7 +128,11 @@ impl NetworkSpec {
         let mut out = String::new();
         for (i, n) in self.nodes.iter().enumerate() {
             let ins: Vec<String> = self.inputs[i].iter().map(|u| u.to_string()).collect();
-            out.push_str(&format!("{i:3}: {} <- [{}]\n", n.describe(), ins.join(", ")));
+            out.push_str(&format!(
+                "{i:3}: {} <- [{}]\n",
+                n.describe(),
+                ins.join(", ")
+            ));
         }
         out
     }
@@ -201,7 +207,11 @@ impl NetworkBuilder {
     /// Finish building.
     pub fn finish(self) -> NetworkSpec {
         debug_assert!(!self.sinks.is_empty(), "a network needs at least one sink");
-        NetworkSpec { nodes: self.nodes, inputs: self.inputs, sinks: self.sinks }
+        NetworkSpec {
+            nodes: self.nodes,
+            inputs: self.inputs,
+            sinks: self.sinks,
+        }
     }
 }
 
@@ -214,8 +224,6 @@ enum NodeInstance {
 /// A running instantiation of a network over one stream, pushing results
 /// into borrowed sinks (one per network sink).
 pub struct Run<'n, 's> {
-    /// Kept for lifetime anchoring and future introspection APIs.
-    #[allow(dead_code)]
     spec: &'n NetworkSpec,
     nodes: Vec<NodeInstance>,
     /// Which sink (index into `sinks`) each node feeds, for output nodes.
@@ -228,6 +236,12 @@ pub struct Run<'n, 's> {
     factory: Rc<RefCell<VarFactory>>,
     sinks: Vec<&'s mut dyn ResultSink>,
     stats: EngineStats,
+    /// Per-node measurements, same indexing as `nodes`.
+    node_stats: Vec<TransducerStats>,
+    limits: ResourceLimits,
+    /// The first limit breach, latched; further input is refused.
+    exhausted: Option<LimitBreach>,
+    tap: Option<Rc<RefCell<dyn Tap>>>,
     tick: u64,
     depth: usize,
     tracing: bool,
@@ -250,25 +264,24 @@ impl<'n, 's> Run<'n, 's> {
         for (i, n) in spec.nodes.iter().enumerate() {
             let inst = match n {
                 NodeSpec::Input => NodeInstance::Single(Box::new(Input::new())),
-                NodeSpec::Child(l) => NodeInstance::Single(Box::new(Child::new(
-                    MatchLabel::resolve(l, &mut symbols),
-                ))),
+                NodeSpec::Child(l) => {
+                    NodeInstance::Single(Box::new(Child::new(MatchLabel::resolve(l, &mut symbols))))
+                }
                 NodeSpec::Closure(l) => NodeInstance::Single(Box::new(Closure::new(
                     MatchLabel::resolve(l, &mut symbols),
                 ))),
-                NodeSpec::Following(l) => NodeInstance::Single(Box::new(
-                    crate::transducers::following::Following::new(MatchLabel::resolve(
-                        l,
-                        &mut symbols,
-                    )),
-                )),
-                NodeSpec::Preceding(l, q) => NodeInstance::Single(Box::new(
-                    crate::transducers::preceding::Preceding::new(
+                NodeSpec::Following(l) => {
+                    NodeInstance::Single(Box::new(crate::transducers::following::Following::new(
+                        MatchLabel::resolve(l, &mut symbols),
+                    )))
+                }
+                NodeSpec::Preceding(l, q) => {
+                    NodeInstance::Single(Box::new(crate::transducers::preceding::Preceding::new(
                         MatchLabel::resolve(l, &mut symbols),
                         *q,
                         factory.clone(),
-                    ),
-                )),
+                    )))
+                }
                 NodeSpec::VarCreator(q) => {
                     NodeInstance::Single(Box::new(VarCreator::new(*q, factory.clone())))
                 }
@@ -308,6 +321,16 @@ impl<'n, 's> Run<'n, 's> {
             .iter()
             .map(|ins| vec![Vec::new(); ins.len().max(1)])
             .collect();
+        let node_stats = spec
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(node, n)| TransducerStats {
+                node,
+                kind: n.describe(),
+                ..TransducerStats::default()
+            })
+            .collect();
         Run {
             spec,
             nodes,
@@ -318,10 +341,35 @@ impl<'n, 's> Run<'n, 's> {
             factory,
             sinks,
             stats: EngineStats::default(),
+            node_stats,
+            limits: ResourceLimits::default(),
+            exhausted: None,
+            tap: None,
             tick: 0,
             depth: 0,
             tracing: false,
         }
+    }
+
+    /// Attach resource caps, checked after every tick (see
+    /// [`crate::ResourceLimits`]).
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.limits = limits;
+    }
+
+    /// Attach a live observability tap (see [`Tap`]).
+    pub fn set_tap(&mut self, tap: Rc<RefCell<dyn Tap>>) {
+        self.tap = Some(tap);
+    }
+
+    /// The first limit breach, if any cap was exceeded.
+    pub fn exhausted(&self) -> Option<LimitBreach> {
+        self.exhausted
+    }
+
+    /// The network shape this run instantiates.
+    pub fn spec(&self) -> &NetworkSpec {
+        self.spec
     }
 
     /// Enable transition tracing on every node (for the golden paper-trace
@@ -355,7 +403,36 @@ impl<'n, 's> Run<'n, 's> {
     }
 
     /// Feed one stream event through the network (one tick).
+    ///
+    /// Infallible variant of [`Run::try_push`]: once a resource limit has
+    /// been breached the event is silently discarded (with no limits set —
+    /// the default — nothing is ever discarded).
     pub fn push(&mut self, event: XmlEvent) {
+        let _ = self.try_push(event);
+    }
+
+    /// Feed one stream event through the network (one tick), then check the
+    /// resource limits. On a breach the run aborts: results already
+    /// determined are flushed to the sinks, undetermined buffers are
+    /// released, and this and every further call return
+    /// [`EvalError::ResourceExhausted`]. Statistics stay readable.
+    pub fn try_push(&mut self, event: XmlEvent) -> Result<(), EvalError> {
+        if let Some(b) = self.exhausted {
+            return Err(b.into());
+        }
+        if let Some(tap) = &self.tap {
+            tap.borrow_mut().on_tick(self.tick, &event);
+        }
+        self.push_unchecked(event);
+        if let Err(b) = self.limits.check(&self.stats) {
+            self.exhausted = Some(b);
+            self.abort();
+            return Err(b.into());
+        }
+        Ok(())
+    }
+
+    fn push_unchecked(&mut self, event: XmlEvent) {
         let doc = match &event {
             XmlEvent::StartDocument => DocEvent::Open {
                 label: crate::message::DOC_SYMBOL,
@@ -367,13 +444,21 @@ impl<'n, 's> Run<'n, 's> {
             },
             XmlEvent::StartElement { name, .. } => {
                 let label = self.symbols.intern(name);
-                DocEvent::Open { label, payload: Rc::new(event) }
+                DocEvent::Open {
+                    label,
+                    payload: Rc::new(event),
+                }
             }
             XmlEvent::EndElement { name } => {
                 let label = self.symbols.intern(name);
-                DocEvent::Close { label, payload: Rc::new(event) }
+                DocEvent::Close {
+                    label,
+                    payload: Rc::new(event),
+                }
             }
-            _ => DocEvent::Item { payload: Rc::new(event) },
+            _ => DocEvent::Item {
+                payload: Rc::new(event),
+            },
         };
         match &doc {
             DocEvent::Open { .. } => {
@@ -390,6 +475,7 @@ impl<'n, 's> Run<'n, 's> {
 
     fn run_tick(&mut self) {
         let mut outbuf: Vec<Message> = Vec::new();
+        let tap = self.tap.clone();
         for id in 0..self.nodes.len() {
             outbuf.clear();
             match &mut self.nodes[id] {
@@ -397,27 +483,59 @@ impl<'n, 's> Run<'n, 's> {
                     let msgs = std::mem::take(&mut self.inbox[id][0]);
                     for m in msgs {
                         self.stats.messages += 1;
-                        self.stats.observe_formula(m.formula_size());
+                        self.node_stats[id].messages += 1;
+                        let size = m.formula_size();
+                        self.stats.observe_formula(size);
+                        self.node_stats[id].max_formula_size =
+                            self.node_stats[id].max_formula_size.max(size);
+                        if let Some(tap) = &tap {
+                            tap.borrow_mut().on_message(id, &m);
+                        }
                         t.step(m, &mut outbuf);
                     }
                     let (d, c) = t.stack_sizes();
                     self.stats.observe_stacks(d, c);
+                    self.node_stats[id].max_depth_stack =
+                        self.node_stats[id].max_depth_stack.max(d);
+                    self.node_stats[id].max_cond_stack = self.node_stats[id].max_cond_stack.max(c);
                 }
                 NodeInstance::Join(j) => {
                     let left = std::mem::take(&mut self.inbox[id][0]);
                     let right = std::mem::take(&mut self.inbox[id][1]);
                     self.stats.messages += (left.len() + right.len()) as u64;
+                    self.node_stats[id].messages += (left.len() + right.len()) as u64;
+                    if let Some(tap) = &tap {
+                        for m in left.iter().chain(right.iter()) {
+                            tap.borrow_mut().on_message(id, m);
+                        }
+                    }
                     j.step2(left, right, &mut outbuf);
                 }
                 NodeInstance::Output(_) => {
                     let msgs = std::mem::take(&mut self.inbox[id][0]);
                     let sink_idx = self.sink_index[id];
+                    let (results_before, dropped_before) = (self.stats.results, self.stats.dropped);
                     // Split borrow: re-borrow the node mutably inside.
                     if let NodeInstance::Output(o) = &mut self.nodes[id] {
                         for m in msgs {
                             self.stats.messages += 1;
-                            self.stats.observe_formula(m.formula_size());
+                            self.node_stats[id].messages += 1;
+                            let size = m.formula_size();
+                            self.stats.observe_formula(size);
+                            self.node_stats[id].max_formula_size =
+                                self.node_stats[id].max_formula_size.max(size);
+                            if let Some(tap) = &tap {
+                                tap.borrow_mut().on_message(id, &m);
+                            }
                             o.step(m, self.sinks[sink_idx], self.tick, &mut self.stats);
+                        }
+                    }
+                    if let Some(tap) = &tap {
+                        for _ in results_before..self.stats.results {
+                            tap.borrow_mut().on_candidate_resolved(id, true, self.tick);
+                        }
+                        for _ in dropped_before..self.stats.dropped {
+                            tap.borrow_mut().on_candidate_resolved(id, false, self.tick);
                         }
                     }
                     continue;
@@ -442,9 +560,30 @@ impl<'n, 's> Run<'n, 's> {
         }
     }
 
+    /// Drain the run after a limit breach: flush already-determined results,
+    /// release undetermined buffers, discard in-flight messages.
+    fn abort(&mut self) {
+        for id in 0..self.nodes.len() {
+            let sink_idx = self.sink_index[id];
+            if let NodeInstance::Output(o) = &mut self.nodes[id] {
+                o.abort(self.sinks[sink_idx], self.tick, &mut self.stats);
+            }
+        }
+        for ports in &mut self.inbox {
+            for p in ports {
+                p.clear();
+            }
+        }
+    }
+
     /// End of stream: flush the output transducer(s) and return the
     /// collected statistics.
-    pub fn finish(mut self) -> EngineStats {
+    pub fn finish(self) -> EngineStats {
+        self.finish_full().0
+    }
+
+    /// Like [`Run::finish`], also returning the per-transducer snapshots.
+    pub fn finish_full(mut self) -> (EngineStats, Vec<TransducerStats>) {
         for id in 0..self.nodes.len() {
             let sink_idx = self.sink_index[id];
             if let NodeInstance::Output(o) = &mut self.nodes[id] {
@@ -453,12 +592,18 @@ impl<'n, 's> Run<'n, 's> {
         }
         self.stats.ticks = self.tick;
         self.stats.vars_created = u64::from(self.factory.borrow().minted());
-        self.stats
+        (self.stats, self.node_stats)
     }
 
     /// Statistics so far (final values come from [`Run::finish`]).
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Per-transducer snapshots so far, indexed by node id (topological
+    /// order). `sum(messages)` equals [`EngineStats::messages`].
+    pub fn transducer_stats(&self) -> &[TransducerStats] {
+        &self.node_stats
     }
 
     /// The current tick number (document messages pushed so far).
@@ -548,6 +693,124 @@ mod tests {
         assert_eq!(stats.max_stream_depth, 4); // $, a, b, c
         assert!(stats.messages >= 8 * 3);
         assert!(stats.max_depth_stack <= 4);
+    }
+
+    #[test]
+    fn per_transducer_messages_sum_to_global_count() {
+        let net = crate::CompiledNetwork::compile(&"_*.a[b].c".parse().unwrap());
+        let mut sink = FragmentCollector::new();
+        let mut run = net.run(&mut sink);
+        for ev in spex_xml::reader::parse_events("<a><a><c/></a><b/><c/></a>").unwrap() {
+            run.push(ev);
+        }
+        let per_node: u64 = run.transducer_stats().iter().map(|t| t.messages).sum();
+        assert_eq!(per_node, run.stats().messages);
+        // Snapshots carry the node descriptions, in topological order.
+        let kinds: Vec<&str> = run
+            .transducer_stats()
+            .iter()
+            .map(|t| t.kind.as_str())
+            .collect();
+        assert_eq!(kinds, net.spec().describe());
+        assert_eq!(run.transducer_stats()[0].kind, "IN");
+        // Every node's stacks obey the paper's per-transducer bound.
+        let d = run.stats().max_stream_depth;
+        for t in run.transducer_stats() {
+            assert!(t.max_depth_stack <= d, "node {} ({})", t.node, t.kind);
+        }
+        let (stats, per) = run.finish_full();
+        assert_eq!(per.iter().map(|t| t.messages).sum::<u64>(), stats.messages);
+    }
+
+    #[derive(Default)]
+    struct RecordingTap {
+        ticks: Vec<u64>,
+        message_nodes: Vec<(u64, usize)>,
+        resolved: Vec<(usize, bool, u64)>,
+        current_tick: u64,
+    }
+
+    impl crate::stats::Tap for RecordingTap {
+        fn on_tick(&mut self, tick: u64, _event: &XmlEvent) {
+            self.ticks.push(tick);
+            self.current_tick = tick;
+        }
+        fn on_message(&mut self, node: usize, _msg: &Message) {
+            self.message_nodes.push((self.current_tick, node));
+        }
+        fn on_candidate_resolved(&mut self, node: usize, accepted: bool, tick: u64) {
+            self.resolved.push((node, accepted, tick));
+        }
+    }
+
+    #[test]
+    fn tap_fires_once_per_tick_in_dag_order() {
+        let net = crate::CompiledNetwork::compile(&"_*.a[b].c".parse().unwrap());
+        let mut sink = FragmentCollector::new();
+        let mut run = net.run(&mut sink);
+        let tap = Rc::new(RefCell::new(RecordingTap::default()));
+        run.set_tap(tap.clone());
+        let events = spex_xml::reader::parse_events("<a><a><c/></a><b/><c/></a>").unwrap();
+        let n_events = events.len();
+        for ev in events {
+            run.push(ev);
+        }
+        let messages = run.stats().messages;
+        let sink_node = net.spec().describe().len() - 1;
+        run.finish();
+        let tap = tap.borrow();
+        // on_tick fired exactly once per pushed event, in order.
+        assert_eq!(tap.ticks, (0..n_events as u64).collect::<Vec<_>>());
+        // on_message fired once per consumed message…
+        assert_eq!(tap.message_nodes.len() as u64, messages);
+        // …and, within each tick, in non-decreasing (topological) node
+        // order.
+        for w in tap.message_nodes.windows(2) {
+            let ((t1, n1), (t2, n2)) = (w[0], w[1]);
+            if t1 == t2 {
+                assert!(n1 <= n2, "tick {t1}: node {n1} fired after {n2}");
+            }
+        }
+        // §III.10: candidate₂ accepted, candidate₁ dropped, both at the sink.
+        assert_eq!(tap.resolved.iter().filter(|(_, a, _)| *a).count(), 1);
+        assert_eq!(tap.resolved.iter().filter(|(_, a, _)| !*a).count(), 1);
+        assert!(tap.resolved.iter().all(|(n, _, _)| *n == sink_node));
+    }
+
+    #[test]
+    fn limit_breach_drains_and_latches() {
+        // `r.x` over a fan-out stream with a message cap low enough to trip
+        // mid-stream: results decided before the breach were delivered.
+        let net = crate::CompiledNetwork::compile(&"r.x".parse().unwrap());
+        let mut sink = FragmentCollector::new();
+        let mut run = net.run(&mut sink);
+        run.set_limits(crate::ResourceLimits::default().with_max_total_messages(40));
+        let events =
+            spex_xml::reader::parse_events("<r><x>1</x><x>2</x><x>3</x><x>4</x></r>").unwrap();
+        let mut err = None;
+        for ev in events {
+            if let Err(e) = run.try_push(ev) {
+                err = Some(e);
+                break;
+            }
+        }
+        let breach = run.exhausted().expect("cap must trip");
+        assert_eq!(breach.kind, crate::LimitKind::TotalMessages);
+        assert!(matches!(err, Some(EvalError::ResourceExhausted { .. })));
+        // Latched: further input is refused with the same error.
+        assert!(run.try_push(XmlEvent::text("late")).is_err());
+        // Still queryable; finish() is safe after the drain.
+        assert!(run.stats().messages > 40);
+        let breach_tick = run.tick();
+        let stats = run.finish();
+        assert_eq!(stats.results + stats.dropped, stats.candidates_created);
+        // Results decided before the breach reached the sink — delivered no
+        // later than the tick the cap tripped on.
+        assert!(!sink.fragments().is_empty());
+        assert!(sink
+            .timing
+            .iter()
+            .all(|(_, delivered)| *delivered <= breach_tick));
     }
 
     #[test]

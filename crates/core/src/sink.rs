@@ -70,7 +70,8 @@ impl ResultSink for FragmentCollector {
 
     fn end(&mut self, _now: u64) {
         if let Some(events) = self.current.take() {
-            self.fragments.push(spex_xml::writer::events_to_string(&events));
+            self.fragments
+                .push(spex_xml::writer::events_to_string(&events));
         }
     }
 }
@@ -120,7 +121,11 @@ pub struct StreamingSink<W: std::io::Write> {
 impl<W: std::io::Write> StreamingSink<W> {
     /// Stream fragments to `out`.
     pub fn new(out: W) -> Self {
-        StreamingSink { writer: spex_xml::Writer::new(out), error: None, results: 0 }
+        StreamingSink {
+            writer: spex_xml::Writer::new(out),
+            error: None,
+            results: 0,
+        }
     }
 
     /// The first write error, if any occurred.

@@ -7,6 +7,17 @@
 //! membership is still undetermined). [`EngineStats`] records the measured
 //! counterparts so the complexity experiments (E6/E7 in DESIGN.md) and the
 //! bounded-memory tests on infinite streams (E11) can assert them.
+//!
+//! Two finer-grained observability surfaces complement the global counters:
+//!
+//! * [`TransducerStats`] — the same measurements broken down per network
+//!   node, so a hot or stack-heavy transducer can be pinpointed (the paper
+//!   states its bounds *per transducer*; this is their measured counterpart),
+//! * [`Tap`] — callbacks fired by the executor as it runs, for live
+//!   monitoring without waiting for the run to finish.
+
+use crate::message::Message;
+use spex_xml::XmlEvent;
 
 /// Measured resource usage of one evaluation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -52,6 +63,41 @@ impl EngineStats {
         self.max_depth_stack = self.max_depth_stack.max(depth_stack);
         self.max_cond_stack = self.max_cond_stack.max(cond_stack);
     }
+}
+
+/// Per-transducer measurements: one snapshot row per network node, in
+/// topological order. The sum of `messages` over all rows equals
+/// [`EngineStats::messages`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransducerStats {
+    /// The node's id in the network (topological order).
+    pub node: usize,
+    /// The node's description in the paper's notation, e.g. `CH(a)`.
+    pub kind: String,
+    /// Messages this node consumed.
+    pub messages: u64,
+    /// Largest depth stack this node held at any tick.
+    pub max_depth_stack: usize,
+    /// Largest condition stack this node held at any tick.
+    pub max_cond_stack: usize,
+    /// Largest condition formula in any message this node consumed.
+    pub max_formula_size: usize,
+}
+
+/// Live observability callbacks, keyed by transducer (node) id. Every method
+/// has a no-op default, so an implementation overrides only what it needs.
+/// Attach with [`crate::Evaluator::set_tap`] (or `Run::set_tap`).
+pub trait Tap {
+    /// A stream event is about to enter the network (once per tick).
+    fn on_tick(&mut self, _tick: u64, _event: &XmlEvent) {}
+
+    /// Node `node` is about to consume `msg`. Within one tick, nodes fire in
+    /// topological (DAG) order.
+    fn on_message(&mut self, _node: usize, _msg: &Message) {}
+
+    /// The output transducer `node` decided a candidate: `accepted` is
+    /// `true` for a result, `false` for a dropped candidate.
+    fn on_candidate_resolved(&mut self, _node: usize, _accepted: bool, _tick: u64) {}
 }
 
 #[cfg(test)]

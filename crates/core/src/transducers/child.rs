@@ -136,11 +136,7 @@ impl Transducer for Child {
                                 // (7) match: emit an activation with the top
                                 // formula, remember the match level.
                                 self.trace.fire(7);
-                                let f = self
-                                    .cond
-                                    .last()
-                                    .cloned()
-                                    .unwrap_or(Formula::True);
+                                let f = self.cond.last().cloned().unwrap_or(Formula::True);
                                 self.depth.push(Depth::Match);
                                 self.state = State::Waiting;
                                 out.push(Message::Activate(f));
@@ -346,10 +342,8 @@ mod tests {
     #[test]
     fn stack_sizes_track_depth() {
         let mut symbols = SymbolTable::new();
-        let stream = crate::transducers::test_util::stream_of(
-            &mut symbols,
-            "<a><b><b><b/></b></b></a>",
-        );
+        let stream =
+            crate::transducers::test_util::stream_of(&mut symbols, "<a><b><b><b/></b></b></a>");
         let mut t = Child::new(MatchLabel::Symbol(symbols.intern("a")));
         let mut max_depth = 0;
         let mut out = Vec::new();

@@ -82,7 +82,10 @@ impl Transducer for Closure {
                     self.state = State::Activated2;
                 }
                 State::Activated1 | State::Activated2 => {
-                    debug_assert!(false, "consecutive activations reached a closure transducer");
+                    debug_assert!(
+                        false,
+                        "consecutive activations reached a closure transducer"
+                    );
                     if let Some(top) = self.cond.last_mut() {
                         *top = Formula::or(top.clone(), f);
                     }
@@ -110,11 +113,7 @@ impl Transducer for Closure {
                                 // (7) match: stay matching — descendants of a
                                 // matched element continue the chain.
                                 self.trace.fire(7);
-                                let f = self
-                                    .cond
-                                    .last()
-                                    .cloned()
-                                    .unwrap_or(Formula::True);
+                                let f = self.cond.last().cloned().unwrap_or(Formula::True);
                                 self.depth.push(Depth::Level);
                                 out.push(Message::Activate(f));
                                 out.push(Message::Doc(doc));
@@ -319,7 +318,7 @@ mod tests {
         t.step(Message::Activate(va.clone()), &mut out);
         let open_x = crate::transducers::test_util::stream_of(&mut symbols, "<x><a><a/></a></x>");
         t.step(open_x[1].clone(), &mut out); // <x> → (5) scope
-        // First <a> matches with va (7).
+                                             // First <a> matches with va (7).
         out.clear();
         t.step(open_x[2].clone(), &mut out);
         assert!(matches!(&out[0], Message::Activate(f) if *f == va));

@@ -192,8 +192,10 @@ mod tests {
             }
             t.step(m.clone(), &mut tape);
         }
-        let first: usize =
-            tape.iter().filter(|m| matches!(m, Message::Activate(_))).count();
+        let first: usize = tape
+            .iter()
+            .filter(|m| matches!(m, Message::Activate(_)))
+            .count();
         assert_eq!(first, 1);
         // Second document without activation: no carried-over matches.
         tape.clear();
@@ -223,8 +225,10 @@ mod tests {
             }
             t.step(m.clone(), &mut tape);
         }
-        let act: Vec<&Message> =
-            tape.iter().filter(|m| matches!(m, Message::Activate(_))).collect();
+        let act: Vec<&Message> = tape
+            .iter()
+            .filter(|m| matches!(m, Message::Activate(_)))
+            .collect();
         assert_eq!(act.len(), 1);
         assert!(matches!(act[0], Message::Activate(f) if *f == Formula::or(va, vb)));
     }

@@ -26,7 +26,10 @@ impl Input {
 
 impl Transducer for Input {
     fn step(&mut self, msg: Message, out: &mut Vec<Message>) {
-        if let Message::Doc(DocEvent::Open { label: DOC_SYMBOL, .. }) = &msg {
+        if let Message::Doc(DocEvent::Open {
+            label: DOC_SYMBOL, ..
+        }) = &msg
+        {
             self.trace.fire(1);
             out.push(Message::Activate(Formula::True));
         }
@@ -57,7 +60,10 @@ mod tests {
         t.step(stream[0].clone(), &mut out);
         assert_eq!(out.len(), 2);
         assert!(matches!(&out[0], Message::Activate(f) if f.is_true()));
-        assert!(matches!(&out[1], Message::Doc(DocEvent::Open { label: 0, .. })));
+        assert!(matches!(
+            &out[1],
+            Message::Doc(DocEvent::Open { label: 0, .. })
+        ));
     }
 
     #[test]

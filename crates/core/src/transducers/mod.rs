@@ -27,10 +27,10 @@
 pub mod child;
 pub mod closure;
 pub mod following;
-pub mod preceding;
 pub mod input;
 pub mod join;
 pub mod output;
+pub mod preceding;
 pub mod split;
 pub mod union_;
 pub mod var_creator;
@@ -85,7 +85,10 @@ pub trait Transducer {
 
 /// Render a transition trace the way the paper's figures do: `"1,5"`.
 pub fn format_transitions(ts: &[u8]) -> String {
-    ts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",")
+    ts.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 #[cfg(test)]
@@ -114,21 +117,31 @@ pub(crate) mod test_util {
     /// Convert one event.
     pub fn doc_event(symbols: &mut SymbolTable, ev: XmlEvent) -> DocEvent {
         match &ev {
-            XmlEvent::StartDocument => {
-                DocEvent::Open { label: crate::message::DOC_SYMBOL, payload: Rc::new(ev) }
-            }
-            XmlEvent::EndDocument => {
-                DocEvent::Close { label: crate::message::DOC_SYMBOL, payload: Rc::new(ev) }
-            }
+            XmlEvent::StartDocument => DocEvent::Open {
+                label: crate::message::DOC_SYMBOL,
+                payload: Rc::new(ev),
+            },
+            XmlEvent::EndDocument => DocEvent::Close {
+                label: crate::message::DOC_SYMBOL,
+                payload: Rc::new(ev),
+            },
             XmlEvent::StartElement { name, .. } => {
                 let label = symbols.intern(name);
-                DocEvent::Open { label, payload: Rc::new(ev) }
+                DocEvent::Open {
+                    label,
+                    payload: Rc::new(ev),
+                }
             }
             XmlEvent::EndElement { name } => {
                 let label = symbols.intern(name);
-                DocEvent::Close { label, payload: Rc::new(ev) }
+                DocEvent::Close {
+                    label,
+                    payload: Rc::new(ev),
+                }
             }
-            _ => DocEvent::Item { payload: Rc::new(ev) },
+            _ => DocEvent::Item {
+                payload: Rc::new(ev),
+            },
         }
     }
 }

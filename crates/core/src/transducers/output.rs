@@ -133,7 +133,9 @@ impl Output {
                     if id < base {
                         continue; // already emitted or dropped
                     }
-                    let Some(cand) = self.candidate_mut(id) else { continue };
+                    let Some(cand) = self.candidate_mut(id) else {
+                        continue;
+                    };
                     if cand.rejected {
                         continue;
                     }
@@ -229,8 +231,7 @@ impl Output {
                     );
                     self.pending.clear();
                 }
-                stats.peak_live_candidates =
-                    stats.peak_live_candidates.max(self.candidates.len());
+                stats.peak_live_candidates = stats.peak_live_candidates.max(self.candidates.len());
                 self.flush(sink, now, stats);
                 stats.peak_buffered_events = stats.peak_buffered_events.max(self.buffered);
             }
@@ -247,7 +248,12 @@ impl Output {
             }
             if front.decided_true() {
                 if !front.begin_sent {
-                    sink.begin(ResultMeta { start_tick: front.start_tick }, now);
+                    sink.begin(
+                        ResultMeta {
+                            start_tick: front.start_tick,
+                        },
+                        now,
+                    );
                     front.begin_sent = true;
                 }
                 // Stream out whatever is buffered.
@@ -299,6 +305,56 @@ impl Output {
         self.buffered = 0;
     }
 
+    /// Abort the evaluation early (resource exhaustion): emit every result
+    /// whose membership is already determined, release every undetermined
+    /// buffer, and leave the transducer empty.
+    ///
+    /// No further input will be processed, so — exactly as at end of stream —
+    /// a still-undetermined variable can never become true and resolves to
+    /// `false`. Fragments cut off mid-flight by the abort are delivered
+    /// truncated only if they had already begun streaming (the sink's
+    /// `begin` cannot be unsent); otherwise they are dropped.
+    pub fn abort(&mut self, sink: &mut dyn ResultSink, now: u64, stats: &mut EngineStats) {
+        for cand in &mut self.candidates {
+            if cand.rejected {
+                continue;
+            }
+            for v in cand.formula.vars() {
+                cand.formula = cand.formula.assign(v, false);
+            }
+            if cand.formula.is_false() {
+                cand.rejected = true;
+                self.buffered -= cand.buffer.len();
+                cand.buffer.clear();
+                stats.dropped += 1;
+            }
+        }
+        // Alternate flushing decided-and-complete candidates with force-
+        // closing the (accepted but incomplete) frontier fragment, so the
+        // complete results queued behind an open one still get out.
+        loop {
+            self.flush(sink, now, stats);
+            let Some(front) = self.candidates.pop_front() else {
+                break;
+            };
+            self.base += 1;
+            if front.rejected {
+                continue;
+            }
+            self.buffered -= front.buffer.len();
+            if front.begin_sent {
+                sink.end(now);
+                stats.results += 1;
+            } else {
+                stats.dropped += 1;
+            }
+        }
+        self.open_stack.clear();
+        self.var_index.clear();
+        self.pending.clear();
+        self.buffered = 0;
+    }
+
     /// Number of live (buffering or streaming) candidates.
     pub fn live_candidates(&self) -> usize {
         self.candidates.len()
@@ -313,11 +369,11 @@ impl Output {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Determination;
     use crate::message::SymbolTable;
     use crate::sink::FragmentCollector;
     use crate::transducers::test_util::stream_of;
     use spex_formula::{CondVar, Formula};
-    use crate::message::Determination;
 
     fn run(messages: Vec<Message>) -> (FragmentCollector, EngineStats) {
         let mut out = Output::new();
@@ -463,7 +519,11 @@ mod tests {
         let (sink, stats) = run(msgs);
         assert_eq!(
             sink.fragments(),
-            ["<b>1</b>".to_string(), "<b>2</b>".to_string(), "<b>3</b>".to_string()]
+            [
+                "<b>1</b>".to_string(),
+                "<b>2</b>".to_string(),
+                "<b>3</b>".to_string()
+            ]
         );
         assert_eq!(stats.results, 3);
         // Each streamed immediately — nothing accumulated.

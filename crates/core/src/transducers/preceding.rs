@@ -85,10 +85,7 @@ impl Transducer for Preceding {
                     }
                 } else if !f.is_false() {
                     for p in &self.closed_vars {
-                        out.push(Message::Determine(
-                            *p,
-                            Determination::Implied(f.clone()),
-                        ));
+                        out.push(Message::Determine(*p, Determination::Implied(f.clone())));
                     }
                 }
                 // The activation is consumed: downstream continues from the
@@ -145,7 +142,10 @@ impl Transducer for Preceding {
     }
 
     fn stack_sizes(&self) -> (usize, usize) {
-        (self.depth.len(), self.open_vars.len() + self.closed_vars.len())
+        (
+            self.depth.len(),
+            self.open_vars.len() + self.closed_vars.len(),
+        )
     }
 
     fn set_tracing(&mut self, on: bool) {
@@ -195,7 +195,10 @@ mod tests {
         // First b's variable true (context), second b's false (end of doc).
         assert_eq!(dets, vec!["{c0.1,true}", "{c0.2,false}"]);
         // Two speculative activations were emitted.
-        let acts = tape.iter().filter(|m| matches!(m, Message::Activate(_))).count();
+        let acts = tape
+            .iter()
+            .filter(|m| matches!(m, Message::Activate(_)))
+            .count();
         assert_eq!(acts, 2);
     }
 

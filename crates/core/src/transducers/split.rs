@@ -49,7 +49,13 @@ mod tests {
         let mut t = Split::new();
         let mut out = Vec::new();
         t.step(Message::Activate(Formula::True), &mut out);
-        t.step(Message::Determine(spex_formula::CondVar::new(0, 1), crate::message::Determination::True), &mut out);
+        t.step(
+            Message::Determine(
+                spex_formula::CondVar::new(0, 1),
+                crate::message::Determination::True,
+            ),
+            &mut out,
+        );
         assert_eq!(out.len(), 2);
         t.set_tracing(true);
         t.step(Message::Activate(Formula::True), &mut out);

@@ -63,7 +63,11 @@ impl Transducer for VarCreator {
         match msg {
             // (1) activation: mint an instance, emit [f ∧ c].
             Message::Activate(f) => {
-                debug_assert_eq!(self.state, State::Working, "activation while already activated");
+                debug_assert_eq!(
+                    self.state,
+                    State::Working,
+                    "activation while already activated"
+                );
                 self.trace.fire(1);
                 let c = self.factory.borrow_mut().fresh(self.qualifier);
                 self.vars.push(c);
@@ -136,9 +140,9 @@ impl Transducer for VarCreator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Determination;
     use crate::message::SymbolTable;
     use crate::transducers::test_util::stream_of;
-    use crate::message::Determination;
 
     fn vc() -> VarCreator {
         VarCreator::new(QualifierId(1), Rc::new(RefCell::new(VarFactory::new())))
@@ -215,7 +219,9 @@ mod tests {
                 t.step(Message::Activate(Formula::True), &mut out);
             }
             t.step(msg.clone(), &mut out);
-            traces.push(crate::transducers::format_transitions(&t.take_transitions()));
+            traces.push(crate::transducers::format_transitions(
+                &t.take_transitions(),
+            ));
         }
         assert_eq!(
             traces,

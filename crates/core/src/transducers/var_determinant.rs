@@ -36,7 +36,11 @@ impl VarDeterminant {
     /// Create a variable determinant for `qualifier` with the given inner
     /// qualifier id range.
     pub fn new(qualifier: QualifierId, inner: Range<u32>) -> Self {
-        VarDeterminant { qualifier, inner, trace: Trace::default() }
+        VarDeterminant {
+            qualifier,
+            inner,
+            trace: Trace::default(),
+        }
     }
 }
 

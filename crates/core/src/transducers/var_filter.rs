@@ -44,12 +44,22 @@ impl VarFilter {
     /// A positive filter VF(q+). `inner` is the range of qualifier ids
     /// compiled within this qualifier's sub-expression.
     pub fn positive(qualifier: QualifierId, inner: Range<u32>) -> Self {
-        VarFilter { qualifier, inner, positive: true, trace: Trace::default() }
+        VarFilter {
+            qualifier,
+            inner,
+            positive: true,
+            trace: Trace::default(),
+        }
     }
 
     /// A negative filter VF(q−).
     pub fn negative(qualifier: QualifierId) -> Self {
-        VarFilter { qualifier, inner: 0..0, positive: false, trace: Trace::default() }
+        VarFilter {
+            qualifier,
+            inner: 0..0,
+            positive: false,
+            trace: Trace::default(),
+        }
     }
 }
 
@@ -106,7 +116,10 @@ mod tests {
         // c1.1 ∧ (c1.2 ∨ c2.3)
         Formula::and(
             Formula::Var(CondVar::new(1, 1)),
-            Formula::or(Formula::Var(CondVar::new(1, 2)), Formula::Var(CondVar::new(2, 3))),
+            Formula::or(
+                Formula::Var(CondVar::new(1, 2)),
+                Formula::Var(CondVar::new(2, 3)),
+            ),
         )
     }
 
@@ -133,11 +146,20 @@ mod tests {
         let mut t = VarFilter::positive(QualifierId(1), 2..4);
         let mut out = Vec::new();
         // Inner qualifier (id 2): passes.
-        t.step(Message::Determine(CondVar::new(2, 5), Determination::True), &mut out);
+        t.step(
+            Message::Determine(CondVar::new(2, 5), Determination::True),
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         // Own qualifier and outer qualifiers: dropped (main branch has them).
-        t.step(Message::Determine(CondVar::new(1, 1), Determination::False), &mut out);
-        t.step(Message::Determine(CondVar::new(0, 7), Determination::True), &mut out);
+        t.step(
+            Message::Determine(CondVar::new(1, 1), Determination::False),
+            &mut out,
+        );
+        t.step(
+            Message::Determine(CondVar::new(0, 7), Determination::True),
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
     }
 
@@ -163,9 +185,15 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         out.clear();
-        t.step(Message::Determine(CondVar::new(1, 1), Determination::False), &mut out);
+        t.step(
+            Message::Determine(CondVar::new(1, 1), Determination::False),
+            &mut out,
+        );
         assert!(out.is_empty());
-        t.step(Message::Determine(CondVar::new(2, 3), Determination::False), &mut out);
+        t.step(
+            Message::Determine(CondVar::new(2, 3), Determination::False),
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
     }
 

@@ -70,7 +70,10 @@ fn child_transducer_full_table() {
     // Fig. 2 has 13 transitions.
     let expected: BTreeSet<u8> = (1..=13).collect();
     let missing: Vec<u8> = expected.difference(ch).copied().collect();
-    assert!(missing.is_empty(), "CH transitions never fired: {missing:?}");
+    assert!(
+        missing.is_empty(),
+        "CH transitions never fired: {missing:?}"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn closure_transducer_full_table() {
     // Fig. 3 has 14 transitions (the determination update is 14 here).
     let expected: BTreeSet<u8> = (1..=14).collect();
     let missing: Vec<u8> = expected.difference(cl).copied().collect();
-    assert!(missing.is_empty(), "CL transitions never fired: {missing:?}");
+    assert!(
+        missing.is_empty(),
+        "CL transitions never fired: {missing:?}"
+    );
 }
 
 #[test]
@@ -91,7 +97,10 @@ fn variable_creator_full_table() {
     // determination to cross a VC, which the nested-qualifier case provides.
     let expected: BTreeSet<u8> = (1..=6).collect();
     let missing: Vec<u8> = expected.difference(vc).copied().collect();
-    assert!(missing.is_empty(), "VC transitions never fired: {missing:?}");
+    assert!(
+        missing.is_empty(),
+        "VC transitions never fired: {missing:?}"
+    );
 }
 
 #[test]

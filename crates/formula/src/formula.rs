@@ -113,27 +113,27 @@ impl Formula {
         fn literal_set(f: &Formula, conjunction: bool) -> Option<BTreeSet<CondVar>> {
             match f {
                 Formula::Var(v) => Some([*v].into_iter().collect()),
-                Formula::And(kids) if !conjunction => {
-                    kids.iter()
-                        .map(|k| match k {
-                            Formula::Var(v) => Some(*v),
-                            _ => None,
-                        })
-                        .collect()
-                }
-                Formula::Or(kids) if conjunction => {
-                    kids.iter()
-                        .map(|k| match k {
-                            Formula::Var(v) => Some(*v),
-                            _ => None,
-                        })
-                        .collect()
-                }
+                Formula::And(kids) if !conjunction => kids
+                    .iter()
+                    .map(|k| match k {
+                        Formula::Var(v) => Some(*v),
+                        _ => None,
+                    })
+                    .collect(),
+                Formula::Or(kids) if conjunction => kids
+                    .iter()
+                    .map(|k| match k {
+                        Formula::Var(v) => Some(*v),
+                        _ => None,
+                    })
+                    .collect(),
                 _ => None,
             }
         }
-        let sets: Vec<Option<BTreeSet<CondVar>>> =
-            children.iter().map(|c| literal_set(c, conjunction)).collect();
+        let sets: Vec<Option<BTreeSet<CondVar>>> = children
+            .iter()
+            .map(|c| literal_set(c, conjunction))
+            .collect();
         let mut keep = vec![true; children.len()];
         for i in 0..children.len() {
             if !keep[i] {
@@ -176,9 +176,7 @@ impl Formula {
                     self.clone()
                 }
             }
-            Formula::And(kids) => {
-                Formula::conj(kids.iter().map(|k| k.assign(v, value)).collect())
-            }
+            Formula::And(kids) => Formula::conj(kids.iter().map(|k| k.assign(v, value)).collect()),
             Formula::Or(kids) => Formula::disj(kids.iter().map(|k| k.assign(v, value)).collect()),
         }
     }
@@ -225,7 +223,10 @@ impl Formula {
     /// All variables belonging to `qualifier` (used by the positive
     /// variable-filter VF(q+)).
     pub fn vars_of(&self, qualifier: QualifierId) -> Vec<CondVar> {
-        self.vars().into_iter().filter(|v| v.qualifier == qualifier).collect()
+        self.vars()
+            .into_iter()
+            .filter(|v| v.qualifier == qualifier)
+            .collect()
     }
 
     fn collect_vars(&self, out: &mut BTreeSet<CondVar>) {
@@ -378,7 +379,10 @@ mod tests {
     #[test]
     fn commutativity_via_sorting() {
         assert_eq!(Formula::or(v(0, 2), v(0, 1)), Formula::or(v(0, 1), v(0, 2)));
-        assert_eq!(Formula::and(v(1, 1), v(0, 9)), Formula::and(v(0, 9), v(1, 1)));
+        assert_eq!(
+            Formula::and(v(1, 1), v(0, 9)),
+            Formula::and(v(0, 9), v(1, 1))
+        );
     }
 
     #[test]
@@ -411,7 +415,10 @@ mod tests {
         // Semantics preserved: equivalent to a.
         for bits in 0..8u32 {
             let assignment = |x: CondVar| bits & (1 << x.serial) != 0;
-            assert_eq!(f.eval(&assignment), v(0, 1).eval(&assignment) || nested.eval(&assignment));
+            assert_eq!(
+                f.eval(&assignment),
+                v(0, 1).eval(&assignment) || nested.eval(&assignment)
+            );
         }
     }
 
@@ -428,7 +435,9 @@ mod tests {
     #[test]
     fn assign_chain_determines() {
         let f = Formula::and(v(0, 1), v(0, 2));
-        let g = f.assign(CondVar::new(0, 1), true).assign(CondVar::new(0, 2), true);
+        let g = f
+            .assign(CondVar::new(0, 1), true)
+            .assign(CondVar::new(0, 2), true);
         assert_eq!(g.value(), Some(true));
         let h = f.assign(CondVar::new(0, 2), false);
         assert_eq!(h.value(), Some(false));
@@ -441,7 +450,10 @@ mod tests {
         let f = Formula::and(Formula::Var(c), v(1, 2));
         // c ↦ c ∨ r (the conditional-determination shape).
         let g = f.substitute(c, &Formula::or(Formula::Var(c), v(1, 3)));
-        assert_eq!(g, Formula::and(Formula::or(Formula::Var(c), v(1, 3)), v(1, 2)));
+        assert_eq!(
+            g,
+            Formula::and(Formula::or(Formula::Var(c), v(1, 3)), v(1, 2))
+        );
         // Substitution by a constant coincides with assign.
         assert_eq!(f.substitute(c, &Formula::True), f.assign(c, true));
         assert_eq!(f.substitute(c, &Formula::False), f.assign(c, false));

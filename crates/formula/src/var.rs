@@ -32,7 +32,10 @@ impl CondVar {
     /// Create a variable (mostly used in tests; the engine uses
     /// [`VarFactory`]).
     pub fn new(qualifier: u32, serial: u32) -> Self {
-        CondVar { qualifier: QualifierId(qualifier), serial }
+        CondVar {
+            qualifier: QualifierId(qualifier),
+            serial,
+        }
     }
 }
 

@@ -148,7 +148,12 @@ impl Rpeq {
     pub fn visit(&self, f: &mut impl FnMut(&Rpeq)) {
         f(self);
         match self {
-            Rpeq::Empty | Rpeq::Step(_) | Rpeq::Plus(_) | Rpeq::Star(_) | Rpeq::Following(_) | Rpeq::Preceding(_) => {}
+            Rpeq::Empty
+            | Rpeq::Step(_)
+            | Rpeq::Plus(_)
+            | Rpeq::Star(_)
+            | Rpeq::Following(_)
+            | Rpeq::Preceding(_) => {}
             Rpeq::Union(a, b) | Rpeq::Concat(a, b) | Rpeq::Qualified(a, b) => {
                 a.visit(f);
                 b.visit(f);

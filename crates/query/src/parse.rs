@@ -31,7 +31,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rpeq parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "rpeq parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -132,7 +136,10 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(self.end)
+        self.tokens
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(self.end)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -247,7 +254,11 @@ impl Parser {
 /// Parse an rpeq expression from its text syntax.
 pub fn parse(input: &str) -> Result<Rpeq, ParseError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, end: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: input.len(),
+    };
     let e = p.union()?;
     if p.pos != p.tokens.len() {
         return Err(ParseError {
@@ -301,14 +312,22 @@ mod tests {
     #[test]
     fn precedence() {
         // `.` binds tighter than `|`.
-        assert_eq!(p("a.b|c"), Rpeq::step("a").then(Rpeq::step("b")).or(Rpeq::step("c")));
+        assert_eq!(
+            p("a.b|c"),
+            Rpeq::step("a").then(Rpeq::step("b")).or(Rpeq::step("c"))
+        );
         // Qualifier binds tighter than `.`.
         assert_eq!(
             p("a[b].c"),
-            Rpeq::step("a").with_qualifier(Rpeq::step("b")).then(Rpeq::step("c"))
+            Rpeq::step("a")
+                .with_qualifier(Rpeq::step("b"))
+                .then(Rpeq::step("c"))
         );
         // Parens override.
-        assert_eq!(p("a.(b|c)"), Rpeq::step("a").then(Rpeq::step("b").or(Rpeq::step("c"))));
+        assert_eq!(
+            p("a.(b|c)"),
+            Rpeq::step("a").then(Rpeq::step("b").or(Rpeq::step("c")))
+        );
     }
 
     #[test]
@@ -317,7 +336,10 @@ mod tests {
             p("a.b.c"),
             Rpeq::step("a").then(Rpeq::step("b")).then(Rpeq::step("c"))
         );
-        assert_eq!(p("a|b|c"), Rpeq::step("a").or(Rpeq::step("b")).or(Rpeq::step("c")));
+        assert_eq!(
+            p("a|b|c"),
+            Rpeq::step("a").or(Rpeq::step("b")).or(Rpeq::step("c"))
+        );
     }
 
     #[test]
@@ -329,7 +351,10 @@ mod tests {
                 .with_qualifier(Rpeq::step("c"))
         );
         assert_eq!(p("a??"), Rpeq::step("a").optional().optional());
-        assert_eq!(p("a[b]?"), Rpeq::step("a").with_qualifier(Rpeq::step("b")).optional());
+        assert_eq!(
+            p("a[b]?"),
+            Rpeq::step("a").with_qualifier(Rpeq::step("b")).optional()
+        );
     }
 
     #[test]

@@ -47,14 +47,20 @@ use crate::parse::ParseError;
 
 /// Translate an XPath expression from the supported fragment into rpeq.
 pub fn parse_xpath(input: &str) -> Result<Rpeq, ParseError> {
-    let mut p = XParser { input: input.as_bytes(), pos: 0 };
+    let mut p = XParser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let e = p.path(true)?;
     p.skip_ws();
     if p.pos != p.input.len() {
         return Err(p.err("unexpected trailing input"));
     }
-    e.ok_or_else(|| ParseError { message: "empty XPath expression".into(), offset: 0 })
+    e.ok_or_else(|| ParseError {
+        message: "empty XPath expression".into(),
+        offset: 0,
+    })
 }
 
 /// One parsed XPath step, before path assembly.
@@ -64,7 +70,11 @@ enum ParsedStep {
     /// `parent::label[preds…]`.
     Parent { label: Label, preds: Vec<Rpeq> },
     /// `ancestor::label` / `ancestor-or-self::label`.
-    Ancestor { label: Label, preds: Vec<Rpeq>, or_self: bool },
+    Ancestor {
+        label: Label,
+        preds: Vec<Rpeq>,
+        or_self: bool,
+    },
 }
 
 /// Replace the innermost step label of `e` (below any qualifiers) with the
@@ -77,9 +87,10 @@ fn replace_core_label(e: Rpeq, constraint: &Label) -> Result<Rpeq, String> {
             Some(l) => Ok(Rpeq::Step(l)),
             None => Err(l.to_string()),
         },
-        Rpeq::Qualified(inner, q) => {
-            Ok(Rpeq::Qualified(Box::new(replace_core_label(*inner, constraint)?), q))
-        }
+        Rpeq::Qualified(inner, q) => Ok(Rpeq::Qualified(
+            Box::new(replace_core_label(*inner, constraint)?),
+            q,
+        )),
         other => Err(other.to_string()),
     }
 }
@@ -100,7 +111,10 @@ struct XParser<'a> {
 
 impl<'a> XParser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -156,7 +170,11 @@ impl<'a> XParser<'a> {
                 ParsedStep::Parent { label, preds } => {
                     self.rewrite_parent(&mut parts, label, preds)?;
                 }
-                ParsedStep::Ancestor { label, preds, or_self } => {
+                ParsedStep::Ancestor {
+                    label,
+                    preds,
+                    or_self,
+                } => {
                     self.rewrite_ancestor(&mut parts, label, preds, or_self)?;
                 }
             }
@@ -198,9 +216,7 @@ impl<'a> XParser<'a> {
         let rewritten = match parts.last() {
             // `//x/parent::b` with the `//` opening the path: the parent is
             // any node, so the intersection is just a fresh `b` step.
-            Some((e, true)) if parts.len() == 1 && *e == Rpeq::descend() => {
-                Rpeq::Step(label)
-            }
+            Some((e, true)) if parts.len() == 1 && *e == Rpeq::descend() => Rpeq::Step(label),
             // `…/l/x/parent::b`: intersect l with b.
             Some((_, false)) => {
                 let (prev, _) = parts.pop().expect("just peeked");
@@ -217,9 +233,8 @@ impl<'a> XParser<'a> {
                 )))
             }
             Some((_, true)) => {
-                return Err(self.err(
-                    "`parent::` after a mid-path `//` is not supported (rewrite the query)",
-                ))
+                return Err(self
+                    .err("`parent::` after a mid-path `//` is not supported (rewrite the query)"))
             }
         };
         let mut e = rewritten.with_qualifier(child);
@@ -241,7 +256,11 @@ impl<'a> XParser<'a> {
         preds: Vec<Rpeq>,
         or_self: bool,
     ) -> Result<(), ParseError> {
-        let axis = if or_self { "ancestor-or-self" } else { "ancestor" };
+        let axis = if or_self {
+            "ancestor-or-self"
+        } else {
+            "ancestor"
+        };
         let Some((child, child_is_star)) = parts.pop() else {
             return Err(self.err(format!("`{axis}::` needs a preceding step")));
         };
@@ -253,8 +272,7 @@ impl<'a> XParser<'a> {
                 "`{axis}::` is only supported in the form `//step/{axis}::label`"
             )));
         }
-        let mut e = Rpeq::Step(label.clone())
-            .with_qualifier(Rpeq::descend().then(child.clone()));
+        let mut e = Rpeq::Step(label.clone()).with_qualifier(Rpeq::descend().then(child.clone()));
         if or_self {
             if let Ok(self_step) = replace_core_label(child, &label) {
                 e = e.or(self_step);
@@ -273,9 +291,7 @@ impl<'a> XParser<'a> {
         // Reject unsupported axes explicitly for a good error message.
         for axis in ["preceding-sibling::", "following-sibling::", "attribute::"] {
             if self.rest().starts_with(axis) {
-                return Err(self.err(format!(
-                    "axis `{axis}` is outside the rpeq fragment"
-                )));
+                return Err(self.err(format!("axis `{axis}` is outside the rpeq fragment")));
             }
         }
         if self.peek() == Some(b'@') {
@@ -300,7 +316,11 @@ impl<'a> XParser<'a> {
             self.pos += "ancestor-or-self::".len();
             let label = self.node_test()?;
             let preds = self.predicate_list()?;
-            return Ok(ParsedStep::Ancestor { label, preds, or_self: true });
+            return Ok(ParsedStep::Ancestor {
+                label,
+                preds,
+                or_self: true,
+            });
         } else if rest.starts_with("following::") {
             self.pos += "following::".len();
             let label = self.node_test()?;
@@ -317,7 +337,11 @@ impl<'a> XParser<'a> {
             self.pos += "ancestor::".len();
             let label = self.node_test()?;
             let preds = self.predicate_list()?;
-            return Ok(ParsedStep::Ancestor { label, preds, or_self: false });
+            return Ok(ParsedStep::Ancestor {
+                label,
+                preds,
+                or_self: false,
+            });
         }
         let label = self.node_test()?;
         let e = Rpeq::Step(label);
@@ -456,7 +480,10 @@ mod tests {
     #[test]
     fn predicates_translate_to_qualifiers() {
         assert_eq!(x("//a[b]/c"), r("_*.a[b].c"));
-        assert_eq!(x("//country[province]/name"), r("_*.country[province].name"));
+        assert_eq!(
+            x("//country[province]/name"),
+            r("_*.country[province].name")
+        );
         assert_eq!(x("//a[.//c]"), r("_*.a[_*.c]"));
         assert_eq!(x("//a[b][c]"), r("_*.a[b][c]"));
         assert_eq!(x("//a[b/c]"), r("_*.a[b.c]"));
@@ -489,7 +516,6 @@ mod tests {
         assert!(parse_xpath("").is_err());
         assert!(parse_xpath("//a]").is_err());
     }
-
 
     #[test]
     fn parent_axis_rewrites() {

@@ -22,8 +22,7 @@ pub fn rpeq_strategy() -> impl Strategy<Value = Rpeq> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Rpeq::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Rpeq::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rpeq::Union(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Rpeq::Qualified(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Rpeq::Optional(Box::new(a))),

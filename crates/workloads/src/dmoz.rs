@@ -142,9 +142,17 @@ impl DmozStream {
         );
         // ~30% of topics have an editor; ~55% of those announce a newsgroup.
         if rng.gen_bool(0.30) {
-            text_el(q, "editor", format!("directory-editor-{}", rng.gen_range(0..5_000)));
+            text_el(
+                q,
+                "editor",
+                format!("directory-editor-{}", rng.gen_range(0..5_000)),
+            );
             if rng.gen_bool(0.55) {
-                text_el(q, "newsGroup", format!("news:alt.{}.{id}", TOPICS[id % TOPICS.len()]));
+                text_el(
+                    q,
+                    "newsGroup",
+                    format!("news:alt.{}.{id}", TOPICS[id % TOPICS.len()]),
+                );
             }
         }
         for _ in 0..rng.gen_range(1..=3) {
@@ -170,14 +178,25 @@ impl DmozStream {
         let rng = &mut self.rng;
         q.push_back(XmlEvent::StartElement {
             name: "Topic".into(),
-            attributes: vec![Attribute::new("r:id", format!("Top/Cat{}/Sub{id}", id % 97))],
+            attributes: vec![Attribute::new(
+                "r:id",
+                format!("Top/Cat{}/Sub{id}", id % 97),
+            )],
         });
         text_el(q, "catid", id.to_string());
-        text_el(q, "Title", format!("Category {} number {id}", TOPICS[id % TOPICS.len()]));
+        text_el(
+            q,
+            "Title",
+            format!("Category {} number {id}", TOPICS[id % TOPICS.len()]),
+        );
         if rng.gen_bool(0.30) {
             text_el(q, "editor", format!("editor{}", rng.gen_range(0..5_000)));
             if rng.gen_bool(0.55) {
-                text_el(q, "newsGroup", format!("news:alt.{}.{id}", TOPICS[id % TOPICS.len()]));
+                text_el(
+                    q,
+                    "newsGroup",
+                    format!("news:alt.{}.{id}", TOPICS[id % TOPICS.len()]),
+                );
             }
         }
         q.push_back(XmlEvent::close("Topic"));
@@ -188,10 +207,18 @@ impl DmozStream {
                 name: "ExternalPage".into(),
                 attributes: vec![Attribute::new(
                     "about",
-                    format!("http://example.org/{}/{}", TOPICS[id % TOPICS.len()], rng.gen::<u32>()),
+                    format!(
+                        "http://example.org/{}/{}",
+                        TOPICS[id % TOPICS.len()],
+                        rng.gen::<u32>()
+                    ),
                 )],
             });
-            text_el(q, "Title", format!("{} site {}", TOPICS[id % TOPICS.len()], rng.gen::<u16>()));
+            text_el(
+                q,
+                "Title",
+                format!("{} site {}", TOPICS[id % TOPICS.len()], rng.gen::<u16>()),
+            );
             text_el(
                 q,
                 "Description",
@@ -209,8 +236,20 @@ impl DmozStream {
 }
 
 const TOPICS: &[&str] = &[
-    "astronomy", "chess", "cooking", "cycling", "gardening", "history", "linguistics",
-    "music", "photography", "physics", "poetry", "robotics", "sailing", "typography",
+    "astronomy",
+    "chess",
+    "cooking",
+    "cycling",
+    "gardening",
+    "history",
+    "linguistics",
+    "music",
+    "photography",
+    "physics",
+    "poetry",
+    "robotics",
+    "sailing",
+    "typography",
 ];
 
 fn text_el(q: &mut VecDeque<XmlEvent>, name: &str, text: String) {

@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 use spex_xml::{Attribute, XmlEvent};
 use std::collections::VecDeque;
 
-const SYMBOLS: &[&str] = &["ACME", "GLOBEX", "INITECH", "HOOLI", "STARK", "WAYNE", "UMBRELLA"];
+const SYMBOLS: &[&str] = &[
+    "ACME", "GLOBEX", "INITECH", "HOOLI", "STARK", "WAYNE", "UMBRELLA",
+];
 
 /// An infinite iterator of stock-quote documents. Each document has the
 /// shape
@@ -60,17 +62,26 @@ impl QuoteStream {
             q.push_back(XmlEvent::text(sym));
             q.push_back(XmlEvent::close("symbol"));
             q.push_back(XmlEvent::open("price"));
-            q.push_back(XmlEvent::text(format!("{:.2}", self.rng.gen_range(1.0..500.0))));
+            q.push_back(XmlEvent::text(format!(
+                "{:.2}",
+                self.rng.gen_range(1.0..500.0)
+            )));
             q.push_back(XmlEvent::close("price"));
             q.push_back(XmlEvent::open("volume"));
-            q.push_back(XmlEvent::text(self.rng.gen_range(100..1_000_000).to_string()));
+            q.push_back(XmlEvent::text(
+                self.rng.gen_range(100..1_000_000i32).to_string(),
+            ));
             q.push_back(XmlEvent::close("volume"));
             if self.rng.gen_bool(0.05) {
                 q.push_back(XmlEvent::StartElement {
                     name: "alert".into(),
                     attributes: vec![Attribute::new(
                         "reason",
-                        if self.rng.gen_bool(0.5) { "spike" } else { "halt" },
+                        if self.rng.gen_bool(0.5) {
+                            "spike"
+                        } else {
+                            "halt"
+                        },
                     )],
                 });
                 q.push_back(XmlEvent::close("alert"));
@@ -152,17 +163,24 @@ mod tests {
     fn spex_filters_the_infinite_stream_progressively() {
         // The SDI scenario: alerts are selected as they pass; memory stays
         // bounded over many documents.
-        let net = spex_core::CompiledNetwork::compile(
-            &"quotes.quote[alert].symbol".parse().unwrap(),
-        );
+        let net =
+            spex_core::CompiledNetwork::compile(&"quotes.quote[alert].symbol".parse().unwrap());
         let mut sink = spex_core::CountingSink::new();
         let mut eval = spex_core::Evaluator::new(&net, &mut sink);
         for ev in QuoteStream::new(4, 10).take(120_000) {
             eval.push(ev);
         }
         let stats = eval.stats().clone();
-        assert!(stats.max_cond_stack <= 8, "cond stack {}", stats.max_cond_stack);
-        assert!(stats.max_depth_stack <= 8, "depth stack {}", stats.max_depth_stack);
+        assert!(
+            stats.max_cond_stack <= 8,
+            "cond stack {}",
+            stats.max_cond_stack
+        );
+        assert!(
+            stats.max_depth_stack <= 8,
+            "depth stack {}",
+            stats.max_depth_stack
+        );
         assert!(sink.results > 0, "some alerts should have matched");
     }
 }

@@ -11,11 +11,30 @@ use rand::{Rng, SeedableRng};
 use spex_xml::{Attribute, XmlEvent};
 
 const COUNTRY_NAMES: &[&str] = &[
-    "Aldoria", "Belvania", "Corinthia", "Drovia", "Elandia", "Frestonia", "Galdor",
-    "Hestia", "Ilvania", "Jorvik", "Kaldonia", "Lormark", "Meridia", "Norvania",
+    "Aldoria",
+    "Belvania",
+    "Corinthia",
+    "Drovia",
+    "Elandia",
+    "Frestonia",
+    "Galdor",
+    "Hestia",
+    "Ilvania",
+    "Jorvik",
+    "Kaldonia",
+    "Lormark",
+    "Meridia",
+    "Norvania",
 ];
 
-const RELIGIONS: &[&str] = &["Animist", "Buddhist", "Catholic", "Orthodox", "Protestant", "Sunni"];
+const RELIGIONS: &[&str] = &[
+    "Animist",
+    "Buddhist",
+    "Catholic",
+    "Orthodox",
+    "Protestant",
+    "Sunni",
+];
 
 /// Generation parameters (defaults reproduce the paper's figures).
 #[derive(Debug, Clone)]
@@ -29,7 +48,10 @@ pub struct MondialConfig {
 impl Default for MondialConfig {
     fn default() -> Self {
         // ~54.1 elements per country × 447 countries ≈ 24,184.
-        MondialConfig { seed: 0x4d4f4e44, countries: 447 }
+        MondialConfig {
+            seed: 0x4d4f4e44,
+            countries: 447,
+        }
     }
 }
 
@@ -53,7 +75,11 @@ pub fn mondial_with(cfg: &MondialConfig) -> Vec<XmlEvent> {
 }
 
 fn name_of(rng: &mut StdRng, i: usize) -> String {
-    format!("{}{}", COUNTRY_NAMES[rng.gen_range(0..COUNTRY_NAMES.len())], i)
+    format!(
+        "{}{}",
+        COUNTRY_NAMES[rng.gen_range(0..COUNTRY_NAMES.len())],
+        i
+    )
 }
 
 fn country(rng: &mut StdRng, i: usize, out: &mut Vec<XmlEvent>) {
@@ -61,22 +87,43 @@ fn country(rng: &mut StdRng, i: usize, out: &mut Vec<XmlEvent>) {
         name: "country".into(),
         attributes: vec![
             Attribute::new("car_code", format!("C{i:03}")),
-            Attribute::new("area", rng.gen_range(1000..2_000_000).to_string()),
+            Attribute::new("area", rng.gen_range(1000..2_000_000i32).to_string()),
             Attribute::new("capital", format!("cty-{i}-0-0")),
             Attribute::new("memberships", format!("org-un org-wto org-icao-{}", i % 7)),
         ],
     });
     text_el(out, "name", name_of(rng, i));
-    text_el(out, "population", rng.gen_range(10_000..90_000_000).to_string());
+    text_el(
+        out,
+        "population",
+        rng.gen_range(10_000..90_000_000i32).to_string(),
+    );
     text_el(
         out,
         "government",
-        format!("{} republic with {} chambers", name_of(rng, i), rng.gen_range(1..=2)),
+        format!(
+            "{} republic with {} chambers",
+            name_of(rng, i),
+            rng.gen_range(1..=2)
+        ),
     );
-    text_el(out, "indep_date", format!("19{:02}-{:02}-{:02}", rng.gen_range(10..99), rng.gen_range(1..13), rng.gen_range(1..29)));
+    text_el(
+        out,
+        "indep_date",
+        format!(
+            "19{:02}-{:02}-{:02}",
+            rng.gen_range(10..99),
+            rng.gen_range(1..13),
+            rng.gen_range(1..29)
+        ),
+    );
     // ~15% of countries have no province (exercises "future conditions"
     // negatively for the class-2/4 qualifier queries).
-    let provinces = if rng.gen_bool(0.15) { 0 } else { rng.gen_range(4..=10) };
+    let provinces = if rng.gen_bool(0.15) {
+        0
+    } else {
+        rng.gen_range(4..=10)
+    };
     for p in 0..provinces {
         province(rng, i, p, out);
     }
@@ -113,8 +160,16 @@ fn province(rng: &mut StdRng, country: usize, p: usize, out: &mut Vec<XmlEvent>)
                 Attribute::new("country", format!("C{country:03}")),
             ],
         });
-        text_el(out, "name", format!("Santa {} de {}", name_of(rng, p), name_of(rng, c)));
-        text_el(out, "population", rng.gen_range(500..9_000_000).to_string());
+        text_el(
+            out,
+            "name",
+            format!("Santa {} de {}", name_of(rng, p), name_of(rng, c)),
+        );
+        text_el(
+            out,
+            "population",
+            rng.gen_range(500..9_000_000i32).to_string(),
+        );
         out.push(XmlEvent::close("city"));
     }
     out.push(XmlEvent::close("province"));
@@ -160,13 +215,19 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         assert_eq!(mondial(), mondial());
-        let other = mondial_with(&MondialConfig { seed: 7, countries: 10 });
+        let other = mondial_with(&MondialConfig {
+            seed: 7,
+            countries: 10,
+        });
         assert_ne!(mondial(), other);
     }
 
     #[test]
     fn well_formed() {
-        let events = mondial_with(&MondialConfig { seed: 1, countries: 20 });
+        let events = mondial_with(&MondialConfig {
+            seed: 1,
+            countries: 20,
+        });
         let doc = spex_xml::Document::from_events(events).unwrap();
         assert!(doc.element_count() > 100);
     }
@@ -177,7 +238,9 @@ mod tests {
         let events = mondial();
         let doc = spex_xml::Document::from_events(events).unwrap();
         let eval = spex_baseline::DomEvaluator::new(&doc);
-        let with = eval.evaluate(&"_*.country[province]".parse().unwrap()).len();
+        let with = eval
+            .evaluate(&"_*.country[province]".parse().unwrap())
+            .len();
         let total = eval.evaluate(&"_*.country".parse().unwrap()).len();
         assert!(with < total, "{with} vs {total}");
         assert!(with > 0);

@@ -63,22 +63,58 @@ impl QueryClass {
 pub fn queries_for(dataset: Dataset) -> Vec<QueryClass> {
     match dataset {
         Dataset::Mondial => vec![
-            QueryClass { class: 1, text: "_*.province.city" },
-            QueryClass { class: 2, text: "_*.country[province].name" },
-            QueryClass { class: 3, text: "_*._" },
-            QueryClass { class: 4, text: "_*.country[province].religions" },
+            QueryClass {
+                class: 1,
+                text: "_*.province.city",
+            },
+            QueryClass {
+                class: 2,
+                text: "_*.country[province].name",
+            },
+            QueryClass {
+                class: 3,
+                text: "_*._",
+            },
+            QueryClass {
+                class: 4,
+                text: "_*.country[province].religions",
+            },
         ],
         Dataset::Wordnet => vec![
-            QueryClass { class: 1, text: "_*.Noun.wordForm" },
-            QueryClass { class: 2, text: "_*.Noun[wordForm]" },
-            QueryClass { class: 3, text: "_*._" },
-            QueryClass { class: 4, text: "_*.Noun[wordForm].glossaryEntry" },
+            QueryClass {
+                class: 1,
+                text: "_*.Noun.wordForm",
+            },
+            QueryClass {
+                class: 2,
+                text: "_*.Noun[wordForm]",
+            },
+            QueryClass {
+                class: 3,
+                text: "_*._",
+            },
+            QueryClass {
+                class: 4,
+                text: "_*.Noun[wordForm].glossaryEntry",
+            },
         ],
         Dataset::DmozStructure | Dataset::DmozContent => vec![
-            QueryClass { class: 1, text: "_*.Topic.Title" },
-            QueryClass { class: 2, text: "_*.Topic[editor].Title" },
-            QueryClass { class: 3, text: "_*._" },
-            QueryClass { class: 4, text: "_*.Topic[editor].newsGroup" },
+            QueryClass {
+                class: 1,
+                text: "_*.Topic.Title",
+            },
+            QueryClass {
+                class: 2,
+                text: "_*.Topic[editor].Title",
+            },
+            QueryClass {
+                class: 3,
+                text: "_*._",
+            },
+            QueryClass {
+                class: 4,
+                text: "_*.Topic[editor].newsGroup",
+            },
         ],
     }
 }

@@ -103,7 +103,11 @@ fn gen_label(rng: &mut StdRng, cfg: &QueryConfig) -> Label {
 
 fn gen_query(rng: &mut StdRng, cfg: &QueryConfig, depth: usize) -> Rpeq {
     let leaf = depth == 0;
-    let choice = if leaf { rng.gen_range(0..4) } else { rng.gen_range(0..10) };
+    let choice = if leaf {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..10)
+    };
     match choice {
         0 => Rpeq::Step(gen_label(rng, cfg)),
         1 => Rpeq::Plus(gen_label(rng, cfg)),
@@ -167,7 +171,10 @@ mod tests {
 
     #[test]
     fn qualifier_free_mode() {
-        let cfg = QueryConfig { qualifiers: false, ..QueryConfig::default() };
+        let cfg = QueryConfig {
+            qualifiers: false,
+            ..QueryConfig::default()
+        };
         let mut r = rng(4);
         for _ in 0..100 {
             assert!(!random_query(&mut r, &cfg).has_qualifiers());

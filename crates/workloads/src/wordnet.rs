@@ -11,8 +11,8 @@ use rand::{Rng, SeedableRng};
 use spex_xml::{Attribute, XmlEvent};
 
 const STEMS: &[&str] = &[
-    "light", "water", "stone", "cloud", "river", "mount", "field", "storm", "shadow",
-    "ember", "frost", "grove", "haven", "spark",
+    "light", "water", "stone", "cloud", "river", "mount", "field", "storm", "shadow", "ember",
+    "frost", "grove", "haven", "spark",
 ];
 
 const SUFFIXES: &[&str] = &["ness", "ing", "er", "ship", "hood", "let", "age", "dom"];
@@ -29,7 +29,10 @@ pub struct WordnetConfig {
 impl Default for WordnetConfig {
     fn default() -> Self {
         // nouns × (1 + ~3.25 children) + 1 root ≈ 207,899.
-        WordnetConfig { seed: 0x574f5244, nouns: 48_900 }
+        WordnetConfig {
+            seed: 0x574f5244,
+            nouns: 48_900,
+        }
     }
 }
 
@@ -45,7 +48,10 @@ pub fn wordnet_with(cfg: &WordnetConfig) -> Vec<XmlEvent> {
     out.push(XmlEvent::StartDocument);
     out.push(XmlEvent::StartElement {
         name: "rdf:RDF".into(),
-        attributes: vec![Attribute::new("xmlns:rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")],
+        attributes: vec![Attribute::new(
+            "xmlns:rdf",
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+        )],
     });
     for i in 0..cfg.nouns {
         noun(&mut rng, i, &mut out);
@@ -73,11 +79,19 @@ fn noun(rng: &mut StdRng, i: usize, out: &mut Vec<XmlEvent>) {
     });
     // ~8% of nouns have no wordForm — the class-2 qualifier query
     // `_*.Noun[wordForm]` must actually filter.
-    let word_forms = if rng.gen_bool(0.08) { 0 } else { rng.gen_range(1..=3) };
+    let word_forms = if rng.gen_bool(0.08) {
+        0
+    } else {
+        rng.gen_range(1..=3)
+    };
     for _ in 0..word_forms {
         text_el(out, "wordForm", word(rng));
     }
-    text_el(out, "glossaryEntry", format!("{} {} {}", word(rng), word(rng), word(rng)));
+    text_el(
+        out,
+        "glossaryEntry",
+        format!("{} {} {}", word(rng), word(rng), word(rng)),
+    );
     if rng.gen_bool(0.4) {
         out.push(XmlEvent::StartElement {
             name: "hyponymOf".into(),
@@ -122,15 +136,20 @@ mod tests {
 
     #[test]
     fn vocabulary_covers_paper_queries() {
-        let stats =
-            StreamStats::of_events(&wordnet_with(&WordnetConfig { seed: 1, nouns: 500 }));
+        let stats = StreamStats::of_events(&wordnet_with(&WordnetConfig {
+            seed: 1,
+            nouns: 500,
+        }));
         assert!(stats.labels.contains_key("Noun"));
         assert!(stats.labels.contains_key("wordForm"));
     }
 
     #[test]
     fn some_nouns_lack_word_forms() {
-        let events = wordnet_with(&WordnetConfig { seed: 2, nouns: 2_000 });
+        let events = wordnet_with(&WordnetConfig {
+            seed: 2,
+            nouns: 2_000,
+        });
         let doc = spex_xml::Document::from_events(events).unwrap();
         let eval = spex_baseline::DomEvaluator::new(&doc);
         let with = eval.evaluate(&"_*.Noun[wordForm]".parse().unwrap()).len();
@@ -141,8 +160,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = wordnet_with(&WordnetConfig { seed: 3, nouns: 100 });
-        let b = wordnet_with(&WordnetConfig { seed: 3, nouns: 100 });
+        let a = wordnet_with(&WordnetConfig {
+            seed: 3,
+            nouns: 100,
+        });
+        let b = wordnet_with(&WordnetConfig {
+            seed: 3,
+            nouns: 100,
+        });
         assert_eq!(a, b);
     }
 }

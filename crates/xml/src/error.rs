@@ -17,7 +17,11 @@ pub struct Position {
 impl Position {
     /// The position of the very first byte.
     pub fn start() -> Self {
-        Position { offset: 0, line: 1, column: 1 }
+        Position {
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
     }
 
     /// Advance the position over one byte of input.
@@ -86,7 +90,10 @@ pub enum XmlError {
 
 impl XmlError {
     pub(crate) fn syntax(message: impl Into<String>, position: Position) -> Self {
-        XmlError::Syntax { message: message.into(), position }
+        XmlError::Syntax {
+            message: message.into(),
+            position,
+        }
     }
 }
 
@@ -97,13 +104,23 @@ impl fmt::Display for XmlError {
             XmlError::Syntax { message, position } => {
                 write!(f, "XML syntax error at {position}: {message}")
             }
-            XmlError::MismatchedTag { expected, found, position } => write!(
+            XmlError::MismatchedTag {
+                expected,
+                found,
+                position,
+            } => write!(
                 f,
                 "mismatched close tag at {position}: expected </{expected}>, found </{found}>"
             ),
-            XmlError::UnexpectedEof { open_element, position } => match open_element {
+            XmlError::UnexpectedEof {
+                open_element,
+                position,
+            } => match open_element {
                 Some(name) => {
-                    write!(f, "unexpected end of input at {position}: <{name}> is still open")
+                    write!(
+                        f,
+                        "unexpected end of input at {position}: <{name}> is still open"
+                    )
                 }
                 None => write!(f, "unexpected end of input at {position}"),
             },
@@ -146,7 +163,11 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let p = Position { offset: 10, line: 2, column: 3 };
+        let p = Position {
+            offset: 10,
+            line: 2,
+            column: 3,
+        };
         assert_eq!(p.to_string(), "2:3 (byte 10)");
         let e = XmlError::MismatchedTag {
             expected: "a".into(),

@@ -60,7 +60,10 @@ pub fn unescape(raw: &str) -> Option<Cow<'_, str>> {
             "apos" => out.push('\''),
             "quot" => out.push('"'),
             _ => {
-                let code = if let Some(hex) = entity.strip_prefix("#x").or_else(|| entity.strip_prefix("#X")) {
+                let code = if let Some(hex) = entity
+                    .strip_prefix("#x")
+                    .or_else(|| entity.strip_prefix("#X"))
+                {
                     u32::from_str_radix(hex, 16).ok()?
                 } else if let Some(dec) = entity.strip_prefix('#') {
                     dec.parse::<u32>().ok()?
@@ -100,7 +103,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined_entities() {
-        assert_eq!(unescape("&lt;a&gt; &amp; &apos;x&apos; &quot;y&quot;").unwrap(), "<a> & 'x' \"y\"");
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &apos;x&apos; &quot;y&quot;").unwrap(),
+            "<a> & 'x' \"y\""
+        );
     }
 
     #[test]
@@ -113,8 +119,11 @@ mod tests {
     fn unescape_rejects_bad_entities() {
         assert!(unescape("&nope;").is_none());
         assert!(unescape("&#xZZ;").is_none());
-        assert!(unescape("&#
-;").is_none());
+        assert!(unescape(
+            "&#
+;"
+        )
+        .is_none());
         assert!(unescape("& unterminated").is_none());
         // Surrogate code point is not a char.
         assert!(unescape("&#xD800;").is_none());
@@ -124,8 +133,16 @@ mod tests {
     fn roundtrip_escape_unescape() {
         let samples = ["", "plain", "a<b>c&d\"e'f", "&&&&", "<<<>>>"];
         for s in samples {
-            assert_eq!(unescape(&escape_attr(s)).unwrap(), s, "attr roundtrip of {s:?}");
-            assert_eq!(unescape(&escape_text(s)).unwrap(), s, "text roundtrip of {s:?}");
+            assert_eq!(
+                unescape(&escape_attr(s)).unwrap(),
+                s,
+                "attr roundtrip of {s:?}"
+            );
+            assert_eq!(
+                unescape(&escape_text(s)).unwrap(),
+                s,
+                "text roundtrip of {s:?}"
+            );
         }
     }
 }

@@ -21,7 +21,10 @@ pub struct Attribute {
 impl Attribute {
     /// Create an attribute.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Attribute { name: name.into(), value: value.into() }
+        Attribute {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -61,7 +64,10 @@ pub enum XmlEvent {
 impl XmlEvent {
     /// Convenience constructor for a start element without attributes.
     pub fn open(name: impl Into<String>) -> Self {
-        XmlEvent::StartElement { name: name.into(), attributes: Vec::new() }
+        XmlEvent::StartElement {
+            name: name.into(),
+            attributes: Vec::new(),
+        }
     }
 
     /// Convenience constructor for an end element.
@@ -87,7 +93,10 @@ impl XmlEvent {
     /// `StartDocument` counts as opening: the paper treats `<$>` as a document
     /// message like any other, and the transducer depth stacks track it.
     pub fn opens(&self) -> bool {
-        matches!(self, XmlEvent::StartElement { .. } | XmlEvent::StartDocument)
+        matches!(
+            self,
+            XmlEvent::StartElement { .. } | XmlEvent::StartDocument
+        )
     }
 
     /// Does this event decrease the tree depth (close an element)?
@@ -106,7 +115,12 @@ impl fmt::Display for XmlEvent {
             XmlEvent::StartElement { name, attributes } => {
                 write!(f, "<{name}")?;
                 for a in attributes {
-                    write!(f, " {}=\"{}\"", a.name, crate::escape::escape_attr(&a.value))?;
+                    write!(
+                        f,
+                        " {}=\"{}\"",
+                        a.name,
+                        crate::escape::escape_attr(&a.value)
+                    )?;
                 }
                 write!(f, ">")
             }

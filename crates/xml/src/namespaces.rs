@@ -164,9 +164,7 @@ mod tests {
 
     #[test]
     fn prefixed_names_and_shadowing() {
-        let r = resolve_all(
-            r#"<r xmlns:p="urn:a"><p:x/><m xmlns:p="urn:b"><p:x/></m><p:x/></r>"#,
-        );
+        let r = resolve_all(r#"<r xmlns:p="urn:a"><p:x/><m xmlns:p="urn:b"><p:x/></m><p:x/></r>"#);
         assert_eq!(r[1], (Some("urn:a".into()), "x".into()));
         assert_eq!(r[3], (Some("urn:b".into()), "x".into()));
         assert_eq!(r[4], (Some("urn:a".into()), "x".into()));
@@ -188,7 +186,10 @@ mod tests {
     #[test]
     fn xml_prefix_is_prebound() {
         let ns = NamespaceTracker::new();
-        assert_eq!(ns.uri_for("xml"), Some("http://www.w3.org/XML/1998/namespace"));
+        assert_eq!(
+            ns.uri_for("xml"),
+            Some("http://www.w3.org/XML/1998/namespace")
+        );
     }
 
     #[test]

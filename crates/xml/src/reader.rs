@@ -86,8 +86,11 @@ impl<R: Read> Bytes<R> {
     fn expect_any(&mut self, what: &str) -> Result<u8> {
         match self.next()? {
             Some(b) => Ok(b),
-            None => Err(XmlError::UnexpectedEof { open_element: None, position: self.position })
-                .map_err(|e| attach_context(e, what)),
+            None => Err(XmlError::UnexpectedEof {
+                open_element: None,
+                position: self.position,
+            })
+            .map_err(|e| attach_context(e, what)),
         }
     }
 }
@@ -223,7 +226,11 @@ impl<R: Read> Reader<R> {
         if !self.lt_consumed {
             self.skip_whitespace()?;
         }
-        match if self.lt_consumed { Some(b'<') } else { self.bytes.peek()? } {
+        match if self.lt_consumed {
+            Some(b'<')
+        } else {
+            self.bytes.peek()?
+        } {
             None => Err(XmlError::EmptyDocument),
             Some(b'<') => {
                 if self.lt_consumed {
@@ -356,7 +363,9 @@ impl<R: Read> Reader<R> {
                                 self.state = State::Boundary;
                                 Ok(None)
                             }
-                            _ => Err(XmlError::TrailingContent { position: self.bytes.position }),
+                            _ => Err(XmlError::TrailingContent {
+                                position: self.bytes.position,
+                            }),
                         }
                     }
                     Some(b) if self.multi && is_name_start(b) => {
@@ -367,10 +376,14 @@ impl<R: Read> Reader<R> {
                         self.lt_consumed = true;
                         Ok(None)
                     }
-                    _ => Err(XmlError::TrailingContent { position: self.bytes.position }),
+                    _ => Err(XmlError::TrailingContent {
+                        position: self.bytes.position,
+                    }),
                 }
             }
-            Some(_) => Err(XmlError::TrailingContent { position: self.bytes.position }),
+            Some(_) => Err(XmlError::TrailingContent {
+                position: self.bytes.position,
+            }),
         }
     }
 
@@ -450,7 +463,10 @@ impl<R: Read> Reader<R> {
                     }
                     self.skip_whitespace()?;
                     let value = self.parse_attr_value()?;
-                    attributes.push(Attribute { name: attr_name, value });
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
                 }
                 Some(_) => {
                     return Err(XmlError::syntax(
@@ -485,7 +501,10 @@ impl<R: Read> Reader<R> {
                 }
                 Some(b) if b == quote => break,
                 Some(b'<') => {
-                    return Err(XmlError::syntax("`<` in attribute value", self.bytes.position))
+                    return Err(XmlError::syntax(
+                        "`<` in attribute value",
+                        self.bytes.position,
+                    ))
                 }
                 Some(b) => raw.push(b as char),
             }
@@ -493,7 +512,10 @@ impl<R: Read> Reader<R> {
         let raw = fix_latin(raw);
         match unescape(&raw) {
             Some(v) => Ok(v.into_owned()),
-            None => Err(XmlError::BadEntity { entity: raw, position: start }),
+            None => Err(XmlError::BadEntity {
+                entity: raw,
+                position: start,
+            }),
         }
     }
 
@@ -503,11 +525,18 @@ impl<R: Read> Reader<R> {
         self.skip_whitespace()?;
         let b = self.bytes.expect_any("`>` in close tag")?;
         if b != b'>' {
-            return Err(XmlError::syntax("expected `>` in close tag", self.bytes.position));
+            return Err(XmlError::syntax(
+                "expected `>` in close tag",
+                self.bytes.position,
+            ));
         }
         match self.stack.pop() {
             Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
-            Some(open) => Err(XmlError::MismatchedTag { expected: open, found: name, position: pos }),
+            Some(open) => Err(XmlError::MismatchedTag {
+                expected: open,
+                found: name,
+                position: pos,
+            }),
             None => Err(XmlError::syntax("close tag without open element", pos)),
         }
     }
@@ -526,7 +555,10 @@ impl<R: Read> Reader<R> {
         let raw = fix_latin(raw);
         match unescape(&raw) {
             Some(v) => Ok(v.into_owned()),
-            None => Err(XmlError::BadEntity { entity: raw, position: start }),
+            None => Err(XmlError::BadEntity {
+                entity: raw,
+                position: start,
+            }),
         }
     }
 
@@ -746,8 +778,8 @@ mod tests {
         assert_eq!(
             rendered,
             vec![
-                "<$>", "<a>", "<a>", "<c>", "</c>", "</a>", "<b>", "</b>", "<c>", "</c>",
-                "</a>", "</$>"
+                "<$>", "<a>", "<a>", "<c>", "</c>", "</a>", "<b>", "</b>", "<c>", "</c>", "</a>",
+                "</$>"
             ]
         );
     }
@@ -790,7 +822,10 @@ mod tests {
         assert_eq!(evs[1], XmlEvent::Comment(" head ".into()));
         assert_eq!(
             evs[3],
-            XmlEvent::ProcessingInstruction { target: "pi".into(), data: "some data".into() }
+            XmlEvent::ProcessingInstruction {
+                target: "pi".into(),
+                data: "some data".into()
+            }
         );
         assert_eq!(evs[4], XmlEvent::Comment("in".into()));
         assert_eq!(evs[6], XmlEvent::Comment("tail".into()));
@@ -830,13 +865,19 @@ mod tests {
 
     #[test]
     fn mismatched_tags_detected() {
-        assert!(matches!(err("<a><b></a></b>"), XmlError::MismatchedTag { .. }));
+        assert!(matches!(
+            err("<a><b></a></b>"),
+            XmlError::MismatchedTag { .. }
+        ));
     }
 
     #[test]
     fn unexpected_eof_detected() {
         assert!(matches!(err("<a><b>"), XmlError::UnexpectedEof { .. }));
-        assert!(matches!(err("<a attr="), XmlError::UnexpectedEof { .. } | XmlError::Syntax { .. }));
+        assert!(matches!(
+            err("<a attr="),
+            XmlError::UnexpectedEof { .. } | XmlError::Syntax { .. }
+        ));
     }
 
     #[test]
@@ -848,7 +889,10 @@ mod tests {
     #[test]
     fn empty_document_detected() {
         assert!(matches!(err(""), XmlError::EmptyDocument));
-        assert!(matches!(err("   <!-- only comment -->  "), XmlError::EmptyDocument));
+        assert!(matches!(
+            err("   <!-- only comment -->  "),
+            XmlError::EmptyDocument
+        ));
     }
 
     #[test]
@@ -914,9 +958,8 @@ mod tests {
         assert_eq!(
             rendered,
             vec![
-                "<$>", "<a>", "<x>", "</x>", "</a>", "</$>",
-                "<$>", "<b>", "</b>", "</$>",
-                "<$>", "<c>", "t", "</c>", "</$>"
+                "<$>", "<a>", "<x>", "</x>", "</a>", "</$>", "<$>", "<b>", "</b>", "</$>", "<$>",
+                "<c>", "t", "</c>", "</$>"
             ]
         );
     }
@@ -963,7 +1006,10 @@ mod tests {
         let evs = ok("<a><?p a?b??></a>");
         assert_eq!(
             evs[2],
-            XmlEvent::ProcessingInstruction { target: "p".into(), data: "a?b?".into() }
+            XmlEvent::ProcessingInstruction {
+                target: "p".into(),
+                data: "a?b?".into()
+            }
         );
     }
 }

@@ -256,7 +256,12 @@ pub struct TreeBuilder {
 impl TreeBuilder {
     /// Create an empty builder.
     pub fn new() -> Self {
-        TreeBuilder { nodes: Vec::new(), stack: Vec::new(), started: false, finished: false }
+        TreeBuilder {
+            nodes: Vec::new(),
+            stack: Vec::new(),
+            started: false,
+            finished: false,
+        }
     }
 
     /// Feed one event.
@@ -264,10 +269,17 @@ impl TreeBuilder {
         match event {
             XmlEvent::StartDocument => {
                 if self.started {
-                    return Err(XmlError::syntax("duplicate StartDocument", Default::default()));
+                    return Err(XmlError::syntax(
+                        "duplicate StartDocument",
+                        Default::default(),
+                    ));
                 }
                 self.started = true;
-                self.nodes.push(Node { kind: NodeKind::Root, parent: None, children: Vec::new() });
+                self.nodes.push(Node {
+                    kind: NodeKind::Root,
+                    parent: None,
+                    children: Vec::new(),
+                });
                 self.stack.push(NodeId::ROOT);
             }
             XmlEvent::EndDocument => {
@@ -319,11 +331,16 @@ impl TreeBuilder {
     }
 
     fn add(&mut self, kind: NodeKind) -> Result<NodeId> {
-        let parent = *self.stack.last().ok_or_else(|| {
-            XmlError::syntax("content outside the document", Default::default())
-        })?;
+        let parent = *self
+            .stack
+            .last()
+            .ok_or_else(|| XmlError::syntax("content outside the document", Default::default()))?;
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent.index()].children.push(id);
         Ok(id)
     }
@@ -331,7 +348,10 @@ impl TreeBuilder {
     /// Finish building; fails if the stream was incomplete.
     pub fn finish(self) -> Result<Document> {
         if !self.finished {
-            return Err(XmlError::UnexpectedEof { open_element: None, position: Default::default() });
+            return Err(XmlError::UnexpectedEof {
+                open_element: None,
+                position: Default::default(),
+            });
         }
         Ok(Document { nodes: self.nodes })
     }
@@ -359,7 +379,10 @@ mod tests {
         assert_eq!(root_children.len(), 1);
         let a = root_children[0];
         assert_eq!(d.name(a), Some("a"));
-        let kids: Vec<_> = d.child_elements(a).map(|c| d.name(c).unwrap().to_string()).collect();
+        let kids: Vec<_> = d
+            .child_elements(a)
+            .map(|c| d.name(c).unwrap().to_string())
+            .collect();
         assert_eq!(kids, vec!["a", "b", "c"]);
         assert_eq!(d.element_count(), 5);
         assert_eq!(d.max_depth(), 3); // root=0, a=1, inner a=2, inner c=3

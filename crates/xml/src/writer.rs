@@ -40,7 +40,13 @@ impl<W: Write> Writer<W> {
 
     /// Create a writer with explicit options.
     pub fn with_options(out: W, options: WriteOptions) -> Self {
-        Writer { out, options, depth: 0, midline: false, had_children: Vec::new() }
+        Writer {
+            out,
+            options,
+            depth: 0,
+            midline: false,
+            had_children: Vec::new(),
+        }
     }
 
     /// Write one event.
@@ -48,7 +54,8 @@ impl<W: Write> Writer<W> {
         match event {
             XmlEvent::StartDocument => {
                 if self.options.declaration {
-                    self.out.write_all(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
+                    self.out
+                        .write_all(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
                     self.newline()?;
                 }
             }
@@ -183,7 +190,10 @@ mod tests {
     fn declaration_written_when_requested() {
         let mut w = Writer::with_options(
             Vec::new(),
-            WriteOptions { declaration: true, indent: None },
+            WriteOptions {
+                declaration: true,
+                indent: None,
+            },
         );
         w.write(&XmlEvent::StartDocument).unwrap();
         w.write(&XmlEvent::open("a")).unwrap();
@@ -199,7 +209,10 @@ mod tests {
         let events = parse_events("<a><b><c/></b></a>").unwrap();
         let mut w = Writer::with_options(
             Vec::new(),
-            WriteOptions { declaration: false, indent: Some(2) },
+            WriteOptions {
+                declaration: false,
+                indent: Some(2),
+            },
         );
         w.write_all(&events).unwrap();
         let s = String::from_utf8(w.into_inner().unwrap()).unwrap();

@@ -84,7 +84,10 @@ fn pretty_writer_handles_mixed_content() {
     let events = spex_xml::reader::parse_events("<a>t<b/>u</a>").unwrap();
     let mut w = Writer::with_options(
         Vec::new(),
-        WriteOptions { declaration: false, indent: Some(2) },
+        WriteOptions {
+            declaration: false,
+            indent: Some(2),
+        },
     );
     w.write_all(&events).unwrap();
     let s = String::from_utf8(w.into_inner().unwrap()).unwrap();

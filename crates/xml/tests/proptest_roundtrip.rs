@@ -36,11 +36,17 @@ fn text_strategy() -> impl Strategy<Value = String> {
 fn subtree_strategy(depth: u32) -> impl Strategy<Value = Vec<XmlEvent>> {
     let leaf = prop_oneof![
         text_strategy().prop_map(|t| vec![XmlEvent::Text(t)]),
-        (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..3))
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3)
+        )
             .prop_map(|(n, attrs)| {
                 let attributes = dedup_attrs(attrs);
                 vec![
-                    XmlEvent::StartElement { name: n.clone(), attributes },
+                    XmlEvent::StartElement {
+                        name: n.clone(),
+                        attributes,
+                    },
                     XmlEvent::EndElement { name: n },
                 ]
             }),
@@ -69,8 +75,11 @@ fn dedup_attrs(attrs: Vec<(String, String)>) -> Vec<Attribute> {
 /// A full document event stream: StartDocument, one root wrapping the
 /// subtree, EndDocument.
 fn document_strategy() -> impl Strategy<Value = Vec<XmlEvent>> {
-    (name_strategy(), proptest::collection::vec(subtree_strategy(3), 0..4)).prop_map(
-        |(root, kids)| {
+    (
+        name_strategy(),
+        proptest::collection::vec(subtree_strategy(3), 0..4),
+    )
+        .prop_map(|(root, kids)| {
             let mut events = vec![XmlEvent::StartDocument, XmlEvent::open(root.clone())];
             for k in kids {
                 events.extend(k);
@@ -78,8 +87,7 @@ fn document_strategy() -> impl Strategy<Value = Vec<XmlEvent>> {
             events.push(XmlEvent::close(root));
             events.push(XmlEvent::EndDocument);
             events
-        },
-    )
+        })
 }
 
 /// Merge adjacent text events — the parser merges raw text runs, so the

@@ -53,6 +53,9 @@ fn main() {
     println!("Title = {:?}", results3["Title"]);
     // Only the book with an author qualifies (the author atom is a qualifier
     // branch — it does not lead to the head variable).
-    assert_eq!(results3["Title"], vec!["<title>Streams</title>".to_string()]);
+    assert_eq!(
+        results3["Title"],
+        vec!["<title>Streams</title>".to_string()]
+    );
     println!("\nconjunctive queries behave as specified.");
 }

@@ -53,8 +53,10 @@ fn main() {
     let shared_time = start.elapsed();
 
     // Individual networks: one pass each (same events).
-    let networks: Vec<CompiledNetwork> =
-        queries.iter().map(|(_, q)| CompiledNetwork::compile(q)).collect();
+    let networks: Vec<CompiledNetwork> = queries
+        .iter()
+        .map(|(_, q)| CompiledNetwork::compile(q))
+        .collect();
     let start = Instant::now();
     let mut individual_counts = Vec::new();
     for net in &networks {
@@ -68,7 +70,10 @@ fn main() {
     }
     let individual_time = start.elapsed();
 
-    assert_eq!(counts, individual_counts, "shared and separate evaluation agree");
+    assert_eq!(
+        counts, individual_counts,
+        "shared and separate evaluation agree"
+    );
     println!();
     println!("events processed : {}", events.len());
     println!("shared network   : {shared_time:.2?}");
@@ -82,5 +87,8 @@ fn main() {
         "example counts   : symbol={} alerted={} price={}",
         counts[0], counts[1], counts[2]
     );
-    println!("max stacks       : d={} c={}", stats.max_depth_stack, stats.max_cond_stack);
+    println!(
+        "max stacks       : d={} c={}",
+        stats.max_depth_stack, stats.max_cond_stack
+    );
 }

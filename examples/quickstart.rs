@@ -38,11 +38,18 @@ fn main() {
     println!("stream statistics:");
     println!("  document messages : {}", stats.ticks);
     println!("  stream depth d    : {}", stats.max_stream_depth);
-    println!("  qualifier instances (condition variables) : {}", stats.vars_created);
-    println!("  candidates created / results / dropped    : {} / {} / {}",
-        stats.candidates_created, stats.results, stats.dropped);
-    println!("  peak buffered events (undetermined candidates) : {}",
-        stats.peak_buffered_events);
+    println!(
+        "  qualifier instances (condition variables) : {}",
+        stats.vars_created
+    );
+    println!(
+        "  candidates created / results / dropped    : {} / {} / {}",
+        stats.candidates_created, stats.results, stats.dropped
+    );
+    println!(
+        "  peak buffered events (undetermined candidates) : {}",
+        stats.peak_buffered_events
+    );
 
     // The same evaluation, one-shot:
     let fragments = spex::core::evaluate_str("_*.a[b].c", xml).unwrap();

@@ -33,8 +33,9 @@ fn main() {
         .map(|(id, q)| (*id, CompiledNetwork::compile(&q.parse().unwrap())))
         .collect();
 
-    let mut sinks: Vec<FragmentCollector> =
-        (0..networks.len()).map(|_| FragmentCollector::new()).collect();
+    let mut sinks: Vec<FragmentCollector> = (0..networks.len())
+        .map(|_| FragmentCollector::new())
+        .collect();
     let mut evals: Vec<Evaluator> = networks
         .iter()
         .zip(sinks.iter_mut())

@@ -19,7 +19,10 @@ fn following_results_stream_immediately() {
     let mut eval = Evaluator::new(&net, &mut sink);
     eval.push_str(xml).unwrap();
     let stats = eval.finish();
-    assert_eq!(sink.fragments(), ["<b>1</b>".to_string(), "<b>2</b>".to_string()]);
+    assert_eq!(
+        sink.fragments(),
+        ["<b>1</b>".to_string(), "<b>2</b>".to_string()]
+    );
     for (start, delivered) in &sink.timing {
         assert_eq!(start, delivered, "following matches are past conditions");
     }
@@ -37,9 +40,15 @@ fn preceding_results_buffer_until_context() {
     let mut eval = Evaluator::new(&net, &mut sink);
     eval.push_str(xml).unwrap();
     let stats = eval.finish();
-    assert_eq!(sink.fragments(), ["<b>1</b>".to_string(), "<b>2</b>".to_string()]);
+    assert_eq!(
+        sink.fragments(),
+        ["<b>1</b>".to_string(), "<b>2</b>".to_string()]
+    );
     for (start, delivered) in &sink.timing {
-        assert!(delivered > start, "preceding matches must wait for the context");
+        assert!(
+            delivered > start,
+            "preceding matches must wait for the context"
+        );
     }
     assert!(stats.peak_buffered_events > 0);
     // Unmatched speculative candidates are dropped, not leaked.
@@ -72,7 +81,9 @@ fn preceding_with_qualified_context() {
         spex::core::evaluate_str("r.a[x].^b", with).unwrap(),
         vec!["<b></b>"]
     );
-    assert!(spex::core::evaluate_str("r.a[x].^b", without).unwrap().is_empty());
+    assert!(spex::core::evaluate_str("r.a[x].^b", without)
+        .unwrap()
+        .is_empty());
 }
 
 /// Qualifiers can sit on following/preceding matches themselves.
@@ -142,12 +153,17 @@ fn chained_axes() {
     );
     // Without the x in front, nothing.
     let xml2 = "<r><a/><b>1</b></r>";
-    assert!(spex::core::evaluate_str("r.x.~a.~b", xml2).unwrap().is_empty());
+    assert!(spex::core::evaluate_str("r.x.~a.~b", xml2)
+        .unwrap()
+        .is_empty());
     // Differentially against the oracle.
     for d in [xml, xml2, "<r><a/><x/><a/><b/><b/></r>"] {
         let events = spex::xml::reader::parse_events(d).unwrap();
         let q: Rpeq = "r.x.~a.~b".parse().unwrap();
-        assert_eq!(common::spex_spans(&q, &events), common::dom_spans(&q, &events));
+        assert_eq!(
+            common::spex_spans(&q, &events),
+            common::dom_spans(&q, &events)
+        );
     }
 }
 
@@ -159,15 +175,9 @@ fn preceding_in_qualifier_rejected_everywhere() {
     assert!(spex::core::CompiledNetwork::try_compile(&bad).is_err());
     assert!(SharedQuerySet::try_compile(&[("q".into(), bad)]).is_err());
     // Conjunctive queries: a side branch containing ^ becomes a qualifier.
-    let cq = spex::core::cq::ConjunctiveQuery::parse(
-        "q(X1) :- Root(a) X1, X1(^b) X2",
-    )
-    .unwrap();
+    let cq = spex::core::cq::ConjunctiveQuery::parse("q(X1) :- Root(a) X1, X1(^b) X2").unwrap();
     assert!(cq.compile().is_err());
     // But preceding on the main (head) path is fine.
-    let ok = spex::core::cq::ConjunctiveQuery::parse(
-        "q(X2) :- Root(a) X1, X1(^b) X2",
-    )
-    .unwrap();
+    let ok = spex::core::cq::ConjunctiveQuery::parse("q(X2) :- Root(a) X1, X1(^b) X2").unwrap();
     assert!(ok.compile().is_ok());
 }

@@ -9,7 +9,7 @@
 
 mod common;
 
-use spex::core::{CompiledNetwork, CountingSink, Evaluator, EngineStats};
+use spex::core::{CompiledNetwork, CountingSink, EngineStats, Evaluator};
 use spex::query::{QueryMetrics, Rpeq};
 
 fn run_stats(query: &str, xml: &str) -> EngineStats {
@@ -49,7 +49,11 @@ fn lemma_v1_network_degree_linear() {
         let degree = net.degree();
         // Linear: bounded by a constant factor of the AST length, and
         // monotone in n.
-        assert!(degree <= 6 * m.length + 2, "degree {degree} vs length {}", m.length);
+        assert!(
+            degree <= 6 * m.length + 2,
+            "degree {degree} vs length {}",
+            m.length
+        );
         assert!(degree > prev);
         prev = degree;
     }
@@ -136,7 +140,11 @@ fn formula_growth_with_qualified_closures() {
     );
     // With one qualified closure the growth is linear in d (the dⁿ blow-up
     // needs n stacked qualified closures).
-    assert!(deep.max_formula_size <= 2 * 26, "got {}", deep.max_formula_size);
+    assert!(
+        deep.max_formula_size <= 2 * 26,
+        "got {}",
+        deep.max_formula_size
+    );
 
     // Sequential case (Remark V.1): when the two closure regions match
     // disjoint stream regions, sizes stay additive.

@@ -13,7 +13,10 @@ const FIG1: &str = "<a><a><c/></a><b/><c/></a>";
 fn paper_example_matches_rpeq() {
     let cq = ConjunctiveQuery::parse("q(X3) :- Root(_*.a) X1, X1(b) X2, X1(c) X3").unwrap();
     let results = cq.evaluate_str(FIG1).unwrap();
-    assert_eq!(results["X3"], spex::core::evaluate_str("_*.a[b].c", FIG1).unwrap());
+    assert_eq!(
+        results["X3"],
+        spex::core::evaluate_str("_*.a[b].c", FIG1).unwrap()
+    );
 }
 
 /// Chains translate to concatenation; side branches translate to
@@ -32,7 +35,11 @@ fn random_documents_cq_equals_rpeq() {
         ),
     ];
     let mut r = rng(0xC0);
-    let cfg = DocConfig { max_depth: 5, max_fanout: 3, ..DocConfig::default() };
+    let cfg = DocConfig {
+        max_depth: 5,
+        max_fanout: 3,
+        ..DocConfig::default()
+    };
     for i in 0..60 {
         let events = random_document(&mut r, &cfg);
         let xml = spex::workloads::events_to_xml(&events);
@@ -55,8 +62,14 @@ fn random_documents_cq_equals_rpeq() {
 fn multi_head_consistency() {
     let cq = ConjunctiveQuery::parse("q(X1, X2) :- Root(_*.a) X1, X1(c) X2").unwrap();
     let results = cq.evaluate_str(FIG1).unwrap();
-    assert_eq!(results["X1"], spex::core::evaluate_str("_*.a", FIG1).unwrap());
-    assert_eq!(results["X2"], spex::core::evaluate_str("_*.a.c", FIG1).unwrap());
+    assert_eq!(
+        results["X1"],
+        spex::core::evaluate_str("_*.a", FIG1).unwrap()
+    );
+    assert_eq!(
+        results["X2"],
+        spex::core::evaluate_str("_*.a.c", FIG1).unwrap()
+    );
 }
 
 #[test]
@@ -65,10 +78,9 @@ fn deeper_pipeline_with_two_side_branches() {
                <item><sku/><name>B</name></item>\
                <item><price/><name>C</name></item></cat>";
     // Items with both sku and price.
-    let cq = ConjunctiveQuery::parse(
-        "q(N) :- Root(cat) C, C(item) I, I(sku) S, I(price) P, I(name) N",
-    )
-    .unwrap();
+    let cq =
+        ConjunctiveQuery::parse("q(N) :- Root(cat) C, C(item) I, I(sku) S, I(price) P, I(name) N")
+            .unwrap();
     let results = cq.evaluate_str(xml).unwrap();
     assert_eq!(results["N"], vec!["<name>A</name>".to_string()]);
     // Same as the rpeq with two qualifiers.
@@ -80,8 +92,7 @@ fn deeper_pipeline_with_two_side_branches() {
 
 #[test]
 fn head_order_is_declaration_order() {
-    let cq =
-        ConjunctiveQuery::parse("q(X2, X1) :- Root(_*.a) X1, X1(c) X2").unwrap();
+    let cq = ConjunctiveQuery::parse("q(X2, X1) :- Root(_*.a) X1, X1(c) X2").unwrap();
     // Sinks are attached in atom order; the mapping is by name, so the
     // returned map must still be keyed correctly.
     let results = cq.evaluate_str(FIG1).unwrap();

@@ -7,9 +7,7 @@ mod common;
 
 use common::{dom_spans, spex_spans, tree_nfa_spans};
 use spex::query::Rpeq;
-use spex::workloads::random::{
-    random_document, random_query, rng, DocConfig, QueryConfig,
-};
+use spex::workloads::random::{random_document, random_query, rng, DocConfig, QueryConfig};
 use spex::xml::reader::parse_events;
 use spex::xml::XmlEvent;
 
@@ -45,11 +43,43 @@ fn fixed_corner_cases() {
         "<a><a><a><b/></a><b/></a><b/></a>",
     ];
     let queries = [
-        "%", "_", "a", "b", "_*", "a+", "a*", "_+", "_*._", "a.a", "a.b", "_._",
-        "a+.b", "a*.b", "a.a.a", "(a|b)", "a.(a|b)", "(a|b).(a|b)", "a?", "a?.b",
-        "a[b]", "a[a]", "_*.a[b]", "a[b].b", "a[b[a]]", "a[a.b]", "_*[b]",
-        "a[b]?", "(a[b]|b)", "a+[b]", "_*._[b]", "a[_*.b]", "%[a]", "a[%]",
-        "a.%.b", "(%|a)", "_*.a[b]._*.b",
+        "%",
+        "_",
+        "a",
+        "b",
+        "_*",
+        "a+",
+        "a*",
+        "_+",
+        "_*._",
+        "a.a",
+        "a.b",
+        "_._",
+        "a+.b",
+        "a*.b",
+        "a.a.a",
+        "(a|b)",
+        "a.(a|b)",
+        "(a|b).(a|b)",
+        "a?",
+        "a?.b",
+        "a[b]",
+        "a[a]",
+        "_*.a[b]",
+        "a[b].b",
+        "a[b[a]]",
+        "a[a.b]",
+        "_*[b]",
+        "a[b]?",
+        "(a[b]|b)",
+        "a+[b]",
+        "_*._[b]",
+        "a[_*.b]",
+        "%[a]",
+        "a[%]",
+        "a.%.b",
+        "(%|a)",
+        "_*.a[b]._*.b",
     ];
     for d in docs {
         for q in queries {
@@ -82,8 +112,15 @@ fn closure_scope_cases() {
 
 #[test]
 fn random_differential_small() {
-    let doc_cfg = DocConfig { max_depth: 4, max_fanout: 3, ..DocConfig::default() };
-    let q_cfg = QueryConfig { max_depth: 3, ..QueryConfig::default() };
+    let doc_cfg = DocConfig {
+        max_depth: 4,
+        max_fanout: 3,
+        ..DocConfig::default()
+    };
+    let q_cfg = QueryConfig {
+        max_depth: 3,
+        ..QueryConfig::default()
+    };
     let mut r = rng(0xD1FF);
     for case in 0..400 {
         let events = random_document(&mut r, &doc_cfg);
@@ -118,8 +155,15 @@ fn random_differential_deep_documents() {
 #[test]
 fn random_differential_qualifier_heavy() {
     // Bias towards qualifiers by nesting two random qualifier layers.
-    let doc_cfg = DocConfig { max_depth: 6, max_fanout: 3, ..DocConfig::default() };
-    let q_cfg = QueryConfig { max_depth: 2, ..QueryConfig::default() };
+    let doc_cfg = DocConfig {
+        max_depth: 6,
+        max_fanout: 3,
+        ..DocConfig::default()
+    };
+    let q_cfg = QueryConfig {
+        max_depth: 2,
+        ..QueryConfig::default()
+    };
     let mut r = rng(0x9A4C);
     for case in 0..200 {
         let events = random_document(&mut r, &doc_cfg);
@@ -138,8 +182,7 @@ fn fragments_agree_not_only_spans() {
     let q = "lib.book[isbn]";
     let spex = spex::core::evaluate_str(q, xml).unwrap();
     let doc = spex::xml::Document::parse_str(xml).unwrap();
-    let dom = spex::baseline::DomEvaluator::new(&doc)
-        .evaluate_fragments(&q.parse().unwrap());
+    let dom = spex::baseline::DomEvaluator::new(&doc).evaluate_fragments(&q.parse().unwrap());
     assert_eq!(spex, dom);
     assert_eq!(spex, vec!["<book id=\"1\"><isbn></isbn>text</book>"]);
 }
@@ -155,13 +198,13 @@ fn following_axis_spex_vs_dom() {
         "<r><x><a/><b/></x><x><b/></x></r>",
     ];
     let queries = [
-        "r.a.~b",      // b's after each a closes
-        "_*.a.~_",     // everything after any a
-        "~b",          // following of the virtual root: nothing
-        "_*.b.~b",     // b's after b's
-        "r._.~b[%]",   // qualifier on a following step
-        "r.(a|x).~b",  // following after a union
-        "_*.a.~b.c",   // continue navigating below a following match
+        "r.a.~b",     // b's after each a closes
+        "_*.a.~_",    // everything after any a
+        "~b",         // following of the virtual root: nothing
+        "_*.b.~b",    // b's after b's
+        "r._.~b[%]",  // qualifier on a following step
+        "r.(a|x).~b", // following after a union
+        "_*.a.~b.c",  // continue navigating below a following match
     ];
     for d in docs {
         let events = parse_events(d).unwrap();
@@ -176,8 +219,15 @@ fn following_axis_spex_vs_dom() {
 
 #[test]
 fn following_axis_random_differential() {
-    let doc_cfg = DocConfig { max_depth: 5, max_fanout: 3, ..DocConfig::default() };
-    let q_cfg = QueryConfig { max_depth: 2, ..QueryConfig::default() };
+    let doc_cfg = DocConfig {
+        max_depth: 5,
+        max_fanout: 3,
+        ..DocConfig::default()
+    };
+    let q_cfg = QueryConfig {
+        max_depth: 2,
+        ..QueryConfig::default()
+    };
     let mut r = rng(0xF0110);
     for case in 0..200 {
         let events = random_document(&mut r, &doc_cfg);
@@ -185,9 +235,7 @@ fn following_axis_random_differential() {
         let prefix = random_query(&mut r, &q_cfg);
         let suffix = random_query(&mut r, &q_cfg);
         let labels = ["a", "b", "c"];
-        let q = prefix
-            .then(Rpeq::following(labels[case % 3]))
-            .then(suffix);
+        let q = prefix.then(Rpeq::following(labels[case % 3])).then(suffix);
         let spex = spex_spans(&q, &events);
         let dom = dom_spans(&q, &events);
         assert_eq!(
@@ -209,12 +257,12 @@ fn preceding_axis_spex_vs_dom() {
         "<a><a><c/></a><b/><c/></a>",
     ];
     let queries = [
-        "r.a.^b",      // b's before each a
-        "_*.a.^_",     // everything before any a
-        "^b",          // preceding of the virtual root: nothing
-        "_*.b.^b",     // b's before b's
-        "r._.^b.%",    // preceding then identity
-        "r.a.^x.b",    // continue navigating below a preceding match
+        "r.a.^b",   // b's before each a
+        "_*.a.^_",  // everything before any a
+        "^b",       // preceding of the virtual root: nothing
+        "_*.b.^b",  // b's before b's
+        "r._.^b.%", // preceding then identity
+        "r.a.^x.b", // continue navigating below a preceding match
     ];
     for d in docs {
         let events = parse_events(d).unwrap();
@@ -239,24 +287,29 @@ fn preceding_inside_qualifiers_is_rejected_with_rewrite_hint() {
     let xml = "<r><b/><a/><a/><x><a/></x></r>";
     let rewritten = spex::core::evaluate_str("_*.b.~a", xml).unwrap();
     let doc = spex::xml::Document::parse_str(xml).unwrap();
-    let oracle = spex::baseline::DomEvaluator::new(&doc)
-        .evaluate_fragments(&"_*.a[^b]".parse().unwrap());
+    let oracle =
+        spex::baseline::DomEvaluator::new(&doc).evaluate_fragments(&"_*.a[^b]".parse().unwrap());
     assert_eq!(rewritten, oracle);
 }
 
 #[test]
 fn preceding_axis_random_differential() {
-    let doc_cfg = DocConfig { max_depth: 5, max_fanout: 3, ..DocConfig::default() };
-    let q_cfg = QueryConfig { max_depth: 2, ..QueryConfig::default() };
+    let doc_cfg = DocConfig {
+        max_depth: 5,
+        max_fanout: 3,
+        ..DocConfig::default()
+    };
+    let q_cfg = QueryConfig {
+        max_depth: 2,
+        ..QueryConfig::default()
+    };
     let mut r = rng(0x9_4E4);
     for case in 0..200 {
         let events = random_document(&mut r, &doc_cfg);
         let prefix = random_query(&mut r, &q_cfg);
         let suffix = random_query(&mut r, &q_cfg);
         let labels = ["a", "b", "c"];
-        let q = prefix
-            .then(Rpeq::preceding(labels[case % 3]))
-            .then(suffix);
+        let q = prefix.then(Rpeq::preceding(labels[case % 3])).then(suffix);
         let spex = spex_spans(&q, &events);
         let dom = dom_spans(&q, &events);
         assert_eq!(
@@ -300,7 +353,10 @@ fn backward_axis_rewriting_end_to_end() {
 #[test]
 fn stream_nfa_agrees_on_qualifier_free_fragment() {
     let doc_cfg = DocConfig::default();
-    let q_cfg = QueryConfig { qualifiers: false, ..QueryConfig::default() };
+    let q_cfg = QueryConfig {
+        qualifiers: false,
+        ..QueryConfig::default()
+    };
     let mut r = rng(0x5E1);
     for _ in 0..200 {
         let events = random_document(&mut r, &doc_cfg);
@@ -310,8 +366,7 @@ fn stream_nfa_agrees_on_qualifier_free_fragment() {
         let mut picked = nfa.select(&events);
         // The stream NFA reports only element nodes; SPEX's ε-ish queries
         // may additionally select the virtual root (tick 0).
-        let spex_without_root: Vec<u64> =
-            spex.into_iter().filter(|t| *t != 0).collect();
+        let spex_without_root: Vec<u64> = spex.into_iter().filter(|t| *t != 0).collect();
         picked.retain(|t| *t != 0);
         assert_eq!(spex_without_root, picked, "on `{query}`");
     }

@@ -90,8 +90,8 @@ fn figure_13_full_network_rows() {
     assert_eq!(
         desc,
         vec![
-            "IN", "SP", "CL(_)", "JO", "UN", "CH(a)", "VC(q0)", "SP", "CH(b)", "VF(q0+)",
-            "VD", "JO", "CH(c)", "OU"
+            "IN", "SP", "CL(_)", "JO", "UN", "CH(a)", "VC(q0)", "SP", "CH(b)", "VF(q0+)", "VD",
+            "JO", "CH(c)", "OU"
         ]
     );
     let t1 = row(&ticks, 2); // CL(_)
@@ -163,5 +163,8 @@ fn section_iii_10_candidate_statistics() {
 #[test]
 fn epsilon_query_selects_the_document_node() {
     let frags = spex::core::evaluate_str("%", FIG1).unwrap();
-    assert_eq!(frags, vec![FIG1.replace("<c/>", "<c></c>").replace("<b/>", "<b></b>")]);
+    assert_eq!(
+        frags,
+        vec![FIG1.replace("<c/>", "<c></c>").replace("<b/>", "<b></b>")]
+    );
 }

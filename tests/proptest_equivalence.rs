@@ -12,7 +12,11 @@ use spex::query::{Label, Rpeq};
 use spex::xml::XmlEvent;
 
 fn label() -> impl Strategy<Value = String> {
-    prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())]
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string())
+    ]
 }
 
 fn qlabel() -> impl Strategy<Value = Label> {
@@ -109,5 +113,59 @@ proptest! {
         prop_assert!(stats.max_cond_stack <= stats.max_stream_depth + 1);
         prop_assert_eq!(stats.results + stats.dropped, stats.candidates_created);
         prop_assert_eq!(stats.ticks as usize, events.len());
+        prop_assert!(stats.results + stats.dropped <= stats.candidates_created);
+    }
+
+    #[test]
+    fn per_transducer_stats_refine_the_global_ones(events in document(), q in query()) {
+        let net = spex::core::CompiledNetwork::compile(&q);
+        let mut sink = spex::core::CountingSink::new();
+        let mut eval = spex::core::Evaluator::new(&net, &mut sink);
+        for ev in &events {
+            eval.push(ev.clone());
+        }
+        let (stats, transducers) = eval.finish_full();
+        // The per-node breakdown partitions the global message count, and
+        // every node individually satisfies the §V per-transducer bounds.
+        let sum: u64 = transducers.iter().map(|t| t.messages).sum();
+        prop_assert_eq!(sum, stats.messages, "query `{}`", q);
+        for t in &transducers {
+            prop_assert!(t.max_depth_stack <= stats.max_stream_depth,
+                "node {} ({}) of `{}`", t.node, t.kind, q);
+            prop_assert!(t.max_formula_size <= stats.max_formula_size);
+        }
+    }
+
+    #[test]
+    fn limits_above_the_peaks_are_invisible(events in document(), q in query()) {
+        // Measure an unlimited run, then re-run with every cap set exactly
+        // at the measured peak: same results, same statistics, same timing.
+        let net = spex::core::CompiledNetwork::compile(&q);
+        let (free_stats, free_frags, free_timing) = {
+            let mut sink = spex::core::FragmentCollector::new();
+            let mut eval = spex::core::Evaluator::new(&net, &mut sink);
+            for ev in &events {
+                eval.push(ev.clone());
+            }
+            let stats = eval.finish();
+            let timing = sink.timing.clone();
+            (stats, sink.into_fragments(), timing)
+        };
+        let limits = spex::core::ResourceLimits::default()
+            .with_max_stream_depth(free_stats.max_stream_depth)
+            .with_max_buffered_events(free_stats.peak_buffered_events)
+            .with_max_live_candidates(free_stats.peak_live_candidates)
+            .with_max_formula_size(free_stats.max_formula_size)
+            .with_max_total_messages(free_stats.messages);
+        let mut sink = spex::core::FragmentCollector::new();
+        let mut eval = spex::core::Evaluator::with_limits(&net, &mut sink, limits);
+        for ev in &events {
+            prop_assert!(eval.try_push(ev.clone()).is_ok(),
+                "caps at the measured peaks must never trip (query `{}`)", q);
+        }
+        let capped_stats = eval.finish();
+        prop_assert_eq!(&capped_stats, &free_stats, "query `{}`", q);
+        prop_assert_eq!(&sink.timing, &free_timing);
+        prop_assert_eq!(sink.into_fragments(), free_frags);
     }
 }

@@ -3,7 +3,7 @@
 
 mod common;
 
-use spex::core::{CompiledNetwork, CountingSink, Evaluator, FragmentCollector};
+use spex::core::{CompiledNetwork, CountingSink, EvalError, Evaluator, FragmentCollector};
 use spex::query::Rpeq;
 use spex::xml::{XmlError, XmlEvent};
 use std::io::Read;
@@ -32,9 +32,15 @@ fn io_failure_mid_stream_surfaces_as_error() {
     let net = CompiledNetwork::compile(&q);
     let mut sink = CountingSink::new();
     let mut eval = Evaluator::new(&net, &mut sink);
-    let reader = FailingReader { data: b"<a><b/><b/>".to_vec(), pos: 0 };
+    let reader = FailingReader {
+        data: b"<a><b/><b/>".to_vec(),
+        pos: 0,
+    };
     let err = eval.push_reader(reader).unwrap_err();
-    assert!(matches!(err, XmlError::Io(_)), "got {err:?}");
+    assert!(
+        matches!(err, EvalError::Xml(XmlError::Io(_))),
+        "got {err:?}"
+    );
     // The evaluator is still usable for what it saw; finishing flushes
     // whatever was determined.
     let stats = eval.finish();
@@ -48,7 +54,10 @@ fn malformed_xml_mid_stream_surfaces_as_error() {
     let mut sink = FragmentCollector::new();
     let mut eval = Evaluator::new(&net, &mut sink);
     let err = eval.push_str("<a><b></a></b>").unwrap_err();
-    assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    assert!(matches!(
+        err,
+        EvalError::Xml(XmlError::MismatchedTag { .. })
+    ));
 }
 
 /// Events pushed by hand (not through the parser) can violate the stream
@@ -61,7 +70,11 @@ fn hand_fed_unbalanced_events_do_not_panic() {
         vec![XmlEvent::open("a")],
         vec![XmlEvent::EndDocument],
         vec![XmlEvent::open("a"), XmlEvent::close("b")],
-        vec![XmlEvent::text("loose"), XmlEvent::close("x"), XmlEvent::close("x")],
+        vec![
+            XmlEvent::text("loose"),
+            XmlEvent::close("x"),
+            XmlEvent::close("x"),
+        ],
     ] {
         let q: Rpeq = "_*.a[b]".parse().unwrap();
         let net = CompiledNetwork::compile(&q);
@@ -115,9 +128,22 @@ fn pathological_label_reuse() {
     // The same label at every level, as query step, closure and qualifier:
     // maximal ambiguity for the scope tracking.
     let xml = "<a><a><a><a/></a></a></a>";
-    for q in ["a.a.a.a", "a+.a", "a.a+", "a+[a].a", "a[a[a[a]]]", "_*.a[a+]"] {
-        let spex = common::spex_spans(&q.parse().unwrap(), &spex::xml::reader::parse_events(xml).unwrap());
-        let dom = common::dom_spans(&q.parse().unwrap(), &spex::xml::reader::parse_events(xml).unwrap());
+    for q in [
+        "a.a.a.a",
+        "a+.a",
+        "a.a+",
+        "a+[a].a",
+        "a[a[a[a]]]",
+        "_*.a[a+]",
+    ] {
+        let spex = common::spex_spans(
+            &q.parse().unwrap(),
+            &spex::xml::reader::parse_events(xml).unwrap(),
+        );
+        let dom = common::dom_spans(
+            &q.parse().unwrap(),
+            &spex::xml::reader::parse_events(xml).unwrap(),
+        );
         assert_eq!(spex, dom, "on {q}");
     }
 }
@@ -140,7 +166,10 @@ fn entity_heavy_content() {
 #[test]
 fn query_size_stress() {
     // A 400-step query compiles and runs without blowing up.
-    let q_text = (0..400).map(|i| format!("s{i}")).collect::<Vec<_>>().join(".");
+    let q_text = (0..400)
+        .map(|i| format!("s{i}"))
+        .collect::<Vec<_>>()
+        .join(".");
     let q: Rpeq = q_text.parse().unwrap();
     let net = CompiledNetwork::compile(&q);
     assert_eq!(net.degree(), 402);

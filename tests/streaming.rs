@@ -84,8 +84,16 @@ fn bounded_memory_on_unbounded_streams() {
     let stats = eval.stats().clone();
     // Memory proxies bounded by the (constant) stream depth, not the stream
     // length.
-    assert!(stats.max_cond_stack <= 8, "cond stack grew: {}", stats.max_cond_stack);
-    assert!(stats.max_depth_stack <= 8, "depth stack grew: {}", stats.max_depth_stack);
+    assert!(
+        stats.max_cond_stack <= 8,
+        "cond stack grew: {}",
+        stats.max_cond_stack
+    );
+    assert!(
+        stats.max_depth_stack <= 8,
+        "depth stack grew: {}",
+        stats.max_depth_stack
+    );
     assert!(
         stats.peak_buffered_events <= 1000,
         "buffered events grew: {}",

@@ -1,0 +1,231 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API subset the workspace's benches use — benchmark groups,
+//! `bench_with_input`/`bench_function`, throughput annotations,
+//! `criterion_group!`/`criterion_main!` — with a deliberately small runner:
+//! a short warm-up, a fixed measurement budget per benchmark, and a one-line
+//! median/throughput report on stdout. No statistics, no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches/allocations).
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 30 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to derive rates in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Benchmark `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.criterion.budget,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &mut b.samples);
+        self
+    }
+
+    /// Benchmark `f` without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.criterion.budget,
+        };
+        f(&mut b);
+        self.report(&id.id, &mut b.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if median > Duration::ZERO => {
+                let mbps = b as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  ({mbps:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let eps = n as f64 / median.as_secs_f64();
+                format!("  ({eps:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {median:?} over {} samples{rate}",
+            self.name,
+            samples.len()
+        );
+    }
+
+    /// End the group (report already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry object.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep stub benches quick: a fraction of a second per benchmark.
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with `Criterion::default().configure_from_args()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark without a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

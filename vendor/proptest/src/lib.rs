@@ -1,0 +1,352 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_recursive` and `boxed`,
+//! * [`Just`](strategy::Just), tuple strategies, integer-range strategies,
+//!   string strategies from a small regex subset (`"[a-z][a-z0-9]{0,4}"`),
+//! * [`collection::vec`], [`arbitrary::any`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros,
+//! * a deterministic [`test_runner`] that executes N cases per test.
+//!
+//! **No shrinking**: on failure the runner reports the case index and seed
+//! (re-running is deterministic) and re-raises the assertion panic. That is a
+//! weaker debugging experience than real proptest but identical in what it
+//! accepts and rejects.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+/// Deterministic pseudo-random source and case runner.
+pub mod test_runner {
+    /// SplitMix64, seeded per (test, case).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with the given seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform usize in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo < hi);
+            lo + self.below((hi - lo) as u64) as usize
+        }
+
+        /// A float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runner configuration (the `cases` subset of proptest's config).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Execute `case` for every case index; used by the [`proptest!`] macro.
+    ///
+    /// The per-case seed derives only from the test name and the case index,
+    /// so failures reproduce run over run. An optional
+    /// `PROPTEST_CASES` environment variable overrides the case count (for
+    /// quick local runs or deeper CI soaks).
+    pub fn run_proptest(name: &str, config: &ProptestConfig, case: &mut dyn FnMut(&mut TestRng)) {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(config.cases);
+        for i in 0..cases {
+            let seed = fnv1a(name) ^ u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::from_seed(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest(stub): property `{name}` failed at case {i}/{cases} \
+                     (seed {seed:#018x}; deterministic, re-run to reproduce)"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    pub use ProptestConfig as Config;
+}
+
+/// `any::<T>()` — arbitrary values of simple types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical arbitrary-value strategy.
+    pub trait Arbitrary: Sized {
+        /// Produce an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mostly ASCII, occasionally wider BMP scalars.
+            if rng.below(4) == 0 {
+                char::from_u32(0x00A0 + (rng.below(0x0800)) as u32).unwrap_or('ß')
+            } else {
+                (0x20u8 + rng.below(0x5F) as u8) as char
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary + Clone + std::fmt::Debug + 'static> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, lo..hi)` — proptest's `collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.usize_in(self.size.start, self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// The proptest entry-point macro: declares `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn` item inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config = $cfg;
+            let mut __proptest_case = |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                $body
+            };
+            $crate::test_runner::run_proptest(
+                stringify!($name),
+                &__proptest_config,
+                &mut __proptest_case,
+            );
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: bind `name in strategy` / `name: Type` parameters.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident $(,)? ) => {};
+    ( $rng:ident, $name:ident in $strat:expr ) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ( $rng:ident, $name:ident in $strat:expr, $($rest:tt)+ ) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+    ( $rng:ident, $name:ident : $ty:ty ) => {
+        let $name =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ( $rng:ident, $name:ident : $ty:ty, $($rest:tt)+ ) => {
+        let $name =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng, $($rest)+);
+    };
+}
+
+/// Weighted or unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($weight:expr => $strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::weighted(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::weighted(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert inside a property; reported with the failing case on panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ( $cond:expr ) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ( $cond:expr, $($fmt:tt)+ ) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ( $left:expr, $right:expr $(,)? ) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            panic!("prop_assert_eq failed:\n  left: {:?}\n right: {:?}", __l, __r);
+        }
+    }};
+    ( $left:expr, $right:expr, $($fmt:tt)+ ) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            panic!(
+                "prop_assert_eq failed:\n  left: {:?}\n right: {:?}\n  {}",
+                __l, __r, format!($($fmt)+)
+            );
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ( $left:expr, $right:expr $(,)? ) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            panic!("prop_assert_ne failed: both sides equal {:?}", __l);
+        }
+    }};
+}

@@ -1,0 +1,406 @@
+//! The [`Strategy`] trait and combinators (generation only, no shrinking).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + std::fmt::Debug + 'static;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + std::fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (retries a bounded number of
+    /// times, then returns the last value regardless — the stub has no
+    /// rejection bookkeeping).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case; `recurse` maps a
+    /// strategy for the inner level to a strategy for the outer level. The
+    /// `depth` cap bounds nesting; `_desired_size`/`_expected_branch_size`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // At every level an explicit chance of bottoming out, so
+            // expected sizes stay tame while the depth cap is reachable.
+            current = Union::weighted(vec![(2, leaf.clone()), (3, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of a strategy, used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + std::fmt::Debug + 'static,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut last = self.inner.generate(rng);
+        for _ in 0..64 {
+            if (self.pred)(&last) {
+                break;
+            }
+            last = self.inner.generate(rng);
+        }
+        last
+    }
+}
+
+/// Weighted union of strategies over one value type (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Clone + std::fmt::Debug + 'static> Union<T> {
+    /// Build from `(weight, strategy)` pairs; weights must not all be zero.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof!: all weights are zero");
+        Union { options, total }
+    }
+}
+
+impl<T: Clone + std::fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ( $($name:ident : $idx:tt),+ ) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "range strategy: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.below(span)) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex subset
+// ---------------------------------------------------------------------------
+
+/// One parsed element of the pattern: a set of candidate chars plus a
+/// repetition range (inclusive).
+struct Piece {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset used by the workspace's tests: concatenations of
+/// single characters and `[...]` classes (ranges + escapes), each optionally
+/// quantified by `{n}`, `{n,m}`, `?`, `*` or `+` (the latter two capped at 8
+/// repetitions).
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = it.next() else {
+                        panic!("proptest(stub): unterminated class in {pattern:?}")
+                    };
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = it.next().expect("escape at end of class");
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        '-' if prev.is_some() && it.peek().is_some_and(|n| *n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = it.next().unwrap();
+                            // `lo` is already in the set; add the rest.
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(u) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![it.next().expect("escape at end of pattern")],
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut digits = String::new();
+                let mut lo: Option<usize> = None;
+                loop {
+                    match it.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            lo = Some(digits.parse().expect("repetition bound"));
+                            digits.clear();
+                        }
+                        Some(d) => digits.push(d),
+                        None => panic!("proptest(stub): unterminated {{}} in {pattern:?}"),
+                    }
+                }
+                let hi: usize = digits.parse().expect("repetition bound");
+                (lo.unwrap_or(hi), hi)
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            !chars.is_empty(),
+            "proptest(stub): empty class in {pattern:?}"
+        );
+        pieces.push(Piece { chars, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.usize_in(piece.min, piece.max + 1)
+            };
+            for _ in 0..n {
+                out.push(piece.chars[rng.usize_in(0, piece.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_escapes_and_printable_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z_.*+?()\\[\\]|% ]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || "_.*+?()[]|% ".contains(c),
+                    "unexpected {c:?}"
+                );
+            }
+            let t = "[ -~]{0,200}".generate(&mut r);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 16, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut r)) <= 4);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_entries() {
+        let u = Union::weighted(vec![(0, Just(1u8).boxed()), (5, Just(2u8).boxed())]);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(u.generate(&mut r), 2);
+        }
+    }
+
+    #[test]
+    fn tuples_and_ranges_compose() {
+        let strat = ("[ab]", 0u32..5).prop_map(|(s, n)| format!("{s}{n}"));
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!(v.starts_with('a') || v.starts_with('b'));
+        }
+    }
+}
