@@ -11,6 +11,8 @@
 //! harness formula_growth     §V: formula size vs depth and #qualified closures
 //! harness multiquery         §VIII/E12: many profiles over one stream
 //! harness transducers        §V per-transducer bounds, measured (messages, stacks)
+//! harness fault-sweep [R [C]]  robustness: R seeds × 6 mutators × 2 recovery
+//!                            policies over C-country Mondial (soundness check)
 //! harness all                everything above
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
@@ -41,6 +43,7 @@ fn main() {
         "formula_growth" => formula_growth(),
         "multiquery" => multiquery(),
         "transducers" => transducers(),
+        "fault-sweep" => fault_sweep_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -51,6 +54,7 @@ fn main() {
             formula_growth();
             multiquery();
             transducers();
+            fault_sweep_cmd(&[]);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -309,6 +313,77 @@ fn transducers() {
         sum, stats.messages,
         "per-transducer sum must equal the global count"
     );
+
+    // Faults section: the same query over a deliberately corrupted stream,
+    // evaluated under the Repair policy. Shows what the recovery layer
+    // reports (and that the damaged results were quarantined, not invented).
+    println!();
+    println!("faults (same query, one close tag deleted, --recover repair):");
+    let xml = spex_xml::writer::events_to_string(events);
+    let mutation = spex_bench::fault::mutate(&xml, spex_bench::fault::Mutator::DeleteClose, 5);
+    let network = CompiledNetwork::compile(&qc.rpeq());
+    let mut collector = spex_core::FragmentCollector::new();
+    let report = spex_core::evaluate_recovering(
+        &network,
+        std::io::Cursor::new(mutation.xml.into_bytes()),
+        spex_core::RecoveryOptions {
+            policy: spex_xml::RecoveryPolicy::Repair,
+            ..Default::default()
+        },
+        spex_core::ResourceLimits::default(),
+        &mut collector,
+    )
+    .expect("repair run completes");
+    println!(
+        "{:<20} {:>8}   (injected at byte {})",
+        "kind", "count", mutation.offset
+    );
+    for kind in spex_xml::FaultKind::ALL {
+        let n = report.fault_count(kind);
+        if n > 0 {
+            println!("{:<20} {:>8}", kind.as_str(), n);
+        }
+    }
+    println!(
+        "delivered: {}  quarantined: {}  truncated: {}",
+        report.results, report.dropped, report.truncated
+    );
+}
+
+/// Robustness sweep: seeds × mutators × recovery policies over the Mondial
+/// workload, asserting panic-freedom and subset soundness against the
+/// clean-stream oracle (fixed seed base 0xFA17 for reproducibility).
+fn fault_sweep_cmd(args: &[String]) {
+    let rounds: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let countries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    header("robustness — fault-injection sweep (Mondial)");
+    let start = Instant::now();
+    let workloads = spex_bench::fault::mondial_workloads(countries);
+    println!(
+        "{} queries x 6 mutators x {} seeds x 2 policies ({} countries)",
+        workloads.len(),
+        rounds,
+        countries
+    );
+    let outcome = spex_bench::fault::fault_sweep(&workloads, 0xFA17, rounds);
+    println!(
+        "mutants: {}  unchanged: {}  runs with faults: {}  faults reported: {}",
+        outcome.mutants, outcome.unchanged, outcome.faulted_runs, outcome.faults_reported
+    );
+    println!(
+        "delivered: {}  quarantined: {}  elapsed: {:.2}s",
+        outcome.delivered,
+        outcome.quarantined,
+        start.elapsed().as_secs_f64()
+    );
+    if !outcome.violations.is_empty() {
+        for v in &outcome.violations {
+            eprintln!("VIOLATION: {}", v.detail);
+        }
+        eprintln!("{} soundness violation(s)", outcome.violations.len());
+        std::process::exit(1);
+    }
+    println!("soundness: every mutant's results are a subset of the clean oracle");
 }
 
 fn parse_proc(p: &str) -> Processor {

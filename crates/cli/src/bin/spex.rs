@@ -9,7 +9,7 @@ fn main() {
             eprintln!("spex: {e}");
             eprintln!();
             eprint!("{}", spex_cli::USAGE);
-            std::process::exit(2);
+            std::process::exit(1);
         }
     };
     let code = spex_cli::run(

@@ -6,11 +6,71 @@
 #![warn(missing_docs)]
 
 use spex_core::{
-    CompiledNetwork, CountingSink, EngineStats, Evaluator, ResourceLimits, SpanCollector,
-    TransducerStats,
+    CompiledNetwork, CountingSink, EngineStats, EvalError, Evaluator, RecoveryOptions,
+    ResourceLimits, RunReport, SpanCollector, TransducerStats, TruncationOutcome,
 };
 use spex_query::Rpeq;
+use spex_xml::{FaultKind, RecoveryPolicy, XmlError};
 use std::io::{Read, Write};
+
+/// A CLI failure with its process exit code (see the README's exit-code
+/// table): 1 usage/query, 2 malformed XML, 3 I/O, 4 resource limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Usage, query parse or compile failure (exit code 1).
+    Usage(String),
+    /// Malformed XML input — any syntax-class [`XmlError`] (exit code 2).
+    Syntax(String),
+    /// I/O failure: input file, transport, or output pipe (exit code 3).
+    Io(String),
+    /// A configured resource limit was exceeded (exit code 4).
+    Resource(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Syntax(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Resource(_) => 4,
+        }
+    }
+
+    /// The message printed to stderr (prefixed with `spex: ` by [`run`]).
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Syntax(m) | CliError::Io(m) | CliError::Resource(m) => m,
+        }
+    }
+}
+
+impl From<XmlError> for CliError {
+    fn from(e: XmlError) -> Self {
+        if e.kind().is_syntax_class() {
+            CliError::Syntax(e.to_string())
+        } else {
+            CliError::Io(e.to_string())
+        }
+    }
+}
+
+impl From<EvalError> for CliError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Query(_) | EvalError::Compile(_) => CliError::Usage(e.to_string()),
+            EvalError::Xml(x) => x.into(),
+            EvalError::ResourceExhausted { .. } => CliError::Resource(e.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e.to_string())
+    }
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +102,10 @@ pub struct Options {
     pub help: bool,
     /// Accept a sequence of documents on the input (SDI streams).
     pub stream: bool,
+    /// Recovery policy for malformed input (default: strict).
+    pub recover: RecoveryPolicy,
+    /// How undetermined candidates resolve at an unexpected end of stream.
+    pub on_truncation: TruncationOutcome,
 }
 
 impl Default for Options {
@@ -60,6 +124,8 @@ impl Default for Options {
             scale: 1.0,
             help: false,
             stream: false,
+            recover: RecoveryPolicy::Strict,
+            on_truncation: TruncationOutcome::Drop,
         }
     }
 }
@@ -84,6 +150,10 @@ OPTIONS:
     --stats          print evaluation statistics to stderr
     --stats-json     print statistics (global + per-transducer) as JSON to stderr
     --stream         treat the input as a sequence of documents (SDI mode)
+    --recover P      recovery policy for malformed input:
+                     strict (default) | repair | skip-subtree
+    --on-truncation O     candidates undetermined at an unexpected EOF:
+                     drop (default) | force-false
     --limit-depth N       abort when the stream nesting depth exceeds N
     --limit-buffered N    abort when more than N events are buffered
     --limit-candidates N  abort when more than N candidates are live
@@ -93,6 +163,10 @@ OPTIONS:
                      dmoz-structure | dmoz-content
     --scale X        dataset scale factor (default 1.0)
     -h, --help       this text
+
+EXIT CODES:
+    0 success    1 usage or query error    2 malformed XML input
+    3 I/O failure    4 resource limit exceeded
 ";
 
 /// Parse command-line arguments (excluding the program name).
@@ -135,6 +209,22 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.limits.max_total_messages = Some(number("--limit-messages", &mut it)?)
             }
             "-h" | "--help" => o.help = true,
+            "--recover" => {
+                o.recover = it
+                    .next()
+                    .ok_or_else(|| {
+                        "--recover needs a policy (strict, repair, skip-subtree)".to_string()
+                    })?
+                    .parse()?
+            }
+            "--on-truncation" => {
+                o.on_truncation = it
+                    .next()
+                    .ok_or_else(|| {
+                        "--on-truncation needs an outcome (drop, force-false)".to_string()
+                    })?
+                    .parse()?
+            }
             "--generate" => {
                 o.generate = Some(
                     it.next()
@@ -148,6 +238,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--scale needs a number".to_string())?
                     .parse()
                     .map_err(|e| format!("invalid --scale: {e}"))?
+            }
+            other if other.starts_with("--recover=") => {
+                o.recover = other["--recover=".len()..].parse()?
+            }
+            other if other.starts_with("--on-truncation=") => {
+                o.on_truncation = other["--on-truncation=".len()..].parse()?
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
@@ -174,8 +270,8 @@ pub fn run(
     match run_inner(options, stdin, stdout, stderr) {
         Ok(()) => 0,
         Err(e) => {
-            let _ = writeln!(stderr, "spex: {e}");
-            1
+            let _ = writeln!(stderr, "spex: {}", e.message());
+            e.exit_code()
         }
     }
 }
@@ -185,9 +281,9 @@ fn run_inner(
     stdin: &mut dyn Read,
     stdout: &mut dyn Write,
     stderr: &mut dyn Write,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     if options.help {
-        write!(stdout, "{USAGE}").map_err(|e| e.to_string())?;
+        write!(stdout, "{USAGE}")?;
         return Ok(());
     }
     if let Some(dataset) = &options.generate {
@@ -196,49 +292,53 @@ fn run_inner(
     let query_text = options
         .query
         .as_ref()
-        .ok_or_else(|| format!("missing QUERY\n\n{USAGE}"))?;
+        .ok_or_else(|| CliError::Usage(format!("missing QUERY\n\n{USAGE}")))?;
     let query: Rpeq = if options.xpath {
-        spex_query::xpath::parse_xpath(query_text).map_err(|e| e.to_string())?
+        spex_query::xpath::parse_xpath(query_text).map_err(|e| CliError::Usage(e.to_string()))?
     } else {
         query_text
             .parse()
-            .map_err(|e: spex_query::ParseError| e.to_string())?
+            .map_err(|e: spex_query::ParseError| CliError::Usage(e.to_string()))?
     };
     let network = CompiledNetwork::compile(&query);
     if options.explain {
-        writeln!(stdout, "query: {query}").map_err(|e| e.to_string())?;
-        writeln!(stdout, "network ({} transducers):", network.degree())
-            .map_err(|e| e.to_string())?;
-        write!(stdout, "{}", network.spec().dump()).map_err(|e| e.to_string())?;
+        writeln!(stdout, "query: {query}")?;
+        writeln!(stdout, "network ({} transducers):", network.degree())?;
+        write!(stdout, "{}", network.spec().dump())?;
         return Ok(());
     }
 
     // Choose the sink by output mode.
-    let (stats, transducers) = if options.count {
+    let (stats, transducers, report) = if options.count {
         let mut sink = CountingSink::new();
         let out = evaluate(&network, options, stdin, &mut sink)?;
-        writeln!(stdout, "{}", sink.results).map_err(|e| e.to_string())?;
+        writeln!(stdout, "{}", sink.results)?;
         out
     } else if options.spans {
         let mut sink = SpanCollector::new();
         let out = evaluate(&network, options, stdin, &mut sink)?;
         for s in &sink.starts {
-            writeln!(stdout, "{s}").map_err(|e| e.to_string())?;
+            writeln!(stdout, "{s}")?;
         }
         out
     } else {
         // Progressive delivery: fragments reach stdout as they are decided,
-        // not after the stream ends.
+        // not after the stream ends. (Under a recovery policy delivery is
+        // deferred to end of run — quarantine needs the whole stream.)
         let mut sink = spex_core::StreamingSink::new(&mut *stdout);
         let out = evaluate(&network, options, stdin, &mut sink)?;
         if let Some(e) = sink.take_error() {
-            return Err(e.to_string());
+            return Err(e.into());
         }
         out
     };
 
     if options.stats_json {
-        writeln!(stderr, "{}", stats_json(&stats, &transducers)).map_err(|e| e.to_string())?;
+        writeln!(
+            stderr,
+            "{}",
+            stats_json(&stats, &transducers, report.as_ref())
+        )?;
     }
     if options.stats {
         writeln!(
@@ -254,20 +354,55 @@ fn run_inner(
             stats.max_formula_size,
             stats.max_depth_stack,
             stats.max_cond_stack,
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
+    }
+    if let Some(report) = &report {
+        if !report.faults.is_empty() {
+            writeln!(
+                stderr,
+                "spex: recovered {} input fault(s); {} result(s) quarantined{}",
+                report.faults.len(),
+                report.dropped,
+                if report.truncated {
+                    " (stream truncated)"
+                } else {
+                    ""
+                },
+            )?;
+        }
+        if let Some(breach) = report.exhausted {
+            return Err(CliError::Resource(breach.to_string()));
+        }
     }
     Ok(())
 }
+
+type EvalOutcome = (EngineStats, Vec<TransducerStats>, Option<RunReport>);
 
 fn evaluate(
     network: &CompiledNetwork,
     options: &Options,
     stdin: &mut dyn Read,
     sink: &mut dyn spex_core::ResultSink,
-) -> Result<(EngineStats, Vec<TransducerStats>), String> {
-    let mut eval = Evaluator::with_limits(network, sink, options.limits);
-    let push = |eval: &mut Evaluator, input: &mut dyn std::io::Read| -> Result<(), String> {
+) -> Result<EvalOutcome, CliError> {
+    let run = |input: &mut dyn std::io::Read,
+               sink: &mut dyn spex_core::ResultSink|
+     -> Result<EvalOutcome, CliError> {
+        if options.recover != RecoveryPolicy::Strict {
+            let recovery = RecoveryOptions {
+                policy: options.recover,
+                on_truncation: options.on_truncation,
+                multi_document: options.stream,
+            };
+            let report =
+                spex_core::evaluate_recovering(network, input, recovery, options.limits, sink)?;
+            return Ok((
+                report.stats.clone(),
+                report.transducers.clone(),
+                Some(report),
+            ));
+        }
+        let mut eval = Evaluator::with_limits(network, sink, options.limits);
         let reader = spex_xml::Reader::new(input);
         let reader = if options.stream {
             reader.multi_document()
@@ -275,27 +410,32 @@ fn evaluate(
             reader
         };
         for ev in reader {
-            eval.try_push(ev.map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
+            eval.try_push(ev.map_err(CliError::from)?)
+                .map_err(CliError::from)?;
         }
-        Ok(())
+        let (stats, transducers) = eval.finish_full();
+        Ok((stats, transducers, None))
     };
     match &options.file {
         Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let file =
+                std::fs::File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
             let mut buffered = std::io::BufReader::new(file);
-            push(&mut eval, &mut buffered)?;
+            run(&mut buffered, sink)
         }
-        None => {
-            push(&mut eval, stdin)?;
-        }
+        None => run(stdin, sink),
     }
-    Ok(eval.finish_full())
 }
 
 /// Render the statistics as one line of JSON (hand-rolled; the workspace has
-/// no serde dependency).
-fn stats_json(stats: &EngineStats, transducers: &[TransducerStats]) -> String {
+/// no serde dependency). Under a recovery policy a `faults` section is
+/// appended; Strict runs emit exactly the same bytes as before the recovery
+/// layer existed.
+fn stats_json(
+    stats: &EngineStats,
+    transducers: &[TransducerStats],
+    report: Option<&RunReport>,
+) -> String {
     fn esc(s: &str) -> String {
         s.chars()
             .flat_map(|c| match c {
@@ -339,11 +479,49 @@ fn stats_json(stats: &EngineStats, transducers: &[TransducerStats]) -> String {
             t.max_formula_size,
         ));
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(report) = report {
+        out.push_str(&format!(
+            ",\"faults\":{{\"total\":{},\"truncated\":{},\"delivered\":{},\"quarantined\":{},\
+             \"by_kind\":{{",
+            report.faults.len(),
+            report.truncated,
+            report.results,
+            report.dropped,
+        ));
+        let mut first_kind = true;
+        for kind in FaultKind::ALL {
+            let n = report.fault_count(kind);
+            if n == 0 {
+                continue;
+            }
+            if !first_kind {
+                out.push(',');
+            }
+            first_kind = false;
+            out.push_str(&format!("\"{}\":{n}", kind.as_str()));
+        }
+        out.push('}');
+        fn pos_json(label: &str, f: &spex_xml::Fault) -> String {
+            format!(
+                ",\"{label}\":{{\"kind\":\"{}\",\"offset\":{},\"line\":{},\"column\":{}}}",
+                f.kind.as_str(),
+                f.position.offset,
+                f.position.line,
+                f.position.column,
+            )
+        }
+        if let (Some(first), Some(last)) = (report.faults.first(), report.faults.last()) {
+            out.push_str(&pos_json("first", first));
+            out.push_str(&pos_json("last", last));
+        }
+        out.push('}');
+    }
+    out.push('}');
     out
 }
 
-fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), String> {
+fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), CliError> {
     let mut w = spex_xml::Writer::with_options(
         std::io::BufWriter::new(stdout),
         spex_xml::WriteOptions {
@@ -354,28 +532,28 @@ fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), Str
     match dataset {
         "mondial" => {
             for ev in spex_workloads::mondial() {
-                w.write(&ev).map_err(|e| e.to_string())?;
+                w.write(&ev).map_err(CliError::from)?;
             }
         }
         "wordnet" => {
             for ev in spex_workloads::wordnet() {
-                w.write(&ev).map_err(|e| e.to_string())?;
+                w.write(&ev).map_err(CliError::from)?;
             }
         }
         "dmoz-structure" => {
             for ev in spex_workloads::dmoz_structure(scale) {
-                w.write(&ev).map_err(|e| e.to_string())?;
+                w.write(&ev).map_err(CliError::from)?;
             }
         }
         "dmoz-content" => {
             for ev in spex_workloads::dmoz_content(scale) {
-                w.write(&ev).map_err(|e| e.to_string())?;
+                w.write(&ev).map_err(CliError::from)?;
             }
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown dataset `{other}` (try mondial, wordnet, dmoz-structure, dmoz-content)"
-            ))
+            )))
         }
     }
     Ok(())
@@ -539,7 +717,7 @@ mod tests {
         // already determined and delivered before the abort.
         let (code, out, err) =
             run_cli(&["--limit-depth", "3", "a.c"], "<a><c>1</c><b><d/></b></a>");
-        assert_eq!(code, 1);
+        assert_eq!(code, 4);
         assert_eq!(out, "<c>1</c>\n");
         assert!(
             err.contains("resource limit exceeded: stream-depth 4 > limit 3"),
@@ -561,7 +739,7 @@ mod tests {
     #[test]
     fn bad_xml_reports_error() {
         let (code, _, err) = run_cli(&["a"], "<a><b></a>");
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(err.contains("mismatched"));
     }
 
@@ -601,8 +779,119 @@ mod tests {
         assert_eq!(out, "<x>1</x>\n<x>2</x>\n");
         // Without --stream the same input is an error.
         let (code, _, err) = run_cli(&["r.x"], "<r><x>1</x></r><r><x>2</x></r>");
-        assert_eq!(code, 1);
+        assert_eq!(code, 2);
         assert!(err.contains("after the root element"));
+    }
+
+    #[test]
+    fn parse_recovery_flags() {
+        let o = parse_args(&args(&["--recover", "repair", "a"])).unwrap();
+        assert_eq!(o.recover, RecoveryPolicy::Repair);
+        let o = parse_args(&args(&["--recover=skip-subtree", "a"])).unwrap();
+        assert_eq!(o.recover, RecoveryPolicy::SkipSubtree);
+        let o = parse_args(&args(&["--on-truncation", "force-false", "a"])).unwrap();
+        assert_eq!(o.on_truncation, TruncationOutcome::ForceFalse);
+        let o = parse_args(&args(&["--on-truncation=drop", "a"])).unwrap();
+        assert_eq!(o.on_truncation, TruncationOutcome::Drop);
+        assert!(parse_args(&args(&["--recover", "bogus"])).is_err());
+        assert!(parse_args(&args(&["--recover"])).is_err());
+        assert!(parse_args(&args(&["--on-truncation", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn repair_mode_recovers_instead_of_failing() {
+        // Strict: exit 2. Repair: the stray close is dropped, the clean
+        // sibling subtree's result survives, and a summary goes to stderr.
+        let xml = "<r><a><b/></a><x></nope></x></r>";
+        let (code, _, _) = run_cli(&["r.a"], xml);
+        assert_eq!(code, 2);
+        let (code, out, err) = run_cli(&["--recover", "repair", "r.a"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out, "<a><b></b></a>\n");
+        assert!(err.contains("recovered 1 input fault(s)"), "got {err}");
+    }
+
+    #[test]
+    fn repair_mode_on_clean_input_matches_strict_output() {
+        let xml = "<a><a><c/></a><b/><c/></a>";
+        let strict = run_cli(&["a.c"], xml);
+        let repair = run_cli(&["--recover", "repair", "a.c"], xml);
+        assert_eq!(strict, repair);
+        assert_eq!(repair.0, 0);
+        assert_eq!(repair.2, "", "no fault summary on a clean stream");
+    }
+
+    #[test]
+    fn truncation_outcome_is_honoured() {
+        let xml = "<a><c/><b><x/>";
+        let (code, out, err) = run_cli(&["--recover", "repair", "a.b"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out, "", "Drop withholds the undetermined candidate");
+        assert!(err.contains("(stream truncated)"), "got {err}");
+        let (code, out, _) = run_cli(
+            &[
+                "--recover",
+                "repair",
+                "--on-truncation",
+                "force-false",
+                "a.b",
+            ],
+            xml,
+        );
+        assert_eq!(code, 0);
+        assert_eq!(out, "<b><x></x></b>\n");
+    }
+
+    #[test]
+    fn recovery_works_with_count_and_spans_sinks() {
+        let xml = "<r><a><b/></a><x></nope></x></r>";
+        let (code, out, _) = run_cli(&["--recover", "repair", "--count", "r.a"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "1");
+        let (code, out, _) = run_cli(&["--recover", "repair", "--spans", "r.a"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out.trim(), "2");
+    }
+
+    #[test]
+    fn stats_json_gains_faults_section_only_when_recovering() {
+        let xml = "<r><a><b/></a><x></nope></x></r>";
+        let (_, _, err) = run_cli(&["--recover", "repair", "--stats-json", "r.a"], xml);
+        let json = err.lines().next().unwrap();
+        assert!(json.contains("\"faults\":{\"total\":1"), "got {json}");
+        assert!(
+            json.contains("\"by_kind\":{\"stray-close\":1}"),
+            "got {json}"
+        );
+        assert!(json.contains("\"delivered\":1"), "got {json}");
+        assert!(json.contains("\"quarantined\":0"), "got {json}");
+        assert!(
+            json.contains("\"first\":{\"kind\":\"stray-close\",\"offset\":19,"),
+            "got {json}"
+        );
+        // Strict runs emit byte-identical JSON with no faults key.
+        let (_, _, err) = run_cli(&["--stats-json", "a.c"], "<a><c/></a>");
+        assert!(!err.contains("\"faults\""), "got {err}");
+    }
+
+    #[test]
+    fn recovered_limit_breach_still_exits_4() {
+        let (code, _, err) = run_cli(
+            &["--recover", "repair", "--limit-depth", "2", "a.c"],
+            "<a><b><c/></b></a>",
+        );
+        assert_eq!(code, 4);
+        assert!(err.contains("resource limit exceeded"), "got {err}");
+    }
+
+    #[test]
+    fn skip_subtree_mode_discards_the_damaged_element() {
+        // Garbage markup inside <x>: SkipSubtree drops the whole <x>
+        // subtree and the sibling <a> result survives.
+        let xml = "<r><a><b/></a><x><!bogus </x></r>";
+        let (code, out, _) = run_cli(&["--recover", "skip-subtree", "r.a"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out, "<a><b></b></a>\n");
     }
 
     #[test]
@@ -615,7 +904,7 @@ mod tests {
         assert_eq!(code, 0);
         assert_eq!(out.trim(), "<c></c>");
         let (code, _, err) = run_cli(&["a.c", "/nonexistent/x.xml"], "");
-        assert_eq!(code, 1);
+        assert_eq!(code, 3);
         assert!(err.contains("x.xml"));
     }
 }

@@ -71,7 +71,19 @@ impl fmt::Display for EvalError {
     }
 }
 
-impl std::error::Error for EvalError {}
+impl std::error::Error for EvalError {
+    /// Uniform source chaining: each wrapping variant exposes the
+    /// underlying error, so `anyhow`-style consumers and the CLI's exit-code
+    /// mapping can walk the chain.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Query(e) => Some(e),
+            EvalError::Compile(e) => Some(e),
+            EvalError::Xml(e) => Some(e),
+            EvalError::ResourceExhausted { .. } => None,
+        }
+    }
+}
 
 impl From<LimitBreach> for EvalError {
     fn from(b: LimitBreach) -> Self {

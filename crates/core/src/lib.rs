@@ -52,6 +52,7 @@ pub mod limits;
 pub mod message;
 pub mod multi;
 pub mod network;
+pub mod recover;
 pub mod sink;
 pub mod stats;
 pub mod transducers;
@@ -60,6 +61,9 @@ pub use compile::{CompileError, CompiledNetwork};
 pub use engine::{evaluate_events, evaluate_str, EvalError, Evaluator};
 pub use limits::{LimitBreach, LimitKind, ResourceLimits};
 pub use message::{DocEvent, Message, Symbol, SymbolTable};
+pub use recover::{
+    evaluate_recovering, evaluate_str_recovering, RecoveryOptions, RunReport, TruncationOutcome,
+};
 pub use sink::{
     CountingSink, FragmentCollector, ResultMeta, ResultSink, SpanCollector, StreamingSink,
 };

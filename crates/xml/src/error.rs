@@ -88,11 +88,84 @@ pub enum XmlError {
     },
 }
 
+/// Machine-readable classification of an [`XmlError`], independent of the
+/// per-variant payload. The CLI maps these onto exit codes (I/O vs. syntax
+/// class) and the fault-injection harness groups by them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XmlErrorKind {
+    /// The underlying byte source failed.
+    Io,
+    /// A construct was syntactically malformed.
+    Syntax,
+    /// A close tag did not match the innermost open tag.
+    MismatchedTag,
+    /// The input ended prematurely.
+    UnexpectedEof,
+    /// Content after the root element.
+    TrailingContent,
+    /// No root element at all.
+    EmptyDocument,
+    /// An undecodable entity reference.
+    BadEntity,
+}
+
+impl XmlErrorKind {
+    /// Stable kebab-case name (used in JSON output and error tables).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            XmlErrorKind::Io => "io",
+            XmlErrorKind::Syntax => "syntax",
+            XmlErrorKind::MismatchedTag => "mismatched-tag",
+            XmlErrorKind::UnexpectedEof => "unexpected-eof",
+            XmlErrorKind::TrailingContent => "trailing-content",
+            XmlErrorKind::EmptyDocument => "empty-document",
+            XmlErrorKind::BadEntity => "bad-entity",
+        }
+    }
+
+    /// Is this a well-formedness (syntax-class) fault, as opposed to a
+    /// transport failure?
+    pub fn is_syntax_class(&self) -> bool {
+        !matches!(self, XmlErrorKind::Io)
+    }
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 impl XmlError {
     pub(crate) fn syntax(message: impl Into<String>, position: Position) -> Self {
         XmlError::Syntax {
             message: message.into(),
             position,
+        }
+    }
+
+    /// The machine-readable classification of this error.
+    pub fn kind(&self) -> XmlErrorKind {
+        match self {
+            XmlError::Io(_) => XmlErrorKind::Io,
+            XmlError::Syntax { .. } => XmlErrorKind::Syntax,
+            XmlError::MismatchedTag { .. } => XmlErrorKind::MismatchedTag,
+            XmlError::UnexpectedEof { .. } => XmlErrorKind::UnexpectedEof,
+            XmlError::TrailingContent { .. } => XmlErrorKind::TrailingContent,
+            XmlError::EmptyDocument => XmlErrorKind::EmptyDocument,
+            XmlError::BadEntity { .. } => XmlErrorKind::BadEntity,
+        }
+    }
+
+    /// The position the error was detected at, when one is attached.
+    pub fn position(&self) -> Option<Position> {
+        match self {
+            XmlError::Io(_) | XmlError::EmptyDocument => None,
+            XmlError::Syntax { position, .. }
+            | XmlError::MismatchedTag { position, .. }
+            | XmlError::UnexpectedEof { position, .. }
+            | XmlError::TrailingContent { position }
+            | XmlError::BadEntity { position, .. } => Some(*position),
         }
     }
 }
@@ -176,6 +249,51 @@ mod tests {
         };
         assert!(e.to_string().contains("</a>"));
         assert!(e.to_string().contains("</b>"));
+    }
+
+    #[test]
+    fn kinds_classify_every_variant() {
+        let p = Position::start();
+        let cases = [
+            (XmlError::Io("x".into()), XmlErrorKind::Io),
+            (XmlError::syntax("m", p), XmlErrorKind::Syntax),
+            (
+                XmlError::MismatchedTag {
+                    expected: "a".into(),
+                    found: "b".into(),
+                    position: p,
+                },
+                XmlErrorKind::MismatchedTag,
+            ),
+            (
+                XmlError::UnexpectedEof {
+                    open_element: None,
+                    position: p,
+                },
+                XmlErrorKind::UnexpectedEof,
+            ),
+            (
+                XmlError::TrailingContent { position: p },
+                XmlErrorKind::TrailingContent,
+            ),
+            (XmlError::EmptyDocument, XmlErrorKind::EmptyDocument),
+            (
+                XmlError::BadEntity {
+                    entity: "&x;".into(),
+                    position: p,
+                },
+                XmlErrorKind::BadEntity,
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind, "for {err}");
+            assert_eq!(kind.is_syntax_class(), kind != XmlErrorKind::Io);
+            if matches!(err, XmlError::Io(_) | XmlError::EmptyDocument) {
+                assert!(err.position().is_none());
+            } else {
+                assert_eq!(err.position(), Some(p));
+            }
+        }
     }
 
     #[test]

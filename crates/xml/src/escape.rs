@@ -79,6 +79,46 @@ pub fn unescape(raw: &str) -> Option<Cow<'_, str>> {
     Some(Cow::Owned(out))
 }
 
+/// Decode entity references *lossily*: every unknown, malformed or
+/// unterminated entity is replaced by U+FFFD (the Unicode replacement
+/// character) and the rest of the data is preserved. Returns the decoded
+/// text plus the number of replacements made (0 means [`unescape`] would
+/// have succeeded identically).
+///
+/// Used by the reader's repair policies (see [`crate::recover`]): text is
+/// never worth aborting a stream over, because the query language is purely
+/// structural.
+pub fn unescape_lossy(raw: &str) -> (String, usize) {
+    let mut out = String::with_capacity(raw.len());
+    let mut replaced = 0usize;
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        // An entity reference ends at the first `;`; a `&` or `<` before it
+        // (or no `;` at all) means the reference is unterminated.
+        let semi = match tail[1..].find([';', '&', '<']) {
+            Some(i) if tail.as_bytes()[1 + i] == b';' => 1 + i,
+            _ => {
+                out.push('\u{FFFD}');
+                replaced += 1;
+                rest = &tail[1..];
+                continue;
+            }
+        };
+        match unescape(&tail[..semi + 1]) {
+            Some(decoded) => out.push_str(&decoded),
+            None => {
+                out.push('\u{FFFD}');
+                replaced += 1;
+            }
+        }
+        rest = &tail[semi + 1..];
+    }
+    out.push_str(rest);
+    (out, replaced)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +167,34 @@ mod tests {
         assert!(unescape("& unterminated").is_none());
         // Surrogate code point is not a char.
         assert!(unescape("&#xD800;").is_none());
+    }
+
+    #[test]
+    fn unescape_lossy_replaces_and_counts() {
+        assert_eq!(unescape_lossy("a &lt; b"), ("a < b".to_string(), 0));
+        assert_eq!(unescape_lossy("x&nope;y"), ("x\u{FFFD}y".to_string(), 1));
+        assert_eq!(
+            unescape_lossy("&bad;&#xZZ;&amp;"),
+            ("\u{FFFD}\u{FFFD}&".to_string(), 2)
+        );
+        // Unterminated reference: the `&` itself is replaced, the tail kept.
+        assert_eq!(
+            unescape_lossy("5 & 6 are &lt; 7"),
+            ("5 \u{FFFD} 6 are < 7".to_string(), 1)
+        );
+        assert_eq!(unescape_lossy("&"), ("\u{FFFD}".to_string(), 1));
+        assert_eq!(unescape_lossy("&;"), ("\u{FFFD}".to_string(), 1));
+        // A `&` running into the next `&` only eats itself.
+        assert_eq!(unescape_lossy("&&amp;"), ("\u{FFFD}&".to_string(), 1));
+    }
+
+    #[test]
+    fn unescape_lossy_agrees_with_unescape_on_clean_input() {
+        for s in ["", "plain", "&lt;&gt;&amp;&apos;&quot;", "&#65;&#x42;"] {
+            let (lossy, n) = unescape_lossy(s);
+            assert_eq!(n, 0, "on {s:?}");
+            assert_eq!(lossy, unescape(s).unwrap(), "on {s:?}");
+        }
     }
 
     #[test]

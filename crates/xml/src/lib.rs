@@ -39,19 +39,25 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Input-handling code must never panic on malformed bytes: unwrap/expect in
+// non-test code is a lint error (the fault-injection sweep in tests/recovery.rs
+// enforces the same property dynamically).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod error;
 pub mod escape;
 pub mod event;
 pub mod namespaces;
 pub mod reader;
+pub mod recover;
 pub mod stats;
 pub mod tree;
 pub mod writer;
 
-pub use error::{Position, XmlError};
+pub use error::{Position, XmlError, XmlErrorKind};
 pub use event::{Attribute, XmlEvent};
 pub use reader::Reader;
+pub use recover::{Fault, FaultAction, FaultKind, RecoveryPolicy};
 pub use stats::StreamStats;
 pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
 pub use writer::{WriteOptions, Writer};

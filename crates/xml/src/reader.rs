@@ -11,8 +11,10 @@
 //! quoted, and entities must be decodable.
 
 use crate::error::{Position, Result, XmlError};
-use crate::escape::unescape;
+use crate::escape::{unescape, unescape_lossy};
 use crate::event::{Attribute, XmlEvent};
+use crate::recover::{Fault, FaultAction, FaultKind, RecoveryPolicy};
+use std::collections::VecDeque;
 use std::io::Read;
 
 const BUF_SIZE: usize = 8 * 1024;
@@ -125,15 +127,33 @@ pub struct Reader<R: Read> {
     state: State,
     /// Open-element stack (names), bounded by the document depth.
     stack: Vec<String>,
+    /// Emitted-event index at which each open element's start event was
+    /// delivered (parallel to `stack`); used to compute damage intervals.
+    open_ticks: Vec<u64>,
     /// An event parsed but not yet delivered (used for `<a/>`).
     pending: Option<XmlEvent>,
+    /// Synthesized events awaiting delivery (recovery repairs can produce
+    /// several events at once, e.g. a cascade of auto-closes).
+    queue: VecDeque<XmlEvent>,
     /// Accept a sequence of documents back to back (see
     /// [`Reader::multi_document`]).
     multi: bool,
     /// A `<` was already consumed while detecting a document boundary in
     /// multi-document mode; the prolog continues right after it.
     lt_consumed: bool,
+    /// How to respond to malformed input (see [`crate::recover`]).
+    policy: RecoveryPolicy,
+    /// Faults repaired or contained so far (empty under `Strict`).
+    faults: Vec<Fault>,
+    /// Number of events delivered so far; the index of the *next* event.
+    emitted: u64,
+    /// Emitted-event index of the current document's root start element.
+    root_open_tick: u64,
 }
+
+/// Recording stops (with one final catch-all fault) after this many faults,
+/// so a pathological stream cannot exhaust memory via the fault log.
+const FAULT_CAP: usize = 4096;
 
 impl Reader<&'static [u8]> {
     /// Parse from a string slice. (Not the `FromStr` trait: the returned
@@ -156,10 +176,28 @@ impl<R: Read> Reader<R> {
             bytes: Bytes::new(input),
             state: State::Fresh,
             stack: Vec::new(),
+            open_ticks: Vec::new(),
             pending: None,
+            queue: VecDeque::new(),
             multi: false,
             lt_consumed: false,
+            policy: RecoveryPolicy::Strict,
+            faults: Vec::new(),
+            emitted: 0,
+            root_open_tick: 0,
         }
+    }
+
+    /// Set the recovery policy (default: [`RecoveryPolicy::Strict`]).
+    ///
+    /// Under `Repair` or `SkipSubtree` the reader fixes or contains input
+    /// faults instead of failing, records each one (see [`Reader::faults`])
+    /// and always delivers a balanced event stream ending in `EndDocument`.
+    /// Only unrecoverable conditions (an I/O failure before any document
+    /// content in strict mode, for instance) still surface as errors.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Accept a *sequence* of documents on one byte stream (back to back or
@@ -183,38 +221,389 @@ impl<R: Read> Reader<R> {
         self.stack.len()
     }
 
+    /// The recovery policy this reader runs under.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Faults repaired or contained so far (always empty under
+    /// [`RecoveryPolicy::Strict`]).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Take ownership of the recorded faults, leaving the log empty.
+    pub fn take_faults(&mut self) -> Vec<Fault> {
+        std::mem::take(&mut self.faults)
+    }
+
+    /// Did the input end prematurely (EOF or I/O failure while elements
+    /// were still open) and get repaired by synthesizing closes?
+    pub fn truncated(&self) -> bool {
+        self.faults.iter().any(|f| f.kind == FaultKind::Truncated)
+    }
+
+    /// Number of events delivered so far (the next event's index / tick).
+    pub fn events_emitted(&self) -> u64 {
+        self.emitted
+    }
+
     /// Pull the next event. `Ok(None)` means the stream finished cleanly
     /// (after `EndDocument` was delivered).
     pub fn next_event(&mut self) -> Result<Option<XmlEvent>> {
-        if let Some(e) = self.pending.take() {
-            return Ok(Some(e));
+        match self.next_event_impl() {
+            Ok(Some(e)) => {
+                self.emitted += 1;
+                Ok(Some(e))
+            }
+            other => other,
         }
+    }
+
+    fn next_event_impl(&mut self) -> Result<Option<XmlEvent>> {
         loop {
-            match self.state {
+            if let Some(e) = self.queue.pop_front() {
+                return Ok(Some(e));
+            }
+            if let Some(e) = self.pending.take() {
+                return Ok(Some(e));
+            }
+            let step: Result<Option<XmlEvent>> = match self.state {
                 State::Fresh => {
                     self.state = State::Prolog;
                     return Ok(Some(XmlEvent::StartDocument));
                 }
-                State::Prolog => {
-                    if let Some(e) = self.prolog_event()? {
-                        return Ok(Some(e));
+                State::Prolog => self.prolog_event(),
+                State::Content => self.content_event(),
+                State::Epilog => match self.epilog_event() {
+                    Ok(Some(e)) => Ok(Some(e)),
+                    Ok(None) => {
+                        if self.state == State::Done || self.state == State::Boundary {
+                            return Ok(Some(XmlEvent::EndDocument));
+                        }
+                        Ok(None)
                     }
-                    // prolog_event advanced the state; loop.
-                }
-                State::Content => return self.content_event().map(Some),
-                State::Epilog => {
-                    if let Some(e) = self.epilog_event()? {
-                        return Ok(Some(e));
-                    }
-                    if self.state == State::Done || self.state == State::Boundary {
-                        return Ok(Some(XmlEvent::EndDocument));
-                    }
-                }
+                    Err(e) => Err(e),
+                },
                 State::Boundary => {
                     self.state = State::Fresh;
+                    continue;
                 }
                 State::Done => return Ok(None),
+            };
+            match step {
+                Ok(Some(e)) => return Ok(Some(e)),
+                Ok(None) => {}
+                Err(e) => {
+                    if self.policy == RecoveryPolicy::Strict {
+                        return Err(e);
+                    }
+                    self.recover(e)?;
+                }
             }
+        }
+    }
+
+    // ----- recovery machinery (never reached under `Strict`) -----
+
+    fn record_fault(
+        &mut self,
+        kind: FaultKind,
+        position: Position,
+        action: FaultAction,
+        detail: String,
+        event_from: u64,
+        event_to: u64,
+    ) {
+        if self.faults.len() == FAULT_CAP {
+            // One final catch-all entry: everything from here on is treated
+            // as damaged, so the quarantine stays sound without an
+            // unbounded log.
+            self.faults.push(Fault {
+                kind: FaultKind::Garbage,
+                position,
+                action: FaultAction::Dropped,
+                detail: format!("fault log capped at {FAULT_CAP}; rest of stream quarantined"),
+                event_from: self.emitted,
+                event_to: u64::MAX,
+            });
+        }
+        if self.faults.len() > FAULT_CAP {
+            return;
+        }
+        self.faults.push(Fault {
+            kind,
+            position,
+            action,
+            detail,
+            event_from,
+            event_to,
+        });
+    }
+
+    /// Central fault dispatcher: repair or contain `err`, queueing any
+    /// synthesized events. Errors returned from here are terminal.
+    fn recover(&mut self, err: XmlError) -> Result<()> {
+        let position = err.position().unwrap_or(self.bytes.position);
+        match err {
+            XmlError::UnexpectedEof { .. } => {
+                self.truncate(position, "unexpected end of input");
+                Ok(())
+            }
+            XmlError::Io(msg) => {
+                // A failing transport is indistinguishable from truncation
+                // for the consumer: salvage what was already determined.
+                self.truncate(position, &format!("I/O failure ({msg})"));
+                Ok(())
+            }
+            XmlError::EmptyDocument => {
+                // Recovery-mode reading of an empty/whitespace prefix: treat
+                // as a truncated document so the stream still closes.
+                self.record_fault(
+                    FaultKind::Truncated,
+                    position,
+                    FaultAction::SynthesizedCloses,
+                    "no root element before end of input".to_string(),
+                    self.emitted,
+                    u64::MAX,
+                );
+                self.queue.push_back(XmlEvent::EndDocument);
+                self.state = State::Done;
+                Ok(())
+            }
+            XmlError::TrailingContent { .. } => {
+                self.drop_trailing(position);
+                Ok(())
+            }
+            XmlError::Syntax { message, .. } => match self.state {
+                State::Content
+                    if self.policy == RecoveryPolicy::SkipSubtree && !self.stack.is_empty() =>
+                {
+                    self.skip_enclosing_subtree(position, &message)
+                }
+                State::Content | State::Prolog => {
+                    self.resync_garbage(position, &message);
+                    Ok(())
+                }
+                State::Epilog => {
+                    self.drop_trailing(position);
+                    Ok(())
+                }
+                // Fresh/Boundary/Done never produce syntax errors.
+                _ => Err(XmlError::Syntax { message, position }),
+            },
+            // Mismatched closes and bad entities are repaired inline before
+            // they become errors; reaching here is impossible in recovery
+            // mode, but stay conservative.
+            other => Err(other),
+        }
+    }
+
+    /// End-of-input (or transport failure) with elements still open:
+    /// synthesize closes for the whole stack plus `EndDocument`.
+    fn truncate(&mut self, position: Position, why: &str) {
+        let open = self.stack.len();
+        self.record_fault(
+            FaultKind::Truncated,
+            position,
+            FaultAction::SynthesizedCloses,
+            format!("{why}: synthesized {open} close(s) for open elements"),
+            self.emitted,
+            u64::MAX,
+        );
+        while let Some(name) = self.stack.pop() {
+            self.open_ticks.pop();
+            self.queue.push_back(XmlEvent::EndElement { name });
+        }
+        self.queue.push_back(XmlEvent::EndDocument);
+        self.pending = None;
+        self.state = State::Done;
+    }
+
+    /// Discard input bytes up to the next `<` (or EOF) and continue parsing
+    /// in place. Guaranteed to make progress.
+    fn resync_garbage(&mut self, position: Position, what: &str) {
+        self.record_fault(
+            FaultKind::Garbage,
+            position,
+            FaultAction::Dropped,
+            format!("{what}; skipped to next `<`"),
+            self.emitted,
+            self.emitted,
+        );
+        let start = self.bytes.position.offset;
+        loop {
+            match self.bytes.peek() {
+                // Stop at the next `<` — unless it is the very byte the
+                // fault was raised at (consume it to guarantee progress).
+                Ok(Some(b'<')) if self.bytes.position.offset > start => break,
+                Ok(Some(_)) => {
+                    let _ = self.bytes.next();
+                }
+                Ok(None) | Err(_) => break, // EOF/IO surfaces on the next parse step
+            }
+        }
+    }
+
+    /// `SkipSubtree`: close the smallest enclosing element early, then skim
+    /// the raw bytes (quote/comment/CDATA-aware) until its real close tag,
+    /// so sibling subtrees stay evaluable.
+    fn skip_enclosing_subtree(&mut self, position: Position, what: &str) -> Result<()> {
+        let Some(name) = self.stack.pop() else {
+            self.resync_garbage(position, what);
+            return Ok(());
+        };
+        let open_tick = self.open_ticks.pop().unwrap_or(0);
+        self.record_fault(
+            FaultKind::Garbage,
+            position,
+            FaultAction::SkippedSubtree,
+            format!("{what}; skipped the rest of <{name}>"),
+            open_tick,
+            self.emitted,
+        );
+        self.queue.push_back(XmlEvent::EndElement { name });
+        if self.stack.is_empty() {
+            self.state = State::Epilog;
+        }
+        if let Err(e) = self.skim_until_close() {
+            // Transport failure while skimming: the stream is truncated.
+            // The skipped element's close is already queued.
+            self.truncate(self.bytes.position, &format!("I/O failure ({e})"));
+        }
+        Ok(())
+    }
+
+    /// Byte-level tolerant scan consuming the remainder of one open element
+    /// (depth 1 at entry) without emitting events. Understands quoted
+    /// attribute values, comments, CDATA sections and processing
+    /// instructions well enough not to miscount `<`/`>`.
+    fn skim_until_close(&mut self) -> std::result::Result<(), std::io::Error> {
+        let mut depth = 1usize;
+        let fail = |e: XmlError| std::io::Error::other(e.to_string());
+        loop {
+            // Find the next markup start.
+            loop {
+                match self.bytes.next().map_err(fail)? {
+                    None => return Ok(()), // EOF: outer loop ends the stream
+                    Some(b'<') => break,
+                    Some(_) => {}
+                }
+            }
+            match self.bytes.peek().map_err(fail)? {
+                None => return Ok(()),
+                Some(b'/') => {
+                    loop {
+                        match self.bytes.next().map_err(fail)? {
+                            None => return Ok(()),
+                            Some(b'>') => break,
+                            Some(_) => {}
+                        }
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(b'!') => {
+                    self.bytes.next().map_err(fail)?;
+                    match self.bytes.peek().map_err(fail)? {
+                        Some(b'-') => self.skim_until(b"-->").map_err(fail)?,
+                        Some(b'[') => self.skim_until(b"]]>").map_err(fail)?,
+                        _ => self.skim_until(b">").map_err(fail)?,
+                    }
+                }
+                Some(b'?') => {
+                    self.bytes.next().map_err(fail)?;
+                    self.skim_until(b"?>").map_err(fail)?;
+                }
+                Some(_) => {
+                    // Open tag: scan to its `>`, honouring quotes; a
+                    // trailing `/` means self-closing (depth unchanged).
+                    let mut quote: Option<u8> = None;
+                    let mut prev = 0u8;
+                    loop {
+                        match self.bytes.next().map_err(fail)? {
+                            None => return Ok(()),
+                            Some(b) => {
+                                match quote {
+                                    Some(q) if b == q => quote = None,
+                                    Some(_) => {}
+                                    None if b == b'"' || b == b'\'' => quote = Some(b),
+                                    None if b == b'>' => {
+                                        if prev != b'/' {
+                                            depth += 1;
+                                        }
+                                        break;
+                                    }
+                                    None => {}
+                                }
+                                prev = b;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume bytes until (and including) the terminator sequence or EOF.
+    ///
+    /// The terminators used here (`-->`, `]]>`, `?>`, `>`) all have prefixes
+    /// consisting of one repeated character, so the overlap handling below
+    /// (stay at full prefix length on a repeat, e.g. `--->`) is exact.
+    fn skim_until(&mut self, terminator: &[u8]) -> Result<()> {
+        let mut matched = 0usize;
+        loop {
+            match self.bytes.next()? {
+                None => return Ok(()),
+                Some(b) => {
+                    if b == terminator[matched] {
+                        matched += 1;
+                        if matched == terminator.len() {
+                            return Ok(());
+                        }
+                    } else if matched > 0 && b == terminator[0] && terminator[matched - 1] == b {
+                        // e.g. scanning for `-->` over `--->`: stay matched.
+                    } else if b == terminator[0] {
+                        matched = 1;
+                    } else {
+                        matched = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Content after the root element: report it, then (single-document
+    /// mode) discard the rest of the input, or (multi-document mode) resync
+    /// to the next `<` so later documents survive.
+    fn drop_trailing(&mut self, position: Position) {
+        self.record_fault(
+            FaultKind::TrailingContent,
+            position,
+            FaultAction::Dropped,
+            "dropped content after the root element".to_string(),
+            // The root element's fragment is suspect: a damaged close may
+            // have ended it early (see DESIGN.md §10).
+            self.root_open_tick,
+            self.emitted,
+        );
+        if self.multi {
+            let start = self.bytes.position.offset;
+            loop {
+                match self.bytes.peek() {
+                    Ok(Some(b'<')) if self.bytes.position.offset > start => break,
+                    Ok(Some(_)) => {
+                        let _ = self.bytes.next();
+                    }
+                    _ => break,
+                }
+            }
+        } else {
+            while let Ok(Some(_)) = self.bytes.next() {}
+            self.queue.push_back(XmlEvent::EndDocument);
+            self.state = State::Done;
         }
     }
 
@@ -262,6 +651,7 @@ impl<R: Read> Reader<R> {
                         self.bytes.position,
                     )),
                     _ => {
+                        self.root_open_tick = self.emitted;
                         let ev = self.parse_open_tag()?;
                         // A self-closing root (`<a/>`) leaves the stack empty:
                         // go straight to the epilog once the pending
@@ -282,7 +672,10 @@ impl<R: Read> Reader<R> {
         }
     }
 
-    fn content_event(&mut self) -> Result<XmlEvent> {
+    /// Handle one content construct. `Ok(None)` means the construct was
+    /// consumed without producing an event directly (a repaired close tag
+    /// queues its events instead).
+    fn content_event(&mut self) -> Result<Option<XmlEvent>> {
         // Text (possibly spanning CDATA sections) or markup.
         match self.bytes.peek()? {
             None => Err(XmlError::UnexpectedEof {
@@ -292,27 +685,23 @@ impl<R: Read> Reader<R> {
             Some(b'<') => self.markup_event(),
             Some(_) => {
                 let text = self.parse_text()?;
-                Ok(XmlEvent::Text(text))
+                Ok(Some(XmlEvent::Text(text)))
             }
         }
     }
 
     /// Parse a `<...>` construct in content context.
-    fn markup_event(&mut self) -> Result<XmlEvent> {
+    fn markup_event(&mut self) -> Result<Option<XmlEvent>> {
         self.bytes.next()?; // consume '<'
         match self.bytes.peek()? {
             Some(b'/') => {
                 self.bytes.next()?;
-                let ev = self.parse_close_tag()?;
-                if self.stack.is_empty() {
-                    self.state = State::Epilog;
-                }
-                Ok(ev)
+                self.parse_close_tag()
             }
             Some(b'?') => {
                 self.bytes.next()?;
                 match self.parse_pi()? {
-                    Some(ev) => Ok(ev),
+                    Some(ev) => Ok(Some(ev)),
                     // The XML declaration is only legal at the very start;
                     // treat it here as a syntax error.
                     None => Err(XmlError::syntax(
@@ -324,10 +713,10 @@ impl<R: Read> Reader<R> {
             Some(b'!') => {
                 self.bytes.next()?;
                 match self.bytes.peek()? {
-                    Some(b'-') => self.parse_comment(),
+                    Some(b'-') => self.parse_comment().map(Some),
                     Some(b'[') => {
                         let text = self.parse_cdata()?;
-                        Ok(XmlEvent::Text(text))
+                        Ok(Some(XmlEvent::Text(text)))
                     }
                     _ => Err(XmlError::syntax(
                         "unexpected `<!` construct in content",
@@ -335,7 +724,7 @@ impl<R: Read> Reader<R> {
                     )),
                 }
             }
-            _ => self.parse_open_tag(),
+            _ => self.parse_open_tag().map(Some),
         }
     }
 
@@ -409,11 +798,10 @@ impl<R: Read> Reader<R> {
             _ => return Err(XmlError::syntax("expected a name", start)),
         }
         while let Some(b) = self.bytes.peek()? {
-            if is_name_char(b) {
-                name.push(self.bytes.next()?.unwrap() as char);
-            } else if b >= 0x80 {
-                // Pass through UTF-8 continuation/start bytes.
-                name.push(self.bytes.next()?.unwrap() as char);
+            // `b >= 0x80` passes through UTF-8 continuation/start bytes.
+            if is_name_char(b) || b >= 0x80 {
+                self.bytes.next()?;
+                name.push(b as char);
             } else {
                 break;
             }
@@ -433,6 +821,9 @@ impl<R: Read> Reader<R> {
                 Some(b'>') => {
                     self.bytes.next()?;
                     self.stack.push(name.clone());
+                    // The start event is delivered right after this return,
+                    // so its tick is the current `emitted` index.
+                    self.open_ticks.push(self.emitted);
                     return Ok(XmlEvent::StartElement { name, attributes });
                 }
                 Some(b'/') => {
@@ -510,16 +901,39 @@ impl<R: Read> Reader<R> {
             }
         }
         let raw = fix_latin(raw);
+        self.decode_entities(raw, start)
+    }
+
+    /// Decode entity references in `raw`; under a repair policy undecodable
+    /// references become U+FFFD replacement text and are reported as a
+    /// [`FaultKind::BadEntity`] fault instead of an error.
+    fn decode_entities(&mut self, raw: String, start: Position) -> Result<String> {
         match unescape(&raw) {
             Some(v) => Ok(v.into_owned()),
-            None => Err(XmlError::BadEntity {
+            None if self.policy == RecoveryPolicy::Strict => Err(XmlError::BadEntity {
                 entity: raw,
                 position: start,
             }),
+            None => {
+                let (fixed, replaced) = unescape_lossy(&raw);
+                self.record_fault(
+                    FaultKind::BadEntity,
+                    start,
+                    FaultAction::Replaced,
+                    format!("replaced {replaced} undecodable entity reference(s)"),
+                    self.emitted,
+                    self.emitted,
+                );
+                Ok(fixed)
+            }
         }
     }
 
-    fn parse_close_tag(&mut self) -> Result<XmlEvent> {
+    /// Parse a close tag (`</` already consumed). Under a repair policy a
+    /// mismatched close auto-closes the intervening open elements (queueing
+    /// their end events) and a stray close is dropped; both return
+    /// `Ok(None)` with a recorded [`Fault`].
+    fn parse_close_tag(&mut self) -> Result<Option<XmlEvent>> {
         let pos = self.bytes.position;
         let name = self.parse_name()?;
         self.skip_whitespace()?;
@@ -530,13 +944,62 @@ impl<R: Read> Reader<R> {
                 self.bytes.position,
             ));
         }
-        match self.stack.pop() {
-            Some(open) if open == name => Ok(XmlEvent::EndElement { name }),
-            Some(open) => Err(XmlError::MismatchedTag {
-                expected: open,
+        match self.stack.last() {
+            Some(open) if *open == name => {
+                self.stack.pop();
+                self.open_ticks.pop();
+                if self.stack.is_empty() {
+                    self.state = State::Epilog;
+                }
+                Ok(Some(XmlEvent::EndElement { name }))
+            }
+            Some(open) if self.policy == RecoveryPolicy::Strict => Err(XmlError::MismatchedTag {
+                expected: open.clone(),
                 found: name,
                 position: pos,
             }),
+            Some(_) => {
+                if let Some(idx) = self.stack.iter().rposition(|n| *n == name) {
+                    // Mismatched close: auto-close everything above the
+                    // matching open, then close it. The damage interval
+                    // starts at the outermost auto-closed element's open:
+                    // every event since then may sit at the wrong depth.
+                    let auto = self.stack.len() - idx - 1;
+                    let damage_from = self.open_ticks.get(idx + 1).copied().unwrap_or(0);
+                    while self.stack.len() > idx {
+                        if let Some(top) = self.stack.pop() {
+                            self.open_ticks.pop();
+                            self.queue.push_back(XmlEvent::EndElement { name: top });
+                        }
+                    }
+                    self.record_fault(
+                        FaultKind::MismatchedClose,
+                        pos,
+                        FaultAction::AutoClosed,
+                        format!("auto-closed {auto} open element(s) at </{name}>"),
+                        damage_from,
+                        self.emitted + auto as u64,
+                    );
+                    if self.stack.is_empty() {
+                        self.state = State::Epilog;
+                    }
+                } else {
+                    // Stray close: no such element is open. Conservatively
+                    // taint everything since the innermost open element's
+                    // start (a duplicated close may have silently closed a
+                    // same-named ancestor earlier).
+                    let damage_from = self.open_ticks.last().copied().unwrap_or(0);
+                    self.record_fault(
+                        FaultKind::StrayClose,
+                        pos,
+                        FaultAction::Dropped,
+                        format!("dropped stray close tag </{name}>"),
+                        damage_from,
+                        self.emitted,
+                    );
+                }
+                Ok(None)
+            }
             None => Err(XmlError::syntax("close tag without open element", pos)),
         }
     }
@@ -546,20 +1009,24 @@ impl<R: Read> Reader<R> {
     fn parse_text(&mut self) -> Result<String> {
         let start = self.bytes.position;
         let mut raw = String::new();
-        while let Some(b) = self.bytes.peek()? {
+        loop {
+            let b = match self.bytes.peek() {
+                Ok(Some(b)) => b,
+                Ok(None) => break,
+                // Under a repair policy, salvage the text received so far;
+                // the transport failure is sticky and resurfaces (as a
+                // truncation) on the next pull.
+                Err(_) if self.policy != RecoveryPolicy::Strict && !raw.is_empty() => break,
+                Err(e) => return Err(e),
+            };
             if b == b'<' {
                 break;
             }
-            raw.push(self.bytes.next()?.unwrap() as char);
+            self.bytes.next()?;
+            raw.push(b as char);
         }
         let raw = fix_latin(raw);
-        match unescape(&raw) {
-            Some(v) => Ok(v.into_owned()),
-            None => Err(XmlError::BadEntity {
-                entity: raw,
-                position: start,
-            }),
-        }
+        self.decode_entities(raw, start)
     }
 
     /// Parse a comment; the leading `<!` is already consumed and `-` peeked.
@@ -742,6 +1209,7 @@ impl<R: Read> Iterator for Reader<R> {
             Err(e) => {
                 self.state = State::Done;
                 self.pending = None;
+                self.queue.clear();
                 Some(Err(e))
             }
         }
@@ -752,6 +1220,21 @@ impl<R: Read> Iterator for Reader<R> {
 /// and small documents; not for streaming use).
 pub fn parse_events(xml: &str) -> Result<Vec<XmlEvent>> {
     Reader::from_str(xml).collect()
+}
+
+/// Parse a complete string under a recovery policy, returning the repaired
+/// event stream and the faults that were fixed or contained along the way.
+/// Convenience for tests and small documents; not for streaming use.
+pub fn parse_events_recovering(
+    xml: &str,
+    policy: RecoveryPolicy,
+) -> Result<(Vec<XmlEvent>, Vec<Fault>)> {
+    let mut reader = Reader::from_str(xml).with_recovery(policy);
+    let mut events = Vec::new();
+    while let Some(ev) = reader.next_event()? {
+        events.push(ev);
+    }
+    Ok((events, reader.take_faults()))
 }
 
 #[cfg(test)]
@@ -993,6 +1476,248 @@ mod tests {
             }
         }
         assert!(saw_err);
+    }
+
+    fn repaired(xml: &str, policy: RecoveryPolicy) -> (Vec<String>, Vec<Fault>) {
+        let (events, faults) = parse_events_recovering(xml, policy)
+            .unwrap_or_else(|e| panic!("recovering parse of {xml:?}: {e}"));
+        (events.iter().map(|e| e.to_string()).collect(), faults)
+    }
+
+    #[test]
+    fn eof_inside_name_errors_cleanly() {
+        // Regression: the name/text scan loops used to unwrap() the byte
+        // after peeking; EOF mid-name must surface as a clean error.
+        for xml in ["<ab", "<ab cd", "<a><b></b", "<a>text"] {
+            assert!(
+                matches!(err(xml), XmlError::UnexpectedEof { .. }),
+                "on {xml:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_positions_point_at_end_of_input() {
+        for xml in ["<ab", "<a><b>", "<a attr"] {
+            match err(xml) {
+                XmlError::UnexpectedEof { position, .. } => {
+                    assert_eq!(position.offset, xml.len() as u64, "on {xml:?}")
+                }
+                other => panic!("expected EOF error for {xml:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strict_policy_is_the_default_and_unchanged() {
+        let r = Reader::from_str("<a/>");
+        assert_eq!(r.recovery_policy(), RecoveryPolicy::Strict);
+        let (rendered, faults) = repaired("<a><b>x</b></a>", RecoveryPolicy::Strict);
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<b>", "x", "</b>", "</a>", "</$>"]
+        );
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn repair_auto_closes_mismatched_tags() {
+        // `</b>` is missing: the close of `a` auto-closes `b`.
+        let (rendered, faults) = repaired("<a><b>x</a>", RecoveryPolicy::Repair);
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<b>", "x", "</b>", "</a>", "</$>"]
+        );
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::MismatchedClose);
+        assert_eq!(faults[0].action, FaultAction::AutoClosed);
+        // Damage covers <b>'s open (tick 2) through the synthesized closes.
+        assert_eq!(faults[0].event_from, 2);
+        assert_eq!(faults[0].event_to, 5);
+    }
+
+    #[test]
+    fn repair_drops_stray_closes() {
+        let (rendered, faults) = repaired("<a><b/></c></a>", RecoveryPolicy::Repair);
+        assert_eq!(rendered, vec!["<$>", "<a>", "<b>", "</b>", "</a>", "</$>"]);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::StrayClose);
+        assert_eq!(faults[0].action, FaultAction::Dropped);
+    }
+
+    #[test]
+    fn repair_replaces_bad_entities() {
+        let (rendered, faults) = repaired("<a>x &nope; y</a>", RecoveryPolicy::Repair);
+        assert_eq!(rendered, vec!["<$>", "<a>", "x \u{FFFD} y", "</a>", "</$>"]);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::BadEntity);
+        assert_eq!(faults[0].action, FaultAction::Replaced);
+    }
+
+    #[test]
+    fn repair_replaces_bad_entities_in_attributes() {
+        let (events, faults) =
+            parse_events_recovering("<a x='&bad;'/>", RecoveryPolicy::Repair).unwrap();
+        match &events[1] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "\u{FFFD}");
+            }
+            other => panic!("expected start element, got {other:?}"),
+        }
+        assert_eq!(faults[0].kind, FaultKind::BadEntity);
+    }
+
+    #[test]
+    fn repair_synthesizes_closes_on_truncation() {
+        let (rendered, faults) = repaired("<a><b><c>partial", RecoveryPolicy::Repair);
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<b>", "<c>", "partial", "</c>", "</b>", "</a>", "</$>"]
+        );
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Truncated);
+        assert_eq!(faults[0].action, FaultAction::SynthesizedCloses);
+        assert_eq!(faults[0].event_to, u64::MAX);
+    }
+
+    #[test]
+    fn repair_treats_io_failure_as_truncation() {
+        struct FailAfter(Vec<u8>, usize);
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Err(std::io::Error::other("connection reset"));
+                }
+                let n = buf.len().min(self.0.len() - self.1).min(3);
+                buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                Ok(n)
+            }
+        }
+        let mut r =
+            Reader::new(FailAfter(b"<a><b>hi".to_vec(), 0)).with_recovery(RecoveryPolicy::Repair);
+        let mut rendered = Vec::new();
+        while let Some(ev) = r.next_event().unwrap() {
+            rendered.push(ev.to_string());
+        }
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<b>", "hi", "</b>", "</a>", "</$>"]
+        );
+        assert!(r.truncated());
+    }
+
+    #[test]
+    fn repair_drops_trailing_content() {
+        let (rendered, faults) = repaired("<a/>junk<b/>", RecoveryPolicy::Repair);
+        assert_eq!(rendered, vec!["<$>", "<a>", "</a>", "</$>"]);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::TrailingContent);
+    }
+
+    #[test]
+    fn repair_resyncs_over_garbage_markup() {
+        let (rendered, faults) = repaired("<a><b/><%%%><c/></a>", RecoveryPolicy::Repair);
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<b>", "</b>", "<c>", "</c>", "</a>", "</$>"]
+        );
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Garbage);
+        assert_eq!(faults[0].action, FaultAction::Dropped);
+    }
+
+    #[test]
+    fn skip_subtree_discards_smallest_enclosing_element() {
+        // Garbage inside <bad>: the whole <bad> subtree is skipped, the
+        // sibling <c> survives.
+        let (rendered, faults) = repaired(
+            "<a><bad><x/><%%%><y/></bad><c/></a>",
+            RecoveryPolicy::SkipSubtree,
+        );
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<bad>", "<x>", "</x>", "</bad>", "<c>", "</c>", "</a>", "</$>"]
+        );
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Garbage);
+        assert_eq!(faults[0].action, FaultAction::SkippedSubtree);
+    }
+
+    #[test]
+    fn skip_subtree_skim_honours_quotes_comments_and_cdata() {
+        let xml = "<a><bad><%%%><x q=\"</bad>\"/><!-- </bad> --><![CDATA[</bad>]]></bad><c/></a>";
+        let (rendered, _) = repaired(xml, RecoveryPolicy::SkipSubtree);
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<bad>", "</bad>", "<c>", "</c>", "</a>", "</$>"]
+        );
+    }
+
+    #[test]
+    fn skip_subtree_at_root_ends_document() {
+        let (rendered, faults) = repaired("<a><%%%><x/></a>", RecoveryPolicy::SkipSubtree);
+        assert_eq!(rendered, vec!["<$>", "<a>", "</a>", "</$>"]);
+        assert_eq!(faults[0].action, FaultAction::SkippedSubtree);
+    }
+
+    #[test]
+    fn recovery_always_yields_balanced_streams() {
+        // Depth across the emitted stream never goes negative and ends at 0.
+        for xml in [
+            "<a><b>x</a>",
+            "<a><b/></c></a>",
+            "<a><b><c>partial",
+            "<a/>junk",
+            "<a><%%%></a>",
+            "<a><b></b>",
+            "",
+            "<",
+            "<a",
+            "<!DOCT",
+        ] {
+            for policy in [RecoveryPolicy::Repair, RecoveryPolicy::SkipSubtree] {
+                let (events, _) = parse_events_recovering(xml, policy)
+                    .unwrap_or_else(|e| panic!("on {xml:?}: {e}"));
+                let mut depth = 0i64;
+                for ev in &events {
+                    if ev.opens() {
+                        depth += 1;
+                    }
+                    if ev.closes() {
+                        depth -= 1;
+                        assert!(depth >= 0, "negative depth on {xml:?}: {events:?}");
+                    }
+                }
+                assert_eq!(depth, 0, "unbalanced stream on {xml:?}: {events:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_document_recovery_preserves_later_documents() {
+        let input = "<a><b>x</a>junk<c/>";
+        let mut r = Reader::from_bytes(input.as_bytes().to_vec())
+            .multi_document()
+            .with_recovery(RecoveryPolicy::Repair);
+        let mut rendered = Vec::new();
+        while let Some(ev) = r.next_event().unwrap() {
+            rendered.push(ev.to_string());
+        }
+        assert_eq!(
+            rendered,
+            vec!["<$>", "<a>", "<b>", "x", "</b>", "</a>", "</$>", "<$>", "<c>", "</c>", "</$>"]
+        );
+    }
+
+    #[test]
+    fn fault_positions_point_at_the_corruption_site() {
+        let xml = "<a><b>x</b></c></a>";
+        let (_, faults) = repaired(xml, RecoveryPolicy::Repair);
+        assert_eq!(faults.len(), 1);
+        // The stray `</c>` starts at byte 11; the recorded position is the
+        // name start (after `</`).
+        assert_eq!(faults[0].position.offset, 13);
     }
 
     #[test]

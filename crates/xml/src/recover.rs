@@ -1,0 +1,257 @@
+//! Recovery policies and structured fault reports.
+//!
+//! SPEX's setting (§I, §II of the paper) is evaluation over streams from
+//! producers the consumer does not control: a mismatched tag, an undecodable
+//! entity or a truncated connection must not abort the whole run. The
+//! [`crate::Reader`] can therefore run under a [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::Strict`] — today's behavior: the first fault is an
+//!   [`crate::XmlError`] and the stream ends.
+//! * [`RecoveryPolicy::Repair`] — locally-recoverable faults are fixed in
+//!   place (mismatched closes auto-close the intervening elements, stray
+//!   closes are dropped, undecodable entities become U+FFFD replacement text,
+//!   truncation synthesizes closes for everything still open) and every fix
+//!   is reported as a [`Fault`].
+//! * [`RecoveryPolicy::SkipSubtree`] — like `Repair`, but a fault `Repair`
+//!   cannot fix (arbitrary syntax garbage inside an element) discards the
+//!   smallest enclosing element: the reader synthesizes its close, then
+//!   resynchronizes at the element's real close tag, keeping sibling
+//!   subtrees evaluable.
+//!
+//! Each [`Fault`] carries a *damage interval* `[event_from, event_to]` in
+//! emitted-event indices (engine ticks). The interval is a conservative
+//! over-approximation of the events whose tree position may differ from the
+//! clean stream; the engine's quarantine pass
+//! (`spex-core`'s `evaluate_recovering`) withholds any result fragment whose
+//! lifetime overlaps a damage interval, which is what makes the recovered
+//! result set a *subset* of the clean-stream oracle set.
+
+use crate::error::Position;
+use std::fmt;
+
+/// How the [`crate::Reader`] responds to malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Fail on the first fault (the historical behavior).
+    #[default]
+    Strict,
+    /// Fix locally-recoverable faults in place and report them.
+    Repair,
+    /// Like `Repair`, but skip the smallest enclosing element around faults
+    /// that cannot be fixed in place.
+    SkipSubtree,
+}
+
+impl RecoveryPolicy {
+    /// Stable lowercase name (used by the CLI and in JSON output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Strict => "strict",
+            RecoveryPolicy::Repair => "repair",
+            RecoveryPolicy::SkipSubtree => "skip-subtree",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "strict" => Ok(RecoveryPolicy::Strict),
+            "repair" => Ok(RecoveryPolicy::Repair),
+            "skip-subtree" | "skip" => Ok(RecoveryPolicy::SkipSubtree),
+            other => Err(format!(
+                "unknown recovery policy `{other}` (expected strict, repair or skip-subtree)"
+            )),
+        }
+    }
+}
+
+/// The class of a fault found in the input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A close tag named an element that is not the innermost open one.
+    MismatchedClose,
+    /// A close tag named an element that is not open at all.
+    StrayClose,
+    /// An entity reference (or character reference) could not be decoded.
+    BadEntity,
+    /// Arbitrary syntax garbage (malformed tag, comment, CDATA, PI, …).
+    Garbage,
+    /// Content after the root element closed.
+    TrailingContent,
+    /// The input ended (EOF or I/O failure) while elements were open.
+    Truncated,
+}
+
+impl FaultKind {
+    /// Stable kebab-case name (used in JSON output and reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::MismatchedClose => "mismatched-close",
+            FaultKind::StrayClose => "stray-close",
+            FaultKind::BadEntity => "bad-entity",
+            FaultKind::Garbage => "garbage",
+            FaultKind::TrailingContent => "trailing-content",
+            FaultKind::Truncated => "truncated",
+        }
+    }
+
+    /// All kinds, for tabulation.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::MismatchedClose,
+        FaultKind::StrayClose,
+        FaultKind::BadEntity,
+        FaultKind::Garbage,
+        FaultKind::TrailingContent,
+        FaultKind::Truncated,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What the reader did about a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Close events were synthesized for elements left open (mismatched
+    /// close repair).
+    AutoClosed,
+    /// The offending construct was discarded (stray close, trailing
+    /// content, garbage resynchronization).
+    Dropped,
+    /// Undecodable entities were replaced with U+FFFD replacement text.
+    Replaced,
+    /// The smallest enclosing element was closed early and its remaining
+    /// content skipped.
+    SkippedSubtree,
+    /// Close events were synthesized for the whole open-element stack at
+    /// end of input.
+    SynthesizedCloses,
+}
+
+impl FaultAction {
+    /// Stable kebab-case name (used in JSON output and reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultAction::AutoClosed => "auto-closed",
+            FaultAction::Dropped => "dropped",
+            FaultAction::Replaced => "replaced",
+            FaultAction::SkippedSubtree => "skipped-subtree",
+            FaultAction::SynthesizedCloses => "synthesized-closes",
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One repaired (or contained) input fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Byte/line/column where the fault was detected.
+    pub position: Position,
+    /// What the reader did about it.
+    pub action: FaultAction,
+    /// Human-readable detail (element names, counts, …).
+    pub detail: String,
+    /// First emitted-event index (engine tick) whose tree position may be
+    /// affected by this fault.
+    pub event_from: u64,
+    /// Last affected emitted-event index; `u64::MAX` means "to the end of
+    /// the stream" (truncation).
+    pub event_to: u64,
+}
+
+impl Fault {
+    /// Does the half-open candidate lifetime `[start, end]` overlap this
+    /// fault's damage interval?
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        start <= self.event_to && self.event_from <= end
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} ({}): {}",
+            self.kind, self.position, self.action, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_round_trips_through_str() {
+        for p in [
+            RecoveryPolicy::Strict,
+            RecoveryPolicy::Repair,
+            RecoveryPolicy::SkipSubtree,
+        ] {
+            assert_eq!(p.as_str().parse::<RecoveryPolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "skip".parse::<RecoveryPolicy>().unwrap(),
+            RecoveryPolicy::SkipSubtree
+        );
+        assert!("bogus".parse::<RecoveryPolicy>().is_err());
+    }
+
+    #[test]
+    fn damage_interval_overlap() {
+        let f = Fault {
+            kind: FaultKind::MismatchedClose,
+            position: Position::start(),
+            action: FaultAction::AutoClosed,
+            detail: String::new(),
+            event_from: 5,
+            event_to: 9,
+        };
+        assert!(f.overlaps(9, 20));
+        assert!(f.overlaps(0, 5));
+        assert!(f.overlaps(6, 7));
+        assert!(!f.overlaps(0, 4));
+        assert!(!f.overlaps(10, 20));
+    }
+
+    #[test]
+    fn truncation_interval_reaches_end_of_stream() {
+        let f = Fault {
+            kind: FaultKind::Truncated,
+            position: Position::start(),
+            action: FaultAction::SynthesizedCloses,
+            detail: String::new(),
+            event_from: 42,
+            event_to: u64::MAX,
+        };
+        assert!(f.overlaps(100, 100));
+        assert!(!f.overlaps(0, 41));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        for k in FaultKind::ALL {
+            assert!(!k.as_str().is_empty());
+            assert_eq!(k.as_str(), k.to_string());
+        }
+    }
+}
