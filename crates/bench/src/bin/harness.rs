@@ -13,6 +13,9 @@
 //! harness transducers        §V per-transducer bounds, measured (messages, stacks)
 //! harness fault-sweep [R [C]]  robustness: R seeds × 6 mutators × 2 recovery
 //!                            policies over C-country Mondial (soundness check)
+//! harness bench [--json]     zero-copy pipeline: throughput, peak arena bytes,
+//!                            allocations/event (owned vs zero-copy); --json
+//!                            writes BENCH_3.json and guards >10% regressions
 //! harness all                everything above
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
@@ -22,14 +25,50 @@
 //! factor.
 
 use spex_bench::{
-    dmoz_scale, mondial_events, peak_rss_kb, run_query, run_spex_streaming, stream_bytes,
-    wordnet_events, Processor, RunResult,
+    dmoz_scale, mondial_events, peak_rss_kb, run_query, run_spex_owned, run_spex_streaming,
+    run_spex_zero_copy, stream_bytes, wordnet_events, Processor, RunResult,
 };
 use spex_core::CompiledNetwork;
 use spex_query::{QueryMetrics, Rpeq};
 use spex_workloads::{dmoz_content, dmoz_structure, queries_for, Dataset, QuoteStream};
-use spex_xml::XmlEvent;
+use spex_xml::{EventStore, XmlEvent};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counting allocator: wraps the system allocator and counts every
+/// allocation and reallocation, so `harness bench` can report heap
+/// allocations per event for the owned and zero-copy pipelines. The bench
+/// *library* forbids unsafe code; the instrumentation lives here in the
+/// binary, behind the narrowest possible surface.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter update has
+// no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +83,7 @@ fn main() {
         "multiquery" => multiquery(),
         "transducers" => transducers(),
         "fault-sweep" => fault_sweep_cmd(&args[1..]),
+        "bench" => bench_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -55,6 +95,7 @@ fn main() {
             multiquery();
             transducers();
             fault_sweep_cmd(&[]);
+            bench_cmd(&[]);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -384,6 +425,332 @@ fn fault_sweep_cmd(args: &[String]) {
         std::process::exit(1);
     }
     println!("soundness: every mutant's results are a subset of the clean oracle");
+}
+
+/// Per-workload allocation profile of the *event pipeline alone* (parse →
+/// event representation, no network attached): owned `XmlEvent`s vs the
+/// arena path. This isolates what the zero-copy refactor changed — both
+/// end-to-end paths share the same transducer network, so the representation
+/// difference is invisible in whole-run counts.
+struct PipelineRow {
+    workload: &'static str,
+    events: usize,
+    owned_allocs: u64,
+    zero_copy_allocs: u64,
+}
+
+impl PipelineRow {
+    fn owned_per_event(&self) -> f64 {
+        self.owned_allocs as f64 / self.events.max(1) as f64
+    }
+
+    fn zero_copy_per_event(&self) -> f64 {
+        self.zero_copy_allocs as f64 / self.events.max(1) as f64
+    }
+}
+
+/// One measured (workload, query) cell of the `bench` table.
+struct BenchRow {
+    workload: &'static str,
+    class: u8,
+    query: &'static str,
+    events: usize,
+    mb: f64,
+    results: usize,
+    zc_secs: f64,
+    zc_allocs: u64,
+    peak_arena_bytes: usize,
+    interned_symbols: usize,
+    ow_secs: f64,
+    ow_allocs: u64,
+}
+
+impl BenchRow {
+    fn zc_allocs_per_event(&self) -> f64 {
+        self.zc_allocs as f64 / self.events.max(1) as f64
+    }
+
+    fn ow_allocs_per_event(&self) -> f64 {
+        self.ow_allocs as f64 / self.events.max(1) as f64
+    }
+
+    fn events_per_s(&self) -> f64 {
+        self.events as f64 / self.zc_secs.max(1e-9)
+    }
+
+    fn mb_per_s(&self) -> f64 {
+        self.mb / self.zc_secs.max(1e-9)
+    }
+}
+
+/// The `bench` subcommand: throughput and allocation profile of the
+/// zero-copy event pipeline, per workload × query class. With `--json`,
+/// writes `BENCH_3.json` (repo root by default, `--out PATH` overrides) and
+/// exits non-zero if throughput regressed by more than 10% against an
+/// existing `BENCH_3.json` baseline, or if the zero-copy path fails the
+/// ≥2× fewer-allocations-per-event bar against the owned path on Mondial.
+fn bench_cmd(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_3.json", env!("CARGO_MANIFEST_DIR")));
+    // A smoke-sized DMOZ slice keeps the CI run under a minute; the full
+    // figures come from `harness fig15` / SPEX_BENCH_FULL.
+    let bench_dmoz_scale = 0.01;
+    header("bench — zero-copy pipeline: throughput + allocations per event");
+    println!(
+        "{:>14} {:>5} {:<28} {:>9} {:>9} {:>9} {:>8} {:>8} {:>6} {:>11}",
+        "workload",
+        "class",
+        "query",
+        "Mev/s",
+        "MB/s",
+        "arena",
+        "al/ev",
+        "owned",
+        "ratio",
+        "results"
+    );
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut pipeline: Vec<PipelineRow> = Vec::new();
+    let workloads: Vec<(&'static str, Dataset, Vec<XmlEvent>)> = vec![
+        ("mondial", Dataset::Mondial, mondial_events().to_vec()),
+        ("wordnet", Dataset::Wordnet, wordnet_events().to_vec()),
+        (
+            "dmoz-structure",
+            Dataset::DmozStructure,
+            dmoz_structure(bench_dmoz_scale).collect(),
+        ),
+    ];
+    for (name, dataset, events) in &workloads {
+        let xml = spex_xml::writer::events_to_string(events);
+        let mb = xml.len() as f64 / 1e6;
+        // Pipeline-only allocation profile: parse the same bytes into owned
+        // events, then into the arena, counting allocations around each.
+        let before = alloc_count();
+        let mut reader = spex_xml::Reader::new(xml.as_bytes());
+        let mut n = 0usize;
+        while let Some(ev) = reader.next_event().expect("well-formed") {
+            n += 1;
+            std::hint::black_box(&ev);
+        }
+        let owned_allocs = alloc_count() - before;
+        let before = alloc_count();
+        let mut reader = spex_xml::Reader::new(xml.as_bytes());
+        let mut store = EventStore::new();
+        while let Some(id) = reader.next_into(&mut store).expect("well-formed") {
+            std::hint::black_box(id);
+        }
+        let zero_copy_allocs = alloc_count() - before;
+        pipeline.push(PipelineRow {
+            workload: name,
+            events: n,
+            owned_allocs,
+            zero_copy_allocs,
+        });
+        for qc in queries_for(*dataset) {
+            let q = qc.rpeq();
+            // Owned baseline first, then zero-copy, each bracketed by the
+            // allocation counter (compile happens inside but is identical
+            // for both paths, so the *difference* is pipeline-only). Timing
+            // is best-of-N so run-to-run noise stays inside the 10%
+            // regression margin (N=5 for the guarded zero-copy path).
+            let before = alloc_count();
+            let mut ow = run_spex_owned(&q, xml.as_bytes());
+            let ow_allocs = alloc_count() - before;
+            let before = alloc_count();
+            let mut zc = run_spex_zero_copy(&q, xml.as_bytes());
+            let zc_allocs = alloc_count() - before;
+            for i in 0..4 {
+                if i < 2 {
+                    let r = run_spex_owned(&q, xml.as_bytes());
+                    if r.elapsed < ow.elapsed {
+                        ow = r;
+                    }
+                }
+                let r = run_spex_zero_copy(&q, xml.as_bytes());
+                if r.elapsed < zc.elapsed {
+                    zc = r;
+                }
+            }
+            assert_eq!(zc.results, ow.results, "pipelines disagree on {name}");
+            let stats = zc.stats.as_ref().expect("spex stats");
+            let row = BenchRow {
+                workload: name,
+                class: qc.class,
+                query: qc.text,
+                events: events.len(),
+                mb,
+                results: zc.results,
+                zc_secs: zc.elapsed.as_secs_f64(),
+                zc_allocs,
+                peak_arena_bytes: stats.peak_arena_bytes,
+                interned_symbols: stats.interned_symbols,
+                ow_secs: ow.elapsed.as_secs_f64(),
+                ow_allocs,
+            };
+            println!(
+                "{:>14} {:>5} {:<28} {:>9.2} {:>9.1} {:>8}B {:>8.2} {:>8.2} {:>5.1}x {:>11}",
+                row.workload,
+                row.class,
+                row.query,
+                row.events_per_s() / 1e6,
+                row.mb_per_s(),
+                row.peak_arena_bytes,
+                row.zc_allocs_per_event(),
+                row.ow_allocs_per_event(),
+                row.ow_allocs_per_event() / row.zc_allocs_per_event().max(1e-9),
+                row.results
+            );
+            rows.push(row);
+        }
+    }
+    println!();
+    println!("event pipeline alone (parse → representation, no network):");
+    println!(
+        "{:>14} {:>10} {:>14} {:>14} {:>8}",
+        "workload", "events", "owned al/ev", "arena al/ev", "ratio"
+    );
+    for p in &pipeline {
+        println!(
+            "{:>14} {:>10} {:>14.3} {:>14.3} {:>7.0}x",
+            p.workload,
+            p.events,
+            p.owned_per_event(),
+            p.zero_copy_per_event(),
+            p.owned_per_event() / p.zero_copy_per_event().max(1e-9)
+        );
+    }
+    // Acceptance bar: on Mondial the arena pipeline must allocate at least
+    // 2× less per event than owned `XmlEvent` construction.
+    let mut failed = false;
+    for p in pipeline.iter().filter(|p| p.workload == "mondial") {
+        if p.owned_per_event() < 2.0 * p.zero_copy_per_event() {
+            eprintln!(
+                "ALLOC REGRESSION: mondial pipeline zero-copy {:.3} allocs/event vs owned {:.3} (< 2x)",
+                p.zero_copy_per_event(),
+                p.owned_per_event()
+            );
+            failed = true;
+        }
+    }
+    // Per-workload aggregates: zero-copy and owned throughput (total bytes
+    // over total best-of-N seconds across the classes), and their ratio.
+    // The regression guard compares the *ratio* — both paths run
+    // interleaved in the same process, so machine-wide contention cancels
+    // out, while a real slowdown of the zero-copy pipeline does not.
+    let mut summary: Vec<(&'static str, f64, f64)> = Vec::new();
+    for (name, _, _) in &workloads {
+        let cells: Vec<&BenchRow> = rows.iter().filter(|r| r.workload == *name).collect();
+        let total_mb: f64 = cells.iter().map(|r| r.mb).sum();
+        let zc_secs: f64 = cells.iter().map(|r| r.zc_secs).sum();
+        let ow_secs: f64 = cells.iter().map(|r| r.ow_secs).sum();
+        summary.push((
+            name,
+            total_mb / zc_secs.max(1e-9),
+            total_mb / ow_secs.max(1e-9),
+        ));
+    }
+    // In-run floor: the zero-copy pipeline must never be >10% slower than
+    // the owned pipeline it replaced.
+    for (name, zc_mbps, ow_mbps) in &summary {
+        if *zc_mbps < ow_mbps * 0.9 {
+            eprintln!(
+                "THROUGHPUT REGRESSION: {} zero-copy {:.1} MB/s vs owned {:.1} MB/s in the same run (>10% slower)",
+                name, zc_mbps, ow_mbps
+            );
+            failed = true;
+        }
+    }
+    if json {
+        let baseline = std::fs::read_to_string(&out_path).ok();
+        if let Some(base) = &baseline {
+            for (name, zc_mbps, ow_mbps) in &summary {
+                let now = zc_mbps / ow_mbps.max(1e-9);
+                if let Some(prev) = baseline_vs_owned(base, name) {
+                    if now < prev * 0.9 {
+                        eprintln!(
+                            "THROUGHPUT REGRESSION: {} zero-copy/owned ratio {:.3} vs baseline {:.3} (>10% drop)",
+                            name, now, prev
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"spex-bench-3\",\n");
+        out.push_str(&format!("  \"dmoz_scale\": {bench_dmoz_scale},\n"));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"class\":{},\"query\":{:?},\"events\":{},\"mb\":{:.3},\"results\":{},\"zero_copy\":{{\"secs\":{:.6},\"events_per_s\":{:.0},\"mb_per_s\":{:.3},\"allocs\":{},\"allocs_per_event\":{:.3},\"peak_arena_bytes\":{},\"interned_symbols\":{}}},\"owned\":{{\"secs\":{:.6},\"allocs\":{},\"allocs_per_event\":{:.3}}}}}{sep}\n",
+                r.workload,
+                r.class,
+                r.query,
+                r.events,
+                r.mb,
+                r.results,
+                r.zc_secs,
+                r.events_per_s(),
+                r.mb_per_s(),
+                r.zc_allocs,
+                r.zc_allocs_per_event(),
+                r.peak_arena_bytes,
+                r.interned_symbols,
+                r.ow_secs,
+                r.ow_allocs,
+                r.ow_allocs_per_event(),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"summary\": [\n");
+        for (i, (name, zc_mbps, ow_mbps)) in summary.iter().enumerate() {
+            let sep = if i + 1 == summary.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{name}\",\"mb_per_s\":{zc_mbps:.3},\"owned_mb_per_s\":{ow_mbps:.3},\"vs_owned\":{:.4}}}{sep}\n",
+                zc_mbps / ow_mbps.max(1e-9)
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"pipeline\": [\n");
+        for (i, p) in pipeline.iter().enumerate() {
+            let sep = if i + 1 == pipeline.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"events\":{},\"owned_allocs\":{},\"owned_allocs_per_event\":{:.3},\"zero_copy_allocs\":{},\"zero_copy_allocs_per_event\":{:.3}}}{sep}\n",
+                p.workload,
+                p.events,
+                p.owned_allocs,
+                p.owned_per_event(),
+                p.zero_copy_allocs,
+                p.zero_copy_per_event(),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&out_path, out).expect("write BENCH_3.json");
+        println!("wrote {out_path}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Extract a prior run's zero-copy/owned throughput ratio for a workload
+/// from the `summary` section of a BENCH_3.json baseline. The file is
+/// written one record per line, so a line scan suffices — no JSON parser
+/// dependency.
+fn baseline_vs_owned(json: &str, workload: &str) -> Option<f64> {
+    let tag = format!("{{\"workload\":\"{workload}\",\"mb_per_s\":");
+    let line = json.lines().find(|l| l.trim_start().starts_with(&tag))?;
+    let at = line.find("\"vs_owned\":")?;
+    let rest = &line[at + "\"vs_owned\":".len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 fn parse_proc(p: &str) -> Processor {

@@ -156,6 +156,7 @@ OPTIONS:
                      drop (default) | force-false
     --limit-depth N       abort when the stream nesting depth exceeds N
     --limit-buffered N    abort when more than N events are buffered
+    --limit-buffered-bytes N  abort when the event arena exceeds N bytes
     --limit-candidates N  abort when more than N candidates are live
     --limit-formula N     abort when a condition formula exceeds size N
     --limit-messages N    abort after more than N transducer messages
@@ -198,6 +199,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--limit-depth" => o.limits.max_stream_depth = Some(number("--limit-depth", &mut it)?),
             "--limit-buffered" => {
                 o.limits.max_buffered_events = Some(number("--limit-buffered", &mut it)?)
+            }
+            "--limit-buffered-bytes" => {
+                o.limits.max_buffered_bytes = Some(number("--limit-buffered-bytes", &mut it)?)
             }
             "--limit-candidates" => {
                 o.limits.max_live_candidates = Some(number("--limit-candidates", &mut it)?)
@@ -344,7 +348,8 @@ fn run_inner(
         writeln!(
             stderr,
             "events: {}  depth: {}  results: {}  dropped: {}  vars: {}  \
-             peak buffered: {}  max formula: {}  stacks: d={} c={}",
+             peak buffered: {}  max formula: {}  stacks: d={} c={}  \
+             arena peak: {}B  symbols: {}",
             stats.ticks,
             stats.max_stream_depth,
             stats.results,
@@ -354,6 +359,8 @@ fn run_inner(
             stats.max_formula_size,
             stats.max_depth_stack,
             stats.max_cond_stack,
+            stats.peak_arena_bytes,
+            stats.interned_symbols,
         )?;
     }
     if let Some(report) = &report {
@@ -404,15 +411,14 @@ fn evaluate(
         }
         let mut eval = Evaluator::with_limits(network, sink, options.limits);
         let reader = spex_xml::Reader::new(input);
-        let reader = if options.stream {
+        let mut reader = if options.stream {
             reader.multi_document()
         } else {
             reader
         };
-        for ev in reader {
-            eval.try_push(ev.map_err(CliError::from)?)
-                .map_err(CliError::from)?;
-        }
+        // Zero-copy hot loop: events are parsed into the run's arena and
+        // pushed by handle (no per-event allocation in steady state).
+        eval.push_from(&mut reader).map_err(CliError::from)?;
         let (stats, transducers) = eval.finish_full();
         Ok((stats, transducers, None))
     };
@@ -450,7 +456,8 @@ fn stats_json(
         "{{\"ticks\":{},\"messages\":{},\"max_formula_size\":{},\"max_cond_stack\":{},\
          \"max_depth_stack\":{},\"max_stream_depth\":{},\"peak_buffered_events\":{},\
          \"peak_live_candidates\":{},\"candidates_created\":{},\"results\":{},\
-         \"dropped\":{},\"vars_created\":{},\"transducers\":[",
+         \"dropped\":{},\"vars_created\":{},\"peak_arena_bytes\":{},\
+         \"interned_symbols\":{},\"transducers\":[",
         stats.ticks,
         stats.messages,
         stats.max_formula_size,
@@ -463,6 +470,8 @@ fn stats_json(
         stats.results,
         stats.dropped,
         stats.vars_created,
+        stats.peak_arena_bytes,
+        stats.interned_symbols,
     );
     for (i, t) in transducers.iter().enumerate() {
         if i > 0 {

@@ -161,18 +161,32 @@ impl<'n, 's> Evaluator<'n, 's> {
 
     /// Parse `xml` and feed every event (one complete document).
     pub fn push_str(&mut self, xml: &str) -> Result<(), EvalError> {
-        for ev in spex_xml::Reader::from_bytes(xml.as_bytes().to_vec()) {
-            self.run.try_push(ev?)?;
-        }
-        Ok(())
+        let mut reader = spex_xml::Reader::from_bytes(xml.as_bytes().to_vec());
+        self.push_from(&mut reader)
     }
 
     /// Feed every event from a byte source (streaming, constant memory).
     pub fn push_reader<R: std::io::Read>(&mut self, input: R) -> Result<(), EvalError> {
-        for ev in spex_xml::Reader::new(input) {
-            self.run.try_push(ev?)?;
+        let mut reader = spex_xml::Reader::new(input);
+        self.push_from(&mut reader)
+    }
+
+    /// Drain an already-configured reader through the zero-copy path: each
+    /// event is parsed straight into the run's event arena
+    /// ([`spex_xml::Reader::next_into`]) and pushed by handle, so the hot
+    /// loop moves `u32`s, not strings. Stops at the first reader error or
+    /// resource-limit breach.
+    pub fn push_from<R: std::io::Read>(
+        &mut self,
+        reader: &mut spex_xml::Reader<R>,
+    ) -> Result<(), EvalError> {
+        loop {
+            match reader.next_into(self.run.store_mut()) {
+                Ok(Some(id)) => self.run.try_push_id(id)?,
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
         }
-        Ok(())
     }
 
     /// The first limit breach, if any cap was exceeded.

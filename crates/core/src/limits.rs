@@ -37,6 +37,9 @@ pub enum LimitKind {
     StreamDepth,
     /// Events buffered by the output transducer for undetermined candidates.
     BufferedEvents,
+    /// Bytes held by the run's event arena (payloads of the buffered
+    /// events, measured rather than counted).
+    BufferedBytes,
     /// Simultaneously live candidates in the output transducer.
     LiveCandidates,
     /// Size of a condition formula in an activation message (*o(φ)*).
@@ -51,6 +54,7 @@ impl LimitKind {
         match self {
             LimitKind::StreamDepth => "stream-depth",
             LimitKind::BufferedEvents => "buffered-events",
+            LimitKind::BufferedBytes => "buffered-bytes",
             LimitKind::LiveCandidates => "live-candidates",
             LimitKind::FormulaSize => "formula-size",
             LimitKind::TotalMessages => "total-messages",
@@ -94,6 +98,9 @@ pub struct ResourceLimits {
     pub max_stream_depth: Option<usize>,
     /// Cap on events buffered for undetermined candidates.
     pub max_buffered_events: Option<usize>,
+    /// Cap on the bytes held by the event arena (a size-based counterpart
+    /// of `max_buffered_events`: long text nodes count by length, not 1).
+    pub max_buffered_bytes: Option<usize>,
     /// Cap on simultaneously live output candidates.
     pub max_live_candidates: Option<usize>,
     /// Cap on the size of any condition formula.
@@ -122,6 +129,12 @@ impl ResourceLimits {
     /// Cap the output transducer's buffered events.
     pub fn with_max_buffered_events(mut self, n: usize) -> Self {
         self.max_buffered_events = Some(n);
+        self
+    }
+
+    /// Cap the event arena's size in bytes.
+    pub fn with_max_buffered_bytes(mut self, n: usize) -> Self {
+        self.max_buffered_bytes = Some(n);
         self
     }
 
@@ -168,6 +181,11 @@ impl ResourceLimits {
             stats.peak_buffered_events,
         )?;
         over(
+            LimitKind::BufferedBytes,
+            self.max_buffered_bytes,
+            stats.peak_arena_bytes,
+        )?;
+        over(
             LimitKind::LiveCandidates,
             self.max_live_candidates,
             stats.peak_live_candidates,
@@ -204,6 +222,7 @@ mod tests {
             peak_live_candidates: usize::MAX,
             max_formula_size: usize::MAX,
             messages: u64::MAX,
+            peak_arena_bytes: usize::MAX,
             ..EngineStats::default()
         };
         assert_eq!(limits.check(&stats), Ok(()));
@@ -217,6 +236,7 @@ mod tests {
             peak_live_candidates: 3,
             max_formula_size: 7,
             messages: 100,
+            peak_arena_bytes: 4096,
             ..EngineStats::default()
         };
         let cases = [
@@ -231,6 +251,12 @@ mod tests {
                 LimitKind::BufferedEvents,
                 9,
                 10,
+            ),
+            (
+                ResourceLimits::default().with_max_buffered_bytes(4095),
+                LimitKind::BufferedBytes,
+                4095,
+                4096,
             ),
             (
                 ResourceLimits::default().with_max_live_candidates(2),

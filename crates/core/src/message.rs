@@ -8,111 +8,55 @@
 //! * **condition determination messages** `{c,v}` — "signal the value v of a
 //!   condition variable c".
 //!
-//! Element labels are interned to dense [`Symbol`]s per evaluation run so the
-//! label comparisons in the child/closure transducers are integer compares,
-//! and the original [`XmlEvent`] payloads are shared behind [`Rc`] so
-//! fan-out through split transducers and candidate buffering never copy
-//! text.
+//! Element labels are interned to dense [`Symbol`]s at parse time (the
+//! table lives in the stream layer, [`spex_xml::symbol`], and is owned by
+//! the run's [`spex_xml::EventStore`]) so the label comparisons in the
+//! child/closure transducers are integer compares. Event payloads live in
+//! the run's append-only event arena; document messages carry a 4-byte
+//! [`EventId`] handle, so fan-out through split transducers and candidate
+//! buffering copy `u32`s, never text.
 
 use spex_formula::{CondVar, Formula};
-use spex_xml::XmlEvent;
-use std::collections::HashMap;
+use spex_xml::EventId;
 use std::fmt;
-use std::rc::Rc;
 
-/// An interned element label. Symbol 0 is reserved for `$`, the virtual
-/// document root of the paper's stream notation.
-pub type Symbol = u32;
-
-/// The reserved symbol for the document root label `$`.
-pub const DOC_SYMBOL: Symbol = 0;
-
-/// Interns element names to dense [`Symbol`]s for one evaluation run.
-#[derive(Debug)]
-pub struct SymbolTable {
-    names: Vec<String>,
-    map: HashMap<String, Symbol>,
-}
-
-impl SymbolTable {
-    /// A fresh table containing only the reserved `$` symbol.
-    pub fn new() -> Self {
-        let mut t = SymbolTable {
-            names: Vec::new(),
-            map: HashMap::new(),
-        };
-        let s = t.intern("$");
-        debug_assert_eq!(s, DOC_SYMBOL);
-        t
-    }
-
-    /// Intern `name`, returning its symbol.
-    pub fn intern(&mut self, name: &str) -> Symbol {
-        if let Some(s) = self.map.get(name) {
-            return *s;
-        }
-        let s = self.names.len() as Symbol;
-        self.names.push(name.to_string());
-        self.map.insert(name.to_string(), s);
-        s
-    }
-
-    /// Resolve a symbol back to its name.
-    pub fn name(&self, s: Symbol) -> &str {
-        &self.names[s as usize]
-    }
-
-    /// Number of interned symbols (including `$`).
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// Never empty: `$` is always present.
-    pub fn is_empty(&self) -> bool {
-        false
-    }
-}
-
-impl Default for SymbolTable {
-    fn default() -> Self {
-        SymbolTable::new()
-    }
-}
+pub use spex_xml::{Symbol, SymbolTable, DOC_SYMBOL};
 
 /// A document message as it travels through the network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum DocEvent {
     /// `<l>` — an element (or `<$>`) opens. Affects tree depth.
     Open {
         /// Interned label ([`DOC_SYMBOL`] for `<$>`).
         label: Symbol,
-        /// The original event, shared for zero-copy buffering.
-        payload: Rc<XmlEvent>,
+        /// Arena handle of the original event.
+        payload: EventId,
     },
     /// `</l>` — an element (or `</$>`) closes. Affects tree depth.
     Close {
         /// Interned label, matching the corresponding `Open`.
         label: Symbol,
-        /// The original event.
-        payload: Rc<XmlEvent>,
+        /// Arena handle of the original event.
+        payload: EventId,
     },
     /// Depth-neutral content: text, comments, processing instructions. The
     /// paper omits these "for reasons of conciseness"; transducers forward
     /// them untouched and only the output transducer looks at them (they
     /// belong to result fragments).
     Item {
-        /// The original event.
-        payload: Rc<XmlEvent>,
+        /// Arena handle of the original event.
+        payload: EventId,
     },
 }
 
 impl DocEvent {
-    /// The shared payload.
-    pub fn payload(&self) -> &Rc<XmlEvent> {
+    /// The arena handle of the underlying event (resolve it against the
+    /// run's [`spex_xml::EventStore`]).
+    pub fn payload(&self) -> EventId {
         match self {
             DocEvent::Open { payload, .. }
             | DocEvent::Close { payload, .. }
-            | DocEvent::Item { payload } => payload,
+            | DocEvent::Item { payload } => *payload,
         }
     }
 
@@ -192,10 +136,16 @@ impl Message {
 }
 
 impl fmt::Display for Message {
-    /// Paper-style rendering: `<a>`, `[f]`, `{c,v}`.
+    /// Paper-style rendering: `[f]`, `{c,v}`. Document messages render as
+    /// `<sym@id>` / `</sym@id>` — the payload text lives in the event arena,
+    /// which a bare message cannot reach; use
+    /// [`spex_xml::EventStore::get`] on the payload handle for the full
+    /// paper notation.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Message::Doc(d) => write!(f, "{}", d.payload()),
+            Message::Doc(DocEvent::Open { label, payload }) => write!(f, "<{label}{payload}>"),
+            Message::Doc(DocEvent::Close { label, payload }) => write!(f, "</{label}{payload}>"),
+            Message::Doc(DocEvent::Item { payload }) => write!(f, "({payload})"),
             Message::Activate(formula) => write!(f, "[{formula}]"),
             Message::Determine(c, v) => write!(f, "{{{c},{v}}}"),
         }
@@ -206,6 +156,7 @@ impl fmt::Display for Message {
 mod tests {
     use super::*;
     use spex_formula::Formula;
+    use spex_xml::{EventStore, XmlEvent};
 
     #[test]
     fn symbol_table_interns_densely() {
@@ -222,16 +173,17 @@ mod tests {
 
     #[test]
     fn doc_event_accessors() {
+        let mut store = EventStore::new();
+        let open_id = store.push_owned(&XmlEvent::open("x"));
         let open = DocEvent::Open {
             label: 3,
-            payload: Rc::new(XmlEvent::open("x")),
+            payload: open_id,
         };
         assert_eq!(open.label(), Some(3));
-        let item = DocEvent::Item {
-            payload: Rc::new(XmlEvent::text("t")),
-        };
+        let text_id = store.push_owned(&XmlEvent::text("t"));
+        let item = DocEvent::Item { payload: text_id };
         assert_eq!(item.label(), None);
-        assert_eq!(item.payload().to_string(), "t");
+        assert_eq!(store.get(item.payload()).to_string(), "t");
     }
 
     #[test]
@@ -245,11 +197,14 @@ mod tests {
             Determination::Implied(Formula::Var(CondVar::new(2, 3))),
         );
         assert_eq!(i.to_string(), "{c1.2,∨c2.3}");
+        let mut store = EventStore::new();
+        let id = store.push_owned(&XmlEvent::open("a"));
         let doc = Message::Doc(DocEvent::Open {
             label: 1,
-            payload: Rc::new(XmlEvent::open("a")),
+            payload: id,
         });
-        assert_eq!(doc.to_string(), "<a>");
+        assert_eq!(doc.to_string(), "<1@0>");
+        assert_eq!(store.get(id).to_string(), "<a>");
         assert!(doc.is_doc());
         assert!(!m.is_doc());
     }

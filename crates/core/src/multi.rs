@@ -214,7 +214,7 @@ mod tests {
         let set = SharedQuerySet::compile(&qs(&texts));
         let xml = "<a><a><b/><c/></a><c/><b><a><b/></a></b></a>";
         let events = parse_events(xml).unwrap();
-        let (counts, _) = set.count_events(events.clone());
+        let (counts, _) = set.count_events(events);
         for (i, t) in texts.iter().enumerate() {
             let expected = crate::evaluate_str(t, xml).unwrap().len();
             assert_eq!(counts[i], expected, "query {t}");

@@ -11,7 +11,7 @@
 
 use crate::engine::EvalError;
 use crate::limits::{LimitBreach, ResourceLimits};
-use crate::message::{DocEvent, Message, SymbolTable};
+use crate::message::{DocEvent, Message};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, Tap, TransducerStats};
 use crate::transducers::child::{Child, MatchLabel};
@@ -27,7 +27,7 @@ use crate::transducers::var_filter::VarFilter;
 use crate::transducers::Transducer;
 use spex_formula::{QualifierId, VarFactory};
 use spex_query::Label;
-use spex_xml::XmlEvent;
+use spex_xml::{EventId, EventStore, StoredKind, XmlEvent};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -232,7 +232,12 @@ pub struct Run<'n, 's> {
     inbox: Vec<Vec<Vec<Message>>>,
     /// consumers[node] — (downstream node, port) pairs.
     consumers: Vec<Vec<(usize, usize)>>,
-    symbols: SymbolTable,
+    /// The run's event arena: payload bytes live here exactly once; the
+    /// network only moves [`spex_xml::EventId`] handles. Owns the symbol
+    /// table (labels are interned at push time). Reset whenever no output
+    /// transducer is buffering, so its high-water mark measures the bytes
+    /// buffered for undetermined candidates (paper §VI).
+    store: EventStore,
     factory: Rc<RefCell<VarFactory>>,
     sinks: Vec<&'s mut dyn ResultSink>,
     stats: EngineStats,
@@ -257,7 +262,8 @@ impl<'n, 's> Run<'n, 's> {
             spec.sinks.len(),
             sinks.len()
         );
-        let mut symbols = SymbolTable::new();
+        let mut store = EventStore::new();
+        let symbols = store.symbols_mut();
         let factory = Rc::new(RefCell::new(VarFactory::new()));
         let mut nodes = Vec::with_capacity(spec.nodes.len());
         let mut sink_index = vec![usize::MAX; spec.nodes.len()];
@@ -265,19 +271,17 @@ impl<'n, 's> Run<'n, 's> {
             let inst = match n {
                 NodeSpec::Input => NodeInstance::Single(Box::new(Input::new())),
                 NodeSpec::Child(l) => {
-                    NodeInstance::Single(Box::new(Child::new(MatchLabel::resolve(l, &mut symbols))))
+                    NodeInstance::Single(Box::new(Child::new(MatchLabel::resolve(l, symbols))))
                 }
-                NodeSpec::Closure(l) => NodeInstance::Single(Box::new(Closure::new(
-                    MatchLabel::resolve(l, &mut symbols),
-                ))),
-                NodeSpec::Following(l) => {
-                    NodeInstance::Single(Box::new(crate::transducers::following::Following::new(
-                        MatchLabel::resolve(l, &mut symbols),
-                    )))
+                NodeSpec::Closure(l) => {
+                    NodeInstance::Single(Box::new(Closure::new(MatchLabel::resolve(l, symbols))))
                 }
+                NodeSpec::Following(l) => NodeInstance::Single(Box::new(
+                    crate::transducers::following::Following::new(MatchLabel::resolve(l, symbols)),
+                )),
                 NodeSpec::Preceding(l, q) => {
                     NodeInstance::Single(Box::new(crate::transducers::preceding::Preceding::new(
-                        MatchLabel::resolve(l, &mut symbols),
+                        MatchLabel::resolve(l, symbols),
                         *q,
                         factory.clone(),
                     )))
@@ -337,7 +341,7 @@ impl<'n, 's> Run<'n, 's> {
             sink_index,
             inbox,
             consumers,
-            symbols,
+            store,
             factory,
             sinks,
             stats: EngineStats::default(),
@@ -402,7 +406,19 @@ impl<'n, 's> Run<'n, 's> {
             .collect()
     }
 
-    /// Feed one stream event through the network (one tick).
+    /// The run's event arena (for zero-copy producers:
+    /// `reader.next_into(run.store_mut())` followed by
+    /// [`Run::try_push_id`]).
+    pub fn store_mut(&mut self) -> &mut EventStore {
+        &mut self.store
+    }
+
+    /// Shared view of the run's event arena.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// Feed one owned stream event through the network (one tick).
     ///
     /// Infallible variant of [`Run::try_push`]: once a resource limit has
     /// been breached the event is silently discarded (with no limits set —
@@ -411,54 +427,70 @@ impl<'n, 's> Run<'n, 's> {
         let _ = self.try_push(event);
     }
 
-    /// Feed one stream event through the network (one tick), then check the
-    /// resource limits. On a breach the run aborts: results already
-    /// determined are flushed to the sinks, undetermined buffers are
-    /// released, and this and every further call return
-    /// [`EvalError::ResourceExhausted`]. Statistics stay readable.
+    /// Feed one owned stream event through the network: copies the event
+    /// into the arena, then ticks via [`Run::try_push_id`]. Kept for
+    /// producers that hold owned events (tests, the multi-query driver);
+    /// the zero-copy path is `reader.next_into(run.store_mut())` +
+    /// [`Run::try_push_id`].
     pub fn try_push(&mut self, event: XmlEvent) -> Result<(), EvalError> {
         if let Some(b) = self.exhausted {
             return Err(b.into());
         }
-        if let Some(tap) = &self.tap {
-            tap.borrow_mut().on_tick(self.tick, &event);
+        let id = self.store.push_owned(&event);
+        self.try_push_id(id)
+    }
+
+    /// Feed the arena event `id` through the network (one tick), then check
+    /// the resource limits. On a breach the run aborts: results already
+    /// determined are flushed to the sinks, undetermined buffers are
+    /// released, and this and every further call return
+    /// [`EvalError::ResourceExhausted`]. Statistics stay readable.
+    pub fn try_push_id(&mut self, id: EventId) -> Result<(), EvalError> {
+        if let Some(b) = self.exhausted {
+            return Err(b.into());
         }
-        self.push_unchecked(event);
+        if let Some(tap) = &self.tap {
+            tap.borrow_mut().on_tick(self.tick, &self.store.get(id));
+        }
+        self.push_unchecked(id);
+        self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(self.store.bytes_used());
+        self.stats.interned_symbols = self.store.symbols().len();
         if let Err(b) = self.limits.check(&self.stats) {
             self.exhausted = Some(b);
             self.abort();
             return Err(b.into());
         }
+        // Once no output transducer buffers any candidate event, every
+        // outstanding handle is dead: recycle the arena (keeps symbols and
+        // capacity). This is what bounds memory to the undetermined
+        // fragments of the paper's §VI argument.
+        if self.outputs_idle() {
+            self.store.reset();
+        }
         Ok(())
     }
 
-    fn push_unchecked(&mut self, event: XmlEvent) {
-        let doc = match &event {
-            XmlEvent::StartDocument => DocEvent::Open {
-                label: crate::message::DOC_SYMBOL,
-                payload: Rc::new(event),
+    fn outputs_idle(&self) -> bool {
+        self.nodes.iter().all(|n| match n {
+            NodeInstance::Output(o) => o.buffered_events() == 0 && o.live_candidates() == 0,
+            _ => true,
+        })
+    }
+
+    fn push_unchecked(&mut self, id: EventId) {
+        let rec = self.store.stored(id);
+        let doc = match rec.kind {
+            StoredKind::StartDocument | StoredKind::Start => DocEvent::Open {
+                label: rec.sym,
+                payload: id,
             },
-            XmlEvent::EndDocument => DocEvent::Close {
-                label: crate::message::DOC_SYMBOL,
-                payload: Rc::new(event),
+            StoredKind::EndDocument | StoredKind::End => DocEvent::Close {
+                label: rec.sym,
+                payload: id,
             },
-            XmlEvent::StartElement { name, .. } => {
-                let label = self.symbols.intern(name);
-                DocEvent::Open {
-                    label,
-                    payload: Rc::new(event),
-                }
+            StoredKind::Text | StoredKind::Comment | StoredKind::Pi => {
+                DocEvent::Item { payload: id }
             }
-            XmlEvent::EndElement { name } => {
-                let label = self.symbols.intern(name);
-                DocEvent::Close {
-                    label,
-                    payload: Rc::new(event),
-                }
-            }
-            _ => DocEvent::Item {
-                payload: Rc::new(event),
-            },
         };
         match &doc {
             DocEvent::Open { .. } => {
@@ -527,7 +559,13 @@ impl<'n, 's> Run<'n, 's> {
                             if let Some(tap) = &tap {
                                 tap.borrow_mut().on_message(id, &m);
                             }
-                            o.step(m, self.sinks[sink_idx], self.tick, &mut self.stats);
+                            o.step(
+                                m,
+                                self.sinks[sink_idx],
+                                self.tick,
+                                &mut self.stats,
+                                &self.store,
+                            );
                         }
                     }
                     if let Some(tap) = &tap {
@@ -566,7 +604,12 @@ impl<'n, 's> Run<'n, 's> {
         for id in 0..self.nodes.len() {
             let sink_idx = self.sink_index[id];
             if let NodeInstance::Output(o) = &mut self.nodes[id] {
-                o.abort(self.sinks[sink_idx], self.tick, &mut self.stats);
+                o.abort(
+                    self.sinks[sink_idx],
+                    self.tick,
+                    &mut self.stats,
+                    &self.store,
+                );
             }
         }
         for ports in &mut self.inbox {
@@ -587,11 +630,18 @@ impl<'n, 's> Run<'n, 's> {
         for id in 0..self.nodes.len() {
             let sink_idx = self.sink_index[id];
             if let NodeInstance::Output(o) = &mut self.nodes[id] {
-                o.finish(self.sinks[sink_idx], self.tick, &mut self.stats);
+                o.finish(
+                    self.sinks[sink_idx],
+                    self.tick,
+                    &mut self.stats,
+                    &self.store,
+                );
             }
         }
         self.stats.ticks = self.tick;
         self.stats.vars_created = u64::from(self.factory.borrow().minted());
+        self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(self.store.peak_bytes());
+        self.stats.interned_symbols = self.store.symbols().len();
         (self.stats, self.node_stats)
     }
 
@@ -731,7 +781,7 @@ mod tests {
     }
 
     impl crate::stats::Tap for RecordingTap {
-        fn on_tick(&mut self, tick: u64, _event: &XmlEvent) {
+        fn on_tick(&mut self, tick: u64, _event: &spex_xml::RawEvent<'_>) {
             self.ticks.push(tick);
             self.current_tick = tick;
         }

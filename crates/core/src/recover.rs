@@ -33,7 +33,7 @@ use crate::limits::{LimitBreach, ResourceLimits};
 use crate::sink::{ResultMeta, ResultSink};
 use crate::stats::{EngineStats, TransducerStats};
 use spex_xml::reader::Reader;
-use spex_xml::{Fault, FaultKind, RecoveryPolicy, XmlEvent};
+use spex_xml::{Fault, FaultKind, RawEvent, RecoveryPolicy, XmlEvent};
 use std::io::Read;
 
 /// How candidates still undetermined at an unexpected end of stream are
@@ -147,9 +147,11 @@ impl ResultSink for QuarantineSink {
         });
     }
 
-    fn event(&mut self, event: &XmlEvent, now: u64) {
+    fn event(&mut self, event: &RawEvent<'_>, now: u64) {
         if let Some(cur) = &mut self.current {
-            cur.events.push(event.clone());
+            // Quarantined fragments outlive the arena tick, so this sink is
+            // the one place the engine still materializes owned events.
+            cur.events.push(event.to_owned_event());
             cur.last = cur.last.max(now);
         }
     }
@@ -188,19 +190,14 @@ pub fn evaluate_recovering<R: Read>(
     let mut exhausted = None;
     let (stats, transducers) = {
         let mut eval = Evaluator::with_limits(network, &mut quarantine, limits);
-        loop {
-            match reader.next_event() {
-                Ok(Some(event)) => match eval.try_push(event) {
-                    Ok(()) => {}
-                    Err(EvalError::ResourceExhausted { .. }) => {
-                        exhausted = eval.exhausted();
-                        break;
-                    }
-                    Err(e) => return Err(e),
-                },
-                Ok(None) => break,
-                Err(e) => return Err(e.into()),
+        // Zero-copy loop: repaired events land in the run's arena and are
+        // pushed by handle, exactly like a clean `push_reader` run.
+        match eval.push_from(&mut reader) {
+            Ok(()) => {}
+            Err(EvalError::ResourceExhausted { .. }) => {
+                exhausted = eval.exhausted();
             }
+            Err(e) => return Err(e),
         }
         eval.finish_full()
     };
@@ -228,7 +225,7 @@ pub fn evaluate_recovering<R: Read>(
             frag.delivered,
         );
         for event in &frag.events {
-            sink.event(event, frag.delivered);
+            sink.event(&RawEvent::from_event(event), frag.delivered);
         }
         sink.end(frag.last);
     }

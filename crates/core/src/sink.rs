@@ -7,8 +7,14 @@
 //! fragments event by event; the `tick` arguments let tests assert
 //! *progressiveness* (content of "past condition" results is delivered
 //! before the stream ends).
+//!
+//! Sinks receive borrowed [`RawEvent`] views into the run's event arena —
+//! the zero-copy end of the pipeline. A sink that needs to keep an event
+//! past the callback (e.g. [`crate::recover::QuarantineSink`]) converts it
+//! with [`RawEvent::to_owned_event`]; the built-in sinks serialize or count
+//! without ever materializing owned events.
 
-use spex_xml::XmlEvent;
+use spex_xml::RawEvent;
 
 /// Metadata identifying a result fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,20 +29,36 @@ pub struct ResultMeta {
 pub trait ResultSink {
     /// A fragment begins. `now` is the current tick (when this became known).
     fn begin(&mut self, meta: ResultMeta, now: u64);
-    /// One event of the current fragment, in document order.
-    fn event(&mut self, event: &XmlEvent, now: u64);
+    /// One event of the current fragment, in document order. The view
+    /// borrows from the run's event arena and is only valid for the call.
+    fn event(&mut self, event: &RawEvent<'_>, now: u64);
     /// The current fragment is complete.
     fn end(&mut self, now: u64);
 }
 
 /// Collects fragments as serialized XML strings.
-#[derive(Debug, Default)]
+///
+/// Serialization is incremental: each event is written into the fragment's
+/// byte buffer as it arrives, so nothing is buffered as events — the arena
+/// can recycle the payload immediately after the callback returns.
+#[derive(Default)]
 pub struct FragmentCollector {
     fragments: Vec<String>,
-    current: Option<Vec<XmlEvent>>,
+    current: Option<spex_xml::Writer<Vec<u8>>>,
     /// `(start_tick, first_delivery_tick)` per fragment, for progressiveness
     /// assertions.
     pub timing: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for FragmentCollector {
+    // Manual impl: `spex_xml::Writer` is not `Debug`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FragmentCollector")
+            .field("fragments", &self.fragments)
+            .field("in_fragment", &self.current.is_some())
+            .field("timing", &self.timing)
+            .finish()
+    }
 }
 
 impl FragmentCollector {
@@ -58,20 +80,22 @@ impl FragmentCollector {
 
 impl ResultSink for FragmentCollector {
     fn begin(&mut self, meta: ResultMeta, now: u64) {
-        self.current = Some(Vec::new());
+        self.current = Some(spex_xml::Writer::new(Vec::new()));
         self.timing.push((meta.start_tick, now));
     }
 
-    fn event(&mut self, event: &XmlEvent, _now: u64) {
-        if let Some(cur) = &mut self.current {
-            cur.push(event.clone());
+    fn event(&mut self, event: &RawEvent<'_>, _now: u64) {
+        if let Some(w) = &mut self.current {
+            w.write_view(event)
+                .expect("writing a fragment to a Vec cannot fail");
         }
     }
 
     fn end(&mut self, _now: u64) {
-        if let Some(events) = self.current.take() {
+        if let Some(w) = self.current.take() {
+            let bytes = w.into_inner().expect("flush to Vec cannot fail");
             self.fragments
-                .push(spex_xml::writer::events_to_string(&events));
+                .push(String::from_utf8(bytes).expect("writer output is valid UTF-8"));
         }
     }
 }
@@ -95,7 +119,7 @@ impl CountingSink {
 impl ResultSink for CountingSink {
     fn begin(&mut self, _meta: ResultMeta, _now: u64) {}
 
-    fn event(&mut self, _event: &XmlEvent, _now: u64) {
+    fn event(&mut self, _event: &RawEvent<'_>, _now: u64) {
         self.events += 1;
     }
 
@@ -133,11 +157,11 @@ impl<W: std::io::Write> StreamingSink<W> {
         self.error.take()
     }
 
-    fn try_write(&mut self, event: &XmlEvent) {
+    fn try_write(&mut self, event: &RawEvent<'_>) {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = self.writer.write(event) {
+        if let Err(e) = self.writer.write_view(event) {
             self.error = Some(e);
         }
     }
@@ -146,14 +170,14 @@ impl<W: std::io::Write> StreamingSink<W> {
 impl<W: std::io::Write> ResultSink for StreamingSink<W> {
     fn begin(&mut self, _meta: ResultMeta, _now: u64) {}
 
-    fn event(&mut self, event: &XmlEvent, _now: u64) {
+    fn event(&mut self, event: &RawEvent<'_>, _now: u64) {
         self.try_write(event);
     }
 
     fn end(&mut self, _now: u64) {
         self.results += 1;
         // One fragment per line; flush so consumers see it immediately.
-        self.try_write(&XmlEvent::text("\n"));
+        self.try_write(&RawEvent::Text("\n"));
         if let Err(e) = self.writer.flush_inner() {
             if self.error.is_none() {
                 self.error = Some(e);
@@ -182,7 +206,7 @@ impl ResultSink for SpanCollector {
         self.starts.push(meta.start_tick);
     }
 
-    fn event(&mut self, _event: &XmlEvent, _now: u64) {}
+    fn event(&mut self, _event: &RawEvent<'_>, _now: u64) {}
 
     fn end(&mut self, _now: u64) {}
 }
@@ -190,14 +214,15 @@ impl ResultSink for SpanCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spex_xml::{RawEvent, XmlEvent};
 
     #[test]
     fn fragment_collector_serializes() {
         let mut c = FragmentCollector::new();
         c.begin(ResultMeta { start_tick: 3 }, 5);
-        c.event(&XmlEvent::open("a"), 5);
-        c.event(&XmlEvent::text("x"), 6);
-        c.event(&XmlEvent::close("a"), 7);
+        c.event(&RawEvent::from_event(&XmlEvent::open("a")), 5);
+        c.event(&RawEvent::Text("x"), 6);
+        c.event(&RawEvent::from_event(&XmlEvent::close("a")), 7);
         c.end(7);
         assert_eq!(c.fragments(), ["<a>x</a>".to_string()]);
         assert_eq!(c.timing, vec![(3, 5)]);
@@ -208,8 +233,8 @@ mod tests {
         let mut c = CountingSink::new();
         for _ in 0..2 {
             c.begin(ResultMeta { start_tick: 0 }, 0);
-            c.event(&XmlEvent::open("a"), 0);
-            c.event(&XmlEvent::close("a"), 0);
+            c.event(&RawEvent::from_event(&XmlEvent::open("a")), 0);
+            c.event(&RawEvent::from_event(&XmlEvent::close("a")), 0);
             c.end(0);
         }
         assert_eq!(c.results, 2);
@@ -222,9 +247,9 @@ mod tests {
         {
             let mut s = StreamingSink::new(&mut out);
             s.begin(ResultMeta { start_tick: 1 }, 1);
-            s.event(&XmlEvent::open("a"), 1);
-            s.event(&XmlEvent::text("x"), 2);
-            s.event(&XmlEvent::close("a"), 3);
+            s.event(&RawEvent::from_event(&XmlEvent::open("a")), 1);
+            s.event(&RawEvent::Text("x"), 2);
+            s.event(&RawEvent::from_event(&XmlEvent::close("a")), 3);
             s.end(3);
             assert_eq!(s.results, 1);
             assert!(s.take_error().is_none());
@@ -245,8 +270,8 @@ mod tests {
         }
         let mut s = StreamingSink::new(Broken);
         s.begin(ResultMeta { start_tick: 0 }, 0);
-        s.event(&XmlEvent::open("a"), 0);
-        s.event(&XmlEvent::close("a"), 0);
+        s.event(&RawEvent::from_event(&XmlEvent::open("a")), 0);
+        s.event(&RawEvent::from_event(&XmlEvent::close("a")), 0);
         s.end(0);
         assert!(s.take_error().is_some());
     }

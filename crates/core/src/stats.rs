@@ -17,7 +17,7 @@
 //!   monitoring without waiting for the run to finish.
 
 use crate::message::Message;
-use spex_xml::XmlEvent;
+use spex_xml::RawEvent;
 
 /// Measured resource usage of one evaluation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,6 +50,14 @@ pub struct EngineStats {
     pub dropped: u64,
     /// Condition variables (qualifier instances) minted.
     pub vars_created: u64,
+    /// High-water mark of the run's event arena, in bytes (payload bytes
+    /// plus the fixed per-event and per-attribute records). This is the
+    /// measured counterpart of the output buffer bound of §V: the arena
+    /// holds exactly the events still reachable from undetermined
+    /// candidates, plus the current tick.
+    pub peak_arena_bytes: usize,
+    /// Distinct labels interned by the run's symbol table.
+    pub interned_symbols: usize,
 }
 
 impl EngineStats {
@@ -88,8 +96,10 @@ pub struct TransducerStats {
 /// has a no-op default, so an implementation overrides only what it needs.
 /// Attach with [`crate::Evaluator::set_tap`] (or `Run::set_tap`).
 pub trait Tap {
-    /// A stream event is about to enter the network (once per tick).
-    fn on_tick(&mut self, _tick: u64, _event: &XmlEvent) {}
+    /// A stream event is about to enter the network (once per tick). The
+    /// event is a borrowed view into the run's event arena; call
+    /// [`RawEvent::to_owned_event`] to keep it beyond the callback.
+    fn on_tick(&mut self, _tick: u64, _event: &RawEvent<'_>) {}
 
     /// Node `node` is about to consume `msg`. Within one tick, nodes fire in
     /// topological (DAG) order.

@@ -244,18 +244,18 @@ impl Transducer for Child {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::SymbolTable;
     use crate::transducers::format_transitions;
-    use crate::transducers::test_util::fig1_stream;
+    use crate::transducers::test_util::{fig1_stream, render};
+    use spex_xml::EventStore;
 
     /// Drive the two-child-transducer chain of example III.1 (`a.c`) over
     /// the Fig. 1 stream and compare the transition traces to Fig. 4.
     #[test]
     fn figure_4_transition_traces() {
-        let mut symbols = SymbolTable::new();
-        let stream = fig1_stream(&mut symbols);
-        let a = symbols.intern("a");
-        let c = symbols.intern("c");
+        let mut store = EventStore::new();
+        let stream = fig1_stream(&mut store);
+        let a = store.symbols_mut().intern("a");
+        let c = store.symbols_mut().intern("c");
 
         let mut input = crate::transducers::input::Input::new();
         let mut t1 = Child::new(MatchLabel::Symbol(a));
@@ -295,10 +295,10 @@ mod tests {
     /// The matched `<c>` of example III.1 is announced with an activation.
     #[test]
     fn example_iii_1_emits_one_match() {
-        let mut symbols = SymbolTable::new();
-        let stream = fig1_stream(&mut symbols);
-        let a = symbols.intern("a");
-        let c = symbols.intern("c");
+        let mut store = EventStore::new();
+        let stream = fig1_stream(&mut store);
+        let a = store.symbols_mut().intern("a");
+        let c = store.symbols_mut().intern("c");
 
         let mut input = crate::transducers::input::Input::new();
         let mut t1 = Child::new(MatchLabel::Symbol(a));
@@ -328,7 +328,7 @@ mod tests {
             .iter()
             .position(|m| matches!(m, Message::Activate(_)))
             .unwrap();
-        assert_eq!(final_tape[pos + 1].to_string(), "<c>");
+        assert_eq!(render(&store, &final_tape[pos + 1]), "<c>");
     }
 
     #[test]
@@ -341,10 +341,10 @@ mod tests {
 
     #[test]
     fn stack_sizes_track_depth() {
-        let mut symbols = SymbolTable::new();
+        let mut store = EventStore::new();
         let stream =
-            crate::transducers::test_util::stream_of(&mut symbols, "<a><b><b><b/></b></b></a>");
-        let mut t = Child::new(MatchLabel::Symbol(symbols.intern("a")));
+            crate::transducers::test_util::stream_of(&mut store, "<a><b><b><b/></b></b></a>");
+        let mut t = Child::new(MatchLabel::Symbol(store.symbols_mut().intern("a")));
         let mut max_depth = 0;
         let mut out = Vec::new();
         // Never activated: the depth stack still tracks every level.

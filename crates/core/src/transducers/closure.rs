@@ -220,19 +220,19 @@ impl Transducer for Closure {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::SymbolTable;
     use crate::transducers::format_transitions;
-    use crate::transducers::test_util::fig1_stream;
+    use crate::transducers::test_util::{fig1_stream, render};
+    use spex_xml::EventStore;
 
     /// Drive the two-closure-transducer chain of example III.2 (`a+.c+`)
     /// over the Fig. 1 stream and compare the transition traces — verbatim —
     /// to Fig. 5 of the paper.
     #[test]
     fn figure_5_transition_traces() {
-        let mut symbols = SymbolTable::new();
-        let stream = fig1_stream(&mut symbols);
-        let a = symbols.intern("a");
-        let c = symbols.intern("c");
+        let mut store = EventStore::new();
+        let stream = fig1_stream(&mut store);
+        let a = store.symbols_mut().intern("a");
+        let c = store.symbols_mut().intern("c");
 
         let mut input = crate::transducers::input::Input::new();
         let mut t1 = Closure::new(MatchLabel::Symbol(a));
@@ -273,10 +273,10 @@ mod tests {
     /// of the nested `<a>`) and the later `<c>` (child of the outer `<a>`).
     #[test]
     fn example_iii_2_matches() {
-        let mut symbols = SymbolTable::new();
-        let stream = fig1_stream(&mut symbols);
-        let a = symbols.intern("a");
-        let c = symbols.intern("c");
+        let mut store = EventStore::new();
+        let stream = fig1_stream(&mut store);
+        let a = store.symbols_mut().intern("a");
+        let c = store.symbols_mut().intern("c");
 
         let mut input = crate::transducers::input::Input::new();
         let mut t1 = Closure::new(MatchLabel::Symbol(a));
@@ -296,7 +296,7 @@ mod tests {
         }
         let mut matches = 0;
         for w in final_tape.windows(2) {
-            if matches!(&w[0], Message::Activate(_)) && w[1].to_string() == "<c>" {
+            if matches!(&w[0], Message::Activate(_)) && render(&store, &w[1]) == "<c>" {
                 matches += 1;
             }
         }
@@ -308,15 +308,15 @@ mod tests {
     #[test]
     fn nested_scope_disjunction() {
         use spex_formula::{CondVar, Formula};
-        let mut symbols = SymbolTable::new();
-        let a = symbols.intern("a");
+        let mut store = EventStore::new();
+        let a = store.symbols_mut().intern("a");
         let mut t = Closure::new(MatchLabel::Symbol(a));
         let va = Formula::Var(CondVar::new(0, 1));
         let vb = Formula::Var(CondVar::new(0, 2));
         let mut out = Vec::new();
         // Activate with va, open activator (the root-ish element).
         t.step(Message::Activate(va.clone()), &mut out);
-        let open_x = crate::transducers::test_util::stream_of(&mut symbols, "<x><a><a/></a></x>");
+        let open_x = crate::transducers::test_util::stream_of(&mut store, "<x><a><a/></a></x>");
         t.step(open_x[1].clone(), &mut out); // <x> → (5) scope
                                              // First <a> matches with va (7).
         out.clear();
@@ -334,11 +334,10 @@ mod tests {
 
     #[test]
     fn stacks_balance_over_a_document() {
-        let mut symbols = SymbolTable::new();
-        let stream =
-            crate::transducers::test_util::stream_of(&mut symbols, "<a><a><b/><a/></a></a>");
+        let mut store = EventStore::new();
+        let stream = crate::transducers::test_util::stream_of(&mut store, "<a><a><b/><a/></a></a>");
         let mut input = crate::transducers::input::Input::new();
-        let mut t = Closure::new(MatchLabel::Symbol(symbols.intern("a")));
+        let mut t = Closure::new(MatchLabel::Symbol(store.symbols_mut().intern("a")));
         for msg in stream {
             let mut tape0 = Vec::new();
             input.step(msg, &mut tape0);

@@ -145,15 +145,15 @@ impl Transducer for Following {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::SymbolTable;
-    use crate::transducers::test_util::stream_of;
+    use crate::transducers::test_util::{render, stream_of};
+    use spex_xml::EventStore;
 
     /// `~b` activated at the root: only `b` elements after `</a₁>` match.
     #[test]
     fn matches_only_after_scope_close() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<r><a><b/></a><b/><c><b/></c></r>");
-        let b = symbols.intern("b");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<r><a><b/></a><b/><c><b/></c></r>");
+        let b = store.symbols_mut().intern("b");
         // Activate with the first <a> (index 2) as context.
         let mut t = Following::new(MatchLabel::Symbol(b));
         let mut tape = Vec::new();
@@ -174,17 +174,17 @@ mod tests {
         assert_eq!(matches.len(), 2);
         // Each match activation directly precedes its <b>.
         for i in matches {
-            assert_eq!(tape[i + 1].to_string(), "<b>");
+            assert_eq!(render(&store, &tape[i + 1]), "<b>");
         }
     }
 
     #[test]
     fn resets_between_documents() {
-        let mut symbols = SymbolTable::new();
-        let b = symbols.intern("b");
+        let mut store = EventStore::new();
+        let b = store.symbols_mut().intern("b");
         let mut t = Following::new(MatchLabel::Symbol(b));
         let mut tape = Vec::new();
-        let doc = stream_of(&mut symbols, "<r><a/><b/></r>");
+        let doc = stream_of(&mut store, "<r><a/><b/></r>");
         // First document: activate at <a>.
         for (i, m) in doc.iter().enumerate() {
             if i == 2 {
@@ -209,10 +209,10 @@ mod tests {
     #[test]
     fn multiple_contexts_disjoin() {
         use spex_formula::CondVar;
-        let mut symbols = SymbolTable::new();
-        let x = symbols.intern("x");
+        let mut store = EventStore::new();
+        let x = store.symbols_mut().intern("x");
         let mut t = Following::new(MatchLabel::Symbol(x));
-        let stream = stream_of(&mut symbols, "<r><a/><a/><x/></r>");
+        let stream = stream_of(&mut store, "<r><a/><a/><x/></r>");
         let va = Formula::Var(CondVar::new(0, 1));
         let vb = Formula::Var(CondVar::new(0, 2));
         let mut tape = Vec::new();

@@ -48,13 +48,13 @@ impl Transducer for Input {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::SymbolTable;
     use crate::transducers::test_util::fig1_stream;
+    use spex_xml::EventStore;
 
     #[test]
     fn activation_sent_on_start_document() {
-        let mut symbols = SymbolTable::new();
-        let stream = fig1_stream(&mut symbols);
+        let mut store = EventStore::new();
+        let stream = fig1_stream(&mut store);
         let mut t = Input::new();
         let mut out = Vec::new();
         t.step(stream[0].clone(), &mut out);
@@ -68,8 +68,8 @@ mod tests {
 
     #[test]
     fn other_messages_forwarded_verbatim() {
-        let mut symbols = SymbolTable::new();
-        let stream = fig1_stream(&mut symbols);
+        let mut store = EventStore::new();
+        let stream = fig1_stream(&mut store);
         let mut t = Input::new();
         for msg in &stream[1..] {
             let mut out = Vec::new();

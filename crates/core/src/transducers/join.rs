@@ -88,21 +88,21 @@ impl Join {
 mod tests {
     use super::*;
     use crate::message::Determination;
-    use crate::message::SymbolTable;
-    use crate::transducers::test_util::stream_of;
+    use crate::transducers::test_util::{render, stream_of};
     use spex_formula::{CondVar, Formula};
+    use spex_xml::EventStore;
 
-    fn doc(symbols: &mut SymbolTable, xml: &str, idx: usize) -> Message {
-        stream_of(symbols, xml)[idx].clone()
+    fn doc(store: &mut EventStore, xml: &str, idx: usize) -> Message {
+        stream_of(store, xml)[idx].clone()
     }
 
     #[test]
     fn both_docs_emit_once() {
-        let mut symbols = SymbolTable::new();
-        let a = doc(&mut symbols, "<a/>", 1);
+        let mut store = EventStore::new();
+        let a = doc(&mut store, "<a/>", 1);
         let mut j = Join::new();
         let mut out = Vec::new();
-        j.step2(vec![a.clone()], vec![a.clone()], &mut out);
+        j.step2(vec![a.clone()], vec![a], &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].is_doc());
     }
@@ -110,13 +110,13 @@ mod tests {
     #[test]
     fn left_activation_precedes_doc() {
         // Left branch: [f];<a>. Right branch: <a>. Output: [f];<a>.
-        let mut symbols = SymbolTable::new();
-        let a = doc(&mut symbols, "<a/>", 1);
+        let mut store = EventStore::new();
+        let a = doc(&mut store, "<a/>", 1);
         let f = Message::Activate(Formula::True);
         let mut j = Join::new();
         let mut out = Vec::new();
         j.step2(vec![f, a.clone()], vec![a], &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["[true]", "<a>"]);
     }
 
@@ -124,13 +124,13 @@ mod tests {
     fn right_determination_with_left_doc() {
         // Main branch delivers <b> only; qualifier branch delivers
         // {c,true};<b>. Output: {c,true};<b>.
-        let mut symbols = SymbolTable::new();
-        let b = doc(&mut symbols, "<b/>", 1);
+        let mut store = EventStore::new();
+        let b = doc(&mut store, "<b/>", 1);
         let det = Message::Determine(CondVar::new(1, 1), Determination::True);
         let mut j = Join::new();
         let mut out = Vec::new();
         j.step2(vec![b.clone()], vec![det, b], &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["{c1.1,true}", "<b>"]);
     }
 
@@ -138,14 +138,14 @@ mod tests {
     fn activations_always_precede_determinations() {
         // Left: {c,false};<a>; right: [f];<a> — the activation is emitted
         // first (the generalized (6)/(7) normalization).
-        let mut symbols = SymbolTable::new();
-        let a = doc(&mut symbols, "<a/>", 1);
+        let mut store = EventStore::new();
+        let a = doc(&mut store, "<a/>", 1);
         let f = Message::Activate(Formula::True);
         let det = Message::Determine(CondVar::new(1, 1), Determination::False);
         let mut j = Join::new();
         let mut out = Vec::new();
         j.step2(vec![det, a.clone()], vec![f, a], &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["[true]", "{c1.1,false}", "<a>"]);
     }
 
@@ -154,8 +154,8 @@ mod tests {
         // Regression for the nested-nullable-qualifier bug: left queue holds
         // a determination for c2 paired positionally against the right
         // queue's activation *referencing* c2. The activation must win.
-        let mut symbols = SymbolTable::new();
-        let a = doc(&mut symbols, "<a/>", 1);
+        let mut store = EventStore::new();
+        let a = doc(&mut store, "<a/>", 1);
         let c1 = CondVar::new(0, 1);
         let c2 = CondVar::new(1, 2);
         let left = vec![
@@ -167,7 +167,7 @@ mod tests {
         let mut j = Join::new();
         let mut out = Vec::new();
         j.step2(left, right, &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(
             rendered,
             vec!["[c1.2]", "{c0.1,true}", "{c1.2,true}", "<a>"]
@@ -176,34 +176,34 @@ mod tests {
 
     #[test]
     fn two_activations_both_pass() {
-        let mut symbols = SymbolTable::new();
-        let a = doc(&mut symbols, "<a/>", 1);
+        let mut store = EventStore::new();
+        let a = doc(&mut store, "<a/>", 1);
         let f1 = Message::Activate(Formula::Var(CondVar::new(0, 1)));
         let f2 = Message::Activate(Formula::Var(CondVar::new(0, 2)));
         let mut j = Join::new();
         let mut out = Vec::new();
         j.step2(vec![f1, a.clone()], vec![f2, a], &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["[c0.1]", "[c0.2]", "<a>"]);
     }
 
     #[test]
     fn per_branch_determination_order_is_preserved() {
-        let mut symbols = SymbolTable::new();
-        let a = doc(&mut symbols, "<a/>", 1);
+        let mut store = EventStore::new();
+        let a = doc(&mut store, "<a/>", 1);
         let d1 = Message::Determine(CondVar::new(1, 1), Determination::True);
         let d2 = Message::Determine(CondVar::new(1, 2), Determination::False);
         let mut j = Join::new();
         let mut out = Vec::new();
         j.step2(vec![a.clone()], vec![d1, d2, a], &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["{c1.1,true}", "{c1.2,false}", "<a>"]);
     }
 
     #[test]
     fn whole_stream_passes_unharmed() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b>t</b><c/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>t</b><c/></a>");
         let mut j = Join::new();
         let mut out = Vec::new();
         for m in &stream {

@@ -95,53 +95,53 @@ pub fn format_transitions(ts: &[u8]) -> String {
 pub(crate) mod test_util {
     //! Helpers shared by the transducer unit tests.
 
-    use crate::message::{DocEvent, Message, SymbolTable};
-    use spex_xml::XmlEvent;
-    use std::rc::Rc;
+    use crate::message::{DocEvent, Message};
+    use spex_xml::{EventId, EventStore, StoredKind};
 
     /// Build the document-message sequence of the paper's Fig. 1 stream:
     /// `<$> <a> <a> <c> </c> </a> <b> </b> <c> </c> </a> </$>`.
-    pub fn fig1_stream(symbols: &mut SymbolTable) -> Vec<Message> {
-        stream_of(symbols, "<a><a><c/></a><b/><c/></a>")
+    pub fn fig1_stream(store: &mut EventStore) -> Vec<Message> {
+        stream_of(store, "<a><a><c/></a><b/><c/></a>")
     }
 
-    /// Parse `xml` into document messages with interned labels.
-    pub fn stream_of(symbols: &mut SymbolTable, xml: &str) -> Vec<Message> {
+    /// Parse `xml` into document messages: events go into the arena, labels
+    /// are interned by the store's symbol table.
+    pub fn stream_of(store: &mut EventStore, xml: &str) -> Vec<Message> {
         spex_xml::reader::parse_events(xml)
             .expect("well-formed test document")
-            .into_iter()
-            .map(|ev| Message::Doc(doc_event(symbols, ev)))
+            .iter()
+            .map(|ev| {
+                let id = store.push_owned(ev);
+                Message::Doc(doc_event(store, id))
+            })
             .collect()
     }
 
-    /// Convert one event.
-    pub fn doc_event(symbols: &mut SymbolTable, ev: XmlEvent) -> DocEvent {
-        match &ev {
-            XmlEvent::StartDocument => DocEvent::Open {
-                label: crate::message::DOC_SYMBOL,
-                payload: Rc::new(ev),
+    /// Render a message the way the paper's figures do: doc messages by
+    /// their payload (`<a>`, `</a>`, text), control messages by `Display`.
+    /// (The bare `Message` `Display` renders doc payloads as arena handles.)
+    pub fn render(store: &EventStore, m: &Message) -> String {
+        match m {
+            Message::Doc(d) => store.get(d.payload()).to_string(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Build the document message for an event already in the arena.
+    pub fn doc_event(store: &EventStore, id: EventId) -> DocEvent {
+        let rec = store.stored(id);
+        match rec.kind {
+            StoredKind::StartDocument | StoredKind::Start => DocEvent::Open {
+                label: rec.sym,
+                payload: id,
             },
-            XmlEvent::EndDocument => DocEvent::Close {
-                label: crate::message::DOC_SYMBOL,
-                payload: Rc::new(ev),
+            StoredKind::EndDocument | StoredKind::End => DocEvent::Close {
+                label: rec.sym,
+                payload: id,
             },
-            XmlEvent::StartElement { name, .. } => {
-                let label = symbols.intern(name);
-                DocEvent::Open {
-                    label,
-                    payload: Rc::new(ev),
-                }
+            StoredKind::Text | StoredKind::Comment | StoredKind::Pi => {
+                DocEvent::Item { payload: id }
             }
-            XmlEvent::EndElement { name } => {
-                let label = symbols.intern(name);
-                DocEvent::Close {
-                    label,
-                    payload: Rc::new(ev),
-                }
-            }
-            _ => DocEvent::Item {
-                payload: Rc::new(ev),
-            },
         }
     }
 }

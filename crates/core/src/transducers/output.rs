@@ -39,9 +39,8 @@ use crate::message::{Determination, DocEvent, Message};
 use crate::sink::{ResultMeta, ResultSink};
 use crate::stats::EngineStats;
 use spex_formula::{CondVar, Formula};
-use spex_xml::XmlEvent;
+use spex_xml::{EventId, EventStore};
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 
 #[derive(Debug)]
 struct Candidate {
@@ -50,8 +49,9 @@ struct Candidate {
     /// Number of currently open elements within the fragment; 0 once the
     /// fragment is complete.
     open_depth: usize,
-    /// Buffered content not yet forwarded to the sink.
-    buffer: Vec<Rc<XmlEvent>>,
+    /// Buffered content not yet forwarded to the sink: 4-byte arena handles,
+    /// resolved against the run's [`EventStore`] at emission time.
+    buffer: Vec<EventId>,
     /// `begin` has been sent to the sink (the candidate is accepted and is
     /// the emission frontier).
     begin_sent: bool,
@@ -104,6 +104,7 @@ impl Output {
         sink: &mut dyn ResultSink,
         now: u64,
         stats: &mut EngineStats,
+        store: &EventStore,
     ) {
         if std::env::var_os("SPEX_DEBUG_OU").is_some() {
             eprintln!("OU tick {now}: {msg}");
@@ -158,10 +159,10 @@ impl Output {
                         entry.push(id);
                     }
                 }
-                self.flush(sink, now, stats);
+                self.flush(sink, now, stats, store);
             }
             Message::Doc(doc) => {
-                let payload = doc.payload().clone();
+                let payload = doc.payload();
                 // Content goes to every open candidate (they form a stack).
                 let is_open = matches!(doc, DocEvent::Open { .. });
                 let is_close = matches!(doc, DocEvent::Close { .. });
@@ -181,7 +182,7 @@ impl Output {
                         cand.open_depth -= 1;
                     }
                     if !cand.rejected {
-                        cand.buffer.push(payload.clone());
+                        cand.buffer.push(payload);
                         *buffered += 1;
                     }
                 }
@@ -232,14 +233,20 @@ impl Output {
                     self.pending.clear();
                 }
                 stats.peak_live_candidates = stats.peak_live_candidates.max(self.candidates.len());
-                self.flush(sink, now, stats);
+                self.flush(sink, now, stats, store);
                 stats.peak_buffered_events = stats.peak_buffered_events.max(self.buffered);
             }
         }
     }
 
     /// Emit every decidable frontier candidate, preserving document order.
-    fn flush(&mut self, sink: &mut dyn ResultSink, now: u64, stats: &mut EngineStats) {
+    fn flush(
+        &mut self,
+        sink: &mut dyn ResultSink,
+        now: u64,
+        stats: &mut EngineStats,
+        store: &EventStore,
+    ) {
         while let Some(front) = self.candidates.front_mut() {
             if front.rejected {
                 self.candidates.pop_front();
@@ -256,10 +263,11 @@ impl Output {
                     );
                     front.begin_sent = true;
                 }
-                // Stream out whatever is buffered.
-                for ev in front.buffer.drain(..) {
+                // Stream out whatever is buffered, resolving the handles
+                // against the arena (views borrow; nothing is copied).
+                for id in front.buffer.drain(..) {
                     self.buffered -= 1;
-                    sink.event(&ev, now);
+                    sink.event(&store.get(id), now);
                 }
                 if front.complete() {
                     sink.end(now);
@@ -278,7 +286,13 @@ impl Output {
     /// still-undetermined variable can never become true — resolve remaining
     /// formulas to `false` and flush. (With a complete network VC has
     /// already determined everything and this is a no-op.)
-    pub fn finish(&mut self, sink: &mut dyn ResultSink, now: u64, stats: &mut EngineStats) {
+    pub fn finish(
+        &mut self,
+        sink: &mut dyn ResultSink,
+        now: u64,
+        stats: &mut EngineStats,
+        store: &EventStore,
+    ) {
         for cand in &mut self.candidates {
             if cand.rejected {
                 continue;
@@ -293,7 +307,7 @@ impl Output {
                 stats.dropped += 1;
             }
         }
-        self.flush(sink, now, stats);
+        self.flush(sink, now, stats, store);
         debug_assert!(
             self.candidates.is_empty(),
             "incomplete candidates at end of stream"
@@ -314,7 +328,13 @@ impl Output {
     /// `false`. Fragments cut off mid-flight by the abort are delivered
     /// truncated only if they had already begun streaming (the sink's
     /// `begin` cannot be unsent); otherwise they are dropped.
-    pub fn abort(&mut self, sink: &mut dyn ResultSink, now: u64, stats: &mut EngineStats) {
+    pub fn abort(
+        &mut self,
+        sink: &mut dyn ResultSink,
+        now: u64,
+        stats: &mut EngineStats,
+        store: &EventStore,
+    ) {
         for cand in &mut self.candidates {
             if cand.rejected {
                 continue;
@@ -333,7 +353,7 @@ impl Output {
         // closing the (accepted but incomplete) frontier fragment, so the
         // complete results queued behind an open one still get out.
         loop {
-            self.flush(sink, now, stats);
+            self.flush(sink, now, stats, store);
             let Some(front) = self.candidates.pop_front() else {
                 break;
             };
@@ -370,31 +390,30 @@ impl Output {
 mod tests {
     use super::*;
     use crate::message::Determination;
-    use crate::message::SymbolTable;
     use crate::sink::FragmentCollector;
     use crate::transducers::test_util::stream_of;
     use spex_formula::{CondVar, Formula};
 
-    fn run(messages: Vec<Message>) -> (FragmentCollector, EngineStats) {
+    fn run(messages: Vec<Message>, store: &EventStore) -> (FragmentCollector, EngineStats) {
         let mut out = Output::new();
         let mut sink = FragmentCollector::new();
         let mut stats = EngineStats::default();
         let mut now = 0;
         for m in messages {
             let is_doc = m.is_doc();
-            out.step(m, &mut sink, now, &mut stats);
+            out.step(m, &mut sink, now, &mut stats, store);
             if is_doc {
                 now += 1;
             }
         }
-        out.finish(&mut sink, now, &mut stats);
+        out.finish(&mut sink, now, &mut stats, store);
         (sink, stats)
     }
 
     #[test]
     fn true_candidate_streams_immediately() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b>t</b></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>t</b></a>");
         // Activate the <b> fragment with [true].
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -403,7 +422,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert_eq!(sink.fragments(), ["<b>t</b>".to_string()]);
         assert_eq!(stats.results, 1);
         assert_eq!(stats.dropped, 0);
@@ -413,8 +432,8 @@ mod tests {
 
     #[test]
     fn future_condition_buffers_until_true() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b>t</b><c/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>t</b><c/></a>");
         let v = CondVar::new(0, 1);
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -427,7 +446,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert_eq!(sink.fragments(), ["<b>t</b>".to_string()]);
         // Delivery only began at tick 5 (when the variable was determined).
         assert_eq!(sink.timing, vec![(2, 5)]);
@@ -436,8 +455,8 @@ mod tests {
 
     #[test]
     fn false_candidate_dropped_and_buffer_released() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b>t</b></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>t</b></a>");
         let v = CondVar::new(0, 1);
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -449,7 +468,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert!(sink.fragments().is_empty());
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.results, 0);
@@ -459,8 +478,8 @@ mod tests {
     fn document_order_is_preserved_across_decisions() {
         // Candidate 1 (undetermined, later true) starts before candidate 2
         // (immediately true): 2 must wait for 1.
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b>x</b><c>y</c></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>x</b><c>y</c></a>");
         let v = CondVar::new(0, 1);
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -476,7 +495,7 @@ mod tests {
                 msgs.push(Message::Determine(v, Determination::True));
             }
         }
-        let (sink, _stats) = run(msgs);
+        let (sink, _stats) = run(msgs, &store);
         assert_eq!(
             sink.fragments(),
             ["<b>x</b>".to_string(), "<c>y</c>".to_string()]
@@ -488,8 +507,8 @@ mod tests {
 
     #[test]
     fn nested_candidates_each_get_full_fragments() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b><c>t</c></b></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b><c>t</c></b></a>");
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
             if i == 2 || i == 3 {
@@ -497,7 +516,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, _stats) = run(msgs);
+        let (sink, _stats) = run(msgs, &store);
         assert_eq!(
             sink.fragments(),
             ["<b><c>t</c></b>".to_string(), "<c>t</c>".to_string()]
@@ -507,8 +526,8 @@ mod tests {
     #[test]
     fn sibling_candidates_after_nested_ones() {
         // Exercises the open-stack bookkeeping: open, close, open again.
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b>1</b><b>2</b><b>3</b></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>1</b><b>2</b><b>3</b></a>");
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
             if i == 2 || i == 5 || i == 8 {
@@ -516,7 +535,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert_eq!(
             sink.fragments(),
             [
@@ -533,8 +552,8 @@ mod tests {
     #[test]
     fn rejected_open_candidate_stops_buffering() {
         // A candidate rejected while still open must not keep accumulating.
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b><x/><y/><z/></b></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b><x/><y/><z/></b></a>");
         let v = CondVar::new(0, 1);
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -546,7 +565,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert!(sink.fragments().is_empty());
         assert_eq!(stats.dropped, 1);
         // Buffer peak stays at the prefix seen before rejection.
@@ -555,8 +574,8 @@ mod tests {
 
     #[test]
     fn unresolved_variables_are_false_at_end_of_stream() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b/></a>");
         let v = CondVar::new(0, 1);
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -565,7 +584,7 @@ mod tests {
             }
             msgs.push(m.clone());
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert!(sink.fragments().is_empty());
         assert_eq!(stats.dropped, 1);
     }
@@ -573,11 +592,11 @@ mod tests {
     #[test]
     fn whole_document_candidate() {
         // An ε query activates at <$>: the full document is the fragment.
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b/></a>");
         let mut msgs = vec![Message::Activate(Formula::True)];
         msgs.extend(stream.iter().cloned());
-        let (sink, _stats) = run(msgs);
+        let (sink, _stats) = run(msgs, &store);
         assert_eq!(sink.fragments().len(), 1);
         // `<$>`/`</$>` render as nothing printable in fragments; the
         // serialized fragment contains the root element.
@@ -586,8 +605,8 @@ mod tests {
 
     #[test]
     fn determination_for_long_gone_candidate_is_harmless() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b/><c/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b/><c/></a>");
         let v = CondVar::new(0, 1);
         let mut msgs = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -603,7 +622,7 @@ mod tests {
                 msgs.push(Message::Determine(v, Determination::False));
             }
         }
-        let (sink, stats) = run(msgs);
+        let (sink, stats) = run(msgs, &store);
         assert_eq!(sink.fragments(), ["<b></b>".to_string()]);
         assert_eq!(stats.results, 1);
     }

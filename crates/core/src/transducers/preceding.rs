@@ -160,11 +160,11 @@ impl Transducer for Preceding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::SymbolTable;
     use crate::transducers::test_util::stream_of;
+    use spex_xml::EventStore;
 
-    fn pr(symbols: &mut SymbolTable, label: &str) -> Preceding {
-        let l = symbols.intern(label);
+    fn pr(store: &mut EventStore, label: &str) -> Preceding {
+        let l = store.symbols_mut().intern(label);
         Preceding::new(
             MatchLabel::Symbol(l),
             QualifierId(0),
@@ -176,9 +176,9 @@ mod tests {
     /// closed before) is satisfied; the later <b> resolves to false.
     #[test]
     fn closed_candidates_satisfied_by_later_context() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<r><b/><a/><b/></r>");
-        let mut t = pr(&mut symbols, "b");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<r><b/><a/><b/></r>");
+        let mut t = pr(&mut store, "b");
         let mut tape = Vec::new();
         for (i, m) in stream.iter().enumerate() {
             if i == 4 {
@@ -206,9 +206,9 @@ mod tests {
     #[test]
     fn conditional_context_implies() {
         use spex_formula::CondVar;
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<r><b/><a/></r>");
-        let mut t = pr(&mut symbols, "b");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<r><b/><a/></r>");
+        let mut t = pr(&mut store, "b");
         let ctx = Formula::Var(CondVar::new(9, 9));
         let mut tape = Vec::new();
         for (i, m) in stream.iter().enumerate() {
@@ -230,9 +230,9 @@ mod tests {
     /// Still-open candidates are not satisfied (ancestors are excluded).
     #[test]
     fn open_candidates_not_satisfied() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<b><a/></b>");
-        let mut t = pr(&mut symbols, "b");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<b><a/></b>");
+        let mut t = pr(&mut store, "b");
         let mut tape = Vec::new();
         for (i, m) in stream.iter().enumerate() {
             if i == 2 {

@@ -101,9 +101,9 @@ impl Transducer for Union {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::SymbolTable;
-    use crate::transducers::test_util::stream_of;
+    use crate::transducers::test_util::{render, stream_of};
     use spex_formula::CondVar;
+    use spex_xml::EventStore;
 
     fn var(s: u32) -> Formula {
         Formula::Var(CondVar::new(0, s))
@@ -111,34 +111,34 @@ mod tests {
 
     #[test]
     fn two_activations_merge_to_disjunction() {
-        let mut symbols = SymbolTable::new();
-        let a = stream_of(&mut symbols, "<a/>")[1].clone();
+        let mut store = EventStore::new();
+        let a = stream_of(&mut store, "<a/>")[1].clone();
         let mut u = Union::new();
         let mut out = Vec::new();
         u.step(Message::Activate(var(1)), &mut out);
         u.step(Message::Activate(var(2)), &mut out);
         assert!(out.is_empty()); // nothing until the document message
         u.step(a, &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["[c0.1 ∨ c0.2]", "<a>"]);
     }
 
     #[test]
     fn single_activation_passes() {
-        let mut symbols = SymbolTable::new();
-        let a = stream_of(&mut symbols, "<a/>")[1].clone();
+        let mut store = EventStore::new();
+        let a = stream_of(&mut store, "<a/>")[1].clone();
         let mut u = Union::new();
         let mut out = Vec::new();
         u.step(Message::Activate(var(1)), &mut out);
         u.step(a, &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         assert_eq!(rendered, vec!["[c0.1]", "<a>"]);
     }
 
     #[test]
     fn three_activations_merge() {
-        let mut symbols = SymbolTable::new();
-        let a = stream_of(&mut symbols, "<a/>")[1].clone();
+        let mut store = EventStore::new();
+        let a = stream_of(&mut store, "<a/>")[1].clone();
         let mut u = Union::new();
         let mut out = Vec::new();
         for s in 1..=3 {
@@ -150,8 +150,8 @@ mod tests {
 
     #[test]
     fn plain_documents_forwarded() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b/></a>");
         let mut u = Union::new();
         let mut out = Vec::new();
         for m in &stream {
@@ -162,8 +162,8 @@ mod tests {
 
     #[test]
     fn determination_updates_pending_formula() {
-        let mut symbols = SymbolTable::new();
-        let a = stream_of(&mut symbols, "<a/>")[1].clone();
+        let mut store = EventStore::new();
+        let a = stream_of(&mut store, "<a/>")[1].clone();
         let mut u = Union::new();
         let mut out = Vec::new();
         let c = CondVar::new(0, 1);
@@ -173,7 +173,7 @@ mod tests {
             &mut out,
         );
         u.step(a, &mut out);
-        let rendered: Vec<String> = out.iter().map(|m| m.to_string()).collect();
+        let rendered: Vec<String> = out.iter().map(|m| render(&store, m)).collect();
         // The determination was held behind the pending activation (so it
         // cannot overtake it) and re-emitted after the — already updated —
         // merged activation.
@@ -184,8 +184,8 @@ mod tests {
     fn duplicate_conjuncts_removed() {
         // "Note, that such a disjunction can be normalized by removing
         // multiple occurrences of the same conjuncts" (§III.4).
-        let mut symbols = SymbolTable::new();
-        let a = stream_of(&mut symbols, "<a/>")[1].clone();
+        let mut store = EventStore::new();
+        let a = stream_of(&mut store, "<a/>")[1].clone();
         let mut u = Union::new();
         let mut out = Vec::new();
         u.step(Message::Activate(var(1)), &mut out);

@@ -141,8 +141,8 @@ impl Transducer for VarCreator {
 mod tests {
     use super::*;
     use crate::message::Determination;
-    use crate::message::SymbolTable;
     use crate::transducers::test_util::stream_of;
+    use spex_xml::EventStore;
 
     fn vc() -> VarCreator {
         VarCreator::new(QualifierId(1), Rc::new(RefCell::new(VarFactory::new())))
@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn invalidates_on_scope_close() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><b/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b/></a>");
         let mut t = vc();
         let mut tape = Vec::new();
         // Activate before the <a> element (index 1): <a> is the scope.
@@ -183,8 +183,8 @@ mod tests {
 
     #[test]
     fn nested_instances_stack() {
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><a/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><a/></a>");
         let mut t = vc();
         let mut tape = Vec::new();
         t.step(stream[0].clone(), &mut tape); // <$>
@@ -206,8 +206,8 @@ mod tests {
         // The VC(q) row (T3) of Fig. 13 for `_*.a[b].c` over the Fig. 1
         // stream: VC is activated at both <a> messages (because CL(_)·CH(a)
         // matched them) and fires 4 at both </a>.
-        let mut symbols = SymbolTable::new();
-        let stream = stream_of(&mut symbols, "<a><a><c/></a><b/><c/></a>");
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><a><c/></a><b/><c/></a>");
         let mut t = vc();
         t.set_tracing(true);
         let mut traces = Vec::new();

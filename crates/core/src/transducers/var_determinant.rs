@@ -152,9 +152,9 @@ mod tests {
 
     #[test]
     fn document_messages_forwarded() {
-        use crate::message::SymbolTable;
-        let mut symbols = SymbolTable::new();
-        let stream = crate::transducers::test_util::stream_of(&mut symbols, "<a>x</a>");
+        use spex_xml::EventStore;
+        let mut store = EventStore::new();
+        let stream = crate::transducers::test_util::stream_of(&mut store, "<a>x</a>");
         let mut t = VarDeterminant::new(QualifierId(0), 1..1);
         let mut out = Vec::new();
         for m in &stream {

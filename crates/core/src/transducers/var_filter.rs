@@ -199,9 +199,9 @@ mod tests {
 
     #[test]
     fn document_messages_pass_both_polarities() {
-        use crate::message::SymbolTable;
-        let mut symbols = SymbolTable::new();
-        let stream = crate::transducers::test_util::stream_of(&mut symbols, "<a/>");
+        use spex_xml::EventStore;
+        let mut store = EventStore::new();
+        let stream = crate::transducers::test_util::stream_of(&mut store, "<a/>");
         for mut t in [
             VarFilter::positive(QualifierId(1), 2..2),
             VarFilter::negative(QualifierId(1)),

@@ -18,6 +18,11 @@
 //!   back into XML text,
 //! * [`tree`] — an arena-allocated in-memory document tree ([`Document`]),
 //!   used by the in-memory baselines and as the test oracle,
+//! * [`symbol`] — label interning ([`SymbolTable`]): dense `u32` symbols
+//!   assigned at parse time so upper layers route by handle, not string,
+//! * [`store`] — the append-only event arena ([`EventStore`]) and the
+//!   borrowing [`RawEvent`] view: one shared byte buffer per run, `u32`
+//!   handles everywhere else,
 //! * [`escape`] — text/attribute escaping and entity decoding,
 //! * [`namespaces`] — streaming prefix→URI resolution (the "technical, but
 //!   not difficult" extension the paper sets aside in §II.1),
@@ -51,6 +56,8 @@ pub mod namespaces;
 pub mod reader;
 pub mod recover;
 pub mod stats;
+pub mod store;
+pub mod symbol;
 pub mod tree;
 pub mod writer;
 
@@ -59,5 +66,7 @@ pub use event::{Attribute, XmlEvent};
 pub use reader::Reader;
 pub use recover::{Fault, FaultAction, FaultKind, RecoveryPolicy};
 pub use stats::StreamStats;
+pub use store::{AttrsView, EventId, EventStore, RawEvent, StoredEvent, StoredKind};
+pub use symbol::{Symbol, SymbolTable, DOC_SYMBOL};
 pub use tree::{Document, NodeId, NodeKind, TreeBuilder};
 pub use writer::{WriteOptions, Writer};

@@ -14,6 +14,7 @@ use crate::error::{Position, Result, XmlError};
 use crate::escape::{unescape, unescape_lossy};
 use crate::event::{Attribute, XmlEvent};
 use crate::recover::{Fault, FaultAction, FaultKind, RecoveryPolicy};
+use crate::store::{EventId, EventStore, RawEvent};
 use std::collections::VecDeque;
 use std::io::Read;
 
@@ -149,7 +150,21 @@ pub struct Reader<R: Read> {
     emitted: u64,
     /// Emitted-event index of the current document's root start element.
     root_open_tick: u64,
+    /// Recycled `String` buffers. Events handed back through
+    /// [`Reader::next_into`]/[`Reader::next_raw`] return their payload
+    /// buffers here, so the steady-state parse loop allocates nothing.
+    str_pool: Vec<String>,
+    /// Recycled attribute vectors (same lifecycle as `str_pool`).
+    attr_pool: Vec<Vec<Attribute>>,
+    /// The most recent event delivered through [`Reader::next_raw`]; kept so
+    /// the borrow handed to the caller stays valid until the next pull, then
+    /// recycled.
+    last: Option<XmlEvent>,
 }
+
+/// Upper bound on pooled buffers; beyond this, buffers are simply dropped
+/// (a document with thousands of attributes should not pin memory forever).
+const POOL_CAP: usize = 64;
 
 /// Recording stops (with one final catch-all fault) after this many faults,
 /// so a pathological stream cannot exhaust memory via the fault log.
@@ -185,6 +200,9 @@ impl<R: Read> Reader<R> {
             faults: Vec::new(),
             emitted: 0,
             root_open_tick: 0,
+            str_pool: Vec::new(),
+            attr_pool: Vec::new(),
+            last: None,
         }
     }
 
@@ -257,6 +275,85 @@ impl<R: Read> Reader<R> {
                 Ok(Some(e))
             }
             other => other,
+        }
+    }
+
+    /// Pull the next event as a borrowing [`RawEvent`] over the reader's
+    /// internal buffers. The view is valid until the next pull; the buffers
+    /// behind it are recycled, so a steady-state parse loop through this
+    /// method performs no per-event allocation.
+    ///
+    /// Semantics (event sequence, faults, errors) are identical to
+    /// [`Reader::next_event`].
+    pub fn next_raw(&mut self) -> Result<Option<RawEvent<'_>>> {
+        if let Some(prev) = self.last.take() {
+            self.recycle_event(prev);
+        }
+        self.last = self.next_event()?;
+        Ok(self.last.as_ref().map(RawEvent::from_event))
+    }
+
+    /// Pull the next event directly into an [`EventStore`], returning its
+    /// arena handle. Labels are interned into the store's symbol table at
+    /// parse time; payload bytes are copied once into the shared buffer and
+    /// the reader's own buffers are recycled, so the loop
+    /// `while let Some(id) = reader.next_into(&mut store)? { … }` is the
+    /// zero-copy producer side of the pipeline.
+    pub fn next_into(&mut self, store: &mut EventStore) -> Result<Option<EventId>> {
+        if let Some(prev) = self.last.take() {
+            self.recycle_event(prev);
+        }
+        match self.next_event()? {
+            None => Ok(None),
+            Some(ev) => {
+                let id = store.push_owned(&ev);
+                self.recycle_event(ev);
+                Ok(Some(id))
+            }
+        }
+    }
+
+    // ----- buffer recycling (the no-allocation steady state) -----
+
+    fn take_string(&mut self) -> String {
+        let mut s = self.str_pool.pop().unwrap_or_default();
+        s.clear();
+        s
+    }
+
+    fn recycle_string(&mut self, s: String) {
+        if self.str_pool.len() < POOL_CAP && s.capacity() > 0 {
+            self.str_pool.push(s);
+        }
+    }
+
+    fn take_attrs(&mut self) -> Vec<Attribute> {
+        self.attr_pool.pop().unwrap_or_default()
+    }
+
+    /// Reclaim the payload buffers of a consumed event.
+    fn recycle_event(&mut self, event: XmlEvent) {
+        match event {
+            XmlEvent::StartElement {
+                name,
+                mut attributes,
+            } => {
+                self.recycle_string(name);
+                for a in attributes.drain(..) {
+                    self.recycle_string(a.name);
+                    self.recycle_string(a.value);
+                }
+                if self.attr_pool.len() < POOL_CAP {
+                    self.attr_pool.push(attributes);
+                }
+            }
+            XmlEvent::EndElement { name } => self.recycle_string(name),
+            XmlEvent::Text(t) | XmlEvent::Comment(t) => self.recycle_string(t),
+            XmlEvent::ProcessingInstruction { target, data } => {
+                self.recycle_string(target);
+                self.recycle_string(data);
+            }
+            XmlEvent::StartDocument | XmlEvent::EndDocument => {}
         }
     }
 
@@ -792,7 +889,7 @@ impl<R: Read> Reader<R> {
     /// Non-ASCII bytes are accepted verbatim so UTF-8 names pass through.
     fn parse_name(&mut self) -> Result<String> {
         let start = self.bytes.position;
-        let mut name = String::new();
+        let mut name = self.take_string();
         match self.bytes.peek()? {
             Some(b) if is_name_start(b) => {}
             _ => return Err(XmlError::syntax("expected a name", start)),
@@ -814,13 +911,17 @@ impl<R: Read> Reader<R> {
 
     fn parse_open_tag(&mut self) -> Result<XmlEvent> {
         let name = self.parse_name()?;
-        let mut attributes = Vec::new();
+        let mut attributes = self.take_attrs();
         loop {
             self.skip_whitespace()?;
             match self.bytes.peek()? {
                 Some(b'>') => {
                     self.bytes.next()?;
-                    self.stack.push(name.clone());
+                    // Copy the name into a pooled buffer for the open-element
+                    // stack instead of `clone()`: no allocation once warm.
+                    let mut open = self.take_string();
+                    open.push_str(&name);
+                    self.stack.push(open);
                     // The start event is delivered right after this return,
                     // so its tick is the current `emitted` index.
                     self.open_ticks.push(self.emitted);
@@ -839,7 +940,9 @@ impl<R: Read> Reader<R> {
                     // open-element stack (the element opens and closes
                     // atomically). If this was the root element the caller
                     // transitions to the epilog based on the empty stack.
-                    self.pending = Some(XmlEvent::EndElement { name: name.clone() });
+                    let mut close = self.take_string();
+                    close.push_str(&name);
+                    self.pending = Some(XmlEvent::EndElement { name: close });
                     return Ok(XmlEvent::StartElement { name, attributes });
                 }
                 Some(b) if is_name_start(b) => {
@@ -881,7 +984,7 @@ impl<R: Read> Reader<R> {
         if quote != b'"' && quote != b'\'' {
             return Err(XmlError::syntax("attribute value must be quoted", start));
         }
-        let mut raw = String::new();
+        let mut raw = self.take_string();
         loop {
             match self.bytes.next()? {
                 None => {
@@ -908,8 +1011,18 @@ impl<R: Read> Reader<R> {
     /// references become U+FFFD replacement text and are reported as a
     /// [`FaultKind::BadEntity`] fault instead of an error.
     fn decode_entities(&mut self, raw: String, start: Position) -> Result<String> {
+        // No reference, no work: hand the buffer back untouched. (This is
+        // the dominant path; it also means no copy out of a pooled buffer.)
+        if !raw.contains('&') {
+            return Ok(raw);
+        }
         match unescape(&raw) {
-            Some(v) => Ok(v.into_owned()),
+            Some(v) => {
+                // `raw` contains `&`, so a successful decode is always owned.
+                let v = v.into_owned();
+                self.recycle_string(raw);
+                Ok(v)
+            }
             None if self.policy == RecoveryPolicy::Strict => Err(XmlError::BadEntity {
                 entity: raw,
                 position: start,
@@ -924,6 +1037,7 @@ impl<R: Read> Reader<R> {
                     self.emitted,
                     self.emitted,
                 );
+                self.recycle_string(raw);
                 Ok(fixed)
             }
         }
@@ -946,7 +1060,9 @@ impl<R: Read> Reader<R> {
         }
         match self.stack.last() {
             Some(open) if *open == name => {
-                self.stack.pop();
+                if let Some(popped) = self.stack.pop() {
+                    self.recycle_string(popped);
+                }
                 self.open_ticks.pop();
                 if self.stack.is_empty() {
                     self.state = State::Epilog;
@@ -1008,7 +1124,7 @@ impl<R: Read> Reader<R> {
     /// merging adjacent CDATA sections.
     fn parse_text(&mut self) -> Result<String> {
         let start = self.bytes.position;
-        let mut raw = String::new();
+        let mut raw = self.take_string();
         loop {
             let b = match self.bytes.peek() {
                 Ok(Some(b)) => b,
@@ -1038,7 +1154,7 @@ impl<R: Read> Reader<R> {
                 return Err(XmlError::syntax("malformed comment opener", pos));
             }
         }
-        let mut content = String::new();
+        let mut content = self.take_string();
         let mut dashes = 0usize;
         loop {
             match self.bytes.next()? {
@@ -1076,7 +1192,7 @@ impl<R: Read> Reader<R> {
                 return Err(XmlError::syntax("malformed CDATA opener", pos));
             }
         }
-        let mut content = String::new();
+        let mut content = self.take_string();
         let mut brackets = 0usize;
         loop {
             match self.bytes.next()? {
@@ -1108,7 +1224,7 @@ impl<R: Read> Reader<R> {
     /// for the XML declaration (`<?xml ...?>`), which is consumed silently.
     fn parse_pi(&mut self) -> Result<Option<XmlEvent>> {
         let target = self.parse_name()?;
-        let mut data = String::new();
+        let mut data = self.take_string();
         let mut question = false;
         loop {
             match self.bytes.next()? {
@@ -1135,9 +1251,17 @@ impl<R: Read> Reader<R> {
             }
         }
         if target.eq_ignore_ascii_case("xml") {
+            self.recycle_string(target);
+            self.recycle_string(data);
             return Ok(None);
         }
-        let data = fix_latin(data.trim().to_string());
+        // Trim in place rather than `data.trim().to_string()`.
+        data.truncate(data.trim_end().len());
+        let lead = data.len() - data.trim_start().len();
+        if lead > 0 {
+            data.drain(..lead);
+        }
+        let data = fix_latin(data);
         Ok(Some(XmlEvent::ProcessingInstruction { target, data }))
     }
 
@@ -1265,6 +1389,35 @@ mod tests {
                 "</$>"
             ]
         );
+    }
+
+    #[test]
+    fn next_into_matches_next_event() {
+        let xml = r#"<a x="1 &amp; 2"><b>t &lt; u</b><!--c--><?pi d?><c/></a>"#;
+        let owned = ok(xml);
+        let mut store = EventStore::new();
+        let mut reader = Reader::from_str(xml);
+        let mut ids = Vec::new();
+        while let Some(id) = reader.next_into(&mut store).unwrap() {
+            ids.push(id);
+        }
+        let via_store: Vec<XmlEvent> = ids
+            .iter()
+            .map(|id| store.get(*id).to_owned_event())
+            .collect();
+        assert_eq!(via_store, owned);
+    }
+
+    #[test]
+    fn next_raw_matches_next_event() {
+        let xml = "<a><b k='v'>x &amp; y</b></a>";
+        let owned = ok(xml);
+        let mut reader = Reader::from_str(xml);
+        let mut seen = Vec::new();
+        while let Some(raw) = reader.next_raw().unwrap() {
+            seen.push(raw.to_owned_event());
+        }
+        assert_eq!(seen, owned);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Label interning: dense [`Symbol`] handles for element names.
+//!
+//! The transducer network routes document messages by element label
+//! (paper §IV.2). Comparing interned `u32` symbols instead of strings keeps
+//! the per-message work constant-time and allocation-free, which is why the
+//! table lives here in the stream layer: labels are interned once at parse
+//! time (see [`crate::store::EventStore`]) and every layer above only ever
+//! sees dense handles.
+//!
+//! Each distinct name is stored exactly once behind an [`Rc<str>`] that is
+//! shared between the dense lookup vector and the reverse map, so interning
+//! a new name costs a single allocation.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A dense interned label handle. Symbols are assigned in first-seen order
+/// starting from zero, so they can index plain vectors.
+pub type Symbol = u32;
+
+/// The reserved symbol for the virtual document root label `$`
+/// (paper §II.1 wraps every stream in `<$>` … `</$>`).
+pub const DOC_SYMBOL: Symbol = 0;
+
+/// An interning table mapping element names to dense [`Symbol`]s and back.
+///
+/// The table only grows; symbols stay valid for the lifetime of the table.
+/// A fresh table always contains the document label `$` as [`DOC_SYMBOL`].
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<Rc<str>>,
+    map: HashMap<Rc<str>, Symbol>,
+}
+
+impl SymbolTable {
+    /// Create a table with the document symbol pre-interned.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut t = Self {
+            names: Vec::new(),
+            map: HashMap::new(),
+        };
+        let s = t.intern("$");
+        debug_assert_eq!(s, DOC_SYMBOL);
+        t
+    }
+
+    /// Intern `name`, returning its dense symbol. Existing names are looked
+    /// up without allocating; a new name costs one `Rc<str>` allocation
+    /// shared by the vector and the map.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = u32::try_from(self.names.len()).unwrap_or(u32::MAX);
+        let rc: Rc<str> = Rc::from(name);
+        self.names.push(Rc::clone(&rc));
+        self.map.insert(rc, s);
+        s
+    }
+
+    /// The name interned as `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` was not produced by this table.
+    #[must_use]
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s as usize]
+    }
+
+    /// Number of interned names (including the pre-interned `$`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// A fresh table already contains `$`, so it is never empty. Tables
+    /// constructed via `Default` (no `$`) report empty until first intern.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_table_interns_densely() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.intern("$"), DOC_SYMBOL);
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(t.intern("a"), a);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.name(DOC_SYMBOL), "$");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn lookup_does_not_grow_the_table() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("article");
+        for _ in 0..100 {
+            assert_eq!(t.intern("article"), a);
+        }
+        assert_eq!(t.len(), 2);
+    }
+}

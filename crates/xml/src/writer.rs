@@ -9,6 +9,7 @@
 use crate::error::{Result, XmlError};
 use crate::escape::{escape_attr, escape_text};
 use crate::event::XmlEvent;
+use crate::store::RawEvent;
 use std::io::Write;
 
 /// Configuration for a [`Writer`].
@@ -49,32 +50,39 @@ impl<W: Write> Writer<W> {
         }
     }
 
-    /// Write one event.
+    /// Write one owned event (delegates to [`Writer::write_view`]).
     pub fn write(&mut self, event: &XmlEvent) -> Result<()> {
+        self.write_view(&RawEvent::from_event(event))
+    }
+
+    /// Write one borrowed event view. This is the zero-copy sink side of the
+    /// pipeline: result fragments are serialized straight from the event
+    /// arena without materializing owned [`XmlEvent`]s.
+    pub fn write_view(&mut self, event: &RawEvent<'_>) -> Result<()> {
         match event {
-            XmlEvent::StartDocument => {
+            RawEvent::StartDocument => {
                 if self.options.declaration {
                     self.out
                         .write_all(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
                     self.newline()?;
                 }
             }
-            XmlEvent::EndDocument => {
+            RawEvent::EndDocument => {
                 self.out.flush()?;
             }
-            XmlEvent::StartElement { name, attributes } => {
+            RawEvent::StartElement { name, attributes } => {
                 self.mark_child();
                 self.indent()?;
                 write!(self.out, "<{name}")?;
-                for a in attributes {
-                    write!(self.out, " {}=\"{}\"", a.name, escape_attr(&a.value))?;
+                for (n, v) in attributes.iter() {
+                    write!(self.out, " {}=\"{}\"", n, escape_attr(v))?;
                 }
                 write!(self.out, ">")?;
                 self.depth += 1;
                 self.had_children.push(false);
                 self.midline = true;
             }
-            XmlEvent::EndElement { name } => {
+            RawEvent::EndElement { name } => {
                 if self.depth == 0 {
                     return Err(XmlError::syntax(
                         format!("close event </{name}> without open element"),
@@ -89,18 +97,18 @@ impl<W: Write> Writer<W> {
                 write!(self.out, "</{name}>")?;
                 self.midline = true;
             }
-            XmlEvent::Text(t) => {
+            RawEvent::Text(t) => {
                 // Text stays attached to the current line to preserve content.
                 write!(self.out, "{}", escape_text(t))?;
                 self.midline = true;
             }
-            XmlEvent::Comment(c) => {
+            RawEvent::Comment(c) => {
                 self.mark_child();
                 self.indent()?;
                 write!(self.out, "<!--{c}-->")?;
                 self.midline = true;
             }
-            XmlEvent::ProcessingInstruction { target, data } => {
+            RawEvent::ProcessingInstruction { target, data } => {
                 self.mark_child();
                 self.indent()?;
                 if data.is_empty() {

@@ -9,7 +9,7 @@ mod common;
 use common::{dom_spans, spex_spans};
 use proptest::prelude::*;
 use spex::query::{Label, Rpeq};
-use spex::xml::XmlEvent;
+use spex::xml::{Attribute, XmlEvent};
 
 fn label() -> impl Strategy<Value = String> {
     prop_oneof![
@@ -43,6 +43,70 @@ fn subtree(depth: u32) -> impl Strategy<Value = Vec<XmlEvent>> {
 
 fn document() -> impl Strategy<Value = Vec<XmlEvent>> {
     (label(), proptest::collection::vec(subtree(4), 0..3)).prop_map(|(root, kids)| {
+        let mut v = vec![XmlEvent::StartDocument, XmlEvent::open(root.clone())];
+        for k in kids {
+            v.extend(k);
+        }
+        v.push(XmlEvent::close(root));
+        v.push(XmlEvent::EndDocument);
+        v
+    })
+}
+
+/// Text that stresses the lazy-escaping path: every XML-special character,
+/// so the writer must re-escape on serialization and the reader must decode
+/// entity references on the way back in.
+fn spicy_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('x'),
+            Just('y'),
+            Just(' '),
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+        ],
+        0..10,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Subtrees with escape-heavy text nodes and attributes — the inputs where
+/// the borrowed `RawEvent` representation and owned `XmlEvent`s could
+/// plausibly diverge.
+fn rich_subtree(depth: u32) -> impl Strategy<Value = Vec<XmlEvent>> {
+    let leaf = (label(), spicy_text()).prop_map(|(l, t)| {
+        let mut v = vec![XmlEvent::open(l.clone())];
+        if !t.is_empty() {
+            v.push(XmlEvent::text(t));
+        }
+        v.push(XmlEvent::close(l));
+        v
+    });
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        (
+            label(),
+            spicy_text(),
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(l, attr, kids)| {
+                let mut v = vec![XmlEvent::StartElement {
+                    name: l.clone(),
+                    attributes: vec![Attribute::new("k", attr)],
+                }];
+                for k in kids {
+                    v.extend(k);
+                }
+                v.push(XmlEvent::close(l));
+                v
+            })
+    })
+}
+
+fn rich_document() -> impl Strategy<Value = Vec<XmlEvent>> {
+    (label(), proptest::collection::vec(rich_subtree(3), 0..3)).prop_map(|(root, kids)| {
         let mut v = vec![XmlEvent::StartDocument, XmlEvent::open(root.clone())];
         for k in kids {
             v.extend(k);
@@ -134,6 +198,40 @@ proptest! {
                 "node {} ({}) of `{}`", t.node, t.kind, q);
             prop_assert!(t.max_formula_size <= stats.max_formula_size);
         }
+    }
+
+    #[test]
+    fn zero_copy_pipeline_matches_owned_pipeline(events in rich_document(), q in query()) {
+        // The same serialized bytes through both frontends: the owned path
+        // (`parse_events` allocating an XmlEvent per message, pushed by
+        // value) and the zero-copy path (`Reader::next_into` feeding arena
+        // handles via `push_from`). Fragments must be byte-identical and
+        // the engine statistics — including the arena high-water marks —
+        // must agree exactly.
+        let xml = spex::workloads::events_to_xml(&events);
+        let net = spex::core::CompiledNetwork::compile(&q);
+        let (owned_frags, owned_stats, owned_timing) = {
+            let mut sink = spex::core::FragmentCollector::new();
+            let mut eval = spex::core::Evaluator::new(&net, &mut sink);
+            for ev in spex::xml::reader::parse_events(&xml).expect("round-trip") {
+                eval.push(ev);
+            }
+            let stats = eval.finish();
+            let timing = sink.timing.clone();
+            (sink.into_fragments(), stats, timing)
+        };
+        let (zc_frags, zc_stats, zc_timing) = {
+            let mut reader = spex::xml::Reader::from_str(&xml);
+            let mut sink = spex::core::FragmentCollector::new();
+            let mut eval = spex::core::Evaluator::new(&net, &mut sink);
+            eval.push_from(&mut reader).expect("no limits configured");
+            let stats = eval.finish();
+            let timing = sink.timing.clone();
+            (sink.into_fragments(), stats, timing)
+        };
+        prop_assert_eq!(&zc_frags, &owned_frags, "query `{}` over {}", q, xml);
+        prop_assert_eq!(&zc_stats, &owned_stats, "query `{}` over {}", q, xml);
+        prop_assert_eq!(&zc_timing, &owned_timing);
     }
 
     #[test]

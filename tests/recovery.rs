@@ -150,6 +150,55 @@ fn truncation_outcomes_relate_as_drop_subset_of_force_false() {
     }
 }
 
+/// The zero-copy reader path (`next_into` an arena) and the owned path
+/// (`next_event` allocating `XmlEvent`s) must agree byte-for-byte on
+/// corrupted streams: same repaired event sequence, identical fault
+/// reports, same truncation flag — for every mutator and recovery policy.
+/// This pins the invariant that the arena representation changed *how*
+/// events are stored, never *what* the recovery layer observes.
+#[test]
+fn zero_copy_reader_matches_owned_reader_on_mutants() {
+    for mutator in Mutator::ALL {
+        for seed in 0..8u64 {
+            let m = mutate(DOC, mutator, seed);
+            if !m.changed {
+                continue;
+            }
+            for policy in [RecoveryPolicy::Repair, RecoveryPolicy::SkipSubtree] {
+                let ctx = format!("{mutator} / seed {seed} / {policy}");
+                let mut owned = spex_xml::Reader::from_str(&m.xml).with_recovery(policy);
+                let mut owned_events = Vec::new();
+                while let Some(ev) = owned
+                    .next_event()
+                    .unwrap_or_else(|e| panic!("{ctx}: owned reader surfaced {e}"))
+                {
+                    owned_events.push(ev);
+                }
+                let mut store = spex_xml::EventStore::new();
+                let mut zc = spex_xml::Reader::from_str(&m.xml).with_recovery(policy);
+                let mut zc_events = Vec::new();
+                while let Some(id) = zc
+                    .next_into(&mut store)
+                    .unwrap_or_else(|e| panic!("{ctx}: zero-copy reader surfaced {e}"))
+                {
+                    zc_events.push(store.get(id).to_owned_event());
+                }
+                assert_eq!(owned_events, zc_events, "{ctx}: event sequences diverge");
+                assert_eq!(
+                    owned.take_faults(),
+                    zc.take_faults(),
+                    "{ctx}: fault reports diverge"
+                );
+                assert_eq!(
+                    owned.truncated(),
+                    zc.truncated(),
+                    "{ctx}: truncation flags diverge"
+                );
+            }
+        }
+    }
+}
+
 /// The headline sweep: ~200 distinct mutants of a small Mondial document,
 /// every §VI Mondial query class, both repair policies — no panics, no
 /// surfaced errors, no fabricated results. Fixed seed base keeps it

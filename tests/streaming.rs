@@ -119,7 +119,7 @@ fn multi_document_results_are_per_document() {
     struct SharedCount(Rc<RefCell<usize>>);
     impl ResultSink for SharedCount {
         fn begin(&mut self, _m: ResultMeta, _now: u64) {}
-        fn event(&mut self, _e: &spex::xml::XmlEvent, _now: u64) {}
+        fn event(&mut self, _e: &spex::xml::RawEvent<'_>, _now: u64) {}
         fn end(&mut self, _now: u64) {
             *self.0.borrow_mut() += 1;
         }
