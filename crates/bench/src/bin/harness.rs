@@ -16,6 +16,11 @@
 //! harness bench [--json]     zero-copy pipeline: throughput, peak arena bytes,
 //!                            allocations/event (owned vs zero-copy); --json
 //!                            writes BENCH_3.json and guards >10% regressions
+//! harness serve-bench [--json] [--clients N] [--docs M]
+//!                            spex-serve: N concurrent clients x M documents
+//!                            over a loopback server; aggregate events/sec,
+//!                            p50/p99 session latency, reject rate under a
+//!                            tiny admission queue; --json writes BENCH_4.json
 //! harness all                everything above
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
@@ -84,6 +89,7 @@ fn main() {
         "transducers" => transducers(),
         "fault-sweep" => fault_sweep_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
+        "serve-bench" => serve_bench_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -96,6 +102,7 @@ fn main() {
             transducers();
             fault_sweep_cmd(&[]);
             bench_cmd(&[]);
+            serve_bench_cmd(&[]);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -751,6 +758,159 @@ fn baseline_vs_owned(json: &str, workload: &str) -> Option<f64> {
     let rest = &line[at + "\"vs_owned\":".len()..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// The `serve-bench` subcommand: N concurrent clients, each running M
+/// sessions over a loopback spex-serve instance (one Mondial document per
+/// session, rotating through the paper's query classes). Reports aggregate
+/// engine throughput, p50/p99 session latency, and the reject rate of a
+/// deliberately under-provisioned second server (1 worker, queue of 1)
+/// under the same burst. With `--json`, writes `BENCH_4.json` (repo root by
+/// default, `--out PATH` overrides).
+fn serve_bench_cmd(args: &[String]) {
+    use spex_serve::{Client, Server, ServerConfig};
+
+    let json = args.iter().any(|a| a == "--json");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let clients = flag("--clients").unwrap_or(4).max(1);
+    let docs = flag("--docs").unwrap_or(6).max(1);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR")));
+    header(&format!(
+        "serve-bench — {clients} clients x {docs} documents over loopback spex-serve"
+    ));
+    let xml = std::sync::Arc::new(spex_xml::writer::events_to_string(mondial_events()));
+    let mb = xml.len() as f64 / 1e6;
+    let queries: Vec<(String, String)> = queries_for(Dataset::Mondial)
+        .into_iter()
+        .map(|qc| (format!("c{}", qc.class), qc.text.to_string()))
+        .collect();
+
+    // Main phase: a server provisioned to match the offered concurrency.
+    let server = Server::bind(ServerConfig {
+        workers: clients,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let xml = xml.clone();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::with_capacity(docs);
+                for d in 0..docs {
+                    let (name, expr) = &queries[(c + d) % queries.len()];
+                    let t0 = Instant::now();
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Class-3 queries match subtrees the size of the whole
+                    // document; accept result frames that large.
+                    client.set_max_frame(16 * 1024 * 1024);
+                    let t = client
+                        .run_session(&[(name.as_str(), expr.as_str())], xml.as_bytes())
+                        .expect("session");
+                    assert!(t.clean_end && !t.busy, "session did not complete");
+                    assert!(t.errors.is_empty(), "session errors: {:?}", t.errors);
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("server run");
+    assert_eq!(report.sessions_failed, 0, "no session may fail");
+    assert_eq!(report.documents, (clients * docs) as u64);
+    latencies_ms.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p).round() as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let events_per_s = report.engine.ticks as f64 / elapsed.max(1e-9);
+    let mb_per_s = mb * (clients * docs) as f64 / elapsed.max(1e-9);
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "sessions", "Mev/s", "MB/s", "p50 ms", "p99 ms", "wall s"
+    );
+    println!(
+        "{:>10} {:>10.2} {:>10.1} {:>10.1} {:>10.1} {:>10.2}",
+        latencies_ms.len(),
+        events_per_s / 1e6,
+        mb_per_s,
+        p50,
+        p99,
+        elapsed
+    );
+
+    // Reject phase: the same burst against 1 worker + a queue of 1, so
+    // admission control has to turn connections away with BUSY.
+    let burst = (clients * 4).max(8);
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind reject-phase server");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let threads: Vec<_> = (0..burst)
+        .map(|i| {
+            let xml = xml.clone();
+            let (name, expr) = queries[i % queries.len()].clone();
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return;
+                };
+                // A rejected stream may already be closed when we write;
+                // both the BUSY transcript and the I/O error mean "turned
+                // away", and the server's own reject counter is the truth.
+                let _ = client.run_session(&[(name.as_str(), expr.as_str())], xml.as_bytes());
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("burst thread");
+    }
+    handle.shutdown();
+    let reject_report = join.join().expect("server thread").expect("server run");
+    let offered = reject_report.sessions_started + reject_report.sessions_rejected;
+    let reject_rate = reject_report.sessions_rejected as f64 / (offered as f64).max(1.0);
+    println!(
+        "admission: {} offered, {} served, {} rejected ({:.0}% BUSY at 1 worker / queue 1)",
+        offered,
+        reject_report.sessions_started,
+        reject_report.sessions_rejected,
+        reject_rate * 100.0
+    );
+
+    if json {
+        let out = format!(
+            "{{\n  \"schema\": \"spex-serve-bench-4\",\n  \"clients\": {clients},\n  \"docs_per_client\": {docs},\n  \"workers\": {clients},\n  \"workload\": \"mondial\",\n  \"document_mb\": {mb:.3},\n  \"sessions\": {},\n  \"documents\": {},\n  \"elapsed_s\": {elapsed:.3},\n  \"events_per_s\": {events_per_s:.0},\n  \"mb_per_s\": {mb_per_s:.3},\n  \"latency_ms\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}, \"min\": {:.2}, \"max\": {:.2}}},\n  \"reject\": {{\"workers\": 1, \"queue\": 1, \"offered\": {offered}, \"rejected\": {}, \"rate\": {reject_rate:.4}}}\n}}\n",
+            latencies_ms.len(),
+            report.documents,
+            latencies_ms.first().copied().unwrap_or(0.0),
+            latencies_ms.last().copied().unwrap_or(0.0),
+            reject_report.sessions_rejected,
+        );
+        std::fs::write(&out_path, out).expect("write BENCH_4.json");
+        println!("wrote {out_path}");
+    }
 }
 
 fn parse_proc(p: &str) -> Processor {

@@ -3,6 +3,19 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        let options = match spex_cli::serve::parse_serve_args(&args[1..]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("spex serve: {e}");
+                eprintln!();
+                eprint!("{}", spex_cli::serve::SERVE_USAGE);
+                std::process::exit(1);
+            }
+        };
+        let code = spex_cli::serve::run_serve(&options, &mut std::io::stderr().lock());
+        std::process::exit(code);
+    }
     let options = match spex_cli::parse_args(&args) {
         Ok(o) => o,
         Err(e) => {

@@ -5,12 +5,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
+
 use spex_core::{
-    CompiledNetwork, CountingSink, EngineStats, EvalError, Evaluator, RecoveryOptions,
+    stats_json, CompiledNetwork, CountingSink, EngineStats, EvalError, Evaluator, RecoveryOptions,
     ResourceLimits, RunReport, SpanCollector, TransducerStats, TruncationOutcome,
 };
 use spex_query::Rpeq;
-use spex_xml::{FaultKind, RecoveryPolicy, XmlError};
+use spex_xml::{RecoveryPolicy, XmlError};
 use std::io::{Read, Write};
 
 /// A CLI failure with its process exit code (see the README's exit-code
@@ -106,6 +108,9 @@ pub struct Options {
     pub recover: RecoveryPolicy,
     /// How undetermined candidates resolve at an unexpected end of stream.
     pub on_truncation: TruncationOutcome,
+    /// Named queries (`NAME=EXPR`, repeatable) compiled into one shared
+    /// network; output lines are prefixed with the query name.
+    pub queries: Vec<String>,
 }
 
 impl Default for Options {
@@ -126,6 +131,7 @@ impl Default for Options {
             stream: false,
             recover: RecoveryPolicy::Strict,
             on_truncation: TruncationOutcome::Drop,
+            queries: Vec::new(),
         }
     }
 }
@@ -136,13 +142,18 @@ spex — streamed evaluation of regular path expressions with qualifiers
 
 USAGE:
     spex [OPTIONS] QUERY [FILE]
+    spex --query NAME=EXPR [--query NAME=EXPR ...] [FILE]
     spex --generate DATASET [--scale X] > out.xml
+    spex serve [OPTIONS]          (see `spex serve --help`)
 
 ARGS:
     QUERY   regular path expression, e.g. '_*.country[province].name'
     FILE    XML input (stdin when omitted)
 
 OPTIONS:
+    --query NAME=EXPR  register a named query (repeatable); all queries are
+                     compiled into ONE shared transducer network and each
+                     output line is prefixed with `NAME<TAB>`
     --xpath          parse QUERY as XPath (//country[province]/name)
     --count          print only the number of results
     --spans          print result start offsets (event indices)
@@ -229,6 +240,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     })?
                     .parse()?
             }
+            "--query" => o.queries.push(
+                it.next()
+                    .ok_or_else(|| "--query needs NAME=EXPR".to_string())?
+                    .clone(),
+            ),
             "--generate" => {
                 o.generate = Some(
                     it.next()
@@ -242,6 +258,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--scale needs a number".to_string())?
                     .parse()
                     .map_err(|e| format!("invalid --scale: {e}"))?
+            }
+            other if other.starts_with("--query=") => {
+                o.queries.push(other["--query=".len()..].to_string())
             }
             other if other.starts_with("--recover=") => {
                 o.recover = other["--recover=".len()..].parse()?
@@ -293,6 +312,9 @@ fn run_inner(
     if let Some(dataset) = &options.generate {
         return generate(dataset, options.scale, stdout);
     }
+    if !options.queries.is_empty() {
+        return run_multi(options, stdin, stdout, stderr);
+    }
     let query_text = options
         .query
         .as_ref()
@@ -337,12 +359,20 @@ fn run_inner(
         out
     };
 
+    report_outcome(options, &stats, &transducers, report.as_ref(), stderr)
+}
+
+/// Print the `--stats`/`--stats-json` output and the recovery summary,
+/// surfacing a drained resource breach as the final error.
+fn report_outcome(
+    options: &Options,
+    stats: &EngineStats,
+    transducers: &[TransducerStats],
+    report: Option<&RunReport>,
+    stderr: &mut dyn Write,
+) -> Result<(), CliError> {
     if options.stats_json {
-        writeln!(
-            stderr,
-            "{}",
-            stats_json(&stats, &transducers, report.as_ref())
-        )?;
+        writeln!(stderr, "{}", stats_json(stats, transducers, report))?;
     }
     if options.stats {
         writeln!(
@@ -363,7 +393,7 @@ fn run_inner(
             stats.interned_symbols,
         )?;
     }
-    if let Some(report) = &report {
+    if let Some(report) = report {
         if !report.faults.is_empty() {
             writeln!(
                 stderr,
@@ -382,6 +412,196 @@ fn run_inner(
         }
     }
     Ok(())
+}
+
+/// Per-query fragment sink of the multi-query mode: a boxed closure
+/// writing `NAME<TAB>fragment` lines to the shared output handle.
+type TaggedSink<'a> = spex_core::FragmentFnSink<Box<dyn FnMut(&[u8]) + 'a>>;
+
+/// The multi-query one-shot mode (`--query NAME=EXPR`, repeatable): all
+/// queries compile into **one** shared transducer network (common prefixes
+/// exist once — the paper's multi-query outlook, §IX) and stream over the
+/// input together. Every output line is prefixed with `NAME<TAB>` so the
+/// interleaved per-query results can be separated again.
+fn run_multi(
+    options: &Options,
+    stdin: &mut dyn Read,
+    stdout: &mut dyn Write,
+    stderr: &mut dyn Write,
+) -> Result<(), CliError> {
+    use spex_core::multi::SharedQuerySet;
+    if options.xpath {
+        return Err(CliError::Usage(
+            "--xpath cannot be combined with --query".to_string(),
+        ));
+    }
+    if options.recover != RecoveryPolicy::Strict {
+        return Err(CliError::Usage(
+            "--recover is not supported with --query; use `spex serve --recover` \
+             for recovering multi-query sessions"
+                .to_string(),
+        ));
+    }
+    if options.file.is_some() {
+        return Err(CliError::Usage(
+            "too many positional arguments (with --query the only positional is FILE)".to_string(),
+        ));
+    }
+    // With --query there is no positional QUERY; the first (only)
+    // positional is the input file.
+    let file = options.query.clone();
+
+    let mut queries: Vec<(String, Rpeq)> = Vec::new();
+    for spec in &options.queries {
+        let (name, expr) = spec.split_once('=').ok_or_else(|| {
+            CliError::Usage(format!("--query `{spec}` is not of the form NAME=EXPR"))
+        })?;
+        if name.is_empty() {
+            return Err(CliError::Usage(format!("--query `{spec}`: empty name")));
+        }
+        if queries.iter().any(|(n, _)| n == name) {
+            return Err(CliError::Usage(format!(
+                "--query name `{name}` given twice"
+            )));
+        }
+        let query: Rpeq = expr
+            .parse()
+            .map_err(|e: spex_query::ParseError| CliError::Usage(format!("--query {name}: {e}")))?;
+        queries.push((name.to_string(), query));
+    }
+    let set = SharedQuerySet::try_compile(&queries).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    if options.explain {
+        for (name, query) in &queries {
+            writeln!(stdout, "query {name}: {query}")?;
+        }
+        writeln!(
+            stdout,
+            "shared network: {} transducers ({} unshared)",
+            set.degree(),
+            set.unshared_degree()
+        )?;
+        write!(stdout, "{}", set.spec().dump())?;
+        return Ok(());
+    }
+
+    let mut input: Box<dyn Read> = match &file {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?,
+        )),
+        None => Box::new(stdin),
+    };
+
+    let (stats, transducers) = if options.count {
+        let mut counters: Vec<CountingSink> =
+            (0..queries.len()).map(|_| CountingSink::new()).collect();
+        let out = {
+            let sinks = counters
+                .iter_mut()
+                .map(|c| c as &mut dyn spex_core::ResultSink)
+                .collect();
+            eval_multi(&set, options, &mut input, sinks)?
+        };
+        for (name, counter) in set.ids().iter().zip(&counters) {
+            writeln!(stdout, "{name}\t{}", counter.results)?;
+        }
+        out
+    } else if options.spans {
+        let mut collectors: Vec<SpanCollector> =
+            (0..queries.len()).map(|_| SpanCollector::new()).collect();
+        let out = {
+            let sinks = collectors
+                .iter_mut()
+                .map(|c| c as &mut dyn spex_core::ResultSink)
+                .collect();
+            eval_multi(&set, options, &mut input, sinks)?
+        };
+        for (name, collector) in set.ids().iter().zip(&collectors) {
+            for start in &collector.starts {
+                writeln!(stdout, "{name}\t{start}")?;
+            }
+        }
+        out
+    } else {
+        // Progressive delivery, multiplexed: whole fragments (never partial
+        // ones) are written as soon as each is decided, tagged with the
+        // query name.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let shared_out: Rc<RefCell<(&mut dyn Write, Option<std::io::Error>)>> =
+            Rc::new(RefCell::new((stdout, None)));
+        let mut sinks_store: Vec<TaggedSink<'_>> = set
+            .ids()
+            .iter()
+            .map(|name| {
+                let shared_out = Rc::clone(&shared_out);
+                let prefix = format!("{name}\t");
+                spex_core::FragmentFnSink::new(Box::new(move |fragment: &[u8]| {
+                    let mut guard = shared_out.borrow_mut();
+                    let (writer, error) = &mut *guard;
+                    if error.is_some() {
+                        return;
+                    }
+                    let outcome = writer
+                        .write_all(prefix.as_bytes())
+                        .and_then(|()| writer.write_all(fragment))
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush());
+                    if let Err(e) = outcome {
+                        *error = Some(e);
+                    }
+                }) as Box<dyn FnMut(&[u8])>)
+            })
+            .collect();
+        let out = {
+            let sinks = sinks_store
+                .iter_mut()
+                .map(|s| s as &mut dyn spex_core::ResultSink)
+                .collect();
+            eval_multi(&set, options, &mut input, sinks)?
+        };
+        drop(sinks_store);
+        if let Some(e) = shared_out.borrow_mut().1.take() {
+            return Err(e.into());
+        }
+        out
+    };
+
+    report_outcome(options, &stats, &transducers, None, stderr)
+}
+
+/// Drive the shared network over the input: the same zero-copy
+/// `next_into`/`try_push_id` loop as the single-query evaluator, with a
+/// session reset at every document boundary under `--stream` so infinite
+/// document sequences stay bounded.
+fn eval_multi(
+    set: &spex_core::multi::SharedQuerySet,
+    options: &Options,
+    input: &mut dyn Read,
+    sinks: Vec<&mut dyn spex_core::ResultSink>,
+) -> Result<(EngineStats, Vec<TransducerStats>), CliError> {
+    let mut run = set.run_with_limits(sinks, options.limits);
+    let reader = spex_xml::Reader::new(input);
+    let mut reader = if options.stream {
+        reader.multi_document()
+    } else {
+        reader
+    };
+    loop {
+        match reader.next_into(run.store_mut()) {
+            Ok(Some(id)) => {
+                let end_of_document =
+                    run.store().stored(id).kind == spex_xml::StoredKind::EndDocument;
+                run.try_push_id(id).map_err(CliError::from)?;
+                if end_of_document && options.stream {
+                    run.reset_session();
+                }
+            }
+            Ok(None) => break,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(run.finish_full())
 }
 
 type EvalOutcome = (EngineStats, Vec<TransducerStats>, Option<RunReport>);
@@ -431,103 +651,6 @@ fn evaluate(
         }
         None => run(stdin, sink),
     }
-}
-
-/// Render the statistics as one line of JSON (hand-rolled; the workspace has
-/// no serde dependency). Under a recovery policy a `faults` section is
-/// appended; Strict runs emit exactly the same bytes as before the recovery
-/// layer existed.
-fn stats_json(
-    stats: &EngineStats,
-    transducers: &[TransducerStats],
-    report: Option<&RunReport>,
-) -> String {
-    fn esc(s: &str) -> String {
-        s.chars()
-            .flat_map(|c| match c {
-                '"' => vec!['\\', '"'],
-                '\\' => vec!['\\', '\\'],
-                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-                c => vec![c],
-            })
-            .collect()
-    }
-    let mut out = format!(
-        "{{\"ticks\":{},\"messages\":{},\"max_formula_size\":{},\"max_cond_stack\":{},\
-         \"max_depth_stack\":{},\"max_stream_depth\":{},\"peak_buffered_events\":{},\
-         \"peak_live_candidates\":{},\"candidates_created\":{},\"results\":{},\
-         \"dropped\":{},\"vars_created\":{},\"peak_arena_bytes\":{},\
-         \"interned_symbols\":{},\"transducers\":[",
-        stats.ticks,
-        stats.messages,
-        stats.max_formula_size,
-        stats.max_cond_stack,
-        stats.max_depth_stack,
-        stats.max_stream_depth,
-        stats.peak_buffered_events,
-        stats.peak_live_candidates,
-        stats.candidates_created,
-        stats.results,
-        stats.dropped,
-        stats.vars_created,
-        stats.peak_arena_bytes,
-        stats.interned_symbols,
-    );
-    for (i, t) in transducers.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"node\":{},\"kind\":\"{}\",\"messages\":{},\"max_depth_stack\":{},\
-             \"max_cond_stack\":{},\"max_formula_size\":{}}}",
-            t.node,
-            esc(&t.kind),
-            t.messages,
-            t.max_depth_stack,
-            t.max_cond_stack,
-            t.max_formula_size,
-        ));
-    }
-    out.push(']');
-    if let Some(report) = report {
-        out.push_str(&format!(
-            ",\"faults\":{{\"total\":{},\"truncated\":{},\"delivered\":{},\"quarantined\":{},\
-             \"by_kind\":{{",
-            report.faults.len(),
-            report.truncated,
-            report.results,
-            report.dropped,
-        ));
-        let mut first_kind = true;
-        for kind in FaultKind::ALL {
-            let n = report.fault_count(kind);
-            if n == 0 {
-                continue;
-            }
-            if !first_kind {
-                out.push(',');
-            }
-            first_kind = false;
-            out.push_str(&format!("\"{}\":{n}", kind.as_str()));
-        }
-        out.push('}');
-        fn pos_json(label: &str, f: &spex_xml::Fault) -> String {
-            format!(
-                ",\"{label}\":{{\"kind\":\"{}\",\"offset\":{},\"line\":{},\"column\":{}}}",
-                f.kind.as_str(),
-                f.position.offset,
-                f.position.line,
-                f.position.column,
-            )
-        }
-        if let (Some(first), Some(last)) = (report.faults.first(), report.faults.last()) {
-            out.push_str(&pos_json("first", first));
-            out.push_str(&pos_json("last", last));
-        }
-        out.push('}');
-    }
-    out.push('}');
-    out
 }
 
 fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), CliError> {
@@ -901,6 +1024,73 @@ mod tests {
         let (code, out, _) = run_cli(&["--recover", "skip-subtree", "r.a"], xml);
         assert_eq!(code, 0);
         assert_eq!(out, "<a><b></b></a>\n");
+    }
+
+    #[test]
+    fn multi_query_prefixes_results_with_names() {
+        let xml = "<a><c>1</c><b><c>2</c></b></a>";
+        let (code, out, _) = run_cli(&["--query", "cs=_*.c", "--query", "bs=_*.b"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out, "cs\t<c>1</c>\ncs\t<c>2</c>\nbs\t<b><c>2</c></b>\n");
+    }
+
+    #[test]
+    fn multi_query_count_and_spans_modes() {
+        let xml = "<a><c>1</c><b><c>2</c></b></a>";
+        let (code, out, _) = run_cli(&["--count", "--query=cs=_*.c", "--query=bs=_*.b"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out, "cs\t2\nbs\t1\n");
+        let (code, out, _) = run_cli(&["--spans", "--query", "cs=_*.c"], xml);
+        assert_eq!(code, 0);
+        assert_eq!(out, "cs\t2\ncs\t6\n");
+    }
+
+    #[test]
+    fn multi_query_explain_shows_sharing() {
+        let (code, out, _) = run_cli(
+            &["--explain", "--query", "x=_*.a.b", "--query", "y=_*.a.c"],
+            "",
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("query x: "), "got {out}");
+        assert!(out.contains("shared network"), "got {out}");
+    }
+
+    #[test]
+    fn multi_query_usage_errors() {
+        // Not NAME=EXPR.
+        let (code, _, err) = run_cli(&["--query", "nope"], "<a/>");
+        assert_eq!(code, 1);
+        assert!(err.contains("NAME=EXPR"), "got {err}");
+        // Duplicate name.
+        let (code, _, err) = run_cli(&["--query", "q=a", "--query", "q=b"], "<a/>");
+        assert_eq!(code, 1);
+        assert!(err.contains("twice"), "got {err}");
+        // Bad expression.
+        let (code, _, _) = run_cli(&["--query", "q=a..b"], "<a/>");
+        assert_eq!(code, 1);
+        // Incompatible flags.
+        let (code, _, _) = run_cli(&["--xpath", "--query", "q=a"], "<a/>");
+        assert_eq!(code, 1);
+        let (code, _, err) = run_cli(&["--recover", "repair", "--query", "q=a"], "<a/>");
+        assert_eq!(code, 1);
+        assert!(err.contains("spex serve"), "got {err}");
+    }
+
+    #[test]
+    fn multi_query_stream_mode_and_limits() {
+        let (code, out, _) = run_cli(
+            &["--stream", "--query", "q=r.x"],
+            "<r><x>1</x></r><r><x>2</x></r>",
+        );
+        assert_eq!(code, 0);
+        assert_eq!(out, "q\t<x>1</x>\nq\t<x>2</x>\n");
+        let (code, _, err) = run_cli(
+            &["--limit-depth", "2", "--query", "q=_*.c"],
+            "<a><b><c/></b></a>",
+        );
+        assert_eq!(code, 4);
+        assert!(err.contains("resource limit exceeded"), "got {err}");
     }
 
     #[test]

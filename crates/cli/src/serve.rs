@@ -1,0 +1,229 @@
+//! The `spex serve` subcommand: run the spex-serve TCP server from the
+//! command line. Flag parsing mirrors the one-shot tool's flags where they
+//! overlap (`--limit-*`, `--recover`, `--on-truncation`, `--stats-json`).
+
+use spex_core::ResourceLimits;
+use spex_serve::{Server, ServerConfig};
+use std::io::Write;
+
+/// Parsed `spex serve` options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The server configuration assembled from the flags.
+    pub config: ServerConfig,
+    /// Dump server-wide statistics (one-shot `--stats-json` schema) to
+    /// stderr on exit.
+    pub stats_json: bool,
+    /// Print the help text.
+    pub help: bool,
+}
+
+/// Usage text for `spex serve`.
+pub const SERVE_USAGE: &str = "\
+spex serve — concurrent streaming query server (length-prefixed frames over TCP)
+
+USAGE:
+    spex serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      listen address (default 127.0.0.1:7878; port 0 = free port)
+    --workers N           worker threads = max concurrent sessions (default 4)
+    --queue N             sessions queued before BUSY rejects (default 64)
+    --max-frame N         per-frame payload cap in bytes (default 1048576)
+    --read-timeout SECS   per-read socket timeout, 0 disables (default 30)
+    --recover P           per-session recovery policy: strict | repair | skip-subtree
+    --on-truncation O     drop (default) | force-false
+    --limit-depth N       per-session stream nesting depth cap
+    --limit-buffered N    per-session buffered-event cap
+    --limit-buffered-bytes N  per-session event-arena byte cap
+    --limit-candidates N  per-session live-candidate cap
+    --limit-formula N     per-session condition-formula size cap
+    --limit-messages N    per-session transducer-message cap
+    --stats-json          dump server statistics as JSON to stderr on exit
+    -h, --help            this text
+
+PROTOCOL (kind byte · u32 big-endian length · payload):
+    client:  'R' register name=expr   'D' xml bytes   'E' end
+             'S' stats request        'Q' graceful shutdown
+    server:  'k' ok   'r' result   'f' fault   's' stats   'e' error
+             'b' busy   'n' session end
+
+The server exits 0 after a graceful shutdown (SIGINT, SIGTERM, or a 'Q' frame),
+draining all in-flight sessions first.
+";
+
+/// Parse `spex serve` arguments (excluding `serve` itself).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        watch_signals: true,
+        ..ServerConfig::default()
+    };
+    let mut limits = ResourceLimits::default();
+    let mut stats_json = false;
+    let mut help = false;
+    let mut it = args.iter();
+    fn number<T: std::str::FromStr>(
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        it.next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("invalid {flag}: {e}"))
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr needs host:port".to_string())?
+                    .clone()
+            }
+            "--workers" => config.workers = number("--workers", &mut it)?,
+            "--queue" => config.queue_cap = number("--queue", &mut it)?,
+            "--max-frame" => config.max_frame = number("--max-frame", &mut it)?,
+            "--read-timeout" => {
+                let secs: u64 = number("--read-timeout", &mut it)?;
+                config.read_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs))
+                };
+            }
+            "--recover" => {
+                config.recovery = it
+                    .next()
+                    .ok_or_else(|| {
+                        "--recover needs a policy (strict, repair, skip-subtree)".to_string()
+                    })?
+                    .parse()?
+            }
+            "--on-truncation" => {
+                config.on_truncation = it
+                    .next()
+                    .ok_or_else(|| {
+                        "--on-truncation needs an outcome (drop, force-false)".to_string()
+                    })?
+                    .parse()?
+            }
+            "--limit-depth" => limits.max_stream_depth = Some(number("--limit-depth", &mut it)?),
+            "--limit-buffered" => {
+                limits.max_buffered_events = Some(number("--limit-buffered", &mut it)?)
+            }
+            "--limit-buffered-bytes" => {
+                limits.max_buffered_bytes = Some(number("--limit-buffered-bytes", &mut it)?)
+            }
+            "--limit-candidates" => {
+                limits.max_live_candidates = Some(number("--limit-candidates", &mut it)?)
+            }
+            "--limit-formula" => {
+                limits.max_formula_size = Some(number("--limit-formula", &mut it)?)
+            }
+            "--limit-messages" => {
+                limits.max_total_messages = Some(number("--limit-messages", &mut it)?)
+            }
+            "--stats-json" => stats_json = true,
+            "-h" | "--help" => help = true,
+            other => return Err(format!("unknown `spex serve` option `{other}`")),
+        }
+    }
+    config.limits = limits;
+    Ok(ServeOptions {
+        config,
+        stats_json,
+        help,
+    })
+}
+
+/// Run the server; returns the process exit code. Blocks until a graceful
+/// shutdown (signal or `SHUTDOWN` frame).
+pub fn run_serve(options: &ServeOptions, stderr: &mut dyn Write) -> i32 {
+    if options.help {
+        let _ = write!(stderr, "{SERVE_USAGE}");
+        return 0;
+    }
+    let server = match Server::bind(options.config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(stderr, "spex serve: bind {}: {e}", options.config.addr);
+            return 3;
+        }
+    };
+    let _ = writeln!(stderr, "spex serve: listening on {}", server.local_addr());
+    match server.run() {
+        Ok(report) => {
+            let _ = writeln!(
+                stderr,
+                "spex serve: drained; {} session(s) served ({} completed, {} failed, {} rejected), {} document(s)",
+                report.sessions_started,
+                report.sessions_completed,
+                report.sessions_failed,
+                report.sessions_rejected,
+                report.documents,
+            );
+            if options.stats_json {
+                let _ = writeln!(stderr, "{}", report.stats_json);
+            }
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(stderr, "spex serve: {e}");
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let o = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "8",
+            "--queue",
+            "2",
+            "--max-frame",
+            "4096",
+            "--read-timeout",
+            "0",
+            "--recover",
+            "repair",
+            "--limit-depth",
+            "64",
+            "--stats-json",
+        ]))
+        .unwrap();
+        assert_eq!(o.config.addr, "127.0.0.1:0");
+        assert_eq!(o.config.workers, 8);
+        assert_eq!(o.config.queue_cap, 2);
+        assert_eq!(o.config.max_frame, 4096);
+        assert_eq!(o.config.read_timeout, None);
+        assert_eq!(o.config.recovery, spex_xml::RecoveryPolicy::Repair);
+        assert_eq!(o.config.limits.max_stream_depth, Some(64));
+        assert!(o.stats_json);
+        assert!(o.config.watch_signals);
+        assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+        assert!(parse_serve_args(&args(&["--workers"])).is_err());
+    }
+
+    #[test]
+    fn help_flag_short_circuits() {
+        let o = parse_serve_args(&args(&["--help"])).unwrap();
+        assert!(o.help);
+        let mut err = Vec::new();
+        assert_eq!(run_serve(&o, &mut err), 0);
+        assert!(String::from_utf8(err).unwrap().contains("spex serve"));
+    }
+}

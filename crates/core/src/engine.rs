@@ -194,6 +194,15 @@ impl<'n, 's> Evaluator<'n, 's> {
         self.run.exhausted()
     }
 
+    /// Reset the evaluator for the next document of a long-lived session:
+    /// drops stale candidate buffers, recycles the event arena, and truncates
+    /// the symbol table back to the query-label baseline, while keeping the
+    /// compiled network, accumulated statistics, and allocated capacity. See
+    /// [`Run::reset_session`].
+    pub fn reset_session(&mut self) {
+        self.run.reset_session();
+    }
+
     /// Attach a live observability tap (see [`Tap`]).
     pub fn set_tap(&mut self, tap: Rc<RefCell<dyn Tap>>) {
         self.run.set_tap(tap);
@@ -399,6 +408,67 @@ mod tests {
         let stats = eval.finish();
         assert_eq!(sink.fragments().len(), 3);
         assert_eq!(stats.results, 3);
+    }
+
+    #[test]
+    fn session_reuse_keeps_arena_and_symbols_bounded() {
+        // Satellite regression: 1000 documents with disjoint vocabularies
+        // through one evaluator. Without the between-document reset the
+        // symbol table would grow by one name per document; with it both the
+        // table and the arena high-water mark stay bounded by a single
+        // document's footprint.
+        let q: Rpeq = "r.x".parse().unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let mut sink = FragmentCollector::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        let mut first_doc_peak = 0;
+        for i in 0..1000 {
+            let xml = format!("<r><unique{i}/><x>doc {i}</x></r>");
+            eval.push_str(&xml).unwrap();
+            if i == 0 {
+                first_doc_peak = eval.stats().peak_arena_bytes;
+            }
+            eval.reset_session();
+        }
+        let stats = eval.finish();
+        assert_eq!(stats.results, 1000);
+        assert_eq!(sink.fragments().len(), 1000);
+        // Symbols: $, r, x, plus at most one live per-document name.
+        assert!(
+            stats.interned_symbols <= 4,
+            "symbol table leaked: {} interned",
+            stats.interned_symbols
+        );
+        // The arena never held more than one document's events (documents
+        // grow by ~one digit of the counter; allow slack for that).
+        assert!(
+            stats.peak_arena_bytes <= first_doc_peak + 64,
+            "arena leaked: peak {} vs first-document peak {}",
+            stats.peak_arena_bytes,
+            first_doc_peak
+        );
+    }
+
+    #[test]
+    fn reset_session_discards_stale_candidates() {
+        // Cut a document off while a candidate is still buffered
+        // undetermined; after the reset the next document must see none of
+        // it.
+        let q: Rpeq = "_*.a[b].c".parse().unwrap();
+        let net = CompiledNetwork::compile(&q);
+        let mut sink = FragmentCollector::new();
+        let mut eval = Evaluator::new(&net, &mut sink);
+        let events = spex_xml::reader::parse_events("<a><c>stale</c><b/></a>").unwrap();
+        // Stop right after </c>: the candidate is complete but its
+        // b-qualifier is still undetermined, so it sits buffered.
+        for ev in events.iter().take(5) {
+            eval.push(ev.clone());
+        }
+        assert!(eval.stats().peak_buffered_events > 0);
+        eval.reset_session();
+        eval.push_str("<a><c>fresh</c><b/></a>").unwrap();
+        eval.finish();
+        assert_eq!(sink.fragments(), ["<c>fresh</c>".to_string()]);
     }
 
     #[test]

@@ -62,9 +62,11 @@ pub use engine::{evaluate_events, evaluate_str, EvalError, Evaluator};
 pub use limits::{LimitBreach, LimitKind, ResourceLimits};
 pub use message::{DocEvent, Message, Symbol, SymbolTable};
 pub use recover::{
-    evaluate_recovering, evaluate_str_recovering, RecoveryOptions, RunReport, TruncationOutcome,
+    evaluate_recovering, evaluate_str_recovering, Quarantine, RecoveryOptions, RunReport,
+    TruncationOutcome,
 };
 pub use sink::{
-    CountingSink, FragmentCollector, ResultMeta, ResultSink, SpanCollector, StreamingSink,
+    CountingSink, FragmentCollector, FragmentFnSink, ResultMeta, ResultSink, SpanCollector,
+    StreamingSink,
 };
-pub use stats::{EngineStats, Tap, TransducerStats};
+pub use stats::{json_escape, stats_json, EngineStats, Tap, TransducerStats};

@@ -98,6 +98,22 @@ impl SharedQuerySet {
         &self.ids
     }
 
+    /// A canonical cache key for a registration list: one `name=expr` line
+    /// per query with the expression pretty-printed. Print∘parse is the
+    /// identity on the text syntax (property-tested), so two
+    /// differently-spelled but structurally equal registrations map to the
+    /// same key — this is what the server's compiled-plan cache is keyed by.
+    pub fn normalized_key(queries: &[(String, Rpeq)]) -> String {
+        let mut out = String::new();
+        for (id, q) in queries {
+            out.push_str(id);
+            out.push('=');
+            out.push_str(&q.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
     /// The shared network's degree (number of transducers).
     pub fn degree(&self) -> usize {
         self.spec.degree()

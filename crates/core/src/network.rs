@@ -221,6 +221,65 @@ enum NodeInstance {
     Output(Output),
 }
 
+/// Instantiate every node of `spec`, resolving match labels against
+/// `symbols`. Returns the instances plus, for output nodes, which sink slot
+/// each one feeds. Shared by [`Run::new`] and [`Run::reset_session`] (the
+/// latter rebuilds the instances so no per-document transducer state can
+/// survive into the next document).
+fn build_nodes(
+    spec: &NetworkSpec,
+    symbols: &mut spex_xml::SymbolTable,
+    factory: &Rc<RefCell<VarFactory>>,
+) -> (Vec<NodeInstance>, Vec<usize>) {
+    let mut nodes = Vec::with_capacity(spec.nodes.len());
+    let mut sink_index = vec![usize::MAX; spec.nodes.len()];
+    for (i, n) in spec.nodes.iter().enumerate() {
+        let inst = match n {
+            NodeSpec::Input => NodeInstance::Single(Box::new(Input::new())),
+            NodeSpec::Child(l) => {
+                NodeInstance::Single(Box::new(Child::new(MatchLabel::resolve(l, symbols))))
+            }
+            NodeSpec::Closure(l) => {
+                NodeInstance::Single(Box::new(Closure::new(MatchLabel::resolve(l, symbols))))
+            }
+            NodeSpec::Following(l) => NodeInstance::Single(Box::new(
+                crate::transducers::following::Following::new(MatchLabel::resolve(l, symbols)),
+            )),
+            NodeSpec::Preceding(l, q) => {
+                NodeInstance::Single(Box::new(crate::transducers::preceding::Preceding::new(
+                    MatchLabel::resolve(l, symbols),
+                    *q,
+                    factory.clone(),
+                )))
+            }
+            NodeSpec::VarCreator(q) => {
+                NodeInstance::Single(Box::new(VarCreator::new(*q, factory.clone())))
+            }
+            NodeSpec::VarFilterPos(q, inner) => {
+                NodeInstance::Single(Box::new(VarFilter::positive(*q, inner.0..inner.1)))
+            }
+            NodeSpec::VarFilterNeg(q) => NodeInstance::Single(Box::new(VarFilter::negative(*q))),
+            NodeSpec::VarDeterminant(q, inner) => {
+                NodeInstance::Single(Box::new(VarDeterminant::new(*q, inner.0..inner.1)))
+            }
+            NodeSpec::Split => NodeInstance::Single(Box::new(Split::new())),
+            NodeSpec::Union => NodeInstance::Single(Box::new(Union::new())),
+            NodeSpec::Join => NodeInstance::Join(Join::new()),
+            NodeSpec::Output => {
+                let idx = spec
+                    .sinks
+                    .iter()
+                    .position(|s| *s == i)
+                    .expect("output node registered as sink");
+                sink_index[i] = idx;
+                NodeInstance::Output(Output::new())
+            }
+        };
+        nodes.push(inst);
+    }
+    (nodes, sink_index)
+}
+
 /// A running instantiation of a network over one stream, pushing results
 /// into borrowed sinks (one per network sink).
 pub struct Run<'n, 's> {
@@ -250,6 +309,9 @@ pub struct Run<'n, 's> {
     tick: u64,
     depth: usize,
     tracing: bool,
+    /// Symbol-table size right after the query labels were resolved; session
+    /// reuse truncates the table back to this baseline between documents.
+    symbol_baseline: usize,
 }
 
 impl<'n, 's> Run<'n, 's> {
@@ -263,56 +325,9 @@ impl<'n, 's> Run<'n, 's> {
             sinks.len()
         );
         let mut store = EventStore::new();
-        let symbols = store.symbols_mut();
         let factory = Rc::new(RefCell::new(VarFactory::new()));
-        let mut nodes = Vec::with_capacity(spec.nodes.len());
-        let mut sink_index = vec![usize::MAX; spec.nodes.len()];
-        for (i, n) in spec.nodes.iter().enumerate() {
-            let inst = match n {
-                NodeSpec::Input => NodeInstance::Single(Box::new(Input::new())),
-                NodeSpec::Child(l) => {
-                    NodeInstance::Single(Box::new(Child::new(MatchLabel::resolve(l, symbols))))
-                }
-                NodeSpec::Closure(l) => {
-                    NodeInstance::Single(Box::new(Closure::new(MatchLabel::resolve(l, symbols))))
-                }
-                NodeSpec::Following(l) => NodeInstance::Single(Box::new(
-                    crate::transducers::following::Following::new(MatchLabel::resolve(l, symbols)),
-                )),
-                NodeSpec::Preceding(l, q) => {
-                    NodeInstance::Single(Box::new(crate::transducers::preceding::Preceding::new(
-                        MatchLabel::resolve(l, symbols),
-                        *q,
-                        factory.clone(),
-                    )))
-                }
-                NodeSpec::VarCreator(q) => {
-                    NodeInstance::Single(Box::new(VarCreator::new(*q, factory.clone())))
-                }
-                NodeSpec::VarFilterPos(q, inner) => {
-                    NodeInstance::Single(Box::new(VarFilter::positive(*q, inner.0..inner.1)))
-                }
-                NodeSpec::VarFilterNeg(q) => {
-                    NodeInstance::Single(Box::new(VarFilter::negative(*q)))
-                }
-                NodeSpec::VarDeterminant(q, inner) => {
-                    NodeInstance::Single(Box::new(VarDeterminant::new(*q, inner.0..inner.1)))
-                }
-                NodeSpec::Split => NodeInstance::Single(Box::new(Split::new())),
-                NodeSpec::Union => NodeInstance::Single(Box::new(Union::new())),
-                NodeSpec::Join => NodeInstance::Join(Join::new()),
-                NodeSpec::Output => {
-                    let idx = spec
-                        .sinks
-                        .iter()
-                        .position(|s| *s == i)
-                        .expect("output node registered as sink");
-                    sink_index[i] = idx;
-                    NodeInstance::Output(Output::new())
-                }
-            };
-            nodes.push(inst);
-        }
+        let (nodes, sink_index) = build_nodes(spec, store.symbols_mut(), &factory);
+        let symbol_baseline = store.symbols().len();
         // Wire consumers: node u feeds (v, port) for each input edge of v.
         let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); spec.nodes.len()];
         for (v, ins) in spec.inputs.iter().enumerate() {
@@ -352,6 +367,7 @@ impl<'n, 's> Run<'n, 's> {
             tick: 0,
             depth: 0,
             tracing: false,
+            symbol_baseline,
         }
     }
 
@@ -454,7 +470,7 @@ impl<'n, 's> Run<'n, 's> {
         }
         self.push_unchecked(id);
         self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(self.store.bytes_used());
-        self.stats.interned_symbols = self.store.symbols().len();
+        self.stats.interned_symbols = self.stats.interned_symbols.max(self.store.symbols().len());
         if let Err(b) = self.limits.check(&self.stats) {
             self.exhausted = Some(b);
             self.abort();
@@ -641,8 +657,45 @@ impl<'n, 's> Run<'n, 's> {
         self.stats.ticks = self.tick;
         self.stats.vars_created = u64::from(self.factory.borrow().minted());
         self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(self.store.peak_bytes());
-        self.stats.interned_symbols = self.store.symbols().len();
+        self.stats.interned_symbols = self.stats.interned_symbols.max(self.store.symbols().len());
         (self.stats, self.node_stats)
+    }
+
+    /// Reset the run for the next document of a long-lived session, keeping
+    /// the compiled network, the accumulated statistics, and the arena's
+    /// allocated capacity.
+    ///
+    /// Call at a document boundary. The reset releases everything the
+    /// previous document could leak into the next one:
+    ///
+    /// * every transducer instance is rebuilt from the spec, so stale
+    ///   candidate buffers, pending activations, and half-popped stacks
+    ///   (e.g. after a truncated document) cannot survive,
+    /// * in-flight inbox messages are discarded,
+    /// * the arena's event bytes are recycled (the high-water mark is folded
+    ///   into the stats),
+    /// * interned symbols beyond the query-label baseline are forgotten, so
+    ///   a session streaming documents with disjoint vocabularies cannot
+    ///   grow the symbol table without bound.
+    ///
+    /// Accumulated statistics and the tick counter continue across the
+    /// reset. A latched resource-limit breach is *not* cleared: an exhausted
+    /// run stays exhausted (the session must be torn down).
+    pub fn reset_session(&mut self) {
+        self.store.reset();
+        self.store.symbols_mut().truncate(self.symbol_baseline);
+        let (nodes, sink_index) = build_nodes(self.spec, self.store.symbols_mut(), &self.factory);
+        self.nodes = nodes;
+        self.sink_index = sink_index;
+        for ports in &mut self.inbox {
+            for p in ports {
+                p.clear();
+            }
+        }
+        self.depth = 0;
+        if self.tracing {
+            self.set_tracing(true);
+        }
     }
 
     /// Statistics so far (final values come from [`Run::finish`]).

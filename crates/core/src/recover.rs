@@ -131,13 +131,71 @@ struct BufferedFragment {
 }
 
 /// Buffers all fragments until end of run so damaged ones can be withheld.
+///
+/// This is the quarantine half of [`evaluate_recovering`], exposed so other
+/// drivers of a recovering run (the `spex-serve` sessions, which own their
+/// reader loop and evaluate many queries over one stream) can reuse the
+/// exact same damage-overlap logic: use one `Quarantine` as the
+/// [`ResultSink`] per query, then [`Quarantine::drain_into`] the surviving
+/// fragments once the reader's faults are known.
 #[derive(Default)]
-struct QuarantineSink {
+pub struct Quarantine {
     done: Vec<BufferedFragment>,
     current: Option<BufferedFragment>,
 }
 
-impl ResultSink for QuarantineSink {
+impl Quarantine {
+    /// An empty quarantine buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Quarantine::default()
+    }
+
+    /// Replay the buffered fragments into `sink` in document order,
+    /// withholding every fragment whose `[start, last]` lifetime overlaps a
+    /// damage interval in `faults`. With
+    /// [`TruncationOutcome::ForceFalse`], truncation faults do not taint
+    /// (the synthesized closes are part of the result). Returns
+    /// `(delivered, dropped)` counts and leaves the buffer empty for the
+    /// next document.
+    pub fn drain_into(
+        &mut self,
+        faults: &[Fault],
+        on_truncation: TruncationOutcome,
+        sink: &mut dyn ResultSink,
+    ) -> (u64, u64) {
+        let exempt_truncation = on_truncation == TruncationOutcome::ForceFalse;
+        let mut results = 0u64;
+        let mut dropped = 0u64;
+        self.current = None;
+        for frag in self.done.drain(..) {
+            let damaged = faults.iter().any(|f| {
+                if exempt_truncation && f.kind == FaultKind::Truncated {
+                    return false;
+                }
+                f.overlaps(frag.start, frag.last)
+            });
+            if damaged {
+                dropped += 1;
+                continue;
+            }
+            results += 1;
+            sink.begin(
+                ResultMeta {
+                    start_tick: frag.start,
+                },
+                frag.delivered,
+            );
+            for event in &frag.events {
+                sink.event(&RawEvent::from_event(event), frag.delivered);
+            }
+            sink.end(frag.last);
+        }
+        (results, dropped)
+    }
+}
+
+impl ResultSink for Quarantine {
     fn begin(&mut self, meta: ResultMeta, now: u64) {
         self.current = Some(BufferedFragment {
             start: meta.start_tick,
@@ -186,7 +244,7 @@ pub fn evaluate_recovering<R: Read>(
     if options.multi_document {
         reader = reader.multi_document();
     }
-    let mut quarantine = QuarantineSink::default();
+    let mut quarantine = Quarantine::new();
     let mut exhausted = None;
     let (stats, transducers) = {
         let mut eval = Evaluator::with_limits(network, &mut quarantine, limits);
@@ -203,32 +261,7 @@ pub fn evaluate_recovering<R: Read>(
     };
     let faults = reader.take_faults();
     let truncated = faults.iter().any(|f| f.kind == FaultKind::Truncated);
-    let exempt_truncation = options.on_truncation == TruncationOutcome::ForceFalse;
-    let mut results = 0u64;
-    let mut dropped = 0u64;
-    for frag in quarantine.done {
-        let damaged = faults.iter().any(|f| {
-            if exempt_truncation && f.kind == FaultKind::Truncated {
-                return false;
-            }
-            f.overlaps(frag.start, frag.last)
-        });
-        if damaged {
-            dropped += 1;
-            continue;
-        }
-        results += 1;
-        sink.begin(
-            ResultMeta {
-                start_tick: frag.start,
-            },
-            frag.delivered,
-        );
-        for event in &frag.events {
-            sink.event(&RawEvent::from_event(event), frag.delivered);
-        }
-        sink.end(frag.last);
-    }
+    let (results, dropped) = quarantine.drain_into(&faults, options.on_truncation, sink);
     Ok(RunReport {
         faults,
         truncated,

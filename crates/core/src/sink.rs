@@ -10,7 +10,7 @@
 //!
 //! Sinks receive borrowed [`RawEvent`] views into the run's event arena —
 //! the zero-copy end of the pipeline. A sink that needs to keep an event
-//! past the callback (e.g. [`crate::recover::QuarantineSink`]) converts it
+//! past the callback (e.g. [`crate::recover::Quarantine`]) converts it
 //! with [`RawEvent::to_owned_event`]; the built-in sinks serialize or count
 //! without ever materializing owned events.
 
@@ -182,6 +182,54 @@ impl<W: std::io::Write> ResultSink for StreamingSink<W> {
             if self.error.is_none() {
                 self.error = Some(e);
             }
+        }
+    }
+}
+
+/// Serializes each fragment into a private buffer and hands the completed
+/// bytes to a callback — the serialization is byte-identical to
+/// [`StreamingSink`] minus the trailing newline (same [`spex_xml::Writer`],
+/// fresh per fragment).
+///
+/// This is the sink for consumers that multiplex several queries onto one
+/// output channel (the multi-query CLI, the `spex-serve` result frames):
+/// within-fragment progressiveness is traded for whole fragments that can be
+/// labeled and interleaved safely.
+pub struct FragmentFnSink<F: FnMut(&[u8])> {
+    current: Option<spex_xml::Writer<Vec<u8>>>,
+    deliver: F,
+    /// Completed fragments so far.
+    pub results: u64,
+}
+
+impl<F: FnMut(&[u8])> FragmentFnSink<F> {
+    /// Deliver each completed fragment's serialized bytes to `deliver`.
+    pub fn new(deliver: F) -> Self {
+        FragmentFnSink {
+            current: None,
+            deliver,
+            results: 0,
+        }
+    }
+}
+
+impl<F: FnMut(&[u8])> ResultSink for FragmentFnSink<F> {
+    fn begin(&mut self, _meta: ResultMeta, _now: u64) {
+        self.current = Some(spex_xml::Writer::new(Vec::new()));
+    }
+
+    fn event(&mut self, event: &RawEvent<'_>, _now: u64) {
+        if let Some(w) = &mut self.current {
+            w.write_view(event)
+                .expect("writing a fragment to a Vec cannot fail");
+        }
+    }
+
+    fn end(&mut self, _now: u64) {
+        if let Some(w) = self.current.take() {
+            let bytes = w.into_inner().expect("flush to Vec cannot fail");
+            self.results += 1;
+            (self.deliver)(&bytes);
         }
     }
 }

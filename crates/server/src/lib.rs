@@ -1,0 +1,46 @@
+//! spex-serve: a concurrent streaming query server over shared SPEX
+//! transducer networks.
+//!
+//! The one-shot pipeline (parse → compile → stream → results) becomes a
+//! long-running service: clients connect over TCP, register named rpeq
+//! queries, stream XML documents in `DATA` frames, and receive result
+//! fragments progressively — the paper's progressive evaluation, per
+//! connection. Compiled query plans are cached server-wide (see
+//! [`Registry`]): sessions registering structurally equal query sets share
+//! one [`spex_core::multi::SharedQuerySet`], so the compilation cost of a
+//! popular query set is paid once.
+//!
+//! The crate is std-only (the workspace vendors no async runtime): a
+//! non-blocking acceptor plus a fixed pool of blocking worker threads,
+//! with a bounded queue as admission control. The engine's `Run` is
+//! intentionally single-threaded (`Rc`-backed interning); concurrency
+//! comes from one run per session, not from sharing a run.
+//!
+//! Layers:
+//! - [`protocol`]: the length-prefixed frame grammar and codecs.
+//! - [`registry`]: the compiled-plan cache.
+//! - [`server`] / `session`: accept loop, worker pool, per-session frame
+//!   loop over the zero-copy reader path.
+//! - [`stats`]: server-wide statistics in the one-shot `--stats-json`
+//!   schema.
+//! - [`client`]: a small blocking client for tests, benches and examples.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+mod session;
+pub mod signal;
+pub mod stats;
+
+pub use client::{Client, SessionTranscript};
+pub use protocol::{
+    error_payload, read_frame, result_payload, split_result, write_frame, Frame, FrameKind,
+    ProtocolError, ReadError, DEFAULT_MAX_FRAME,
+};
+pub use registry::Registry;
+pub use server::{Server, ServerConfig, ServerHandle, ServerReport};
+pub use stats::{FaultTotals, ServerStats};

@@ -1,0 +1,362 @@
+//! The spex-serve wire protocol: length-prefixed frames over TCP.
+//!
+//! Every frame is `kind (1 byte) · length (u32, big-endian) · payload
+//! (length bytes)`. The kind bytes are printable ASCII so a session is
+//! legible in a packet dump: uppercase kinds flow client → server,
+//! lowercase kinds flow server → client.
+//!
+//! ```text
+//! client → server                      server → client
+//!   'R'  register "name=expr"            'k'  ok (ack, payload = name)
+//!   'D'  data (XML bytes, any chunking)  'r'  result (name-len·name·fragment)
+//!   'E'  end of session input            'f'  fault report (JSON)
+//!   'S'  server stats request            's'  stats (JSON, one-shot schema)
+//!   'Q'  graceful shutdown request       'e'  error (JSON: class/code/message)
+//!                                        'b'  busy (admission reject)
+//!                                        'n'  end of session
+//! ```
+//!
+//! A `RESULT` payload is `name_len (u8) · name · fragment bytes`; the
+//! fragment bytes include the trailing newline, so concatenating them for
+//! one query reproduces the one-shot CLI's stdout byte for byte.
+
+use std::io::{Read, Write};
+
+/// Default cap on a single frame's payload (1 MiB). Streams of any size fit
+/// by chunking `DATA` frames; the cap bounds per-frame buffering only.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Frame type tags. See the [module documentation](self) for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: register a named query (`name=expr`).
+    Register,
+    /// Client → server: a chunk of the XML input stream.
+    Data,
+    /// Client → server: end of the session's input.
+    End,
+    /// Client → server: request a server-wide statistics snapshot.
+    Stats,
+    /// Client → server: request a graceful server shutdown.
+    Shutdown,
+    /// Server → client: acknowledgement (registration accepted, …).
+    Ok,
+    /// Server → client: one result fragment of one query.
+    Result,
+    /// Server → client: one repaired input fault (recovery sessions only).
+    Fault,
+    /// Server → client: a statistics JSON document.
+    Stat,
+    /// Server → client: a structured error (JSON: class, code, message).
+    Error,
+    /// Server → client: admission control rejected the connection.
+    Busy,
+    /// Server → client: the session is complete.
+    SessionEnd,
+}
+
+impl FrameKind {
+    /// The wire tag.
+    pub fn byte(self) -> u8 {
+        match self {
+            FrameKind::Register => b'R',
+            FrameKind::Data => b'D',
+            FrameKind::End => b'E',
+            FrameKind::Stats => b'S',
+            FrameKind::Shutdown => b'Q',
+            FrameKind::Ok => b'k',
+            FrameKind::Result => b'r',
+            FrameKind::Fault => b'f',
+            FrameKind::Stat => b's',
+            FrameKind::Error => b'e',
+            FrameKind::Busy => b'b',
+            FrameKind::SessionEnd => b'n',
+        }
+    }
+
+    /// Decode a wire tag.
+    pub fn from_byte(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            b'R' => FrameKind::Register,
+            b'D' => FrameKind::Data,
+            b'E' => FrameKind::End,
+            b'S' => FrameKind::Stats,
+            b'Q' => FrameKind::Shutdown,
+            b'k' => FrameKind::Ok,
+            b'r' => FrameKind::Result,
+            b'f' => FrameKind::Fault,
+            b's' => FrameKind::Stat,
+            b'e' => FrameKind::Error,
+            b'b' => FrameKind::Busy,
+            b'n' => FrameKind::SessionEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The payload bytes (may be empty).
+    pub payload: Vec<u8>,
+}
+
+/// A violation of the frame grammar (as opposed to a transport error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The kind byte is not part of the protocol.
+    UnknownKind(u8),
+    /// The declared payload length exceeds the configured cap.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The stream ended in the middle of a frame.
+    TruncatedFrame,
+    /// A frame kind arrived in a phase where it is not allowed.
+    UnexpectedKind(FrameKind),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnknownKind(b) => write!(f, "unknown frame kind byte 0x{b:02x}"),
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::TruncatedFrame => write!(f, "stream ended mid-frame"),
+            ProtocolError::UnexpectedKind(k) => {
+                write!(f, "frame kind '{}' not allowed here", k.byte() as char)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A frame-read failure: either the transport failed or the peer broke the
+/// frame grammar.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer sent bytes violating the frame grammar.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "{e}"),
+            ReadError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean end of stream (EOF at a
+/// frame boundary); EOF inside a frame is
+/// [`ProtocolError::TruncatedFrame`].
+pub fn read_frame(r: &mut dyn Read, max_frame: usize) -> Result<Option<Frame>, ReadError> {
+    let mut head = [0u8; 5];
+    let mut filled = 0;
+    while filled < head.len() {
+        match r.read(&mut head[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(ReadError::Protocol(ProtocolError::TruncatedFrame));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    let kind = FrameKind::from_byte(head[0])
+        .ok_or(ReadError::Protocol(ProtocolError::UnknownKind(head[0])))?;
+    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > max_frame {
+        return Err(ReadError::Protocol(ProtocolError::Oversized {
+            len,
+            max: max_frame,
+        }));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(ReadError::Protocol(ProtocolError::TruncatedFrame)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// Write one frame (header + payload; no flush).
+pub fn write_frame(w: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload too large")
+    })?;
+    w.write_all(&[kind.byte()])?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Build a `RESULT` payload: `name_len (u8) · name · fragment`.
+///
+/// # Panics
+/// Panics if `name` is longer than 255 bytes (registration rejects such
+/// names, so a server-built payload can't hit this).
+pub fn result_payload(name: &str, fragment: &[u8]) -> Vec<u8> {
+    let n = u8::try_from(name.len()).expect("query names are at most 255 bytes");
+    let mut out = Vec::with_capacity(1 + name.len() + fragment.len());
+    out.push(n);
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(fragment);
+    out
+}
+
+/// Split a `RESULT` payload into `(name, fragment)`.
+pub fn split_result(payload: &[u8]) -> Option<(&str, &[u8])> {
+    let (&n, rest) = payload.split_first()?;
+    if rest.len() < n as usize {
+        return None;
+    }
+    let (name, fragment) = rest.split_at(n as usize);
+    Some((std::str::from_utf8(name).ok()?, fragment))
+}
+
+/// Build an `ERROR` payload: one line of JSON with the error class (matches
+/// the CLI's exit-code classes: `usage`, `syntax`, `io`, `resource`, plus
+/// `protocol` for frame-grammar violations), the numeric exit code the
+/// one-shot CLI would have used, and a human-readable message.
+pub fn error_payload(class: &str, code: i32, message: &str) -> Vec<u8> {
+    format!(
+        "{{\"class\":\"{}\",\"code\":{},\"message\":\"{}\"}}",
+        spex_core::json_escape(class),
+        code,
+        spex_core::json_escape(message),
+    )
+    .into_bytes()
+}
+
+/// Extract the `class` field from an `ERROR` payload (tolerant line scan;
+/// the workspace has no JSON parser dependency).
+pub fn error_class(payload: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let rest = text.split("\"class\":\"").nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Register, b"q=a.b").unwrap();
+        write_frame(&mut buf, FrameKind::Data, b"<a/>").unwrap();
+        write_frame(&mut buf, FrameKind::End, b"").unwrap();
+        let mut cur = std::io::Cursor::new(buf);
+        let f1 = read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(f1.kind, FrameKind::Register);
+        assert_eq!(f1.payload, b"q=a.b");
+        let f2 = read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(f2.kind, FrameKind::Data);
+        let f3 = read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(f3.kind, FrameKind::End);
+        assert!(f3.payload.is_empty());
+        assert!(read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn every_kind_byte_round_trips() {
+        for kind in [
+            FrameKind::Register,
+            FrameKind::Data,
+            FrameKind::End,
+            FrameKind::Stats,
+            FrameKind::Shutdown,
+            FrameKind::Ok,
+            FrameKind::Result,
+            FrameKind::Fault,
+            FrameKind::Stat,
+            FrameKind::Error,
+            FrameKind::Busy,
+            FrameKind::SessionEnd,
+        ] {
+            assert_eq!(FrameKind::from_byte(kind.byte()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_byte(b'?'), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_reading_the_payload() {
+        let mut buf = Vec::new();
+        buf.push(b'D');
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cur = std::io::Cursor::new(buf);
+        match read_frame(&mut cur, 1024) {
+            Err(ReadError::Protocol(ProtocolError::Oversized { len, max })) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_truncation_are_protocol_errors() {
+        let mut cur = std::io::Cursor::new(vec![0xFFu8, 0, 0, 0, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(ReadError::Protocol(ProtocolError::UnknownKind(0xFF)))
+        ));
+        // Header cut short.
+        let mut cur = std::io::Cursor::new(vec![b'D', 0, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(ReadError::Protocol(ProtocolError::TruncatedFrame))
+        ));
+        // Payload cut short.
+        let mut cur = std::io::Cursor::new(vec![b'D', 0, 0, 0, 9, b'x']);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(ReadError::Protocol(ProtocolError::TruncatedFrame))
+        ));
+    }
+
+    #[test]
+    fn result_payload_round_trips() {
+        let p = result_payload("cities", b"<city/>\n");
+        let (name, frag) = split_result(&p).unwrap();
+        assert_eq!(name, "cities");
+        assert_eq!(frag, b"<city/>\n");
+        assert!(split_result(&[]).is_none());
+        assert!(split_result(&[200]).is_none());
+    }
+
+    #[test]
+    fn error_payload_is_scannable() {
+        let p = error_payload("syntax", 2, "bad \"query\"");
+        assert_eq!(error_class(&p).as_deref(), Some("syntax"));
+        let text = String::from_utf8(p).unwrap();
+        assert!(text.contains("\"code\":2"));
+        assert!(text.contains("\\\"query\\\""));
+    }
+}

@@ -1,0 +1,84 @@
+//! Compiled-plan caching: one [`SharedQuerySet`] per distinct registration,
+//! shared across sessions.
+//!
+//! A [`SharedQuerySet`] holds only the network *shape* (specs and strings),
+//! so it is `Send + Sync` and can sit behind an `Arc`; each session
+//! instantiates its own single-threaded `Run` over it. The cache key is
+//! [`SharedQuerySet::normalized_key`] — the pretty-printed canonical form —
+//! so two sessions registering the same queries with different whitespace or
+//! redundant parentheses share one compiled plan.
+
+use spex_core::multi::SharedQuerySet;
+use spex_query::Rpeq;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A thread-safe cache of compiled query sets.
+#[derive(Debug, Default)]
+pub struct Registry {
+    plans: RwLock<HashMap<String, Arc<SharedQuerySet>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Fetch the compiled plan for `queries`, compiling on first sight.
+    /// Returns the plan and whether it was a cache hit. Compilation errors
+    /// (constructs outside the compilable fragment) are returned verbatim
+    /// and nothing is cached.
+    pub fn get_or_compile(
+        &self,
+        queries: &[(String, Rpeq)],
+    ) -> Result<(Arc<SharedQuerySet>, bool), spex_core::CompileError> {
+        let key = SharedQuerySet::normalized_key(queries);
+        if let Some(plan) = self.plans.read().expect("registry lock poisoned").get(&key) {
+            return Ok((Arc::clone(plan), true));
+        }
+        let compiled = Arc::new(SharedQuerySet::try_compile(queries)?);
+        let mut plans = self.plans.write().expect("registry lock poisoned");
+        // Another session may have compiled the same key while we did; keep
+        // the incumbent so every session shares one plan.
+        let plan = plans.entry(key).or_insert_with(|| Arc::clone(&compiled));
+        Ok((Arc::clone(plan), false))
+    }
+
+    /// Number of distinct compiled plans.
+    pub fn len(&self) -> usize {
+        self.plans.read().expect("registry lock poisoned").len()
+    }
+
+    /// True when no plan has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(name: &str, expr: &str) -> (String, Rpeq) {
+        (name.to_string(), expr.parse().unwrap())
+    }
+
+    #[test]
+    fn equal_registrations_share_one_plan() {
+        let reg = Registry::new();
+        let (a, hit_a) = reg.get_or_compile(&[q("x", "a.b"), q("y", "a.c")]).unwrap();
+        assert!(!hit_a);
+        // Redundant parentheses normalize away: same plan.
+        let (b, hit_b) = reg
+            .get_or_compile(&[q("x", "(a).(b)"), q("y", "a.(c)")])
+            .unwrap();
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.len(), 1);
+        // A different name is a different registration.
+        let (_, hit_c) = reg.get_or_compile(&[q("z", "a.b"), q("y", "a.c")]).unwrap();
+        assert!(!hit_c);
+        assert_eq!(reg.len(), 2);
+    }
+}

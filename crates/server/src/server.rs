@@ -1,0 +1,284 @@
+//! The concurrent server: one acceptor thread (the caller of
+//! [`Server::run`]) plus a fixed pool of worker threads, joined by a
+//! bounded session queue.
+//!
+//! Admission control is the queue bound: when `queue_cap` sessions are
+//! already waiting, a new connection is answered with a single `BUSY`
+//! frame and closed — the server sheds load instead of buffering it (the
+//! same philosophy as the engine's `ResourceLimits`: refuse, don't grow).
+//!
+//! Shutdown is cooperative. `SIGINT`/`SIGTERM` (when watched), the in-band
+//! `SHUTDOWN` frame, or [`ServerHandle::shutdown`] all set one flag; the
+//! acceptor stops accepting, the workers finish every queued and in-flight
+//! session (no session is cut off mid-stream), and [`Server::run`] returns
+//! a final [`ServerReport`].
+
+use crate::protocol::{write_frame, FrameKind};
+use crate::registry::Registry;
+use crate::session;
+use crate::signal;
+use crate::stats::ServerStats;
+use spex_core::{EngineStats, ResourceLimits, TruncationOutcome};
+use spex_xml::RecoveryPolicy;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server tuning knobs. The defaults suit tests and local use; the CLI
+/// maps `spex serve` flags onto these fields.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (= maximum concurrent sessions).
+    pub workers: usize,
+    /// Maximum sessions waiting for a worker before `BUSY` rejects.
+    pub queue_cap: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame: usize,
+    /// Per-session engine resource caps.
+    pub limits: ResourceLimits,
+    /// Reader-side recovery policy for every session.
+    pub recovery: RecoveryPolicy,
+    /// Truncation handling for recovery sessions.
+    pub on_truncation: TruncationOutcome,
+    /// Per-read socket timeout (a stalled client fails its own session
+    /// instead of pinning a worker forever). `None` disables.
+    pub read_timeout: Option<Duration>,
+    /// Poll SIGINT/SIGTERM in the accept loop (the CLI turns this on;
+    /// tests drive shutdown through [`ServerHandle`] instead).
+    pub watch_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            max_frame: crate::protocol::DEFAULT_MAX_FRAME,
+            limits: ResourceLimits::default(),
+            recovery: RecoveryPolicy::Strict,
+            on_truncation: TruncationOutcome::default(),
+            read_timeout: Some(Duration::from_secs(30)),
+            watch_signals: false,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and every session.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queue: Mutex<VecDeque<TcpStream>>,
+    pub(crate) wake: Condvar,
+    pub(crate) registry: Registry,
+    pub(crate) stats: ServerStats,
+}
+
+impl Shared {
+    /// Flip the shutdown flag and wake every sleeping worker.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+}
+
+/// A cloneable remote control for a running server (shutdown + stats),
+/// usable from any thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Request a graceful shutdown: stop accepting, drain, return.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Snapshot the server-wide statistics as one-shot-schema JSON.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats.to_json()
+    }
+}
+
+/// The final accounting [`Server::run`] returns after a graceful shutdown.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Server statistics in the one-shot `--stats-json` schema (with the
+    /// `server` extension object).
+    pub stats_json: String,
+    /// Sessions accepted and queued.
+    pub sessions_started: u64,
+    /// Sessions that ran to a clean `END`.
+    pub sessions_completed: u64,
+    /// Connections rejected with `BUSY`.
+    pub sessions_rejected: u64,
+    /// Sessions closed early by an error.
+    pub sessions_failed: u64,
+    /// Documents evaluated across all sessions.
+    pub documents: u64,
+    /// Aggregated engine statistics across all sessions.
+    pub engine: EngineStats,
+}
+
+/// A bound-but-not-yet-running server. [`Server::bind`] then
+/// [`Server::run`]; the run consumes the calling thread as the acceptor.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listen socket. Nothing is served until [`Server::run`].
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        // Non-blocking accept so the loop can poll the shutdown flag (and
+        // signals) without an interruptible syscall dance.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                cfg,
+                shutdown: AtomicBool::new(false),
+                queue: Mutex::new(VecDeque::new()),
+                wake: Condvar::new(),
+                registry: Registry::new(),
+                stats: ServerStats::new(),
+            }),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control valid for this server's lifetime.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain and report. The
+    /// calling thread becomes the acceptor.
+    pub fn run(self) -> std::io::Result<ServerReport> {
+        if self.shared.cfg.watch_signals {
+            signal::install();
+        }
+        let workers: Vec<_> = (0..self.shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("spex-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread failed")
+            })
+            .collect();
+
+        loop {
+            if self.shared.cfg.watch_signals && signal::requested() {
+                self.shared.begin_shutdown();
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Sessions do blocking frame reads; only the listener
+                    // is non-blocking.
+                    let _ = stream.set_nonblocking(false);
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Transient accept failures (EMFILE, aborted handshake):
+                // back off instead of tearing the server down.
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+
+        // Graceful drain: stop accepting (listener drops below), let the
+        // workers finish every queued and in-flight session.
+        drop(self.listener);
+        self.shared.wake.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        let stats = &self.shared.stats;
+        Ok(ServerReport {
+            stats_json: stats.to_json(),
+            sessions_started: stats.sessions_started.load(Ordering::Relaxed),
+            sessions_completed: stats.sessions_completed.load(Ordering::Relaxed),
+            sessions_rejected: stats.sessions_rejected.load(Ordering::Relaxed),
+            sessions_failed: stats.sessions_failed.load(Ordering::Relaxed),
+            documents: stats.documents.load(Ordering::Relaxed),
+            engine: stats.engine_totals(),
+        })
+    }
+
+    /// Queue the connection, or shed it with `BUSY` when the queue is full.
+    fn admit(&self, mut stream: TcpStream) {
+        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= self.shared.cfg.queue_cap {
+            drop(queue);
+            self.shared
+                .stats
+                .sessions_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(&mut stream, FrameKind::Busy, b"");
+            let _ = stream.flush();
+            return;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.shared
+            .stats
+            .sessions_started
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_one();
+    }
+}
+
+/// One worker: pop sessions until shutdown *and* the queue is empty, so a
+/// graceful shutdown never abandons an admitted session.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("queue lock poisoned");
+                queue = guard;
+            }
+        };
+        let Some(stream) = job else { return };
+        // A panicking session must not take its worker (and the server's
+        // capacity) down with it.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session::run_session(stream, shared)
+        }));
+        if outcome.is_err() {
+            shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

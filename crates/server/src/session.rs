@@ -1,0 +1,532 @@
+//! One client session: the register phase, the streaming eval phase, and
+//! the closing `STAT`/`END` exchange.
+//!
+//! A session is single-threaded on purpose: the engine's `Run` holds
+//! `Rc`-backed state (interned symbols, the variable factory) and is not
+//! `Send`, so each worker thread instantiates its own run over the shared
+//! (`Send + Sync`) compiled plan from the registry. The frame loop is:
+//!
+//! 1. **Register**: `R` frames (`name=expr`) are parsed and acknowledged
+//!    one by one (`k` with the name, or `e` with a structured error that
+//!    does *not* kill the session). `S` answers with server-wide stats;
+//!    `Q` requests a graceful server shutdown.
+//! 2. **Eval**: the first `D`/`E` frame freezes the registration and the
+//!    plan is fetched from (or compiled into) the shared registry. `D`
+//!    payloads are the XML byte stream, chunked arbitrarily — a
+//!    [`FrameByteSource`] adapts them to `std::io::Read` so the zero-copy
+//!    `Reader::next_into` path runs unchanged. Result fragments stream
+//!    back as `r` frames while input is still arriving (SPEX's
+//!    progressiveness, per connection). Each `</$>` boundary resets the
+//!    session's arena and interned symbols (`Run::reset_session`), so a
+//!    long-lived connection stays bounded.
+//! 3. **Close**: on `E` (or an error) the server sends any `f` fault
+//!    frames (recovery sessions), a `s` stats frame in the one-shot
+//!    `--stats-json` schema, and `n`.
+//!
+//! Errors mirror the one-shot CLI's exit-code classes (`usage`=1,
+//! `syntax`=2, `io`=3, `resource`=4) plus `protocol` for frame-grammar
+//! violations; an error closes *this* session only.
+
+use crate::protocol::{
+    error_payload, read_frame, result_payload, write_frame, Frame, FrameKind, ProtocolError,
+    ReadError,
+};
+use crate::server::Shared;
+use spex_core::multi::SharedQuerySet;
+use spex_core::{stats_json, EvalError, FragmentFnSink, Quarantine, ResultSink, RunReport};
+use spex_query::Rpeq;
+use spex_xml::{Reader, RecoveryPolicy, StoredKind};
+use std::cell::RefCell;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// How the session ended, for the server-wide counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionEnd {
+    /// Ran to a clean `END` (including stats-only connections).
+    Completed,
+    /// Closed early by an error (protocol, syntax, I/O, resource).
+    Failed,
+}
+
+/// A structured session error, mirroring the CLI's exit-code classes.
+struct SessionError {
+    class: &'static str,
+    code: i32,
+    message: String,
+}
+
+impl SessionError {
+    fn new(class: &'static str, code: i32, message: impl Into<String>) -> Self {
+        SessionError {
+            class,
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        SessionError::new("usage", 1, message)
+    }
+
+    fn protocol(message: impl Into<String>) -> Self {
+        SessionError::new("protocol", 1, message)
+    }
+}
+
+/// Classify an engine error exactly like the CLI's exit-code mapping, with
+/// `violation` taking precedence: an `EvalError::Xml(Io)` caused by the
+/// peer breaking the frame grammar is a protocol error, not an I/O error.
+fn classify(err: &EvalError, violation: Option<&ProtocolError>) -> SessionError {
+    if let Some(v) = violation {
+        return SessionError::protocol(v.to_string());
+    }
+    match err {
+        EvalError::Query(_) | EvalError::Compile(_) => SessionError::usage(err.to_string()),
+        EvalError::Xml(e) => {
+            if e.kind().is_syntax_class() {
+                SessionError::new("syntax", 2, err.to_string())
+            } else {
+                SessionError::new("io", 3, err.to_string())
+            }
+        }
+        EvalError::ResourceExhausted { .. } => SessionError::new("resource", 4, err.to_string()),
+    }
+}
+
+/// The session's write half: frames out, first write error kept (sticky),
+/// every frame flushed so results are visible progressively.
+struct FrameWriter {
+    out: BufWriter<TcpStream>,
+    error: Option<std::io::Error>,
+}
+
+impl FrameWriter {
+    fn new(stream: TcpStream) -> Self {
+        FrameWriter {
+            out: BufWriter::new(stream),
+            error: None,
+        }
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = write_frame(&mut self.out, kind, payload).and_then(|()| self.out.flush()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+type SharedWriter = Rc<RefCell<FrameWriter>>;
+
+/// Side-channel state the [`FrameByteSource`] records for the session to
+/// inspect: `spex_xml::XmlError` stringifies I/O errors, so a protocol
+/// violation discovered *inside* the reader loop must travel out of band.
+#[derive(Default)]
+struct SourceState {
+    violation: Option<ProtocolError>,
+}
+
+/// Adapts the session's `DATA` frames to `std::io::Read` so the engine's
+/// zero-copy reader path runs unchanged over the wire. `END` — or the peer
+/// hanging up — reads as EOF (a hangup mid-document is then exactly a
+/// truncated stream: a syntax error under `strict`, a `truncated` fault
+/// under a recovery policy). Any other frame kind mid-stream is a protocol
+/// violation, recorded in the shared [`SourceState`].
+struct FrameByteSource {
+    input: BufReader<TcpStream>,
+    max_frame: usize,
+    buf: Vec<u8>,
+    pos: usize,
+    ended: bool,
+    state: Rc<RefCell<SourceState>>,
+}
+
+impl FrameByteSource {
+    fn violation(&mut self, v: ProtocolError) -> std::io::Error {
+        let msg = v.to_string();
+        self.state.borrow_mut().violation = Some(v);
+        std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+    }
+}
+
+impl Read for FrameByteSource {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.pos < self.buf.len() {
+                let n = (self.buf.len() - self.pos).min(out.len());
+                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            if self.ended {
+                return Ok(0);
+            }
+            match read_frame(&mut self.input, self.max_frame) {
+                Ok(Some(frame)) => match frame.kind {
+                    FrameKind::Data => {
+                        self.buf = frame.payload;
+                        self.pos = 0;
+                    }
+                    FrameKind::End => {
+                        self.ended = true;
+                        return Ok(0);
+                    }
+                    other => return Err(self.violation(ProtocolError::UnexpectedKind(other))),
+                },
+                // Hangup at a frame boundary: same as END — the XML layer
+                // decides whether the byte stream was complete.
+                Ok(None) => {
+                    self.ended = true;
+                    return Ok(0);
+                }
+                Err(ReadError::Io(e)) => return Err(e),
+                Err(ReadError::Protocol(p)) => return Err(self.violation(p)),
+            }
+        }
+    }
+}
+
+/// Serve one connection end to end, updating the server-wide counters.
+pub(crate) fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(shared.cfg.read_timeout);
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let writer: SharedWriter = Rc::new(RefCell::new(FrameWriter::new(write_half)));
+    let input = BufReader::new(stream);
+    let end = session_inner(input, &writer, shared);
+    match end {
+        SessionEnd::Completed => {
+            shared
+                .stats
+                .sessions_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        SessionEnd::Failed => {
+            shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Send the closing error (optional) + `END` sequence.
+fn close_with(writer: &SharedWriter, error: Option<&SessionError>) {
+    let mut w = writer.borrow_mut();
+    if let Some(e) = error {
+        w.send(
+            FrameKind::Error,
+            &error_payload(e.class, e.code, &e.message),
+        );
+    }
+    w.send(FrameKind::SessionEnd, b"");
+}
+
+fn session_inner(
+    mut input: BufReader<TcpStream>,
+    writer: &SharedWriter,
+    shared: &Arc<Shared>,
+) -> SessionEnd {
+    // --- Register phase -------------------------------------------------
+    let mut queries: Vec<(String, Rpeq)> = Vec::new();
+    let first_data: Option<Vec<u8>>;
+    loop {
+        match read_frame(&mut input, shared.cfg.max_frame) {
+            Ok(Some(frame)) => match frame.kind {
+                FrameKind::Register => register_one(&frame, &mut queries, writer),
+                FrameKind::Stats => {
+                    let json = shared.stats.to_json();
+                    writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
+                }
+                FrameKind::Shutdown => {
+                    shared.begin_shutdown();
+                    writer.borrow_mut().send(FrameKind::Ok, b"shutdown");
+                }
+                FrameKind::Data => {
+                    first_data = Some(frame.payload);
+                    break;
+                }
+                FrameKind::End => {
+                    first_data = None;
+                    break;
+                }
+                other => {
+                    let e =
+                        SessionError::protocol(ProtocolError::UnexpectedKind(other).to_string());
+                    close_with(writer, Some(&e));
+                    return SessionEnd::Failed;
+                }
+            },
+            // Clean hangup before streaming: a stats-only or no-op
+            // connection ran to completion.
+            Ok(None) => return SessionEnd::Completed,
+            Err(ReadError::Io(_)) => return SessionEnd::Failed,
+            Err(ReadError::Protocol(p)) => {
+                close_with(writer, Some(&SessionError::protocol(p.to_string())));
+                return SessionEnd::Failed;
+            }
+        }
+    }
+
+    if queries.is_empty() {
+        close_with(
+            writer,
+            Some(&SessionError::usage(
+                "no queries registered before DATA/END",
+            )),
+        );
+        return SessionEnd::Failed;
+    }
+
+    let plan = match shared.registry.get_or_compile(&queries) {
+        Ok((plan, hit)) => {
+            let counter = if hit {
+                &shared.stats.plan_cache_hits
+            } else {
+                &shared.stats.plan_cache_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            plan
+        }
+        Err(e) => {
+            close_with(writer, Some(&SessionError::usage(e.to_string())));
+            return SessionEnd::Failed;
+        }
+    };
+
+    // --- Eval phase -----------------------------------------------------
+    let state = Rc::new(RefCell::new(SourceState::default()));
+    let ended = first_data.is_none();
+    let source = FrameByteSource {
+        input,
+        max_frame: shared.cfg.max_frame,
+        buf: first_data.unwrap_or_default(),
+        pos: 0,
+        ended,
+        state: Rc::clone(&state),
+    };
+    let outcome = eval_stream(&plan, source, writer, shared);
+
+    let error = outcome
+        .error
+        .as_ref()
+        .map(|e| classify(e, state.borrow().violation.as_ref()));
+    if let Some(json) = &outcome.stats_json {
+        writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
+    }
+    close_with(writer, error.as_ref());
+    if error.is_some() {
+        SessionEnd::Failed
+    } else {
+        SessionEnd::Completed
+    }
+}
+
+/// Handle one `REGISTER` frame; acknowledges with `k` (payload = name) or
+/// an `e` frame that leaves the session usable.
+fn register_one(frame: &Frame, queries: &mut Vec<(String, Rpeq)>, writer: &SharedWriter) {
+    let reject = |message: String| {
+        writer
+            .borrow_mut()
+            .send(FrameKind::Error, &error_payload("usage", 1, &message));
+    };
+    let Ok(text) = std::str::from_utf8(&frame.payload) else {
+        reject("registration is not valid UTF-8".to_string());
+        return;
+    };
+    let Some((name, expr)) = text.split_once('=') else {
+        reject(format!(
+            "registration `{text}` is not of the form name=expr"
+        ));
+        return;
+    };
+    if name.is_empty() || name.len() > 255 {
+        reject(format!("query name `{name}` must be 1..=255 bytes"));
+        return;
+    }
+    if queries.iter().any(|(n, _)| n == name) {
+        reject(format!("query name `{name}` is already registered"));
+        return;
+    }
+    match expr.parse::<Rpeq>() {
+        Ok(q) => {
+            queries.push((name.to_string(), q));
+            writer.borrow_mut().send(FrameKind::Ok, name.as_bytes());
+        }
+        Err(e) => reject(format!("query `{expr}`: {e}")),
+    }
+}
+
+/// What the eval phase produced: the closing stats JSON (when the run got
+/// far enough to have one) and the first error, if any.
+struct EvalOutcome {
+    stats_json: Option<String>,
+    error: Option<EvalError>,
+}
+
+/// Build the per-query result-frame sink: fragment bytes (plus the
+/// newline, matching the one-shot CLI's per-line output) behind the query
+/// name header.
+fn frame_sink<'w>(
+    name: String,
+    writer: &'w SharedWriter,
+) -> FragmentFnSink<impl FnMut(&[u8]) + 'w> {
+    FragmentFnSink::new(move |fragment: &[u8]| {
+        let mut payload = result_payload(&name, fragment);
+        payload.push(b'\n');
+        writer.borrow_mut().send(FrameKind::Result, &payload);
+    })
+}
+
+/// Drive the reader/engine loop over the framed byte stream and emit the
+/// result (and, under recovery, fault) frames.
+fn eval_stream(
+    plan: &SharedQuerySet,
+    source: FrameByteSource,
+    writer: &SharedWriter,
+    shared: &Arc<Shared>,
+) -> EvalOutcome {
+    let recovering = shared.cfg.recovery != RecoveryPolicy::Strict;
+    let mut reader = Reader::new(source).multi_document();
+    if recovering {
+        reader = reader.with_recovery(shared.cfg.recovery);
+    }
+    let names: Vec<String> = plan.ids().to_vec();
+
+    // Under a recovery policy every fragment is quarantined until the
+    // damage intervals are known; under `strict` fragments stream straight
+    // into result frames.
+    let mut quarantines: Vec<Quarantine> = Vec::new();
+    let mut streamers: Vec<FragmentFnSink<_>> = Vec::new();
+    if recovering {
+        quarantines = names.iter().map(|_| Quarantine::new()).collect();
+    } else {
+        streamers = names
+            .iter()
+            .map(|name| frame_sink(name.clone(), writer))
+            .collect();
+    }
+    let sinks: Vec<&mut dyn ResultSink> = if recovering {
+        quarantines
+            .iter_mut()
+            .map(|q| q as &mut dyn ResultSink)
+            .collect()
+    } else {
+        streamers
+            .iter_mut()
+            .map(|s| s as &mut dyn ResultSink)
+            .collect()
+    };
+
+    let mut run = plan.run_with_limits(sinks, shared.cfg.limits);
+    let mut documents = 0u64;
+    let mut error: Option<EvalError> = None;
+    loop {
+        match reader.next_into(run.store_mut()) {
+            Ok(Some(id)) => {
+                let end_of_document = run.store().stored(id).kind == StoredKind::EndDocument;
+                if let Err(e) = run.try_push_id(id) {
+                    error = Some(e);
+                    break;
+                }
+                if end_of_document {
+                    documents += 1;
+                    // Long-lived connection hygiene: drop the document's
+                    // interned symbols and candidate state before the next
+                    // document on the same stream.
+                    run.reset_session();
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // An I/O failure that is really a peer protocol violation
+                // is re-classified by the caller via the SourceState.
+                error = Some(EvalError::Xml(e));
+                break;
+            }
+        }
+    }
+    shared
+        .stats
+        .documents
+        .fetch_add(documents, Ordering::Relaxed);
+
+    let exhausted = run.exhausted();
+    // A malformed or cut-off stream leaves undetermined candidates behind;
+    // `finish_full` asserts balance, so an errored run is snapshotted and
+    // dropped instead of finished (a resource breach is different: the run
+    // drained cleanly and can finish).
+    let (stats, transducers) = if matches!(error, Some(EvalError::Xml(_))) {
+        let stats = run.stats().clone();
+        let transducers = run.transducer_stats().to_vec();
+        drop(run);
+        (stats, transducers)
+    } else {
+        run.finish_full()
+    };
+    shared.stats.absorb_engine(&stats);
+
+    let report = if recovering {
+        let faults = reader.take_faults();
+        let truncated = faults
+            .iter()
+            .any(|f| f.kind == spex_xml::FaultKind::Truncated);
+        // Faults first, so a client sees why fragments were withheld
+        // before the surviving results arrive.
+        {
+            let mut w = writer.borrow_mut();
+            for fault in &faults {
+                w.send(FrameKind::Fault, fault_json(fault).as_bytes());
+            }
+        }
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for (q, name) in quarantines.iter_mut().zip(&names) {
+            let mut sink = frame_sink(name.clone(), writer);
+            let (d, p) = q.drain_into(&faults, shared.cfg.on_truncation, &mut sink);
+            delivered += d;
+            dropped += p;
+        }
+        shared
+            .stats
+            .absorb_faults(&faults, truncated, delivered, dropped);
+        Some(RunReport {
+            faults,
+            truncated,
+            results: delivered,
+            dropped,
+            exhausted,
+            stats: stats.clone(),
+            transducers: transducers.clone(),
+        })
+    } else {
+        None
+    };
+
+    EvalOutcome {
+        stats_json: Some(stats_json(&stats, &transducers, report.as_ref())),
+        error,
+    }
+}
+
+/// One fault as a line of JSON (same field names as the one-shot schema's
+/// `first`/`last` entries, plus the action and detail).
+fn fault_json(fault: &spex_xml::Fault) -> String {
+    format!(
+        "{{\"kind\":\"{}\",\"offset\":{},\"line\":{},\"column\":{},\"action\":\"{}\",\"detail\":\"{}\"}}",
+        fault.kind.as_str(),
+        fault.position.offset,
+        fault.position.line,
+        fault.position.column,
+        fault.action.as_str(),
+        spex_core::json_escape(&fault.detail),
+    )
+}

@@ -1,0 +1,49 @@
+//! Minimal SIGINT/SIGTERM notification without any signal-handling crate:
+//! the handler only sets an atomic flag, which the acceptor loop polls
+//! between `accept` attempts. This is the entire graceful-shutdown trigger
+//! surface — everything else (drain, join, stats dump) runs in normal
+//! thread context.
+//!
+//! On non-Unix targets installation is a no-op and [`requested`] is always
+//! false; the in-band `SHUTDOWN` frame still works everywhere.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        super::REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    #[allow(unsafe_code)]
+    pub(super) fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal(2)` with a handler that only stores to an atomic;
+        // no allocation, locking or reentrancy in the handler.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent; no-op off Unix).
+pub fn install() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+/// True once SIGINT or SIGTERM has been received.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}

@@ -74,6 +74,24 @@ impl SymbolTable {
         self.names.len()
     }
 
+    /// Forget every symbol at index `len` or above, shrinking the table back
+    /// to a recorded baseline. Symbols below `len` stay valid; symbols at or
+    /// above it are invalidated and their dense indices will be reassigned to
+    /// the next names interned. A `len` beyond the current size is a no-op.
+    ///
+    /// This is the session-reuse hook: a long-lived evaluator records
+    /// `len()` after resolving its query labels and truncates back to that
+    /// baseline between documents, so a stream of documents with disjoint
+    /// vocabularies cannot grow the table without bound.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.names.len() {
+            return;
+        }
+        for name in self.names.drain(len..) {
+            self.map.remove(&name);
+        }
+    }
+
     /// A fresh table already contains `$`, so it is never empty. Tables
     /// constructed via `Default` (no `$`) report empty until first intern.
     #[must_use]
@@ -98,6 +116,23 @@ mod tests {
         assert_eq!(t.name(DOC_SYMBOL), "$");
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn truncate_forgets_and_reassigns() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let baseline = t.len();
+        t.intern("b");
+        t.intern("c");
+        t.truncate(baseline);
+        assert_eq!(t.len(), baseline);
+        assert_eq!(t.intern("a"), a);
+        // Reassigned densely after the baseline.
+        assert_eq!(t.intern("z"), baseline as Symbol);
+        // Truncating past the end is a no-op.
+        t.truncate(100);
+        assert_eq!(t.name(a), "a");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! serve_client: drive one session against a running `spex serve`.
+//!
+//! ```sh
+//! # terminal 1
+//! cargo run --bin spex -- serve --addr 127.0.0.1:7878
+//! # terminal 2
+//! cargo run --example serve_client -- 127.0.0.1:7878 'q=_*.a[b].c'
+//! cargo run --example serve_client -- 127.0.0.1:7878 'q=r.x' --xml doc.xml
+//! cargo run --example serve_client -- 127.0.0.1:7878 --stats
+//! cargo run --example serve_client -- 127.0.0.1:7878 --shutdown
+//! ```
+//!
+//! Registers every `NAME=EXPR` argument, streams one document (a built-in
+//! demo document unless `--xml FILE` names one), and prints what comes
+//! back: one `NAME\tFRAGMENT` line per result, faults and errors verbatim,
+//! and the session statistics. Exits non-zero if the session errored.
+
+use spex_serve::Client;
+use std::io::Write;
+
+const DEMO_XML: &str = "<a><a><b/><c>paper fig. 1</c></a><b/><c>selected</c></a>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: serve_client ADDR [NAME=EXPR]... [--xml FILE] [--stats] [--shutdown]");
+        std::process::exit(1);
+    };
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("serve_client: connect {addr}: {e}");
+        std::process::exit(3);
+    });
+    client.set_max_frame(64 * 1024 * 1024);
+
+    if args.iter().any(|a| a == "--shutdown") {
+        client.request_shutdown().expect("send shutdown");
+        println!("shutdown requested");
+        return;
+    }
+    if args.iter().any(|a| a == "--stats") {
+        client.request_stats().expect("send stats request");
+        let frame = client.next_frame().expect("read").expect("stats frame");
+        println!("{}", String::from_utf8_lossy(&frame.payload));
+        return;
+    }
+
+    let queries: Vec<(&str, &str)> = args[1..].iter().filter_map(|a| a.split_once('=')).collect();
+    if queries.is_empty() {
+        eprintln!("serve_client: no NAME=EXPR queries given");
+        std::process::exit(1);
+    }
+    let xml = match args.iter().position(|a| a == "--xml") {
+        Some(i) => std::fs::read(&args[i + 1]).expect("read --xml file"),
+        None => DEMO_XML.as_bytes().to_vec(),
+    };
+
+    let transcript = client.run_session(&queries, &xml).unwrap_or_else(|e| {
+        eprintln!("serve_client: session: {e}");
+        std::process::exit(3);
+    });
+    if transcript.busy {
+        eprintln!("serve_client: server BUSY (admission queue full)");
+        std::process::exit(4);
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (name, fragment) in &transcript.results {
+        write!(out, "{name}\t").unwrap();
+        out.write_all(fragment).unwrap();
+    }
+    for fault in &transcript.faults {
+        eprintln!("fault: {fault}");
+    }
+    for error in &transcript.errors {
+        eprintln!("error: {error}");
+    }
+    if let Some(stats) = &transcript.stats {
+        eprintln!("stats: {stats}");
+    }
+    if !transcript.errors.is_empty() || !transcript.clean_end {
+        std::process::exit(1);
+    }
+}
