@@ -30,7 +30,12 @@ OPTIONS:
     --workers N           worker threads = max concurrent sessions (default 4)
     --queue N             sessions queued before BUSY rejects (default 64)
     --max-frame N         per-frame payload cap in bytes (default 1048576)
+    --max-plans N         compiled-plan cache cap, LRU-evicted past it;
+                          0 disables caching (default 64)
     --read-timeout SECS   per-read socket timeout, 0 disables (default 30)
+    --write-timeout SECS  per-write socket timeout, 0 disables (default 30)
+    --allow-remote-shutdown  honor the 'Q' shutdown frame from non-loopback
+                          peers (default: loopback peers only)
     --recover P           per-session recovery policy: strict | repair | skip-subtree
     --on-truncation O     drop (default) | force-false
     --limit-depth N       per-session stream nesting depth cap
@@ -44,7 +49,8 @@ OPTIONS:
 
 PROTOCOL (kind byte · u32 big-endian length · payload):
     client:  'R' register name=expr   'D' xml bytes   'E' end
-             'S' stats request        'Q' graceful shutdown
+             'S' stats request        'Q' graceful shutdown (loopback peers
+             only unless --allow-remote-shutdown)
     server:  'k' ok   'r' result   'f' fault   's' stats   'e' error
              'b' busy   'n' session end
 
@@ -86,6 +92,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--workers" => config.workers = number("--workers", &mut it)?,
             "--queue" => config.queue_cap = number("--queue", &mut it)?,
             "--max-frame" => config.max_frame = number("--max-frame", &mut it)?,
+            "--max-plans" => config.max_cached_plans = number("--max-plans", &mut it)?,
             "--read-timeout" => {
                 let secs: u64 = number("--read-timeout", &mut it)?;
                 config.read_timeout = if secs == 0 {
@@ -94,6 +101,15 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     Some(std::time::Duration::from_secs(secs))
                 };
             }
+            "--write-timeout" => {
+                let secs: u64 = number("--write-timeout", &mut it)?;
+                config.write_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs))
+                };
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--recover" => {
                 config.recovery = it
                     .next()
@@ -196,8 +212,13 @@ mod tests {
             "2",
             "--max-frame",
             "4096",
+            "--max-plans",
+            "8",
             "--read-timeout",
             "0",
+            "--write-timeout",
+            "5",
+            "--allow-remote-shutdown",
             "--recover",
             "repair",
             "--limit-depth",
@@ -209,7 +230,13 @@ mod tests {
         assert_eq!(o.config.workers, 8);
         assert_eq!(o.config.queue_cap, 2);
         assert_eq!(o.config.max_frame, 4096);
+        assert_eq!(o.config.max_cached_plans, 8);
         assert_eq!(o.config.read_timeout, None);
+        assert_eq!(
+            o.config.write_timeout,
+            Some(std::time::Duration::from_secs(5))
+        );
+        assert!(o.config.allow_remote_shutdown);
         assert_eq!(o.config.recovery, spex_xml::RecoveryPolicy::Repair);
         assert_eq!(o.config.limits.max_stream_depth, Some(64));
         assert!(o.stats_json);

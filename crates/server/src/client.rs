@@ -111,7 +111,10 @@ impl Client {
         self.send(FrameKind::Stats, b"")
     }
 
-    /// Ask the server to shut down gracefully.
+    /// Ask the server to shut down gracefully. Honored from loopback
+    /// peers, or from any peer when the server runs with
+    /// `ServerConfig::allow_remote_shutdown`; refused with an error frame
+    /// otherwise.
     pub fn request_shutdown(&mut self) -> std::io::Result<()> {
         self.send(FrameKind::Shutdown, b"")
     }

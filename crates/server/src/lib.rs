@@ -41,6 +41,6 @@ pub use protocol::{
     error_payload, read_frame, result_payload, split_result, write_frame, Frame, FrameKind,
     ProtocolError, ReadError, DEFAULT_MAX_FRAME,
 };
-pub use registry::Registry;
+pub use registry::{Registry, DEFAULT_PLAN_CAP};
 pub use server::{Server, ServerConfig, ServerHandle, ServerReport};
 pub use stats::{FaultTotals, ServerStats};

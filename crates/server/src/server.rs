@@ -48,6 +48,19 @@ pub struct ServerConfig {
     /// Per-read socket timeout (a stalled client fails its own session
     /// instead of pinning a worker forever). `None` disables.
     pub read_timeout: Option<Duration>,
+    /// Per-write socket timeout: a client that stops *reading* while
+    /// results stream would otherwise fill the kernel send buffer and
+    /// block its worker forever. `None` disables.
+    pub write_timeout: Option<Duration>,
+    /// Maximum number of compiled plans the registry caches; past the cap
+    /// the least-recently-used plan is evicted, so clients registering
+    /// ever-varying queries cannot grow server memory without bound.
+    /// `0` disables caching entirely (every registration compiles fresh).
+    pub max_cached_plans: usize,
+    /// Honor the in-band `SHUTDOWN` frame from non-loopback peers. Off by
+    /// default: a loopback client can always stop its own server, but a
+    /// remote client stopping a shared one is a denial of service.
+    pub allow_remote_shutdown: bool,
     /// Poll SIGINT/SIGTERM in the accept loop (the CLI turns this on;
     /// tests drive shutdown through [`ServerHandle`] instead).
     pub watch_signals: bool,
@@ -64,6 +77,9 @@ impl Default for ServerConfig {
             recovery: RecoveryPolicy::Strict,
             on_truncation: TruncationOutcome::default(),
             read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_cached_plans: 64,
+            allow_remote_shutdown: false,
             watch_signals: false,
         }
     }
@@ -142,6 +158,7 @@ impl Server {
         // signals) without an interruptible syscall dance.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let registry = Registry::with_cap(cfg.max_cached_plans);
         Ok(Server {
             listener,
             addr,
@@ -150,7 +167,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 queue: Mutex::new(VecDeque::new()),
                 wake: Condvar::new(),
-                registry: Registry::new(),
+                registry,
                 stats: ServerStats::new(),
             }),
         })

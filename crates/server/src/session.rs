@@ -9,7 +9,9 @@
 //! 1. **Register**: `R` frames (`name=expr`) are parsed and acknowledged
 //!    one by one (`k` with the name, or `e` with a structured error that
 //!    does *not* kill the session). `S` answers with server-wide stats;
-//!    `Q` requests a graceful server shutdown.
+//!    `Q` requests a graceful server shutdown (honored for loopback peers,
+//!    or any peer under `ServerConfig::allow_remote_shutdown`; refused
+//!    with an `e` frame otherwise, session left usable).
 //! 2. **Eval**: the first `D`/`E` frame freezes the registration and the
 //!    plan is fetched from (or compiled into) the shared registry. `D`
 //!    payloads are the XML byte stream, chunked arbitrarily — a
@@ -157,6 +159,12 @@ impl FrameByteSource {
 
 impl Read for FrameByteSource {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        // A zero-length read must not reach the EOF paths below: `Ok(0)`
+        // with buffered or still-arriving frames would read as end of
+        // stream and silently truncate the document.
+        if out.is_empty() {
+            return Ok(0);
+        }
         loop {
             if self.pos < self.buf.len() {
                 let n = (self.buf.len() - self.pos).min(out.len());
@@ -192,9 +200,23 @@ impl Read for FrameByteSource {
     }
 }
 
+/// Whether this peer may stop the server with an in-band `SHUTDOWN`
+/// frame: loopback peers always can (a local client stopping its own
+/// server), anyone else only when the operator opted in — an unknown peer
+/// (no resolvable address) is never trusted.
+fn shutdown_permitted(allow_remote: bool, peer: Option<std::net::SocketAddr>) -> bool {
+    allow_remote || peer.map(|p| p.ip().is_loopback()).unwrap_or(false)
+}
+
 /// Serve one connection end to end, updating the server-wide counters.
 pub(crate) fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(shared.cfg.read_timeout);
+    // A peer that stops reading while results stream would otherwise fill
+    // the kernel send buffer and block this worker forever, pinning server
+    // capacity and hanging the graceful-shutdown drain.
+    let _ = stream.set_write_timeout(shared.cfg.write_timeout);
+    let shutdown_allowed =
+        shutdown_permitted(shared.cfg.allow_remote_shutdown, stream.peer_addr().ok());
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
@@ -204,7 +226,7 @@ pub(crate) fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let writer: SharedWriter = Rc::new(RefCell::new(FrameWriter::new(write_half)));
     let input = BufReader::new(stream);
-    let end = session_inner(input, &writer, shared);
+    let end = session_inner(input, &writer, shared, shutdown_allowed);
     match end {
         SessionEnd::Completed => {
             shared
@@ -234,6 +256,7 @@ fn session_inner(
     mut input: BufReader<TcpStream>,
     writer: &SharedWriter,
     shared: &Arc<Shared>,
+    shutdown_allowed: bool,
 ) -> SessionEnd {
     // --- Register phase -------------------------------------------------
     let mut queries: Vec<(String, Rpeq)> = Vec::new();
@@ -247,8 +270,23 @@ fn session_inner(
                     writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
                 }
                 FrameKind::Shutdown => {
-                    shared.begin_shutdown();
-                    writer.borrow_mut().send(FrameKind::Ok, b"shutdown");
+                    // Loopback peers (or all peers, when the operator opted
+                    // in) may stop the server; anyone else gets a refusal
+                    // that leaves their session usable — otherwise a single
+                    // unauthenticated remote frame is a denial of service.
+                    if shutdown_allowed {
+                        shared.begin_shutdown();
+                        writer.borrow_mut().send(FrameKind::Ok, b"shutdown");
+                    } else {
+                        writer.borrow_mut().send(
+                            FrameKind::Error,
+                            &error_payload(
+                                "usage",
+                                1,
+                                "shutdown is not permitted from this peer",
+                            ),
+                        );
+                    }
                 }
                 FrameKind::Data => {
                     first_data = Some(frame.payload);
@@ -529,4 +567,53 @@ fn fault_json(fault: &spex_xml::Fault) -> String {
         fault.action.as_str(),
         spex_core::json_escape(&fault.detail),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_gate_trusts_loopback_peers_only() {
+        let lo4: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let lo6: std::net::SocketAddr = "[::1]:1".parse().unwrap();
+        let remote: std::net::SocketAddr = "10.0.0.9:1".parse().unwrap();
+        assert!(shutdown_permitted(false, Some(lo4)));
+        assert!(shutdown_permitted(false, Some(lo6)));
+        assert!(!shutdown_permitted(false, Some(remote)));
+        assert!(!shutdown_permitted(false, None));
+        assert!(shutdown_permitted(true, Some(remote)));
+        assert!(shutdown_permitted(true, None));
+    }
+
+    /// A zero-length read must not look like EOF — neither with bytes
+    /// still buffered nor with frames still arriving.
+    #[test]
+    fn zero_length_read_is_not_eof() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = std::net::TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        write_frame(&mut tx, FrameKind::Data, b"<a/>").unwrap();
+        tx.flush().unwrap();
+        let mut source = FrameByteSource {
+            input: BufReader::new(rx),
+            max_frame: 1024,
+            buf: Vec::new(),
+            pos: 0,
+            ended: false,
+            state: Rc::new(RefCell::new(SourceState::default())),
+        };
+        // Empty buffer, frame pending: an empty read returns 0 without
+        // consuming the frame or flipping the EOF state…
+        assert_eq!(source.read(&mut []).unwrap(), 0);
+        assert!(!source.ended);
+        let mut two = [0u8; 2];
+        assert_eq!(source.read(&mut two).unwrap(), 2);
+        assert_eq!(&two, b"<a");
+        // …and mid-buffer an empty read consumes nothing either.
+        assert_eq!(source.read(&mut []).unwrap(), 0);
+        assert_eq!(source.read(&mut two).unwrap(), 2);
+        assert_eq!(&two, b"/>");
+    }
 }

@@ -124,7 +124,11 @@ impl ServerStats {
             (guard.0.clone(), guard.1.clone())
         };
         let mut out = spex_core::stats_json(&engine, &[], None);
-        debug_assert_eq!(out.pop(), Some('}'));
+        // The pop must happen in release builds too — inside a
+        // debug_assert! it would be compiled out and the sections below
+        // would land after the closing brace.
+        let closing = out.pop();
+        debug_assert_eq!(closing, Some('}'));
         if faults.total > 0 || faults.truncated_sessions > 0 {
             out.push_str(&format!(
                 ",\"faults\":{{\"total\":{},\"truncated\":{},\"delivered\":{},\
@@ -183,6 +187,17 @@ impl ServerStats {
 mod tests {
     use super::*;
 
+    /// Brace depth of a JSON blob with no braces inside strings — zero for
+    /// a well-formed object, nonzero when a section was spliced in after
+    /// the closing brace.
+    fn brace_depth(json: &str) -> i64 {
+        json.chars().fold(0, |d, c| match c {
+            '{' => d + 1,
+            '}' => d - 1,
+            _ => d,
+        })
+    }
+
     #[test]
     fn json_extends_the_one_shot_schema() {
         let stats = ServerStats::new();
@@ -212,6 +227,7 @@ mod tests {
         // No recovery sessions ran: no faults key, like a Strict one-shot.
         assert!(!json.contains("\"faults\""));
         assert!(json.ends_with('}'));
+        assert_eq!(brace_depth(&json), 0, "unbalanced: {json}");
     }
 
     #[test]
@@ -236,6 +252,7 @@ mod tests {
         assert!(json.contains("\"quarantined\":1"));
         assert!(json.contains("\"stray-close\":1"));
         assert!(json.contains("\"first\":{\"kind\":\"stray-close\",\"offset\":12"));
+        assert_eq!(brace_depth(&json), 0, "unbalanced: {json}");
     }
 
     #[test]
