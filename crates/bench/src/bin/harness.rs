@@ -21,6 +21,11 @@
 //!                            over a loopback server; aggregate events/sec,
 //!                            p50/p99 session latency, reject rate under a
 //!                            tiny admission queue; --json writes BENCH_4.json
+//! harness trace-bench [--json]
+//!                            spex-trace overhead: the zero-copy pipeline
+//!                            with tracing off vs on (JSONL sink), run
+//!                            interleaved; --json writes BENCH_5.json and
+//!                            the run fails if trace-on is >5% slower
 //! harness all                everything above
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
@@ -90,6 +95,7 @@ fn main() {
         "fault-sweep" => fault_sweep_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
         "serve-bench" => serve_bench_cmd(&args[1..]),
+        "trace-bench" => trace_bench_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -103,6 +109,7 @@ fn main() {
             fault_sweep_cmd(&[]);
             bench_cmd(&[]);
             serve_bench_cmd(&[]);
+            trace_bench_cmd(&[]);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -910,6 +917,140 @@ fn serve_bench_cmd(args: &[String]) {
         );
         std::fs::write(&out_path, out).expect("write BENCH_4.json");
         println!("wrote {out_path}");
+    }
+}
+
+/// The `trace-bench` subcommand: tracing overhead of the full zero-copy
+/// pipeline. Each (workload, query) cell is evaluated with the tracer
+/// disabled and with a live JSONL tracer (the `--trace-jsonl`
+/// configuration), interleaved best-of-N in one process so machine-wide
+/// noise cancels out of the comparison. The acceptance bar from DESIGN.md
+/// §13 — trace-on within 5% of trace-off overall — is enforced on every
+/// run; with `--json` the measurements are also written to `BENCH_5.json`
+/// (repo root by default, `--out PATH` overrides).
+fn trace_bench_cmd(args: &[String]) {
+    use spex_bench::run_spex_traced;
+    use spex_trace::{JsonlSink, Tracer};
+
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_5.json", env!("CARGO_MANIFEST_DIR")));
+    header("trace-bench — spex-trace overhead (tracer off vs JSONL tracer on)");
+    let jsonl_path = std::env::temp_dir().join("spex-trace-bench.jsonl");
+    let sink = std::sync::Arc::new(JsonlSink::create(&jsonl_path).expect("create trace file"));
+    let on = Tracer::to_sink(sink.clone());
+    let off = Tracer::disabled();
+
+    struct Cell {
+        workload: &'static str,
+        class: u8,
+        query: &'static str,
+        events: usize,
+        off_secs: f64,
+        on_secs: f64,
+    }
+    let bench_dmoz_scale = 0.01;
+    let workloads: Vec<(&'static str, Dataset, Vec<XmlEvent>)> = vec![
+        ("mondial", Dataset::Mondial, mondial_events().to_vec()),
+        (
+            "dmoz-structure",
+            Dataset::DmozStructure,
+            dmoz_structure(bench_dmoz_scale).collect(),
+        ),
+    ];
+    println!(
+        "{:>14} {:>5} {:<28} {:>10} {:>10} {:>9}",
+        "workload", "class", "query", "off", "on", "overhead"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for (name, dataset, events) in &workloads {
+        let xml = spex_xml::writer::events_to_string(events);
+        for qc in queries_for(*dataset) {
+            let q = qc.rpeq();
+            // Interleaved best-of-5: off, on, off, on, … so a load spike
+            // hits both arms equally and the minimum stays comparable.
+            let mut off_secs = f64::INFINITY;
+            let mut on_secs = f64::INFINITY;
+            for _ in 0..5 {
+                let a = run_spex_traced(&q, xml.as_bytes(), &off);
+                let b = run_spex_traced(&q, xml.as_bytes(), &on);
+                assert_eq!(a.results, b.results, "tracing changed results on {name}");
+                off_secs = off_secs.min(a.elapsed.as_secs_f64());
+                on_secs = on_secs.min(b.elapsed.as_secs_f64());
+            }
+            println!(
+                "{:>14} {:>5} {:<28} {:>9.1}ms {:>9.1}ms {:>+8.2}%",
+                name,
+                qc.class,
+                qc.text,
+                off_secs * 1e3,
+                on_secs * 1e3,
+                (on_secs / off_secs.max(1e-9) - 1.0) * 100.0
+            );
+            cells.push(Cell {
+                workload: name,
+                class: qc.class,
+                query: qc.text,
+                events: events.len(),
+                off_secs,
+                on_secs,
+            });
+        }
+    }
+    on.flush();
+    assert!(!sink.had_error(), "trace sink reported a write error");
+    let trace_records = std::fs::read_to_string(&jsonl_path)
+        .map(|s| s.lines().count())
+        .unwrap_or(0);
+    let off_total: f64 = cells.iter().map(|c| c.off_secs).sum();
+    let on_total: f64 = cells.iter().map(|c| c.on_secs).sum();
+    let overhead_pct = (on_total / off_total.max(1e-9) - 1.0) * 100.0;
+    let gate_pct = 5.0;
+    let pass = overhead_pct <= gate_pct;
+    println!(
+        "total: off {:.1}ms, on {:.1}ms, overhead {:+.2}% (gate {}%); {} trace record(s) written",
+        off_total * 1e3,
+        on_total * 1e3,
+        overhead_pct,
+        gate_pct,
+        trace_records
+    );
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"spex-trace-bench-5\",\n");
+        out.push_str(&format!("  \"dmoz_scale\": {bench_dmoz_scale},\n"));
+        out.push_str("  \"runs\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            let sep = if i + 1 == cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"class\":{},\"query\":{:?},\"events\":{},\"off_secs\":{:.6},\"on_secs\":{:.6},\"overhead_pct\":{:.3}}}{sep}\n",
+                c.workload,
+                c.class,
+                c.query,
+                c.events,
+                c.off_secs,
+                c.on_secs,
+                (c.on_secs / c.off_secs.max(1e-9) - 1.0) * 100.0,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"off_secs\":{off_total:.6},\"on_secs\":{on_total:.6},\"overhead_pct\":{overhead_pct:.3},\"gate_pct\":{gate_pct},\"pass\":{pass},\"trace_records\":{trace_records}}}\n"
+        ));
+        out.push_str("}\n");
+        std::fs::write(&out_path, out).expect("write BENCH_5.json");
+        println!("wrote {out_path}");
+    }
+    if !pass {
+        eprintln!(
+            "TRACE OVERHEAD REGRESSION: trace-on {overhead_pct:+.2}% vs trace-off (gate {gate_pct}%)"
+        );
+        std::process::exit(1);
     }
 }
 

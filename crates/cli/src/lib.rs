@@ -12,8 +12,10 @@ use spex_core::{
     ResourceLimits, RunReport, SpanCollector, TransducerStats, TruncationOutcome,
 };
 use spex_query::Rpeq;
+use spex_trace::{JsonlSink, MemorySink, TeeSink, TraceRecord, TraceSink, Tracer};
 use spex_xml::{RecoveryPolicy, XmlError};
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// A CLI failure with its process exit code (see the README's exit-code
 /// table): 1 usage/query, 2 malformed XML, 3 I/O, 4 resource limits.
@@ -111,6 +113,11 @@ pub struct Options {
     /// Named queries (`NAME=EXPR`, repeatable) compiled into one shared
     /// network; output lines are prefixed with the query name.
     pub queries: Vec<String>,
+    /// Write a JSONL trace (spans, counters, histograms — DESIGN.md §13)
+    /// to this path.
+    pub trace_jsonl: Option<String>,
+    /// Print a human-readable trace summary to stderr after the run.
+    pub trace_summary: bool,
 }
 
 impl Default for Options {
@@ -132,6 +139,8 @@ impl Default for Options {
             recover: RecoveryPolicy::Strict,
             on_truncation: TruncationOutcome::Drop,
             queries: Vec::new(),
+            trace_jsonl: None,
+            trace_summary: false,
         }
     }
 }
@@ -160,6 +169,9 @@ OPTIONS:
     --explain        print the compiled transducer network and exit
     --stats          print evaluation statistics to stderr
     --stats-json     print statistics (global + per-transducer) as JSON to stderr
+    --trace-jsonl PATH    write a JSONL trace (spans, counters, histograms;
+                     schema in DESIGN.md §13) to PATH
+    --trace-summary  print a human-readable trace summary to stderr
     --stream         treat the input as a sequence of documents (SDI mode)
     --recover P      recovery policy for malformed input:
                      strict (default) | repair | skip-subtree
@@ -206,6 +218,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--explain" => o.explain = true,
             "--stats" => o.stats = true,
             "--stats-json" => o.stats_json = true,
+            "--trace-summary" => o.trace_summary = true,
+            "--trace-jsonl" => {
+                o.trace_jsonl = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-jsonl needs a file path".to_string())?
+                        .clone(),
+                )
+            }
             "--stream" => o.stream = true,
             "--limit-depth" => o.limits.max_stream_depth = Some(number("--limit-depth", &mut it)?),
             "--limit-buffered" => {
@@ -262,6 +282,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with("--query=") => {
                 o.queries.push(other["--query=".len()..].to_string())
             }
+            other if other.starts_with("--trace-jsonl=") => {
+                o.trace_jsonl = Some(other["--trace-jsonl=".len()..].to_string())
+            }
             other if other.starts_with("--recover=") => {
                 o.recover = other["--recover=".len()..].parse()?
             }
@@ -281,6 +304,112 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err("too many positional arguments".to_string());
     }
     Ok(o)
+}
+
+/// The trace destinations a run writes to, built from the `--trace-jsonl`
+/// and `--trace-summary` flags. Holding the concrete sinks (not just the
+/// type-erased [`Tracer`]) lets the CLI check the JSONL sink's error latch
+/// and render the summary from the in-memory records after the run.
+struct TraceSetup {
+    tracer: Tracer,
+    jsonl: Option<(String, Arc<JsonlSink>)>,
+    summary: Option<Arc<MemorySink>>,
+}
+
+impl TraceSetup {
+    fn build(options: &Options) -> Result<TraceSetup, CliError> {
+        let mut setup = TraceSetup {
+            tracer: Tracer::disabled(),
+            jsonl: None,
+            summary: None,
+        };
+        let mut children: Vec<Arc<dyn TraceSink>> = Vec::new();
+        if let Some(path) = &options.trace_jsonl {
+            let sink = Arc::new(
+                JsonlSink::create(std::path::Path::new(path))
+                    .map_err(|e| CliError::Io(format!("{path}: {e}")))?,
+            );
+            setup.jsonl = Some((path.clone(), sink.clone()));
+            children.push(sink);
+        }
+        if options.trace_summary {
+            let sink = Arc::new(MemorySink::new());
+            setup.summary = Some(sink.clone());
+            children.push(sink);
+        }
+        setup.tracer = match children.len() {
+            0 => Tracer::disabled(),
+            1 => Tracer::to_sink(children.pop().expect("one child")),
+            _ => Tracer::to_sink(Arc::new(TeeSink::new(children))),
+        };
+        Ok(setup)
+    }
+
+    /// Flush the sinks, render the `--trace-summary` table, and surface a
+    /// latched JSONL write error as an I/O failure.
+    fn finish(&self, stderr: &mut dyn Write) -> Result<(), CliError> {
+        self.tracer.flush();
+        if let Some(memory) = &self.summary {
+            write!(stderr, "{}", render_trace_summary(&memory.records()))?;
+        }
+        if let Some((path, sink)) = &self.jsonl {
+            if sink.had_error() {
+                return Err(CliError::Io(format!("{path}: trace write failed")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Render trace records as an aligned human-readable table (the
+/// `--trace-summary` output).
+fn render_trace_summary(records: &[TraceRecord]) -> String {
+    use spex_trace::Value;
+    fn label(name: &str, attrs: &[(String, Value)]) -> String {
+        if attrs.is_empty() {
+            return name.to_string();
+        }
+        let inner: Vec<String> = attrs
+            .iter()
+            .map(|(k, v)| match v {
+                Value::Str(s) => format!("{k}={s}"),
+                Value::U64(n) => format!("{k}={n}"),
+            })
+            .collect();
+        format!("{name}{{{}}}", inner.join(","))
+    }
+    let rows: Vec<(&'static str, String, String)> = records
+        .iter()
+        .map(|r| match r {
+            TraceRecord::Span { name, us, attrs } => {
+                ("span", label(name, attrs), format!("{us}µs"))
+            }
+            TraceRecord::Counter { name, value, attrs } => {
+                ("counter", label(name, attrs), value.to_string())
+            }
+            TraceRecord::Gauge { name, value, attrs } => {
+                ("gauge", label(name, attrs), value.to_string())
+            }
+            TraceRecord::Hist {
+                name,
+                summary,
+                attrs,
+            } => (
+                "hist",
+                label(name, attrs),
+                format!(
+                    "count={} min={} max={} p50={} p90={} p99={}",
+                    summary.count, summary.min, summary.max, summary.p50, summary.p90, summary.p99
+                ),
+            ),
+        })
+        .collect();
+    let width = rows.iter().map(|(_, l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::from("trace summary:\n");
+    for (kind, label, value) in rows {
+        out.push_str(&format!("  {kind:<7} {label:<width$}  {value}\n"));
+    }
+    out
 }
 
 /// Run the tool; returns the process exit code.
@@ -334,15 +463,17 @@ fn run_inner(
         return Ok(());
     }
 
+    let trace = TraceSetup::build(options)?;
+
     // Choose the sink by output mode.
     let (stats, transducers, report) = if options.count {
         let mut sink = CountingSink::new();
-        let out = evaluate(&network, options, stdin, &mut sink)?;
+        let out = evaluate(&network, options, &trace.tracer, stdin, &mut sink)?;
         writeln!(stdout, "{}", sink.results)?;
         out
     } else if options.spans {
         let mut sink = SpanCollector::new();
-        let out = evaluate(&network, options, stdin, &mut sink)?;
+        let out = evaluate(&network, options, &trace.tracer, stdin, &mut sink)?;
         for s in &sink.starts {
             writeln!(stdout, "{s}")?;
         }
@@ -352,14 +483,19 @@ fn run_inner(
         // not after the stream ends. (Under a recovery policy delivery is
         // deferred to end of run — quarantine needs the whole stream.)
         let mut sink = spex_core::StreamingSink::new(&mut *stdout);
-        let out = evaluate(&network, options, stdin, &mut sink)?;
+        let out = evaluate(&network, options, &trace.tracer, stdin, &mut sink)?;
         if let Some(e) = sink.take_error() {
             return Err(e.into());
         }
         out
     };
 
-    report_outcome(options, &stats, &transducers, report.as_ref(), stderr)
+    // The summary still prints (and the JSONL sink still flushes) when the
+    // run ends in a drained resource breach — but that breach wins as the
+    // reported error.
+    let outcome = report_outcome(options, &stats, &transducers, report.as_ref(), stderr);
+    trace.finish(stderr)?;
+    outcome
 }
 
 /// Print the `--stats`/`--stats-json` output and the recovery summary,
@@ -492,6 +628,7 @@ fn run_multi(
         None => Box::new(stdin),
     };
 
+    let trace = TraceSetup::build(options)?;
     let (stats, transducers) = if options.count {
         let mut counters: Vec<CountingSink> =
             (0..queries.len()).map(|_| CountingSink::new()).collect();
@@ -500,7 +637,7 @@ fn run_multi(
                 .iter_mut()
                 .map(|c| c as &mut dyn spex_core::ResultSink)
                 .collect();
-            eval_multi(&set, options, &mut input, sinks)?
+            eval_multi(&set, options, &trace.tracer, &mut input, sinks)?
         };
         for (name, counter) in set.ids().iter().zip(&counters) {
             writeln!(stdout, "{name}\t{}", counter.results)?;
@@ -514,7 +651,7 @@ fn run_multi(
                 .iter_mut()
                 .map(|c| c as &mut dyn spex_core::ResultSink)
                 .collect();
-            eval_multi(&set, options, &mut input, sinks)?
+            eval_multi(&set, options, &trace.tracer, &mut input, sinks)?
         };
         for (name, collector) in set.ids().iter().zip(&collectors) {
             for start in &collector.starts {
@@ -558,7 +695,7 @@ fn run_multi(
                 .iter_mut()
                 .map(|s| s as &mut dyn spex_core::ResultSink)
                 .collect();
-            eval_multi(&set, options, &mut input, sinks)?
+            eval_multi(&set, options, &trace.tracer, &mut input, sinks)?
         };
         drop(sinks_store);
         if let Some(e) = shared_out.borrow_mut().1.take() {
@@ -567,7 +704,9 @@ fn run_multi(
         out
     };
 
-    report_outcome(options, &stats, &transducers, None, stderr)
+    let outcome = report_outcome(options, &stats, &transducers, None, stderr);
+    trace.finish(stderr)?;
+    outcome
 }
 
 /// Drive the shared network over the input: the same zero-copy
@@ -577,10 +716,13 @@ fn run_multi(
 fn eval_multi(
     set: &spex_core::multi::SharedQuerySet,
     options: &Options,
+    tracer: &Tracer,
     input: &mut dyn Read,
     sinks: Vec<&mut dyn spex_core::ResultSink>,
 ) -> Result<(EngineStats, Vec<TransducerStats>), CliError> {
+    let _span = tracer.span("cli.evaluate");
     let mut run = set.run_with_limits(sinks, options.limits);
+    run.set_tracer(tracer.clone());
     let reader = spex_xml::Reader::new(input);
     let mut reader = if options.stream {
         reader.multi_document()
@@ -601,6 +743,11 @@ fn eval_multi(
             Err(e) => return Err(e.into()),
         }
     }
+    if tracer.enabled() {
+        tracer.counter("xml.events", reader.events_emitted());
+        tracer.counter("xml.bytes", reader.position().offset);
+        tracer.counter("xml.faults", reader.faults().len() as u64);
+    }
     Ok(run.finish_full())
 }
 
@@ -609,20 +756,28 @@ type EvalOutcome = (EngineStats, Vec<TransducerStats>, Option<RunReport>);
 fn evaluate(
     network: &CompiledNetwork,
     options: &Options,
+    tracer: &Tracer,
     stdin: &mut dyn Read,
     sink: &mut dyn spex_core::ResultSink,
 ) -> Result<EvalOutcome, CliError> {
     let run = |input: &mut dyn std::io::Read,
                sink: &mut dyn spex_core::ResultSink|
      -> Result<EvalOutcome, CliError> {
+        let _span = tracer.span("cli.evaluate");
         if options.recover != RecoveryPolicy::Strict {
             let recovery = RecoveryOptions {
                 policy: options.recover,
                 on_truncation: options.on_truncation,
                 multi_document: options.stream,
             };
-            let report =
-                spex_core::evaluate_recovering(network, input, recovery, options.limits, sink)?;
+            let report = spex_core::evaluate_recovering_traced(
+                network,
+                input,
+                recovery,
+                options.limits,
+                sink,
+                tracer,
+            )?;
             return Ok((
                 report.stats.clone(),
                 report.transducers.clone(),
@@ -630,6 +785,7 @@ fn evaluate(
             ));
         }
         let mut eval = Evaluator::with_limits(network, sink, options.limits);
+        eval.set_tracer(tracer.clone());
         let reader = spex_xml::Reader::new(input);
         let mut reader = if options.stream {
             reader.multi_document()
@@ -639,6 +795,11 @@ fn evaluate(
         // Zero-copy hot loop: events are parsed into the run's arena and
         // pushed by handle (no per-event allocation in steady state).
         eval.push_from(&mut reader).map_err(CliError::from)?;
+        if tracer.enabled() {
+            tracer.counter("xml.events", reader.events_emitted());
+            tracer.counter("xml.bytes", reader.position().offset);
+            tracer.counter("xml.faults", reader.faults().len() as u64);
+        }
         let (stats, transducers) = eval.finish_full();
         Ok((stats, transducers, None))
     };
@@ -1091,6 +1252,55 @@ mod tests {
         );
         assert_eq!(code, 4);
         assert!(err.contains("resource limit exceeded"), "got {err}");
+    }
+
+    #[test]
+    fn trace_summary_goes_to_stderr() {
+        let (code, out, err) = run_cli(&["--trace-summary", "a.c"], "<a><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<c></c>\n");
+        assert!(err.contains("trace summary:"), "got {err}");
+        assert!(err.contains("engine.determination_latency"), "got {err}");
+        assert!(err.contains("xml.events"), "got {err}");
+        assert!(err.contains("cli.evaluate"), "got {err}");
+    }
+
+    #[test]
+    fn trace_jsonl_writes_schema_valid_lines() {
+        let dir = std::env::temp_dir().join("spex-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let (code, out, _) = run_cli(&["--trace-jsonl", &path_str, "a.c"], "<a><c/></a>");
+        assert_eq!(code, 0);
+        assert_eq!(out, "<c></c>\n");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"t\":\"") && line.ends_with('}'),
+                "bad record: {line}"
+            );
+        }
+        assert!(text.contains("\"t\":\"hist\""), "got {text}");
+        assert!(text.contains("engine.determination_latency"), "got {text}");
+        assert!(text.contains("\"xml.events\""), "got {text}");
+        // `--trace-jsonl=PATH` spelling parses too.
+        let o = parse_args(&args(&[&format!("--trace-jsonl={path_str}"), "a"])).unwrap();
+        assert_eq!(o.trace_jsonl.as_deref(), Some(path_str.as_str()));
+        assert!(parse_args(&args(&["--trace-jsonl"])).is_err());
+    }
+
+    #[test]
+    fn trace_works_under_recovery_and_multi_query() {
+        let xml = "<r><a><b/></a><x></nope></x></r>";
+        let (code, _, err) = run_cli(&["--recover", "repair", "--trace-summary", "r.a"], xml);
+        assert_eq!(code, 0);
+        assert!(err.contains("xml.faults"), "got {err}");
+        let (code, _, err) = run_cli(&["--trace-summary", "--query", "q=_*.c"], "<a><c/></a>");
+        assert_eq!(code, 0);
+        assert!(err.contains("trace summary:"), "got {err}");
+        assert!(err.contains("engine.determination_latency"), "got {err}");
     }
 
     #[test]

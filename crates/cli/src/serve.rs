@@ -45,14 +45,18 @@ OPTIONS:
     --limit-formula N     per-session condition-formula size cap
     --limit-messages N    per-session transducer-message cap
     --stats-json          dump server statistics as JSON to stderr on exit
+    --trace-jsonl PATH    write a JSONL trace (per-session spans and engine
+                          records, shutdown aggregates; DESIGN.md §13) to PATH
     -h, --help            this text
 
-PROTOCOL (kind byte · u32 big-endian length · payload):
+PROTOCOL (kind byte · u32 big-endian length · payload; see
+crates/server/PROTOCOL.md for the normative specification):
     client:  'R' register name=expr   'D' xml bytes   'E' end
-             'S' stats request        'Q' graceful shutdown (loopback peers
+             'S' stats request        'T' trace summary request
+             'Q' graceful shutdown (loopback peers
              only unless --allow-remote-shutdown)
-    server:  'k' ok   'r' result   'f' fault   's' stats   'e' error
-             'b' busy   'n' session end
+    server:  'k' ok   'r' result   'f' fault   's' stats   't' trace
+             'e' error   'b' busy   'n' session end
 
 The server exits 0 after a graceful shutdown (SIGINT, SIGTERM, or a 'Q' frame),
 draining all in-flight sessions first.
@@ -143,6 +147,13 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 limits.max_total_messages = Some(number("--limit-messages", &mut it)?)
             }
             "--stats-json" => stats_json = true,
+            "--trace-jsonl" => {
+                config.trace_jsonl = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-jsonl needs a file path".to_string())?
+                        .clone(),
+                )
+            }
             "-h" | "--help" => help = true,
             other => return Err(format!("unknown `spex serve` option `{other}`")),
         }
@@ -224,6 +235,8 @@ mod tests {
             "--limit-depth",
             "64",
             "--stats-json",
+            "--trace-jsonl",
+            "/tmp/trace.jsonl",
         ]))
         .unwrap();
         assert_eq!(o.config.addr, "127.0.0.1:0");
@@ -241,8 +254,10 @@ mod tests {
         assert_eq!(o.config.limits.max_stream_depth, Some(64));
         assert!(o.stats_json);
         assert!(o.config.watch_signals);
+        assert_eq!(o.config.trace_jsonl.as_deref(), Some("/tmp/trace.jsonl"));
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
         assert!(parse_serve_args(&args(&["--workers"])).is_err());
+        assert!(parse_serve_args(&args(&["--trace-jsonl"])).is_err());
     }
 
     #[test]

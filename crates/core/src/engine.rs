@@ -208,6 +208,24 @@ impl<'n, 's> Evaluator<'n, 's> {
         self.run.set_tap(tap);
     }
 
+    /// Attach a trace export handle (see [`Run::set_tracer`]): the engine
+    /// emits its counters, buffer high-water marks and per-output-node
+    /// determination-latency histograms when the evaluation finishes.
+    pub fn set_tracer(&mut self, tracer: spex_trace::Tracer) {
+        self.run.set_tracer(tracer);
+    }
+
+    /// Determination-latency histograms, one `(node id, histogram)` pair
+    /// per output node (see [`Run::determination_latency`]). Latency is
+    /// counted in *events* between a candidate entering the output buffer
+    /// and its condition formula becoming determined — the paper's
+    /// earliness measure. Snapshot the value before calling
+    /// [`Evaluator::finish`] (which consumes the evaluator); end-of-stream
+    /// determinations are folded in once the stream's end has been pushed.
+    pub fn determination_latency(&self) -> Vec<(usize, spex_trace::Histogram)> {
+        self.run.determination_latency()
+    }
+
     /// Per-transducer snapshots so far, indexed by node id.
     pub fn transducer_stats(&self) -> &[TransducerStats] {
         self.run.transducer_stats()

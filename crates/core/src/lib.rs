@@ -30,6 +30,13 @@
 //! * [`multi`] — the multi-query optimization named in the paper's
 //!   conclusion: many queries share one network through common prefixes.
 //!
+//! The repository-level DESIGN.md maps every module here to its paper
+//! section (§1, the system inventory); §8 fixes the result semantics all
+//! evaluators share, §9 the resource limits and per-transducer stats, §10
+//! the recovery layer ([`evaluate_recovering`]), §11 the zero-copy event
+//! pipeline, and §13 the trace records the engine emits when a
+//! [`spex_trace::Tracer`] is attached ([`Evaluator::set_tracer`]).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -62,8 +69,8 @@ pub use engine::{evaluate_events, evaluate_str, EvalError, Evaluator};
 pub use limits::{LimitBreach, LimitKind, ResourceLimits};
 pub use message::{DocEvent, Message, Symbol, SymbolTable};
 pub use recover::{
-    evaluate_recovering, evaluate_str_recovering, Quarantine, RecoveryOptions, RunReport,
-    TruncationOutcome,
+    evaluate_recovering, evaluate_recovering_traced, evaluate_str_recovering, Quarantine,
+    RecoveryOptions, RunReport, TruncationOutcome,
 };
 pub use sink::{
     CountingSink, FragmentCollector, FragmentFnSink, ResultMeta, ResultSink, SpanCollector,

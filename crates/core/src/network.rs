@@ -27,6 +27,7 @@ use crate::transducers::var_filter::VarFilter;
 use crate::transducers::Transducer;
 use spex_formula::{QualifierId, VarFactory};
 use spex_query::Label;
+use spex_trace::{Histogram, Tracer, Value};
 use spex_xml::{EventId, EventStore, StoredKind, XmlEvent};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -218,7 +219,7 @@ impl NetworkBuilder {
 enum NodeInstance {
     Single(Box<dyn Transducer>),
     Join(Join),
-    Output(Output),
+    Output(Box<Output>),
 }
 
 /// Instantiate every node of `spec`, resolving match labels against
@@ -272,7 +273,7 @@ fn build_nodes(
                     .position(|s| *s == i)
                     .expect("output node registered as sink");
                 sink_index[i] = idx;
-                NodeInstance::Output(Output::new())
+                NodeInstance::Output(Box::new(Output::new()))
             }
         };
         nodes.push(inst);
@@ -312,6 +313,12 @@ pub struct Run<'n, 's> {
     /// Symbol-table size right after the query labels were resolved; session
     /// reuse truncates the table back to this baseline between documents.
     symbol_baseline: usize,
+    /// Trace export handle (disabled by default; see [`Run::set_tracer`]).
+    tracer: Tracer,
+    /// Determination-latency histograms accumulated across
+    /// [`Run::reset_session`] rebuilds, indexed like `nodes` (only output
+    /// nodes ever record).
+    det_latency: Vec<Histogram>,
 }
 
 impl<'n, 's> Run<'n, 's> {
@@ -350,6 +357,7 @@ impl<'n, 's> Run<'n, 's> {
                 ..TransducerStats::default()
             })
             .collect();
+        let det_latency = vec![Histogram::new(); spec.nodes.len()];
         Run {
             spec,
             nodes,
@@ -368,6 +376,8 @@ impl<'n, 's> Run<'n, 's> {
             depth: 0,
             tracing: false,
             symbol_baseline,
+            tracer: Tracer::disabled(),
+            det_latency,
         }
     }
 
@@ -380,6 +390,15 @@ impl<'n, 's> Run<'n, 's> {
     /// Attach a live observability tap (see [`Tap`]).
     pub fn set_tap(&mut self, tap: Rc<RefCell<dyn Tap>>) {
         self.tap = Some(tap);
+    }
+
+    /// Attach a trace export handle. The engine's hot path is never
+    /// instrumented per event; the tracer receives one batch of counters,
+    /// gauges and histograms (per-node message counts, buffer high-water
+    /// marks, determination latency) when the run finishes — see
+    /// DESIGN.md §13 for the record schema.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The first limit breach, if any cap was exceeded.
@@ -658,7 +677,88 @@ impl<'n, 's> Run<'n, 's> {
         self.stats.vars_created = u64::from(self.factory.borrow().minted());
         self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(self.store.peak_bytes());
         self.stats.interned_symbols = self.stats.interned_symbols.max(self.store.symbols().len());
+        self.harvest_latency();
+        if self.tracer.enabled() {
+            self.emit_trace();
+        }
         (self.stats, self.node_stats)
+    }
+
+    /// Fold the live output transducers' determination-latency histograms
+    /// into the across-reset accumulators.
+    fn harvest_latency(&mut self) {
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let NodeInstance::Output(o) = n {
+                self.det_latency[id].merge(o.determination_latency());
+            }
+        }
+    }
+
+    /// Determination-latency histograms, one `(node id, histogram)` pair per
+    /// output node, including latencies accumulated across
+    /// [`Run::reset_session`] rebuilds. See
+    /// [`Output::determination_latency`](crate::transducers::output::Output::determination_latency)
+    /// for the measure's definition.
+    pub fn determination_latency(&self) -> Vec<(usize, Histogram)> {
+        let mut out = Vec::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let NodeInstance::Output(o) = n {
+                let mut h = self.det_latency[id].clone();
+                h.merge(o.determination_latency());
+                out.push((id, h));
+            }
+        }
+        out
+    }
+
+    /// Export the end-of-run measurements as trace records (the engine
+    /// section of the DESIGN.md §13 schema). Called once from
+    /// [`Run::finish_full`] when a tracer is attached.
+    fn emit_trace(&self) {
+        let t = &self.tracer;
+        t.counter("engine.ticks", self.stats.ticks);
+        t.counter("engine.messages", self.stats.messages);
+        t.counter("engine.results", self.stats.results);
+        t.counter("engine.dropped", self.stats.dropped);
+        t.counter("engine.candidates_created", self.stats.candidates_created);
+        t.counter("engine.vars_created", self.stats.vars_created);
+        t.gauge(
+            "engine.peak_buffered_events",
+            self.stats.peak_buffered_events as u64,
+        );
+        t.gauge(
+            "engine.peak_live_candidates",
+            self.stats.peak_live_candidates as u64,
+        );
+        t.gauge(
+            "engine.peak_arena_bytes",
+            self.stats.peak_arena_bytes as u64,
+        );
+        t.gauge(
+            "engine.max_stream_depth",
+            self.stats.max_stream_depth as u64,
+        );
+        for ns in &self.node_stats {
+            t.counter_with(
+                "engine.node.messages",
+                ns.messages,
+                &[
+                    ("node", Value::U64(ns.node as u64)),
+                    ("kind", Value::from(ns.kind.as_str())),
+                ],
+            );
+        }
+        // harvest_latency already folded the live outputs in; reading the
+        // accumulators directly avoids double counting.
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let NodeInstance::Output(_) = n {
+                t.hist(
+                    "engine.determination_latency",
+                    &self.det_latency[id],
+                    &[("node", Value::U64(id as u64)), ("kind", Value::from("OU"))],
+                );
+            }
+        }
     }
 
     /// Reset the run for the next document of a long-lived session, keeping
@@ -682,6 +782,10 @@ impl<'n, 's> Run<'n, 's> {
     /// reset. A latched resource-limit breach is *not* cleared: an exhausted
     /// run stays exhausted (the session must be torn down).
     pub fn reset_session(&mut self) {
+        // The rebuild below discards the output transducers (and with them
+        // the per-document determination latencies) — fold them into the
+        // across-reset accumulators first.
+        self.harvest_latency();
         self.store.reset();
         self.store.symbols_mut().truncate(self.symbol_baseline);
         let (nodes, sink_index) = build_nodes(self.spec, self.store.symbols_mut(), &self.factory);

@@ -240,6 +240,29 @@ pub fn evaluate_recovering<R: Read>(
     limits: ResourceLimits,
     sink: &mut dyn ResultSink,
 ) -> Result<RunReport, EvalError> {
+    evaluate_recovering_traced(
+        network,
+        input,
+        options,
+        limits,
+        sink,
+        &spex_trace::Tracer::disabled(),
+    )
+}
+
+/// [`evaluate_recovering`] with a [`spex_trace::Tracer`] attached: the
+/// engine's end-of-run trace records (counters, buffer gauges and the
+/// per-output determination-latency histograms) plus `xml.events` /
+/// `xml.bytes` / `xml.faults` reader counters are emitted to the tracer's
+/// sink. A disabled tracer makes this identical to the untraced entry point.
+pub fn evaluate_recovering_traced<R: Read>(
+    network: &CompiledNetwork,
+    input: R,
+    options: RecoveryOptions,
+    limits: ResourceLimits,
+    sink: &mut dyn ResultSink,
+    tracer: &spex_trace::Tracer,
+) -> Result<RunReport, EvalError> {
     let mut reader = Reader::new(input).with_recovery(options.policy);
     if options.multi_document {
         reader = reader.multi_document();
@@ -248,6 +271,7 @@ pub fn evaluate_recovering<R: Read>(
     let mut exhausted = None;
     let (stats, transducers) = {
         let mut eval = Evaluator::with_limits(network, &mut quarantine, limits);
+        eval.set_tracer(tracer.clone());
         // Zero-copy loop: repaired events land in the run's arena and are
         // pushed by handle, exactly like a clean `push_reader` run.
         match eval.push_from(&mut reader) {
@@ -259,6 +283,11 @@ pub fn evaluate_recovering<R: Read>(
         }
         eval.finish_full()
     };
+    if tracer.enabled() {
+        tracer.counter("xml.events", reader.events_emitted());
+        tracer.counter("xml.bytes", reader.position().offset);
+        tracer.counter("xml.faults", reader.faults().len() as u64);
+    }
     let faults = reader.take_faults();
     let truncated = faults.iter().any(|f| f.kind == FaultKind::Truncated);
     let (results, dropped) = quarantine.drain_into(&faults, options.on_truncation, sink);

@@ -15,8 +15,8 @@
 //! 3. the document message, once.
 //!
 //! Putting activations before determinations generalizes the normalization
-//! the paper's own transitions 6/7 perform on mixed pairs ("(6) ([f],{c,v})
-//! ⊢ [f];{c,v}" — activation first), and it is the *safe* direction: a
+//! the paper's own transitions 6/7 perform on mixed pairs ("(6) (`[f]`,{c,v})
+//! ⊢ `[f]`;{c,v}" — activation first), and it is the *safe* direction: a
 //! determination must never overtake an activation whose formula references
 //! its variable (the variable would be orphaned downstream — formulas are
 //! updated on receipt, so the opposite order is always harmless). The

@@ -39,6 +39,7 @@ use crate::message::{Determination, DocEvent, Message};
 use crate::sink::{ResultMeta, ResultSink};
 use crate::stats::EngineStats;
 use spex_formula::{CondVar, Formula};
+use spex_trace::Histogram;
 use spex_xml::{EventId, EventStore};
 use std::collections::{HashMap, VecDeque};
 
@@ -56,6 +57,9 @@ struct Candidate {
     /// the emission frontier).
     begin_sent: bool,
     rejected: bool,
+    /// The formula has been decided (either way) and the determination
+    /// latency recorded; guards against double-counting a candidate.
+    determined: bool,
 }
 
 impl Candidate {
@@ -84,6 +88,11 @@ pub struct Output {
     var_index: HashMap<CondVar, Vec<u64>>,
     /// Current number of buffered events (for peak statistics).
     buffered: usize,
+    /// Determination latency in *events*: for every candidate, the ticks
+    /// elapsed between entering the buffer and its formula becoming decided
+    /// (accepted or rejected) — the paper's earliness measure, exported via
+    /// the trace layer (DESIGN.md §13).
+    latency: Histogram,
 }
 
 impl Output {
@@ -141,6 +150,15 @@ impl Output {
                         continue;
                     }
                     cand.formula = v.apply(c, &cand.formula);
+                    // The determination moment: the formula just became
+                    // constant. Record the earliness measure (events between
+                    // buffer entry and decision) exactly once per candidate.
+                    let newly_decided =
+                        !cand.determined && (cand.formula.is_false() || cand.formula.is_true());
+                    let lat = now.saturating_sub(cand.start_tick);
+                    if newly_decided {
+                        cand.determined = true;
+                    }
                     if cand.formula.is_false() {
                         cand.rejected = true;
                         let released = cand.buffer.len();
@@ -151,6 +169,9 @@ impl Output {
                         for nv in cand.formula.vars() {
                             reindex.push((nv, id));
                         }
+                    }
+                    if newly_decided {
+                        self.latency.record(lat);
                     }
                 }
                 for (nv, id) in reindex {
@@ -211,6 +232,12 @@ impl Output {
                             for v in formula.vars() {
                                 self.var_index.entry(v).or_default().push(id);
                             }
+                            // A past condition decides the candidate at
+                            // birth: zero determination latency.
+                            let determined = formula.is_true();
+                            if determined {
+                                self.latency.record(0);
+                            }
                             self.candidates.push_back(Candidate {
                                 formula,
                                 start_tick: now,
@@ -218,6 +245,7 @@ impl Output {
                                 buffer: vec![payload],
                                 begin_sent: false,
                                 rejected: false,
+                                determined,
                             });
                             self.open_stack.push(id);
                             self.buffered += 1;
@@ -300,6 +328,12 @@ impl Output {
             for v in cand.formula.vars() {
                 cand.formula = cand.formula.assign(v, false);
             }
+            // End of input is itself the determination: whatever is still
+            // open resolves now.
+            if !cand.determined {
+                cand.determined = true;
+                self.latency.record(now.saturating_sub(cand.start_tick));
+            }
             if cand.formula.is_false() {
                 cand.rejected = true;
                 self.buffered -= cand.buffer.len();
@@ -342,6 +376,12 @@ impl Output {
             for v in cand.formula.vars() {
                 cand.formula = cand.formula.assign(v, false);
             }
+            // End of input is itself the determination: whatever is still
+            // open resolves now.
+            if !cand.determined {
+                cand.determined = true;
+                self.latency.record(now.saturating_sub(cand.start_tick));
+            }
             if cand.formula.is_false() {
                 cand.rejected = true;
                 self.buffered -= cand.buffer.len();
@@ -383,6 +423,16 @@ impl Output {
     /// Number of buffered events.
     pub fn buffered_events(&self) -> usize {
         self.buffered
+    }
+
+    /// Determination-latency histogram: for every candidate decided so far,
+    /// the number of events between its entering the buffer and its formula
+    /// becoming constant — the paper's earliness measure. A latency of 0
+    /// means the condition was already known when the candidate appeared
+    /// (a *past* condition, streamed without buffering); large values mark
+    /// the *future* conditions that force buffering.
+    pub fn determination_latency(&self) -> &Histogram {
+        &self.latency
     }
 }
 
@@ -601,6 +651,90 @@ mod tests {
         // `<$>`/`</$>` render as nothing printable in fragments; the
         // serialized fragment contains the root element.
         assert!(sink.fragments()[0].contains("<a><b></b></a>"));
+    }
+
+    #[test]
+    fn determination_latency_measures_the_buffering_gap() {
+        // Candidate enters at tick 2; its variable is determined at tick 5:
+        // latency 3 (the paper's earliness measure for a future condition).
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>t</b><c/></a>");
+        let v = CondVar::new(0, 1);
+        let mut out = Output::new();
+        let mut sink = FragmentCollector::new();
+        let mut stats = EngineStats::default();
+        for (i, m) in stream.iter().enumerate() {
+            let now = i as u64;
+            if i == 2 {
+                out.step(
+                    Message::Activate(Formula::Var(v)),
+                    &mut sink,
+                    now,
+                    &mut stats,
+                    &store,
+                );
+            }
+            if i == 5 {
+                out.step(
+                    Message::Determine(v, Determination::True),
+                    &mut sink,
+                    now,
+                    &mut stats,
+                    &store,
+                );
+            }
+            out.step(m.clone(), &mut sink, now, &mut stats, &store);
+        }
+        out.finish(&mut sink, stream.len() as u64, &mut stats, &store);
+        let h = out.determination_latency();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn past_conditions_have_zero_determination_latency() {
+        // An already-true activation decides the candidate at birth.
+        let mut store = EventStore::new();
+        let stream = stream_of(&mut store, "<a><b>t</b></a>");
+        let mut out = Output::new();
+        let mut sink = FragmentCollector::new();
+        let mut stats = EngineStats::default();
+        for (i, m) in stream.iter().enumerate() {
+            if i == 2 {
+                out.step(
+                    Message::Activate(Formula::True),
+                    &mut sink,
+                    i as u64,
+                    &mut stats,
+                    &store,
+                );
+            }
+            out.step(m.clone(), &mut sink, i as u64, &mut stats, &store);
+        }
+        out.finish(&mut sink, stream.len() as u64, &mut stats, &store);
+        let h = out.determination_latency();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 0);
+        // A rejected-at-end candidate also counts exactly once.
+        let mut out2 = Output::new();
+        let v = CondVar::new(0, 1);
+        for (i, m) in stream.iter().enumerate() {
+            if i == 2 {
+                out2.step(
+                    Message::Activate(Formula::Var(v)),
+                    &mut sink,
+                    i as u64,
+                    &mut stats,
+                    &store,
+                );
+            }
+            out2.step(m.clone(), &mut sink, i as u64, &mut stats, &store);
+        }
+        out2.finish(&mut sink, stream.len() as u64, &mut stats, &store);
+        assert_eq!(out2.determination_latency().count(), 1);
+        // Entered at tick 2, resolved at end of stream (tick 7): latency 5.
+        assert_eq!(out2.determination_latency().max(), 5);
     }
 
     #[test]

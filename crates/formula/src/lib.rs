@@ -20,9 +20,13 @@
 //! * substitution ([`Formula::assign`]) implementing the paper's
 //!   `update(c, v, β)` stack operation,
 //! * size metrics ([`Formula::size`]) matching the paper's *o(φ)* measure.
+//!
+//! The formula algebra and its normalization invariants are discussed in
+//! DESIGN.md §3 (key design decisions); the growth experiments it enables
+//! are indexed in DESIGN.md §6.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod formula;
 pub mod var;

@@ -24,6 +24,10 @@
 //!   (`//country[province]/name`) into rpeq,
 //! * [`metrics`] — query-size measures used by the complexity experiments.
 //!
+//! DESIGN.md §1 (S3, S26) places this crate in the system; the query
+//! classes of the paper's evaluation that exercise it live in
+//! `spex-workloads` (DESIGN.md §6).
+//!
 //! ## Example
 //!
 //! ```
@@ -35,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod metrics;

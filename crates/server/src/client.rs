@@ -25,6 +25,8 @@ pub struct SessionTranscript {
     pub errors: Vec<String>,
     /// The session's closing statistics JSON, if one arrived.
     pub stats: Option<String>,
+    /// The latest trace summary JSON (`t` frame), if one arrived.
+    pub trace: Option<String>,
     /// The server rejected the connection with `BUSY`.
     pub busy: bool,
     /// The server closed the session with an `END` frame.
@@ -111,6 +113,13 @@ impl Client {
         self.send(FrameKind::Stats, b"")
     }
 
+    /// Ask for a server-wide trace summary: admission-wait, session
+    /// duration and determination-latency histograms (answered with a
+    /// `t` frame; only valid before streaming starts).
+    pub fn request_trace(&mut self) -> std::io::Result<()> {
+        self.send(FrameKind::TraceRequest, b"")
+    }
+
     /// Ask the server to shut down gracefully. Honored from loopback
     /// peers, or from any peer when the server runs with
     /// `ServerConfig::allow_remote_shutdown`; refused with an error frame
@@ -152,6 +161,9 @@ impl Client {
                 }
                 FrameKind::Stat => {
                     transcript.stats = Some(String::from_utf8_lossy(&frame.payload).into_owned());
+                }
+                FrameKind::Trace => {
+                    transcript.trace = Some(String::from_utf8_lossy(&frame.payload).into_owned());
                 }
                 FrameKind::Busy => {
                     transcript.busy = true;
@@ -338,6 +350,71 @@ mod tests {
         handle.shutdown();
         let report = join.join().unwrap().unwrap();
         assert_eq!(report.sessions_completed, 1);
+    }
+
+    #[test]
+    fn trace_frame_reports_histograms_after_a_session() {
+        let (addr, handle, join) = boot(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let t = client
+            .run_session(&[("q", "a[b].c")], b"<a><c>1</c><b/></a>")
+            .unwrap();
+        assert!(t.clean_end, "errors: {:?}", t.errors);
+        let mut probe = Client::connect(addr).unwrap();
+        probe.request_trace().unwrap();
+        let frame = probe.next_frame().unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Trace);
+        let json = String::from_utf8(frame.payload).unwrap();
+        for key in [
+            "\"admission_wait_us\":{\"count\":",
+            "\"session_us\":",
+            "\"determination_latency\":",
+        ] {
+            assert!(json.contains(key), "{key} missing in {json}");
+        }
+        // The session above buffered `<c>1</c>` until `<b/>` arrived, so
+        // the server-wide determination-latency histogram is non-empty.
+        let det = json.split("\"determination_latency\":").nth(1).unwrap();
+        assert!(!det.contains("\"count\":0"), "empty histogram in {json}");
+        drop(probe);
+        drop(client);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn trace_jsonl_captures_sessions_and_final_aggregates() {
+        let dir = std::env::temp_dir().join("spex-serve-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve-trace.jsonl");
+        let cfg = ServerConfig {
+            trace_jsonl: Some(path.to_str().unwrap().to_string()),
+            ..ServerConfig::default()
+        };
+        let (addr, handle, join) = boot(cfg);
+        let mut client = Client::connect(addr).unwrap();
+        let t = client
+            .run_session(&[("q", "_*.c")], b"<a><c>1</c></a>")
+            .unwrap();
+        assert!(t.clean_end, "errors: {:?}", t.errors);
+        drop(client);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for needle in [
+            "\"t\":\"span\",\"name\":\"serve.session\"",
+            "\"serve.sessions_completed\"",
+            "\"serve.admission_wait_us\"",
+            "\"engine.determination_latency\"",
+        ] {
+            assert!(text.contains(needle), "{needle} missing in:\n{text}");
+        }
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"t\":\"") && line.ends_with('}'),
+                "bad record: {line}"
+            );
+        }
     }
 
     #[test]

@@ -24,9 +24,14 @@
 //! - [`stats`]: server-wide statistics in the one-shot `--stats-json`
 //!   schema.
 //! - [`client`]: a small blocking client for tests, benches and examples.
+//!
+//! The wire protocol is normatively specified in `crates/server/PROTOCOL.md`
+//! (frame grammar, error codes, versioning, a worked byte-level session);
+//! DESIGN.md §12 covers the architecture and DESIGN.md §13 the trace
+//! records behind `--trace-jsonl` and the `T`/`t` frames.
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod protocol;

@@ -11,6 +11,7 @@
 //!   'D'  data (XML bytes, any chunking)  'r'  result (name-len·name·fragment)
 //!   'E'  end of session input            'f'  fault report (JSON)
 //!   'S'  server stats request            's'  stats (JSON, one-shot schema)
+//!   'T'  trace summary request           't'  trace summary (JSON)
 //!   'Q'  graceful shutdown request       'e'  error (JSON: class/code/message)
 //!                                        'b'  busy (admission reject)
 //!                                        'n'  end of session
@@ -37,6 +38,9 @@ pub enum FrameKind {
     End,
     /// Client → server: request a server-wide statistics snapshot.
     Stats,
+    /// Client → server: request a server-wide trace summary (admission
+    /// wait, session duration and determination-latency histograms).
+    TraceRequest,
     /// Client → server: request a graceful server shutdown.
     Shutdown,
     /// Server → client: acknowledgement (registration accepted, …).
@@ -47,6 +51,9 @@ pub enum FrameKind {
     Fault,
     /// Server → client: a statistics JSON document.
     Stat,
+    /// Server → client: a trace summary JSON document (the answer to
+    /// [`FrameKind::TraceRequest`]; see DESIGN.md §13 for the field shapes).
+    Trace,
     /// Server → client: a structured error (JSON: class, code, message).
     Error,
     /// Server → client: admission control rejected the connection.
@@ -63,11 +70,13 @@ impl FrameKind {
             FrameKind::Data => b'D',
             FrameKind::End => b'E',
             FrameKind::Stats => b'S',
+            FrameKind::TraceRequest => b'T',
             FrameKind::Shutdown => b'Q',
             FrameKind::Ok => b'k',
             FrameKind::Result => b'r',
             FrameKind::Fault => b'f',
             FrameKind::Stat => b's',
+            FrameKind::Trace => b't',
             FrameKind::Error => b'e',
             FrameKind::Busy => b'b',
             FrameKind::SessionEnd => b'n',
@@ -81,11 +90,13 @@ impl FrameKind {
             b'D' => FrameKind::Data,
             b'E' => FrameKind::End,
             b'S' => FrameKind::Stats,
+            b'T' => FrameKind::TraceRequest,
             b'Q' => FrameKind::Shutdown,
             b'k' => FrameKind::Ok,
             b'r' => FrameKind::Result,
             b'f' => FrameKind::Fault,
             b's' => FrameKind::Stat,
+            b't' => FrameKind::Trace,
             b'e' => FrameKind::Error,
             b'b' => FrameKind::Busy,
             b'n' => FrameKind::SessionEnd,
@@ -291,11 +302,13 @@ mod tests {
             FrameKind::Data,
             FrameKind::End,
             FrameKind::Stats,
+            FrameKind::TraceRequest,
             FrameKind::Shutdown,
             FrameKind::Ok,
             FrameKind::Result,
             FrameKind::Fault,
             FrameKind::Stat,
+            FrameKind::Trace,
             FrameKind::Error,
             FrameKind::Busy,
             FrameKind::SessionEnd,

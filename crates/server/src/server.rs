@@ -19,13 +19,14 @@ use crate::session;
 use crate::signal;
 use crate::stats::ServerStats;
 use spex_core::{EngineStats, ResourceLimits, TruncationOutcome};
+use spex_trace::{summary_json, AtomicHistogram, JsonlSink, Tracer};
 use spex_xml::RecoveryPolicy;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs. The defaults suit tests and local use; the CLI
 /// maps `spex serve` flags onto these fields.
@@ -64,6 +65,12 @@ pub struct ServerConfig {
     /// Poll SIGINT/SIGTERM in the accept loop (the CLI turns this on;
     /// tests drive shutdown through [`ServerHandle`] instead).
     pub watch_signals: bool,
+    /// Write a JSONL trace (one record per line, DESIGN.md §13 schema) to
+    /// this path: per-session spans and engine records as sessions finish,
+    /// server-wide aggregates at shutdown. `None` disables tracing (the
+    /// in-memory histograms behind the `T` frame are still maintained —
+    /// they cost one atomic increment per *session*, not per event).
+    pub trace_jsonl: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -81,7 +88,78 @@ impl Default for ServerConfig {
             max_cached_plans: 64,
             allow_remote_shutdown: false,
             watch_signals: false,
+            trace_jsonl: None,
         }
+    }
+}
+
+/// The server's observability state: the (possibly disabled) [`Tracer`]
+/// every session shares, plus the cross-thread histograms behind the `T`
+/// protocol frame. All three histograms are recorded once per session, so
+/// they stay cheap enough to keep unconditionally.
+pub(crate) struct ServeTrace {
+    /// Shared trace handle; disabled unless `ServerConfig::trace_jsonl`.
+    pub(crate) tracer: Tracer,
+    /// Microseconds each admitted connection waited for a worker.
+    pub(crate) admission_wait_us: AtomicHistogram,
+    /// Microseconds from a worker picking a session up to its close.
+    pub(crate) session_us: AtomicHistogram,
+    /// Determination latency (events between a candidate entering the
+    /// Output buffer and its condition deciding — the paper's earliness
+    /// measure), merged across every session.
+    pub(crate) det_latency: AtomicHistogram,
+}
+
+impl ServeTrace {
+    fn new(tracer: Tracer) -> Self {
+        ServeTrace {
+            tracer,
+            admission_wait_us: AtomicHistogram::new(),
+            session_us: AtomicHistogram::new(),
+            det_latency: AtomicHistogram::new(),
+        }
+    }
+
+    /// The `t` frame payload: one JSON object of histogram summaries.
+    pub(crate) fn to_json(&self) -> String {
+        format!(
+            "{{\"admission_wait_us\":{},\"session_us\":{},\"determination_latency\":{}}}",
+            summary_json(&self.admission_wait_us.summary()),
+            summary_json(&self.session_us.summary()),
+            summary_json(&self.det_latency.summary()),
+        )
+    }
+
+    /// Emit the server-wide aggregates to the tracer (called once, at
+    /// shutdown, after the workers have drained).
+    fn emit_final(&self, stats: &ServerStats) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let t = &self.tracer;
+        for (name, counter) in [
+            ("serve.sessions_started", &stats.sessions_started),
+            ("serve.sessions_completed", &stats.sessions_completed),
+            ("serve.sessions_rejected", &stats.sessions_rejected),
+            ("serve.sessions_failed", &stats.sessions_failed),
+            ("serve.documents", &stats.documents),
+            ("serve.plan_cache_hits", &stats.plan_cache_hits),
+            ("serve.plan_cache_misses", &stats.plan_cache_misses),
+        ] {
+            t.counter(name, counter.load(Ordering::Relaxed));
+        }
+        t.hist(
+            "serve.admission_wait_us",
+            &self.admission_wait_us.snapshot(),
+            &[],
+        );
+        t.hist("serve.session_us", &self.session_us.snapshot(), &[]);
+        t.hist(
+            "serve.determination_latency",
+            &self.det_latency.snapshot(),
+            &[],
+        );
+        t.flush();
     }
 }
 
@@ -89,10 +167,13 @@ impl Default for ServerConfig {
 pub(crate) struct Shared {
     pub(crate) cfg: ServerConfig,
     pub(crate) shutdown: AtomicBool,
-    pub(crate) queue: Mutex<VecDeque<TcpStream>>,
+    /// Admitted connections with their admission timestamps, so the worker
+    /// that picks a session up can record how long it queued.
+    pub(crate) queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     pub(crate) wake: Condvar,
     pub(crate) registry: Registry,
     pub(crate) stats: ServerStats,
+    pub(crate) trace: ServeTrace,
 }
 
 impl Shared {
@@ -159,6 +240,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let registry = Registry::with_cap(cfg.max_cached_plans);
+        let tracer = match &cfg.trace_jsonl {
+            Some(path) => Tracer::to_sink(Arc::new(JsonlSink::create(std::path::Path::new(path))?)),
+            None => Tracer::disabled(),
+        };
         Ok(Server {
             listener,
             addr,
@@ -169,6 +254,7 @@ impl Server {
                 wake: Condvar::new(),
                 registry,
                 stats: ServerStats::new(),
+                trace: ServeTrace::new(tracer),
             }),
         })
     }
@@ -234,6 +320,7 @@ impl Server {
         }
 
         let stats = &self.shared.stats;
+        self.shared.trace.emit_final(stats);
         Ok(ServerReport {
             stats_json: stats.to_json(),
             sessions_started: stats.sessions_started.load(Ordering::Relaxed),
@@ -258,7 +345,7 @@ impl Server {
             let _ = stream.flush();
             return;
         }
-        queue.push_back(stream);
+        queue.push_back((stream, Instant::now()));
         drop(queue);
         self.shared
             .stats
@@ -288,7 +375,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = guard;
             }
         };
-        let Some(stream) = job else { return };
+        let Some((stream, queued_at)) = job else {
+            return;
+        };
+        shared
+            .trace
+            .admission_wait_us
+            .record(queued_at.elapsed().as_micros() as u64);
         // A panicking session must not take its worker (and the server's
         // capacity) down with it.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

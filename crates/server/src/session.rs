@@ -210,6 +210,8 @@ fn shutdown_permitted(allow_remote: bool, peer: Option<std::net::SocketAddr>) ->
 
 /// Serve one connection end to end, updating the server-wide counters.
 pub(crate) fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
+    let started = std::time::Instant::now();
+    let mut span = shared.trace.tracer.span("serve.session");
     let _ = stream.set_read_timeout(shared.cfg.read_timeout);
     // A peer that stops reading while results stream would otherwise fill
     // the kernel send buffer and block this worker forever, pinning server
@@ -238,6 +240,17 @@ pub(crate) fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
             shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
         }
     }
+    shared
+        .trace
+        .session_us
+        .record(started.elapsed().as_micros() as u64);
+    span.set_attr(
+        "end",
+        match end {
+            SessionEnd::Completed => "completed",
+            SessionEnd::Failed => "failed",
+        },
+    );
 }
 
 /// Send the closing error (optional) + `END` sequence.
@@ -269,6 +282,10 @@ fn session_inner(
                     let json = shared.stats.to_json();
                     writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
                 }
+                FrameKind::TraceRequest => {
+                    let json = shared.trace.to_json();
+                    writer.borrow_mut().send(FrameKind::Trace, json.as_bytes());
+                }
                 FrameKind::Shutdown => {
                     // Loopback peers (or all peers, when the operator opted
                     // in) may stop the server; anyone else gets a refusal
@@ -280,11 +297,7 @@ fn session_inner(
                     } else {
                         writer.borrow_mut().send(
                             FrameKind::Error,
-                            &error_payload(
-                                "usage",
-                                1,
-                                "shutdown is not permitted from this peer",
-                            ),
+                            &error_payload("usage", 1, "shutdown is not permitted from this peer"),
                         );
                     }
                 }
@@ -465,6 +478,7 @@ fn eval_stream(
     };
 
     let mut run = plan.run_with_limits(sinks, shared.cfg.limits);
+    run.set_tracer(shared.trace.tracer.clone());
     let mut documents = 0u64;
     let mut error: Option<EvalError> = None;
     loop {
@@ -498,6 +512,13 @@ fn eval_stream(
         .fetch_add(documents, Ordering::Relaxed);
 
     let exhausted = run.exhausted();
+    // Fold this session's determination latency into the server-wide
+    // aggregate behind the `T` frame. This must happen while the run is
+    // live; `</$>` boundaries already harvested every closed document, so
+    // only the tail of a truncated stream is missing here.
+    for (_, hist) in run.determination_latency() {
+        shared.trace.det_latency.merge(&hist);
+    }
     // A malformed or cut-off stream leaves undetermined candidates behind;
     // `finish_full` asserts balance, so an errored run is snapshotted and
     // dropped instead of finished (a resource breach is different: the run

@@ -1,0 +1,309 @@
+//! The unit of trace export and its JSONL serialization.
+//!
+//! One [`TraceRecord`] becomes exactly one line of JSON. The schema is
+//! normative — DESIGN.md §13 documents it field by field and the test suite
+//! checks emitted lines against it — and deliberately flat: every line
+//! carries a `"t"` discriminator (`span` | `counter` | `gauge` | `hist`),
+//! a `"name"`, the type's payload fields, and an optional `"attrs"` object
+//! of string/integer attributes.
+
+use crate::metric::HistogramSummary;
+
+/// An attribute value: a string or an unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A string attribute (JSON-escaped on export).
+    Str(String),
+    /// An integer attribute.
+    U64(u64),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+/// One exported observation. Serialized as one JSONL line by
+/// [`TraceRecord::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A timed region (monotonic clock), duration in microseconds.
+    Span {
+        /// Span name, e.g. `cli.evaluate` or `serve.session`.
+        name: String,
+        /// Wall duration in microseconds (monotonic clock).
+        us: u64,
+        /// Optional key/value context.
+        attrs: Vec<(String, Value)>,
+    },
+    /// A monotonically accumulated count.
+    Counter {
+        /// Counter name, e.g. `xml.events`.
+        name: String,
+        /// The accumulated value.
+        value: u64,
+        /// Optional key/value context.
+        attrs: Vec<(String, Value)>,
+    },
+    /// An instantaneous or peak measurement.
+    Gauge {
+        /// Gauge name, e.g. `engine.peak_buffered_events`.
+        name: String,
+        /// The measured value.
+        value: u64,
+        /// Optional key/value context.
+        attrs: Vec<(String, Value)>,
+    },
+    /// A distribution summary.
+    Hist {
+        /// Histogram name, e.g. `engine.determination_latency`.
+        name: String,
+        /// The five-number-plus-quantiles summary.
+        summary: HistogramSummary,
+        /// Optional key/value context.
+        attrs: Vec<(String, Value)>,
+    },
+}
+
+/// Escape `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; multi-byte UTF-8 passes through
+/// untouched).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_attrs(out: &mut String, attrs: &[(String, Value)]) {
+    if attrs.is_empty() {
+        return;
+    }
+    out.push_str(",\"attrs\":{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape_json(k));
+        out.push_str("\":");
+        match v {
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape_json(s));
+                out.push('"');
+            }
+            Value::U64(n) => out.push_str(&n.to_string()),
+        }
+    }
+    out.push('}');
+}
+
+impl TraceRecord {
+    /// The record's name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceRecord::Span { name, .. }
+            | TraceRecord::Counter { name, .. }
+            | TraceRecord::Gauge { name, .. }
+            | TraceRecord::Hist { name, .. } => name,
+        }
+    }
+
+    /// The record's attributes.
+    pub fn attrs(&self) -> &[(String, Value)] {
+        match self {
+            TraceRecord::Span { attrs, .. }
+            | TraceRecord::Counter { attrs, .. }
+            | TraceRecord::Gauge { attrs, .. }
+            | TraceRecord::Hist { attrs, .. } => attrs,
+        }
+    }
+
+    /// Serialize as one line of JSON (no trailing newline) following the
+    /// DESIGN.md §13 schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        match self {
+            TraceRecord::Span { name, us, attrs } => {
+                out.push_str("{\"t\":\"span\",\"name\":\"");
+                out.push_str(&escape_json(name));
+                out.push_str(&format!("\",\"us\":{us}"));
+                push_attrs(&mut out, attrs);
+            }
+            TraceRecord::Counter { name, value, attrs } => {
+                out.push_str("{\"t\":\"counter\",\"name\":\"");
+                out.push_str(&escape_json(name));
+                out.push_str(&format!("\",\"v\":{value}"));
+                push_attrs(&mut out, attrs);
+            }
+            TraceRecord::Gauge { name, value, attrs } => {
+                out.push_str("{\"t\":\"gauge\",\"name\":\"");
+                out.push_str(&escape_json(name));
+                out.push_str(&format!("\",\"v\":{value}"));
+                push_attrs(&mut out, attrs);
+            }
+            TraceRecord::Hist {
+                name,
+                summary,
+                attrs,
+            } => {
+                out.push_str("{\"t\":\"hist\",\"name\":\"");
+                out.push_str(&escape_json(name));
+                out.push_str(&format!(
+                    "\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                    summary.count,
+                    summary.sum,
+                    summary.min,
+                    summary.max,
+                    summary.p50,
+                    summary.p90,
+                    summary.p99
+                ));
+                push_attrs(&mut out, attrs);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Render a [`HistogramSummary`] as a bare JSON object (used by the server's
+/// `T`-frame payload, where summaries nest inside a larger document).
+pub fn summary_json(s: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape_json(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_json(r"a\b"), r"a\\b");
+        assert_eq!(escape_json("a\nb\tc\rd"), r"a\nb\tc\rd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("\u{1f}x"), "\\u001fx");
+        // Multi-byte UTF-8 passes through.
+        assert_eq!(escape_json("héllo — ok"), "héllo — ok");
+        assert_eq!(escape_json(""), "");
+    }
+
+    #[test]
+    fn span_line_shape() {
+        let r = TraceRecord::Span {
+            name: "cli.evaluate".into(),
+            us: 1234,
+            attrs: vec![
+                ("input".to_string(), Value::from("doc \"x\".xml")),
+                ("events".to_string(), Value::from(42u64)),
+            ],
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"t":"span","name":"cli.evaluate","us":1234,"attrs":{"input":"doc \"x\".xml","events":42}}"#
+        );
+    }
+
+    #[test]
+    fn counter_and_gauge_line_shape() {
+        let c = TraceRecord::Counter {
+            name: "xml.events".into(),
+            value: 7,
+            attrs: vec![],
+        };
+        assert_eq!(c.to_json(), r#"{"t":"counter","name":"xml.events","v":7}"#);
+        let g = TraceRecord::Gauge {
+            name: "engine.peak_buffered_events".into(),
+            value: 3,
+            attrs: vec![],
+        };
+        assert_eq!(
+            g.to_json(),
+            r#"{"t":"gauge","name":"engine.peak_buffered_events","v":3}"#
+        );
+    }
+
+    #[test]
+    fn hist_line_shape() {
+        let mut h = crate::Histogram::new();
+        h.record(1);
+        h.record(3);
+        let r = TraceRecord::Hist {
+            name: "engine.determination_latency".into(),
+            summary: h.summary(),
+            attrs: vec![("node".to_string(), Value::from(5u64))],
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"t":"hist","name":"engine.determination_latency","count":2,"sum":4,"min":1,"max":3,"p50":1,"p90":3,"p99":3,"attrs":{"node":5}}"#
+        );
+    }
+
+    #[test]
+    fn every_line_is_balanced_json() {
+        // A structural smoke check shared with the server stats tests: every
+        // emitted line has balanced braces/quotes and no raw control bytes.
+        let records = vec![
+            TraceRecord::Span {
+                name: "a\"b\\c\n".into(),
+                us: 0,
+                attrs: vec![("k\n".to_string(), Value::from("v\"".to_string()))],
+            },
+            TraceRecord::Hist {
+                name: "h".into(),
+                summary: HistogramSummary::default(),
+                attrs: vec![],
+            },
+        ];
+        for r in records {
+            let line = r.to_json();
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            let mut depth = 0i32;
+            let mut in_str = false;
+            let mut esc = false;
+            for c in line.chars() {
+                assert!(!c.is_control(), "raw control char in {line:?}");
+                if esc {
+                    esc = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_str => esc = true,
+                    '"' => in_str = !in_str,
+                    '{' if !in_str => depth += 1,
+                    '}' if !in_str => depth -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(depth, 0, "unbalanced braces in {line}");
+            assert!(!in_str, "unterminated string in {line}");
+        }
+    }
+}

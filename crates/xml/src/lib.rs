@@ -29,6 +29,13 @@
 //! * [`stats`] — stream statistics (size, element count, maximum depth)
 //!   matching the figures reported in the paper's evaluation section.
 //!
+//! DESIGN.md §10 specifies the recovery layer built on [`Reader`]'s fault
+//! reporting, and DESIGN.md §11 the zero-copy pipeline around
+//! [`EventStore`]. This crate deliberately does *not* depend on
+//! `spex-trace`: consumers report the reader's own counters
+//! ([`Reader::events_emitted`], `position`, `faults`) after the stream
+//! drains (DESIGN.md §13).
+//!
 //! ## Example
 //!
 //! ```

@@ -7,7 +7,7 @@
 //! downstream — transducer fan-out, candidate buffering, result
 //! serialization — copies only `u32` [`EventId`] handles. Events are read
 //! back as borrowing [`RawEvent`] views; an owned [`XmlEvent`] conversion
-//! ([`RawEvent::to_owned`]) remains for the tree/DOM oracle and for
+//! ([`RawEvent::to_owned_event`]) remains for the tree/DOM oracle and for
 //! consumers that must outlive the arena (e.g. quarantined fragments).
 //!
 //! The arena is reset between result-free stretches of the stream (the

@@ -7,6 +7,7 @@
 //! cargo run --example serve_client -- 127.0.0.1:7878 'q=_*.a[b].c'
 //! cargo run --example serve_client -- 127.0.0.1:7878 'q=r.x' --xml doc.xml
 //! cargo run --example serve_client -- 127.0.0.1:7878 --stats
+//! cargo run --example serve_client -- 127.0.0.1:7878 --trace
 //! cargo run --example serve_client -- 127.0.0.1:7878 --shutdown
 //! ```
 //!
@@ -23,7 +24,9 @@ const DEMO_XML: &str = "<a><a><b/><c>paper fig. 1</c></a><b/><c>selected</c></a>
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: serve_client ADDR [NAME=EXPR]... [--xml FILE] [--stats] [--shutdown]");
+        eprintln!(
+            "usage: serve_client ADDR [NAME=EXPR]... [--xml FILE] [--stats] [--trace] [--shutdown]"
+        );
         std::process::exit(1);
     };
     let mut client = Client::connect(addr).unwrap_or_else(|e| {
@@ -40,6 +43,12 @@ fn main() {
     if args.iter().any(|a| a == "--stats") {
         client.request_stats().expect("send stats request");
         let frame = client.next_frame().expect("read").expect("stats frame");
+        println!("{}", String::from_utf8_lossy(&frame.payload));
+        return;
+    }
+    if args.iter().any(|a| a == "--trace") {
+        client.request_trace().expect("send trace request");
+        let frame = client.next_frame().expect("read").expect("trace frame");
         println!("{}", String::from_utf8_lossy(&frame.payload));
         return;
     }

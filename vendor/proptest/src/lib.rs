@@ -94,7 +94,7 @@ pub mod test_runner {
         h
     }
 
-    /// Execute `case` for every case index; used by the [`proptest!`] macro.
+    /// Execute `case` for every case index; used by the `proptest!` macro.
     ///
     /// The per-case seed derives only from the test name and the case index,
     /// so failures reproduce run over run. An optional
