@@ -15,13 +15,22 @@
 //!                            policies over C-country Mondial (soundness check)
 //! harness bench [--json]     zero-copy pipeline: throughput, peak arena bytes,
 //!                            allocations/event (owned vs zero-copy); --json
-//!                            writes BENCH_3.json and guards >10% regressions
-//! harness serve-bench [--json] [--clients N] [--docs M]
+//!                            writes BENCH_3.json and guards >10% regressions;
+//!                            also compares the bytecode VM against the
+//!                            interpreter network (BENCH_6.json, gated: VM
+//!                            >=2x events/s, <6 allocs/event, no >10% drop)
+//! harness vm-diff [--cases N] [--seed S] [--fault-rounds R]
+//!                            differential rig: N seeded random documents x
+//!                            random queries through the VM, the interpreter
+//!                            network and the DOM baseline simultaneously
+//!                            (clean + fault-injected streams); any
+//!                            divergence fails the run
+//! harness serve-bench [--json] [--clients N] [--docs M] [--engine E]
 //!                            spex-serve: N concurrent clients x M documents
 //!                            over a loopback server; aggregate events/sec,
 //!                            p50/p99 session latency, reject rate under a
 //!                            tiny admission queue; --json writes BENCH_4.json
-//! harness trace-bench [--json]
+//! harness trace-bench [--json] [--engine E]
 //!                            spex-trace overhead: the zero-copy pipeline
 //!                            with tracing off vs on (JSONL sink), run
 //!                            interleaved; --json writes BENCH_5.json and
@@ -35,10 +44,10 @@
 //! factor.
 
 use spex_bench::{
-    dmoz_scale, mondial_events, peak_rss_kb, run_query, run_spex_owned, run_spex_streaming,
-    run_spex_zero_copy, stream_bytes, wordnet_events, Processor, RunResult,
+    dmoz_scale, mondial_events, peak_rss_kb, run_query, run_query_engine, run_spex_owned,
+    run_spex_streaming, run_spex_zero_copy, stream_bytes, wordnet_events, Processor, RunResult,
 };
-use spex_core::CompiledNetwork;
+use spex_core::{CompiledNetwork, Engine};
 use spex_query::{QueryMetrics, Rpeq};
 use spex_workloads::{dmoz_content, dmoz_structure, queries_for, Dataset, QuoteStream};
 use spex_xml::{EventStore, XmlEvent};
@@ -93,6 +102,7 @@ fn main() {
         "multiquery" => multiquery(),
         "transducers" => transducers(),
         "fault-sweep" => fault_sweep_cmd(&args[1..]),
+        "vm-diff" => vm_diff_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
         "serve-bench" => serve_bench_cmd(&args[1..]),
         "trace-bench" => trace_bench_cmd(&args[1..]),
@@ -107,6 +117,7 @@ fn main() {
             multiquery();
             transducers();
             fault_sweep_cmd(&[]);
+            vm_diff_cmd(&[]);
             bench_cmd(&[]);
             serve_bench_cmd(&[]);
             trace_bench_cmd(&[]);
@@ -503,6 +514,41 @@ impl BenchRow {
 /// exits non-zero if throughput regressed by more than 10% against an
 /// existing `BENCH_3.json` baseline, or if the zero-copy path fails the
 /// ≥2× fewer-allocations-per-event bar against the owned path on Mondial.
+/// The `vm-diff` subcommand: drive the PR-6 differential rig
+/// (`spex_bench::diff`) — seeded random documents × random queries through
+/// the bytecode VM, the interpreter network, and the DOM baseline at once,
+/// clean and fault-injected. Exits 1 on the first run with any divergence.
+fn vm_diff_cmd(args: &[String]) {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let cases = flag("--cases").unwrap_or(250) as usize;
+    let seed = flag("--seed").unwrap_or(0xd1ff);
+    let fault_rounds = flag("--fault-rounds").unwrap_or(1) as usize;
+    header(&format!(
+        "vm-diff — {cases} random case(s), seed {seed}, {fault_rounds} fault round(s) each"
+    ));
+    let outcome = spex_bench::diff::vm_diff(cases, seed, fault_rounds);
+    println!(
+        "{} clean case(s) compared ({} selected >=1 node, {} fragment(s) agreed byte-for-byte)",
+        outcome.cases, outcome.selecting_cases, outcome.fragments
+    );
+    println!(
+        "{} fault comparison(s) (mutator x policy x engine), {} divergence(s)",
+        outcome.fault_comparisons,
+        outcome.divergences.len()
+    );
+    for d in &outcome.divergences {
+        eprintln!("DIVERGENCE: {d}");
+    }
+    if !outcome.divergences.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn bench_cmd(args: &[String]) {
     let json = args.iter().any(|a| a == "--json");
     let out_path = args
@@ -749,9 +795,204 @@ fn bench_cmd(args: &[String]) {
         std::fs::write(&out_path, out).expect("write BENCH_3.json");
         println!("wrote {out_path}");
     }
+
+    // BENCH_6: the bytecode VM against the interpreter network it lowers.
+    // Both engines consume the same pre-parsed event stream (the bench
+    // crate's convention), so the ratio isolates engine execution — the
+    // component the plan lowering replaces — from XML parsing, which is
+    // byte-identical on both paths and measured by the pipeline table
+    // above. Interleaved best-of-5 per cell so machine noise cancels out
+    // of the speedup. The results *and* engine statistics must be
+    // identical (the differential rig's identity, re-checked in release
+    // mode on the real workloads).
+    header("bench — bytecode VM vs interpreter network (BENCH_6)");
+    println!(
+        "{:>14} {:>5} {:<28} {:>9} {:>9} {:>8} {:>8} {:>8} {:>11}",
+        "workload",
+        "class",
+        "query",
+        "vm Mev/s",
+        "net Mev/s",
+        "speedup",
+        "vm al/ev",
+        "net al/ev",
+        "results"
+    );
+    struct VmRow {
+        workload: &'static str,
+        class: u8,
+        query: &'static str,
+        events: usize,
+        results: usize,
+        vm_secs: f64,
+        net_secs: f64,
+        vm_allocs: u64,
+        net_allocs: u64,
+    }
+    let mut vrows: Vec<VmRow> = Vec::new();
+    for (name, dataset, events) in &workloads {
+        for qc in queries_for(*dataset) {
+            let q = qc.rpeq();
+            let before = alloc_count();
+            let mut vm = run_query_engine(&q, events, Engine::Vm);
+            let vm_allocs = alloc_count() - before;
+            let before = alloc_count();
+            let mut net = run_query_engine(&q, events, Engine::Network);
+            let net_allocs = alloc_count() - before;
+            for _ in 0..4 {
+                let r = run_query_engine(&q, events, Engine::Vm);
+                if r.elapsed < vm.elapsed {
+                    vm = r;
+                }
+                let r = run_query_engine(&q, events, Engine::Network);
+                if r.elapsed < net.elapsed {
+                    net = r;
+                }
+            }
+            assert_eq!(vm.results, net.results, "engines disagree on {name}");
+            assert_eq!(
+                vm.stats, net.stats,
+                "engine statistics diverge on {name} class {}",
+                qc.class
+            );
+            let row = VmRow {
+                workload: name,
+                class: qc.class,
+                query: qc.text,
+                events: events.len(),
+                results: vm.results,
+                vm_secs: vm.elapsed.as_secs_f64(),
+                net_secs: net.elapsed.as_secs_f64(),
+                vm_allocs,
+                net_allocs,
+            };
+            println!(
+                "{:>14} {:>5} {:<28} {:>9.2} {:>9.2} {:>7.1}x {:>8.2} {:>8.2} {:>11}",
+                row.workload,
+                row.class,
+                row.query,
+                row.events as f64 / row.vm_secs.max(1e-9) / 1e6,
+                row.events as f64 / row.net_secs.max(1e-9) / 1e6,
+                row.net_secs / row.vm_secs.max(1e-9),
+                row.vm_allocs as f64 / row.events as f64,
+                row.net_allocs as f64 / row.events as f64,
+                row.results
+            );
+            vrows.push(row);
+        }
+    }
+    // Per-workload aggregates and the three BENCH_6 gates: VM at least 2x
+    // the interpreter's events/s, VM under 6 heap allocations per event,
+    // and (against a baseline JSON) no >10% drop in the speedup run over
+    // run.
+    let mut vm_summary: Vec<(&'static str, f64, f64, f64, f64)> = Vec::new();
+    for (name, _, _) in &workloads {
+        let cells: Vec<&VmRow> = vrows.iter().filter(|r| r.workload == *name).collect();
+        let events: f64 = cells.iter().map(|r| r.events as f64).sum();
+        let vm_secs: f64 = cells.iter().map(|r| r.vm_secs).sum();
+        let net_secs: f64 = cells.iter().map(|r| r.net_secs).sum();
+        let vm_allocs: f64 = cells.iter().map(|r| r.vm_allocs as f64).sum();
+        let vm_eps = events / vm_secs.max(1e-9);
+        let net_eps = events / net_secs.max(1e-9);
+        vm_summary.push((
+            name,
+            vm_eps,
+            net_eps,
+            net_secs / vm_secs.max(1e-9),
+            vm_allocs / events.max(1.0),
+        ));
+    }
+    for (name, vm_eps, net_eps, speedup, vm_apev) in &vm_summary {
+        println!(
+            "{:>14}: vm {:.2} Mev/s vs network {:.2} Mev/s ({:.1}x), {:.2} vm allocs/event",
+            name,
+            vm_eps / 1e6,
+            net_eps / 1e6,
+            speedup,
+            vm_apev
+        );
+        if *speedup < 2.0 {
+            eprintln!(
+                "VM SPEEDUP REGRESSION: {name} vm only {speedup:.2}x the interpreter (gate: 2x)"
+            );
+            failed = true;
+        }
+        if *vm_apev >= 6.0 {
+            eprintln!("VM ALLOC REGRESSION: {name} vm {vm_apev:.2} allocs/event (gate: <6)");
+            failed = true;
+        }
+    }
+    if json {
+        let out6_path = args
+            .iter()
+            .position(|a| a == "--out6")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR")));
+        if let Ok(base) = std::fs::read_to_string(&out6_path) {
+            for (name, _, _, speedup, _) in &vm_summary {
+                if let Some(prev) = baseline_speedup(&base, name) {
+                    if *speedup < prev * 0.9 {
+                        eprintln!(
+                            "VM SPEEDUP REGRESSION: {name} speedup {speedup:.3} vs baseline {prev:.3} (>10% drop)"
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"spex-vm-bench-6\",\n");
+        out.push_str(&format!("  \"dmoz_scale\": {bench_dmoz_scale},\n"));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in vrows.iter().enumerate() {
+            let sep = if i + 1 == vrows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"class\":{},\"query\":{:?},\"events\":{},\"results\":{},\"vm\":{{\"secs\":{:.6},\"events_per_s\":{:.0},\"allocs\":{},\"allocs_per_event\":{:.3}}},\"network\":{{\"secs\":{:.6},\"events_per_s\":{:.0},\"allocs\":{},\"allocs_per_event\":{:.3}}},\"speedup\":{:.3}}}{sep}\n",
+                r.workload,
+                r.class,
+                r.query,
+                r.events,
+                r.results,
+                r.vm_secs,
+                r.events as f64 / r.vm_secs.max(1e-9),
+                r.vm_allocs,
+                r.vm_allocs as f64 / r.events as f64,
+                r.net_secs,
+                r.events as f64 / r.net_secs.max(1e-9),
+                r.net_allocs,
+                r.net_allocs as f64 / r.events as f64,
+                r.net_secs / r.vm_secs.max(1e-9),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"summary\": [\n");
+        for (i, (name, vm_eps, net_eps, speedup, vm_apev)) in vm_summary.iter().enumerate() {
+            let sep = if i + 1 == vm_summary.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{name}\",\"vm_events_per_s\":{vm_eps:.0},\"network_events_per_s\":{net_eps:.0},\"speedup\":{speedup:.4},\"vm_allocs_per_event\":{vm_apev:.3}}}{sep}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&out6_path, out).expect("write BENCH_6.json");
+        println!("wrote {out6_path}");
+    }
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Extract a prior run's VM-vs-network speedup for a workload from the
+/// `summary` section of a BENCH_6.json baseline (line scan, like
+/// [`baseline_vs_owned`]).
+fn baseline_speedup(json: &str, workload: &str) -> Option<f64> {
+    let tag = format!("{{\"workload\":\"{workload}\",\"vm_events_per_s\":");
+    let line = json.lines().find(|l| l.trim_start().starts_with(&tag))?;
+    let at = line.find("\"speedup\":")?;
+    let rest = &line[at + "\"speedup\":".len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 /// Extract a prior run's zero-copy/owned throughput ratio for a workload
@@ -786,6 +1027,12 @@ fn serve_bench_cmd(args: &[String]) {
     };
     let clients = flag("--clients").unwrap_or(4).max(1);
     let docs = flag("--docs").unwrap_or(6).max(1);
+    let engine: Engine = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--engine: vm or network"))
+        .unwrap_or_default();
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -793,7 +1040,7 @@ fn serve_bench_cmd(args: &[String]) {
         .cloned()
         .unwrap_or_else(|| format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR")));
     header(&format!(
-        "serve-bench — {clients} clients x {docs} documents over loopback spex-serve"
+        "serve-bench — {clients} clients x {docs} documents over loopback spex-serve ({engine} engine)"
     ));
     let xml = std::sync::Arc::new(spex_xml::writer::events_to_string(mondial_events()));
     let mb = xml.len() as f64 / 1e6;
@@ -805,6 +1052,7 @@ fn serve_bench_cmd(args: &[String]) {
     // Main phase: a server provisioned to match the offered concurrency.
     let server = Server::bind(ServerConfig {
         workers: clients,
+        engine,
         ..ServerConfig::default()
     })
     .expect("bind loopback server");
@@ -870,6 +1118,7 @@ fn serve_bench_cmd(args: &[String]) {
     let server = Server::bind(ServerConfig {
         workers: 1,
         queue_cap: 1,
+        engine,
         ..ServerConfig::default()
     })
     .expect("bind reject-phase server");
@@ -908,7 +1157,7 @@ fn serve_bench_cmd(args: &[String]) {
 
     if json {
         let out = format!(
-            "{{\n  \"schema\": \"spex-serve-bench-4\",\n  \"clients\": {clients},\n  \"docs_per_client\": {docs},\n  \"workers\": {clients},\n  \"workload\": \"mondial\",\n  \"document_mb\": {mb:.3},\n  \"sessions\": {},\n  \"documents\": {},\n  \"elapsed_s\": {elapsed:.3},\n  \"events_per_s\": {events_per_s:.0},\n  \"mb_per_s\": {mb_per_s:.3},\n  \"latency_ms\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}, \"min\": {:.2}, \"max\": {:.2}}},\n  \"reject\": {{\"workers\": 1, \"queue\": 1, \"offered\": {offered}, \"rejected\": {}, \"rate\": {reject_rate:.4}}}\n}}\n",
+            "{{\n  \"schema\": \"spex-serve-bench-4\",\n  \"engine\": \"{engine}\",\n  \"clients\": {clients},\n  \"docs_per_client\": {docs},\n  \"workers\": {clients},\n  \"workload\": \"mondial\",\n  \"document_mb\": {mb:.3},\n  \"sessions\": {},\n  \"documents\": {},\n  \"elapsed_s\": {elapsed:.3},\n  \"events_per_s\": {events_per_s:.0},\n  \"mb_per_s\": {mb_per_s:.3},\n  \"latency_ms\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}, \"min\": {:.2}, \"max\": {:.2}}},\n  \"reject\": {{\"workers\": 1, \"queue\": 1, \"offered\": {offered}, \"rejected\": {}, \"rate\": {reject_rate:.4}}}\n}}\n",
             latencies_ms.len(),
             report.documents,
             latencies_ms.first().copied().unwrap_or(0.0),
@@ -929,17 +1178,25 @@ fn serve_bench_cmd(args: &[String]) {
 /// run; with `--json` the measurements are also written to `BENCH_5.json`
 /// (repo root by default, `--out PATH` overrides).
 fn trace_bench_cmd(args: &[String]) {
-    use spex_bench::run_spex_traced;
+    use spex_bench::run_spex_traced_engine;
     use spex_trace::{JsonlSink, Tracer};
 
     let json = args.iter().any(|a| a == "--json");
+    let engine: Engine = args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--engine: vm or network"))
+        .unwrap_or_default();
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| format!("{}/../../BENCH_5.json", env!("CARGO_MANIFEST_DIR")));
-    header("trace-bench — spex-trace overhead (tracer off vs JSONL tracer on)");
+    header(&format!(
+        "trace-bench — spex-trace overhead (tracer off vs JSONL tracer on, {engine} engine)"
+    ));
     let jsonl_path = std::env::temp_dir().join("spex-trace-bench.jsonl");
     let sink = std::sync::Arc::new(JsonlSink::create(&jsonl_path).expect("create trace file"));
     let on = Tracer::to_sink(sink.clone());
@@ -976,8 +1233,8 @@ fn trace_bench_cmd(args: &[String]) {
             let mut off_secs = f64::INFINITY;
             let mut on_secs = f64::INFINITY;
             for _ in 0..5 {
-                let a = run_spex_traced(&q, xml.as_bytes(), &off);
-                let b = run_spex_traced(&q, xml.as_bytes(), &on);
+                let a = run_spex_traced_engine(&q, xml.as_bytes(), &off, engine);
+                let b = run_spex_traced_engine(&q, xml.as_bytes(), &on, engine);
                 assert_eq!(a.results, b.results, "tracing changed results on {name}");
                 off_secs = off_secs.min(a.elapsed.as_secs_f64());
                 on_secs = on_secs.min(b.elapsed.as_secs_f64());
@@ -1023,6 +1280,7 @@ fn trace_bench_cmd(args: &[String]) {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"schema\": \"spex-trace-bench-5\",\n");
+        out.push_str(&format!("  \"engine\": \"{engine}\",\n"));
         out.push_str(&format!("  \"dmoz_scale\": {bench_dmoz_scale},\n"));
         out.push_str("  \"runs\": [\n");
         for (i, c) in cells.iter().enumerate() {

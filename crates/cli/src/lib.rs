@@ -8,8 +8,8 @@
 pub mod serve;
 
 use spex_core::{
-    stats_json, CompiledNetwork, CountingSink, EngineStats, EvalError, Evaluator, RecoveryOptions,
-    ResourceLimits, RunReport, SpanCollector, TransducerStats, TruncationOutcome,
+    stats_json, CompiledNetwork, CountingSink, Engine, EngineStats, EvalError, Evaluator,
+    RecoveryOptions, ResourceLimits, RunReport, SpanCollector, TransducerStats, TruncationOutcome,
 };
 use spex_query::Rpeq;
 use spex_trace::{JsonlSink, MemorySink, TeeSink, TraceRecord, TraceSink, Tracer};
@@ -108,6 +108,9 @@ pub struct Options {
     pub stream: bool,
     /// Recovery policy for malformed input (default: strict).
     pub recover: RecoveryPolicy,
+    /// Execution backend: the compiled VM (default) or the interpreter
+    /// network (the semantic oracle).
+    pub engine: Engine,
     /// How undetermined candidates resolve at an unexpected end of stream.
     pub on_truncation: TruncationOutcome,
     /// Named queries (`NAME=EXPR`, repeatable) compiled into one shared
@@ -137,6 +140,7 @@ impl Default for Options {
             help: false,
             stream: false,
             recover: RecoveryPolicy::Strict,
+            engine: Engine::default(),
             on_truncation: TruncationOutcome::Drop,
             queries: Vec::new(),
             trace_jsonl: None,
@@ -173,6 +177,8 @@ OPTIONS:
                      schema in DESIGN.md §13) to PATH
     --trace-summary  print a human-readable trace summary to stderr
     --stream         treat the input as a sequence of documents (SDI mode)
+    --engine E       execution backend: vm (compiled plan, default) | network
+                     (the interpreter over boxed transducers)
     --recover P      recovery policy for malformed input:
                      strict (default) | repair | skip-subtree
     --on-truncation O     candidates undetermined at an unexpected EOF:
@@ -244,6 +250,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.limits.max_total_messages = Some(number("--limit-messages", &mut it)?)
             }
             "-h" | "--help" => o.help = true,
+            "--engine" => {
+                o.engine = it
+                    .next()
+                    .ok_or_else(|| "--engine needs a backend (vm, network)".to_string())?
+                    .parse()?
+            }
             "--recover" => {
                 o.recover = it
                     .next()
@@ -284,6 +296,9 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             other if other.starts_with("--trace-jsonl=") => {
                 o.trace_jsonl = Some(other["--trace-jsonl=".len()..].to_string())
+            }
+            other if other.starts_with("--engine=") => {
+                o.engine = other["--engine=".len()..].parse()?
             }
             other if other.starts_with("--recover=") => {
                 o.recover = other["--recover=".len()..].parse()?
@@ -721,7 +736,7 @@ fn eval_multi(
     sinks: Vec<&mut dyn spex_core::ResultSink>,
 ) -> Result<(EngineStats, Vec<TransducerStats>), CliError> {
     let _span = tracer.span("cli.evaluate");
-    let mut run = set.run_with_limits(sinks, options.limits);
+    let mut run = set.run_engine_with_limits(options.engine, sinks, options.limits);
     run.set_tracer(tracer.clone());
     let reader = spex_xml::Reader::new(input);
     let mut reader = if options.stream {
@@ -769,6 +784,7 @@ fn evaluate(
                 policy: options.recover,
                 on_truncation: options.on_truncation,
                 multi_document: options.stream,
+                engine: options.engine,
             };
             let report = spex_core::evaluate_recovering_traced(
                 network,
@@ -784,7 +800,7 @@ fn evaluate(
                 Some(report),
             ));
         }
-        let mut eval = Evaluator::with_limits(network, sink, options.limits);
+        let mut eval = Evaluator::with_engine_limits(network, sink, options.engine, options.limits);
         eval.set_tracer(tracer.clone());
         let reader = spex_xml::Reader::new(input);
         let mut reader = if options.stream {
@@ -886,6 +902,17 @@ mod tests {
         assert!(parse_args(&args(&["a", "b", "c"])).is_err());
     }
 
+    #[test]
+    fn parse_engine() {
+        assert_eq!(parse_args(&args(&["a"])).unwrap().engine, Engine::Vm);
+        let o = parse_args(&args(&["--engine", "network", "a"])).unwrap();
+        assert_eq!(o.engine, Engine::Network);
+        let o = parse_args(&args(&["--engine=vm", "a"])).unwrap();
+        assert_eq!(o.engine, Engine::Vm);
+        assert!(parse_args(&args(&["--engine"])).is_err());
+        assert!(parse_args(&args(&["--engine", "jit", "a"])).is_err());
+    }
+
     fn run_cli(argv: &[&str], input: &str) -> (i32, String, String) {
         let o = parse_args(&args(argv)).unwrap();
         let mut stdin = input.as_bytes();
@@ -904,6 +931,24 @@ mod tests {
         let (code, out, _) = run_cli(&["a.c"], "<a><a><c/></a><b/><c/></a>");
         assert_eq!(code, 0);
         assert_eq!(out, "<c></c>\n");
+    }
+
+    #[test]
+    fn engines_agree_on_output_and_stats() {
+        let xml = "<a><a><c/></a><b/><c/></a>";
+        for argv in [
+            vec!["a.c"],
+            vec!["--count", "_*._"],
+            vec!["--stats", "_*.a[b].c"],
+        ] {
+            let mut vm_argv = vec!["--engine", "vm"];
+            vm_argv.extend(&argv);
+            let mut net_argv = vec!["--engine", "network"];
+            net_argv.extend(&argv);
+            let (vc, vo, ve) = run_cli(&vm_argv, xml);
+            let (nc, no, ne) = run_cli(&net_argv, xml);
+            assert_eq!((vc, &vo, &ve), (nc, &no, &ne), "argv {argv:?}");
+        }
     }
 
     #[test]

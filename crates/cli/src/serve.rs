@@ -36,6 +36,8 @@ OPTIONS:
     --write-timeout SECS  per-write socket timeout, 0 disables (default 30)
     --allow-remote-shutdown  honor the 'Q' shutdown frame from non-loopback
                           peers (default: loopback peers only)
+    --engine E            execution backend for every session:
+                          vm (compiled plan, default) | network
     --recover P           per-session recovery policy: strict | repair | skip-subtree
     --on-truncation O     drop (default) | force-false
     --limit-depth N       per-session stream nesting depth cap
@@ -114,6 +116,12 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 };
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--engine" => {
+                config.engine = it
+                    .next()
+                    .ok_or_else(|| "--engine needs a backend (vm, network)".to_string())?
+                    .parse()?
+            }
             "--recover" => {
                 config.recovery = it
                     .next()
@@ -230,6 +238,8 @@ mod tests {
             "--write-timeout",
             "5",
             "--allow-remote-shutdown",
+            "--engine",
+            "network",
             "--recover",
             "repair",
             "--limit-depth",
@@ -250,6 +260,7 @@ mod tests {
             Some(std::time::Duration::from_secs(5))
         );
         assert!(o.config.allow_remote_shutdown);
+        assert_eq!(o.config.engine, spex_core::Engine::Network);
         assert_eq!(o.config.recovery, spex_xml::RecoveryPolicy::Repair);
         assert_eq!(o.config.limits.max_stream_depth, Some(64));
         assert!(o.stats_json);

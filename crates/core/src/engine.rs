@@ -15,9 +15,9 @@
 
 use crate::compile::CompiledNetwork;
 use crate::limits::{LimitBreach, LimitKind, ResourceLimits};
-use crate::network::Run;
 use crate::sink::{FragmentCollector, ResultSink};
 use crate::stats::{EngineStats, Tap, TransducerStats};
+use crate::vm::{Engine, EngineRun};
 use spex_query::Rpeq;
 use spex_xml::{XmlError, XmlEvent};
 use std::cell::RefCell;
@@ -120,15 +120,28 @@ impl From<crate::compile::CompileError> for EvalError {
 /// the same stream (each `<$>…</$>` pair is processed independently, as in
 /// the paper's infinite-stream experiments) — transducer stacks are balanced
 /// and return to their initial states at every `</$>`.
+///
+/// Evaluation runs on the default [`Engine`] (the compiled VM) unless an
+/// engine is chosen explicitly with [`Evaluator::with_engine`].
 pub struct Evaluator<'n, 's> {
-    run: Run<'n, 's>,
+    run: EngineRun<'n, 's>,
 }
 
 impl<'n, 's> Evaluator<'n, 's> {
-    /// Start an evaluation of `network` delivering results to `sink`.
+    /// Start an evaluation of `network` delivering results to `sink`, on the
+    /// default [`Engine`].
     pub fn new(network: &'n CompiledNetwork, sink: &'s mut dyn ResultSink) -> Self {
+        Self::with_engine(network, sink, Engine::default())
+    }
+
+    /// Like [`Evaluator::new`], on an explicitly chosen [`Engine`].
+    pub fn with_engine(
+        network: &'n CompiledNetwork,
+        sink: &'s mut dyn ResultSink,
+        engine: Engine,
+    ) -> Self {
         Evaluator {
-            run: network.run(sink),
+            run: network.run_engine(engine, sink),
         }
     }
 
@@ -142,9 +155,24 @@ impl<'n, 's> Evaluator<'n, 's> {
         sink: &'s mut dyn ResultSink,
         limits: ResourceLimits,
     ) -> Self {
-        let mut run = network.run(sink);
+        Self::with_engine_limits(network, sink, Engine::default(), limits)
+    }
+
+    /// Like [`Evaluator::with_limits`], on an explicitly chosen [`Engine`].
+    pub fn with_engine_limits(
+        network: &'n CompiledNetwork,
+        sink: &'s mut dyn ResultSink,
+        engine: Engine,
+        limits: ResourceLimits,
+    ) -> Self {
+        let mut run = network.run_engine(engine, sink);
         run.set_limits(limits);
         Evaluator { run }
+    }
+
+    /// The engine this evaluation runs on.
+    pub fn engine(&self) -> Engine {
+        self.run.engine()
     }
 
     /// Feed one stream event. Infallible: after a resource-limit breach the
@@ -198,7 +226,7 @@ impl<'n, 's> Evaluator<'n, 's> {
     /// drops stale candidate buffers, recycles the event arena, and truncates
     /// the symbol table back to the query-label baseline, while keeping the
     /// compiled network, accumulated statistics, and allocated capacity. See
-    /// [`Run::reset_session`].
+    /// [`crate::network::Run::reset_session`].
     pub fn reset_session(&mut self) {
         self.run.reset_session();
     }
@@ -208,7 +236,7 @@ impl<'n, 's> Evaluator<'n, 's> {
         self.run.set_tap(tap);
     }
 
-    /// Attach a trace export handle (see [`Run::set_tracer`]): the engine
+    /// Attach a trace export handle (see [`crate::network::Run::set_tracer`]): the engine
     /// emits its counters, buffer high-water marks and per-output-node
     /// determination-latency histograms when the evaluation finishes.
     pub fn set_tracer(&mut self, tracer: spex_trace::Tracer) {
@@ -216,7 +244,7 @@ impl<'n, 's> Evaluator<'n, 's> {
     }
 
     /// Determination-latency histograms, one `(node id, histogram)` pair
-    /// per output node (see [`Run::determination_latency`]). Latency is
+    /// per output node (see [`crate::network::Run::determination_latency`]). Latency is
     /// counted in *events* between a candidate entering the output buffer
     /// and its condition formula becoming determined — the paper's
     /// earliness measure. Snapshot the value before calling
@@ -231,7 +259,7 @@ impl<'n, 's> Evaluator<'n, 's> {
         self.run.transducer_stats()
     }
 
-    /// Enable transition tracing (see [`Run::set_tracing`]).
+    /// Enable transition tracing (see [`crate::network::Run::set_tracing`]).
     pub fn set_tracing(&mut self, on: bool) {
         self.run.set_tracing(on);
     }
@@ -430,41 +458,46 @@ mod tests {
 
     #[test]
     fn session_reuse_keeps_arena_and_symbols_bounded() {
-        // Satellite regression: 1000 documents with disjoint vocabularies
-        // through one evaluator. Without the between-document reset the
-        // symbol table would grow by one name per document; with it both the
-        // table and the arena high-water mark stay bounded by a single
-        // document's footprint.
+        // Satellite regression, on both engines: 1000 documents with
+        // disjoint vocabularies through one evaluator. Without the
+        // between-document reset the symbol table would grow by one name
+        // per document; with it both the table and the arena high-water
+        // mark stay bounded by a single document's footprint — and the VM's
+        // `reset_session` must uphold exactly the bounds the interpreter
+        // run does.
         let q: Rpeq = "r.x".parse().unwrap();
         let net = CompiledNetwork::compile(&q);
-        let mut sink = FragmentCollector::new();
-        let mut eval = Evaluator::new(&net, &mut sink);
-        let mut first_doc_peak = 0;
-        for i in 0..1000 {
-            let xml = format!("<r><unique{i}/><x>doc {i}</x></r>");
-            eval.push_str(&xml).unwrap();
-            if i == 0 {
-                first_doc_peak = eval.stats().peak_arena_bytes;
+        for engine in Engine::ALL {
+            let mut sink = FragmentCollector::new();
+            let mut eval = Evaluator::with_engine(&net, &mut sink, engine);
+            let mut first_doc_peak = 0;
+            for i in 0..1000 {
+                let xml = format!("<r><unique{i}/><x>doc {i}</x></r>");
+                eval.push_str(&xml).unwrap();
+                if i == 0 {
+                    first_doc_peak = eval.stats().peak_arena_bytes;
+                }
+                eval.reset_session();
             }
-            eval.reset_session();
+            let stats = eval.finish();
+            assert_eq!(stats.results, 1000, "{engine}");
+            assert_eq!(sink.fragments().len(), 1000, "{engine}");
+            // Symbols: $, r, x, plus at most one live per-document name.
+            assert!(
+                stats.interned_symbols <= 4,
+                "symbol table leaked on {engine}: {} interned",
+                stats.interned_symbols
+            );
+            // The arena never held more than one document's events
+            // (documents grow by ~one digit of the counter; allow slack
+            // for that).
+            assert!(
+                stats.peak_arena_bytes <= first_doc_peak + 64,
+                "arena leaked on {engine}: peak {} vs first-document peak {}",
+                stats.peak_arena_bytes,
+                first_doc_peak
+            );
         }
-        let stats = eval.finish();
-        assert_eq!(stats.results, 1000);
-        assert_eq!(sink.fragments().len(), 1000);
-        // Symbols: $, r, x, plus at most one live per-document name.
-        assert!(
-            stats.interned_symbols <= 4,
-            "symbol table leaked: {} interned",
-            stats.interned_symbols
-        );
-        // The arena never held more than one document's events (documents
-        // grow by ~one digit of the counter; allow slack for that).
-        assert!(
-            stats.peak_arena_bytes <= first_doc_peak + 64,
-            "arena leaked: peak {} vs first-document peak {}",
-            stats.peak_arena_bytes,
-            first_doc_peak
-        );
     }
 
     #[test]

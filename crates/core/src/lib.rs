@@ -28,7 +28,11 @@
 //! * [`cq`] — conjunctive queries with regular path expressions (§VII),
 //!   compiled to multi-sink networks via the translation `T` of Fig. 16,
 //! * [`multi`] — the multi-query optimization named in the paper's
-//!   conclusion: many queries share one network through common prefixes.
+//!   conclusion: many queries share one network through common prefixes,
+//! * [`vm`] — the compiled execution backend: the network lowered to a flat
+//!   bytecode plan run by a small VM ([`Engine::Vm`], the default), kept
+//!   byte-identical to the interpreter by a differential test rig
+//!   (DESIGN.md §14).
 //!
 //! The repository-level DESIGN.md maps every module here to its paper
 //! section (§1, the system inventory); §8 fixes the result semantics all
@@ -63,6 +67,7 @@ pub mod recover;
 pub mod sink;
 pub mod stats;
 pub mod transducers;
+pub mod vm;
 
 pub use compile::{CompileError, CompiledNetwork};
 pub use engine::{evaluate_events, evaluate_str, EvalError, Evaluator};
@@ -77,3 +82,4 @@ pub use sink::{
     StreamingSink,
 };
 pub use stats::{json_escape, stats_json, EngineStats, Tap, TransducerStats};
+pub use vm::{Engine, EngineRun, Plan, PlanRun};

@@ -29,9 +29,11 @@
 use crate::network::{NetworkBuilder, NetworkSpec, Run, Tape};
 use crate::sink::{CountingSink, ResultSink};
 use crate::stats::EngineStats;
+use crate::vm::{Engine, EngineRun, Plan, PlanRun};
 use spex_query::Rpeq;
 use spex_xml::XmlEvent;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Many queries compiled into one shared multi-sink network. See the
 /// [module documentation](self).
@@ -40,6 +42,10 @@ pub struct SharedQuerySet {
     spec: NetworkSpec,
     ids: Vec<String>,
     unshared_degree: usize,
+    /// The flat VM plan, lowered on first use and shared by every session
+    /// (the server's plan registry caches `Arc<SharedQuerySet>`, so the
+    /// lowering happens once per cached entry).
+    plan: OnceLock<Plan>,
 }
 
 impl SharedQuerySet {
@@ -90,6 +96,7 @@ impl SharedQuerySet {
             spec: builder.finish(),
             ids,
             unshared_degree,
+            plan: OnceLock::new(),
         })
     }
 
@@ -145,6 +152,37 @@ impl SharedQuerySet {
         limits: crate::limits::ResourceLimits,
     ) -> Run<'n, 's> {
         let mut run = self.run(sinks);
+        run.set_limits(limits);
+        run
+    }
+
+    /// The flat VM plan, lowered from the shared network on first use and
+    /// cached (see [`Plan`] and DESIGN.md §14).
+    pub fn plan(&self) -> &Plan {
+        self.plan.get_or_init(|| Plan::compile(&self.spec))
+    }
+
+    /// Instantiate a run on the chosen [`Engine`] (sink order ==
+    /// [`SharedQuerySet::ids`] order).
+    pub fn run_engine<'n, 's>(
+        &'n self,
+        engine: Engine,
+        sinks: Vec<&'s mut dyn ResultSink>,
+    ) -> EngineRun<'n, 's> {
+        match engine {
+            Engine::Network => EngineRun::Network(self.run(sinks)),
+            Engine::Vm => EngineRun::Vm(PlanRun::new(self.plan(), sinks)),
+        }
+    }
+
+    /// Like [`SharedQuerySet::run_engine`], with resource caps attached.
+    pub fn run_engine_with_limits<'n, 's>(
+        &'n self,
+        engine: Engine,
+        sinks: Vec<&'s mut dyn ResultSink>,
+        limits: crate::limits::ResourceLimits,
+    ) -> EngineRun<'n, 's> {
+        let mut run = self.run_engine(engine, sinks);
         run.set_limits(limits);
         run
     }

@@ -91,6 +91,9 @@ pub struct RecoveryOptions {
     /// Treat the input as a sequence of documents (see
     /// [`spex_xml::Reader::multi_document`]).
     pub multi_document: bool,
+    /// Which execution backend evaluates the repaired stream (see
+    /// [`crate::Engine`]; defaults to the VM).
+    pub engine: crate::Engine,
 }
 
 /// The outcome of a fault-tolerant run: what was delivered, what was
@@ -270,7 +273,8 @@ pub fn evaluate_recovering_traced<R: Read>(
     let mut quarantine = Quarantine::new();
     let mut exhausted = None;
     let (stats, transducers) = {
-        let mut eval = Evaluator::with_limits(network, &mut quarantine, limits);
+        let mut eval =
+            Evaluator::with_engine_limits(network, &mut quarantine, options.engine, limits);
         eval.set_tracer(tracer.clone());
         // Zero-copy loop: repaired events land in the run's arena and are
         // pushed by handle, exactly like a clean `push_reader` run.

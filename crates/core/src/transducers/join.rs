@@ -41,32 +41,58 @@ impl Join {
     }
 
     /// Process one tick: all messages of the left and right input tapes.
-    pub fn step2(&mut self, left: Vec<Message>, right: Vec<Message>, out: &mut Vec<Message>) {
+    pub fn step2(
+        &mut self,
+        mut left: Vec<Message>,
+        mut right: Vec<Message>,
+        out: &mut Vec<Message>,
+    ) {
+        self.step2_drain(&mut left, &mut right, out);
+    }
+
+    /// Like [`Join::step2`], draining the queues in place so the caller can
+    /// keep their allocated capacity across ticks (the VM's hot path).
+    pub fn step2_drain(
+        &mut self,
+        left: &mut Vec<Message>,
+        right: &mut Vec<Message>,
+        out: &mut Vec<Message>,
+    ) {
+        // Common tick: each branch delivers exactly the document message and
+        // nothing else — the join reduces to deduplication (1).
+        if left.len() == 1 && right.len() == 1 && left[0].is_doc() && right[0].is_doc() {
+            self.trace.fire(1);
+            right.clear();
+            if let Some(d) = left.pop() {
+                out.push(d);
+            }
+            return;
+        }
         let mut determinations: Vec<Message> = Vec::new();
         let mut doc: Option<Message> = None;
-        let act_start = out.len();
-        for m in left.into_iter().chain(right) {
-            match m {
-                a @ Message::Activate(_) => {
-                    self.trace.fire(8);
-                    out.push(a);
-                }
-                d @ Message::Determine(..) => {
-                    self.trace.fire(9);
-                    determinations.push(d);
-                }
-                d @ Message::Doc(_) => {
-                    if doc.is_none() {
-                        doc = Some(d);
-                    } else {
-                        // The second branch's copy of the same document
-                        // message: synchronized and deduplicated (1).
-                        self.trace.fire(1);
+        for queue in [left, right] {
+            for m in queue.drain(..) {
+                match m {
+                    a @ Message::Activate(_) => {
+                        self.trace.fire(8);
+                        out.push(a);
+                    }
+                    d @ Message::Determine(..) => {
+                        self.trace.fire(9);
+                        determinations.push(d);
+                    }
+                    d @ Message::Doc(_) => {
+                        if doc.is_none() {
+                            doc = Some(d);
+                        } else {
+                            // The second branch's copy of the same document
+                            // message: synchronized and deduplicated (1).
+                            self.trace.fire(1);
+                        }
                     }
                 }
             }
         }
-        let _ = act_start;
         out.append(&mut determinations);
         if let Some(d) = doc {
             out.push(d);

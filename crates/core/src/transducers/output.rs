@@ -115,7 +115,8 @@ impl Output {
         stats: &mut EngineStats,
         store: &EventStore,
     ) {
-        if std::env::var_os("SPEX_DEBUG_OU").is_some() {
+        static DEBUG_OU: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG_OU.get_or_init(|| std::env::var_os("SPEX_DEBUG_OU").is_some()) {
             eprintln!("OU tick {now}: {msg}");
         }
         match msg {
@@ -225,7 +226,14 @@ impl Output {
                 // candidate.
                 if is_open {
                     if !self.pending.is_empty() {
-                        let formula = Formula::disj(std::mem::take(&mut self.pending));
+                        // The singleton pop keeps `pending`'s capacity for
+                        // the next activation; `disj` of one normalized
+                        // formula is that formula.
+                        let formula = if self.pending.len() == 1 {
+                            self.pending.pop().expect("length checked")
+                        } else {
+                            Formula::disj(std::mem::take(&mut self.pending))
+                        };
                         if !formula.is_false() {
                             stats.candidates_created += 1;
                             let id = self.base + self.candidates.len() as u64;

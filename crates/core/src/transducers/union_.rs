@@ -60,7 +60,14 @@ impl Transducer for Union {
                     // (2)/(3): emit the merged activation before the
                     // document message.
                     self.trace.fire(3);
-                    let merged = Formula::disj(std::mem::take(&mut self.pending));
+                    // The singleton pop keeps `pending`'s capacity for the
+                    // next tick; `disj` of one normalized formula is that
+                    // formula.
+                    let merged = if self.pending.len() == 1 {
+                        self.pending.pop().expect("length checked")
+                    } else {
+                        Formula::disj(std::mem::take(&mut self.pending))
+                    };
                     out.push(Message::Activate(merged));
                 }
                 for (c, v) in self.pending_dets.drain(..) {

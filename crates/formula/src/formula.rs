@@ -63,7 +63,14 @@ impl Formula {
         Self::build(parts, /*conjunction=*/ false)
     }
 
-    fn build(parts: Vec<Formula>, conjunction: bool) -> Formula {
+    fn build(mut parts: Vec<Formula>, conjunction: bool) -> Formula {
+        // A singleton leaf normalizes to itself; skip the children buffer
+        // (this is the overwhelmingly common case on the output hot path,
+        // where most activations carry `true`).
+        if parts.len() == 1 && matches!(parts[0], Formula::True | Formula::False | Formula::Var(_))
+        {
+            return parts.pop().expect("length checked");
+        }
         let (absorbing, neutral) = if conjunction {
             (Formula::False, Formula::True)
         } else {

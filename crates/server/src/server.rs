@@ -18,7 +18,7 @@ use crate::registry::Registry;
 use crate::session;
 use crate::signal;
 use crate::stats::ServerStats;
-use spex_core::{EngineStats, ResourceLimits, TruncationOutcome};
+use spex_core::{Engine, EngineStats, ResourceLimits, TruncationOutcome};
 use spex_trace::{summary_json, AtomicHistogram, JsonlSink, Tracer};
 use spex_xml::RecoveryPolicy;
 use std::collections::VecDeque;
@@ -42,6 +42,9 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// Per-session engine resource caps.
     pub limits: ResourceLimits,
+    /// Execution backend every session runs on: the compiled VM plan
+    /// (default) or the interpreter network.
+    pub engine: Engine,
     /// Reader-side recovery policy for every session.
     pub recovery: RecoveryPolicy,
     /// Truncation handling for recovery sessions.
@@ -81,6 +84,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             max_frame: crate::protocol::DEFAULT_MAX_FRAME,
             limits: ResourceLimits::default(),
+            engine: Engine::default(),
             recovery: RecoveryPolicy::Strict,
             on_truncation: TruncationOutcome::default(),
             read_timeout: Some(Duration::from_secs(30)),

@@ -477,7 +477,7 @@ fn eval_stream(
             .collect()
     };
 
-    let mut run = plan.run_with_limits(sinks, shared.cfg.limits);
+    let mut run = plan.run_engine_with_limits(shared.cfg.engine, sinks, shared.cfg.limits);
     run.set_tracer(shared.trace.tracer.clone());
     let mut documents = 0u64;
     let mut error: Option<EvalError> = None;

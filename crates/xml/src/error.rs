@@ -34,6 +34,22 @@ impl Position {
             self.column += 1;
         }
     }
+
+    /// Advance the position over a whole slice at once — equivalent to
+    /// calling [`Position::advance`] per byte, without the per-byte branch
+    /// chain (the reader's chunked scanning path).
+    pub fn advance_bulk(&mut self, bytes: &[u8]) {
+        self.offset += bytes.len() as u64;
+        // Branch-free count first (vectorizes); only scan for the last
+        // newline's position in the rare chunk that contains one.
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count() as u32;
+        if newlines == 0 {
+            self.column += bytes.len() as u32;
+        } else if let Some(i) = bytes.iter().rposition(|&b| b == b'\n') {
+            self.line += newlines;
+            self.column = (bytes.len() - i) as u32;
+        }
+    }
 }
 
 impl fmt::Display for Position {

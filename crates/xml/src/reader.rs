@@ -85,6 +85,58 @@ impl<R: Read> Bytes<R> {
         }
     }
 
+    /// Scan forward through the buffered chunk while `pred` holds, appending
+    /// the consumed bytes to `out` (non-ASCII bytes widened to chars exactly
+    /// like the byte-wise path; `saw_high` records that a
+    /// [`fix_latin`] repack is needed). One call processes at most one
+    /// buffer refill's worth of input; the caller loops on [`Scan::More`].
+    fn scan_into(
+        &mut self,
+        out: &mut String,
+        saw_high: &mut bool,
+        pred: impl Fn(u8) -> bool,
+    ) -> Result<Scan> {
+        self.fill()?;
+        if self.pos == self.len {
+            return Ok(Scan::Eof);
+        }
+        let chunk = &self.buf[self.pos..self.len];
+        let take = chunk.iter().position(|&b| !pred(b)).unwrap_or(chunk.len());
+        let consumed = &chunk[..take];
+        if consumed.is_ascii() {
+            out.push_str(std::str::from_utf8(consumed).expect("ascii bytes are valid UTF-8"));
+        } else {
+            *saw_high = true;
+            for &b in consumed {
+                out.push(b as char);
+            }
+        }
+        self.position.advance_bulk(consumed);
+        self.pos += take;
+        if take < chunk.len() {
+            Ok(Scan::Stopped)
+        } else {
+            Ok(Scan::More)
+        }
+    }
+
+    /// Like [`Bytes::scan_into`] without collecting the consumed bytes.
+    fn skip_chunk(&mut self, pred: impl Fn(u8) -> bool) -> Result<Scan> {
+        self.fill()?;
+        if self.pos == self.len {
+            return Ok(Scan::Eof);
+        }
+        let chunk = &self.buf[self.pos..self.len];
+        let take = chunk.iter().position(|&b| !pred(b)).unwrap_or(chunk.len());
+        self.position.advance_bulk(&chunk[..take]);
+        self.pos += take;
+        if take < chunk.len() {
+            Ok(Scan::Stopped)
+        } else {
+            Ok(Scan::More)
+        }
+    }
+
     /// Consume the next byte, failing with a syntax error on EOF.
     fn expect_any(&mut self, what: &str) -> Result<u8> {
         match self.next()? {
@@ -100,6 +152,17 @@ impl<R: Read> Bytes<R> {
 
 fn attach_context(e: XmlError, _what: &str) -> XmlError {
     e
+}
+
+/// Outcome of one chunked scan step (see [`Bytes::scan_into`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scan {
+    /// A byte failing the predicate was reached (and not consumed).
+    Stopped,
+    /// The input ended before the predicate failed.
+    Eof,
+    /// The buffered chunk was exhausted; refill and continue.
+    More,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -874,14 +937,12 @@ impl<R: Read> Reader<R> {
     }
 
     fn skip_whitespace(&mut self) -> Result<()> {
-        while let Some(b) = self.bytes.peek()? {
-            if b.is_ascii_whitespace() {
-                self.bytes.next()?;
-            } else {
-                break;
+        loop {
+            match self.bytes.skip_chunk(|b| b.is_ascii_whitespace())? {
+                Scan::Stopped | Scan::Eof => return Ok(()),
+                Scan::More => {}
             }
         }
-        Ok(())
     }
 
     /// Parse a name (element or attribute). The first byte must already be
@@ -894,19 +955,21 @@ impl<R: Read> Reader<R> {
             Some(b) if is_name_start(b) => {}
             _ => return Err(XmlError::syntax("expected a name", start)),
         }
-        while let Some(b) = self.bytes.peek()? {
+        let mut high = false;
+        loop {
             // `b >= 0x80` passes through UTF-8 continuation/start bytes.
-            if is_name_char(b) || b >= 0x80 {
-                self.bytes.next()?;
-                name.push(b as char);
-            } else {
-                break;
+            match self
+                .bytes
+                .scan_into(&mut name, &mut high, |b| is_name_char(b) || b >= 0x80)?
+            {
+                Scan::Stopped | Scan::Eof => break,
+                Scan::More => {}
             }
         }
         if name.is_empty() {
             return Err(XmlError::syntax("empty name", start));
         }
-        Ok(fix_latin(name))
+        Ok(if high { fix_latin(name) } else { name })
     }
 
     fn parse_open_tag(&mut self) -> Result<XmlEvent> {
@@ -985,25 +1048,31 @@ impl<R: Read> Reader<R> {
             return Err(XmlError::syntax("attribute value must be quoted", start));
         }
         let mut raw = self.take_string();
+        let mut high = false;
         loop {
-            match self.bytes.next()? {
-                None => {
+            match self
+                .bytes
+                .scan_into(&mut raw, &mut high, |b| b != quote && b != b'<')?
+            {
+                Scan::Stopped => match self.bytes.next()? {
+                    Some(b) if b == quote => break,
+                    _ => {
+                        return Err(XmlError::syntax(
+                            "`<` in attribute value",
+                            self.bytes.position,
+                        ))
+                    }
+                },
+                Scan::Eof => {
                     return Err(XmlError::UnexpectedEof {
                         open_element: self.stack.last().cloned(),
                         position: self.bytes.position,
                     })
                 }
-                Some(b) if b == quote => break,
-                Some(b'<') => {
-                    return Err(XmlError::syntax(
-                        "`<` in attribute value",
-                        self.bytes.position,
-                    ))
-                }
-                Some(b) => raw.push(b as char),
+                Scan::More => {}
             }
         }
-        let raw = fix_latin(raw);
+        let raw = if high { fix_latin(raw) } else { raw };
         self.decode_entities(raw, start)
     }
 
@@ -1125,23 +1194,19 @@ impl<R: Read> Reader<R> {
     fn parse_text(&mut self) -> Result<String> {
         let start = self.bytes.position;
         let mut raw = self.take_string();
+        let mut high = false;
         loop {
-            let b = match self.bytes.peek() {
-                Ok(Some(b)) => b,
-                Ok(None) => break,
+            match self.bytes.scan_into(&mut raw, &mut high, |b| b != b'<') {
+                Ok(Scan::Stopped) | Ok(Scan::Eof) => break,
+                Ok(Scan::More) => {}
                 // Under a repair policy, salvage the text received so far;
                 // the transport failure is sticky and resurfaces (as a
                 // truncation) on the next pull.
                 Err(_) if self.policy != RecoveryPolicy::Strict && !raw.is_empty() => break,
                 Err(e) => return Err(e),
-            };
-            if b == b'<' {
-                break;
             }
-            self.bytes.next()?;
-            raw.push(b as char);
         }
-        let raw = fix_latin(raw);
+        let raw = if high { fix_latin(raw) } else { raw };
         self.decode_entities(raw, start)
     }
 

@@ -12,7 +12,39 @@
 //! a new name costs a single allocation.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
+
+/// FNV-1a, fixed-key. Element names are short (a handful of bytes) and the
+/// intern lookup runs twice per element event, where the default SipHash's
+/// per-call setup dominates. HashDoS resistance is irrelevant here: the
+/// table is bounded by the document vocabulary and truncated back to the
+/// query baseline between documents. The hash does not affect symbol
+/// numbering (ids are assigned in first-seen order), so both engines and
+/// all prior snapshots agree on the dense handles.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
 
 /// A dense interned label handle. Symbols are assigned in first-seen order
 /// starting from zero, so they can index plain vectors.
@@ -29,7 +61,7 @@ pub const DOC_SYMBOL: Symbol = 0;
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
     names: Vec<Rc<str>>,
-    map: HashMap<Rc<str>, Symbol>,
+    map: HashMap<Rc<str>, Symbol, BuildHasherDefault<Fnv1a>>,
 }
 
 impl SymbolTable {
@@ -38,7 +70,7 @@ impl SymbolTable {
     pub fn new() -> Self {
         let mut t = Self {
             names: Vec::new(),
-            map: HashMap::new(),
+            map: HashMap::default(),
         };
         let s = t.intern("$");
         debug_assert_eq!(s, DOC_SYMBOL);

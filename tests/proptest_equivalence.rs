@@ -137,6 +137,22 @@ fn query() -> impl Strategy<Value = Rpeq> {
     })
 }
 
+/// Queries with guaranteed structural depth where the random recursion of
+/// [`query`] only occasionally lands: a closure step followed by an
+/// alternation, filtered by a qualifier whose body is *itself* qualified —
+/// `l*.(a|b)[c[…]].tail`-shaped. These are the shapes that exercise the
+/// nested Split/Join sub-networks and the Union merge wiring (and, under
+/// the VM, their lowered instruction sequences) on every single case.
+fn nested_query() -> impl Strategy<Value = Rpeq> {
+    let closure =
+        (any::<bool>(), qlabel())
+            .prop_map(|(plus, l)| if plus { Rpeq::Plus(l) } else { Rpeq::Star(l) });
+    (closure, (qlabel(), qlabel()), qlabel(), query()).prop_map(|(cl, (a, b), inner, body)| {
+        let nested = Rpeq::Step(inner).with_qualifier(body);
+        cl.then(Rpeq::Step(a).or(Rpeq::Step(b)).with_qualifier(nested))
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(300))]
 
@@ -265,5 +281,89 @@ proptest! {
         prop_assert_eq!(&capped_stats, &free_stats, "query `{}`", q);
         prop_assert_eq!(&sink.timing, &free_timing);
         prop_assert_eq!(sink.into_fragments(), free_frags);
+    }
+
+    #[test]
+    fn vm_matches_the_interpreter_network(events in document(), q in query()) {
+        // The tentpole identity under shrinking: the compiled-plan VM and
+        // the interpreter network it lowers deliver byte-identical
+        // fragments at the same ticks, with equal engine *and*
+        // per-transducer statistics. The seeded `harness vm-diff` rig
+        // covers volume; this property covers minimization — a divergence
+        // here shrinks to the smallest (document, query) pair exhibiting
+        // it.
+        let net = spex::core::CompiledNetwork::compile(&q);
+        let run = |engine| {
+            let mut sink = spex::core::FragmentCollector::new();
+            let mut eval = spex::core::Evaluator::with_engine(&net, &mut sink, engine);
+            for ev in &events {
+                eval.push(ev.clone());
+            }
+            let (stats, transducers) = eval.finish_full();
+            let timing = sink.timing.clone();
+            (sink.into_fragments(), stats, transducers, timing)
+        };
+        let vm = run(spex::core::Engine::Vm);
+        let net_run = run(spex::core::Engine::Network);
+        prop_assert_eq!(&vm.0, &net_run.0, "fragments diverge for `{}`", &q);
+        prop_assert_eq!(&vm.1, &net_run.1, "engine stats diverge for `{}`", &q);
+        prop_assert_eq!(&vm.2, &net_run.2, "transducer stats diverge for `{}`", &q);
+        prop_assert_eq!(&vm.3, &net_run.3, "delivery timing diverges for `{}`", &q);
+    }
+
+    #[test]
+    fn nested_qualifier_queries_match_the_dom_oracle(events in document(), q in nested_query()) {
+        // Same oracle identity as `spex_equals_dom_oracle`, but every case
+        // carries nested qualifiers and alternation under a closure step.
+        let spex = spex_spans(&q, &events);
+        let dom = dom_spans(&q, &events);
+        prop_assert_eq!(
+            spex, dom,
+            "query `{}` over {}",
+            q,
+            spex::workloads::events_to_xml(&events)
+        );
+    }
+
+    #[test]
+    fn shared_query_set_agrees_across_engines(
+        events in document(),
+        q1 in query(),
+        q2 in nested_query(),
+        q3 in query()
+    ) {
+        // A three-query shared set on the VM: per-query result counts and
+        // the engine statistics must match the interpreter run of the same
+        // shared network (`count_events`), and each count must match the
+        // query evaluated alone.
+        use spex::core::sink::ResultSink;
+        let set = spex::core::multi::SharedQuerySet::compile(&[
+            ("q1".to_string(), q1.clone()),
+            ("q2".to_string(), q2.clone()),
+            ("q3".to_string(), q3.clone()),
+        ]);
+        let (net_counts, net_stats) = set.count_events(events.iter().cloned());
+        let mut counters = [
+            spex::core::CountingSink::new(),
+            spex::core::CountingSink::new(),
+            spex::core::CountingSink::new(),
+        ];
+        let vm_stats = {
+            let sinks: Vec<&mut dyn ResultSink> = counters
+                .iter_mut()
+                .map(|c| c as &mut dyn ResultSink)
+                .collect();
+            let mut run = set.run_engine(spex::core::Engine::Vm, sinks);
+            for ev in &events {
+                run.push(ev.clone());
+            }
+            run.finish()
+        };
+        let vm_counts: Vec<usize> = counters.iter().map(|c| c.results).collect();
+        prop_assert_eq!(&vm_counts, &net_counts, "q1 `{}`, q2 `{}`, q3 `{}`", &q1, &q2, &q3);
+        prop_assert_eq!(&vm_stats, &net_stats, "q1 `{}`, q2 `{}`, q3 `{}`", &q1, &q2, &q3);
+        prop_assert_eq!(vm_counts[0], spex_spans(&q1, &events).len(), "q1 `{}`", &q1);
+        prop_assert_eq!(vm_counts[1], spex_spans(&q2, &events).len(), "q2 `{}`", &q2);
+        prop_assert_eq!(vm_counts[2], spex_spans(&q3, &events).len(), "q3 `{}`", &q3);
     }
 }
