@@ -35,7 +35,31 @@
 //!                            with tracing off vs on (JSONL sink), run
 //!                            interleaved; --json writes BENCH_5.json and
 //!                            the run fails if trace-on is >5% slower
-//! harness all                everything above
+//! harness crash-diff [--cases N] [--seed S] [--kills K]
+//!                            restart-transparency rig: N random streams x
+//!                            queries, killed at K random byte offsets per
+//!                            policy, restored from the latest document-
+//!                            boundary snapshot and compared byte-for-byte
+//!                            against the uninterrupted run (both engines x
+//!                            strict/repair/skip-subtree, plus corrupt-
+//!                            snapshot and torn-WAL structured-error checks);
+//!                            any divergence fails the run
+//! harness crash-bench [--json]
+//!                            durable-session costs: snapshot size and
+//!                            checkpoint/restore latency vs query class and
+//!                            document depth, plus write-ahead-log overhead
+//!                            on the streaming pipeline; --json writes
+//!                            BENCH_7.json and the run fails if WAL-on is
+//!                            >5% slower than WAL-off
+//! harness crash-smoke [--spex PATH]
+//!                            process-level restart transparency: SIGKILL a
+//!                            real `spex serve --durable-dir` mid-stream,
+//!                            restart it, resume by token and require the
+//!                            concatenated output byte-identical to the
+//!                            one-shot CLI (PATH defaults to the `spex`
+//!                            binary next to this harness)
+//! harness all                everything above except crash-smoke (which
+//!                            needs the separately built `spex` binary)
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
 //!
@@ -106,6 +130,9 @@ fn main() {
         "bench" => bench_cmd(&args[1..]),
         "serve-bench" => serve_bench_cmd(&args[1..]),
         "trace-bench" => trace_bench_cmd(&args[1..]),
+        "crash-diff" => crash_diff_cmd(&args[1..]),
+        "crash-bench" => crash_bench_cmd(&args[1..]),
+        "crash-smoke" => crash_smoke_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -121,6 +148,8 @@ fn main() {
             bench_cmd(&[]);
             serve_bench_cmd(&[]);
             trace_bench_cmd(&[]);
+            crash_diff_cmd(&[]);
+            crash_bench_cmd(&[]);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -1307,6 +1336,359 @@ fn trace_bench_cmd(args: &[String]) {
     if !pass {
         eprintln!(
             "TRACE OVERHEAD REGRESSION: trace-on {overhead_pct:+.2}% vs trace-off (gate {gate_pct}%)"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn crash_diff_cmd(args: &[String]) {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let cases = flag("--cases").unwrap_or(125) as usize;
+    let seed = flag("--seed").unwrap_or(0xc4a5);
+    let kills = flag("--kills").unwrap_or(3) as usize;
+    header(&format!(
+        "crash-diff — {cases} random case(s), seed {seed}, {kills} kill-point(s) per policy"
+    ));
+    let outcome = spex_bench::crash::crash_diff(cases, seed, kills);
+    println!(
+        "{} case(s) x both engines x strict/repair/skip-subtree: {} kill-point(s), \
+         {} resumed run(s) ({} restored from a document-boundary snapshot)",
+        outcome.cases, outcome.kills, outcome.resumed_runs, outcome.snapshot_resumes
+    );
+    println!(
+        "{} corrupt-snapshot / torn-WAL check(s), {} divergence(s)",
+        outcome.corruption_checks,
+        outcome.divergences.len()
+    );
+    for d in &outcome.divergences {
+        eprintln!("DIVERGENCE: {d}");
+    }
+    if !outcome.divergences.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn crash_smoke_cmd(args: &[String]) {
+    let spex = args
+        .iter()
+        .position(|a| a == "--spex")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            // Default: the `spex` binary sitting next to this harness.
+            std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.join("spex")))
+                .unwrap_or_else(|| std::path::PathBuf::from("spex"))
+        });
+    header("crash-smoke — SIGKILL a live durable server, restart, resume by token");
+    if !spex.exists() {
+        eprintln!(
+            "crash-smoke: `{}` not found (build it with `cargo build --release -p spex-cli` \
+             or pass --spex PATH)",
+            spex.display()
+        );
+        std::process::exit(2);
+    }
+    match spex_bench::crash::crash_smoke(&spex) {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => {
+            eprintln!("crash-smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Drive `xml` to its final document boundary, then time `checkpoint()` +
+/// encode and decode + `restore()` into a fresh run (best-of-7 each).
+/// Returns (events, snapshot bytes, checkpoint µs, restore µs).
+fn measure_snapshot(query: &Rpeq, engine: Engine, xml: &str) -> (u64, usize, f64, f64) {
+    let network = CompiledNetwork::compile(query);
+    let mut sink = spex_core::CountingSink::new();
+    let mut eval = spex_core::Evaluator::with_engine(&network, &mut sink, engine);
+    let mut reader =
+        spex_xml::Reader::new(std::io::Cursor::new(xml.as_bytes().to_vec())).multi_document();
+    let mut events = 0u64;
+    while let Some(end) = eval.push_step(&mut reader).expect("clean stream") {
+        events += 1;
+        if end {
+            eval.reset_session();
+        }
+    }
+    let mut checkpoint_us = f64::INFINITY;
+    let mut bytes = Vec::new();
+    for _ in 0..7 {
+        let t = Instant::now();
+        let snap = eval.checkpoint().expect("quiescent at document boundary");
+        let enc = snap.encode();
+        checkpoint_us = checkpoint_us.min(t.elapsed().as_secs_f64() * 1e6);
+        bytes = enc;
+    }
+    let mut restore_us = f64::INFINITY;
+    for _ in 0..7 {
+        let t = Instant::now();
+        let snap = spex_core::Snapshot::decode(&bytes).expect("decode own snapshot");
+        let mut fresh_sink = spex_core::CountingSink::new();
+        let mut fresh = spex_core::Evaluator::with_engine(&network, &mut fresh_sink, engine);
+        fresh.restore(&snap).expect("restore own snapshot");
+        restore_us = restore_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    (events, bytes.len(), checkpoint_us, restore_us)
+}
+
+fn crash_bench_cmd(args: &[String]) {
+    use spex_serve::{Client, FsyncPolicy, Server, ServerConfig, SessionLog};
+
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_7.json", env!("CARGO_MANIFEST_DIR")));
+    header("crash-bench — durable sessions: snapshot size/latency and WAL overhead");
+
+    // Snapshot size and checkpoint/restore latency across the paper's query
+    // classes, both engines.
+    struct SnapCell {
+        workload: &'static str,
+        class: u8,
+        query: String,
+        engine: Engine,
+        events: u64,
+        snapshot_bytes: usize,
+        checkpoint_us: f64,
+        restore_us: f64,
+    }
+    let mondial_xml = spex_xml::writer::events_to_string(mondial_events());
+    let mut snaps: Vec<SnapCell> = Vec::new();
+    println!(
+        "{:>8} {:>5} {:<28} {:>8} {:>10} {:>12} {:>11}",
+        "workload", "class", "query", "engine", "snapshot", "checkpoint", "restore"
+    );
+    for engine in [Engine::Vm, Engine::Network] {
+        for qc in queries_for(Dataset::Mondial) {
+            let q = qc.rpeq();
+            let (events, snapshot_bytes, checkpoint_us, restore_us) =
+                measure_snapshot(&q, engine, &mondial_xml);
+            println!(
+                "{:>8} {:>5} {:<28} {:>8} {:>9}B {:>10.1}us {:>9.1}us",
+                "mondial", qc.class, qc.text, engine, snapshot_bytes, checkpoint_us, restore_us
+            );
+            snaps.push(SnapCell {
+                workload: "mondial",
+                class: qc.class,
+                query: qc.text.to_string(),
+                engine,
+                events,
+                snapshot_bytes,
+                checkpoint_us,
+                restore_us,
+            });
+        }
+    }
+
+    // Snapshot size vs document depth: the state captured at a quiescent
+    // boundary is O(query), not O(document) — depth should not move it.
+    struct DepthCell {
+        depth: usize,
+        events: u64,
+        snapshot_bytes: usize,
+        checkpoint_us: f64,
+        restore_us: f64,
+    }
+    let depth_query: Rpeq = "_*.a[b].c".parse().expect("depth-sweep query");
+    let mut depths: Vec<DepthCell> = Vec::new();
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>11}",
+        "depth", "events", "snapshot", "checkpoint", "restore"
+    );
+    for depth in [4usize, 16, 64, 256] {
+        let mut xml = String::new();
+        for _ in 0..depth {
+            xml.push_str("<a><b></b>");
+        }
+        xml.push_str("<c>leaf</c>");
+        for _ in 0..depth {
+            xml.push_str("</a>");
+        }
+        let (events, snapshot_bytes, checkpoint_us, restore_us) =
+            measure_snapshot(&depth_query, Engine::Vm, &xml);
+        println!(
+            "{:>8} {:>8} {:>9}B {:>10.1}us {:>9.1}us",
+            depth, events, snapshot_bytes, checkpoint_us, restore_us
+        );
+        depths.push(DepthCell {
+            depth,
+            events,
+            snapshot_bytes,
+            checkpoint_us,
+            restore_us,
+        });
+    }
+
+    // WAL overhead end-to-end: the same single-query session streamed over
+    // loopback against a vanilla server and against one with a durable
+    // directory (fsync=never, so the gate prices the append path —
+    // checksums, copies, segment and snapshot writes — not disk-sync
+    // latency, which is what the fsync policy knob trades away). The first
+    // iteration per cell is an uncounted warm-up; the rest are interleaved
+    // best-of, since noise only ever inflates a run.
+    struct WalCell {
+        class: u8,
+        query: String,
+        off_secs: f64,
+        on_secs: f64,
+    }
+    let wal_root = std::env::temp_dir().join(format!("spex-crash-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&wal_root).expect("create WAL scratch dir");
+    let off_server = Server::bind(ServerConfig::default()).expect("bind server");
+    let off_addr = off_server.local_addr();
+    let off_handle = off_server.handle();
+    let off_join = std::thread::spawn(move || off_server.run());
+    let on_server = Server::bind(ServerConfig {
+        durable_dir: Some(wal_root.to_string_lossy().into_owned()),
+        fsync: FsyncPolicy::Never,
+        ..ServerConfig::default()
+    })
+    .expect("bind durable server");
+    let on_addr = on_server.local_addr();
+    let on_handle = on_server.handle();
+    let on_join = std::thread::spawn(move || on_server.run());
+
+    let mut wal_cells: Vec<WalCell> = Vec::new();
+    println!(
+        "{:>5} {:<28} {:>10} {:>10} {:>9}",
+        "class", "query", "wal off", "wal on", "overhead"
+    );
+    for qc in queries_for(Dataset::Mondial) {
+        let mut off_secs = f64::INFINITY;
+        let mut on_secs = f64::INFINITY;
+        for iteration in 0..9 {
+            for (addr, secs) in [(off_addr, &mut off_secs), (on_addr, &mut on_secs)] {
+                let t0 = Instant::now();
+                let mut client = Client::connect(addr).expect("connect");
+                // Class-3 queries match subtrees the size of the document.
+                client.set_max_frame(16 * 1024 * 1024);
+                let t = client
+                    .run_session(&[("q", qc.text)], mondial_xml.as_bytes())
+                    .expect("session");
+                assert!(t.clean_end && !t.busy, "session did not complete");
+                assert!(t.errors.is_empty(), "session errors: {:?}", t.errors);
+                if iteration > 0 {
+                    *secs = secs.min(t0.elapsed().as_secs_f64());
+                }
+            }
+        }
+        println!(
+            "{:>5} {:<28} {:>9.1}ms {:>9.1}ms {:>+8.2}%",
+            qc.class,
+            qc.text,
+            off_secs * 1e3,
+            on_secs * 1e3,
+            (on_secs / off_secs.max(1e-9) - 1.0) * 100.0
+        );
+        wal_cells.push(WalCell {
+            class: qc.class,
+            query: qc.text.to_string(),
+            off_secs,
+            on_secs,
+        });
+    }
+    off_handle.shutdown();
+    on_handle.shutdown();
+    off_join.join().expect("server thread").expect("server run");
+    on_join.join().expect("server thread").expect("server run");
+
+    // Raw WAL bytes for one session at the client's 64 KiB frame size, for
+    // the report only.
+    let mut log = SessionLog::create(
+        &wal_root,
+        "bytes-probe",
+        &[("q".to_string(), "probe".to_string())],
+        FsyncPolicy::Never,
+    )
+    .expect("probe log");
+    for chunk in mondial_xml.as_bytes().chunks(64 * 1024) {
+        log.append_data(chunk).expect("probe append");
+    }
+    log.append_end().expect("probe end");
+    let wal_bytes = log.wal_bytes_written();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let off_total: f64 = wal_cells.iter().map(|c| c.off_secs).sum();
+    let on_total: f64 = wal_cells.iter().map(|c| c.on_secs).sum();
+    let overhead_pct = (on_total / off_total.max(1e-9) - 1.0) * 100.0;
+    let gate_pct = 5.0;
+    let pass = overhead_pct <= gate_pct;
+    println!(
+        "total: wal-off {:.1}ms, wal-on {:.1}ms, overhead {:+.2}% (gate {}%); {} WAL byte(s) per run",
+        off_total * 1e3,
+        on_total * 1e3,
+        overhead_pct,
+        gate_pct,
+        wal_bytes
+    );
+
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"spex-crash-bench-7\",\n");
+        out.push_str("  \"snapshots\": [\n");
+        for (i, c) in snaps.iter().enumerate() {
+            let sep = if i + 1 == snaps.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"class\":{},\"query\":{:?},\"engine\":\"{}\",\"events\":{},\"snapshot_bytes\":{},\"checkpoint_us\":{:.3},\"restore_us\":{:.3}}}{sep}\n",
+                c.workload,
+                c.class,
+                c.query,
+                c.engine,
+                c.events,
+                c.snapshot_bytes,
+                c.checkpoint_us,
+                c.restore_us,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"depth_sweep\": [\n");
+        for (i, c) in depths.iter().enumerate() {
+            let sep = if i + 1 == depths.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"depth\":{},\"events\":{},\"snapshot_bytes\":{},\"checkpoint_us\":{:.3},\"restore_us\":{:.3}}}{sep}\n",
+                c.depth, c.events, c.snapshot_bytes, c.checkpoint_us, c.restore_us,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"wal\": {\n");
+        out.push_str("    \"runs\": [\n");
+        for (i, c) in wal_cells.iter().enumerate() {
+            let sep = if i + 1 == wal_cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      {{\"class\":{},\"query\":{:?},\"off_secs\":{:.6},\"on_secs\":{:.6},\"overhead_pct\":{:.3}}}{sep}\n",
+                c.class,
+                c.query,
+                c.off_secs,
+                c.on_secs,
+                (c.on_secs / c.off_secs.max(1e-9) - 1.0) * 100.0,
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!(
+            "    \"summary\": {{\"off_secs\":{off_total:.6},\"on_secs\":{on_total:.6},\"overhead_pct\":{overhead_pct:.3},\"gate_pct\":{gate_pct},\"pass\":{pass},\"wal_bytes\":{wal_bytes}}}\n"
+        ));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        std::fs::write(&out_path, out).expect("write BENCH_7.json");
+        println!("wrote {out_path}");
+    }
+    if !pass {
+        eprintln!(
+            "WAL OVERHEAD REGRESSION: wal-on {overhead_pct:+.2}% vs wal-off (gate {gate_pct}%)"
         );
         std::process::exit(1);
     }

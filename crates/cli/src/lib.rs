@@ -121,6 +121,12 @@ pub struct Options {
     pub trace_jsonl: Option<String>,
     /// Print a human-readable trace summary to stderr after the run.
     pub trace_summary: bool,
+    /// Write a run-state snapshot (DESIGN.md §15) to this path at every
+    /// document boundary.
+    pub checkpoint: Option<String>,
+    /// Restore run state from this snapshot and skip the input prefix it
+    /// already consumed before evaluating.
+    pub resume: Option<String>,
 }
 
 impl Default for Options {
@@ -145,6 +151,8 @@ impl Default for Options {
             queries: Vec::new(),
             trace_jsonl: None,
             trace_summary: false,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -176,6 +184,11 @@ OPTIONS:
     --trace-jsonl PATH    write a JSONL trace (spans, counters, histograms;
                      schema in DESIGN.md §13) to PATH
     --trace-summary  print a human-readable trace summary to stderr
+    --checkpoint PATH     write a run-state snapshot (DESIGN.md §15) to PATH
+                     at every document boundary (atomically replaced)
+    --resume PATH    restore run state from the snapshot at PATH, skip the
+                     input prefix it already consumed, and continue; the
+                     input must be the same stream the snapshot came from
     --stream         treat the input as a sequence of documents (SDI mode)
     --engine E       execution backend: vm (compiled plan, default) | network
                      (the interpreter over boxed transducers)
@@ -229,6 +242,20 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.trace_jsonl = Some(
                     it.next()
                         .ok_or_else(|| "--trace-jsonl needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            "--checkpoint" => {
+                o.checkpoint = Some(
+                    it.next()
+                        .ok_or_else(|| "--checkpoint needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            "--resume" => {
+                o.resume = Some(
+                    it.next()
+                        .ok_or_else(|| "--resume needs a file path".to_string())?
                         .clone(),
                 )
             }
@@ -296,6 +323,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             other if other.starts_with("--trace-jsonl=") => {
                 o.trace_jsonl = Some(other["--trace-jsonl=".len()..].to_string())
+            }
+            other if other.starts_with("--checkpoint=") => {
+                o.checkpoint = Some(other["--checkpoint=".len()..].to_string())
+            }
+            other if other.starts_with("--resume=") => {
+                o.resume = Some(other["--resume=".len()..].to_string())
             }
             other if other.starts_with("--engine=") => {
                 o.engine = other["--engine=".len()..].parse()?
@@ -456,6 +489,29 @@ fn run_inner(
     if let Some(dataset) = &options.generate {
         return generate(dataset, options.scale, stdout);
     }
+    if options.checkpoint.is_some() || options.resume.is_some() {
+        if !options.queries.is_empty() {
+            return Err(CliError::Usage(
+                "--checkpoint/--resume cannot be combined with --query; use \
+                 `spex serve --durable-dir` for durable multi-query sessions"
+                    .to_string(),
+            ));
+        }
+        if options.recover != RecoveryPolicy::Strict {
+            return Err(CliError::Usage(
+                "--checkpoint/--resume require strict parsing (durable recovery \
+                 sessions live in `spex serve --durable-dir`)"
+                    .to_string(),
+            ));
+        }
+        if options.count || options.spans {
+            return Err(CliError::Usage(
+                "--checkpoint/--resume only support fragment output \
+                 (not --count/--spans: the counters are not part of the snapshot)"
+                    .to_string(),
+            ));
+        }
+    }
     if !options.queries.is_empty() {
         return run_multi(options, stdin, stdout, stderr);
     }
@@ -481,7 +537,14 @@ fn run_inner(
     let trace = TraceSetup::build(options)?;
 
     // Choose the sink by output mode.
-    let (stats, transducers, report) = if options.count {
+    let (stats, transducers, report) = if options.checkpoint.is_some() || options.resume.is_some() {
+        let mut sink = spex_core::StreamingSink::new(&mut *stdout);
+        let out = run_checkpointed(&network, options, &trace.tracer, stdin, &mut sink)?;
+        if let Some(e) = sink.take_error() {
+            return Err(e.into());
+        }
+        out
+    } else if options.count {
         let mut sink = CountingSink::new();
         let out = evaluate(&network, options, &trace.tracer, stdin, &mut sink)?;
         writeln!(stdout, "{}", sink.results)?;
@@ -828,6 +891,111 @@ fn evaluate(
         }
         None => run(stdin, sink),
     }
+}
+
+/// The durable one-shot mode (`--checkpoint`/`--resume`): evaluation with a
+/// run-state snapshot (DESIGN.md §15) written at every document boundary,
+/// and/or restored before the first event. A killed `--checkpoint` run can
+/// be re-run with `--resume` over the *same* input stream and delivers
+/// exactly the fragments the interrupted run had not yet produced — the
+/// consumed prefix is skipped byte-for-byte, so `interrupted output +
+/// resumed output` is byte-identical to an uninterrupted run.
+fn run_checkpointed(
+    network: &CompiledNetwork,
+    options: &Options,
+    tracer: &Tracer,
+    stdin: &mut dyn Read,
+    sink: &mut dyn spex_core::ResultSink,
+) -> Result<EvalOutcome, CliError> {
+    let _span = tracer.span("cli.evaluate");
+    let mut input: Box<dyn Read> = match &options.file {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?,
+        )),
+        None => Box::new(stdin),
+    };
+
+    let mut eval = Evaluator::with_engine_limits(network, sink, options.engine, options.limits);
+    eval.set_tracer(tracer.clone());
+
+    // Restore before the first event: decode the snapshot (structured
+    // errors on corruption — never a panic), load the run state, and skip
+    // the input prefix the interrupted run already consumed.
+    let mut resume_state: Option<spex_core::SessionState> = None;
+    if let Some(path) = &options.resume {
+        let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        let snap = spex_core::Snapshot::decode(&bytes)
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        let state = snap.session.clone().unwrap_or_default();
+        let skipped = std::io::copy(
+            &mut std::io::Read::take(&mut input, state.position.offset),
+            &mut std::io::sink(),
+        )?;
+        if skipped != state.position.offset {
+            return Err(CliError::Io(format!(
+                "input is shorter ({skipped} bytes) than the {} bytes the \
+                 snapshot already consumed — resume needs the same stream",
+                state.position.offset
+            )));
+        }
+        eval.restore(&snap)
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        resume_state = Some(state);
+    }
+
+    let reader = spex_xml::Reader::new(input);
+    let mut reader = if options.stream {
+        reader.multi_document()
+    } else {
+        reader
+    };
+    if let Some(state) = &resume_state {
+        reader = reader.resume_at(state.reader_emitted, state.position, state.lt_consumed);
+    }
+    let mut documents = resume_state.as_ref().map_or(0, |s| s.documents);
+
+    loop {
+        match eval.push_step(&mut reader)? {
+            Some(true) => {
+                documents += 1;
+                // The boundary reset makes the run quiescent (empty arena,
+                // baseline symbols) — the precondition for `checkpoint()`.
+                eval.reset_session();
+                if let Some(path) = &options.checkpoint {
+                    let mut snap = eval
+                        .checkpoint()
+                        .map_err(|e| CliError::Io(format!("checkpoint failed: {e}")))?;
+                    let (reader_emitted, position, lt_consumed) = reader.resume_point();
+                    snap.session = Some(spex_core::SessionState {
+                        reader_emitted,
+                        position,
+                        lt_consumed,
+                        documents,
+                        ..spex_core::SessionState::default()
+                    });
+                    write_snapshot_file(path, &snap.encode())?;
+                }
+            }
+            Some(false) => {}
+            None => break,
+        }
+    }
+    if tracer.enabled() {
+        tracer.counter("xml.events", reader.events_emitted());
+        tracer.counter("xml.bytes", reader.position().offset);
+        tracer.counter("xml.faults", reader.faults().len() as u64);
+    }
+    let (stats, transducers) = eval.finish_full();
+    Ok((stats, transducers, None))
+}
+
+/// Write a snapshot atomically: tmp file first, then rename — a crash
+/// mid-write leaves the previous snapshot intact, never a torn one.
+fn write_snapshot_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| CliError::Io(format!("{tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    Ok(())
 }
 
 fn generate(dataset: &str, scale: f64, stdout: &mut dyn Write) -> Result<(), CliError> {
@@ -1346,6 +1514,133 @@ mod tests {
         assert_eq!(code, 0);
         assert!(err.contains("trace summary:"), "got {err}");
         assert!(err.contains("engine.determination_latency"), "got {err}");
+    }
+
+    /// An interrupted `--checkpoint` run plus a `--resume` run over the
+    /// same stream reproduces the uninterrupted output byte-for-byte.
+    #[test]
+    fn checkpoint_then_resume_reproduces_the_tail() {
+        let dir = std::env::temp_dir().join(format!("spex-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("run.snapshot");
+        let snap_str = snap.to_str().unwrap().to_string();
+        let xml = "<r><x>1</x></r><r><x>2</x></r><r><x>3</x></r>";
+        let (code, full, _) = run_cli(&["--stream", "r.x"], xml);
+        assert_eq!(code, 0);
+
+        for engine in ["vm", "network"] {
+            // "Crash" after two documents: run only that prefix.
+            let cut = xml.len() / 3 * 2;
+            let (code, head, _) = run_cli(
+                &[
+                    "--stream",
+                    "--engine",
+                    engine,
+                    "--checkpoint",
+                    &snap_str,
+                    "r.x",
+                ],
+                &xml[..cut],
+            );
+            assert_eq!(code, 0);
+            assert_eq!(head, "<x>1</x>\n<x>2</x>\n");
+            // Resume over the FULL stream: the consumed prefix is skipped.
+            let (code, tail, _) = run_cli(
+                &["--stream", "--engine", engine, "--resume", &snap_str, "r.x"],
+                xml,
+            );
+            assert_eq!(code, 0);
+            assert_eq!(tail, "<x>3</x>\n");
+            assert_eq!(format!("{head}{tail}"), full, "engine {engine}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Snapshots are engine-portable: a checkpoint taken under one engine
+    /// resumes under the other.
+    #[test]
+    fn checkpoint_resumes_across_engines() {
+        let dir = std::env::temp_dir().join(format!("spex-cli-ckpt-x-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("run.snapshot");
+        let snap_str = snap.to_str().unwrap().to_string();
+        let xml = "<r><x>a</x></r><r><x>b</x></r>";
+        let (code, head, _) = run_cli(
+            &[
+                "--stream",
+                "--engine",
+                "vm",
+                "--checkpoint",
+                &snap_str,
+                "r.x",
+            ],
+            &xml[..xml.len() / 2],
+        );
+        assert_eq!(code, 0);
+        assert_eq!(head, "<x>a</x>\n");
+        let (code, tail, _) = run_cli(
+            &[
+                "--stream", "--engine", "network", "--resume", &snap_str, "r.x",
+            ],
+            xml,
+        );
+        assert_eq!(code, 0);
+        assert_eq!(tail, "<x>b</x>\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Corrupt or truncated snapshot bytes are a structured I/O failure
+    /// (exit 3), never a panic; so is resuming past the end of the input.
+    #[test]
+    fn resume_rejects_corrupt_snapshots_and_short_input() {
+        let dir = std::env::temp_dir().join(format!("spex-cli-ckpt-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("run.snapshot");
+        let snap_str = snap.to_str().unwrap().to_string();
+        let xml = "<r><x>1</x></r><r><x>2</x></r>";
+        let (code, _, _) = run_cli(&["--stream", "--checkpoint", &snap_str, "r.x"], xml);
+        assert_eq!(code, 0);
+
+        // Bit flip in the payload → CRC failure.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+        let (code, _, err) = run_cli(&["--stream", "--resume", &snap_str, "r.x"], xml);
+        assert_eq!(code, 3, "stderr: {err}");
+
+        // Truncation → structured decode error.
+        let bytes = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &bytes[..bytes.len().min(9)]).unwrap();
+        let (code, _, _) = run_cli(&["--stream", "--resume", &snap_str, "r.x"], xml);
+        assert_eq!(code, 3);
+
+        // A good snapshot against a shorter stream than it consumed.
+        let (code, _, _) = run_cli(&["--stream", "--checkpoint", &snap_str, "r.x"], xml);
+        assert_eq!(code, 0);
+        let (code, _, err) = run_cli(&["--stream", "--resume", &snap_str, "r.x"], "<r/>");
+        assert_eq!(code, 3);
+        assert!(err.contains("same stream"), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_flag_conflicts_are_usage_errors() {
+        for argv in [
+            vec!["--checkpoint", "/tmp/s", "--query", "q=a"],
+            vec!["--resume", "/tmp/s", "--recover", "repair", "a"],
+            vec!["--checkpoint", "/tmp/s", "--count", "a"],
+            vec!["--resume", "/tmp/s", "--spans", "a"],
+        ] {
+            let (code, _, err) = run_cli(&argv, "<a/>");
+            assert_eq!(code, 1, "argv {argv:?}: {err}");
+        }
+        // `--checkpoint=PATH` / `--resume=PATH` spellings parse.
+        let o = parse_args(&args(&["--checkpoint=/tmp/s", "--resume=/tmp/r", "a"])).unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("/tmp/s"));
+        assert_eq!(o.resume.as_deref(), Some("/tmp/r"));
+        assert!(parse_args(&args(&["--checkpoint"])).is_err());
+        assert!(parse_args(&args(&["--resume"])).is_err());
     }
 
     #[test]

@@ -49,16 +49,25 @@ OPTIONS:
     --stats-json          dump server statistics as JSON to stderr on exit
     --trace-jsonl PATH    write a JSONL trace (per-session spans and engine
                           records, shutdown aggregates; DESIGN.md §13) to PATH
+    --durable-dir DIR     persist session state under DIR: a write-ahead log
+                          of input frames plus document-boundary snapshots,
+                          so a crashed or disconnected session resumes by
+                          token ('M' frame) with identical continuation
+                          output (DESIGN.md §15, PROTOCOL.md)
+    --fsync P             WAL durability policy under --durable-dir:
+                          always | document (default) | never
     -h, --help            this text
 
 PROTOCOL (kind byte · u32 big-endian length · payload; see
 crates/server/PROTOCOL.md for the normative specification):
     client:  'R' register name=expr   'D' xml bytes   'E' end
              'S' stats request        'T' trace summary request
+             'M' resume durable session (version · token · received counts)
              'Q' graceful shutdown (loopback peers
              only unless --allow-remote-shutdown)
     server:  'k' ok   'r' result   'f' fault   's' stats   't' trace
              'e' error   'b' busy   'n' session end
+             'm' resume-ok (durable input byte count)
 
 The server exits 0 after a graceful shutdown (SIGINT, SIGTERM, or a 'Q' frame),
 draining all in-flight sessions first.
@@ -155,6 +164,19 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 limits.max_total_messages = Some(number("--limit-messages", &mut it)?)
             }
             "--stats-json" => stats_json = true,
+            "--durable-dir" => {
+                config.durable_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--durable-dir needs a directory path".to_string())?
+                        .clone(),
+                )
+            }
+            "--fsync" => {
+                config.fsync = it
+                    .next()
+                    .ok_or_else(|| "--fsync needs a policy (always, document, never)".to_string())?
+                    .parse()?
+            }
             "--trace-jsonl" => {
                 config.trace_jsonl = Some(
                     it.next()
@@ -269,6 +291,26 @@ mod tests {
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
         assert!(parse_serve_args(&args(&["--workers"])).is_err());
         assert!(parse_serve_args(&args(&["--trace-jsonl"])).is_err());
+    }
+
+    #[test]
+    fn parse_durable_flags() {
+        use spex_serve::FsyncPolicy;
+        let o = parse_serve_args(&args(&["--durable-dir", "/tmp/spex-durable"])).unwrap();
+        assert_eq!(o.config.durable_dir.as_deref(), Some("/tmp/spex-durable"));
+        assert_eq!(o.config.fsync, FsyncPolicy::OnDocument);
+        for (flag, want) in [
+            ("always", FsyncPolicy::Always),
+            ("document", FsyncPolicy::OnDocument),
+            ("on-document", FsyncPolicy::OnDocument),
+            ("never", FsyncPolicy::Never),
+        ] {
+            let o = parse_serve_args(&args(&["--fsync", flag])).unwrap();
+            assert_eq!(o.config.fsync, want, "--fsync {flag}");
+        }
+        assert!(parse_serve_args(&args(&["--durable-dir"])).is_err());
+        assert!(parse_serve_args(&args(&["--fsync"])).is_err());
+        assert!(parse_serve_args(&args(&["--fsync", "sometimes"])).is_err());
     }
 
     #[test]

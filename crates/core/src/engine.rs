@@ -217,6 +217,26 @@ impl<'n, 's> Evaluator<'n, 's> {
         }
     }
 
+    /// Feed exactly one event from the reader through the zero-copy path.
+    /// Returns `Ok(Some(true))` when the event closed a document (`</$>` —
+    /// the quiescent boundary where [`Evaluator::checkpoint`] is legal,
+    /// after [`Evaluator::reset_session`]), `Ok(Some(false))` for any other
+    /// event, and `Ok(None)` at end of input.
+    pub fn push_step<R: std::io::Read>(
+        &mut self,
+        reader: &mut spex_xml::Reader<R>,
+    ) -> Result<Option<bool>, EvalError> {
+        match reader.next_into(self.run.store_mut()) {
+            Ok(Some(id)) => {
+                let end = self.run.store().stored(id).kind == spex_xml::StoredKind::EndDocument;
+                self.run.try_push_id(id)?;
+                Ok(Some(end))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// The first limit breach, if any cap was exceeded.
     pub fn exhausted(&self) -> Option<LimitBreach> {
         self.run.exhausted()
@@ -229,6 +249,21 @@ impl<'n, 's> Evaluator<'n, 's> {
     /// [`crate::network::Run::reset_session`].
     pub fn reset_session(&mut self) {
         self.run.reset_session();
+    }
+
+    /// Capture the run's accumulator state at a quiescent document boundary
+    /// (see [`crate::network::Run::checkpoint`]). Call right after
+    /// [`Evaluator::reset_session`]; returns
+    /// [`crate::SnapshotError::NotQuiescent`] anywhere else.
+    pub fn checkpoint(&self) -> Result<crate::Snapshot, crate::SnapshotError> {
+        self.run.checkpoint()
+    }
+
+    /// Restore a snapshot into this freshly built evaluator (see
+    /// [`crate::network::Run::restore`]). The snapshot may come from either
+    /// engine.
+    pub fn restore(&mut self, snap: &crate::Snapshot) -> Result<(), crate::SnapshotError> {
+        self.run.restore(snap)
     }
 
     /// Attach a live observability tap (see [`Tap`]).

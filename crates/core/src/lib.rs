@@ -65,6 +65,7 @@ pub mod multi;
 pub mod network;
 pub mod recover;
 pub mod sink;
+pub mod snapshot;
 pub mod stats;
 pub mod transducers;
 pub mod vm;
@@ -81,5 +82,6 @@ pub use sink::{
     CountingSink, FragmentCollector, FragmentFnSink, ResultMeta, ResultSink, SpanCollector,
     StreamingSink,
 };
+pub use snapshot::{FragmentState, SessionState, Snapshot, SnapshotError};
 pub use stats::{json_escape, stats_json, EngineStats, Tap, TransducerStats};
 pub use vm::{Engine, EngineRun, Plan, PlanRun};

@@ -13,6 +13,7 @@ use crate::engine::EvalError;
 use crate::limits::{LimitBreach, ResourceLimits};
 use crate::message::{DocEvent, Message};
 use crate::sink::ResultSink;
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::{EngineStats, Tap, TransducerStats};
 use crate::transducers::child::{Child, MatchLabel};
 use crate::transducers::closure::Closure;
@@ -800,6 +801,112 @@ impl<'n, 's> Run<'n, 's> {
         if self.tracing {
             self.set_tracing(true);
         }
+    }
+
+    /// Capture the run's accumulator state as a [`Snapshot`], valid only at
+    /// a quiescent document boundary (depth zero, no undetermined
+    /// candidates, empty arena — the state right after
+    /// [`Run::reset_session`]). At such a boundary the live transducer
+    /// state equals a freshly built network's, so the snapshot carries only
+    /// what `reset_session` preserves: statistics, per-node counters,
+    /// determination-latency accumulators, the variable-serial high-water
+    /// mark, limits, and the interned symbols. The returned snapshot has no
+    /// session section; drivers attach one before encoding.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        if self.depth != 0 || !self.outputs_idle() || !self.store.is_empty() {
+            return Err(SnapshotError::NotQuiescent);
+        }
+        // Merge live output latencies into a copy of the accumulators: this
+        // is exactly what the continuing run folds in at its next
+        // harvest, so checkpoint-then-restore and plain continuation agree.
+        let mut det_latency = self.det_latency.clone();
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let NodeInstance::Output(o) = n {
+                det_latency[id].merge(o.determination_latency());
+            }
+        }
+        let symbols = (0..self.store.symbols().len())
+            .map(|i| self.store.symbols().name(i as u32).to_string())
+            .collect();
+        Ok(Snapshot {
+            engine: crate::vm::Engine::Network,
+            tick: self.tick,
+            stats: self.stats.clone(),
+            transducers: self.node_stats.clone(),
+            minted: self.factory.borrow().minted(),
+            det_latency,
+            exhausted: self.exhausted,
+            limits: self.limits,
+            arena_peak: self.store.peak_bytes() as u64,
+            symbols,
+            arena: self.store.export_arena(),
+            session: None,
+        })
+    }
+
+    /// Restore a snapshot into this run. The run must be freshly built over
+    /// the *same* network (same query set, same sink count); the snapshot's
+    /// per-node kind list is verified against this run's nodes and its
+    /// symbol list must extend this run's query-label baseline. Snapshots
+    /// are engine-portable, so a VM-taken snapshot restores here and vice
+    /// versa.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if self.tick != 0 || self.depth != 0 || !self.store.is_empty() {
+            return Err(SnapshotError::NotQuiescent);
+        }
+        if snap.transducers.len() != self.node_stats.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} nodes, run has {}",
+                snap.transducers.len(),
+                self.node_stats.len()
+            )));
+        }
+        for (t, mine) in snap.transducers.iter().zip(&self.node_stats) {
+            if t.node != mine.node || t.kind != mine.kind {
+                return Err(SnapshotError::Mismatch(format!(
+                    "node {} is {} in the snapshot but {} in the run",
+                    mine.node, t.kind, mine.kind
+                )));
+            }
+        }
+        if snap.det_latency.len() != self.det_latency.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} latency accumulators, run has {}",
+                snap.det_latency.len(),
+                self.det_latency.len()
+            )));
+        }
+        let baseline = self.symbol_baseline;
+        if snap.symbols.len() < baseline || self.store.symbols().len() != baseline {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} symbols, run baseline is {}",
+                snap.symbols.len(),
+                baseline
+            )));
+        }
+        for i in 0..baseline {
+            if snap.symbols[i] != self.store.symbols().name(i as u32) {
+                return Err(SnapshotError::Mismatch(format!(
+                    "symbol {i} is {:?} in the snapshot but {:?} in the run",
+                    snap.symbols[i],
+                    self.store.symbols().name(i as u32)
+                )));
+            }
+        }
+        for name in &snap.symbols[baseline..] {
+            self.store.symbols_mut().intern(name);
+        }
+        self.tick = snap.tick;
+        self.stats = snap.stats.clone();
+        self.node_stats = snap.transducers.clone();
+        self.det_latency = snap.det_latency.clone();
+        self.exhausted = snap.exhausted;
+        self.limits = snap.limits;
+        self.factory.borrow_mut().restore_minted(snap.minted);
+        self.store
+            .restore_peak(usize::try_from(snap.arena_peak).unwrap_or(usize::MAX));
+        self.store.import_arena(&snap.arena);
+        Ok(())
     }
 
     /// Statistics so far (final values come from [`Run::finish`]).

@@ -154,6 +154,39 @@ impl Quarantine {
         Quarantine::default()
     }
 
+    /// Export the buffered fragments for a durable checkpoint.
+    ///
+    /// Only complete fragments are exported; checkpoints are taken at
+    /// document boundaries, where no fragment is mid-delivery (`current` is
+    /// `None`). The returned states round-trip through
+    /// [`Quarantine::import_fragments`] so a restarted session withholds
+    /// exactly the fragments the uninterrupted run would have.
+    #[must_use]
+    pub fn export_fragments(&self) -> Vec<crate::snapshot::FragmentState> {
+        self.done
+            .iter()
+            .map(|f| crate::snapshot::FragmentState {
+                start: f.start,
+                last: f.last,
+                delivered: f.delivered,
+                events: f.events.clone(),
+            })
+            .collect()
+    }
+
+    /// Restore fragments exported by [`Quarantine::export_fragments`] into
+    /// this (empty) buffer, ahead of any fragments the resumed stream
+    /// produces.
+    pub fn import_fragments(&mut self, frags: Vec<crate::snapshot::FragmentState>) {
+        self.done
+            .extend(frags.into_iter().map(|f| BufferedFragment {
+                start: f.start,
+                last: f.last,
+                delivered: f.delivered,
+                events: f.events,
+            }));
+    }
+
     /// Replay the buffered fragments into `sink` in document order,
     /// withholding every fragment whose `[start, last]` lifetime overlaps a
     /// damage interval in `faults`. With
@@ -442,6 +475,30 @@ mod tests {
         )
         .unwrap();
         assert!(report.exhausted.is_some());
+    }
+
+    #[test]
+    fn quarantine_fragments_survive_export_import() {
+        let xml = "<a><b/><c/></a>";
+        let q: spex_query::Rpeq = "a._".parse().unwrap();
+        let network = CompiledNetwork::compile(&q);
+        let mut quarantine = Quarantine::new();
+        evaluate_recovering(
+            &network,
+            std::io::Cursor::new(xml.as_bytes().to_vec()),
+            repair(),
+            ResourceLimits::default(),
+            &mut quarantine,
+        )
+        .unwrap();
+        let exported = quarantine.export_fragments();
+        assert_eq!(exported.len(), 2);
+        let mut restored = Quarantine::new();
+        restored.import_fragments(exported.clone());
+        assert_eq!(restored.export_fragments(), exported);
+        let mut collector = crate::sink::FragmentCollector::new();
+        restored.drain_into(&[], TruncationOutcome::Drop, &mut collector);
+        assert_eq!(collector.into_fragments(), vec!["<b></b>", "<c></c>"]);
     }
 
     #[test]

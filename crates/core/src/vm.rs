@@ -38,6 +38,7 @@ use crate::limits::{LimitBreach, ResourceLimits};
 use crate::message::{DocEvent, Message};
 use crate::network::{NetworkSpec, NodeSpec};
 use crate::sink::ResultSink;
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::{EngineStats, Tap, TransducerStats};
 use crate::transducers::child::{Child, MatchLabel};
 use crate::transducers::closure::Closure;
@@ -1102,6 +1103,103 @@ impl<'p, 's> PlanRun<'p, 's> {
         }
     }
 
+    /// Capture the run's accumulator state as a [`Snapshot`] — the VM
+    /// counterpart of [`crate::network::Run::checkpoint`], valid only at a
+    /// quiescent document boundary. Snapshots are engine-portable: the
+    /// plan's kind list equals the interpreter network's `describe()`
+    /// output, so a VM snapshot restores into an interpreter run and vice
+    /// versa.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        if self.depth != 0 || !self.outputs_idle() || !self.store.is_empty() {
+            return Err(SnapshotError::NotQuiescent);
+        }
+        let mut det_latency = self.det_latency.clone();
+        for &id in &self.plan.outputs {
+            if let OpState::Emit(o) = &self.ops[id as usize] {
+                det_latency[id as usize].merge(o.determination_latency());
+            }
+        }
+        let symbols = (0..self.store.symbols().len())
+            .map(|i| self.store.symbols().name(i as u32).to_string())
+            .collect();
+        Ok(Snapshot {
+            engine: Engine::Vm,
+            tick: self.tick,
+            stats: self.stats.clone(),
+            transducers: self.node_stats.clone(),
+            minted: self.factory.borrow().minted(),
+            det_latency,
+            exhausted: self.exhausted,
+            limits: self.limits,
+            arena_peak: self.store.peak_bytes() as u64,
+            symbols,
+            arena: self.store.export_arena(),
+            session: None,
+        })
+    }
+
+    /// Restore a snapshot into this freshly built run — the VM counterpart
+    /// of [`crate::network::Run::restore`], with identical shape and symbol
+    /// verification.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if self.tick != 0 || self.depth != 0 || !self.store.is_empty() {
+            return Err(SnapshotError::NotQuiescent);
+        }
+        if snap.transducers.len() != self.node_stats.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} nodes, run has {}",
+                snap.transducers.len(),
+                self.node_stats.len()
+            )));
+        }
+        for (t, mine) in snap.transducers.iter().zip(&self.node_stats) {
+            if t.node != mine.node || t.kind != mine.kind {
+                return Err(SnapshotError::Mismatch(format!(
+                    "node {} is {} in the snapshot but {} in the run",
+                    mine.node, t.kind, mine.kind
+                )));
+            }
+        }
+        if snap.det_latency.len() != self.det_latency.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} latency accumulators, run has {}",
+                snap.det_latency.len(),
+                self.det_latency.len()
+            )));
+        }
+        let baseline = self.symbol_baseline;
+        if snap.symbols.len() < baseline || self.store.symbols().len() != baseline {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {} symbols, run baseline is {}",
+                snap.symbols.len(),
+                baseline
+            )));
+        }
+        for i in 0..baseline {
+            if snap.symbols[i] != self.store.symbols().name(i as u32) {
+                return Err(SnapshotError::Mismatch(format!(
+                    "symbol {i} is {:?} in the snapshot but {:?} in the run",
+                    snap.symbols[i],
+                    self.store.symbols().name(i as u32)
+                )));
+            }
+        }
+        for name in &snap.symbols[baseline..] {
+            self.store.symbols_mut().intern(name);
+        }
+        self.tick = snap.tick;
+        self.stats = snap.stats.clone();
+        self.node_stats = snap.transducers.clone();
+        self.det_latency = snap.det_latency.clone();
+        self.exhausted = snap.exhausted;
+        self.limits = snap.limits;
+        self.factory.borrow_mut().restore_minted(snap.minted);
+        self.store
+            .restore_peak(usize::try_from(snap.arena_peak).unwrap_or(usize::MAX));
+        self.store.import_arena(&snap.arena);
+        Ok(())
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
@@ -1216,7 +1314,19 @@ impl<'n, 's> EngineRun<'n, 's> {
         delegate!(self, r => r.determination_latency())
     }
 
-    /// See [`crate::network::Run::reset_session`].
+    /// See [`crate::network::Run::checkpoint`].
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        delegate!(self, r => r.checkpoint())
+    }
+
+    /// Restore a snapshot into this freshly built run. Cross-engine: the
+    /// snapshot may come from either backend.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        delegate!(self, r => r.restore(snap))
+    }
+
+    /// Reset for the next document of a session (see
+    /// [`crate::network::Run::reset_session`]).
     pub fn reset_session(&mut self) {
         delegate!(self, r => r.reset_session())
     }

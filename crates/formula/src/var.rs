@@ -71,6 +71,13 @@ impl VarFactory {
     pub fn minted(&self) -> u32 {
         self.next.saturating_sub(1)
     }
+
+    /// Fast-forward the factory so that `minted` variables are considered
+    /// already issued. Used when restoring a run from a snapshot: serials
+    /// accumulate across documents, so a resumed run must not re-mint one.
+    pub fn restore_minted(&mut self, minted: u32) {
+        self.next = minted.saturating_add(1);
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +96,21 @@ mod tests {
         assert_eq!(b.serial, 2);
         assert_eq!(c.serial, 3);
         assert_eq!(f.minted(), 3);
+    }
+
+    #[test]
+    fn restore_minted_continues_the_serial_sequence() {
+        let mut f = VarFactory::new();
+        f.fresh(QualifierId(0));
+        f.fresh(QualifierId(0));
+        let mut g = VarFactory::new();
+        g.restore_minted(f.minted());
+        assert_eq!(g.minted(), 2);
+        assert_eq!(g.fresh(QualifierId(0)).serial, 3);
+        // Saturation guard at the top of the range.
+        let mut h = VarFactory::new();
+        h.restore_minted(u32::MAX);
+        assert_eq!(h.minted(), u32::MAX - 1);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! talk to the server; `nc` plus a frame encoder is enough.
 
 use crate::protocol::{
-    error_class, read_frame, split_result, write_frame, Frame, FrameKind, ReadError,
-    DEFAULT_MAX_FRAME,
+    error_class, read_frame, resume_payload, split_result, write_frame, Frame, FrameKind,
+    ReadError, DEFAULT_MAX_FRAME,
 };
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -31,6 +31,11 @@ pub struct SessionTranscript {
     pub busy: bool,
     /// The server closed the session with an `END` frame.
     pub clean_end: bool,
+    /// The durable session token from the server's `session=<token>` ack
+    /// (durable servers only). Present after the first `DATA`/`END` frame.
+    pub session_token: Option<String>,
+    /// The durable input byte count acknowledged by a `RESUME-OK` frame.
+    pub resume_ok: Option<u64>,
 }
 
 impl SessionTranscript {
@@ -113,6 +118,15 @@ impl Client {
         self.send(FrameKind::Stats, b"")
     }
 
+    /// Resume a durable session by token, declaring how many result
+    /// fragments per registered query this client already received (in
+    /// registration order). Must follow the `R` frames; the server answers
+    /// with `RESUME-OK` and replays the WAL tail, suppressing fragments the
+    /// client already holds.
+    pub fn resume(&mut self, token: &str, received: &[u64]) -> std::io::Result<()> {
+        self.send(FrameKind::Resume, &resume_payload(token, received))
+    }
+
     /// Ask for a server-wide trace summary: admission-wait, session
     /// duration and determination-latency histograms (answered with a
     /// `t` frame; only valid before streaming starts).
@@ -145,9 +159,18 @@ impl Client {
                     }
                 }
                 FrameKind::Ok => {
-                    transcript
-                        .acks
-                        .push(String::from_utf8_lossy(&frame.payload).into_owned());
+                    let ack = String::from_utf8_lossy(&frame.payload).into_owned();
+                    if let Some(token) = ack.strip_prefix("session=") {
+                        transcript.session_token = Some(token.to_string());
+                    }
+                    transcript.acks.push(ack);
+                }
+                FrameKind::ResumeOk => {
+                    if frame.payload.len() == 8 {
+                        let mut raw = [0u8; 8];
+                        raw.copy_from_slice(&frame.payload);
+                        transcript.resume_ok = Some(u64::from_be_bytes(raw));
+                    }
                 }
                 FrameKind::Fault => {
                     transcript
@@ -415,6 +438,82 @@ mod tests {
                 "bad record: {line}"
             );
         }
+    }
+
+    /// A durable session that loses its connection mid-document resumes by
+    /// token with byte-identical continuation: replayed fragments the
+    /// client already received are suppressed, the rest arrive exactly as
+    /// an uninterrupted session would have delivered them.
+    #[test]
+    fn durable_session_resumes_after_disconnect() {
+        let dir = std::env::temp_dir().join(format!("spex-durable-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServerConfig {
+            durable_dir: Some(dir.to_str().unwrap().to_string()),
+            ..ServerConfig::default()
+        };
+        let (addr, handle, join) = boot(cfg);
+
+        let doc1 = b"<r><x>one</x></r>";
+        let doc2 = b"<r><x>two</x><x>three</x></r>";
+
+        // Interrupted session: doc1 plus a prefix of doc2, then hang up
+        // without END. Wait for both fragments so the doc1 checkpoint has
+        // deterministically happened before the "crash".
+        let mut a = Client::connect(addr).unwrap();
+        a.register("q", "r.x").unwrap();
+        let frame = a.next_frame().unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Ok);
+        a.send_xml(doc1).unwrap();
+        a.send_xml(&doc2[..13]).unwrap(); // cut after "<r><x>two</x>"
+        let mut token = None;
+        let mut fragments = 0u64;
+        let mut got = Vec::new();
+        while token.is_none() || fragments < 2 {
+            let frame = a.next_frame().unwrap().unwrap();
+            match frame.kind {
+                FrameKind::Ok => {
+                    let ack = String::from_utf8_lossy(&frame.payload).into_owned();
+                    token = ack.strip_prefix("session=").map(str::to_string);
+                }
+                FrameKind::Result => {
+                    let (name, fragment) = split_result(&frame.payload).unwrap();
+                    assert_eq!(name, "q");
+                    fragments += 1;
+                    got.extend_from_slice(fragment);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        let token = token.expect("session token ack");
+        drop(a);
+        // Let the server notice the hangup and park the session state.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // Resume: same registration, token, and fragments-received count.
+        let mut b = Client::connect(addr).unwrap();
+        b.register("q", "r.x").unwrap();
+        let frame = b.next_frame().unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Ok);
+        b.resume(&token, &[2]).unwrap();
+        b.send_xml(&doc2[13..]).unwrap();
+        b.end().unwrap();
+        let t = b.drain().unwrap();
+        assert!(t.clean_end, "errors: {:?}", t.errors);
+        assert!(t.errors.is_empty(), "{:?}", t.errors);
+        let replayed = t.resume_ok.expect("RESUME-OK frame");
+        assert!(replayed >= doc1.len() as u64, "durable bytes {replayed}");
+        // The continuation delivers exactly the missing fragment…
+        assert_eq!(t.output_of("q"), b"<x>three</x>\n");
+        // …so crash + resume reproduces the uninterrupted output.
+        got.extend_from_slice(&t.output_of("q"));
+        assert_eq!(got, b"<x>one</x>\n<x>two</x>\n<x>three</x>\n".to_vec());
+        // A clean END retires the durable state.
+        assert!(!dir.join(&token).exists(), "durable state not removed");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod durable;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -42,6 +43,7 @@ pub mod signal;
 pub mod stats;
 
 pub use client::{Client, SessionTranscript};
+pub use durable::{FsyncPolicy, RecoveredSession, SessionLog};
 pub use protocol::{
     error_payload, read_frame, result_payload, split_result, write_frame, Frame, FrameKind,
     ProtocolError, ReadError, DEFAULT_MAX_FRAME,

@@ -13,6 +13,7 @@
 //!   'S'  server stats request            's'  stats (JSON, one-shot schema)
 //!   'T'  trace summary request           't'  trace summary (JSON)
 //!   'Q'  graceful shutdown request       'e'  error (JSON: class/code/message)
+//!   'M'  resume a durable session        'm'  resume accepted (replay offset)
 //!                                        'b'  busy (admission reject)
 //!                                        'n'  end of session
 //! ```
@@ -43,8 +44,18 @@ pub enum FrameKind {
     TraceRequest,
     /// Client → server: request a graceful server shutdown.
     Shutdown,
+    /// Client → server: resume a durable session in place of registration.
+    /// Payload: `version (u8) · token_len (u8) · token · nqueries (u32 BE)
+    /// · nqueries × received (u64 BE)` — the per-query count of result
+    /// fragments the client already holds, so the server can suppress
+    /// replayed fragments.
+    Resume,
     /// Server → client: acknowledgement (registration accepted, …).
     Ok,
+    /// Server → client: a resume was accepted. Payload: the durable input
+    /// byte count (u64 BE) — how many input bytes the server recovered and
+    /// will replay internally; the client continues streaming from there.
+    ResumeOk,
     /// Server → client: one result fragment of one query.
     Result,
     /// Server → client: one repaired input fault (recovery sessions only).
@@ -72,7 +83,9 @@ impl FrameKind {
             FrameKind::Stats => b'S',
             FrameKind::TraceRequest => b'T',
             FrameKind::Shutdown => b'Q',
+            FrameKind::Resume => b'M',
             FrameKind::Ok => b'k',
+            FrameKind::ResumeOk => b'm',
             FrameKind::Result => b'r',
             FrameKind::Fault => b'f',
             FrameKind::Stat => b's',
@@ -92,7 +105,9 @@ impl FrameKind {
             b'S' => FrameKind::Stats,
             b'T' => FrameKind::TraceRequest,
             b'Q' => FrameKind::Shutdown,
+            b'M' => FrameKind::Resume,
             b'k' => FrameKind::Ok,
+            b'm' => FrameKind::ResumeOk,
             b'r' => FrameKind::Result,
             b'f' => FrameKind::Fault,
             b's' => FrameKind::Stat,
@@ -251,6 +266,55 @@ pub fn split_result(payload: &[u8]) -> Option<(&str, &[u8])> {
     Some((std::str::from_utf8(name).ok()?, fragment))
 }
 
+/// The resume-frame format version this build speaks. A server receiving a
+/// different version answers with a `protocol` error naming both versions
+/// (see PROTOCOL.md §Resume for the negotiation rules).
+pub const RESUME_VERSION: u8 = 1;
+
+/// Build a `RESUME` payload: `version (u8) · token_len (u8) · token ·
+/// nqueries (u32 BE) · nqueries × received (u64 BE)`.
+///
+/// # Panics
+/// Panics if `token` is longer than 255 bytes (durable tokens are at most
+/// 64 bytes, so a client using server-issued tokens can't hit this).
+pub fn resume_payload(token: &str, received: &[u64]) -> Vec<u8> {
+    let n = u8::try_from(token.len()).expect("session tokens are at most 64 bytes");
+    let mut out = Vec::with_capacity(2 + token.len() + 4 + 8 * received.len());
+    out.push(RESUME_VERSION);
+    out.push(n);
+    out.extend_from_slice(token.as_bytes());
+    out.extend_from_slice(&(received.len() as u32).to_be_bytes());
+    for &r in received {
+        out.extend_from_slice(&r.to_be_bytes());
+    }
+    out
+}
+
+/// Split a `RESUME` payload into `(version, token, received)`. Returns
+/// `None` on any structural violation; an unsupported version is returned
+/// (not rejected) so the server can answer with a versioned error.
+pub fn split_resume(payload: &[u8]) -> Option<(u8, &str, Vec<u64>)> {
+    let (&version, rest) = payload.split_first()?;
+    let (&token_len, rest) = rest.split_first()?;
+    if rest.len() < token_len as usize + 4 {
+        return None;
+    }
+    let (token, rest) = rest.split_at(token_len as usize);
+    let token = std::str::from_utf8(token).ok()?;
+    let (count, mut rest) = rest.split_at(4);
+    let count = u32::from_be_bytes(count.try_into().ok()?) as usize;
+    if rest.len() != count * 8 {
+        return None;
+    }
+    let mut received = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (chunk, tail) = rest.split_at(8);
+        received.push(u64::from_be_bytes(chunk.try_into().ok()?));
+        rest = tail;
+    }
+    Some((version, token, received))
+}
+
 /// Build an `ERROR` payload: one line of JSON with the error class (matches
 /// the CLI's exit-code classes: `usage`, `syntax`, `io`, `resource`, plus
 /// `protocol` for frame-grammar violations), the numeric exit code the
@@ -304,7 +368,9 @@ mod tests {
             FrameKind::Stats,
             FrameKind::TraceRequest,
             FrameKind::Shutdown,
+            FrameKind::Resume,
             FrameKind::Ok,
+            FrameKind::ResumeOk,
             FrameKind::Result,
             FrameKind::Fault,
             FrameKind::Stat,
@@ -362,6 +428,22 @@ mod tests {
         assert_eq!(frag, b"<city/>\n");
         assert!(split_result(&[]).is_none());
         assert!(split_result(&[200]).is_none());
+    }
+
+    #[test]
+    fn resume_payload_round_trips() {
+        let p = resume_payload("s3-99", &[7, 0, 12]);
+        let (version, token, received) = split_resume(&p).unwrap();
+        assert_eq!(version, RESUME_VERSION);
+        assert_eq!(token, "s3-99");
+        assert_eq!(received, vec![7, 0, 12]);
+        // Structural violations are None, not panics.
+        assert!(split_resume(&[]).is_none());
+        assert!(split_resume(&[1]).is_none());
+        assert!(split_resume(&[1, 200, b'x']).is_none());
+        let mut short = resume_payload("t", &[1, 2]);
+        short.truncate(short.len() - 3);
+        assert!(split_resume(&short).is_none());
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub struct ServerConfig {
     /// in-memory histograms behind the `T` frame are still maintained —
     /// they cost one atomic increment per *session*, not per event).
     pub trace_jsonl: Option<String>,
+    /// Root directory for durable session state (write-ahead input logs +
+    /// document-boundary snapshots, see [`crate::durable`] and DESIGN.md
+    /// §15). `None` (the default) disables durability: sessions are
+    /// in-memory only and the `M` resume frame is refused.
+    pub durable_dir: Option<String>,
+    /// When the write-ahead log syncs to disk (only meaningful with
+    /// `durable_dir`).
+    pub fsync: crate::durable::FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +101,8 @@ impl Default for ServerConfig {
             allow_remote_shutdown: false,
             watch_signals: false,
             trace_jsonl: None,
+            durable_dir: None,
+            fsync: crate::durable::FsyncPolicy::default(),
         }
     }
 }
@@ -178,6 +188,8 @@ pub(crate) struct Shared {
     pub(crate) registry: Registry,
     pub(crate) stats: ServerStats,
     pub(crate) trace: ServeTrace,
+    /// Monotonic sequence for minting durable session tokens.
+    pub(crate) seq: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
@@ -259,6 +271,7 @@ impl Server {
                 registry,
                 stats: ServerStats::new(),
                 trace: ServeTrace::new(tracer),
+                seq: std::sync::atomic::AtomicU64::new(0),
             }),
         })
     }

@@ -29,18 +29,23 @@
 //! `syntax`=2, `io`=3, `resource`=4) plus `protocol` for frame-grammar
 //! violations; an error closes *this* session only.
 
+use crate::durable::{self, SessionLog};
 use crate::protocol::{
-    error_payload, read_frame, result_payload, write_frame, Frame, FrameKind, ProtocolError,
-    ReadError,
+    error_payload, read_frame, result_payload, split_resume, write_frame, Frame, FrameKind,
+    ProtocolError, ReadError, RESUME_VERSION,
 };
 use crate::server::Shared;
 use spex_core::multi::SharedQuerySet;
-use spex_core::{stats_json, EvalError, FragmentFnSink, Quarantine, ResultSink, RunReport};
+use spex_core::{
+    stats_json, EvalError, FragmentFnSink, Quarantine, ResultSink, RunReport, SessionState,
+    Snapshot,
+};
 use spex_query::Rpeq;
 use spex_xml::{Reader, RecoveryPolicy, StoredKind};
 use std::cell::RefCell;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -147,6 +152,13 @@ struct FrameByteSource {
     pos: usize,
     ended: bool,
     state: Rc<RefCell<SourceState>>,
+    /// Durable sessions append every incoming `DATA` payload here *before*
+    /// the engine sees the bytes (write-ahead). Replayed bytes preloaded
+    /// into `buf` at resume are consumed without passing through this hook,
+    /// so they are never logged twice. A WAL append failure fails the read
+    /// (and so the session): input the engine consumed but the log lost
+    /// could not be replayed.
+    log: Option<Rc<RefCell<SessionLog>>>,
 }
 
 impl FrameByteSource {
@@ -178,10 +190,16 @@ impl Read for FrameByteSource {
             match read_frame(&mut self.input, self.max_frame) {
                 Ok(Some(frame)) => match frame.kind {
                     FrameKind::Data => {
+                        if let Some(log) = &self.log {
+                            log.borrow_mut().append_data(&frame.payload)?;
+                        }
                         self.buf = frame.payload;
                         self.pos = 0;
                     }
                     FrameKind::End => {
+                        if let Some(log) = &self.log {
+                            log.borrow_mut().append_end()?;
+                        }
                         self.ended = true;
                         return Ok(0);
                     }
@@ -198,6 +216,53 @@ impl Read for FrameByteSource {
             }
         }
     }
+}
+
+/// Per-query delivery accounting, shared between every result sink and the
+/// checkpoint hook. `delivered[q]` counts all fragments produced for query
+/// `q` — including suppressed replays, which the client already holds —
+/// so a snapshot's counts line up with what the client received.
+/// `suppress[q]` is the number of upcoming fragments to swallow instead of
+/// sending: at resume it is `client_received[q] - snapshot_delivered[q]`,
+/// the fragments the replayed input will regenerate.
+#[derive(Default)]
+struct Delivery {
+    delivered: Vec<u64>,
+    suppress: Vec<u64>,
+}
+
+/// A [`Quarantine`] behind `Rc<RefCell>`, so the checkpoint hook can export
+/// its buffered fragments while the run holds the sink borrow.
+struct SharedQuarantine(Rc<RefCell<Quarantine>>);
+
+impl ResultSink for SharedQuarantine {
+    fn begin(&mut self, meta: spex_core::ResultMeta, now: u64) {
+        self.0.borrow_mut().begin(meta, now);
+    }
+
+    fn event(&mut self, event: &spex_xml::RawEvent<'_>, now: u64) {
+        self.0.borrow_mut().event(event, now);
+    }
+
+    fn end(&mut self, now: u64) {
+        self.0.borrow_mut().end(now);
+    }
+}
+
+/// Everything the eval phase needs to keep a session durable: where its
+/// state lives, the live WAL handle, and (for resumes) the recovered
+/// continuation.
+struct DurableCtx {
+    root: PathBuf,
+    token: String,
+    log: Rc<RefCell<SessionLog>>,
+    /// Engine snapshot to restore before consuming input (resume only).
+    snapshot: Option<Snapshot>,
+    /// Continuation state (default-empty for fresh sessions and for
+    /// resumes that replay the whole WAL).
+    session: SessionState,
+    /// Per-query count of replayed fragments to suppress.
+    suppress: Vec<u64>,
 }
 
 /// Whether this peer may stop the server with an in-band `SHUTDOWN`
@@ -273,11 +338,23 @@ fn session_inner(
 ) -> SessionEnd {
     // --- Register phase -------------------------------------------------
     let mut queries: Vec<(String, Rpeq)> = Vec::new();
+    let mut resume: Option<(DurableCtx, Vec<u8>, bool)> = None;
     let first_data: Option<Vec<u8>>;
     loop {
         match read_frame(&mut input, shared.cfg.max_frame) {
             Ok(Some(frame)) => match frame.kind {
                 FrameKind::Register => register_one(&frame, &mut queries, writer),
+                FrameKind::Resume => match handle_resume(&frame, shared, &mut queries) {
+                    Ok(prep) => {
+                        resume = Some(prep);
+                        first_data = None;
+                        break;
+                    }
+                    Err(e) => {
+                        close_with(writer, Some(&e));
+                        return SessionEnd::Failed;
+                    }
+                },
                 FrameKind::Stats => {
                     let json = shared.stats.to_json();
                     writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
@@ -353,23 +430,108 @@ fn session_inner(
         }
     };
 
+    // --- Durable state --------------------------------------------------
+    // Resumes carry their recovered WAL tail as the preloaded byte buffer;
+    // fresh sessions under `--durable-dir` mint a token, open a log and
+    // write-ahead the first DATA payload already in hand.
+    let (durable_ctx, preload, source_ended) = match resume {
+        Some((ctx, replay, replay_ended)) => {
+            // The durable input byte count, announced before any replayed
+            // result frames so the client knows where to continue its
+            // stream from.
+            let total = ctx.log.borrow().total_bytes();
+            writer
+                .borrow_mut()
+                .send(FrameKind::ResumeOk, &total.to_be_bytes());
+            (Some(ctx), replay, replay_ended)
+        }
+        None => {
+            let was_end = first_data.is_none();
+            let preload = first_data.unwrap_or_default();
+            match shared.cfg.durable_dir.as_deref() {
+                Some(root) => {
+                    let root = PathBuf::from(root);
+                    let token = durable::new_token(shared.seq.fetch_add(1, Ordering::Relaxed));
+                    let exprs: Vec<(String, String)> = queries
+                        .iter()
+                        .map(|(n, q)| (n.clone(), q.to_string()))
+                        .collect();
+                    let log = SessionLog::create(&root, &token, &exprs, shared.cfg.fsync).and_then(
+                        |mut log| {
+                            if was_end {
+                                log.append_end()?;
+                            } else {
+                                log.append_data(&preload)?;
+                            }
+                            Ok(log)
+                        },
+                    );
+                    match log {
+                        Ok(log) => {
+                            writer
+                                .borrow_mut()
+                                .send(FrameKind::Ok, format!("session={token}").as_bytes());
+                            let ctx = DurableCtx {
+                                root,
+                                token,
+                                log: Rc::new(RefCell::new(log)),
+                                snapshot: None,
+                                session: SessionState::default(),
+                                suppress: vec![0; queries.len()],
+                            };
+                            (Some(ctx), preload, was_end)
+                        }
+                        Err(e) => {
+                            close_with(
+                                writer,
+                                Some(&SessionError::new(
+                                    "io",
+                                    3,
+                                    format!("opening the durable session log failed: {e}"),
+                                )),
+                            );
+                            return SessionEnd::Failed;
+                        }
+                    }
+                }
+                None => (None, preload, was_end),
+            }
+        }
+    };
+
     // --- Eval phase -----------------------------------------------------
     let state = Rc::new(RefCell::new(SourceState::default()));
-    let ended = first_data.is_none();
     let source = FrameByteSource {
         input,
         max_frame: shared.cfg.max_frame,
-        buf: first_data.unwrap_or_default(),
+        buf: preload,
         pos: 0,
-        ended,
+        ended: source_ended,
         state: Rc::clone(&state),
+        log: durable_ctx.as_ref().map(|d| Rc::clone(&d.log)),
     };
-    let outcome = eval_stream(&plan, source, writer, shared);
+    let outcome = eval_stream(&plan, source, writer, shared, durable_ctx.as_ref());
 
-    let error = outcome
-        .error
-        .as_ref()
-        .map(|e| classify(e, state.borrow().violation.as_ref()));
+    let error = outcome.fail.or_else(|| {
+        outcome
+            .error
+            .as_ref()
+            .map(|e| classify(e, state.borrow().violation.as_ref()))
+    });
+    if let Some(d) = &durable_ctx {
+        let log = d.log.borrow();
+        shared
+            .trace
+            .tracer
+            .counter("wal.bytes", log.wal_bytes_written());
+        let ended_clean = log.ended();
+        drop(log);
+        // A clean END means the session is over and will never be resumed;
+        // a hangup or error keeps the durable state for a later `M` frame.
+        if error.is_none() && ended_clean {
+            let _ = durable::remove(&d.root, &d.token);
+        }
+    }
     if let Some(json) = &outcome.stats_json {
         writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
     }
@@ -379,6 +541,144 @@ fn session_inner(
     } else {
         SessionEnd::Completed
     }
+}
+
+/// Handle an `M` frame: validate it, read the session's durable state back
+/// (queries, latest snapshot, longest-valid WAL prefix) and reopen the log
+/// for appending. Returns the assembled [`DurableCtx`], the WAL tail to
+/// replay (input bytes past the snapshot's resume offset) and whether the
+/// WAL already holds the end-of-stream marker.
+fn handle_resume(
+    frame: &Frame,
+    shared: &Arc<Shared>,
+    queries: &mut Vec<(String, Rpeq)>,
+) -> Result<(DurableCtx, Vec<u8>, bool), SessionError> {
+    let io_err = |what: &str| {
+        let what = what.to_string();
+        move |e: std::io::Error| SessionError::new("io", 3, format!("{what}: {e}"))
+    };
+    let Some(root) = shared.cfg.durable_dir.as_deref() else {
+        return Err(SessionError::usage(
+            "resume requires a server started with --durable-dir",
+        ));
+    };
+    let root = PathBuf::from(root);
+    let Some((version, token, received)) = split_resume(&frame.payload) else {
+        return Err(SessionError::protocol("malformed RESUME payload"));
+    };
+    if version != RESUME_VERSION {
+        return Err(SessionError::protocol(format!(
+            "unsupported resume version {version} (this server speaks version {RESUME_VERSION})"
+        )));
+    }
+    if !durable::valid_token(token) {
+        return Err(SessionError::usage(format!(
+            "invalid session token `{token}`"
+        )));
+    }
+    let recovered =
+        durable::recover(&root, token).map_err(io_err("reading durable session state failed"))?;
+    let Some(recovered) = recovered else {
+        return Err(SessionError::usage(format!(
+            "unknown session token `{token}`"
+        )));
+    };
+    // The durable registration is authoritative: a client may resume with
+    // no `R` frames at all (the query set is adopted from `queries.txt`),
+    // but if it did re-register, the sets must agree — resuming a session
+    // under a different query set would silently change its meaning.
+    let recovered_queries: Vec<(String, Rpeq)> = recovered
+        .queries
+        .iter()
+        .map(|(name, expr)| {
+            let q = expr.parse::<Rpeq>().map_err(|e| {
+                SessionError::new("io", 3, format!("durable queries.txt is corrupt: {e}"))
+            })?;
+            Ok((name.clone(), q))
+        })
+        .collect::<Result<_, SessionError>>()?;
+    if recovered_queries.is_empty() {
+        return Err(SessionError::new(
+            "io",
+            3,
+            "durable queries.txt holds no queries",
+        ));
+    }
+    if !queries.is_empty() {
+        let registered: Vec<(String, String)> = queries
+            .iter()
+            .map(|(n, q)| (n.clone(), q.to_string()))
+            .collect();
+        let durable: Vec<(String, String)> = recovered_queries
+            .iter()
+            .map(|(n, q)| (n.clone(), q.to_string()))
+            .collect();
+        if registered != durable {
+            return Err(SessionError::usage(format!(
+                "resume registration does not match session `{token}` \
+                 ({} registered vs {} durable queries)",
+                registered.len(),
+                durable.len()
+            )));
+        }
+    }
+    *queries = recovered_queries;
+    if received.len() != queries.len() {
+        return Err(SessionError::usage(format!(
+            "resume carries {} received counts for {} queries",
+            received.len(),
+            queries.len()
+        )));
+    }
+    let wal_start = durable::recovered_wal_start(&root, token)
+        .map_err(io_err("reading durable WAL segments failed"))?;
+    let total = wal_start + recovered.wal.len() as u64;
+
+    // Decode the snapshot, tolerating corruption: a bad snapshot falls back
+    // to replaying the whole WAL (possible until pruning discards early
+    // segments) — a structured error either way, never a panic.
+    let mut snapshot: Option<Snapshot> = None;
+    let mut session = SessionState::default();
+    if let Some(bytes) = &recovered.snapshot {
+        if let Ok(snap) = Snapshot::decode(bytes) {
+            match &snap.session {
+                Some(s) if s.position.offset >= wal_start && s.position.offset <= total => {
+                    session = s.clone();
+                    snapshot = Some(snap);
+                }
+                _ => {}
+            }
+        }
+    }
+    if snapshot.is_none() && wal_start > 0 {
+        return Err(SessionError::new(
+            "io",
+            3,
+            "durable snapshot is unusable and early WAL segments were pruned",
+        ));
+    }
+    let replay = recovered.wal[(session.position.offset - wal_start) as usize..].to_vec();
+    let mut suppress = vec![0u64; queries.len()];
+    for (i, s) in suppress.iter_mut().enumerate() {
+        let base = session.delivered.get(i).copied().unwrap_or(0);
+        *s = received[i].saturating_sub(base);
+    }
+    session.delivered.resize(queries.len(), 0);
+    let log = SessionLog::append_after(&root, token, total, recovered.ended, shared.cfg.fsync)
+        .map_err(io_err("reopening the durable session log failed"))?;
+    let ended = recovered.ended;
+    Ok((
+        DurableCtx {
+            root,
+            token: token.to_string(),
+            log: Rc::new(RefCell::new(log)),
+            snapshot,
+            session,
+            suppress,
+        },
+        replay,
+        ended,
+    ))
 }
 
 /// Handle one `REGISTER` frame; acknowledges with `k` (payload = name) or
@@ -417,20 +717,34 @@ fn register_one(frame: &Frame, queries: &mut Vec<(String, Rpeq)>, writer: &Share
 }
 
 /// What the eval phase produced: the closing stats JSON (when the run got
-/// far enough to have one) and the first error, if any.
+/// far enough to have one), the first engine error, and any durable-state
+/// failure (already classified).
 struct EvalOutcome {
     stats_json: Option<String>,
     error: Option<EvalError>,
+    fail: Option<SessionError>,
 }
 
 /// Build the per-query result-frame sink: fragment bytes (plus the
 /// newline, matching the one-shot CLI's per-line output) behind the query
-/// name header.
+/// name header. Every fragment bumps the shared delivery counter; while
+/// `suppress[idx]` is positive the fragment is a replay the client already
+/// holds, so it is counted but not sent.
 fn frame_sink<'w>(
     name: String,
     writer: &'w SharedWriter,
+    idx: usize,
+    delivery: Rc<RefCell<Delivery>>,
 ) -> FragmentFnSink<impl FnMut(&[u8]) + 'w> {
     FragmentFnSink::new(move |fragment: &[u8]| {
+        {
+            let mut d = delivery.borrow_mut();
+            d.delivered[idx] += 1;
+            if d.suppress[idx] > 0 {
+                d.suppress[idx] -= 1;
+                return;
+            }
+        }
         let mut payload = result_payload(&name, fragment);
         payload.push(b'\n');
         writer.borrow_mut().send(FrameKind::Result, &payload);
@@ -438,37 +752,76 @@ fn frame_sink<'w>(
 }
 
 /// Drive the reader/engine loop over the framed byte stream and emit the
-/// result (and, under recovery, fault) frames.
+/// result (and, under recovery, fault) frames. With a [`DurableCtx`] the
+/// run restores from the recovered snapshot first, and every `</$>`
+/// boundary checkpoints the full run state back to disk.
 fn eval_stream(
     plan: &SharedQuerySet,
     source: FrameByteSource,
     writer: &SharedWriter,
     shared: &Arc<Shared>,
+    durable: Option<&DurableCtx>,
 ) -> EvalOutcome {
     let recovering = shared.cfg.recovery != RecoveryPolicy::Strict;
     let mut reader = Reader::new(source).multi_document();
     if recovering {
         reader = reader.with_recovery(shared.cfg.recovery);
     }
+    if let Some(d) = durable {
+        if d.snapshot.is_some() {
+            // The preloaded WAL tail starts exactly at the snapshot's byte
+            // offset; the reader continues in the original coordinates.
+            let s = &d.session;
+            reader = reader.resume_at(s.reader_emitted, s.position, s.lt_consumed);
+        }
+    }
     let names: Vec<String> = plan.ids().to_vec();
+    let nq = names.len();
+
+    let delivery = {
+        let mut delivered = durable
+            .map(|d| d.session.delivered.clone())
+            .unwrap_or_default();
+        delivered.resize(nq, 0);
+        let mut suppress = durable.map(|d| d.suppress.clone()).unwrap_or_default();
+        suppress.resize(nq, 0);
+        Rc::new(RefCell::new(Delivery {
+            delivered,
+            suppress,
+        }))
+    };
 
     // Under a recovery policy every fragment is quarantined until the
     // damage intervals are known; under `strict` fragments stream straight
-    // into result frames.
-    let mut quarantines: Vec<Quarantine> = Vec::new();
+    // into result frames. Quarantines sit behind `Rc<RefCell>` so the
+    // checkpoint hook can export them while the run holds the sink borrow.
+    let mut quarantines: Vec<Rc<RefCell<Quarantine>>> = Vec::new();
+    let mut quarantine_sinks: Vec<SharedQuarantine> = Vec::new();
     let mut streamers: Vec<FragmentFnSink<_>> = Vec::new();
     if recovering {
-        quarantines = names.iter().map(|_| Quarantine::new()).collect();
+        quarantines = (0..nq)
+            .map(|_| Rc::new(RefCell::new(Quarantine::new())))
+            .collect();
+        if let Some(d) = durable {
+            for (q, frags) in quarantines.iter().zip(d.session.quarantines.iter()) {
+                q.borrow_mut().import_fragments(frags.clone());
+            }
+        }
+        quarantine_sinks = quarantines
+            .iter()
+            .map(|q| SharedQuarantine(Rc::clone(q)))
+            .collect();
     } else {
         streamers = names
             .iter()
-            .map(|name| frame_sink(name.clone(), writer))
+            .enumerate()
+            .map(|(i, name)| frame_sink(name.clone(), writer, i, Rc::clone(&delivery)))
             .collect();
     }
     let sinks: Vec<&mut dyn ResultSink> = if recovering {
-        quarantines
+        quarantine_sinks
             .iter_mut()
-            .map(|q| q as &mut dyn ResultSink)
+            .map(|s| s as &mut dyn ResultSink)
             .collect()
     } else {
         streamers
@@ -479,6 +832,23 @@ fn eval_stream(
 
     let mut run = plan.run_engine_with_limits(shared.cfg.engine, sinks, shared.cfg.limits);
     run.set_tracer(shared.trace.tracer.clone());
+    if let Some(d) = durable {
+        if let Some(snap) = &d.snapshot {
+            let mut span = shared.trace.tracer.span("serve.restore");
+            span.set_attr("token", d.token.as_str());
+            if let Err(e) = run.restore(snap) {
+                return EvalOutcome {
+                    stats_json: None,
+                    error: None,
+                    fail: Some(SessionError::new(
+                        "io",
+                        3,
+                        format!("restoring the durable snapshot failed: {e}"),
+                    )),
+                };
+            }
+        }
+    }
     let mut documents = 0u64;
     let mut error: Option<EvalError> = None;
     loop {
@@ -495,6 +865,17 @@ fn eval_stream(
                     // interned symbols and candidate state before the next
                     // document on the same stream.
                     run.reset_session();
+                    if let Some(d) = durable {
+                        checkpoint(
+                            d,
+                            &mut run,
+                            &reader,
+                            &quarantines,
+                            &delivery,
+                            documents,
+                            shared,
+                        );
+                    }
                 }
             }
             Ok(None) => break,
@@ -534,7 +915,12 @@ fn eval_stream(
     shared.stats.absorb_engine(&stats);
 
     let report = if recovering {
-        let faults = reader.take_faults();
+        // A resumed session re-reports the faults recorded before the
+        // crash: damage intervals must stay complete for the final drain.
+        let mut faults = durable
+            .map(|d| d.session.faults.clone())
+            .unwrap_or_default();
+        faults.extend(reader.take_faults());
         let truncated = faults
             .iter()
             .any(|f| f.kind == spex_xml::FaultKind::Truncated);
@@ -548,9 +934,11 @@ fn eval_stream(
         }
         let mut delivered = 0u64;
         let mut dropped = 0u64;
-        for (q, name) in quarantines.iter_mut().zip(&names) {
-            let mut sink = frame_sink(name.clone(), writer);
-            let (d, p) = q.drain_into(&faults, shared.cfg.on_truncation, &mut sink);
+        for (i, (q, name)) in quarantines.iter().zip(&names).enumerate() {
+            let mut sink = frame_sink(name.clone(), writer, i, Rc::clone(&delivery));
+            let (d, p) = q
+                .borrow_mut()
+                .drain_into(&faults, shared.cfg.on_truncation, &mut sink);
             delivered += d;
             dropped += p;
         }
@@ -573,7 +961,49 @@ fn eval_stream(
     EvalOutcome {
         stats_json: Some(stats_json(&stats, &transducers, report.as_ref())),
         error,
+        fail: None,
     }
+}
+
+/// Document-boundary checkpoint: snapshot the quiescent run plus the
+/// session bookkeeping (faults, quarantines, delivery counts, reader
+/// resume point), then durably persist and prune the WAL. All disk
+/// failures are absorbed — a failed checkpoint costs replay time on the
+/// next resume, never the live session.
+fn checkpoint(
+    d: &DurableCtx,
+    run: &mut spex_core::EngineRun<'_, '_>,
+    reader: &Reader<FrameByteSource>,
+    quarantines: &[Rc<RefCell<Quarantine>>],
+    delivery: &Rc<RefCell<Delivery>>,
+    documents: u64,
+    shared: &Arc<Shared>,
+) {
+    let mut span = shared.trace.tracer.span("serve.checkpoint");
+    span.set_attr("token", d.token.as_str());
+    let mut snap = match run.checkpoint() {
+        Ok(snap) => snap,
+        // Not quiescent (should not happen at `</$>`) — skip this boundary.
+        Err(_) => return,
+    };
+    let (reader_emitted, position, lt_consumed) = reader.resume_point();
+    snap.session = Some(SessionState {
+        faults: reader.faults().to_vec(),
+        quarantines: quarantines
+            .iter()
+            .map(|q| q.borrow().export_fragments())
+            .collect(),
+        delivered: delivery.borrow().delivered.clone(),
+        reader_emitted,
+        position,
+        lt_consumed,
+        documents: d.session.documents + documents,
+    });
+    let bytes = snap.encode();
+    let mut log = d.log.borrow_mut();
+    let _ = log.sync_for_document();
+    let _ = log.write_snapshot(&bytes);
+    let _ = log.prune(position.offset);
 }
 
 /// One fault as a line of JSON (same field names as the one-shot schema's
@@ -624,6 +1054,7 @@ mod tests {
             pos: 0,
             ended: false,
             state: Rc::new(RefCell::new(SourceState::default())),
+            log: None,
         };
         // Empty buffer, frame pending: an empty read returns 0 without
         // consuming the frame or flipping the EOF state…

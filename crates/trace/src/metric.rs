@@ -242,6 +242,38 @@ impl Histogram {
         self.max
     }
 
+    /// Export the complete internal state as a flat vector for
+    /// serialization: `[count, sum, min, max, bucket_0 … bucket_64]`.
+    ///
+    /// The `min` slot is the *internal* sentinel (`u64::MAX` when empty), so
+    /// [`Histogram::import_raw`] round-trips exactly, merges included.
+    pub fn export_raw(&self) -> Vec<u64> {
+        let mut raw = Vec::with_capacity(4 + BUCKETS);
+        raw.push(self.count);
+        raw.push(self.sum);
+        raw.push(self.min);
+        raw.push(self.max);
+        raw.extend_from_slice(&self.buckets);
+        raw
+    }
+
+    /// Rebuild a histogram from [`Histogram::export_raw`] output. Returns
+    /// `None` when the slice has the wrong length.
+    pub fn import_raw(raw: &[u64]) -> Option<Histogram> {
+        if raw.len() != 4 + BUCKETS {
+            return None;
+        }
+        let mut h = Histogram {
+            buckets: [0; BUCKETS],
+            count: raw[0],
+            sum: raw[1],
+            min: raw[2],
+            max: raw[3],
+        };
+        h.buckets.copy_from_slice(&raw[4..]);
+        Some(h)
+    }
+
     /// The exported five-number-plus-quantiles summary.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -469,6 +501,29 @@ mod tests {
         g.set(2);
         assert_eq!(g.get(), 2);
         assert_eq!(g.peak(), 5);
+    }
+
+    #[test]
+    fn raw_export_round_trips_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 77, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let raw = h.export_raw();
+        assert_eq!(raw.len(), 4 + BUCKETS);
+        let back = Histogram::import_raw(&raw).expect("round trip");
+        assert_eq!(back.summary(), h.summary());
+        assert_eq!(back.export_raw(), raw);
+        // Empty histograms round-trip too (internal min sentinel preserved).
+        let empty = Histogram::new();
+        let back = Histogram::import_raw(&empty.export_raw()).expect("empty");
+        assert_eq!(back.summary(), HistogramSummary::default());
+        let mut merged = back;
+        merged.record(3);
+        assert_eq!(merged.min(), 3);
+        // Wrong lengths are rejected, not mis-read.
+        assert!(Histogram::import_raw(&[]).is_none());
+        assert!(Histogram::import_raw(&raw[..raw.len() - 1]).is_none());
     }
 
     #[test]

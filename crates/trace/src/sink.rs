@@ -23,6 +23,10 @@ pub trait TraceSink: Send + Sync {
     fn emit(&self, record: &TraceRecord);
     /// Flush any buffering to the underlying medium.
     fn flush(&self) {}
+    /// Force everything emitted so far down to the durable medium. Called at
+    /// record boundaries by crash-sensitive producers so an abnormal exit
+    /// loses at most the record being written. Default: no-op.
+    fn sync(&self) {}
 }
 
 /// The no-op sink: every record is discarded.
@@ -87,6 +91,10 @@ impl TraceSink for JsonlSink {
         };
         self.latch(out.write_all(line.as_bytes()));
         self.latch(out.write_all(b"\n"));
+        // Flush at every record boundary: a crashed process must leave a
+        // readable trace up to (at worst) the record in flight.
+        let r = out.flush();
+        self.latch(r);
     }
 
     fn flush(&self) {
@@ -94,6 +102,10 @@ impl TraceSink for JsonlSink {
             let r = out.flush();
             self.latch(r);
         }
+    }
+
+    fn sync(&self) {
+        TraceSink::flush(self);
     }
 }
 
@@ -172,6 +184,12 @@ impl TraceSink for TeeSink {
             c.flush();
         }
     }
+
+    fn sync(&self) {
+        for c in &self.children {
+            c.sync();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +247,37 @@ mod tests {
         assert!(lines[0].starts_with("{\"t\":\"span\""));
         assert!(lines[1].starts_with("{\"t\":\"counter\""));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_is_durable_at_record_boundaries() {
+        // Each emit must reach the underlying writer without an explicit
+        // flush call, so a crash after emit loses nothing.
+        #[derive(Clone, Default)]
+        struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.emit(&TraceRecord::Counter {
+            name: "c".into(),
+            value: 1,
+            attrs: vec![],
+        });
+        // No flush() — the record must already be visible.
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("\"c\""));
+        // sync() is flush for this sink and must not error.
+        sink.sync();
+        assert!(!sink.had_error());
     }
 
     #[test]

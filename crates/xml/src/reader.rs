@@ -297,6 +297,28 @@ impl<R: Read> Reader<R> {
         self.bytes.position
     }
 
+    /// The reader's resume point: `(events_emitted, position, lt_consumed)`.
+    ///
+    /// Meaningful at a document boundary (right after `EndDocument` was
+    /// delivered). In multi-document mode the boundary was detected by
+    /// consuming the next root's `<`, so the position points just past that
+    /// byte and `lt_consumed` records the consumption; a reader restored
+    /// with [`Reader::resume_at`] then continues byte-for-byte identically.
+    pub fn resume_point(&self) -> (u64, Position, bool) {
+        (self.emitted, self.bytes.position, self.lt_consumed)
+    }
+
+    /// Restore a *fresh* reader to a document-boundary resume point captured
+    /// by [`Reader::resume_point`]. The underlying byte source must already
+    /// be positioned at `position.offset` — the caller skips the input the
+    /// original reader consumed before the boundary.
+    pub fn resume_at(mut self, emitted: u64, position: Position, lt_consumed: bool) -> Self {
+        self.emitted = emitted;
+        self.bytes.position = position;
+        self.lt_consumed = lt_consumed;
+        self
+    }
+
     /// Current element nesting depth (number of open elements).
     pub fn depth(&self) -> usize {
         self.stack.len()
