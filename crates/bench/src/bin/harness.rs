@@ -28,8 +28,21 @@
 //! harness serve-bench [--json] [--clients N] [--docs M] [--engine E]
 //!                            spex-serve: N concurrent clients x M documents
 //!                            over a loopback server; aggregate events/sec,
-//!                            p50/p99 session latency, reject rate under a
-//!                            tiny admission queue; --json writes BENCH_4.json
+//!                            p50/p99 session latency; the burst that drove
+//!                            the old blocking server to 94% BUSY must now
+//!                            be admitted in full (1 worker, zero rejects),
+//!                            and a connection-scalability sweep holds
+//!                            100 -> 10,000 mostly-idle connections with a
+//!                            hot subset streaming (fd-limit clamped, hot
+//!                            p99 gated under the blocking baseline's p50);
+//!                            --json writes BENCH_4.json and BENCH_8.json
+//!                            (--out8 PATH overrides the latter)
+//! harness reactor-smoke [--spex PATH] [--conns N]
+//!                            process-level reactor check: a real `spex
+//!                            serve` child holds N (default 10,000) idle
+//!                            connections plus live sessions, then SIGTERM
+//!                            must drain and exit 0 with every idle
+//!                            connection still open
 //! harness trace-bench [--json] [--engine E]
 //!                            spex-trace overhead: the zero-copy pipeline
 //!                            with tracing off vs on (JSONL sink), run
@@ -58,8 +71,9 @@
 //!                            concatenated output byte-identical to the
 //!                            one-shot CLI (PATH defaults to the `spex`
 //!                            binary next to this harness)
-//! harness all                everything above except crash-smoke (which
-//!                            needs the separately built `spex` binary)
+//! harness all                everything above except crash-smoke and
+//!                            reactor-smoke (which need the separately
+//!                            built `spex` binary)
 //! harness mem-probe P D C    (internal) run one evaluation and print peak RSS
 //! ```
 //!
@@ -133,6 +147,7 @@ fn main() {
         "crash-diff" => crash_diff_cmd(&args[1..]),
         "crash-bench" => crash_bench_cmd(&args[1..]),
         "crash-smoke" => crash_smoke_cmd(&args[1..]),
+        "reactor-smoke" => reactor_smoke_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
         "all" => {
             fig14();
@@ -1141,8 +1156,11 @@ fn serve_bench_cmd(args: &[String]) {
         elapsed
     );
 
-    // Reject phase: the same burst against 1 worker + a queue of 1, so
-    // admission control has to turn connections away with BUSY.
+    // Admission phase: the burst that drove the blocking thread-per-session
+    // server to 94% BUSY (1 worker, queue of 1 — BENCH_4 history). The
+    // reactor admits by connection count, not worker count, so the same
+    // burst must now be served in full: zero rejects, zero failures, even
+    // on a single worker.
     let burst = (clients * 4).max(8);
     let server = Server::bind(ServerConfig {
         workers: 1,
@@ -1150,7 +1168,7 @@ fn serve_bench_cmd(args: &[String]) {
         engine,
         ..ServerConfig::default()
     })
-    .expect("bind reject-phase server");
+    .expect("bind admission-phase server");
     let addr = server.local_addr();
     let handle = server.handle();
     let join = std::thread::spawn(move || server.run());
@@ -1159,13 +1177,13 @@ fn serve_bench_cmd(args: &[String]) {
             let xml = xml.clone();
             let (name, expr) = queries[i % queries.len()].clone();
             std::thread::spawn(move || {
-                let Ok(mut client) = Client::connect(addr) else {
-                    return;
-                };
-                // A rejected stream may already be closed when we write;
-                // both the BUSY transcript and the I/O error mean "turned
-                // away", and the server's own reject counter is the truth.
-                let _ = client.run_session(&[(name.as_str(), expr.as_str())], xml.as_bytes());
+                let mut client = Client::connect(addr).expect("connect burst");
+                client.set_max_frame(16 * 1024 * 1024);
+                let t = client
+                    .run_session(&[(name.as_str(), expr.as_str())], xml.as_bytes())
+                    .expect("burst session");
+                assert!(!t.busy, "burst connection was rejected with BUSY");
+                assert!(t.clean_end, "burst session did not complete");
             })
         })
         .collect();
@@ -1175,14 +1193,200 @@ fn serve_bench_cmd(args: &[String]) {
     handle.shutdown();
     let reject_report = join.join().expect("server thread").expect("server run");
     let offered = reject_report.sessions_started + reject_report.sessions_rejected;
+    assert_eq!(
+        reject_report.sessions_rejected, 0,
+        "the reactor must admit the full burst that the blocking server rejected"
+    );
+    assert_eq!(
+        reject_report.sessions_failed, 0,
+        "no burst session may fail"
+    );
     let reject_rate = reject_report.sessions_rejected as f64 / (offered as f64).max(1.0);
     println!(
-        "admission: {} offered, {} served, {} rejected ({:.0}% BUSY at 1 worker / queue 1)",
-        offered,
-        reject_report.sessions_started,
-        reject_report.sessions_rejected,
-        reject_rate * 100.0
+        "admission: {} offered, {} served, {} rejected on 1 worker \
+         (the blocking design rejected 94% of this burst)",
+        offered, reject_report.sessions_started, reject_report.sessions_rejected,
     );
+
+    // Connection-scalability sweep (BENCH_8): tiers of mostly-idle
+    // connections held open while a hot subset streams real sessions. The
+    // tier list climbs to 10,000 where the process fd budget allows (both
+    // ends of every loopback connection live in this process, so each
+    // connection costs two descriptors).
+    const BLOCKING_P50_MS: f64 = 329.0; // BENCH_4 p50 of the blocking server
+    const HOT_CLIENTS: usize = 4;
+    // The latency bar is defined at the acceptance operating point — an
+    // optimized build on >=4 cores (CI) — where the hot set is not
+    // artificially serialized by the host. Elsewhere the sweep still runs
+    // and records, but the bar is advisory.
+    let gate_latency = !cfg!(debug_assertions)
+        && std::thread::available_parallelism()
+            .map(|p| p.get() >= 4)
+            .unwrap_or(false);
+    let out8_path = args
+        .iter()
+        .position(|a| a == "--out8")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_8.json", env!("CARGO_MANIFEST_DIR")));
+    let fd_budget = spex_serve::soft_fd_limit().unwrap_or(1024) as usize;
+    let idle_cap = fd_budget.saturating_sub(256) / 2;
+    let tiers: Vec<usize> = [100usize, 1_000, 10_000]
+        .into_iter()
+        .filter(|t| *t <= idle_cap)
+        .collect();
+    if tiers.len() < 3 {
+        println!(
+            "note: fd soft limit {fd_budget} clamps the sweep to {} idle connection(s); \
+             raise `ulimit -n` for the full 10,000-connection tier",
+            idle_cap
+        );
+    }
+    struct Tier {
+        conns: usize,
+        hot_sessions: usize,
+        rejected: u64,
+        elapsed_s: f64,
+        p50: f64,
+        p99: f64,
+        min: f64,
+        max: f64,
+    }
+    let hot_docs = docs.clamp(1, 3);
+    let mut sweep: Vec<Tier> = Vec::new();
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "idle conns", "hot", "p50 ms", "p99 ms", "rejected", "wall s"
+    );
+    for &tier in &tiers {
+        let server = Server::bind(ServerConfig {
+            workers: 4,
+            engine,
+            max_conns: tier + HOT_CLIENTS + 64,
+            ..ServerConfig::default()
+        })
+        .expect("bind sweep server");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        // Hold `tier` idle connections open for the whole measurement. A
+        // dropped SYN under connect bursts (listener backlog) surfaces as a
+        // transient error; retry briefly rather than fail the sweep.
+        let mut idle: Vec<std::net::TcpStream> = Vec::with_capacity(tier);
+        for _ in 0..tier {
+            let mut tries = 0;
+            let stream = loop {
+                match std::net::TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) if tries < 50 => {
+                        tries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        let _ = e;
+                    }
+                    Err(e) => panic!("sweep: connect idle conn: {e}"),
+                }
+            };
+            idle.push(stream);
+        }
+        let t0 = Instant::now();
+        let threads: Vec<_> = (0..HOT_CLIENTS)
+            .map(|c| {
+                let xml = xml.clone();
+                let queries = queries.clone();
+                std::thread::spawn(move || {
+                    let mut latencies_ms = Vec::with_capacity(hot_docs);
+                    for d in 0..hot_docs {
+                        let (name, expr) = &queries[(c + d) % queries.len()];
+                        let s0 = Instant::now();
+                        let mut client = Client::connect(addr).expect("connect hot");
+                        client.set_max_frame(16 * 1024 * 1024);
+                        let t = client
+                            .run_session(&[(name.as_str(), expr.as_str())], xml.as_bytes())
+                            .expect("hot session");
+                        assert!(t.clean_end && !t.busy, "hot session did not complete");
+                        assert!(t.errors.is_empty(), "hot session errors: {:?}", t.errors);
+                        latencies_ms.push(s0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        let mut hot_ms: Vec<f64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("hot client thread"))
+            .collect();
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        // Shut down with every idle connection still open: the drain must
+        // not wait on peers that never sent a byte.
+        handle.shutdown();
+        let report = join
+            .join()
+            .expect("sweep server thread")
+            .expect("sweep server run");
+        drop(idle);
+        assert_eq!(
+            report.sessions_rejected, 0,
+            "sweep tier {tier}: the reactor rejected connections under its cap"
+        );
+        hot_ms.sort_by(f64::total_cmp);
+        let pct = |p: f64| hot_ms[((hot_ms.len() - 1) as f64 * p).round() as usize];
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        println!(
+            "{:>10} {:>8} {:>10.1} {:>10.1} {:>10} {:>10.2}",
+            tier,
+            hot_ms.len(),
+            p50,
+            p99,
+            report.sessions_rejected,
+            elapsed_s
+        );
+        // The acceptance gate: hot-path p99 with thousands of idle
+        // connections multiplexed must beat the blocking baseline's p50.
+        if gate_latency {
+            assert!(
+                p99 < BLOCKING_P50_MS,
+                "sweep tier {tier}: hot p99 {p99:.1} ms >= blocking baseline p50 {BLOCKING_P50_MS} ms"
+            );
+        } else if p99 >= BLOCKING_P50_MS {
+            println!(
+                "note: hot p99 {p99:.1} ms over the {BLOCKING_P50_MS} ms bar; \
+                 gate advisory here (debug build or <4 cores)"
+            );
+        }
+        sweep.push(Tier {
+            conns: tier,
+            hot_sessions: hot_ms.len(),
+            rejected: report.sessions_rejected,
+            elapsed_s,
+            p50,
+            p99,
+            min: hot_ms.first().copied().unwrap_or(0.0),
+            max: hot_ms.last().copied().unwrap_or(0.0),
+        });
+    }
+    if json {
+        let tiers_json: Vec<String> = sweep
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{\"conns\": {}, \"hot_sessions\": {}, \"rejected\": {}, \"elapsed_s\": {:.3}, \
+                     \"latency_ms\": {{\"p50\": {:.2}, \"p99\": {:.2}, \"min\": {:.2}, \"max\": {:.2}}}}}",
+                    t.conns, t.hot_sessions, t.rejected, t.elapsed_s, t.p50, t.p99, t.min, t.max
+                )
+            })
+            .collect();
+        let out = format!(
+            "{{\n  \"schema\": \"spex-serve-bench-8\",\n  \"engine\": \"{engine}\",\n  \"workers\": 4,\n  \
+             \"hot_clients\": {HOT_CLIENTS},\n  \"docs_per_hot_client\": {hot_docs},\n  \
+             \"workload\": \"mondial\",\n  \"document_mb\": {mb:.3},\n  \
+             \"fd_soft_limit\": {fd_budget},\n  \
+             \"blocking_baseline_p50_ms\": {BLOCKING_P50_MS},\n  \
+             \"latency_gate_enforced\": {gate_latency},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+            tiers_json.join(",\n"),
+        );
+        std::fs::write(&out8_path, out).expect("write BENCH_8.json");
+        println!("wrote {out8_path}");
+    }
 
     if json {
         let out = format!(
@@ -1402,6 +1606,157 @@ fn crash_smoke_cmd(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// The `reactor-smoke` subcommand: a real `spex serve` child process holds
+/// thousands of idle connections while live sessions stream through it,
+/// then a SIGTERM must drain the live work and exit 0 without waiting on
+/// the idle peers. This is the process-level version of the acceptance bar
+/// the in-process sweep measures — same reactor, real signals, real fds.
+fn reactor_smoke_cmd(args: &[String]) {
+    use spex_serve::Client;
+    use std::io::Read as _;
+
+    let spex = args
+        .iter()
+        .position(|a| a == "--spex")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.join("spex")))
+                .unwrap_or_else(|| std::path::PathBuf::from("spex"))
+        });
+    let conns_want = args
+        .iter()
+        .position(|a| a == "--conns")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10_000);
+    header("reactor-smoke — 10k idle connections + live traffic, SIGTERM must drain to exit 0");
+    if !spex.exists() {
+        eprintln!(
+            "reactor-smoke: `{}` not found (build it with `cargo build --release -p spex-cli` \
+             or pass --spex PATH)",
+            spex.display()
+        );
+        std::process::exit(2);
+    }
+    // This process holds one fd per idle connection; the child holds the
+    // other end under its own (inherited) limit.
+    let fd_budget = spex_serve::soft_fd_limit().unwrap_or(1024) as usize;
+    let conns = conns_want.min(fd_budget.saturating_sub(256));
+    if conns < conns_want {
+        println!(
+            "note: fd soft limit {fd_budget} clamps the idle herd to {conns} \
+             (raise `ulimit -n` for the full {conns_want})"
+        );
+    }
+    let log_path =
+        std::env::temp_dir().join(format!("spex-reactor-smoke-{}.log", std::process::id()));
+    let log = std::fs::File::create(&log_path).expect("create server log");
+    let mut child = std::process::Command::new(&spex)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "4"])
+        .stderr(log)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn spex serve");
+    // The listen address is announced on stderr once the socket is bound.
+    let addr: std::net::SocketAddr = 'addr: {
+        for _ in 0..100 {
+            if let Ok(text) = std::fs::read_to_string(&log_path) {
+                if let Some(line) = text.lines().find(|l| l.contains("listening on ")) {
+                    let addr = line.rsplit("listening on ").next().unwrap().trim();
+                    break 'addr addr.parse().expect("parse listen address");
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let _ = child.kill();
+        panic!(
+            "server never announced its listen address (see {})",
+            log_path.display()
+        );
+    };
+    // The idle herd: connected, never sends a byte, stays open through the
+    // shutdown below.
+    let mut idle: Vec<std::net::TcpStream> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut tries = 0;
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) if tries < 50 => {
+                    tries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    let _ = e;
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    panic!("idle conn {i}: {e}");
+                }
+            }
+        };
+        idle.push(stream);
+    }
+    // Live traffic while the herd sits on the reactor.
+    let xml = std::sync::Arc::new(spex_xml::writer::events_to_string(mondial_events()));
+    let queries: Vec<(String, String)> = queries_for(Dataset::Mondial)
+        .into_iter()
+        .map(|qc| (format!("c{}", qc.class), qc.text.to_string()))
+        .collect();
+    let live: Vec<_> = (0..8usize)
+        .map(|c| {
+            let xml = xml.clone();
+            let (name, expr) = queries[c % queries.len()].clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect live");
+                client.set_max_frame(16 * 1024 * 1024);
+                let t = client
+                    .run_session(&[(name.as_str(), expr.as_str())], xml.as_bytes())
+                    .expect("live session");
+                assert!(t.clean_end && !t.busy, "live session did not complete");
+                assert!(t.errors.is_empty(), "live session errors: {:?}", t.errors);
+            })
+        })
+        .collect();
+    for t in live {
+        t.join().expect("live client thread");
+    }
+    // SIGTERM with the whole herd still connected. `Child::kill` is
+    // SIGKILL, so shell out for the graceful signal.
+    let status = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+    let exit = 'exit: {
+        for _ in 0..300 {
+            if let Some(status) = child.try_wait().expect("wait on server") {
+                break 'exit status;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let _ = child.kill();
+        panic!("server did not exit within 30s of SIGTERM with the idle herd connected");
+    };
+    drop(idle);
+    assert!(
+        exit.success(),
+        "server exited non-zero after SIGTERM: {exit}"
+    );
+    let mut log_text = String::new();
+    let _ = std::fs::File::open(&log_path).and_then(|mut f| f.read_to_string(&mut log_text));
+    assert!(
+        log_text.contains("drained"),
+        "server log does not report a drained shutdown:\n{log_text}"
+    );
+    let _ = std::fs::remove_file(&log_path);
+    println!(
+        "reactor-smoke survived: {conns} idle connection(s) held through 8 live session(s) \
+         and a SIGTERM drain to exit 0"
+    );
 }
 
 /// Drive `xml` to its final document boundary, then time `checkpoint()` +

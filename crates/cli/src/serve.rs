@@ -27,13 +27,22 @@ USAGE:
 
 OPTIONS:
     --addr HOST:PORT      listen address (default 127.0.0.1:7878; port 0 = free port)
-    --workers N           worker threads = max concurrent sessions (default 4)
-    --queue N             sessions queued before BUSY rejects (default 64)
+    --workers N           session-machine worker threads (default 4); every
+                          admitted connection runs regardless — workers pace
+                          progress, they no longer cap concurrency
+    --max-conns N         admitted-connection cap, clamped to the process fd
+                          limit; past it new connections get BUSY (default 16384)
+    --queue N             accepted for compatibility; the reactor admits by
+                          --max-conns and never queues sessions behind BUSY
     --max-frame N         per-frame payload cap in bytes (default 1048576)
     --max-plans N         compiled-plan cache cap, LRU-evicted past it;
                           0 disables caching (default 64)
-    --read-timeout SECS   per-read socket timeout, 0 disables (default 30)
-    --write-timeout SECS  per-write socket timeout, 0 disables (default 30)
+    --read-timeout SECS   deadline for the next DATA frame once a session
+                          streams, 0 disables (default 30)
+    --write-timeout SECS  deadline for writability progress on a stalled
+                          peer, 0 disables (default 30)
+    --idle-timeout SECS   reap connections with no *completed* frame for
+                          SECS (slowloris defense), 0 disables (default 0)
     --allow-remote-shutdown  honor the 'Q' shutdown frame from non-loopback
                           peers (default: loopback peers only)
     --engine E            execution backend for every session:
@@ -105,6 +114,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .clone()
             }
             "--workers" => config.workers = number("--workers", &mut it)?,
+            "--max-conns" => config.max_conns = number("--max-conns", &mut it)?,
             "--queue" => config.queue_cap = number("--queue", &mut it)?,
             "--max-frame" => config.max_frame = number("--max-frame", &mut it)?,
             "--max-plans" => config.max_cached_plans = number("--max-plans", &mut it)?,
@@ -119,6 +129,14 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--write-timeout" => {
                 let secs: u64 = number("--write-timeout", &mut it)?;
                 config.write_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs))
+                };
+            }
+            "--idle-timeout" => {
+                let secs: u64 = number("--idle-timeout", &mut it)?;
+                config.idle_timeout = if secs == 0 {
                     None
                 } else {
                     Some(std::time::Duration::from_secs(secs))
@@ -291,6 +309,25 @@ mod tests {
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
         assert!(parse_serve_args(&args(&["--workers"])).is_err());
         assert!(parse_serve_args(&args(&["--trace-jsonl"])).is_err());
+    }
+
+    #[test]
+    fn parse_reactor_flags() {
+        let o = parse_serve_args(&args(&["--max-conns", "256", "--idle-timeout", "45"])).unwrap();
+        assert_eq!(o.config.max_conns, 256);
+        assert_eq!(
+            o.config.idle_timeout,
+            Some(std::time::Duration::from_secs(45))
+        );
+        // The 0-disables convention, matching the other timeout flags.
+        let o = parse_serve_args(&args(&["--idle-timeout", "0"])).unwrap();
+        assert_eq!(o.config.idle_timeout, None);
+        // Defaults: idle reaping off, admission capped generously.
+        let o = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(o.config.idle_timeout, None);
+        assert_eq!(o.config.max_conns, 16384);
+        assert!(parse_serve_args(&args(&["--max-conns"])).is_err());
+        assert!(parse_serve_args(&args(&["--idle-timeout", "soon"])).is_err());
     }
 
     #[test]

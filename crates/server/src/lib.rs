@@ -11,16 +11,21 @@
 //! popular query set is paid once.
 //!
 //! The crate is std-only (the workspace vendors no async runtime): a
-//! non-blocking acceptor plus a fixed pool of blocking worker threads,
-//! with a bounded queue as admission control. The engine's `Run` is
-//! intentionally single-threaded (`Rc`-backed interning); concurrency
-//! comes from one run per session, not from sharing a run.
+//! single reactor thread owns every socket through a raw readiness poller
+//! (epoll on Linux), and sessions are nonblocking state machines advanced
+//! by a fixed pool of worker threads — so 10k+ mostly-idle connections
+//! cost file descriptors, not threads. The engine's `Run` is intentionally
+//! single-threaded (`Rc`-backed interning); concurrency comes from one run
+//! per session, pinned to one worker, not from sharing a run.
 //!
 //! Layers:
-//! - [`protocol`]: the length-prefixed frame grammar and codecs.
+//! - [`protocol`]: the length-prefixed frame grammar and codecs, including
+//!   the incremental [`FrameDecoder`] the reactor path decodes with.
 //! - [`registry`]: the compiled-plan cache.
-//! - [`server`] / `session`: accept loop, worker pool, per-session frame
-//!   loop over the zero-copy reader path.
+//! - [`server`] / `reactor` / `session`: the event loop and per-tenant
+//!   scheduler, and the per-session state machine over the zero-copy
+//!   reader path (`poll` is the readiness backend, `scan` the event-
+//!   horizon prescanner, `conn` the shared per-connection buffers).
 //! - [`stats`]: server-wide statistics in the one-shot `--stats-json`
 //!   schema.
 //! - [`client`]: a small blocking client for tests, benches and examples.
@@ -34,9 +39,13 @@
 #![deny(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod durable;
+mod poll;
 pub mod protocol;
+mod reactor;
 pub mod registry;
+mod scan;
 pub mod server;
 mod session;
 pub mod signal;
@@ -44,9 +53,10 @@ pub mod stats;
 
 pub use client::{Client, SessionTranscript};
 pub use durable::{FsyncPolicy, RecoveredSession, SessionLog};
+pub use poll::soft_fd_limit;
 pub use protocol::{
-    error_payload, read_frame, result_payload, split_result, write_frame, Frame, FrameKind,
-    ProtocolError, ReadError, DEFAULT_MAX_FRAME,
+    error_payload, read_frame, result_payload, split_result, write_frame, Frame, FrameDecoder,
+    FrameKind, ProtocolError, ReadError, DEFAULT_MAX_FRAME,
 };
 pub use registry::{Registry, DEFAULT_PLAN_CAP};
 pub use server::{Server, ServerConfig, ServerHandle, ServerReport};

@@ -232,6 +232,96 @@ pub fn read_frame(r: &mut dyn Read, max_frame: usize) -> Result<Option<Frame>, R
     Ok(Some(Frame { kind, payload }))
 }
 
+/// An incremental frame decoder: feed bytes in arbitrary chunks, pull
+/// complete frames out. This is the nonblocking twin of [`read_frame`] —
+/// for every chunking of the same byte stream it yields the same frame
+/// sequence and the same [`ProtocolError`] classes (property-tested in
+/// `tests/reactor.rs`), but it never blocks mid-frame: with an incomplete
+/// frame buffered, [`FrameDecoder::next_frame`] returns `Ok(None)` and the
+/// caller resumes when more bytes arrive.
+///
+/// Errors are sticky: after an `UnknownKind` or `Oversized` violation the
+/// stream has no recoverable framing, so every further `next` repeats the
+/// error.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame: usize,
+    error: Option<ProtocolError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the given per-frame payload cap.
+    pub fn new(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_frame,
+            error: None,
+        }
+    }
+
+    /// Append raw stream bytes (any chunking, including one byte at a
+    /// time).
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the consumed prefix dominates the
+        // buffer, so steady-state decoding is amortized O(1) per byte.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame. `Ok(None)` means more bytes are
+    /// needed; grammar violations mirror [`read_frame`]'s error classes.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 5 {
+            return Ok(None);
+        }
+        let kind = match FrameKind::from_byte(avail[0]) {
+            Some(k) => k,
+            None => {
+                let e = ProtocolError::UnknownKind(avail[0]);
+                self.error = Some(e.clone());
+                return Err(e);
+            }
+        };
+        let len = u32::from_be_bytes([avail[1], avail[2], avail[3], avail[4]]) as usize;
+        if len > self.max_frame {
+            let e = ProtocolError::Oversized {
+                len,
+                max: self.max_frame,
+            };
+            self.error = Some(e.clone());
+            return Err(e);
+        }
+        if avail.len() < 5 + len {
+            return Ok(None);
+        }
+        let payload = avail[5..5 + len].to_vec();
+        self.pos += 5 + len;
+        Ok(Some(Frame { kind, payload }))
+    }
+
+    /// Whether undecoded bytes are buffered (a partially received frame).
+    /// At end of stream this is exactly [`ProtocolError::TruncatedFrame`] —
+    /// the same condition [`read_frame`] reports when EOF lands mid-frame.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 /// Write one frame (header + payload; no flush).
 pub fn write_frame(w: &mut dyn Write, kind: FrameKind, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {

@@ -1,0 +1,382 @@
+//! A byte-level lookahead scanner that finds *event horizons* in an XML
+//! byte stream: offsets at which the pull parser is guaranteed to have a
+//! complete event available.
+//!
+//! The reactor feeds ingested `DATA` payload bytes through this scanner as
+//! they arrive; a session's state machine then drives the blocking pull
+//! parser only while `reader.position() < horizon` (or an event is already
+//! queued), so the parser never issues a read that would block mid-event.
+//! The horizon is a *scheduling hint*, not a correctness boundary: if the
+//! scanner under-reports (it never over-reports — every horizon really is
+//! the end of an event-producing construct), the session degrades to the
+//! bounded blocking fallback in the eval source, exactly the old
+//! thread-per-session behavior.
+//!
+//! Horizon-bearing construct ends (the parser emits an event at or before
+//! each): `>` closing an open/close tag (including `/>`), `-->` ending a
+//! comment, `]]>` ending a CDATA section (its own `Text` event — the
+//! parser does not merge CDATA into adjacent text), and `?>` ending a
+//! processing instruction whose target is not `xml`. Silent constructs
+//! (whitespace, the `<?xml … ?>` declaration, `DOCTYPE`) bear no horizon;
+//! character data bears none either, because the parser only emits a
+//! `Text` event after peeking the `<` that follows it — which is itself
+//! the start of the next horizon-bearing construct.
+
+/// Scanner state across arbitrarily chunked input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Outside markup: character data, prolog/epilog whitespace.
+    Text,
+    /// Consumed `<`.
+    Lt,
+    /// Consumed `<!`.
+    Bang,
+    /// Consumed `<!-`.
+    BangDash,
+    /// Inside `<!-- … -->`; counts the run of `-` immediately behind.
+    Comment { dashes: u8 },
+    /// Matching the `CDATA[` tail of `<![CDATA[`; counts bytes matched.
+    CdataOpen { matched: u8 },
+    /// Inside a CDATA section; counts the run of `]` immediately behind.
+    Cdata { brackets: u8 },
+    /// Collecting a processing-instruction target (first 4 bytes suffice
+    /// to recognize `xml` case-insensitively).
+    PiTarget { len: u8, xml_so_far: bool },
+    /// Inside a PI body; `xml` PIs are the silent declaration.
+    PiBody { is_xml: bool, question: bool },
+    /// Inside an open or close tag, tracking the active attribute quote
+    /// (`>` inside a quoted value does not end the tag).
+    Tag { quote: u8 },
+    /// Inside `<!DOCTYPE …>` (or any unrecognized `<!…` construct,
+    /// conservatively): internal-subset bracket depth, no horizon.
+    Doctype { depth: u32 },
+}
+
+/// See the [module documentation](self).
+#[derive(Debug)]
+pub(crate) struct HorizonScanner {
+    state: State,
+    /// Absolute stream offset of the next byte to scan.
+    offset: u64,
+    /// Absolute offset just past the last horizon-bearing construct end.
+    horizon: u64,
+}
+
+impl HorizonScanner {
+    /// A scanner at the start of a stream.
+    pub(crate) fn new() -> Self {
+        HorizonScanner {
+            state: State::Text,
+            offset: 0,
+            horizon: 0,
+        }
+    }
+
+    /// A scanner resuming at a document-boundary checkpoint: `offset` is
+    /// the reader's restored position and `lt_consumed` records whether
+    /// the boundary detection already consumed the next root's `<`.
+    pub(crate) fn resume(offset: u64, lt_consumed: bool) -> Self {
+        HorizonScanner {
+            state: if lt_consumed { State::Lt } else { State::Text },
+            offset,
+            horizon: offset,
+        }
+    }
+
+    /// Offset just past the most recent guaranteed-complete event
+    /// construct; the parser can consume up to here without blocking.
+    pub(crate) fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Feed the next chunk of stream bytes (any chunking).
+    pub(crate) fn scan(&mut self, bytes: &[u8]) {
+        let mut i = 0usize;
+        let n = bytes.len();
+        while i < n {
+            let b = bytes[i];
+            match self.state {
+                State::Text => {
+                    // Skip straight to the next `<`; text bears no horizon.
+                    match bytes[i..].iter().position(|&b| b == b'<') {
+                        Some(rel) => {
+                            i += rel + 1;
+                            self.state = State::Lt;
+                        }
+                        None => {
+                            i = n;
+                        }
+                    }
+                    continue;
+                }
+                State::Lt => {
+                    self.state = match b {
+                        b'!' => State::Bang,
+                        b'?' => State::PiTarget {
+                            len: 0,
+                            xml_so_far: true,
+                        },
+                        _ => State::Tag { quote: 0 },
+                    };
+                    // `<>` would be a parse error; `Tag` handles the `>`
+                    // conservatively as a tag end (the parser errors on
+                    // pull either way, and horizons may only be early for
+                    // ill-formed input the session is about to reject).
+                    if b == b'>' {
+                        self.state = State::Text;
+                        self.horizon = self.offset + i as u64 + 1;
+                    }
+                    i += 1;
+                }
+                State::Bang => {
+                    self.state = match b {
+                        b'-' => State::BangDash,
+                        b'[' => State::CdataOpen { matched: 0 },
+                        _ => {
+                            if b == b'>' {
+                                // `<!>`: parser error; no horizon.
+                                State::Text
+                            } else {
+                                State::Doctype { depth: 0 }
+                            }
+                        }
+                    };
+                    i += 1;
+                }
+                State::BangDash => {
+                    self.state = if b == b'-' {
+                        State::Comment { dashes: 0 }
+                    } else if b == b'>' {
+                        State::Text
+                    } else {
+                        State::Doctype { depth: 0 }
+                    };
+                    i += 1;
+                }
+                State::Comment { dashes } => {
+                    match b {
+                        b'-' => {
+                            self.state = State::Comment {
+                                dashes: dashes.saturating_add(1),
+                            };
+                        }
+                        b'>' if dashes >= 2 => {
+                            self.state = State::Text;
+                            self.horizon = self.offset + i as u64 + 1;
+                        }
+                        _ => {
+                            self.state = State::Comment { dashes: 0 };
+                        }
+                    }
+                    i += 1;
+                }
+                State::CdataOpen { matched } => {
+                    const TAIL: &[u8; 6] = b"CDATA[";
+                    if b == TAIL[matched as usize] {
+                        if matched as usize + 1 == TAIL.len() {
+                            self.state = State::Cdata { brackets: 0 };
+                        } else {
+                            self.state = State::CdataOpen {
+                                matched: matched + 1,
+                            };
+                        }
+                    } else {
+                        // `<![…` that is not CDATA: the parser rejects it;
+                        // treat like a bracketed doctype-ish construct so
+                        // the scanner terminates without minting horizons.
+                        self.state = State::Doctype { depth: 1 };
+                        continue;
+                    }
+                    i += 1;
+                }
+                State::Cdata { brackets } => {
+                    match b {
+                        b']' => {
+                            self.state = State::Cdata {
+                                brackets: brackets.saturating_add(1),
+                            };
+                        }
+                        b'>' if brackets >= 2 => {
+                            self.state = State::Text;
+                            self.horizon = self.offset + i as u64 + 1;
+                        }
+                        _ => {
+                            self.state = State::Cdata { brackets: 0 };
+                        }
+                    }
+                    i += 1;
+                }
+                State::PiTarget { len, xml_so_far } => {
+                    let is_sep = b.is_ascii_whitespace() || b == b'?';
+                    if is_sep {
+                        let is_xml = xml_so_far && len == 3;
+                        self.state = State::PiBody {
+                            is_xml,
+                            question: false,
+                        };
+                        // Reprocess the separator in the body state so a
+                        // target-adjacent `?>` still ends the PI.
+                        continue;
+                    }
+                    let still_xml = xml_so_far
+                        && (len as usize) < 3
+                        && b.eq_ignore_ascii_case(&b"xml"[len as usize]);
+                    self.state = State::PiTarget {
+                        len: len.saturating_add(1),
+                        xml_so_far: still_xml,
+                    };
+                    i += 1;
+                }
+                State::PiBody { is_xml, question } => {
+                    match b {
+                        b'?' => {
+                            self.state = State::PiBody {
+                                is_xml,
+                                question: true,
+                            };
+                        }
+                        b'>' if question => {
+                            self.state = State::Text;
+                            if !is_xml {
+                                self.horizon = self.offset + i as u64 + 1;
+                            }
+                        }
+                        _ => {
+                            self.state = State::PiBody {
+                                is_xml,
+                                question: false,
+                            };
+                        }
+                    }
+                    i += 1;
+                }
+                State::Tag { quote } => {
+                    if quote != 0 {
+                        if b == quote {
+                            self.state = State::Tag { quote: 0 };
+                        }
+                    } else {
+                        match b {
+                            b'"' | b'\'' => {
+                                self.state = State::Tag { quote: b };
+                            }
+                            b'>' => {
+                                self.state = State::Text;
+                                self.horizon = self.offset + i as u64 + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+                State::Doctype { depth } => {
+                    match b {
+                        b'[' => {
+                            self.state = State::Doctype {
+                                depth: depth.saturating_add(1),
+                            };
+                        }
+                        b']' => {
+                            self.state = State::Doctype {
+                                depth: depth.saturating_sub(1),
+                            };
+                        }
+                        b'>' if depth == 0 => {
+                            // DOCTYPE is silent: no event, no horizon.
+                            self.state = State::Text;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+        }
+        self.offset += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon_of(input: &[u8]) -> u64 {
+        let mut s = HorizonScanner::new();
+        s.scan(input);
+        s.horizon()
+    }
+
+    /// Byte-at-a-time chunking reaches the same horizon.
+    fn horizon_bytewise(input: &[u8]) -> u64 {
+        let mut s = HorizonScanner::new();
+        for b in input {
+            s.scan(std::slice::from_ref(b));
+        }
+        s.horizon()
+    }
+
+    #[test]
+    fn tag_ends_bear_horizons() {
+        let doc = b"<a attr='x>y'><b/>text</a>";
+        // Horizons: `>` of <a …> at 14, `/>` of <b/> at 18, `>` of </a> at 26.
+        let mut s = HorizonScanner::new();
+        s.scan(&doc[..13]);
+        assert_eq!(
+            s.horizon(),
+            0,
+            "a `>` inside a quoted attribute is not a tag end"
+        );
+        s.scan(&doc[13..14]);
+        assert_eq!(s.horizon(), 14);
+        s.scan(&doc[14..18]);
+        assert_eq!(s.horizon(), 18, "self-closing tags end at `>`");
+        s.scan(&doc[18..]);
+        assert_eq!(s.horizon(), 26, "text bears no horizon; the close tag does");
+        assert_eq!(horizon_bytewise(doc), 26);
+    }
+
+    #[test]
+    fn xml_declaration_is_silent_but_pis_are_not() {
+        assert_eq!(horizon_of(b"<?xml version='1.0'?>"), 0);
+        assert_eq!(horizon_of(b"<?XML version='1.0'?>"), 0, "case-insensitive");
+        let pi = b"<?target data?>";
+        assert_eq!(horizon_of(pi), pi.len() as u64);
+        assert_eq!(horizon_bytewise(pi), pi.len() as u64);
+        let xmlish = b"<?xmlish d?>";
+        assert_eq!(
+            horizon_of(xmlish),
+            xmlish.len() as u64,
+            "`xmlish` is not `xml`"
+        );
+    }
+
+    #[test]
+    fn comments_cdata_and_doctype() {
+        let c = b"<!-- a -- b -->";
+        assert_eq!(horizon_of(c), c.len() as u64);
+        assert_eq!(horizon_bytewise(c), c.len() as u64);
+        let cd = b"<![CDATA[ a ]] b ]]]>";
+        assert_eq!(horizon_of(cd), cd.len() as u64);
+        assert_eq!(horizon_bytewise(cd), cd.len() as u64);
+        let dt = b"<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]>";
+        assert_eq!(horizon_of(dt), 0, "DOCTYPE produces no event");
+        assert_eq!(horizon_bytewise(dt), 0);
+    }
+
+    #[test]
+    fn incomplete_constructs_bear_no_horizon() {
+        assert_eq!(horizon_of(b"<a attr='v"), 0);
+        assert_eq!(horizon_of(b"<!-- open"), 0);
+        assert_eq!(horizon_of(b"<![CDATA[ open ]]"), 0);
+        assert_eq!(horizon_of(b"some text with no markup"), 0);
+    }
+
+    #[test]
+    fn resume_with_consumed_lt_continues_mid_tag() {
+        // The boundary detector consumed `<` of `<r>` at offset 10; the
+        // next bytes are `r>`.
+        let mut s = HorizonScanner::resume(11, true);
+        s.scan(b"r><x/></r>");
+        // `r>` ends at absolute 13, `<x/>` at 17, `</r>` at 21.
+        assert_eq!(s.horizon(), 21);
+    }
+}

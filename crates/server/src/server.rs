@@ -1,32 +1,39 @@
-//! The concurrent server: one acceptor thread (the caller of
-//! [`Server::run`]) plus a fixed pool of worker threads, joined by a
-//! bounded session queue.
+//! The concurrent server: an epoll-style reactor thread (the caller of
+//! [`Server::run`]) that owns every socket, plus a fixed pool of worker
+//! threads that advance session state machines (`reactor`,
+//! `session`).
 //!
-//! Admission control is the queue bound: when `queue_cap` sessions are
-//! already waiting, a new connection is answered with a single `BUSY`
-//! frame and closed — the server sheds load instead of buffering it (the
-//! same philosophy as the engine's `ResourceLimits`: refuse, don't grow).
+//! Concurrency is no longer bounded by the worker count: an idle
+//! connection costs one file descriptor and a few hundred bytes of state,
+//! so tens of thousands of mostly-idle sessions coexist with a handful of
+//! hot ones. Admission control is the `max_conns` cap (clamped under the
+//! process's fd limit): past it a new connection is answered with a single
+//! `BUSY` frame and closed — the server sheds load instead of buffering it
+//! (the same philosophy as the engine's `ResourceLimits`: refuse, don't
+//! grow). A slow *reader* no longer pins a worker either: output buffered
+//! past a high watermark suspends the session until the peer catches up,
+//! so `BUSY` on the wire means admission overload, while backpressure is
+//! invisible flow control.
 //!
 //! Shutdown is cooperative. `SIGINT`/`SIGTERM` (when watched), the in-band
 //! `SHUTDOWN` frame, or [`ServerHandle::shutdown`] all set one flag; the
-//! acceptor stops accepting, the workers finish every queued and in-flight
-//! session (no session is cut off mid-stream), and [`Server::run`] returns
-//! a final [`ServerReport`].
+//! reactor stops accepting, idle connections get a short grace then close,
+//! every live session runs to completion (no session is cut off
+//! mid-stream), and [`Server::run`] returns a final [`ServerReport`].
 
-use crate::protocol::{write_frame, FrameKind};
+use crate::conn::Notifier;
+use crate::poll::Poller;
+use crate::reactor::{worker_loop, Reactor, WorkerQueue};
 use crate::registry::Registry;
-use crate::session;
 use crate::signal;
 use crate::stats::ServerStats;
 use spex_core::{Engine, EngineStats, ResourceLimits, TruncationOutcome};
 use spex_trace::{summary_json, AtomicHistogram, JsonlSink, Tracer};
 use spex_xml::RecoveryPolicy;
-use std::collections::VecDeque;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Server tuning knobs. The defaults suit tests and local use; the CLI
 /// maps `spex serve` flags onto these fields.
@@ -34,10 +41,18 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Listen address (`host:port`; port 0 picks a free port).
     pub addr: String,
-    /// Worker threads (= maximum concurrent sessions).
+    /// Worker threads advancing session machines (CPU-bound concurrency;
+    /// connection concurrency is `max_conns`).
     pub workers: usize,
-    /// Maximum sessions waiting for a worker before `BUSY` rejects.
+    /// Legacy knob from the thread-per-session server, where it bounded
+    /// the admission queue. The reactor has no admission queue — ready
+    /// sessions wait in per-worker scheduling queues without limit, and
+    /// admission control is `max_conns` — so this field is accepted for
+    /// compatibility but no longer sheds load.
     pub queue_cap: usize,
+    /// Maximum concurrent connections; past it new connections are shed
+    /// with `BUSY`. Clamped at runtime under the process's soft fd limit.
+    pub max_conns: usize,
     /// Per-frame payload cap in bytes.
     pub max_frame: usize,
     /// Per-session engine resource caps.
@@ -49,13 +64,20 @@ pub struct ServerConfig {
     pub recovery: RecoveryPolicy,
     /// Truncation handling for recovery sessions.
     pub on_truncation: TruncationOutcome,
-    /// Per-read socket timeout (a stalled client fails its own session
-    /// instead of pinning a worker forever). `None` disables.
+    /// How long a session waiting for input tolerates no bytes at all
+    /// before it fails (a stalled client fails its own session instead of
+    /// holding server state forever). `None` disables.
     pub read_timeout: Option<Duration>,
-    /// Per-write socket timeout: a client that stops *reading* while
-    /// results stream would otherwise fill the kernel send buffer and
-    /// block its worker forever. `None` disables.
+    /// Writability deadline: how long a peer may accept *no bytes* of
+    /// pending output before the connection is closed. Under partial
+    /// writes the clock resets on every accepted byte, so a slow-but-live
+    /// reader is never cut off. `None` disables.
     pub write_timeout: Option<Duration>,
+    /// Idle-connection reaping: a connection that completes no frame for
+    /// this long is closed. The clock is *completed frames*, so a
+    /// slowloris peer trickling single bytes through a partial frame is
+    /// reaped all the same. `None` (the default) disables.
+    pub idle_timeout: Option<Duration>,
     /// Maximum number of compiled plans the registry caches; past the cap
     /// the least-recently-used plan is evicted, so clients registering
     /// ever-varying queries cannot grow server memory without bound.
@@ -65,7 +87,7 @@ pub struct ServerConfig {
     /// default: a loopback client can always stop its own server, but a
     /// remote client stopping a shared one is a denial of service.
     pub allow_remote_shutdown: bool,
-    /// Poll SIGINT/SIGTERM in the accept loop (the CLI turns this on;
+    /// Poll SIGINT/SIGTERM in the reactor loop (the CLI turns this on;
     /// tests drive shutdown through [`ServerHandle`] instead).
     pub watch_signals: bool,
     /// Write a JSONL trace (one record per line, DESIGN.md §13 schema) to
@@ -90,6 +112,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_cap: 64,
+            max_conns: 16384,
             max_frame: crate::protocol::DEFAULT_MAX_FRAME,
             limits: ResourceLimits::default(),
             engine: Engine::default(),
@@ -97,6 +120,7 @@ impl Default for ServerConfig {
             on_truncation: TruncationOutcome::default(),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            idle_timeout: None,
             max_cached_plans: 64,
             allow_remote_shutdown: false,
             watch_signals: false,
@@ -108,20 +132,32 @@ impl Default for ServerConfig {
 }
 
 /// The server's observability state: the (possibly disabled) [`Tracer`]
-/// every session shares, plus the cross-thread histograms behind the `T`
-/// protocol frame. All three histograms are recorded once per session, so
-/// they stay cheap enough to keep unconditionally.
+/// every session shares, plus the cross-thread histograms and scheduler
+/// counters behind the `T` protocol frame. The per-session histograms are
+/// recorded once per session, the scheduler gauges once per scheduling
+/// decision (an atomic increment), so they stay cheap enough to keep
+/// unconditionally.
 pub(crate) struct ServeTrace {
     /// Shared trace handle; disabled unless `ServerConfig::trace_jsonl`.
     pub(crate) tracer: Tracer,
-    /// Microseconds each admitted connection waited for a worker.
+    /// Microseconds each session waited in a ready queue before its
+    /// machine's first advance.
     pub(crate) admission_wait_us: AtomicHistogram,
-    /// Microseconds from a worker picking a session up to its close.
+    /// Microseconds from accept to session close.
     pub(crate) session_us: AtomicHistogram,
     /// Determination latency (events between a candidate entering the
     /// Output buffer and its condition deciding — the paper's earliness
     /// measure), merged across every session.
     pub(crate) det_latency: AtomicHistogram,
+    /// Microseconds from accept to the first complete inbound frame.
+    pub(crate) accept_to_first_frame_us: AtomicHistogram,
+    /// Ready-queue depth observed at each enqueue.
+    pub(crate) ready_depth: AtomicHistogram,
+    /// Scheduling slices handed out across all workers.
+    pub(crate) slices: AtomicU64,
+    /// Slices where the per-tenant round-robin switched to a different
+    /// peer than the previous slice served.
+    pub(crate) rotations: AtomicU64,
 }
 
 impl ServeTrace {
@@ -131,16 +167,28 @@ impl ServeTrace {
             admission_wait_us: AtomicHistogram::new(),
             session_us: AtomicHistogram::new(),
             det_latency: AtomicHistogram::new(),
+            accept_to_first_frame_us: AtomicHistogram::new(),
+            ready_depth: AtomicHistogram::new(),
+            slices: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
         }
     }
 
-    /// The `t` frame payload: one JSON object of histogram summaries.
+    /// The `t` frame payload: one JSON object of histogram summaries and
+    /// scheduler counters. New keys append after the original three, so
+    /// clients reading the old shape keep working.
     pub(crate) fn to_json(&self) -> String {
         format!(
-            "{{\"admission_wait_us\":{},\"session_us\":{},\"determination_latency\":{}}}",
+            "{{\"admission_wait_us\":{},\"session_us\":{},\"determination_latency\":{},\
+             \"accept_to_first_frame_us\":{},\"ready_depth\":{},\
+             \"scheduler\":{{\"slices\":{},\"rotations\":{}}}}}",
             summary_json(&self.admission_wait_us.summary()),
             summary_json(&self.session_us.summary()),
             summary_json(&self.det_latency.summary()),
+            summary_json(&self.accept_to_first_frame_us.summary()),
+            summary_json(&self.ready_depth.summary()),
+            self.slices.load(Ordering::Relaxed),
+            self.rotations.load(Ordering::Relaxed),
         )
     }
 
@@ -162,6 +210,14 @@ impl ServeTrace {
         ] {
             t.counter(name, counter.load(Ordering::Relaxed));
         }
+        t.counter(
+            "serve.scheduler_slices",
+            self.slices.load(Ordering::Relaxed),
+        );
+        t.counter(
+            "serve.scheduler_rotations",
+            self.rotations.load(Ordering::Relaxed),
+        );
         t.hist(
             "serve.admission_wait_us",
             &self.admission_wait_us.snapshot(),
@@ -173,30 +229,37 @@ impl ServeTrace {
             &self.det_latency.snapshot(),
             &[],
         );
+        t.hist(
+            "serve.accept_to_first_frame_us",
+            &self.accept_to_first_frame_us.snapshot(),
+            &[],
+        );
+        t.hist("serve.ready_depth", &self.ready_depth.snapshot(), &[]);
         t.flush();
     }
 }
 
-/// State shared by the acceptor, the workers and every session.
+/// State shared by the reactor, the workers and every session.
 pub(crate) struct Shared {
     pub(crate) cfg: ServerConfig,
     pub(crate) shutdown: AtomicBool,
-    /// Admitted connections with their admission timestamps, so the worker
-    /// that picks a session up can record how long it queued.
-    pub(crate) queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    pub(crate) wake: Condvar,
     pub(crate) registry: Registry,
     pub(crate) stats: ServerStats,
     pub(crate) trace: ServeTrace,
     /// Monotonic sequence for minting durable session tokens.
-    pub(crate) seq: std::sync::atomic::AtomicU64,
+    pub(crate) seq: AtomicU64,
+    /// Worker → reactor command channel (and the reactor's waker).
+    pub(crate) notifier: Arc<Notifier>,
+    /// Per-worker ready queues; a connection is pinned to
+    /// `workers[conn.worker]` for life.
+    pub(crate) workers: Vec<Arc<WorkerQueue>>,
 }
 
 impl Shared {
-    /// Flip the shutdown flag and wake every sleeping worker.
+    /// Flip the shutdown flag and wake the reactor.
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.wake.notify_all();
+        self.notifier.wake();
     }
 }
 
@@ -225,7 +288,7 @@ pub struct ServerReport {
     /// Server statistics in the one-shot `--stats-json` schema (with the
     /// `server` extension object).
     pub stats_json: String,
-    /// Sessions accepted and queued.
+    /// Sessions accepted (admitted under the `max_conns` cap).
     pub sessions_started: u64,
     /// Sessions that ran to a clean `END`.
     pub sessions_completed: u64,
@@ -240,38 +303,46 @@ pub struct ServerReport {
 }
 
 /// A bound-but-not-yet-running server. [`Server::bind`] then
-/// [`Server::run`]; the run consumes the calling thread as the acceptor.
+/// [`Server::run`]; the run consumes the calling thread as the reactor.
 pub struct Server {
     listener: TcpListener,
+    poller: Poller,
     addr: SocketAddr,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Bind the listen socket. Nothing is served until [`Server::run`].
+    /// Bind the listen socket and the readiness poller. Nothing is served
+    /// until [`Server::run`].
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        // Non-blocking accept so the loop can poll the shutdown flag (and
-        // signals) without an interruptible syscall dance.
+        // Everything is nonblocking under the reactor, the listener
+        // included.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        let notifier = Arc::new(Notifier::new(poller.waker()));
         let registry = Registry::with_cap(cfg.max_cached_plans);
         let tracer = match &cfg.trace_jsonl {
             Some(path) => Tracer::to_sink(Arc::new(JsonlSink::create(std::path::Path::new(path))?)),
             None => Tracer::disabled(),
         };
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| Arc::new(WorkerQueue::new()))
+            .collect();
         Ok(Server {
             listener,
+            poller,
             addr,
             shared: Arc::new(Shared {
                 cfg,
                 shutdown: AtomicBool::new(false),
-                queue: Mutex::new(VecDeque::new()),
-                wake: Condvar::new(),
                 registry,
                 stats: ServerStats::new(),
                 trace: ServeTrace::new(tracer),
-                seq: std::sync::atomic::AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                notifier,
+                workers,
             }),
         })
     }
@@ -289,49 +360,30 @@ impl Server {
     }
 
     /// Serve until shutdown is requested, then drain and report. The
-    /// calling thread becomes the acceptor.
+    /// calling thread becomes the reactor.
     pub fn run(self) -> std::io::Result<ServerReport> {
         if self.shared.cfg.watch_signals {
             signal::install();
         }
-        let workers: Vec<_> = (0..self.shared.cfg.workers.max(1))
+        let workers: Vec<_> = (0..self.shared.workers.len())
             .map(|i| {
                 let shared = Arc::clone(&self.shared);
                 std::thread::Builder::new()
                     .name(format!("spex-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(i, &shared))
                     .expect("spawning a worker thread failed")
             })
             .collect();
 
-        loop {
-            if self.shared.cfg.watch_signals && signal::requested() {
-                self.shared.begin_shutdown();
-            }
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // Sessions do blocking frame reads; only the listener
-                    // is non-blocking.
-                    let _ = stream.set_nonblocking(false);
-                    self.admit(stream);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                // Transient accept failures (EMFILE, aborted handshake):
-                // back off instead of tearing the server down.
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
+        let reactor = Reactor::new(Arc::clone(&self.shared), self.poller, self.listener)?;
+        // The reactor returns once shutdown was requested and every
+        // connection has drained — at that point every machine has either
+        // finished or sits in a worker queue one advance from finishing,
+        // so closing the queues lets the workers drain and exit.
+        reactor.run();
+        for queue in &self.shared.workers {
+            queue.close();
         }
-
-        // Graceful drain: stop accepting (listener drops below), let the
-        // workers finish every queued and in-flight session.
-        drop(self.listener);
-        self.shared.wake.notify_all();
         for worker in workers {
             let _ = worker.join();
         }
@@ -347,65 +399,5 @@ impl Server {
             documents: stats.documents.load(Ordering::Relaxed),
             engine: stats.engine_totals(),
         })
-    }
-
-    /// Queue the connection, or shed it with `BUSY` when the queue is full.
-    fn admit(&self, mut stream: TcpStream) {
-        let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
-        if queue.len() >= self.shared.cfg.queue_cap {
-            drop(queue);
-            self.shared
-                .stats
-                .sessions_rejected
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = write_frame(&mut stream, FrameKind::Busy, b"");
-            let _ = stream.flush();
-            return;
-        }
-        queue.push_back((stream, Instant::now()));
-        drop(queue);
-        self.shared
-            .stats
-            .sessions_started
-            .fetch_add(1, Ordering::Relaxed);
-        self.shared.wake.notify_one();
-    }
-}
-
-/// One worker: pop sessions until shutdown *and* the queue is empty, so a
-/// graceful shutdown never abandons an admitted session.
-fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let job = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (guard, _timeout) = shared
-                    .wake
-                    .wait_timeout(queue, Duration::from_millis(200))
-                    .expect("queue lock poisoned");
-                queue = guard;
-            }
-        };
-        let Some((stream, queued_at)) = job else {
-            return;
-        };
-        shared
-            .trace
-            .admission_wait_us
-            .record(queued_at.elapsed().as_micros() as u64);
-        // A panicking session must not take its worker (and the server's
-        // capacity) down with it.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            session::run_session(stream, shared)
-        }));
-        if outcome.is_err() {
-            shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
-        }
     }
 }

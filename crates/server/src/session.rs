@@ -1,39 +1,50 @@
-//! One client session: the register phase, the streaming eval phase, and
-//! the closing `STAT`/`END` exchange.
+//! One client session as a nonblocking state machine: the register phase,
+//! the streaming eval phase, and the closing `STAT`/`END` exchange —
+//! driven by readiness instead of a dedicated blocking thread.
 //!
-//! A session is single-threaded on purpose: the engine's `Run` holds
-//! `Rc`-backed state (interned symbols, the variable factory) and is not
-//! `Send`, so each worker thread instantiates its own run over the shared
-//! (`Send + Sync`) compiled plan from the registry. The frame loop is:
+//! The reactor (see [`crate::reactor`]) owns the socket and shovels bytes
+//! between it and the connection's [`Conn`] buffers; this module owns all
+//! protocol logic. A [`SessionMachine`] is pinned to one worker (the
+//! engine's `Run` holds `Rc`-backed state and is not `Send`) and advanced
+//! whenever its connection is ready: [`SessionMachine::advance`] consumes
+//! decoded frames, drives the zero-copy `Reader::next_into` path, emits
+//! result frames into the bounded outbound buffer, and reports why it
+//! suspended ([`Advance::NeedInput`], [`Advance::NeedWrite`] for
+//! writability backpressure, [`Advance::Working`] when its CPU slice is
+//! spent) or how it finished.
+//!
+//! The phases are unchanged from the blocking server:
 //!
 //! 1. **Register**: `R` frames (`name=expr`) are parsed and acknowledged
 //!    one by one (`k` with the name, or `e` with a structured error that
 //!    does *not* kill the session). `S` answers with server-wide stats;
 //!    `Q` requests a graceful server shutdown (honored for loopback peers,
-//!    or any peer under `ServerConfig::allow_remote_shutdown`; refused
-//!    with an `e` frame otherwise, session left usable).
+//!    or any peer under `ServerConfig::allow_remote_shutdown`).
 //! 2. **Eval**: the first `D`/`E` frame freezes the registration and the
 //!    plan is fetched from (or compiled into) the shared registry. `D`
-//!    payloads are the XML byte stream, chunked arbitrarily — a
-//!    [`FrameByteSource`] adapts them to `std::io::Read` so the zero-copy
-//!    `Reader::next_into` path runs unchanged. Result fragments stream
-//!    back as `r` frames while input is still arriving (SPEX's
-//!    progressiveness, per connection). Each `</$>` boundary resets the
-//!    session's arena and interned symbols (`Run::reset_session`), so a
-//!    long-lived connection stays bounded.
-//! 3. **Close**: on `E` (or an error) the server sends any `f` fault
-//!    frames (recovery sessions), a `s` stats frame in the one-shot
-//!    `--stats-json` schema, and `n`.
+//!    payloads are the XML byte stream, chunked arbitrarily — an
+//!    [`EvalSource`] adapts them to `std::io::Read` so the zero-copy
+//!    reader path runs unchanged. Because the pull parser cannot be
+//!    suspended mid-event, the machine only pulls while the
+//!    [`HorizonScanner`] guarantees a complete event is buffered (or the
+//!    stream ended); if that guarantee is ever wrong the source degrades
+//!    to a bounded blocking wait — the old thread-per-session behavior,
+//!    never a corruption.
+//! 3. **Close**: on `E` (or an error) the machine queues any `f` fault
+//!    frames, a `s` stats frame in the one-shot `--stats-json` schema, and
+//!    `n`; the reactor flushes and closes.
 //!
 //! Errors mirror the one-shot CLI's exit-code classes (`usage`=1,
 //! `syntax`=2, `io`=3, `resource`=4) plus `protocol` for frame-grammar
 //! violations; an error closes *this* session only.
 
+use crate::conn::{Conn, Notifier, OUT_HIGH};
 use crate::durable::{self, SessionLog};
 use crate::protocol::{
-    error_payload, read_frame, result_payload, split_resume, write_frame, Frame, FrameKind,
-    ProtocolError, ReadError, RESUME_VERSION,
+    error_payload, result_payload, split_resume, Frame, FrameDecoder, FrameKind, ProtocolError,
+    RESUME_VERSION,
 };
+use crate::scan::HorizonScanner;
 use crate::server::Shared;
 use spex_core::multi::SharedQuerySet;
 use spex_core::{
@@ -43,12 +54,22 @@ use spex_core::{
 use spex_query::Rpeq;
 use spex_xml::{Reader, RecoveryPolicy, StoredKind};
 use std::cell::RefCell;
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::TcpStream;
+use std::io::Read;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum events pushed per [`SessionMachine::advance`] before the
+/// machine yields [`Advance::Working`], so one firehose session cannot
+/// starve its worker's other ready sessions.
+const SLICE_EVENTS: usize = 4096;
+
+/// Escape hatch for the horizon gate: once this many undecoded payload
+/// bytes are buffered without a complete event (one giant text node, say),
+/// the machine pulls anyway and accepts the bounded blocking fallback.
+const PARSE_CAP: usize = 4 << 20;
 
 /// How the session ended, for the server-wide counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +78,21 @@ pub(crate) enum SessionEnd {
     Completed,
     /// Closed early by an error (protocol, syntax, I/O, resource).
     Failed,
+}
+
+/// Why [`SessionMachine::advance`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Advance {
+    /// No complete frame/event is available; re-run when bytes arrive.
+    NeedInput,
+    /// The outbound buffer is over its high watermark; re-run when the
+    /// reactor has drained it below the low watermark.
+    NeedWrite,
+    /// The CPU slice was spent with work remaining; re-queue (rotated
+    /// behind other ready sessions).
+    Working,
+    /// The session is over; drop the machine, flush and close the socket.
+    Done(SessionEnd),
 }
 
 /// A structured session error, mirroring the CLI's exit-code classes.
@@ -104,118 +140,12 @@ fn classify(err: &EvalError, violation: Option<&ProtocolError>) -> SessionError 
     }
 }
 
-/// The session's write half: frames out, first write error kept (sticky),
-/// every frame flushed so results are visible progressively.
-struct FrameWriter {
-    out: BufWriter<TcpStream>,
-    error: Option<std::io::Error>,
-}
-
-impl FrameWriter {
-    fn new(stream: TcpStream) -> Self {
-        FrameWriter {
-            out: BufWriter::new(stream),
-            error: None,
-        }
-    }
-
-    fn send(&mut self, kind: FrameKind, payload: &[u8]) {
-        if self.error.is_some() {
-            return;
-        }
-        if let Err(e) = write_frame(&mut self.out, kind, payload).and_then(|()| self.out.flush()) {
-            self.error = Some(e);
-        }
-    }
-}
-
-type SharedWriter = Rc<RefCell<FrameWriter>>;
-
-/// Side-channel state the [`FrameByteSource`] records for the session to
+/// Side-channel state the [`EvalSource`] records for the session to
 /// inspect: `spex_xml::XmlError` stringifies I/O errors, so a protocol
 /// violation discovered *inside* the reader loop must travel out of band.
 #[derive(Default)]
 struct SourceState {
     violation: Option<ProtocolError>,
-}
-
-/// Adapts the session's `DATA` frames to `std::io::Read` so the engine's
-/// zero-copy reader path runs unchanged over the wire. `END` — or the peer
-/// hanging up — reads as EOF (a hangup mid-document is then exactly a
-/// truncated stream: a syntax error under `strict`, a `truncated` fault
-/// under a recovery policy). Any other frame kind mid-stream is a protocol
-/// violation, recorded in the shared [`SourceState`].
-struct FrameByteSource {
-    input: BufReader<TcpStream>,
-    max_frame: usize,
-    buf: Vec<u8>,
-    pos: usize,
-    ended: bool,
-    state: Rc<RefCell<SourceState>>,
-    /// Durable sessions append every incoming `DATA` payload here *before*
-    /// the engine sees the bytes (write-ahead). Replayed bytes preloaded
-    /// into `buf` at resume are consumed without passing through this hook,
-    /// so they are never logged twice. A WAL append failure fails the read
-    /// (and so the session): input the engine consumed but the log lost
-    /// could not be replayed.
-    log: Option<Rc<RefCell<SessionLog>>>,
-}
-
-impl FrameByteSource {
-    fn violation(&mut self, v: ProtocolError) -> std::io::Error {
-        let msg = v.to_string();
-        self.state.borrow_mut().violation = Some(v);
-        std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
-    }
-}
-
-impl Read for FrameByteSource {
-    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
-        // A zero-length read must not reach the EOF paths below: `Ok(0)`
-        // with buffered or still-arriving frames would read as end of
-        // stream and silently truncate the document.
-        if out.is_empty() {
-            return Ok(0);
-        }
-        loop {
-            if self.pos < self.buf.len() {
-                let n = (self.buf.len() - self.pos).min(out.len());
-                out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
-                self.pos += n;
-                return Ok(n);
-            }
-            if self.ended {
-                return Ok(0);
-            }
-            match read_frame(&mut self.input, self.max_frame) {
-                Ok(Some(frame)) => match frame.kind {
-                    FrameKind::Data => {
-                        if let Some(log) = &self.log {
-                            log.borrow_mut().append_data(&frame.payload)?;
-                        }
-                        self.buf = frame.payload;
-                        self.pos = 0;
-                    }
-                    FrameKind::End => {
-                        if let Some(log) = &self.log {
-                            log.borrow_mut().append_end()?;
-                        }
-                        self.ended = true;
-                        return Ok(0);
-                    }
-                    other => return Err(self.violation(ProtocolError::UnexpectedKind(other))),
-                },
-                // Hangup at a frame boundary: same as END — the XML layer
-                // decides whether the byte stream was complete.
-                Ok(None) => {
-                    self.ended = true;
-                    return Ok(0);
-                }
-                Err(ReadError::Io(e)) => return Err(e),
-                Err(ReadError::Protocol(p)) => return Err(self.violation(p)),
-            }
-        }
-    }
 }
 
 /// Per-query delivery accounting, shared between every result sink and the
@@ -273,274 +203,928 @@ fn shutdown_permitted(allow_remote: bool, peer: Option<std::net::SocketAddr>) ->
     allow_remote || peer.map(|p| p.ip().is_loopback()).unwrap_or(false)
 }
 
-/// Serve one connection end to end, updating the server-wide counters.
-pub(crate) fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
-    let started = std::time::Instant::now();
-    let mut span = shared.trace.tracer.span("serve.session");
-    let _ = stream.set_read_timeout(shared.cfg.read_timeout);
-    // A peer that stops reading while results stream would otherwise fill
-    // the kernel send buffer and block this worker forever, pinning server
-    // capacity and hanging the graceful-shutdown drain.
-    let _ = stream.set_write_timeout(shared.cfg.write_timeout);
-    let shutdown_allowed =
-        shutdown_permitted(shared.cfg.allow_remote_shutdown, stream.peer_addr().ok());
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    let writer: SharedWriter = Rc::new(RefCell::new(FrameWriter::new(write_half)));
-    let input = BufReader::new(stream);
-    let end = session_inner(input, &writer, shared, shutdown_allowed);
-    match end {
-        SessionEnd::Completed => {
-            shared
-                .stats
-                .sessions_completed
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        SessionEnd::Failed => {
-            shared.stats.sessions_failed.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    shared
-        .trace
-        .session_us
-        .record(started.elapsed().as_micros() as u64);
-    span.set_attr(
-        "end",
-        match end {
-            SessionEnd::Completed => "completed",
-            SessionEnd::Failed => "failed",
-        },
-    );
-}
-
-/// Send the closing error (optional) + `END` sequence.
-fn close_with(writer: &SharedWriter, error: Option<&SessionError>) {
-    let mut w = writer.borrow_mut();
+/// Queue the closing error (optional) + `END` frame sequence.
+fn close_frames(conn: &Conn, error: Option<&SessionError>) {
     if let Some(e) = error {
-        w.send(
+        conn.send_frame(
             FrameKind::Error,
             &error_payload(e.class, e.code, &e.message),
         );
     }
-    w.send(FrameKind::SessionEnd, b"");
+    conn.send_frame(FrameKind::SessionEnd, b"");
 }
 
-fn session_inner(
-    mut input: BufReader<TcpStream>,
-    writer: &SharedWriter,
-    shared: &Arc<Shared>,
+/// Adapts the ingested `DATA` payload bytes to `std::io::Read` so the
+/// engine's zero-copy reader path runs unchanged over the wire. Frames are
+/// decoded incrementally out of the connection's inbox; `END` — or the
+/// peer hanging up at a frame boundary — reads as EOF (a hangup
+/// mid-document is then exactly a truncated stream: a syntax error under
+/// `strict`, a `truncated` fault under a recovery policy). Any other frame
+/// kind mid-stream is a protocol violation, recorded in the shared
+/// [`SourceState`].
+///
+/// Reads never block while the machine respects the horizon gate
+/// ([`EvalSource::pull_ready`]); if the parser outruns the horizon (a
+/// recovery-mode resync skim, or the [`PARSE_CAP`] escape), the read falls
+/// back to a bounded condvar wait on the inbox — the reactor keeps filling
+/// it concurrently — failing with `TimedOut` after the configured read
+/// timeout, exactly like the blocking server's socket timeout.
+struct EvalSource {
+    conn: Arc<Conn>,
+    notifier: Arc<Notifier>,
+    decoder: FrameDecoder,
+    /// Decoded-but-unparsed XML payload bytes.
+    parse: Vec<u8>,
+    pos: usize,
+    ended: bool,
+    scanner: HorizonScanner,
+    state: Rc<RefCell<SourceState>>,
+    /// Durable sessions append every incoming `DATA` payload here *before*
+    /// the engine sees the bytes (write-ahead). Replayed bytes preloaded
+    /// at resume bypass this hook, so they are never logged twice. A WAL
+    /// append failure fails the read (and so the session): input the
+    /// engine consumed but the log lost could not be replayed.
+    log: Option<Rc<RefCell<SessionLog>>>,
+    read_timeout: Option<Duration>,
+    /// An ingest error found by the scheduler's probe, surfaced at the
+    /// next read so the reader's error path classifies it normally.
+    pending_err: Option<std::io::Error>,
+}
+
+impl EvalSource {
+    fn violation(&mut self, v: ProtocolError) -> std::io::Error {
+        let msg = v.to_string();
+        self.state.borrow_mut().violation = Some(v);
+        std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+    }
+
+    /// Feed already-logged bytes (a resume's WAL tail, or the first `DATA`
+    /// payload a fresh durable session write-ahead-logged before opening
+    /// the source) without passing through the WAL hook.
+    fn preload(&mut self, bytes: &[u8]) {
+        self.scanner.scan(bytes);
+        self.parse.extend_from_slice(bytes);
+    }
+
+    fn buffered(&self) -> usize {
+        self.parse.len() - self.pos
+    }
+
+    /// Can the next `Reader` pull complete without blocking? `consumed` is
+    /// the reader's absolute position. True when an ingest error is
+    /// pending (the pull surfaces it), the stream ended (EOF paths run),
+    /// a complete event construct lies past the reader's position, or the
+    /// [`PARSE_CAP`] escape tripped.
+    fn pull_ready(&self, consumed: u64) -> bool {
+        self.pending_err.is_some()
+            || self.ended
+            || consumed < self.scanner.horizon()
+            || self.buffered() >= PARSE_CAP
+    }
+
+    /// Drain the inbox through the frame decoder into the parse buffer,
+    /// write-ahead logging and horizon-scanning each payload. Returns
+    /// whether any progress was made (bytes, EOF, or an error became
+    /// visible).
+    fn ingest(&mut self) -> std::io::Result<bool> {
+        if self.ended {
+            return Ok(false);
+        }
+        let (drained, hangup, socket_err) = {
+            let mut inbox = self.conn.inbox.lock().expect("inbox lock poisoned");
+            let drained = !inbox.buf.is_empty();
+            if drained {
+                self.decoder.push(&inbox.buf);
+                inbox.buf.clear();
+            }
+            (drained, inbox.ended, inbox.error)
+        };
+        if drained {
+            self.conn.note_inbox_drained(&self.notifier);
+        }
+        let mut progress = drained;
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    self.conn.note_frame_complete();
+                    match frame.kind {
+                        FrameKind::Data => {
+                            if let Some(log) = &self.log {
+                                log.borrow_mut().append_data(&frame.payload)?;
+                            }
+                            self.scanner.scan(&frame.payload);
+                            if self.pos == self.parse.len() {
+                                self.parse.clear();
+                                self.pos = 0;
+                            }
+                            self.parse.extend_from_slice(&frame.payload);
+                            progress = true;
+                        }
+                        FrameKind::End => {
+                            if let Some(log) = &self.log {
+                                log.borrow_mut().append_end()?;
+                            }
+                            self.ended = true;
+                            return Ok(true);
+                        }
+                        other => return Err(self.violation(ProtocolError::UnexpectedKind(other))),
+                    }
+                }
+                Ok(None) => break,
+                Err(p) => return Err(self.violation(p)),
+            }
+        }
+        // Surface decoded bytes before any termination condition: the
+        // blocking reader would consume buffered data first and only then
+        // hit the socket error or truncation. Both are sticky in the inbox
+        // and re-observed by the next ingest once no progress is possible.
+        if progress {
+            return Ok(true);
+        }
+        if let Some(kind) = socket_err {
+            return Err(std::io::Error::from(kind));
+        }
+        if hangup {
+            if self.decoder.mid_frame() {
+                // Parity with the blocking `read_frame`: a cut-off frame
+                // header is a protocol-level truncation, a cut-off payload
+                // is an I/O-level unexpected EOF.
+                if self.decoder.buffered() < 5 {
+                    return Err(self.violation(ProtocolError::TruncatedFrame));
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            // Hangup at a frame boundary: same as END — the XML layer
+            // decides whether the byte stream was complete.
+            self.ended = true;
+            progress = true;
+        }
+        Ok(progress)
+    }
+
+    /// Scheduler-side ingest: refresh the horizon/EOF state without a
+    /// reader pull in flight. Errors are parked and surfaced by the next
+    /// read, so they flow through the reader's normal error path.
+    fn poll_ingest(&mut self) {
+        if self.pending_err.is_some() {
+            return;
+        }
+        if let Err(e) = self.ingest() {
+            self.pending_err = Some(e);
+        }
+    }
+
+    /// The bounded blocking fallback: wait on the inbox condvar until
+    /// bytes, EOF, an error, or the read deadline.
+    fn wait_for_input(&self) -> std::io::Result<()> {
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let mut inbox = self.conn.inbox.lock().expect("inbox lock poisoned");
+        loop {
+            if !inbox.buf.is_empty() || inbox.ended || inbox.error.is_some() {
+                return Ok(());
+            }
+            if self.conn.killed.load(Ordering::Relaxed) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "connection closed by the server",
+                ));
+            }
+            let step = Duration::from_millis(200);
+            let wait = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "read timed out waiting for DATA frames",
+                        ));
+                    }
+                    (d - now).min(step)
+                }
+                None => step,
+            };
+            let (guard, _) = self
+                .conn
+                .inbox_ready
+                .wait_timeout(inbox, wait)
+                .expect("inbox lock poisoned");
+            inbox = guard;
+        }
+    }
+}
+
+impl Read for EvalSource {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        // A zero-length read must not reach the EOF paths below: `Ok(0)`
+        // with buffered or still-arriving frames would read as end of
+        // stream and silently truncate the document.
+        if out.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            if self.pos < self.parse.len() {
+                let n = (self.parse.len() - self.pos).min(out.len());
+                out[..n].copy_from_slice(&self.parse[self.pos..self.pos + n]);
+                self.pos += n;
+                if self.pos == self.parse.len() {
+                    self.parse.clear();
+                    self.pos = 0;
+                }
+                return Ok(n);
+            }
+            // A parked scheduler-probe error surfaces only once the decoded
+            // bytes ahead of it were consumed, like the blocking reader.
+            if let Some(e) = self.pending_err.take() {
+                return Err(e);
+            }
+            if self.ended {
+                return Ok(0);
+            }
+            if self.ingest()? {
+                continue;
+            }
+            self.wait_for_input()?;
+        }
+    }
+}
+
+/// The register phase's working state.
+struct RegisterPhase {
+    decoder: FrameDecoder,
+    queries: Vec<(String, Rpeq)>,
+}
+
+/// The eval phase's working state.
+///
+/// `run` borrows `plan` (through the `Arc`) and `sinks` (through the
+/// boxes) with `'static` lifetimes conjured in [`init_run`]; the field
+/// order makes the compiler drop `run` before either referent, and the
+/// referents are heap allocations whose addresses survive moves of this
+/// struct (it lives in a `Box` regardless). `plan` and `sinks` are never
+/// otherwise touched while `run` is alive.
+struct EvalPhase {
+    run: Option<spex_core::EngineRun<'static, 'static>>,
+    reader: Reader<EvalSource>,
+    plan: Arc<SharedQuerySet>,
+    sinks: Vec<Box<dyn ResultSink>>,
+    quarantines: Vec<Rc<RefCell<Quarantine>>>,
+    delivery: Rc<RefCell<Delivery>>,
+    names: Vec<String>,
+    durable: Option<DurableCtx>,
+    source_state: Rc<RefCell<SourceState>>,
+    documents: u64,
+}
+
+enum Phase {
+    Register(RegisterPhase),
+    Eval(Box<EvalPhase>),
+    Finished,
+}
+
+/// What a register step decided.
+enum Step {
+    /// Yield this outcome to the worker.
+    Ready(Advance),
+    /// The machine transitioned into the eval phase; keep advancing.
+    Enter,
+}
+
+/// One connection's protocol state machine. Created by the pinned worker
+/// when the connection's first bytes arrive; dropped when
+/// [`SessionMachine::advance`] returns [`Advance::Done`].
+pub(crate) struct SessionMachine {
+    conn: Arc<Conn>,
+    shared: Arc<Shared>,
     shutdown_allowed: bool,
-) -> SessionEnd {
-    // --- Register phase -------------------------------------------------
-    let mut queries: Vec<(String, Rpeq)> = Vec::new();
-    let mut resume: Option<(DurableCtx, Vec<u8>, bool)> = None;
-    let first_data: Option<Vec<u8>>;
-    loop {
-        match read_frame(&mut input, shared.cfg.max_frame) {
-            Ok(Some(frame)) => match frame.kind {
-                FrameKind::Register => register_one(&frame, &mut queries, writer),
-                FrameKind::Resume => match handle_resume(&frame, shared, &mut queries) {
-                    Ok(prep) => {
-                        resume = Some(prep);
-                        first_data = None;
-                        break;
-                    }
-                    Err(e) => {
-                        close_with(writer, Some(&e));
-                        return SessionEnd::Failed;
-                    }
+    span: spex_trace::Span,
+    state: Phase,
+}
+
+impl SessionMachine {
+    pub(crate) fn new(conn: Arc<Conn>, shared: Arc<Shared>) -> SessionMachine {
+        let span = shared.trace.tracer.span("serve.session");
+        let shutdown_allowed = shutdown_permitted(shared.cfg.allow_remote_shutdown, conn.peer);
+        let max_frame = shared.cfg.max_frame;
+        SessionMachine {
+            conn,
+            shared,
+            shutdown_allowed,
+            span,
+            state: Phase::Register(RegisterPhase {
+                decoder: FrameDecoder::new(max_frame),
+                queries: Vec::new(),
+            }),
+        }
+    }
+
+    /// Run until the session suspends or finishes. Never blocks while the
+    /// horizon gate holds; bounded by the CPU slice and the outbound
+    /// watermark.
+    pub(crate) fn advance(&mut self) -> Advance {
+        if self.conn.killed.load(Ordering::Relaxed) && !matches!(self.state, Phase::Finished) {
+            // The reactor hard-closed the socket (write deadline,
+            // shutdown): there is no peer left to talk to.
+            return self.conclude(None, SessionEnd::Failed, false);
+        }
+        loop {
+            match std::mem::replace(&mut self.state, Phase::Finished) {
+                Phase::Register(reg) => match self.step_register(reg) {
+                    Step::Ready(adv) => return adv,
+                    Step::Enter => continue,
                 },
-                FrameKind::Stats => {
-                    let json = shared.stats.to_json();
-                    writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
-                }
-                FrameKind::TraceRequest => {
-                    let json = shared.trace.to_json();
-                    writer.borrow_mut().send(FrameKind::Trace, json.as_bytes());
-                }
-                FrameKind::Shutdown => {
-                    // Loopback peers (or all peers, when the operator opted
-                    // in) may stop the server; anyone else gets a refusal
-                    // that leaves their session usable — otherwise a single
-                    // unauthenticated remote frame is a denial of service.
-                    if shutdown_allowed {
-                        shared.begin_shutdown();
-                        writer.borrow_mut().send(FrameKind::Ok, b"shutdown");
-                    } else {
-                        writer.borrow_mut().send(
-                            FrameKind::Error,
-                            &error_payload("usage", 1, "shutdown is not permitted from this peer"),
-                        );
-                    }
-                }
-                FrameKind::Data => {
-                    first_data = Some(frame.payload);
-                    break;
-                }
-                FrameKind::End => {
-                    first_data = None;
-                    break;
-                }
-                other => {
-                    let e =
-                        SessionError::protocol(ProtocolError::UnexpectedKind(other).to_string());
-                    close_with(writer, Some(&e));
-                    return SessionEnd::Failed;
-                }
-            },
-            // Clean hangup before streaming: a stats-only or no-op
-            // connection ran to completion.
-            Ok(None) => return SessionEnd::Completed,
-            Err(ReadError::Io(_)) => return SessionEnd::Failed,
-            Err(ReadError::Protocol(p)) => {
-                close_with(writer, Some(&SessionError::protocol(p.to_string())));
-                return SessionEnd::Failed;
+                Phase::Eval(phase) => return self.step_eval(phase),
+                Phase::Finished => return Advance::NeedInput,
             }
         }
     }
 
-    if queries.is_empty() {
-        close_with(
-            writer,
-            Some(&SessionError::usage(
-                "no queries registered before DATA/END",
-            )),
+    /// Queue the closing frames (unless `silent`), stamp the span and
+    /// finish.
+    fn conclude(
+        &mut self,
+        error: Option<&SessionError>,
+        end: SessionEnd,
+        send_frames: bool,
+    ) -> Advance {
+        if send_frames {
+            close_frames(&self.conn, error);
+        }
+        self.span.set_attr(
+            "end",
+            match end {
+                SessionEnd::Completed => "completed",
+                SessionEnd::Failed => "failed",
+            },
         );
-        return SessionEnd::Failed;
+        self.state = Phase::Finished;
+        Advance::Done(end)
     }
 
-    let plan = match shared.registry.get_or_compile(&queries) {
-        Ok((plan, hit)) => {
-            let counter = if hit {
-                &shared.stats.plan_cache_hits
-            } else {
-                &shared.stats.plan_cache_misses
-            };
-            counter.fetch_add(1, Ordering::Relaxed);
-            plan
-        }
-        Err(e) => {
-            close_with(writer, Some(&SessionError::usage(e.to_string())));
-            return SessionEnd::Failed;
-        }
-    };
+    // --- Register phase -------------------------------------------------
 
-    // --- Durable state --------------------------------------------------
-    // Resumes carry their recovered WAL tail as the preloaded byte buffer;
-    // fresh sessions under `--durable-dir` mint a token, open a log and
-    // write-ahead the first DATA payload already in hand.
-    let (durable_ctx, preload, source_ended) = match resume {
-        Some((ctx, replay, replay_ended)) => {
-            // The durable input byte count, announced before any replayed
-            // result frames so the client knows where to continue its
-            // stream from.
-            let total = ctx.log.borrow().total_bytes();
-            writer
-                .borrow_mut()
-                .send(FrameKind::ResumeOk, &total.to_be_bytes());
-            (Some(ctx), replay, replay_ended)
-        }
-        None => {
-            let was_end = first_data.is_none();
-            let preload = first_data.unwrap_or_default();
-            match shared.cfg.durable_dir.as_deref() {
-                Some(root) => {
-                    let root = PathBuf::from(root);
-                    let token = durable::new_token(shared.seq.fetch_add(1, Ordering::Relaxed));
-                    let exprs: Vec<(String, String)> = queries
-                        .iter()
-                        .map(|(n, q)| (n.clone(), q.to_string()))
-                        .collect();
-                    let log = SessionLog::create(&root, &token, &exprs, shared.cfg.fsync).and_then(
-                        |mut log| {
-                            if was_end {
-                                log.append_end()?;
-                            } else {
-                                log.append_data(&preload)?;
-                            }
-                            Ok(log)
-                        },
-                    );
-                    match log {
-                        Ok(log) => {
-                            writer
-                                .borrow_mut()
-                                .send(FrameKind::Ok, format!("session={token}").as_bytes());
-                            let ctx = DurableCtx {
-                                root,
-                                token,
-                                log: Rc::new(RefCell::new(log)),
-                                snapshot: None,
-                                session: SessionState::default(),
-                                suppress: vec![0; queries.len()],
+    fn step_register(&mut self, mut reg: RegisterPhase) -> Step {
+        let (hangup, socket_err) = {
+            let mut inbox = self.conn.inbox.lock().expect("inbox lock poisoned");
+            if !inbox.buf.is_empty() {
+                reg.decoder.push(&inbox.buf);
+                inbox.buf.clear();
+            }
+            (inbox.ended, inbox.error)
+        };
+        self.conn.note_inbox_drained(&self.shared.notifier);
+        loop {
+            match reg.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    if self.conn.note_frame_complete() {
+                        self.shared
+                            .trace
+                            .accept_to_first_frame_us
+                            .record(self.conn.accepted_at.elapsed().as_micros() as u64);
+                    }
+                    match frame.kind {
+                        FrameKind::Register => register_one(&frame, &mut reg.queries, &self.conn),
+                        FrameKind::Resume => {
+                            return match handle_resume(&frame, &self.shared, &mut reg.queries) {
+                                Ok(prep) => {
+                                    self.enter_eval(reg, FirstInput::Resume(Box::new(prep)))
+                                }
+                                Err(e) => {
+                                    Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true))
+                                }
                             };
-                            (Some(ctx), preload, was_end)
                         }
-                        Err(e) => {
-                            close_with(
-                                writer,
-                                Some(&SessionError::new(
+                        FrameKind::Stats => {
+                            let json = self.shared.stats.to_json();
+                            self.conn.send_frame(FrameKind::Stat, json.as_bytes());
+                        }
+                        FrameKind::TraceRequest => {
+                            let json = self.shared.trace.to_json();
+                            self.conn.send_frame(FrameKind::Trace, json.as_bytes());
+                        }
+                        FrameKind::Shutdown => {
+                            // Loopback peers (or all peers, when the
+                            // operator opted in) may stop the server;
+                            // anyone else gets a refusal that leaves their
+                            // session usable — otherwise a single
+                            // unauthenticated remote frame is a denial of
+                            // service.
+                            if self.shutdown_allowed {
+                                self.shared.begin_shutdown();
+                                self.conn.send_frame(FrameKind::Ok, b"shutdown");
+                            } else {
+                                self.conn.send_frame(
+                                    FrameKind::Error,
+                                    &error_payload(
+                                        "usage",
+                                        1,
+                                        "shutdown is not permitted from this peer",
+                                    ),
+                                );
+                            }
+                        }
+                        FrameKind::Data => {
+                            return self.enter_eval(
+                                reg,
+                                FirstInput::Fresh {
+                                    first_data: Some(frame.payload),
+                                },
+                            );
+                        }
+                        FrameKind::End => {
+                            return self.enter_eval(reg, FirstInput::Fresh { first_data: None });
+                        }
+                        other => {
+                            let e = SessionError::protocol(
+                                ProtocolError::UnexpectedKind(other).to_string(),
+                            );
+                            return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
+                        }
+                    }
+                }
+                Ok(None) => {
+                    // Socket-level failure: silent close, like the
+                    // blocking server's `Err(ReadError::Io)` arm.
+                    if socket_err.is_some() {
+                        return Step::Ready(self.conclude(None, SessionEnd::Failed, false));
+                    }
+                    if hangup {
+                        if reg.decoder.mid_frame() {
+                            if reg.decoder.buffered() < 5 {
+                                let e = SessionError::protocol(
+                                    ProtocolError::TruncatedFrame.to_string(),
+                                );
+                                return Step::Ready(self.conclude(
+                                    Some(&e),
+                                    SessionEnd::Failed,
+                                    true,
+                                ));
+                            }
+                            return Step::Ready(self.conclude(None, SessionEnd::Failed, false));
+                        }
+                        // Clean hangup before streaming: a stats-only or
+                        // no-op connection ran to completion.
+                        return Step::Ready(self.conclude(None, SessionEnd::Completed, false));
+                    }
+                    self.state = Phase::Register(reg);
+                    return Step::Ready(Advance::NeedInput);
+                }
+                Err(p) => {
+                    let e = SessionError::protocol(p.to_string());
+                    return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
+                }
+            }
+        }
+    }
+
+    // --- Register → eval transition -------------------------------------
+
+    fn enter_eval(&mut self, reg: RegisterPhase, first: FirstInput) -> Step {
+        let RegisterPhase { decoder, queries } = reg;
+        if queries.is_empty() {
+            let e = SessionError::usage("no queries registered before DATA/END");
+            return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
+        }
+
+        let plan = match self.shared.registry.get_or_compile(&queries) {
+            Ok((plan, hit)) => {
+                let counter = if hit {
+                    &self.shared.stats.plan_cache_hits
+                } else {
+                    &self.shared.stats.plan_cache_misses
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                plan
+            }
+            Err(e) => {
+                let e = SessionError::usage(e.to_string());
+                return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
+            }
+        };
+
+        // --- Durable state ----------------------------------------------
+        // Resumes carry their recovered WAL tail as the preloaded byte
+        // buffer; fresh sessions under `--durable-dir` mint a token, open
+        // a log and write-ahead the first DATA payload already in hand.
+        let (durable_ctx, preload, source_ended) = match first {
+            FirstInput::Resume(prep) => {
+                let (ctx, replay, replay_ended) = *prep;
+                // The durable input byte count, announced before any
+                // replayed result frames so the client knows where to
+                // continue its stream from.
+                let total = ctx.log.borrow().total_bytes();
+                self.conn
+                    .send_frame(FrameKind::ResumeOk, &total.to_be_bytes());
+                (Some(ctx), replay, replay_ended)
+            }
+            FirstInput::Fresh { first_data } => {
+                let was_end = first_data.is_none();
+                let preload = first_data.unwrap_or_default();
+                match self.shared.cfg.durable_dir.as_deref() {
+                    Some(root) => {
+                        let root = PathBuf::from(root);
+                        let token =
+                            durable::new_token(self.shared.seq.fetch_add(1, Ordering::Relaxed));
+                        let exprs: Vec<(String, String)> = queries
+                            .iter()
+                            .map(|(n, q)| (n.clone(), q.to_string()))
+                            .collect();
+                        let log = SessionLog::create(&root, &token, &exprs, self.shared.cfg.fsync)
+                            .and_then(|mut log| {
+                                if was_end {
+                                    log.append_end()?;
+                                } else {
+                                    log.append_data(&preload)?;
+                                }
+                                Ok(log)
+                            });
+                        match log {
+                            Ok(log) => {
+                                self.conn.send_frame(
+                                    FrameKind::Ok,
+                                    format!("session={token}").as_bytes(),
+                                );
+                                let ctx = DurableCtx {
+                                    root,
+                                    token,
+                                    log: Rc::new(RefCell::new(log)),
+                                    snapshot: None,
+                                    session: SessionState::default(),
+                                    suppress: vec![0; queries.len()],
+                                };
+                                (Some(ctx), preload, was_end)
+                            }
+                            Err(e) => {
+                                let e = SessionError::new(
                                     "io",
                                     3,
                                     format!("opening the durable session log failed: {e}"),
-                                )),
+                                );
+                                return Step::Ready(self.conclude(
+                                    Some(&e),
+                                    SessionEnd::Failed,
+                                    true,
+                                ));
+                            }
+                        }
+                    }
+                    None => (None, preload, was_end),
+                }
+            }
+        };
+
+        // --- Build the eval pipeline ------------------------------------
+        let recovering = self.shared.cfg.recovery != RecoveryPolicy::Strict;
+        let source_state = Rc::new(RefCell::new(SourceState::default()));
+        let resume_point = durable_ctx.as_ref().and_then(|d| {
+            d.snapshot.as_ref().map(|_| {
+                (
+                    d.session.reader_emitted,
+                    d.session.position,
+                    d.session.lt_consumed,
+                )
+            })
+        });
+        let scanner = match resume_point {
+            Some((_, position, lt_consumed)) => {
+                HorizonScanner::resume(position.offset, lt_consumed)
+            }
+            None => HorizonScanner::new(),
+        };
+        let mut source = EvalSource {
+            conn: Arc::clone(&self.conn),
+            notifier: Arc::clone(&self.shared.notifier),
+            decoder,
+            parse: Vec::new(),
+            pos: 0,
+            ended: source_ended,
+            scanner,
+            state: Rc::clone(&source_state),
+            log: durable_ctx.as_ref().map(|d| Rc::clone(&d.log)),
+            read_timeout: self.shared.cfg.read_timeout,
+            pending_err: None,
+        };
+        source.preload(&preload);
+        drop(preload);
+
+        let mut reader = Reader::new(source).multi_document();
+        if recovering {
+            reader = reader.with_recovery(self.shared.cfg.recovery);
+        }
+        if let Some((emitted, position, lt_consumed)) = resume_point {
+            // The preloaded WAL tail starts exactly at the snapshot's byte
+            // offset; the reader continues in the original coordinates.
+            reader = reader.resume_at(emitted, position, lt_consumed);
+        }
+
+        let names: Vec<String> = plan.ids().to_vec();
+        let nq = names.len();
+        let delivery = {
+            let mut delivered = durable_ctx
+                .as_ref()
+                .map(|d| d.session.delivered.clone())
+                .unwrap_or_default();
+            delivered.resize(nq, 0);
+            let mut suppress = durable_ctx
+                .as_ref()
+                .map(|d| d.suppress.clone())
+                .unwrap_or_default();
+            suppress.resize(nq, 0);
+            Rc::new(RefCell::new(Delivery {
+                delivered,
+                suppress,
+            }))
+        };
+
+        // Under a recovery policy every fragment is quarantined until the
+        // damage intervals are known; under `strict` fragments stream
+        // straight into result frames. Quarantines sit behind
+        // `Rc<RefCell>` so the checkpoint hook can export them while the
+        // run holds the sink borrow.
+        let mut quarantines: Vec<Rc<RefCell<Quarantine>>> = Vec::new();
+        let sinks: Vec<Box<dyn ResultSink>> = if recovering {
+            quarantines = (0..nq)
+                .map(|_| Rc::new(RefCell::new(Quarantine::new())))
+                .collect();
+            if let Some(d) = &durable_ctx {
+                for (q, frags) in quarantines.iter().zip(d.session.quarantines.iter()) {
+                    q.borrow_mut().import_fragments(frags.clone());
+                }
+            }
+            quarantines
+                .iter()
+                .map(|q| Box::new(SharedQuarantine(Rc::clone(q))) as Box<dyn ResultSink>)
+                .collect()
+        } else {
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    Box::new(frame_sink(
+                        name.clone(),
+                        Arc::clone(&self.conn),
+                        i,
+                        Rc::clone(&delivery),
+                    )) as Box<dyn ResultSink>
+                })
+                .collect()
+        };
+
+        let mut phase = Box::new(EvalPhase {
+            run: None,
+            reader,
+            plan,
+            sinks,
+            quarantines,
+            delivery,
+            names,
+            durable: durable_ctx,
+            source_state,
+            documents: 0,
+        });
+        init_run(&mut phase, &self.shared);
+
+        if let Some(d) = &phase.durable {
+            if let Some(snap) = &d.snapshot {
+                let mut span = self.shared.trace.tracer.span("serve.restore");
+                span.set_attr("token", d.token.as_str());
+                let restored = phase
+                    .run
+                    .as_mut()
+                    .expect("run initialized above")
+                    .restore(snap);
+                if let Err(e) = restored {
+                    drop(phase.run.take());
+                    let e = SessionError::new(
+                        "io",
+                        3,
+                        format!("restoring the durable snapshot failed: {e}"),
+                    );
+                    return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
+                }
+            }
+        }
+        self.state = Phase::Eval(phase);
+        Step::Enter
+    }
+
+    // --- Eval phase ------------------------------------------------------
+
+    fn step_eval(&mut self, mut phase: Box<EvalPhase>) -> Advance {
+        let mut events = 0usize;
+        loop {
+            if events >= SLICE_EVENTS {
+                self.state = Phase::Eval(phase);
+                return Advance::Working;
+            }
+            if self.conn.outbound_pending() > OUT_HIGH {
+                self.state = Phase::Eval(phase);
+                return Advance::NeedWrite;
+            }
+            if !phase.reader.has_ready_event()
+                && !phase
+                    .reader
+                    .source()
+                    .pull_ready(phase.reader.position().offset)
+            {
+                phase.reader.source_mut().poll_ingest();
+                if !phase.reader.has_ready_event()
+                    && !phase
+                        .reader
+                        .source()
+                        .pull_ready(phase.reader.position().offset)
+                {
+                    self.state = Phase::Eval(phase);
+                    return Advance::NeedInput;
+                }
+            }
+            let run = phase.run.as_mut().expect("run lives through the eval loop");
+            match phase.reader.next_into(run.store_mut()) {
+                Ok(Some(id)) => {
+                    events += 1;
+                    let end_of_document = run.store().stored(id).kind == StoredKind::EndDocument;
+                    if let Err(e) = run.try_push_id(id) {
+                        return self.finish_eval(phase, Some(e));
+                    }
+                    if end_of_document {
+                        phase.documents += 1;
+                        // Long-lived connection hygiene: drop the
+                        // document's interned symbols and candidate state
+                        // before the next document on the same stream.
+                        run.reset_session();
+                        if let Some(d) = &phase.durable {
+                            checkpoint(
+                                d,
+                                run,
+                                &phase.reader,
+                                &phase.quarantines,
+                                &phase.delivery,
+                                phase.documents,
+                                &self.shared,
                             );
-                            return SessionEnd::Failed;
                         }
                     }
                 }
-                None => (None, preload, was_end),
+                Ok(None) => return self.finish_eval(phase, None),
+                Err(e) => {
+                    // An I/O failure that is really a peer protocol
+                    // violation is re-classified below via the
+                    // SourceState.
+                    return self.finish_eval(phase, Some(EvalError::Xml(e)));
+                }
             }
         }
-    };
+    }
 
-    // --- Eval phase -----------------------------------------------------
-    let state = Rc::new(RefCell::new(SourceState::default()));
-    let source = FrameByteSource {
-        input,
-        max_frame: shared.cfg.max_frame,
-        buf: preload,
-        pos: 0,
-        ended: source_ended,
-        state: Rc::clone(&state),
-        log: durable_ctx.as_ref().map(|d| Rc::clone(&d.log)),
-    };
-    let outcome = eval_stream(&plan, source, writer, shared, durable_ctx.as_ref());
-
-    let error = outcome.fail.or_else(|| {
-        outcome
-            .error
-            .as_ref()
-            .map(|e| classify(e, state.borrow().violation.as_ref()))
-    });
-    if let Some(d) = &durable_ctx {
-        let log = d.log.borrow();
+    /// The closing sequence, ported from the blocking server: harvest the
+    /// run, drain recovery quarantines (faults first), settle durable
+    /// state, then queue `STAT` + optional error + `END`.
+    fn finish_eval(&mut self, mut phase: Box<EvalPhase>, error: Option<EvalError>) -> Advance {
+        let shared = Arc::clone(&self.shared);
         shared
-            .trace
-            .tracer
-            .counter("wal.bytes", log.wal_bytes_written());
-        let ended_clean = log.ended();
-        drop(log);
-        // A clean END means the session is over and will never be resumed;
-        // a hangup or error keeps the durable state for a later `M` frame.
-        if error.is_none() && ended_clean {
-            let _ = durable::remove(&d.root, &d.token);
+            .stats
+            .documents
+            .fetch_add(phase.documents, Ordering::Relaxed);
+
+        let run = phase.run.take().expect("run lives until finish");
+        let exhausted = run.exhausted();
+        // Fold this session's determination latency into the server-wide
+        // aggregate behind the `T` frame. This must happen while the run
+        // is live; `</$>` boundaries already harvested every closed
+        // document, so only the tail of a truncated stream is missing
+        // here.
+        for (_, hist) in run.determination_latency() {
+            shared.trace.det_latency.merge(&hist);
         }
+        // A malformed or cut-off stream leaves undetermined candidates
+        // behind; `finish_full` asserts balance, so an errored run is
+        // snapshotted and dropped instead of finished (a resource breach
+        // is different: the run drained cleanly and can finish).
+        let (stats, transducers) = if matches!(error, Some(EvalError::Xml(_))) {
+            let stats = run.stats().clone();
+            let transducers = run.transducer_stats().to_vec();
+            drop(run);
+            (stats, transducers)
+        } else {
+            run.finish_full()
+        };
+        shared.stats.absorb_engine(&stats);
+
+        let recovering = shared.cfg.recovery != RecoveryPolicy::Strict;
+        let report = if recovering {
+            // A resumed session re-reports the faults recorded before the
+            // crash: damage intervals must stay complete for the final
+            // drain.
+            let mut faults = phase
+                .durable
+                .as_ref()
+                .map(|d| d.session.faults.clone())
+                .unwrap_or_default();
+            faults.extend(phase.reader.take_faults());
+            let truncated = faults
+                .iter()
+                .any(|f| f.kind == spex_xml::FaultKind::Truncated);
+            // Faults first, so a client sees why fragments were withheld
+            // before the surviving results arrive.
+            for fault in &faults {
+                self.conn
+                    .send_frame(FrameKind::Fault, fault_json(fault).as_bytes());
+            }
+            let mut delivered = 0u64;
+            let mut dropped = 0u64;
+            for (i, (q, name)) in phase.quarantines.iter().zip(&phase.names).enumerate() {
+                let mut sink = frame_sink(
+                    name.clone(),
+                    Arc::clone(&self.conn),
+                    i,
+                    Rc::clone(&phase.delivery),
+                );
+                let (d, p) =
+                    q.borrow_mut()
+                        .drain_into(&faults, shared.cfg.on_truncation, &mut sink);
+                delivered += d;
+                dropped += p;
+            }
+            shared
+                .stats
+                .absorb_faults(&faults, truncated, delivered, dropped);
+            Some(RunReport {
+                faults,
+                truncated,
+                results: delivered,
+                dropped,
+                exhausted,
+                stats: stats.clone(),
+                transducers: transducers.clone(),
+            })
+        } else {
+            None
+        };
+
+        let session_error = error
+            .as_ref()
+            .map(|e| classify(e, phase.source_state.borrow().violation.as_ref()));
+
+        if let Some(d) = &phase.durable {
+            let log = d.log.borrow();
+            shared
+                .trace
+                .tracer
+                .counter("wal.bytes", log.wal_bytes_written());
+            let ended_clean = log.ended();
+            drop(log);
+            // A clean END means the session is over and will never be
+            // resumed; a hangup or error keeps the durable state for a
+            // later `M` frame.
+            if session_error.is_none() && ended_clean {
+                let _ = durable::remove(&d.root, &d.token);
+            }
+        }
+
+        let json = stats_json(&stats, &transducers, report.as_ref());
+        self.conn.send_frame(FrameKind::Stat, json.as_bytes());
+        let end = if session_error.is_some() {
+            SessionEnd::Failed
+        } else {
+            SessionEnd::Completed
+        };
+        self.conclude(session_error.as_ref(), end, true)
     }
-    if let Some(json) = &outcome.stats_json {
-        writer.borrow_mut().send(FrameKind::Stat, json.as_bytes());
-    }
-    close_with(writer, error.as_ref());
-    if error.is_some() {
-        SessionEnd::Failed
-    } else {
-        SessionEnd::Completed
-    }
+}
+
+/// The register-phase input handoff into the eval phase.
+enum FirstInput {
+    Fresh {
+        /// The first `DATA` payload (`None` when `END` arrived first).
+        first_data: Option<Vec<u8>>,
+    },
+    Resume(Box<(DurableCtx, Vec<u8>, bool)>),
+}
+
+/// Conjure the `'static` borrows the [`EvalPhase`] run needs from its
+/// sibling fields and start the engine run. The one `unsafe` island in the
+/// server crate.
+#[allow(unsafe_code)]
+fn init_run(phase: &mut EvalPhase, shared: &Shared) {
+    // SAFETY: `plan` is kept alive by the `Arc` stored in the same
+    // `EvalPhase` as the run, and the `Arc`'s pointee never moves; the
+    // sink boxes likewise live in `phase.sinks` until the run is dropped,
+    // and a `Box`'s pointee never moves. The field order in `EvalPhase`
+    // drops `run` before `plan`/`sinks`, and no other code touches
+    // `phase.plan`/`phase.sinks` while `run` is `Some` — so the conjured
+    // `'static` references are valid for the run's entire life and never
+    // aliased.
+    let plan_ref: &'static SharedQuerySet = unsafe { &*Arc::as_ptr(&phase.plan) };
+    let sink_refs: Vec<&'static mut dyn ResultSink> = phase
+        .sinks
+        .iter_mut()
+        .map(|b| unsafe { &mut *(b.as_mut() as *mut dyn ResultSink) })
+        .collect();
+    let mut run = plan_ref.run_engine_with_limits(shared.cfg.engine, sink_refs, shared.cfg.limits);
+    run.set_tracer(shared.trace.tracer.clone());
+    phase.run = Some(run);
 }
 
 /// Handle an `M` frame: validate it, read the session's durable state back
@@ -683,11 +1267,9 @@ fn handle_resume(
 
 /// Handle one `REGISTER` frame; acknowledges with `k` (payload = name) or
 /// an `e` frame that leaves the session usable.
-fn register_one(frame: &Frame, queries: &mut Vec<(String, Rpeq)>, writer: &SharedWriter) {
+fn register_one(frame: &Frame, queries: &mut Vec<(String, Rpeq)>, conn: &Conn) {
     let reject = |message: String| {
-        writer
-            .borrow_mut()
-            .send(FrameKind::Error, &error_payload("usage", 1, &message));
+        conn.send_frame(FrameKind::Error, &error_payload("usage", 1, &message));
     };
     let Ok(text) = std::str::from_utf8(&frame.payload) else {
         reject("registration is not valid UTF-8".to_string());
@@ -710,19 +1292,10 @@ fn register_one(frame: &Frame, queries: &mut Vec<(String, Rpeq)>, writer: &Share
     match expr.parse::<Rpeq>() {
         Ok(q) => {
             queries.push((name.to_string(), q));
-            writer.borrow_mut().send(FrameKind::Ok, name.as_bytes());
+            conn.send_frame(FrameKind::Ok, name.as_bytes());
         }
         Err(e) => reject(format!("query `{expr}`: {e}")),
     }
-}
-
-/// What the eval phase produced: the closing stats JSON (when the run got
-/// far enough to have one), the first engine error, and any durable-state
-/// failure (already classified).
-struct EvalOutcome {
-    stats_json: Option<String>,
-    error: Option<EvalError>,
-    fail: Option<SessionError>,
 }
 
 /// Build the per-query result-frame sink: fragment bytes (plus the
@@ -730,12 +1303,12 @@ struct EvalOutcome {
 /// name header. Every fragment bumps the shared delivery counter; while
 /// `suppress[idx]` is positive the fragment is a replay the client already
 /// holds, so it is counted but not sent.
-fn frame_sink<'w>(
+fn frame_sink(
     name: String,
-    writer: &'w SharedWriter,
+    conn: Arc<Conn>,
     idx: usize,
     delivery: Rc<RefCell<Delivery>>,
-) -> FragmentFnSink<impl FnMut(&[u8]) + 'w> {
+) -> FragmentFnSink<impl FnMut(&[u8]) + 'static> {
     FragmentFnSink::new(move |fragment: &[u8]| {
         {
             let mut d = delivery.borrow_mut();
@@ -747,222 +1320,8 @@ fn frame_sink<'w>(
         }
         let mut payload = result_payload(&name, fragment);
         payload.push(b'\n');
-        writer.borrow_mut().send(FrameKind::Result, &payload);
+        conn.send_frame(FrameKind::Result, &payload);
     })
-}
-
-/// Drive the reader/engine loop over the framed byte stream and emit the
-/// result (and, under recovery, fault) frames. With a [`DurableCtx`] the
-/// run restores from the recovered snapshot first, and every `</$>`
-/// boundary checkpoints the full run state back to disk.
-fn eval_stream(
-    plan: &SharedQuerySet,
-    source: FrameByteSource,
-    writer: &SharedWriter,
-    shared: &Arc<Shared>,
-    durable: Option<&DurableCtx>,
-) -> EvalOutcome {
-    let recovering = shared.cfg.recovery != RecoveryPolicy::Strict;
-    let mut reader = Reader::new(source).multi_document();
-    if recovering {
-        reader = reader.with_recovery(shared.cfg.recovery);
-    }
-    if let Some(d) = durable {
-        if d.snapshot.is_some() {
-            // The preloaded WAL tail starts exactly at the snapshot's byte
-            // offset; the reader continues in the original coordinates.
-            let s = &d.session;
-            reader = reader.resume_at(s.reader_emitted, s.position, s.lt_consumed);
-        }
-    }
-    let names: Vec<String> = plan.ids().to_vec();
-    let nq = names.len();
-
-    let delivery = {
-        let mut delivered = durable
-            .map(|d| d.session.delivered.clone())
-            .unwrap_or_default();
-        delivered.resize(nq, 0);
-        let mut suppress = durable.map(|d| d.suppress.clone()).unwrap_or_default();
-        suppress.resize(nq, 0);
-        Rc::new(RefCell::new(Delivery {
-            delivered,
-            suppress,
-        }))
-    };
-
-    // Under a recovery policy every fragment is quarantined until the
-    // damage intervals are known; under `strict` fragments stream straight
-    // into result frames. Quarantines sit behind `Rc<RefCell>` so the
-    // checkpoint hook can export them while the run holds the sink borrow.
-    let mut quarantines: Vec<Rc<RefCell<Quarantine>>> = Vec::new();
-    let mut quarantine_sinks: Vec<SharedQuarantine> = Vec::new();
-    let mut streamers: Vec<FragmentFnSink<_>> = Vec::new();
-    if recovering {
-        quarantines = (0..nq)
-            .map(|_| Rc::new(RefCell::new(Quarantine::new())))
-            .collect();
-        if let Some(d) = durable {
-            for (q, frags) in quarantines.iter().zip(d.session.quarantines.iter()) {
-                q.borrow_mut().import_fragments(frags.clone());
-            }
-        }
-        quarantine_sinks = quarantines
-            .iter()
-            .map(|q| SharedQuarantine(Rc::clone(q)))
-            .collect();
-    } else {
-        streamers = names
-            .iter()
-            .enumerate()
-            .map(|(i, name)| frame_sink(name.clone(), writer, i, Rc::clone(&delivery)))
-            .collect();
-    }
-    let sinks: Vec<&mut dyn ResultSink> = if recovering {
-        quarantine_sinks
-            .iter_mut()
-            .map(|s| s as &mut dyn ResultSink)
-            .collect()
-    } else {
-        streamers
-            .iter_mut()
-            .map(|s| s as &mut dyn ResultSink)
-            .collect()
-    };
-
-    let mut run = plan.run_engine_with_limits(shared.cfg.engine, sinks, shared.cfg.limits);
-    run.set_tracer(shared.trace.tracer.clone());
-    if let Some(d) = durable {
-        if let Some(snap) = &d.snapshot {
-            let mut span = shared.trace.tracer.span("serve.restore");
-            span.set_attr("token", d.token.as_str());
-            if let Err(e) = run.restore(snap) {
-                return EvalOutcome {
-                    stats_json: None,
-                    error: None,
-                    fail: Some(SessionError::new(
-                        "io",
-                        3,
-                        format!("restoring the durable snapshot failed: {e}"),
-                    )),
-                };
-            }
-        }
-    }
-    let mut documents = 0u64;
-    let mut error: Option<EvalError> = None;
-    loop {
-        match reader.next_into(run.store_mut()) {
-            Ok(Some(id)) => {
-                let end_of_document = run.store().stored(id).kind == StoredKind::EndDocument;
-                if let Err(e) = run.try_push_id(id) {
-                    error = Some(e);
-                    break;
-                }
-                if end_of_document {
-                    documents += 1;
-                    // Long-lived connection hygiene: drop the document's
-                    // interned symbols and candidate state before the next
-                    // document on the same stream.
-                    run.reset_session();
-                    if let Some(d) = durable {
-                        checkpoint(
-                            d,
-                            &mut run,
-                            &reader,
-                            &quarantines,
-                            &delivery,
-                            documents,
-                            shared,
-                        );
-                    }
-                }
-            }
-            Ok(None) => break,
-            Err(e) => {
-                // An I/O failure that is really a peer protocol violation
-                // is re-classified by the caller via the SourceState.
-                error = Some(EvalError::Xml(e));
-                break;
-            }
-        }
-    }
-    shared
-        .stats
-        .documents
-        .fetch_add(documents, Ordering::Relaxed);
-
-    let exhausted = run.exhausted();
-    // Fold this session's determination latency into the server-wide
-    // aggregate behind the `T` frame. This must happen while the run is
-    // live; `</$>` boundaries already harvested every closed document, so
-    // only the tail of a truncated stream is missing here.
-    for (_, hist) in run.determination_latency() {
-        shared.trace.det_latency.merge(&hist);
-    }
-    // A malformed or cut-off stream leaves undetermined candidates behind;
-    // `finish_full` asserts balance, so an errored run is snapshotted and
-    // dropped instead of finished (a resource breach is different: the run
-    // drained cleanly and can finish).
-    let (stats, transducers) = if matches!(error, Some(EvalError::Xml(_))) {
-        let stats = run.stats().clone();
-        let transducers = run.transducer_stats().to_vec();
-        drop(run);
-        (stats, transducers)
-    } else {
-        run.finish_full()
-    };
-    shared.stats.absorb_engine(&stats);
-
-    let report = if recovering {
-        // A resumed session re-reports the faults recorded before the
-        // crash: damage intervals must stay complete for the final drain.
-        let mut faults = durable
-            .map(|d| d.session.faults.clone())
-            .unwrap_or_default();
-        faults.extend(reader.take_faults());
-        let truncated = faults
-            .iter()
-            .any(|f| f.kind == spex_xml::FaultKind::Truncated);
-        // Faults first, so a client sees why fragments were withheld
-        // before the surviving results arrive.
-        {
-            let mut w = writer.borrow_mut();
-            for fault in &faults {
-                w.send(FrameKind::Fault, fault_json(fault).as_bytes());
-            }
-        }
-        let mut delivered = 0u64;
-        let mut dropped = 0u64;
-        for (i, (q, name)) in quarantines.iter().zip(&names).enumerate() {
-            let mut sink = frame_sink(name.clone(), writer, i, Rc::clone(&delivery));
-            let (d, p) = q
-                .borrow_mut()
-                .drain_into(&faults, shared.cfg.on_truncation, &mut sink);
-            delivered += d;
-            dropped += p;
-        }
-        shared
-            .stats
-            .absorb_faults(&faults, truncated, delivered, dropped);
-        Some(RunReport {
-            faults,
-            truncated,
-            results: delivered,
-            dropped,
-            exhausted,
-            stats: stats.clone(),
-            transducers: transducers.clone(),
-        })
-    } else {
-        None
-    };
-
-    EvalOutcome {
-        stats_json: Some(stats_json(&stats, &transducers, report.as_ref())),
-        error,
-        fail: None,
-    }
 }
 
 /// Document-boundary checkpoint: snapshot the quiescent run plus the
@@ -970,10 +1329,10 @@ fn eval_stream(
 /// resume point), then durably persist and prune the WAL. All disk
 /// failures are absorbed — a failed checkpoint costs replay time on the
 /// next resume, never the live session.
-fn checkpoint(
+fn checkpoint<R: Read>(
     d: &DurableCtx,
     run: &mut spex_core::EngineRun<'_, '_>,
-    reader: &Reader<FrameByteSource>,
+    reader: &Reader<R>,
     quarantines: &[Rc<RefCell<Quarantine>>],
     delivery: &Rc<RefCell<Delivery>>,
     documents: u64,
@@ -1023,6 +1382,8 @@ fn fault_json(fault: &spex_xml::Fault) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::poll::Poller;
+    use crate::protocol::write_frame;
 
     #[test]
     fn shutdown_gate_trusts_loopback_peers_only() {
@@ -1037,25 +1398,32 @@ mod tests {
         assert!(shutdown_permitted(true, None));
     }
 
+    fn test_source(conn: Arc<Conn>) -> EvalSource {
+        let poller = Poller::new().unwrap();
+        EvalSource {
+            conn,
+            notifier: Arc::new(Notifier::new(poller.waker())),
+            decoder: FrameDecoder::new(1024),
+            parse: Vec::new(),
+            pos: 0,
+            ended: false,
+            scanner: HorizonScanner::new(),
+            state: Rc::new(RefCell::new(SourceState::default())),
+            log: None,
+            read_timeout: Some(Duration::from_millis(200)),
+            pending_err: None,
+        }
+    }
+
     /// A zero-length read must not look like EOF — neither with bytes
     /// still buffered nor with frames still arriving.
     #[test]
     fn zero_length_read_is_not_eof() {
-        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let mut tx = std::net::TcpStream::connect(addr).unwrap();
-        let (rx, _) = listener.accept().unwrap();
-        write_frame(&mut tx, FrameKind::Data, b"<a/>").unwrap();
-        tx.flush().unwrap();
-        let mut source = FrameByteSource {
-            input: BufReader::new(rx),
-            max_frame: 1024,
-            buf: Vec::new(),
-            pos: 0,
-            ended: false,
-            state: Rc::new(RefCell::new(SourceState::default())),
-            log: None,
-        };
+        let conn = Arc::new(Conn::new(1, None, 0));
+        let mut framed = Vec::new();
+        write_frame(&mut framed, FrameKind::Data, b"<a/>").unwrap();
+        conn.inbox.lock().unwrap().buf.extend_from_slice(&framed);
+        let mut source = test_source(Arc::clone(&conn));
         // Empty buffer, frame pending: an empty read returns 0 without
         // consuming the frame or flipping the EOF state…
         assert_eq!(source.read(&mut []).unwrap(), 0);
@@ -1067,5 +1435,54 @@ mod tests {
         assert_eq!(source.read(&mut []).unwrap(), 0);
         assert_eq!(source.read(&mut two).unwrap(), 2);
         assert_eq!(&two, b"/>");
+        // The horizon tracked the ingested payload: the self-closing tag
+        // ends at offset 4.
+        assert_eq!(source.scanner.horizon(), 4);
+    }
+
+    /// The blocking fallback times out with `TimedOut` (the same class the
+    /// blocking server's socket read timeout produced) instead of hanging.
+    #[test]
+    fn fallback_read_times_out() {
+        let conn = Arc::new(Conn::new(2, None, 0));
+        let mut source = test_source(conn);
+        let mut buf = [0u8; 4];
+        let err = source.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    }
+
+    /// A hangup mid-payload is an I/O-class unexpected EOF; a hangup
+    /// mid-header is a protocol-class truncation — parity with
+    /// `read_frame`.
+    #[test]
+    fn hangup_truncation_classes_match_blocking_decoder() {
+        // Mid-payload: full header promising 10 bytes, only 3 delivered.
+        let conn = Arc::new(Conn::new(3, None, 0));
+        {
+            let mut inbox = conn.inbox.lock().unwrap();
+            inbox.buf.push(FrameKind::Data.byte());
+            inbox.buf.extend_from_slice(&10u32.to_be_bytes());
+            inbox.buf.extend_from_slice(b"abc");
+            inbox.ended = true;
+        }
+        let mut source = test_source(conn);
+        let mut buf = [0u8; 4];
+        let err = source.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+        // Mid-header: three header bytes then EOF.
+        let conn = Arc::new(Conn::new(4, None, 0));
+        {
+            let mut inbox = conn.inbox.lock().unwrap();
+            inbox.buf.extend_from_slice(&[FrameKind::Data.byte(), 0, 0]);
+            inbox.ended = true;
+        }
+        let mut source = test_source(Arc::clone(&conn));
+        let err = source.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(
+            source.state.borrow().violation,
+            Some(ProtocolError::TruncatedFrame)
+        ));
     }
 }

@@ -319,6 +319,31 @@ impl<R: Read> Reader<R> {
         self
     }
 
+    /// Whether the next pull can deliver an event without consuming any
+    /// further input bytes: an event is already parsed ahead (`<a/>`'s
+    /// close), repair events are queued, or the reader is at a state
+    /// boundary (`StartDocument` before the first byte, `EndDocument` at a
+    /// detected document boundary, exhaustion after `Done`). Schedulers
+    /// driving the reader from a readiness-based source use this together
+    /// with [`Reader::position`] to pull only when the pull cannot block.
+    pub fn has_ready_event(&self) -> bool {
+        self.pending.is_some()
+            || !self.queue.is_empty()
+            || matches!(self.state, State::Fresh | State::Boundary | State::Done)
+    }
+
+    /// Shared access to the underlying byte source.
+    pub fn source(&self) -> &R {
+        &self.bytes.input
+    }
+
+    /// Exclusive access to the underlying byte source. Refilling or
+    /// re-buffering the source's own state never disturbs the parse state;
+    /// the reader only observes the source through `Read::read`.
+    pub fn source_mut(&mut self) -> &mut R {
+        &mut self.bytes.input
+    }
+
     /// Current element nesting depth (number of open elements).
     pub fn depth(&self) -> usize {
         self.stack.len()
