@@ -64,6 +64,16 @@
 //!                            on the streaming pipeline; --json writes
 //!                            BENCH_7.json and the run fails if WAL-on is
 //!                            >5% slower than WAL-off
+//! harness filter-bench [--json] [--max N]
+//!                            multi-tenant combiner sweep (E14): 10 → N
+//!                            (default 10,000) standing queries compiled
+//!                            into one shared plan by spex-combine, vs n
+//!                            per-query networks and the boolean NFA
+//!                            filter, over shared-prefix / shared-qualifier
+//!                            / disjoint profiles; per-query counts are
+//!                            cross-checked and the shared-prefix per-event
+//!                            cost at N must stay within 20x the 10-query
+//!                            cost; --json writes BENCH_9.json
 //! harness crash-smoke [--spex PATH]
 //!                            process-level restart transparency: SIGKILL a
 //!                            real `spex serve --durable-dir` mid-stream,
@@ -146,6 +156,7 @@ fn main() {
         "trace-bench" => trace_bench_cmd(&args[1..]),
         "crash-diff" => crash_diff_cmd(&args[1..]),
         "crash-bench" => crash_bench_cmd(&args[1..]),
+        "filter-bench" => filter_bench_cmd(&args[1..]),
         "crash-smoke" => crash_smoke_cmd(&args[1..]),
         "reactor-smoke" => reactor_smoke_cmd(&args[1..]),
         "mem-probe" => mem_probe(&args[1..]),
@@ -165,6 +176,7 @@ fn main() {
             trace_bench_cmd(&[]);
             crash_diff_cmd(&[]);
             crash_bench_cmd(&[]);
+            filter_bench_cmd(&[]);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
@@ -2179,13 +2191,16 @@ fn multiquery() {
             }
         }
         let spex_time = start.elapsed();
-        // Shared SPEX network (the §IX multi-query optimization).
+        // Shared SPEX network through the multi-query combiner (the §IX
+        // multi-query optimization): canonical forms collapse the seven
+        // distinct profiles, the step trie shares the `quotes.quote`
+        // prefix, and the remaining duplicates alias sinks on one plan.
         let named: Vec<(String, Rpeq)> = queries
             .iter()
             .enumerate()
             .map(|(i, q)| (format!("q{i}"), q.clone()))
             .collect();
-        let shared = spex_core::multi::SharedQuerySet::compile(&named);
+        let shared = spex_combine::combine_set(&named).expect("E12 queries compile");
         let start = Instant::now();
         let (_counts, _stats) = shared.count_events(docs.iter().cloned());
         let shared_time = start.elapsed();
@@ -2207,4 +2222,357 @@ fn multiquery() {
         );
     }
     println!("(boolean filtering only — the NFA filter cannot answer qualifier queries, SPEX can)");
+}
+
+/// Per-document event stream for `filter-bench`: `count` catalog documents,
+/// each one product carrying a rotating window of `fld{k}` children from a
+/// pool of `pool` field names, with a `meta.lang` subtree on every other
+/// document so qualifier queries actually filter.
+fn filter_catalog_docs(count: usize, pool: usize) -> Vec<Vec<XmlEvent>> {
+    (0..count)
+        .map(|d| {
+            let mut ev = vec![
+                XmlEvent::StartDocument,
+                XmlEvent::open("catalog"),
+                XmlEvent::open("product"),
+            ];
+            if d % 2 == 0 {
+                ev.push(XmlEvent::open("meta"));
+                ev.push(XmlEvent::open("lang"));
+                ev.push(XmlEvent::text("en"));
+                ev.push(XmlEvent::close("lang"));
+                ev.push(XmlEvent::close("meta"));
+            }
+            for k in 0..8usize {
+                let fld = format!("fld{}", (d * 8 + k) % pool);
+                ev.push(XmlEvent::open(&fld));
+                ev.push(XmlEvent::text("v"));
+                ev.push(XmlEvent::close(&fld));
+            }
+            ev.push(XmlEvent::close("product"));
+            ev.push(XmlEvent::close("catalog"));
+            ev.push(XmlEvent::EndDocument);
+            ev
+        })
+        .collect()
+}
+
+/// Per-document event stream for the disjoint profile: document `d` is the
+/// three-element spine `a{j}.b{j}.c{j}` with `j = d % cap`, so every
+/// registered disjoint query matches some documents.
+fn filter_disjoint_docs(count: usize, cap: usize) -> Vec<Vec<XmlEvent>> {
+    (0..count)
+        .map(|d| {
+            let j = d % cap;
+            vec![
+                XmlEvent::StartDocument,
+                XmlEvent::open(format!("a{j}")),
+                XmlEvent::open(format!("b{j}")),
+                XmlEvent::open(format!("c{j}")),
+                XmlEvent::text("v"),
+                XmlEvent::close(format!("c{j}")),
+                XmlEvent::close(format!("b{j}")),
+                XmlEvent::close(format!("a{j}")),
+                XmlEvent::EndDocument,
+            ]
+        })
+        .collect()
+}
+
+/// `n` independently-compiled networks over one flattened stream: the
+/// per-query baseline the combiner is measured against.
+fn filter_independent(queries: &[(String, Rpeq)], events: &[XmlEvent]) -> (Vec<usize>, f64) {
+    let networks: Vec<CompiledNetwork> = queries
+        .iter()
+        .map(|(_, q)| CompiledNetwork::compile(q))
+        .collect();
+    let mut sinks: Vec<spex_core::CountingSink> = (0..queries.len())
+        .map(|_| spex_core::CountingSink::new())
+        .collect();
+    let start = Instant::now();
+    {
+        let mut evals: Vec<spex_core::Evaluator> = networks
+            .iter()
+            .zip(sinks.iter_mut())
+            .map(|(net, sink)| spex_core::Evaluator::new(net, sink))
+            .collect();
+        for ev in events {
+            for e in &mut evals {
+                e.push(ev.clone());
+            }
+        }
+        for e in evals {
+            e.finish();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (sinks.iter().map(|s| s.results).collect(), elapsed)
+}
+
+/// One `filter-bench` measurement row.
+struct FilterRow {
+    profile: &'static str,
+    queries: usize,
+    distinct: usize,
+    degree: usize,
+    unshared_degree: usize,
+    combined_ns: f64,
+    independent_ns: Option<f64>,
+    independent_estimated: bool,
+    filter_ns: Option<f64>,
+}
+
+/// The `filter-bench` subcommand (E14): multi-tenant filtering, 10 →
+/// 10,000 concurrent standing queries compiled through the spex-combine
+/// combiner into **one** shared plan, against (a) n independently-compiled
+/// per-query networks and (b) the boolean NFA filter baseline
+/// (`spex_baseline::FilterSet`). Three query profiles: shared-prefix
+/// (`catalog.product.fld{k}`, k from a pool of 128), shared-qualifier
+/// (the same chains behind a `[meta.lang]` qualifier — the baseline cannot
+/// express these), and disjoint (`a{i}.b{i}.c{i}`, capped at 1,000). The
+/// per-query baseline is measured up to 1,000 queries and linearly
+/// extrapolated past that (marked `est.`). Combined per-query counts are
+/// checked against the independent counts wherever both run; any mismatch
+/// fails the run, as does the sublinearity gate: shared-prefix per-event
+/// cost at the largest n must stay within 20x the 10-query cost. With
+/// `--json`, writes `BENCH_9.json` (`--out PATH` overrides); `--max N`
+/// truncates the sweep (CI runs `--max 1000`).
+fn filter_bench_cmd(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let max = args
+        .iter()
+        .position(|a| a == "--max")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10_000);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_9.json", env!("CARGO_MANIFEST_DIR")));
+
+    const POOL: usize = 128; // distinct suffix fields across all tenants
+    const INDEP_CAP: usize = 1_000; // past this, extrapolate the per-query baseline
+    const DISJOINT_CAP: usize = 1_000; // the disjoint profile stops here
+    const DOCS: usize = 200;
+
+    let ns: Vec<usize> = [10usize, 100, 1_000, 10_000]
+        .into_iter()
+        .filter(|n| *n <= max)
+        .collect();
+    assert!(!ns.is_empty(), "--max must be at least 10");
+
+    header(&format!(
+        "filter-bench — multi-tenant combiner sweep, {} → {} standing queries",
+        ns[0],
+        ns[ns.len() - 1]
+    ));
+    println!(
+        "{:>17} {:>7} {:>9} {:>7} {:>9} {:>11} {:>13} {:>13}",
+        "profile",
+        "queries",
+        "distinct",
+        "degree",
+        "unshared",
+        "comb ns/ev",
+        "indep ns/ev",
+        "filter ns/ev"
+    );
+
+    let catalog_docs = filter_catalog_docs(DOCS, POOL);
+    let disjoint_docs = filter_disjoint_docs(DOCS, DISJOINT_CAP);
+    // One sweep profile: display name, query template, per-document event
+    // stream, and whether the boolean NFA baseline can express it.
+    type FilterProfile<'a> = (&'static str, fn(usize) -> String, &'a [Vec<XmlEvent>], bool);
+    let profiles: [FilterProfile<'_>; 3] = [
+        (
+            "shared-prefix",
+            |i| format!("catalog.product.fld{}", i % POOL),
+            &catalog_docs,
+            true,
+        ),
+        (
+            "shared-qualifier",
+            |i| format!("catalog.product[meta.lang].fld{}", i % POOL),
+            &catalog_docs,
+            false, // FilterSet rejects qualifiers
+        ),
+        (
+            "disjoint",
+            |i| format!("a{i}.b{i}.c{i}"),
+            &disjoint_docs,
+            true,
+        ),
+    ];
+
+    let mut rows: Vec<FilterRow> = Vec::new();
+    let mut mismatches = 0usize;
+    for (profile, make, docs, filterable) in profiles {
+        let events: Vec<XmlEvent> = docs.iter().flatten().cloned().collect();
+        let per_event = |secs: f64| secs * 1e9 / events.len() as f64;
+        for &n in &ns {
+            if profile == "disjoint" && n > DISJOINT_CAP {
+                println!(
+                    "{:>17} {:>7}  (capped at {DISJOINT_CAP}: past it every added query is new topology, scaling is linear by construction)",
+                    profile, n
+                );
+                continue;
+            }
+            let queries: Vec<(String, Rpeq)> = (0..n)
+                .map(|i| {
+                    (
+                        format!("q{i}"),
+                        make(i).parse().expect("bench query parses"),
+                    )
+                })
+                .collect();
+            let combined = spex_combine::combine(&queries).expect("bench queries compile");
+            let report = combined.report;
+            let start = Instant::now();
+            let (combined_counts, _stats) = combined.set.count_events(events.iter().cloned());
+            let combined_secs = start.elapsed().as_secs_f64();
+
+            // Per-query baseline, measured to INDEP_CAP and extrapolated past
+            // it (compiling 10,000 evaluators is exactly the cost the
+            // combiner exists to avoid).
+            let measured_n = n.min(INDEP_CAP);
+            let (indep_counts, indep_secs) = filter_independent(&queries[..measured_n], &events);
+            let estimated = measured_n < n;
+            let indep_secs_scaled = indep_secs * n as f64 / measured_n as f64;
+
+            // Equivalence spot-check over the measured slice: the combined
+            // plan must deliver exactly as many results per query as the
+            // query's own network.
+            let by_name: std::collections::HashMap<&str, usize> = combined
+                .set
+                .ids()
+                .iter()
+                .map(|s| s.as_str())
+                .zip(combined_counts.iter().copied())
+                .collect();
+            for ((name, _), independent) in queries[..measured_n].iter().zip(&indep_counts) {
+                let shared = by_name.get(name.as_str()).copied().unwrap_or(usize::MAX);
+                if shared != *independent {
+                    eprintln!(
+                        "MISMATCH [{profile} n={n}] {name}: combined delivered {shared}, independent {independent}"
+                    );
+                    mismatches += 1;
+                }
+            }
+
+            // Boolean NFA filter, one matching() pass per document (the SDI
+            // scenario: which documents match which profiles).
+            let filter_secs = if filterable {
+                let mut set = spex_baseline::FilterSet::new();
+                for (name, q) in &queries {
+                    set.add(name.clone(), q).expect("structure-only profile");
+                }
+                let start = Instant::now();
+                let mut hits = 0usize;
+                for doc in docs {
+                    hits += set.matching(doc).len();
+                }
+                std::hint::black_box(hits);
+                Some(start.elapsed().as_secs_f64())
+            } else {
+                None
+            };
+
+            let row = FilterRow {
+                profile,
+                queries: n,
+                distinct: report.distinct,
+                degree: report.degree,
+                unshared_degree: report.unshared_degree,
+                combined_ns: per_event(combined_secs),
+                independent_ns: Some(per_event(indep_secs_scaled)),
+                independent_estimated: estimated,
+                filter_ns: filter_secs.map(per_event),
+            };
+            println!(
+                "{:>17} {:>7} {:>9} {:>7} {:>9} {:>11.0} {:>9.0}{} {:>13}",
+                row.profile,
+                row.queries,
+                row.distinct,
+                row.degree,
+                row.unshared_degree,
+                row.combined_ns,
+                row.independent_ns.unwrap(),
+                if estimated { " est." } else { "     " },
+                row.filter_ns
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "n/a".to_string()),
+            );
+            rows.push(row);
+        }
+    }
+    println!(
+        "(filter column is boolean match/no-match per document — the NFA baseline cannot \
+         answer qualifier queries or extract fragments, the shared plan does both)"
+    );
+
+    // Sublinearity gate: growing the shared-prefix tenant set from 10 to
+    // the sweep maximum must not grow per-event cost by more than 20x —
+    // canonical dedup bounds live topology by the distinct-query pool, so
+    // cost saturates where per-query compilation keeps growing linearly.
+    let prefix_rows: Vec<&FilterRow> = rows
+        .iter()
+        .filter(|r| r.profile == "shared-prefix")
+        .collect();
+    let base = prefix_rows.first().expect("shared-prefix rows exist");
+    let top = prefix_rows.last().expect("shared-prefix rows exist");
+    let ratio = top.combined_ns / base.combined_ns;
+    const GATE: f64 = 20.0;
+    let gate_pass = ratio <= GATE;
+    println!(
+        "sublinearity: shared-prefix per-event {:.0} ns @ {} queries vs {:.0} ns @ {} queries — {:.2}x (gate {GATE}x): {}",
+        top.combined_ns,
+        top.queries,
+        base.combined_ns,
+        base.queries,
+        ratio,
+        if gate_pass { "PASS" } else { "FAIL" },
+    );
+
+    if json {
+        let mut out = String::from("{\n  \"bench\": \"filter\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"profile\": \"{}\", \"queries\": {}, \"distinct\": {}, \"degree\": {}, \
+                 \"unshared_degree\": {}, \"combined_ns_per_event\": {:.1}, \
+                 \"independent_ns_per_event\": {}, \"independent_estimated\": {}, \
+                 \"filter_ns_per_event\": {}}}{}\n",
+                r.profile,
+                r.queries,
+                r.distinct,
+                r.degree,
+                r.unshared_degree,
+                r.combined_ns,
+                r.independent_ns
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "null".to_string()),
+                r.independent_estimated,
+                r.filter_ns
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "null".to_string()),
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"summary\": {{\"shared_prefix_ratio\": {ratio:.3}, \
+             \"gate_max_ratio\": {GATE:.1}, \"mismatches\": {mismatches}, \"pass\": {}}}\n}}\n",
+            gate_pass && mismatches == 0,
+        ));
+        std::fs::write(&out_path, out).expect("write BENCH_9.json");
+        println!("wrote {out_path}");
+    }
+    if mismatches > 0 {
+        eprintln!("filter-bench: {mismatches} combined-vs-independent count mismatch(es)");
+        std::process::exit(1);
+    }
+    if !gate_pass {
+        eprintln!("filter-bench: sublinearity gate failed ({ratio:.2}x > {GATE}x)");
+        std::process::exit(1);
+    }
 }

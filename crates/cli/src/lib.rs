@@ -633,9 +633,11 @@ fn report_outcome(
 type TaggedSink<'a> = spex_core::FragmentFnSink<Box<dyn FnMut(&[u8]) + 'a>>;
 
 /// The multi-query one-shot mode (`--query NAME=EXPR`, repeatable): all
-/// queries compile into **one** shared transducer network (common prefixes
-/// exist once — the paper's multi-query outlook, §IX) and stream over the
-/// input together. Every output line is prefixed with `NAME<TAB>` so the
+/// queries compile through the multi-query combiner into **one** shared
+/// transducer network (common prefixes exist once on the step trie, equal
+/// qualifiers are hash-consed, canonically-equal queries collapse to one
+/// sink — the paper's multi-query outlook, §IX) and stream over the input
+/// together. Every output line is prefixed with `NAME<TAB>` so the
 /// interleaved per-query results can be separated again.
 fn run_multi(
     options: &Options,
@@ -643,7 +645,6 @@ fn run_multi(
     stdout: &mut dyn Write,
     stderr: &mut dyn Write,
 ) -> Result<(), CliError> {
-    use spex_core::multi::SharedQuerySet;
     if options.xpath {
         return Err(CliError::Usage(
             "--xpath cannot be combined with --query".to_string(),
@@ -683,7 +684,8 @@ fn run_multi(
             .map_err(|e: spex_query::ParseError| CliError::Usage(format!("--query {name}: {e}")))?;
         queries.push((name.to_string(), query));
     }
-    let set = SharedQuerySet::try_compile(&queries).map_err(|e| CliError::Usage(e.to_string()))?;
+    let combined = spex_combine::combine(&queries).map_err(|e| CliError::Usage(e.to_string()))?;
+    let (set, report) = (combined.set, combined.report);
 
     if options.explain {
         for (name, query) in &queries {
@@ -691,9 +693,14 @@ fn run_multi(
         }
         writeln!(
             stdout,
-            "shared network: {} transducers ({} unshared)",
+            "shared network: {} transducers ({} unshared); \
+             {} distinct of {} queries, {}/{} chain steps shared",
             set.degree(),
-            set.unshared_degree()
+            set.unshared_degree(),
+            report.distinct,
+            report.queries,
+            report.steps_shared,
+            report.steps_total,
         )?;
         write!(stdout, "{}", set.spec().dump())?;
         return Ok(());
@@ -1411,9 +1418,12 @@ mod tests {
     #[test]
     fn multi_query_count_and_spans_modes() {
         let xml = "<a><c>1</c><b><c>2</c></b></a>";
+        // Summary rows come out in the combiner's canonical (name-sorted)
+        // order, not registration order — the same order `spex serve`
+        // reports for a shared plan.
         let (code, out, _) = run_cli(&["--count", "--query=cs=_*.c", "--query=bs=_*.b"], xml);
         assert_eq!(code, 0);
-        assert_eq!(out, "cs\t2\nbs\t1\n");
+        assert_eq!(out, "bs\t1\ncs\t2\n");
         let (code, out, _) = run_cli(&["--spans", "--query", "cs=_*.c"], xml);
         assert_eq!(code, 0);
         assert_eq!(out, "cs\t2\ncs\t6\n");

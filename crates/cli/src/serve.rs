@@ -47,6 +47,12 @@ OPTIONS:
                           peers (default: loopback peers only)
     --engine E            execution backend for every session:
                           vm (compiled plan, default) | network
+    --queries FILE        preload standing queries from FILE (one NAME=EXPR
+                          per line; `#` starts a comment, blank lines are
+                          skipped). The set compiles once through the
+                          multi-query combiner into one shared plan; any
+                          session that streams DATA without registering
+                          queries of its own evaluates the preloaded set
     --recover P           per-session recovery policy: strict | repair | skip-subtree
     --on-truncation O     drop (default) | force-false
     --limit-depth N       per-session stream nesting depth cap
@@ -81,6 +87,42 @@ crates/server/PROTOCOL.md for the normative specification):
 The server exits 0 after a graceful shutdown (SIGINT, SIGTERM, or a 'Q' frame),
 draining all in-flight sessions first.
 ";
+
+/// Parse a standing-query file (`--queries FILE`): one `NAME=EXPR` per
+/// line, `#` starts a comment (whole-line or trailing), blank lines are
+/// skipped. Names must be unique; every expression must parse as an rpeq.
+pub fn parse_query_file(text: &str) -> Result<Vec<(String, spex_query::Rpeq)>, String> {
+    let mut queries: Vec<(String, spex_query::Rpeq)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, expr) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: `{line}` is not of the form NAME=EXPR"))?;
+        let (name, expr) = (name.trim(), expr.trim());
+        if name.is_empty() {
+            return Err(format!("line {lineno}: empty query name"));
+        }
+        if queries.iter().any(|(n, _)| n == name) {
+            return Err(format!("line {lineno}: query name `{name}` given twice"));
+        }
+        let query: spex_query::Rpeq = expr
+            .parse()
+            .map_err(|e: spex_query::ParseError| format!("line {lineno}: query {name}: {e}"))?;
+        queries.push((name.to_string(), query));
+    }
+    if queries.is_empty() {
+        return Err("no queries in file (every line blank or a comment)".to_string());
+    }
+    Ok(queries)
+}
 
 /// Parse `spex serve` arguments (excluding `serve` itself).
 pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -143,6 +185,15 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 };
             }
             "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            "--queries" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| "--queries needs a file path".to_string())?;
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("--queries {path}: {e}"))?;
+                config.preload_queries =
+                    parse_query_file(&text).map_err(|e| format!("--queries {path}: {e}"))?;
+            }
             "--engine" => {
                 config.engine = it
                     .next()
@@ -348,6 +399,51 @@ mod tests {
         assert!(parse_serve_args(&args(&["--durable-dir"])).is_err());
         assert!(parse_serve_args(&args(&["--fsync"])).is_err());
         assert!(parse_serve_args(&args(&["--fsync", "sometimes"])).is_err());
+    }
+
+    #[test]
+    fn parse_query_file_lines() {
+        let qs = parse_query_file(
+            "# standing queries\n\
+             title = doc.title\n\
+             \n\
+             tags=doc.(tag|keyword)   # both element names\n\
+             deep = _*.item\n",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 3);
+        assert_eq!(qs[0].0, "title");
+        assert_eq!(qs[0].1.to_string(), "doc.title");
+        assert_eq!(qs[1].0, "tags");
+        assert_eq!(qs[2].0, "deep");
+
+        let e = parse_query_file("just-a-name\n").unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        assert!(e.contains("NAME=EXPR"), "{e}");
+        let e = parse_query_file("a=x\na=y\n").unwrap_err();
+        assert!(e.contains("given twice"), "{e}");
+        let e = parse_query_file("a=((\n").unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        let e = parse_query_file("# nothing here\n\n").unwrap_err();
+        assert!(e.contains("no queries"), "{e}");
+    }
+
+    #[test]
+    fn parse_queries_flag() {
+        let dir = std::env::temp_dir().join(format!("spex-queries-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("standing.txt");
+        std::fs::write(&path, "a=doc.a\nb=doc.b # comment\n").unwrap();
+        let o = parse_serve_args(&args(&["--queries", path.to_str().unwrap()])).unwrap();
+        assert_eq!(o.config.preload_queries.len(), 2);
+        assert_eq!(o.config.preload_queries[0].0, "a");
+        assert_eq!(o.config.preload_queries[1].1.to_string(), "doc.b");
+        let e = parse_serve_args(&args(&["--queries"])).unwrap_err();
+        assert!(e.contains("--queries"), "{e}");
+        let missing = dir.join("no-such-file.txt");
+        let e = parse_serve_args(&args(&["--queries", missing.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("no-such-file"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! The step trie: common-prefix sharing over compiled chain steps.
+//!
+//! Each distinct (normalized, deduplicated) query is a chain of steps; the
+//! trie maps a *path of steps from the input transducer* to the network
+//! tape that materializes it. Two queries walking the same edge sequence
+//! share every transducer on the way — the trie node's tape — and fork only
+//! where their chains diverge. Edges are keyed by [`StepKey`]: either a
+//! whole chain step or a qualifier wrap, both identified by their
+//! hash-consed [`CanonId`]. Splitting a qualified step `a[q]` into a
+//! `Step(a)` edge followed by a `Qual(q)` edge lets `x.a.y` and `x.a[q].z`
+//! share the `CH(a)` instance, and lets every query continuing from the
+//! same tape with the same qualifier share one compiled qualifier
+//! sub-network (one VC/VF/VD group) — the hash-consed qualifier sharing of
+//! DESIGN.md §17.
+
+use crate::canon::CanonId;
+use spex_core::network::Tape;
+use std::collections::HashMap;
+
+/// One trie edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKey {
+    /// A chain step (the step's canonical id) compiled by `translate`.
+    Step(CanonId),
+    /// A qualifier wrap (the qualifier's canonical id) compiled by
+    /// `translate_qualifier` around the current tape.
+    Qual(CanonId),
+}
+
+/// One trie node: the network tape realizing the step path from the root,
+/// plus the outgoing edges.
+#[derive(Debug)]
+struct TrieNode {
+    tape: Tape,
+    edges: HashMap<StepKey, usize>,
+}
+
+/// A trie over compiled chain steps; see the [module documentation](self).
+#[derive(Debug)]
+pub struct StepTrie {
+    nodes: Vec<TrieNode>,
+}
+
+impl StepTrie {
+    /// A trie whose root is the input transducer's tape.
+    pub fn new(root: Tape) -> StepTrie {
+        StepTrie {
+            nodes: vec![TrieNode {
+                tape: root,
+                edges: HashMap::new(),
+            }],
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The tape a node materializes.
+    pub fn tape(&self, node: usize) -> Tape {
+        self.nodes[node].tape
+    }
+
+    /// Follow `key` out of `node`, compiling the step with `build` (which
+    /// receives the node's tape) only when the edge does not exist yet.
+    /// Returns the target node and whether the edge was already present —
+    /// a *hit* means the step's whole sub-network is shared.
+    pub fn follow_or_insert(
+        &mut self,
+        node: usize,
+        key: StepKey,
+        build: impl FnOnce(Tape) -> Tape,
+    ) -> (usize, bool) {
+        if let Some(&next) = self.nodes[node].edges.get(&key) {
+            return (next, true);
+        }
+        let tape = build(self.nodes[node].tape);
+        let next = self.nodes.len();
+        self.nodes.push(TrieNode {
+            tape,
+            edges: HashMap::new(),
+        });
+        self.nodes[node].edges.insert(key, next);
+        (next, false)
+    }
+
+    /// Number of nodes (including the root) — one per distinct compiled
+    /// step path.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the trie just the root?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::CanonPool;
+
+    #[test]
+    fn shared_prefixes_hit() {
+        let mut pool = CanonPool::new();
+        let a = StepKey::Step(pool.intern(&"a".parse().unwrap()));
+        let b = StepKey::Step(pool.intern(&"b".parse().unwrap()));
+        let c = StepKey::Step(pool.intern(&"c".parse().unwrap()));
+        // Fake tapes: the builder is exercised in the combiner tests; here
+        // a counter stands in for compilation.
+        let (mut builder, root) = spex_core::network::NetworkBuilder::with_input();
+        let mut trie = StepTrie::new(root);
+        let mut compiled = 0;
+        let mut walk = |trie: &mut StepTrie, keys: &[StepKey], compiled: &mut usize| {
+            let mut node = trie.root();
+            for &k in keys {
+                let (next, hit) = trie.follow_or_insert(node, k, |tape| {
+                    *compiled += 1;
+                    builder.chain(
+                        spex_core::network::NodeSpec::Child(spex_query::Label::Wildcard),
+                        tape,
+                    )
+                });
+                let _ = hit;
+                node = next;
+            }
+            node
+        };
+        walk(&mut trie, &[a, b], &mut compiled);
+        walk(&mut trie, &[a, c], &mut compiled);
+        walk(&mut trie, &[a, b], &mut compiled);
+        // a, b, c each compiled once; the second `a.b` walk was all hits.
+        assert_eq!(compiled, 3);
+        assert_eq!(trie.len(), 4); // root + a + b + c
+    }
+}

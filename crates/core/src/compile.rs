@@ -140,7 +140,10 @@ impl CompiledNetwork {
 }
 
 /// Reject the constructs the network cannot realize (see [`CompileError`]).
-pub(crate) fn check_compilable(query: &Rpeq) -> Result<(), CompileError> {
+///
+/// Public so external network assemblers (the `spex-combine` multi-query
+/// combiner) can pre-validate before building a shared topology.
+pub fn check_compilable(query: &Rpeq) -> Result<(), CompileError> {
     fn go(q: &Rpeq, in_qualifier: bool) -> Result<(), CompileError> {
         match q {
             Rpeq::Preceding(_) if in_qualifier => Err(CompileError::PrecedingInQualifier {
@@ -168,7 +171,11 @@ pub(crate) fn check_compilable(query: &Rpeq) -> Result<(), CompileError> {
 
 /// The function `C`. Appends `expr`'s sub-network to `builder`, reading from
 /// `tape`; returns the sub-network's output tape.
-pub(crate) fn translate(expr: &Rpeq, builder: &mut NetworkBuilder, tape: Tape) -> Tape {
+///
+/// Public so external network assemblers (the `spex-combine` multi-query
+/// combiner) can compile individual chain steps into a shared builder;
+/// callers must [`check_compilable`] first.
+pub fn translate(expr: &Rpeq, builder: &mut NetworkBuilder, tape: Tape) -> Tape {
     match expr {
         // ε adds no transducer: the output tape is the input tape.
         Rpeq::Empty => tape,
@@ -211,11 +218,7 @@ pub(crate) fn translate(expr: &Rpeq, builder: &mut NetworkBuilder, tape: Tape) -
 }
 
 /// The `C[[rpeq]]` case of Fig. 11: wrap the tape in a qualifier.
-pub(crate) fn translate_qualifier(
-    qualifier: &Rpeq,
-    builder: &mut NetworkBuilder,
-    tape: Tape,
-) -> Tape {
+pub fn translate_qualifier(qualifier: &Rpeq, builder: &mut NetworkBuilder, tape: Tape) -> Tape {
     let q = builder.fresh_qualifier();
     let tv = builder.chain(NodeSpec::VarCreator(q), tape);
     let (t1, t2) = builder.split(tv);

@@ -79,8 +79,8 @@ pub use recover::{
     RecoveryOptions, RunReport, TruncationOutcome,
 };
 pub use sink::{
-    CountingSink, FragmentCollector, FragmentFnSink, ResultMeta, ResultSink, SpanCollector,
-    StreamingSink,
+    CountingSink, FragmentCollector, FragmentFnSink, ResultMeta, ResultSink, SinkGroup,
+    SpanCollector, StreamingSink,
 };
 pub use snapshot::{FragmentState, SessionState, Snapshot, SnapshotError};
 pub use stats::{json_escape, stats_json, EngineStats, Tap, TransducerStats};

@@ -27,7 +27,7 @@
 //! ```
 
 use crate::network::{NetworkBuilder, NetworkSpec, Run, Tape};
-use crate::sink::{CountingSink, ResultSink};
+use crate::sink::{CountingSink, ResultSink, SinkGroup};
 use crate::stats::EngineStats;
 use crate::vm::{Engine, EngineRun, Plan, PlanRun};
 use spex_query::Rpeq;
@@ -41,6 +41,11 @@ use std::sync::OnceLock;
 pub struct SharedQuerySet {
     spec: NetworkSpec,
     ids: Vec<String>,
+    /// `slot_of[i]` is the physical sink slot serving logical query `i`.
+    /// The identity map for [`SharedQuerySet::try_compile`]; the combiner
+    /// (`spex-combine`) aliases queries with equal canonical forms onto one
+    /// shared physical sink, so several logical queries may share a slot.
+    slot_of: Vec<usize>,
     unshared_degree: usize,
     /// The flat VM plan, lowered on first use and shared by every session
     /// (the server's plan registry caches `Arc<SharedQuerySet>`, so the
@@ -92,12 +97,62 @@ impl SharedQuerySet {
             ids.push(id.clone());
             unshared_degree += crate::compile::CompiledNetwork::compile(query).degree() - 2;
         }
+        let slot_of = (0..ids.len()).collect();
         Ok(SharedQuerySet {
             spec: builder.finish(),
             ids,
+            slot_of,
             unshared_degree,
             plan: OnceLock::new(),
         })
+    }
+
+    /// Assemble a query set from an externally built shared network — the
+    /// constructor the `spex-combine` combiner uses. `ids` are the logical
+    /// query names (one sink delivered per name), `slot_of[i]` the physical
+    /// sink slot of `spec` serving logical query `i` (aliased queries share
+    /// a slot), and `unshared_degree` the summed degree the queries would
+    /// have as independently compiled networks.
+    ///
+    /// # Panics
+    ///
+    /// If the lengths disagree, a slot index is out of range, or a physical
+    /// sink of `spec` is served to no logical query.
+    pub fn from_parts(
+        spec: NetworkSpec,
+        ids: Vec<String>,
+        slot_of: Vec<usize>,
+        unshared_degree: usize,
+    ) -> SharedQuerySet {
+        assert_eq!(
+            ids.len(),
+            slot_of.len(),
+            "{} ids for {} slot entries",
+            ids.len(),
+            slot_of.len()
+        );
+        let physical = spec.sink_count();
+        let mut served = vec![false; physical];
+        for &s in &slot_of {
+            assert!(s < physical, "sink slot {s} out of range ({physical})");
+            served[s] = true;
+        }
+        if let Some(idle) = served.iter().position(|s| !s) {
+            panic!("physical sink {idle} is served to no logical query");
+        }
+        SharedQuerySet {
+            spec,
+            ids,
+            slot_of,
+            unshared_degree,
+            plan: OnceLock::new(),
+        }
+    }
+
+    /// The physical-slot map: `slot_of()[i]` is the sink slot serving
+    /// logical query `i` (see [`SharedQuerySet::from_parts`]).
+    pub fn slot_of(&self) -> &[usize] {
+        &self.slot_of
     }
 
     /// Query ids, in sink order.
@@ -137,10 +192,13 @@ impl SharedQuerySet {
         &self.spec
     }
 
-    /// Instantiate over a stream with one sink per query (sink order ==
-    /// [`SharedQuerySet::ids`] order).
+    /// Instantiate over a stream with one sink per *logical* query (sink
+    /// order == [`SharedQuerySet::ids`] order). Queries aliased onto one
+    /// physical sink by the combiner each still receive their own result
+    /// stream — the shared sink fans out at delivery time.
     pub fn run<'n, 's>(&'n self, sinks: Vec<&'s mut dyn ResultSink>) -> Run<'n, 's> {
-        Run::new(&self.spec, sinks)
+        let groups = SinkGroup::partition(sinks, &self.slot_of, self.spec.sink_count());
+        Run::with_sink_groups(&self.spec, groups)
     }
 
     /// Like [`SharedQuerySet::run`], with resource caps attached (see
@@ -171,7 +229,10 @@ impl SharedQuerySet {
     ) -> EngineRun<'n, 's> {
         match engine {
             Engine::Network => EngineRun::Network(self.run(sinks)),
-            Engine::Vm => EngineRun::Vm(PlanRun::new(self.plan(), sinks)),
+            Engine::Vm => {
+                let groups = SinkGroup::partition(sinks, &self.slot_of, self.spec.sink_count());
+                EngineRun::Vm(PlanRun::with_sink_groups(self.plan(), groups))
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 use crate::engine::EvalError;
 use crate::limits::{LimitBreach, ResourceLimits};
 use crate::message::{DocEvent, Message};
-use crate::sink::ResultSink;
+use crate::sink::{ResultSink, SinkGroup};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::{EngineStats, Tap, TransducerStats};
 use crate::transducers::child::{Child, MatchLabel};
@@ -117,6 +117,12 @@ impl NetworkSpec {
     /// Lemma V.1: linear in the query length).
     pub fn degree(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of sink (output transducer) nodes — the count of physical
+    /// result streams a [`Run`] delivers.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
     }
 
     /// Node descriptions in topological order (used by tests and by the
@@ -300,7 +306,7 @@ pub struct Run<'n, 's> {
     /// buffered for undetermined candidates (paper §VI).
     store: EventStore,
     factory: Rc<RefCell<VarFactory>>,
-    sinks: Vec<&'s mut dyn ResultSink>,
+    sinks: Vec<SinkGroup<'s>>,
     stats: EngineStats,
     /// Per-node measurements, same indexing as `nodes`.
     node_stats: Vec<TransducerStats>,
@@ -325,6 +331,14 @@ pub struct Run<'n, 's> {
 impl<'n, 's> Run<'n, 's> {
     /// Instantiate `spec` with one sink per network sink node.
     pub fn new(spec: &'n NetworkSpec, sinks: Vec<&'s mut dyn ResultSink>) -> Self {
+        Self::with_sink_groups(spec, sinks.into_iter().map(SinkGroup::One).collect())
+    }
+
+    /// Instantiate `spec` with one [`SinkGroup`] per network sink node — a
+    /// group may fan a shared physical sink out to several logical sinks
+    /// (the combiner's aliased-query delivery; see
+    /// [`SinkGroup::partition`]).
+    pub fn with_sink_groups(spec: &'n NetworkSpec, sinks: Vec<SinkGroup<'s>>) -> Self {
         assert_eq!(
             sinks.len(),
             spec.sinks.len(),
@@ -597,7 +611,7 @@ impl<'n, 's> Run<'n, 's> {
                             }
                             o.step(
                                 m,
-                                self.sinks[sink_idx],
+                                &mut self.sinks[sink_idx],
                                 self.tick,
                                 &mut self.stats,
                                 &self.store,
@@ -641,7 +655,7 @@ impl<'n, 's> Run<'n, 's> {
             let sink_idx = self.sink_index[id];
             if let NodeInstance::Output(o) = &mut self.nodes[id] {
                 o.abort(
-                    self.sinks[sink_idx],
+                    &mut self.sinks[sink_idx],
                     self.tick,
                     &mut self.stats,
                     &self.store,
@@ -667,7 +681,7 @@ impl<'n, 's> Run<'n, 's> {
             let sink_idx = self.sink_index[id];
             if let NodeInstance::Output(o) = &mut self.nodes[id] {
                 o.finish(
-                    self.sinks[sink_idx],
+                    &mut self.sinks[sink_idx],
                     self.tick,
                     &mut self.stats,
                     &self.store,

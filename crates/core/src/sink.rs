@@ -234,6 +234,111 @@ impl<F: FnMut(&[u8])> ResultSink for FragmentFnSink<F> {
     }
 }
 
+/// One physical network sink's delivery target: either a single logical
+/// sink, or a fan-out to several.
+///
+/// The multi-query combiner ([`crate::multi::SharedQuerySet`] built by
+/// `spex-combine`) deduplicates queries whose canonical forms are equal:
+/// one physical OU serves every aliased registration. At run instantiation
+/// the logical per-query sinks are partitioned into one `SinkGroup` per
+/// physical sink; a group with aliases replays each `begin`/`event`/`end`
+/// callback to all of its members in registration order. Fan-out happens at
+/// result-delivery time — the rare path — so aliased queries add zero
+/// per-event cost.
+pub enum SinkGroup<'s> {
+    /// The common case: one physical sink, one logical sink.
+    One(&'s mut dyn ResultSink),
+    /// An aliased sink: every member receives every fragment.
+    Fanout(Vec<&'s mut dyn ResultSink>),
+}
+
+impl std::fmt::Debug for SinkGroup<'_> {
+    // Manual impl: trait objects are not `Debug`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkGroup::One(_) => f.write_str("SinkGroup::One"),
+            SinkGroup::Fanout(v) => write!(f, "SinkGroup::Fanout({})", v.len()),
+        }
+    }
+}
+
+impl<'s> SinkGroup<'s> {
+    /// Partition `sinks` (one per logical query) into one group per physical
+    /// sink slot. `slot_of[i]` names the physical slot logical sink `i`
+    /// feeds from; `slots` is the number of physical sinks.
+    ///
+    /// # Panics
+    ///
+    /// If `slot_of.len() != sinks.len()`, if any slot index is out of
+    /// range, or if a physical slot ends up with no logical sink (every
+    /// physical sink must deliver somewhere).
+    pub fn partition(
+        sinks: Vec<&'s mut dyn ResultSink>,
+        slot_of: &[usize],
+        slots: usize,
+    ) -> Vec<SinkGroup<'s>> {
+        assert_eq!(
+            sinks.len(),
+            slot_of.len(),
+            "{} sink(s) provided for {} logical queries",
+            sinks.len(),
+            slot_of.len()
+        );
+        let mut groups: Vec<Vec<&'s mut dyn ResultSink>> = (0..slots).map(|_| Vec::new()).collect();
+        for (sink, &slot) in sinks.into_iter().zip(slot_of) {
+            assert!(slot < slots, "sink slot {slot} out of range ({slots})");
+            groups[slot].push(sink);
+        }
+        groups
+            .into_iter()
+            .enumerate()
+            .map(|(slot, mut g)| {
+                assert!(!g.is_empty(), "physical sink {slot} has no logical sink");
+                if g.len() == 1 {
+                    SinkGroup::One(g.pop().expect("length checked"))
+                } else {
+                    SinkGroup::Fanout(g)
+                }
+            })
+            .collect()
+    }
+}
+
+impl ResultSink for SinkGroup<'_> {
+    fn begin(&mut self, meta: ResultMeta, now: u64) {
+        match self {
+            SinkGroup::One(s) => s.begin(meta, now),
+            SinkGroup::Fanout(v) => {
+                for s in v {
+                    s.begin(meta, now);
+                }
+            }
+        }
+    }
+
+    fn event(&mut self, event: &RawEvent<'_>, now: u64) {
+        match self {
+            SinkGroup::One(s) => s.event(event, now),
+            SinkGroup::Fanout(v) => {
+                for s in v {
+                    s.event(event, now);
+                }
+            }
+        }
+    }
+
+    fn end(&mut self, now: u64) {
+        match self {
+            SinkGroup::One(s) => s.end(now),
+            SinkGroup::Fanout(v) => {
+                for s in v {
+                    s.end(now);
+                }
+            }
+        }
+    }
+}
+
 /// Collects only the start ticks of result fragments — the node identities.
 /// This is what the SPEX-vs-baseline equivalence tests compare.
 #[derive(Debug, Default)]
@@ -322,6 +427,33 @@ mod tests {
         s.event(&RawEvent::from_event(&XmlEvent::close("a")), 0);
         s.end(0);
         assert!(s.take_error().is_some());
+    }
+
+    #[test]
+    fn sink_group_fans_out_to_every_alias() {
+        let mut a = CountingSink::new();
+        let mut b = CountingSink::new();
+        let mut c = CountingSink::new();
+        {
+            let sinks: Vec<&mut dyn ResultSink> = vec![&mut a, &mut b, &mut c];
+            // Logical sinks 0 and 2 alias physical slot 0; sink 1 is alone
+            // on slot 1.
+            let mut groups = SinkGroup::partition(sinks, &[0, 1, 0], 2);
+            assert_eq!(groups.len(), 2);
+            groups[0].begin(ResultMeta { start_tick: 4 }, 4);
+            groups[0].event(&RawEvent::from_event(&XmlEvent::open("x")), 4);
+            groups[0].end(5);
+        }
+        assert_eq!((a.results, b.results, c.results), (1, 0, 1));
+        assert_eq!((a.events, c.events), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "physical sink 1 has no logical sink")]
+    fn sink_group_rejects_unserved_slots() {
+        let mut a = CountingSink::new();
+        let sinks: Vec<&mut dyn ResultSink> = vec![&mut a];
+        let _ = SinkGroup::partition(sinks, &[0], 2);
     }
 
     #[test]

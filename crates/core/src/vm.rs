@@ -37,7 +37,7 @@ use crate::engine::EvalError;
 use crate::limits::{LimitBreach, ResourceLimits};
 use crate::message::{DocEvent, Message};
 use crate::network::{NetworkSpec, NodeSpec};
-use crate::sink::ResultSink;
+use crate::sink::{ResultSink, SinkGroup};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::{EngineStats, Tap, TransducerStats};
 use crate::transducers::child::{Child, MatchLabel};
@@ -470,7 +470,7 @@ pub struct PlanRun<'p, 's> {
     outbuf: Vec<Message>,
     store: EventStore,
     factory: Rc<RefCell<VarFactory>>,
-    sinks: Vec<&'s mut dyn ResultSink>,
+    sinks: Vec<SinkGroup<'s>>,
     stats: EngineStats,
     node_stats: Vec<TransducerStats>,
     limits: ResourceLimits,
@@ -487,6 +487,14 @@ pub struct PlanRun<'p, 's> {
 impl<'p, 's> PlanRun<'p, 's> {
     /// Instantiate `plan` with one sink per output instruction.
     pub fn new(plan: &'p Plan, sinks: Vec<&'s mut dyn ResultSink>) -> Self {
+        Self::with_sink_groups(plan, sinks.into_iter().map(SinkGroup::One).collect())
+    }
+
+    /// Instantiate `plan` with one [`SinkGroup`] per output instruction — a
+    /// group may fan a shared physical sink out to several logical sinks
+    /// (the combiner's aliased-query delivery; see
+    /// [`SinkGroup::partition`]).
+    pub fn with_sink_groups(plan: &'p Plan, sinks: Vec<SinkGroup<'s>>) -> Self {
         assert_eq!(
             sinks.len(),
             plan.sink_count(),
@@ -692,7 +700,7 @@ impl<'p, 's> PlanRun<'p, 's> {
                 for _ in 0..plan.item_flow[id as usize] {
                     o.step(
                         Message::Doc(doc),
-                        self.sinks[sink_idx],
+                        &mut self.sinks[sink_idx],
                         self.tick,
                         &mut self.stats,
                         &self.store,
@@ -793,7 +801,7 @@ impl<'p, 's> PlanRun<'p, 's> {
                         let sink_idx = plan.sink_of[id] as usize;
                         o.step(
                             m,
-                            self.sinks[sink_idx],
+                            &mut self.sinks[sink_idx],
                             self.tick,
                             &mut self.stats,
                             &self.store,
@@ -823,7 +831,7 @@ impl<'p, 's> PlanRun<'p, 's> {
                         }
                         o.step(
                             m,
-                            self.sinks[sink_idx],
+                            &mut self.sinks[sink_idx],
                             self.tick,
                             &mut self.stats,
                             &self.store,
@@ -968,7 +976,7 @@ impl<'p, 's> PlanRun<'p, 's> {
             let sink_idx = self.plan.sink_of[id as usize] as usize;
             if let OpState::Emit(o) = &mut self.ops[id as usize] {
                 o.abort(
-                    self.sinks[sink_idx],
+                    &mut self.sinks[sink_idx],
                     self.tick,
                     &mut self.stats,
                     &self.store,
@@ -991,7 +999,7 @@ impl<'p, 's> PlanRun<'p, 's> {
             let sink_idx = self.plan.sink_of[id as usize] as usize;
             if let OpState::Emit(o) = &mut self.ops[id as usize] {
                 o.finish(
-                    self.sinks[sink_idx],
+                    &mut self.sinks[sink_idx],
                     self.tick,
                     &mut self.stats,
                     &self.store,

@@ -119,8 +119,11 @@ impl Client {
     }
 
     /// Resume a durable session by token, declaring how many result
-    /// fragments per registered query this client already received (in
-    /// registration order). Must follow the `R` frames; the server answers
+    /// fragments per registered query this client already received (in the
+    /// server's canonical query order: sorted by name, then canonical
+    /// expression — the order result counts are reported in, and the
+    /// registration order whenever queries were registered name-sorted).
+    /// Must follow the `R` frames; the server answers
     /// with `RESUME-OK` and replays the WAL tail, suppressing fragments the
     /// client already holds.
     pub fn resume(&mut self, token: &str, received: &[u64]) -> std::io::Result<()> {

@@ -4,9 +4,14 @@
 //! A [`SharedQuerySet`] holds only the network *shape* (specs and strings),
 //! so it is `Send + Sync` and can sit behind an `Arc`; each session
 //! instantiates its own single-threaded `Run` over it. The cache key is
-//! [`SharedQuerySet::normalized_key`] — the pretty-printed canonical form —
-//! so two sessions registering the same queries with different whitespace or
-//! redundant parentheses share one compiled plan.
+//! [`spex_combine::canonical_key`] — sorted, deduplicated
+//! `name=canonical-expression` lines — so two sessions registering the same
+//! queries in a different order, with different whitespace, redundant
+//! parentheses or any other spelling of the same canonical forms (`b|a` vs
+//! `a|b`, `x*.x` vs `x+`) share one compiled plan. The plan itself is built
+//! by [`spex_combine::combine`], which sorts and deduplicates registrations
+//! the same way, so a cached plan's `ids()` are identical for every
+//! registration order that maps to its key.
 //!
 //! The cache is capped (`ServerConfig::max_cached_plans`): a client
 //! registering ever-varying query sets evicts the least-recently-used plan
@@ -70,13 +75,13 @@ impl Registry {
         &self,
         queries: &[(String, Rpeq)],
     ) -> Result<(Arc<SharedQuerySet>, bool), spex_core::CompileError> {
-        let key = SharedQuerySet::normalized_key(queries);
+        let key = spex_combine::canonical_key(queries);
         let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(entry) = self.plans.read().expect("registry lock poisoned").get(&key) {
             entry.last_used.store(now, Ordering::Relaxed);
             return Ok((Arc::clone(&entry.plan), true));
         }
-        let compiled = Arc::new(SharedQuerySet::try_compile(queries)?);
+        let compiled = Arc::new(spex_combine::combine_set(queries)?);
         if self.cap == 0 {
             return Ok((compiled, false));
         }
@@ -147,6 +152,26 @@ mod tests {
         let (_, hit_c) = reg.get_or_compile(&[q("z", "a.b"), q("y", "a.c")]).unwrap();
         assert!(!hit_c);
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn registration_order_and_spelling_share_one_plan() {
+        // Regression: the cache key used to be the registration-order
+        // pretty-printed list, so reordered or re-spelled registrations
+        // compiled and cached separate plans.
+        let reg = Registry::new();
+        let (a, hit_a) = reg
+            .get_or_compile(&[q("x", "a.(b|c)"), q("y", "d*.d")])
+            .unwrap();
+        assert!(!hit_a);
+        let (b, hit_b) = reg
+            .get_or_compile(&[q("y", "d+"), q("x", "a.(c|b)")])
+            .unwrap();
+        assert!(hit_b, "reordered registration missed the cache");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.len(), 1);
+        // The shared plan's id order is canonical, not registration order.
+        assert_eq!(a.ids(), ["x", "y"]);
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct ServerConfig {
     /// When the write-ahead log syncs to disk (only meaningful with
     /// `durable_dir`).
     pub fsync: crate::durable::FsyncPolicy,
+    /// Standing queries preloaded at startup (the CLI's `--queries FILE`).
+    /// They are combined and cached in the plan registry before the first
+    /// connection, and a session that sends `DATA`/`END` without
+    /// registering any query of its own is served this set instead of
+    /// being refused. Empty (the default) disables the fallback.
+    pub preload_queries: Vec<(String, spex_query::Rpeq)>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +133,7 @@ impl Default for ServerConfig {
             trace_jsonl: None,
             durable_dir: None,
             fsync: crate::durable::FsyncPolicy::default(),
+            preload_queries: Vec::new(),
         }
     }
 }
@@ -322,7 +329,20 @@ impl Server {
         let addr = listener.local_addr()?;
         let poller = Poller::new()?;
         let notifier = Arc::new(Notifier::new(poller.waker()));
+        let mut cfg = cfg;
         let registry = Registry::with_cap(cfg.max_cached_plans);
+        if !cfg.preload_queries.is_empty() {
+            // Canonicalize once so sessions adopting the standing set get
+            // the exact cached plan, then compile it up front — a bad
+            // standing query fails startup, not the first client.
+            cfg.preload_queries = spex_combine::canonicalize_registrations(&cfg.preload_queries);
+            registry.get_or_compile(&cfg.preload_queries).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("preloaded query set does not compile: {e}"),
+                )
+            })?;
+        }
         let tracer = match &cfg.trace_jsonl {
             Some(path) => Tracer::to_sink(Arc::new(JsonlSink::create(std::path::Path::new(path))?)),
             None => Tracer::disabled(),

@@ -683,10 +683,22 @@ impl SessionMachine {
 
     fn enter_eval(&mut self, reg: RegisterPhase, first: FirstInput) -> Step {
         let RegisterPhase { decoder, queries } = reg;
-        if queries.is_empty() {
-            let e = SessionError::usage("no queries registered before DATA/END");
-            return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
-        }
+        // Canonicalize the registration list once (sorted by name +
+        // canonical expression, duplicates dropped): from here on every
+        // positional index — plan sinks, delivered/suppress counters,
+        // durable queries.txt lines, resume received-counts — speaks the
+        // combiner's logical query order, whatever order the client
+        // registered in. A session registering nothing adopts the server's
+        // preloaded standing set (the CLI's `--queries FILE`), if any.
+        let queries = if queries.is_empty() {
+            if self.shared.cfg.preload_queries.is_empty() {
+                let e = SessionError::usage("no queries registered before DATA/END");
+                return Step::Ready(self.conclude(Some(&e), SessionEnd::Failed, true));
+            }
+            self.shared.cfg.preload_queries.clone()
+        } else {
+            spex_combine::canonicalize_registrations(&queries)
+        };
 
         let plan = match self.shared.registry.get_or_compile(&queries) {
             Ok((plan, hit)) => {
@@ -1181,6 +1193,9 @@ fn handle_resume(
             Ok((name.clone(), q))
         })
         .collect::<Result<_, SessionError>>()?;
+    // queries.txt is written canonicalized; canonicalize again anyway so
+    // the positional index math below cannot drift from the plan's order.
+    let recovered_queries = spex_combine::canonicalize_registrations(&recovered_queries);
     if recovered_queries.is_empty() {
         return Err(SessionError::new(
             "io",
@@ -1189,7 +1204,9 @@ fn handle_resume(
         ));
     }
     if !queries.is_empty() {
-        let registered: Vec<(String, String)> = queries
+        // Compare canonical forms: a resume may re-register the same set in
+        // any order or spelling.
+        let registered: Vec<(String, String)> = spex_combine::canonicalize_registrations(queries)
             .iter()
             .map(|(n, q)| (n.clone(), q.to_string()))
             .collect();

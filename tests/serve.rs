@@ -86,6 +86,54 @@ fn concurrent_sessions_are_isolated() {
 
 /// Satellite 3: a frame with an unknown kind byte gets a structured
 /// `protocol` error frame back — the session is closed, the server lives.
+/// A session that registers nothing adopts the server's preloaded standing
+/// query set (`spex serve --queries FILE`), and two sessions registering
+/// the same set in different orders share one cached plan.
+#[test]
+fn preloaded_standing_queries_serve_registrationless_sessions() {
+    let (addr, handle, join) = boot(ServerConfig {
+        preload_queries: vec![
+            ("title".to_string(), "doc.title".parse().unwrap()),
+            ("tags".to_string(), "doc.(tag|keyword)".parse().unwrap()),
+        ],
+        ..ServerConfig::default()
+    });
+    let xml = "<doc><title>t</title><tag>a</tag><keyword>b</keyword></doc>";
+    // No R frames at all: the standing set answers.
+    let mut client = Client::connect(addr).expect("connect");
+    let t = client.run_session(&[], xml.as_bytes()).expect("session");
+    assert!(t.clean_end, "errors: {:?}", t.errors);
+    assert_eq!(t.output_of("title"), b"<title>t</title>\n");
+    assert_eq!(
+        t.output_of("tags"),
+        b"<tag>a</tag>\n<keyword>b</keyword>\n".as_slice()
+    );
+    // A session registering the same queries (different order + spelling)
+    // hits the preloaded cached plan rather than compiling anew.
+    let mut client = Client::connect(addr).expect("connect");
+    let t = client
+        .run_session(
+            &[("tags", "doc.(keyword|tag)"), ("title", "(doc).title")],
+            xml.as_bytes(),
+        )
+        .expect("session");
+    assert!(t.clean_end);
+    assert_eq!(t.output_of("title"), b"<title>t</title>\n");
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("server run");
+    // One plan compiled at startup, both sessions were cache hits.
+    assert!(
+        report.stats_json.contains("\"plan_cache_hits\":2"),
+        "{}",
+        report.stats_json
+    );
+    assert!(
+        report.stats_json.contains("\"plan_cache_misses\":0"),
+        "{}",
+        report.stats_json
+    );
+}
+
 #[test]
 fn malformed_frame_yields_protocol_error() {
     let (addr, handle, join) = boot(ServerConfig::default());
