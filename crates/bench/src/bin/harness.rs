@@ -25,6 +25,22 @@
 //!                            network and the DOM baseline simultaneously
 //!                            (clean + fault-injected streams); any
 //!                            divergence fails the run
+//! harness scan-diff [--cases N] [--seed S] [--fault-rounds R]
+//!                            scanner differential rig: the SWAR fast path
+//!                            vs the classic scanner through the full
+//!                            recovery pipeline (clean + every PR-2 fault
+//!                            mutator x both engines x both policies);
+//!                            fragments, faults, quarantine sets and stats
+//!                            must be byte-identical or the run fails
+//! harness scan-bench [--json] [--out PATH]
+//!                            SWAR fast scanner vs classic (BENCH_10):
+//!                            a parse-only leg (Reader::next_into into the
+//!                            arena, no engine) and an end-to-end MB/s leg
+//!                            over the bundled workloads plus a synthetic
+//!                            attribute-heavy / text-heavy / deep-nesting
+//!                            grid; gated at >=1.5x parse-only and >=1.25x
+//!                            end-to-end aggregate speedup over classic;
+//!                            --json writes BENCH_10.json
 //! harness serve-bench [--json] [--clients N] [--docs M] [--engine E]
 //!                            spex-serve: N concurrent clients x M documents
 //!                            over a loopback server; aggregate events/sec,
@@ -92,13 +108,15 @@
 //! factor.
 
 use spex_bench::{
-    dmoz_scale, mondial_events, peak_rss_kb, run_query, run_query_engine, run_spex_owned,
-    run_spex_streaming, run_spex_zero_copy, stream_bytes, wordnet_events, Processor, RunResult,
+    dmoz_scale, mondial_events, peak_rss_kb, run_parse_only, run_query, run_query_engine,
+    run_spex_owned, run_spex_streaming, run_spex_zero_copy, run_spex_zero_copy_scanner,
+    stream_bytes, synthetic_attr_heavy, synthetic_deep_nesting, synthetic_text_heavy,
+    wordnet_events, Processor, RunResult,
 };
 use spex_core::{CompiledNetwork, Engine};
 use spex_query::{QueryMetrics, Rpeq};
 use spex_workloads::{dmoz_content, dmoz_structure, queries_for, Dataset, QuoteStream};
-use spex_xml::{EventStore, XmlEvent};
+use spex_xml::{EventStore, ScannerKind, XmlEvent};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -151,6 +169,8 @@ fn main() {
         "transducers" => transducers(),
         "fault-sweep" => fault_sweep_cmd(&args[1..]),
         "vm-diff" => vm_diff_cmd(&args[1..]),
+        "scan-diff" => scan_diff_cmd(&args[1..]),
+        "scan-bench" => scan_bench_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
         "serve-bench" => serve_bench_cmd(&args[1..]),
         "trace-bench" => trace_bench_cmd(&args[1..]),
@@ -171,7 +191,9 @@ fn main() {
             transducers();
             fault_sweep_cmd(&[]);
             vm_diff_cmd(&[]);
+            scan_diff_cmd(&[]);
             bench_cmd(&[]);
+            scan_bench_cmd(&[]);
             serve_bench_cmd(&[]);
             trace_bench_cmd(&[]);
             crash_diff_cmd(&[]);
@@ -601,6 +623,308 @@ fn vm_diff_cmd(args: &[String]) {
         eprintln!("DIVERGENCE: {d}");
     }
     if !outcome.divergences.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// The `scan-diff` subcommand: the PR-10 scanner differential rig
+/// (`spex_bench::diff::scan_diff`) — the SWAR fast path against the classic
+/// scanner through the full recovery pipeline, clean and fault-injected.
+/// Exits 1 on any divergence.
+fn scan_diff_cmd(args: &[String]) {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let cases = flag("--cases").unwrap_or(150) as usize;
+    let seed = flag("--seed").unwrap_or(0x5ca7);
+    let fault_rounds = flag("--fault-rounds").unwrap_or(1) as usize;
+    header(&format!(
+        "scan-diff — {cases} random case(s), seed {seed}, {fault_rounds} fault round(s) each"
+    ));
+    let outcome = spex_bench::diff::scan_diff(cases, seed, fault_rounds);
+    println!(
+        "{} case(s) compared fast-vs-classic ({} selected >=1 node, {} fragment(s) delivered)",
+        outcome.cases, outcome.selecting_cases, outcome.fragments
+    );
+    println!(
+        "{} stream comparison(s) (clean + mutators, x engine x policy), {} divergence(s)",
+        outcome.fault_comparisons,
+        outcome.divergences.len()
+    );
+    for d in &outcome.divergences {
+        eprintln!("SCANNER DIVERGENCE: {d}");
+    }
+    if !outcome.divergences.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// The `scan-bench` subcommand (BENCH_10): the SWAR fast scanner against
+/// the classic scanner on two axes — a parse-only leg (`Reader::next_into`
+/// into the arena, no engine attached) and an end-to-end leg (the full
+/// zero-copy pipeline under the VM engine) — over the bundled workloads
+/// plus the synthetic attribute-heavy / text-heavy / deep-nesting grid of
+/// EXPERIMENTS.md E15. Interleaved best-of-5 per cell; the aggregate
+/// fast/classic speedup is gated at ≥1.5× parse-only and ≥1.25× end-to-end.
+fn scan_bench_cmd(args: &[String]) {
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_10.json", env!("CARGO_MANIFEST_DIR")));
+    let bench_dmoz_scale = 0.01;
+    header("scan-bench — SWAR fast scanner vs classic: parse-only leg (BENCH_10)");
+    let workloads: Vec<(&'static str, String)> = vec![
+        (
+            "mondial",
+            spex_xml::writer::events_to_string(mondial_events()),
+        ),
+        (
+            "wordnet",
+            spex_xml::writer::events_to_string(wordnet_events()),
+        ),
+        (
+            "dmoz-structure",
+            spex_xml::writer::events_to_string(
+                &dmoz_structure(bench_dmoz_scale).collect::<Vec<_>>(),
+            ),
+        ),
+        ("attr-heavy", synthetic_attr_heavy(20_000)),
+        ("text-heavy", synthetic_text_heavy(10_000)),
+        ("deep-nesting", synthetic_deep_nesting(2_000, 30)),
+    ];
+    struct ParseRow {
+        workload: &'static str,
+        mb: f64,
+        events: u64,
+        fast_secs: f64,
+        classic_secs: f64,
+    }
+    println!(
+        "{:>14} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "workload", "MB", "events", "fast MB/s", "clas MB/s", "fast Mev/s", "clas Mev/s", "speedup"
+    );
+    let mut prows: Vec<ParseRow> = Vec::new();
+    for (name, xml) in &workloads {
+        let bytes = xml.as_bytes();
+        let mut fast = run_parse_only(bytes, ScannerKind::Fast);
+        let mut classic = run_parse_only(bytes, ScannerKind::Classic);
+        assert_eq!(
+            fast.events, classic.events,
+            "scanners disagree on event count for {name}"
+        );
+        assert_eq!(
+            fast.bytes, classic.bytes,
+            "scanners disagree on bytes consumed for {name}"
+        );
+        for _ in 0..4 {
+            let r = run_parse_only(bytes, ScannerKind::Fast);
+            if r.elapsed < fast.elapsed {
+                fast = r;
+            }
+            let r = run_parse_only(bytes, ScannerKind::Classic);
+            if r.elapsed < classic.elapsed {
+                classic = r;
+            }
+        }
+        println!(
+            "{:>14} {:>9.2} {:>9} {:>10.1} {:>10.1} {:>10.2} {:>10.2} {:>7.2}x",
+            name,
+            bytes.len() as f64 / 1e6,
+            fast.events,
+            fast.mb_per_s(),
+            classic.mb_per_s(),
+            fast.mev_per_s(),
+            classic.mev_per_s(),
+            classic.elapsed.as_secs_f64() / fast.elapsed.as_secs_f64().max(1e-9)
+        );
+        prows.push(ParseRow {
+            workload: name,
+            mb: bytes.len() as f64 / 1e6,
+            events: fast.events,
+            fast_secs: fast.elapsed.as_secs_f64(),
+            classic_secs: classic.elapsed.as_secs_f64(),
+        });
+    }
+    let parse_mb: f64 = prows.iter().map(|r| r.mb).sum();
+    let parse_fast_secs: f64 = prows.iter().map(|r| r.fast_secs).sum();
+    let parse_classic_secs: f64 = prows.iter().map(|r| r.classic_secs).sum();
+    let parse_speedup = parse_classic_secs / parse_fast_secs.max(1e-9);
+    println!(
+        "parse-only aggregate: fast {:.1} MB/s vs classic {:.1} MB/s ({:.2}x)",
+        parse_mb / parse_fast_secs.max(1e-9),
+        parse_mb / parse_classic_secs.max(1e-9),
+        parse_speedup
+    );
+
+    header("scan-bench — end-to-end zero-copy pipeline, fast vs classic (BENCH_10)");
+    // One representative class-1 path query per workload — the shape the
+    // one-shot CLI runs in the common case, where the scanner's share of the
+    // pipeline is visible. The engine-bound per-class grid (qualifiers,
+    // select-everything) lives in `harness bench`; those cells measure the
+    // engine, which is byte-identical under both scanners.
+    let mut e2e_specs: Vec<(&'static str, String, Rpeq)> = Vec::new();
+    for (name, dataset) in [
+        ("mondial", Dataset::Mondial),
+        ("wordnet", Dataset::Wordnet),
+        ("dmoz-structure", Dataset::DmozStructure),
+    ] {
+        for qc in queries_for(dataset) {
+            if qc.class == 1 {
+                e2e_specs.push((name, qc.text.to_string(), qc.rpeq()));
+            }
+        }
+    }
+    for (name, q) in [
+        ("attr-heavy", "_*.rec"),
+        ("text-heavy", "_*.p"),
+        ("deep-nesting", "_*.c"),
+    ] {
+        e2e_specs.push((name, q.to_string(), q.parse().expect("synthetic query")));
+    }
+    struct E2eRow {
+        workload: &'static str,
+        query: String,
+        mb: f64,
+        results: usize,
+        fast_secs: f64,
+        classic_secs: f64,
+    }
+    println!(
+        "{:>14} {:<28} {:>10} {:>10} {:>8} {:>11}",
+        "workload", "query", "fast MB/s", "clas MB/s", "speedup", "results"
+    );
+    let mut erows: Vec<E2eRow> = Vec::new();
+    for (name, text, q) in &e2e_specs {
+        let xml = &workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("workload exists")
+            .1;
+        let bytes = xml.as_bytes();
+        let mut fast = run_spex_zero_copy_scanner(q, bytes, Engine::Vm, ScannerKind::Fast);
+        let mut classic = run_spex_zero_copy_scanner(q, bytes, Engine::Vm, ScannerKind::Classic);
+        assert_eq!(
+            fast.results, classic.results,
+            "scanners disagree on result count for {name} `{text}`"
+        );
+        for _ in 0..4 {
+            let r = run_spex_zero_copy_scanner(q, bytes, Engine::Vm, ScannerKind::Fast);
+            if r.elapsed < fast.elapsed {
+                fast = r;
+            }
+            let r = run_spex_zero_copy_scanner(q, bytes, Engine::Vm, ScannerKind::Classic);
+            if r.elapsed < classic.elapsed {
+                classic = r;
+            }
+        }
+        let mb = bytes.len() as f64 / 1e6;
+        println!(
+            "{:>14} {:<28} {:>10.1} {:>10.1} {:>7.2}x {:>11}",
+            name,
+            text,
+            mb / fast.elapsed.as_secs_f64().max(1e-9),
+            mb / classic.elapsed.as_secs_f64().max(1e-9),
+            classic.elapsed.as_secs_f64() / fast.elapsed.as_secs_f64().max(1e-9),
+            fast.results
+        );
+        erows.push(E2eRow {
+            workload: name,
+            query: text.clone(),
+            mb,
+            results: fast.results,
+            fast_secs: fast.elapsed.as_secs_f64(),
+            classic_secs: classic.elapsed.as_secs_f64(),
+        });
+    }
+    let e2e_mb: f64 = erows.iter().map(|r| r.mb).sum();
+    let e2e_fast_secs: f64 = erows.iter().map(|r| r.fast_secs).sum();
+    let e2e_classic_secs: f64 = erows.iter().map(|r| r.classic_secs).sum();
+    let e2e_speedup = e2e_classic_secs / e2e_fast_secs.max(1e-9);
+    println!(
+        "end-to-end aggregate: fast {:.1} MB/s vs classic {:.1} MB/s ({:.2}x)",
+        e2e_mb / e2e_fast_secs.max(1e-9),
+        e2e_mb / e2e_classic_secs.max(1e-9),
+        e2e_speedup
+    );
+
+    // The two BENCH_10 gates. Aggregates are used (total bytes over total
+    // best-of-5 seconds) so one noisy cell cannot fail the run; both legs
+    // run fast and classic interleaved in the same process, so the ratio
+    // cancels machine-wide contention.
+    let mut failed = false;
+    if parse_speedup < 1.5 {
+        eprintln!(
+            "SCAN SPEEDUP REGRESSION: parse-only fast scanner only {parse_speedup:.2}x classic (gate: 1.5x)"
+        );
+        failed = true;
+    }
+    if e2e_speedup < 1.25 {
+        eprintln!(
+            "SCAN SPEEDUP REGRESSION: end-to-end fast scanner only {e2e_speedup:.2}x classic (gate: 1.25x)"
+        );
+        failed = true;
+    }
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"spex-scan-bench-10\",\n");
+        out.push_str(&format!("  \"dmoz_scale\": {bench_dmoz_scale},\n"));
+        out.push_str("  \"parse\": [\n");
+        for (i, r) in prows.iter().enumerate() {
+            let sep = if i + 1 == prows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"mb\":{:.3},\"events\":{},\"fast\":{{\"secs\":{:.6},\"mb_per_s\":{:.3},\"mev_per_s\":{:.3}}},\"classic\":{{\"secs\":{:.6},\"mb_per_s\":{:.3},\"mev_per_s\":{:.3}}},\"speedup\":{:.3}}}{sep}\n",
+                r.workload,
+                r.mb,
+                r.events,
+                r.fast_secs,
+                r.mb / r.fast_secs.max(1e-9),
+                r.events as f64 / 1e6 / r.fast_secs.max(1e-9),
+                r.classic_secs,
+                r.mb / r.classic_secs.max(1e-9),
+                r.events as f64 / 1e6 / r.classic_secs.max(1e-9),
+                r.classic_secs / r.fast_secs.max(1e-9),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"e2e\": [\n");
+        for (i, r) in erows.iter().enumerate() {
+            let sep = if i + 1 == erows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"query\":{:?},\"mb\":{:.3},\"results\":{},\"fast\":{{\"secs\":{:.6},\"mb_per_s\":{:.3}}},\"classic\":{{\"secs\":{:.6},\"mb_per_s\":{:.3}}},\"speedup\":{:.3}}}{sep}\n",
+                r.workload,
+                r.query,
+                r.mb,
+                r.results,
+                r.fast_secs,
+                r.mb / r.fast_secs.max(1e-9),
+                r.classic_secs,
+                r.mb / r.classic_secs.max(1e-9),
+                r.classic_secs / r.fast_secs.max(1e-9),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"parse_speedup\":{:.4},\"parse_fast_mb_per_s\":{:.3},\"parse_classic_mb_per_s\":{:.3},\"e2e_speedup\":{:.4},\"e2e_fast_mb_per_s\":{:.3},\"e2e_classic_mb_per_s\":{:.3}}},\n",
+            parse_speedup,
+            parse_mb / parse_fast_secs.max(1e-9),
+            parse_mb / parse_classic_secs.max(1e-9),
+            e2e_speedup,
+            e2e_mb / e2e_fast_secs.max(1e-9),
+            e2e_mb / e2e_classic_secs.max(1e-9),
+        ));
+        out.push_str("  \"gates\": {\"parse_min_speedup\":1.5,\"e2e_min_speedup\":1.25}\n");
+        out.push_str("}\n");
+        std::fs::write(&out_path, out).expect("write BENCH_10.json");
+        println!("wrote {out_path}");
+    }
+    if failed {
         std::process::exit(1);
     }
 }

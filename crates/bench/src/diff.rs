@@ -21,6 +21,10 @@
 //! 3. **Volume** ([`vm_diff`]) — the `harness vm-diff` subcommand and the CI
 //!    `vm-diff-smoke` job drive thousands of seeded cases; any entry in
 //!    [`DiffOutcome::divergences`] is a bug in the VM lowering.
+//! 4. **Scanners** ([`scan_diff`]) — PR 10 adds a SWAR fast path to the XML
+//!    reader; the same machinery compares the fast and classic scanners
+//!    (clean stream + every mutator × both engines × both policies) so the
+//!    byte-scanning optimization stays observationally invisible.
 //!
 //! Everything is deterministic per seed so a failing case replays exactly.
 
@@ -34,7 +38,7 @@ use spex_core::{
 };
 use spex_query::{Label, Rpeq};
 use spex_trace::HistogramSummary;
-use spex_xml::{Document, RecoveryPolicy};
+use spex_xml::{Document, RecoveryPolicy, ScannerKind};
 
 /// The closed label alphabet. Small on purpose: collisions between query
 /// labels and document labels are what make random cases select anything.
@@ -252,12 +256,14 @@ fn run_fault_engine(
     network: &CompiledNetwork,
     engine: Engine,
     policy: RecoveryPolicy,
+    scanner: ScannerKind,
     xml: &str,
 ) -> Result<FaultOutcome, String> {
     let mut collector = FragmentCollector::new();
     let options = RecoveryOptions {
         policy,
         engine,
+        scanner,
         ..RecoveryOptions::default()
     };
     let report = evaluate_recovering(
@@ -290,8 +296,20 @@ pub fn diff_fault_case(query: &Rpeq, xml: &str, seed: u64) -> Vec<String> {
             continue;
         }
         for policy in [RecoveryPolicy::Repair, RecoveryPolicy::SkipSubtree] {
-            let vm = run_fault_engine(&network, Engine::Vm, policy, &mutation.xml);
-            let net = run_fault_engine(&network, Engine::Network, policy, &mutation.xml);
+            let vm = run_fault_engine(
+                &network,
+                Engine::Vm,
+                policy,
+                ScannerKind::default(),
+                &mutation.xml,
+            );
+            let net = run_fault_engine(
+                &network,
+                Engine::Network,
+                policy,
+                ScannerKind::default(),
+                &mutation.xml,
+            );
             let (vm, net) = match (vm, net) {
                 (Ok(v), Ok(n)) => (v, n),
                 (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
@@ -385,6 +403,124 @@ pub fn vm_diff(cases: usize, seed: u64, fault_rounds: usize) -> DiffOutcome {
     outcome
 }
 
+/// Compare the fast (SWAR) and classic scanners end to end through the full
+/// recovery pipeline: the clean document plus every PR-2 fault mutator, ×
+/// both engines × both recovery policies. The surviving fragments (the
+/// quarantine sets), fault lists, truncation flags, delivered/dropped counts
+/// and engine statistics must be byte-identical — the fast path is only an
+/// optimization if nobody can observe it.
+pub fn scan_diff_case(query: &Rpeq, xml: &str, seed: u64) -> Vec<String> {
+    let mut divergences = Vec::new();
+    let network = match CompiledNetwork::try_compile(query) {
+        Ok(n) => n,
+        Err(e) => return vec![format!("query failed to compile: {e}")],
+    };
+    let mut streams: Vec<(String, String)> = vec![("clean".to_string(), xml.to_string())];
+    for mutator in Mutator::ALL {
+        let mutation = mutate(xml, mutator, seed);
+        if mutation.changed {
+            streams.push((mutator.to_string(), mutation.xml));
+        }
+    }
+    for (label, stream) in &streams {
+        for engine in [Engine::Vm, Engine::Network] {
+            for policy in [RecoveryPolicy::Repair, RecoveryPolicy::SkipSubtree] {
+                let fast = run_fault_engine(&network, engine, policy, ScannerKind::Fast, stream);
+                let classic =
+                    run_fault_engine(&network, engine, policy, ScannerKind::Classic, stream);
+                let (fast, classic) = match (fast, classic) {
+                    (Ok(f), Ok(c)) => (f, c),
+                    (Err(e), Ok(_)) => {
+                        divergences.push(format!(
+                            "{label}/{engine}/{policy}: fast scanner errored, classic did not: {e}"
+                        ));
+                        continue;
+                    }
+                    (Ok(_), Err(e)) => {
+                        divergences.push(format!(
+                            "{label}/{engine}/{policy}: classic scanner errored, fast did not: {e}"
+                        ));
+                        continue;
+                    }
+                    (Err(ef), Err(ec)) => {
+                        if ef != ec {
+                            divergences.push(format!(
+                                "{label}/{engine}/{policy}: error texts diverge: \
+                                 fast `{ef}`, classic `{ec}`"
+                            ));
+                        }
+                        continue;
+                    }
+                };
+                if fast.fragments != classic.fragments {
+                    divergences.push(format!(
+                        "{label}/{engine}/{policy}: fragments diverge: fast {:?}, classic {:?}",
+                        fast.fragments, classic.fragments
+                    ));
+                }
+                let (f, c) = (&fast.report, &classic.report);
+                if (f.results, f.dropped, f.truncated) != (c.results, c.dropped, c.truncated) {
+                    divergences.push(format!(
+                        "{label}/{engine}/{policy}: report counts diverge: fast ({}, {}, {}), \
+                         classic ({}, {}, {})",
+                        f.results, f.dropped, f.truncated, c.results, c.dropped, c.truncated
+                    ));
+                }
+                if format!("{:?}", f.faults) != format!("{:?}", c.faults) {
+                    divergences.push(format!(
+                        "{label}/{engine}/{policy}: fault lists diverge: fast {:?}, classic {:?}",
+                        f.faults, c.faults
+                    ));
+                }
+                if format!("{:?}", f.exhausted) != format!("{:?}", c.exhausted) {
+                    divergences.push(format!(
+                        "{label}/{engine}/{policy}: exhaustion reports diverge"
+                    ));
+                }
+                if f.stats != c.stats || f.transducers != c.transducers {
+                    divergences.push(format!(
+                        "{label}/{engine}/{policy}: engine statistics diverge"
+                    ));
+                }
+            }
+        }
+    }
+    divergences
+}
+
+/// The scanner rig's top-level driver, mirroring [`vm_diff`]: `cases` seeded
+/// random (document, query) pairs, each compared fast-vs-classic on the clean
+/// stream and under `fault_rounds` seeds of every fault mutator.
+/// Deterministic per `seed`.
+pub fn scan_diff(cases: usize, seed: u64, fault_rounds: usize) -> DiffOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outcome = DiffOutcome::default();
+    for i in 0..cases {
+        let query = gen_query(&mut rng);
+        let xml = gen_document(&mut rng);
+        let label = format!("case {i} (seed {seed}, query `{query}`)");
+        outcome.cases += 1;
+        let n = count_results(&query, &xml);
+        outcome.fragments += n;
+        if n > 0 {
+            outcome.selecting_cases += 1;
+        }
+        for round in 0..fault_rounds.max(1) {
+            let fault_seed = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(6361)
+                .wrapping_add(round as u64);
+            outcome.fault_comparisons += Mutator::ALL.len() + 1;
+            for d in scan_diff_case(&query, &xml, fault_seed) {
+                outcome
+                    .divergences
+                    .push(format!("{label} fault seed {fault_seed}: {d} [doc: {xml}]"));
+            }
+        }
+    }
+    outcome
+}
+
 fn count_results(query: &Rpeq, xml: &str) -> usize {
     spex_core::evaluate_str(&query.to_string(), xml)
         .map(|f| f.len())
@@ -444,6 +580,28 @@ mod tests {
             let d = diff_fault_case(&query, xml, 77);
             assert!(d.is_empty(), "query {q}: {d:?}");
         }
+    }
+
+    #[test]
+    fn scanner_equivalence_on_paper_examples() {
+        let xml = "<a><a><c/></a><b/><c/></a>";
+        for q in ["a.c", "_*.a[b].c", "a[b|c].c?"] {
+            let query: Rpeq = q.parse().unwrap();
+            let d = scan_diff_case(&query, xml, 31);
+            assert!(d.is_empty(), "query {q}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn scan_sweep_is_divergence_free() {
+        let outcome = scan_diff(25, 0x5ca7, 1);
+        assert_eq!(outcome.cases, 25);
+        assert!(outcome.fault_comparisons > 0);
+        assert!(
+            outcome.divergences.is_empty(),
+            "divergences: {:#?}",
+            outcome.divergences
+        );
     }
 
     #[test]

@@ -47,6 +47,9 @@ OPTIONS:
                           peers (default: loopback peers only)
     --engine E            execution backend for every session:
                           vm (compiled plan, default) | network
+    --scanner S           byte scanner for every session's reader:
+                          fast (SWAR structural fast path, default) |
+                          classic (byte-at-a-time oracle; DESIGN.md §18)
     --queries FILE        preload standing queries from FILE (one NAME=EXPR
                           per line; `#` starts a comment, blank lines are
                           skipped). The set compiles once through the
@@ -208,6 +211,12 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     })?
                     .parse()?
             }
+            "--scanner" => {
+                config.scanner = it
+                    .next()
+                    .ok_or_else(|| "--scanner needs a strategy (fast, classic)".to_string())?
+                    .parse()?
+            }
             "--on-truncation" => {
                 config.on_truncation = it
                     .next()
@@ -360,6 +369,19 @@ mod tests {
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
         assert!(parse_serve_args(&args(&["--workers"])).is_err());
         assert!(parse_serve_args(&args(&["--trace-jsonl"])).is_err());
+    }
+
+    #[test]
+    fn parse_scanner_flag() {
+        use spex_xml::ScannerKind;
+        let o = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(o.config.scanner, ScannerKind::Fast);
+        let o = parse_serve_args(&args(&["--scanner", "classic"])).unwrap();
+        assert_eq!(o.config.scanner, ScannerKind::Classic);
+        let o = parse_serve_args(&args(&["--scanner", "fast"])).unwrap();
+        assert_eq!(o.config.scanner, ScannerKind::Fast);
+        assert!(parse_serve_args(&args(&["--scanner"])).is_err());
+        assert!(parse_serve_args(&args(&["--scanner", "turbo"])).is_err());
     }
 
     #[test]

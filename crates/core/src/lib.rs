@@ -83,5 +83,6 @@ pub use sink::{
     SpanCollector, StreamingSink,
 };
 pub use snapshot::{FragmentState, SessionState, Snapshot, SnapshotError};
+pub use spex_xml::ScannerKind;
 pub use stats::{json_escape, stats_json, EngineStats, Tap, TransducerStats};
 pub use vm::{Engine, EngineRun, Plan, PlanRun};

@@ -94,6 +94,10 @@ pub struct RecoveryOptions {
     /// Which execution backend evaluates the repaired stream (see
     /// [`crate::Engine`]; defaults to the VM).
     pub engine: crate::Engine,
+    /// Which byte-scanning strategy the reader uses (see
+    /// [`spex_xml::ScannerKind`]; defaults to the SWAR fast path, with
+    /// `Classic` retained as the differential oracle).
+    pub scanner: spex_xml::ScannerKind,
 }
 
 /// The outcome of a fault-tolerant run: what was delivered, what was
@@ -299,7 +303,9 @@ pub fn evaluate_recovering_traced<R: Read>(
     sink: &mut dyn ResultSink,
     tracer: &spex_trace::Tracer,
 ) -> Result<RunReport, EvalError> {
-    let mut reader = Reader::new(input).with_recovery(options.policy);
+    let mut reader = Reader::new(input)
+        .with_recovery(options.policy)
+        .with_scanner(options.scanner);
     if options.multi_document {
         reader = reader.multi_document();
     }

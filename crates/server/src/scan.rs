@@ -21,6 +21,13 @@
 //! character data bears none either, because the parser only emits a
 //! `Text` event after peeking the `<` that follows it — which is itself
 //! the start of the next horizon-bearing construct.
+//!
+//! The bulk skips (text → next `<`, tag interior → next quote/`>`) run on
+//! the same SWAR delimiter primitives ([`spex_xml::scan`]) as the reader's
+//! structural fast path, so the reactor's lookahead costs one word-wide
+//! scan per chunk rather than one branch per byte.
+
+use spex_xml::scan::{memchr, memchr3};
 
 /// Scanner state across arbitrarily chunked input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +105,7 @@ impl HorizonScanner {
             match self.state {
                 State::Text => {
                     // Skip straight to the next `<`; text bears no horizon.
-                    match bytes[i..].iter().position(|&b| b == b'<') {
+                    match memchr(b'<', &bytes[i..]) {
                         Some(rel) => {
                             i += rel + 1;
                             self.state = State::Lt;
@@ -252,22 +259,31 @@ impl HorizonScanner {
                 }
                 State::Tag { quote } => {
                     if quote != 0 {
-                        if b == quote {
-                            self.state = State::Tag { quote: 0 };
+                        // Skip to the closing quote in one bulk scan.
+                        match memchr(quote, &bytes[i..]) {
+                            Some(rel) => {
+                                i += rel + 1;
+                                self.state = State::Tag { quote: 0 };
+                            }
+                            None => i = n,
                         }
                     } else {
-                        match b {
-                            b'"' | b'\'' => {
-                                self.state = State::Tag { quote: b };
+                        // Skip to the next quote open or tag end in bulk.
+                        match memchr3(b'"', b'\'', b'>', &bytes[i..]) {
+                            Some(rel) => {
+                                let hit = bytes[i + rel];
+                                i += rel + 1;
+                                if hit == b'>' {
+                                    self.state = State::Text;
+                                    self.horizon = self.offset + i as u64;
+                                } else {
+                                    self.state = State::Tag { quote: hit };
+                                }
                             }
-                            b'>' => {
-                                self.state = State::Text;
-                                self.horizon = self.offset + i as u64 + 1;
-                            }
-                            _ => {}
+                            None => i = n,
                         }
                     }
-                    i += 1;
+                    continue;
                 }
                 State::Doctype { depth } => {
                     match b {

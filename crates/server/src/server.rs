@@ -29,7 +29,7 @@ use crate::signal;
 use crate::stats::ServerStats;
 use spex_core::{Engine, EngineStats, ResourceLimits, TruncationOutcome};
 use spex_trace::{summary_json, AtomicHistogram, JsonlSink, Tracer};
-use spex_xml::RecoveryPolicy;
+use spex_xml::{RecoveryPolicy, ScannerKind};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -62,6 +62,9 @@ pub struct ServerConfig {
     pub engine: Engine,
     /// Reader-side recovery policy for every session.
     pub recovery: RecoveryPolicy,
+    /// Byte scanner every session's reader runs: the SWAR structural fast
+    /// path (default) or the byte-at-a-time classic oracle (DESIGN.md §18).
+    pub scanner: ScannerKind,
     /// Truncation handling for recovery sessions.
     pub on_truncation: TruncationOutcome,
     /// How long a session waiting for input tolerates no bytes at all
@@ -123,6 +126,7 @@ impl Default for ServerConfig {
             limits: ResourceLimits::default(),
             engine: Engine::default(),
             recovery: RecoveryPolicy::Strict,
+            scanner: ScannerKind::default(),
             on_truncation: TruncationOutcome::default(),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),

@@ -821,7 +821,9 @@ impl SessionMachine {
         source.preload(&preload);
         drop(preload);
 
-        let mut reader = Reader::new(source).multi_document();
+        let mut reader = Reader::new(source)
+            .multi_document()
+            .with_scanner(self.shared.cfg.scanner);
         if recovering {
             reader = reader.with_recovery(self.shared.cfg.recovery);
         }

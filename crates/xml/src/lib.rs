@@ -23,6 +23,10 @@
 //! * [`store`] — the append-only event arena ([`EventStore`]) and the
 //!   borrowing [`RawEvent`] view: one shared byte buffer per run, `u32`
 //!   handles everywhere else,
+//! * [`scan`] — vendored SWAR `memchr`/`memchr2`/`memchr3` delimiter
+//!   search: the branch-light primitives under [`Reader`]'s structural fast
+//!   path ([`ScannerKind`], DESIGN.md §18) and the server's event-horizon
+//!   scanner,
 //! * [`escape`] — text/attribute escaping and entity decoding,
 //! * [`namespaces`] — streaming prefix→URI resolution (the "technical, but
 //!   not difficult" extension the paper sets aside in §II.1),
@@ -50,7 +54,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Input-handling code must never panic on malformed bytes: unwrap/expect in
 // non-test code is a lint error (the fault-injection sweep in tests/recovery.rs
 // enforces the same property dynamically).
@@ -62,6 +66,7 @@ pub mod event;
 pub mod namespaces;
 pub mod reader;
 pub mod recover;
+pub mod scan;
 pub mod stats;
 pub mod store;
 pub mod symbol;
@@ -70,7 +75,7 @@ pub mod writer;
 
 pub use error::{Position, XmlError, XmlErrorKind};
 pub use event::{Attribute, XmlEvent};
-pub use reader::Reader;
+pub use reader::{Reader, ScannerKind};
 pub use recover::{Fault, FaultAction, FaultKind, RecoveryPolicy};
 pub use stats::StreamStats;
 pub use store::{AttrsView, EventId, EventStore, RawEvent, StoredEvent, StoredKind};

@@ -14,6 +14,7 @@ use crate::error::{Position, Result, XmlError};
 use crate::escape::{unescape, unescape_lossy};
 use crate::event::{Attribute, XmlEvent};
 use crate::recover::{Fault, FaultAction, FaultKind, RecoveryPolicy};
+use crate::scan::{memchr, memchr3_or_non_ascii};
 use crate::store::{EventId, EventStore, RawEvent};
 use std::collections::VecDeque;
 use std::io::Read;
@@ -137,6 +138,15 @@ impl<R: Read> Bytes<R> {
         }
     }
 
+    /// Consume `n` already-buffered bytes at once, updating the position
+    /// exactly as `n` calls to [`Bytes::next`] would. The caller guarantees
+    /// `pos + n <= len`.
+    fn consume_bulk(&mut self, n: usize) {
+        let end = self.pos + n;
+        self.position.advance_bulk(&self.buf[self.pos..end]);
+        self.pos = end;
+    }
+
     /// Consume the next byte, failing with a syntax error on EOF.
     fn expect_any(&mut self, what: &str) -> Result<u8> {
         match self.next()? {
@@ -152,6 +162,53 @@ impl<R: Read> Bytes<R> {
 
 fn attach_context(e: XmlError, _what: &str) -> XmlError {
     e
+}
+
+/// Which byte-scanning strategy [`Reader::next_into`] uses (see
+/// `DESIGN.md` §18).
+///
+/// `Fast` layers a SWAR-accelerated structural fast path (built on
+/// [`crate::scan`]) over the byte-at-a-time state machine: the common
+/// shapes — an open tag whose attributes contain no entities, a text run
+/// with no entity references, a close tag matching the innermost open
+/// element — are recognized in bulk and written straight into the
+/// [`EventStore`]. Everything else (CDATA, comments, PIs, entities,
+/// non-ASCII names, constructs spanning a buffer refill, and *any*
+/// malformed input) falls back to the classic scanner **without having
+/// consumed a byte**, so the two scanners are event-, fault- and
+/// position-identical by construction; `Classic` disables the fast path
+/// and serves as the differential oracle.
+///
+/// The choice only affects [`Reader::next_into`]; [`Reader::next_event`]
+/// and [`Reader::next_raw`] always run the classic state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScannerKind {
+    /// SWAR delimiter search + structural fast path, classic fallback.
+    #[default]
+    Fast,
+    /// The byte-at-a-time state machine alone (the differential oracle).
+    Classic,
+}
+
+impl std::str::FromStr for ScannerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(ScannerKind::Fast),
+            "classic" => Ok(ScannerKind::Classic),
+            other => Err(format!("unknown scanner `{other}` (use fast|classic)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ScannerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScannerKind::Fast => "fast",
+            ScannerKind::Classic => "classic",
+        })
+    }
 }
 
 /// Outcome of one chunked scan step (see [`Bytes::scan_into`]).
@@ -223,6 +280,29 @@ pub struct Reader<R: Read> {
     /// the borrow handed to the caller stays valid until the next pull, then
     /// recycled.
     last: Option<XmlEvent>,
+    /// Scanning strategy for [`Reader::next_into`] (see [`ScannerKind`]).
+    scanner: ScannerKind,
+    /// Scratch attribute spans for the structural fast path (chunk-relative
+    /// byte ranges), reused across tags so the fast path never allocates.
+    fast_attrs: Vec<AttrSpan>,
+}
+
+/// Chunk-relative byte spans of one attribute recognized by the structural
+/// fast path: `name` and `value` index into the reader's buffered chunk.
+#[derive(Debug, Clone, Copy)]
+struct AttrSpan {
+    name_lo: usize,
+    name_hi: usize,
+    value_lo: usize,
+    value_hi: usize,
+}
+
+/// View validated-ASCII bytes as `&str`. The fast path proves slices ASCII
+/// (via [`memchr3_or_non_ascii`]) before calling this; the fallback value is
+/// unreachable and exists only to keep the function total without `unwrap`.
+fn ascii_str(bytes: &[u8]) -> &str {
+    debug_assert!(bytes.is_ascii());
+    std::str::from_utf8(bytes).unwrap_or_default()
 }
 
 /// Upper bound on pooled buffers; beyond this, buffers are simply dropped
@@ -266,7 +346,22 @@ impl<R: Read> Reader<R> {
             str_pool: Vec::new(),
             attr_pool: Vec::new(),
             last: None,
+            scanner: ScannerKind::default(),
+            fast_attrs: Vec::new(),
         }
+    }
+
+    /// Select the scanning strategy for [`Reader::next_into`] (default:
+    /// [`ScannerKind::Fast`]). `Classic` disables the structural fast path
+    /// and is retained as the differential oracle; see [`ScannerKind`].
+    pub fn with_scanner(mut self, scanner: ScannerKind) -> Self {
+        self.scanner = scanner;
+        self
+    }
+
+    /// The scanning strategy this reader runs with.
+    pub fn scanner(&self) -> ScannerKind {
+        self.scanner
     }
 
     /// Set the recovery policy (default: [`RecoveryPolicy::Strict`]).
@@ -413,6 +508,12 @@ impl<R: Read> Reader<R> {
         if let Some(prev) = self.last.take() {
             self.recycle_event(prev);
         }
+        if self.scanner == ScannerKind::Fast {
+            if let Some(id) = self.fast_next_into(store) {
+                self.emitted += 1;
+                return Ok(Some(id));
+            }
+        }
         match self.next_event()? {
             None => Ok(None),
             Some(ev) => {
@@ -421,6 +522,210 @@ impl<R: Read> Reader<R> {
                 Ok(Some(id))
             }
         }
+    }
+
+    // ----- structural fast path (ScannerKind::Fast; see DESIGN.md §18) -----
+    //
+    // Every method here either recognizes one *complete, well-formed*
+    // construct inside the already-buffered chunk and consumes exactly its
+    // bytes, or returns `None` having consumed nothing — in which case the
+    // classic state machine re-reads the same bytes and handles the
+    // construct (including raising the identical error/fault at the
+    // identical position). The fast path performs no I/O: a buffer refill
+    // can fail, and transport failures must flow through the classic
+    // recovery machinery.
+
+    /// Try to deliver the next event via the structural fast path. `None`
+    /// means "no byte consumed, use the classic scanner".
+    fn fast_next_into(&mut self, store: &mut EventStore) -> Option<EventId> {
+        if !self.queue.is_empty() {
+            return None; // synthesized repair events: classic delivery order
+        }
+        if self.pending.is_some() {
+            // The pre-parsed close of `<a/>`: same work as the classic path
+            // (deliver + recycle), minus the dispatch layers.
+            let ev = self.pending.take()?;
+            let id = store.push_owned(&ev);
+            self.recycle_event(ev);
+            return Some(id);
+        }
+        if self.state != State::Content {
+            return None; // prolog/epilog/boundary constructs are rare: classic
+        }
+        if self.bytes.pos >= self.bytes.len {
+            return None; // refill (and any I/O error) happens classically
+        }
+        let chunk = &self.bytes.buf[self.bytes.pos..self.bytes.len];
+        if chunk[0] != b'<' {
+            return self.fast_text(store);
+        }
+        match chunk.get(1) {
+            Some(b'/') => self.fast_close_tag(store),
+            Some(&b) if b < 0x80 && is_name_start(b) => self.fast_open_tag(store),
+            // `<!`, `<?`, non-ASCII names, or a lone `<` at the chunk end.
+            _ => None,
+        }
+    }
+
+    /// Fast text run: ASCII character data up to a `<` inside the buffered
+    /// chunk, with no entity reference. One fused sweep finds the end *and*
+    /// proves the run entity-free ASCII; the bytes go into the store
+    /// verbatim (entity decoding and the latin-1 widening repack are both
+    /// no-ops on this shape).
+    fn fast_text(&mut self, store: &mut EventStore) -> Option<EventId> {
+        let chunk = &self.bytes.buf[self.bytes.pos..self.bytes.len];
+        // Run may span a refill (no hit): classic. A `&` hit is an entity
+        // reference (classic decode-and-fault path); a non-ASCII hit is
+        // UTF-8 text (classic widen/repack path).
+        let stop = memchr3_or_non_ascii(b'<', b'&', b'&', chunk)?;
+        if chunk[stop] != b'<' {
+            return None;
+        }
+        let run = &chunk[..stop];
+        let id = store.push_text(ascii_str(run));
+        self.bytes.consume_bulk(stop);
+        Some(id)
+    }
+
+    /// Fast close tag: `</name>` (optionally with trailing whitespace before
+    /// `>`) whose name matches the innermost open element. Mismatched and
+    /// stray closes fall back to the classic path's fault machinery.
+    fn fast_close_tag(&mut self, store: &mut EventStore) -> Option<EventId> {
+        let chunk = &self.bytes.buf[self.bytes.pos..self.bytes.len];
+        let gt = memchr(b'>', chunk.get(2..)?)? + 2;
+        let inner = &chunk[2..gt];
+        let first = *inner.first()?;
+        if first >= 0x80 || !is_name_start(first) {
+            return None;
+        }
+        let name_len = inner
+            .iter()
+            .position(|&b| !is_name_char(b))
+            .unwrap_or(inner.len());
+        if !inner[name_len..].iter().all(|b| b.is_ascii_whitespace()) {
+            return None; // junk between name and `>`: classic error path
+        }
+        let name = &inner[..name_len];
+        match self.stack.last() {
+            Some(top) if top.as_bytes() == name => {}
+            _ => return None, // mismatch/stray close: classic fault handling
+        }
+        let id = store.push_end(ascii_str(name));
+        if let Some(popped) = self.stack.pop() {
+            self.recycle_string(popped);
+        }
+        self.open_ticks.pop();
+        if self.stack.is_empty() {
+            self.state = State::Epilog;
+        }
+        self.bytes.consume_bulk(gt + 1);
+        Some(id)
+    }
+
+    /// Fast open tag: `<name a="v" ...>` or `<name .../>` complete inside
+    /// the buffered chunk, all ASCII, no entity reference or `<` anywhere in
+    /// the tag. The attribute spans are collected into a reusable scratch
+    /// vector, then handed to [`EventStore::push_start`] as borrowed `&str`s
+    /// straight out of the input buffer — no intermediate `String`.
+    ///
+    /// A `>` inside a quoted attribute value makes the candidate fail
+    /// validation (the quote never closes before the first `>`), so it falls
+    /// back rather than mis-parsing.
+    fn fast_open_tag(&mut self, store: &mut EventStore) -> Option<EventId> {
+        let base = self.bytes.pos;
+        self.fast_attrs.clear();
+        let chunk = &self.bytes.buf[base..self.bytes.len];
+        // One fused sweep: the first `>`, `<`, `&` or non-ASCII byte after
+        // the opening `<`. Only a `>` keeps the candidate — anything else is
+        // UTF-8 names/values, an entity, or malformed nesting, and a
+        // quoted-value `>` before those merely fails the attribute walk
+        // below (the quote never closes), so nothing is ever mis-parsed.
+        // No hit at all means the tag may span a refill: classic.
+        let gt = memchr3_or_non_ascii(b'>', b'<', b'&', chunk.get(1..)?)? + 1;
+        if chunk[gt] != b'>' {
+            return None;
+        }
+        // Name: byte 1 is a name-start (checked by the dispatcher).
+        let mut i = 1;
+        while i < gt && is_name_char(chunk[i]) {
+            i += 1;
+        }
+        let name_hi = i;
+        let mut self_closing = false;
+        loop {
+            while i < gt && chunk[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == gt {
+                break;
+            }
+            if chunk[i] == b'/' {
+                if i + 1 == gt {
+                    self_closing = true;
+                    break;
+                }
+                return None; // `/` not directly before `>`: classic error path
+            }
+            if !is_name_start(chunk[i]) {
+                return None;
+            }
+            let name_lo = i;
+            while i < gt && is_name_char(chunk[i]) {
+                i += 1;
+            }
+            let attr_name_hi = i;
+            while i < gt && chunk[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == gt || chunk[i] != b'=' {
+                return None;
+            }
+            i += 1;
+            while i < gt && chunk[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == gt || (chunk[i] != b'"' && chunk[i] != b'\'') {
+                return None;
+            }
+            let quote = chunk[i];
+            i += 1;
+            let value_lo = i;
+            let value_hi = value_lo + memchr(quote, &chunk[i..gt])?;
+            i = value_hi + 1;
+            self.fast_attrs.push(AttrSpan {
+                name_lo,
+                name_hi: attr_name_hi,
+                value_lo,
+                value_hi,
+            });
+        }
+        let id = {
+            let buf = &self.bytes.buf;
+            let name = ascii_str(&buf[base + 1..base + name_hi]);
+            let attrs = self.fast_attrs.iter().map(|span| {
+                (
+                    ascii_str(&buf[base + span.name_lo..base + span.name_hi]),
+                    ascii_str(&buf[base + span.value_lo..base + span.value_hi]),
+                )
+            });
+            store.push_start(name, attrs)
+        };
+        if self_closing {
+            // Same bookkeeping as the classic path: the close is pre-parsed
+            // into `pending` and delivered on the next pull.
+            let mut close = self.take_string();
+            close.push_str(ascii_str(&self.bytes.buf[base + 1..base + name_hi]));
+            self.pending = Some(XmlEvent::EndElement { name: close });
+        } else {
+            let mut open = self.take_string();
+            open.push_str(ascii_str(&self.bytes.buf[base + 1..base + name_hi]));
+            self.stack.push(open);
+            // The start event is delivered right after this return, so its
+            // tick is the current `emitted` index (as in the classic path).
+            self.open_ticks.push(self.emitted);
+        }
+        self.bytes.consume_bulk(gt + 1);
+        Some(id)
     }
 
     // ----- buffer recycling (the no-allocation steady state) -----
@@ -2001,5 +2306,135 @@ mod tests {
                 data: "a?b?".into()
             }
         );
+    }
+
+    // ----- structural fast path vs classic scanner (DESIGN.md §18) -----
+
+    /// Drain one document through `next_into` under `scanner`, returning
+    /// the stored events (re-owned for comparison), the fault log, the
+    /// final position, and the terminal error (if any).
+    fn drain_into(
+        xml: &str,
+        scanner: ScannerKind,
+        policy: RecoveryPolicy,
+        multi: bool,
+    ) -> (Vec<XmlEvent>, Vec<Fault>, Position, Option<String>) {
+        let mut reader = Reader::from_str(xml)
+            .with_recovery(policy)
+            .with_scanner(scanner);
+        if multi {
+            reader = reader.multi_document();
+        }
+        let mut store = EventStore::new();
+        let mut events = Vec::new();
+        let mut error = None;
+        loop {
+            match reader.next_into(&mut store) {
+                Ok(Some(id)) => events.push(store.get(id).to_owned_event()),
+                Ok(None) => break,
+                Err(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        (events, reader.take_faults(), reader.position(), error)
+    }
+
+    /// Both scanners must produce byte-identical events, faults (kind,
+    /// position, action, detail, damage interval), final positions and
+    /// errors — on any input, under every policy, single- and multi-doc.
+    fn assert_scanners_agree(xml: &str) {
+        for policy in [
+            RecoveryPolicy::Strict,
+            RecoveryPolicy::Repair,
+            RecoveryPolicy::SkipSubtree,
+        ] {
+            for multi in [false, true] {
+                let fast = drain_into(xml, ScannerKind::Fast, policy, multi);
+                let classic = drain_into(xml, ScannerKind::Classic, policy, multi);
+                assert_eq!(fast, classic, "{policy:?} multi={multi} on {xml:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scanners_agree_on_clean_documents() {
+        for xml in [
+            r#"<?xml version="1.0"?><a><a><c/></a><b/><c/></a>"#,
+            "<a><b attr='1' b=\"2\">text run</b><c/></a>",
+            "<a  x = '1'   y=\"2\" ><b/></a>",
+            "<root>plain text<child>nested</child>tail text</root>",
+            "<a>\n  line\n  breaks\n</a>",
+            "<a:ns x:y='1'><b-c.d/></a:ns>",
+        ] {
+            assert_scanners_agree(xml);
+        }
+    }
+
+    #[test]
+    fn scanners_agree_on_fallback_shapes() {
+        // Every shape the fast path must hand back to the classic scanner.
+        for xml in [
+            "<a>x &amp; y</a>",                   // entity in text
+            "<a k='v &lt; w'>t</a>",              // entity in attribute
+            "<a><![CDATA[<raw> & bytes]]></a>",   // CDATA
+            "<a><!-- comment --><?pi data?></a>", // comment + PI
+            "<a>grüße 東京</a>",                  // UTF-8 text
+            "<grüße küss='ö'>x</grüße>",          // UTF-8 names/values
+            "<a x='v>w'>quoted gt</a>",           // `>` inside a quote
+            "<a>text<b>more</b></a><!--tail-->",  // epilog constructs
+        ] {
+            assert_scanners_agree(xml);
+        }
+    }
+
+    #[test]
+    fn scanners_agree_on_malformed_input() {
+        for xml in [
+            "<a><b>x</b>",                // truncated (open elements at EOF)
+            "<a><b>x</c></a>",            // mismatched close
+            "<a><b>x</b></b></a>",        // stray close
+            "<a><b x=unquoted>t</b></a>", // unquoted attribute value
+            "<a><b <c>>t</a>",            // `<` inside a tag
+            "<a>&bogus;</a>",             // undecodable entity
+            "<a></a>trailing garbage",    // trailing content
+            "<a><b/ ></a>",               // `/` not before `>`
+            "<a></ a></a>",               // space before close name
+            "<>empty</>",                 // empty names
+        ] {
+            assert_scanners_agree(xml);
+        }
+    }
+
+    #[test]
+    fn scanners_agree_on_multi_document_streams() {
+        assert_scanners_agree("<a><b/>x</a><c>y</c> <d/>");
+    }
+
+    #[test]
+    fn fast_path_preserves_positions_and_ticks() {
+        // The stray `</c>` offset assertion of
+        // `fault_positions_point_at_the_corruption_site`, through the fast
+        // path: positions must be byte-identical even though the healthy
+        // prefix was consumed in bulk.
+        let xml = "<a><b>x</b></c></a>";
+        let (_, faults, _, _) = drain_into(xml, ScannerKind::Fast, RecoveryPolicy::Repair, false);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].position.offset, 13);
+    }
+
+    #[test]
+    fn fast_path_is_event_identical_across_buffer_refills() {
+        // A document larger than BUF_SIZE forces constructs to straddle
+        // refills; the fast path must fall back there without losing bytes.
+        let mut xml = String::from("<root>");
+        let filler = "x".repeat(97);
+        for i in 0..200 {
+            xml.push_str(&format!("<item id='{i}'>{filler}</item>"));
+        }
+        xml.push_str("</root>");
+        assert!(xml.len() > BUF_SIZE);
+        assert_scanners_agree(&xml);
     }
 }

@@ -1,0 +1,257 @@
+//! Scanner-equivalence suite (DESIGN.md §18): the SWAR fast path of the
+//! streaming reader must be *observationally invisible* — for any input
+//! whatsoever, `ScannerKind::Fast` and `ScannerKind::Classic` must deliver
+//! byte-identical events, identical faults (kind, position, action, detail,
+//! damage interval), identical final positions and identical errors, under
+//! every recovery policy, in single- and multi-document mode.
+//!
+//! Three layers:
+//!
+//! * a hand-curated fuzz corpus of pathological shapes (CDATA, comments,
+//!   processing instructions, entity soup, quotes hiding `>`, UTF-8 names
+//!   and text, malformed markup),
+//! * every PR-2 fault mutator over representative documents at many seeds,
+//! * property-based random documents (attribute-rich, entity-heavy,
+//!   non-ASCII) serialized and re-read under both scanners, clean and
+//!   mutated.
+
+use proptest::prelude::*;
+use spex::xml::{EventStore, Fault, Position, Reader, RecoveryPolicy, ScannerKind, XmlEvent};
+use spex_bench::fault::{mutate, Mutator};
+
+/// Drain a document through `Reader::next_into` (the only API the fast path
+/// affects) and capture everything observable: the materialized events, the
+/// fault list, the final position, and any terminal error.
+fn drain(
+    xml: &str,
+    scanner: ScannerKind,
+    policy: RecoveryPolicy,
+    multi: bool,
+) -> (Vec<XmlEvent>, Vec<Fault>, Position, Option<String>) {
+    let mut reader = Reader::from_str(xml)
+        .with_recovery(policy)
+        .with_scanner(scanner);
+    if multi {
+        reader = reader.multi_document();
+    }
+    let mut store = EventStore::new();
+    let mut events = Vec::new();
+    let mut error = None;
+    loop {
+        match reader.next_into(&mut store) {
+            Ok(Some(id)) => events.push(store.get(id).to_owned_event()),
+            Ok(None) => break,
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    (events, reader.take_faults(), reader.position(), error)
+}
+
+/// The equivalence oracle: both scanners, three policies, both document
+/// modes — twelve drains that must agree pairwise.
+fn assert_scanners_agree(xml: &str) {
+    for policy in [
+        RecoveryPolicy::Strict,
+        RecoveryPolicy::Repair,
+        RecoveryPolicy::SkipSubtree,
+    ] {
+        for multi in [false, true] {
+            let fast = drain(xml, ScannerKind::Fast, policy, multi);
+            let classic = drain(xml, ScannerKind::Classic, policy, multi);
+            assert_eq!(fast, classic, "{policy:?} multi={multi} on {xml:?}");
+        }
+    }
+}
+
+/// Hand-curated pathological corpus: every construct that forces the fast
+/// path to fall back, plus shapes designed to trap a scanner that consumed
+/// bytes before validating (the one bug class the design forbids).
+const FUZZ_CORPUS: &[&str] = &[
+    // Clean baseline shapes.
+    "<a/>",
+    "<a><b c=\"1\">text</b></a>",
+    "<r><x/><x/><x/></r>",
+    // Entities everywhere: text, attribute values, truncated, unknown.
+    "<a>x&amp;y</a>",
+    "<a k=\"v&lt;w\">t</a>",
+    "<a>&amp;&lt;&gt;&quot;&apos;</a>",
+    "<a>&unknown;</a>",
+    "<a>&amp</a>",
+    "<a>&#60;&#x3C;</a>",
+    "<a>&;</a>",
+    // CDATA, comments, processing instructions, doctype-ish noise.
+    "<a><![CDATA[<not-a-tag> & not-an-entity]]></a>",
+    "<a><!-- <b> & --></a>",
+    "<a><?pi some data?></a>",
+    "<?xml version=\"1.0\"?><a>x</a>",
+    "<a><![CDATA[]]></a>",
+    "<a><!-- -- --></a>",
+    // Quote games: `>` and `/>` hiding inside attribute values.
+    "<a k=\"1>2\">x</a>",
+    "<a k='/>'>x</a>",
+    "<a k=\"a'b\" l='c\"d'/>",
+    "<a k=\">\" l=\">\">t</a>",
+    // UTF-8 names, values and text (fast path is ASCII-only by design).
+    "<a>gr\u{fc}\u{df}e</a>",
+    "<\u{e9}l\u{e9}ment>x</\u{e9}l\u{e9}ment>",
+    "<a k=\"\u{8cea}\">\u{8cea}\u{554f}</a>",
+    "<a>mixed ascii \u{2603} snowman</a>",
+    // Malformed: the classic fault machinery must fire identically.
+    "<a><b></a>",
+    "</stray>",
+    "<a",
+    "<a href=no-quotes>x</a>",
+    "<a><b>x</b>",
+    "<a>x</a><b>y</b>",
+    "<>empty</>",
+    "<a>< b/></a>",
+    "<a/ >",
+    "<a k=\"unterminated>x</a>",
+    "<a>text</a>trailing",
+    "< a></ a>",
+    "<a//>",
+    "<a k==\"v\"/>",
+    // Whitespace and boundary shapes.
+    "  <a>  </a>  ",
+    "<a\t\nk=\"v\"\n>x</a\n>",
+    "<a>x<b/>y<c/>z</a>",
+    "",
+    "   ",
+];
+
+#[test]
+fn fuzz_corpus_is_scanner_equivalent() {
+    for xml in FUZZ_CORPUS {
+        assert_scanners_agree(xml);
+    }
+}
+
+/// Every PR-2 fault mutator × many seeds over documents with attributes,
+/// entities, self-closing tags and nesting: the mutated (usually broken)
+/// streams must be read identically by both scanners.
+#[test]
+fn fault_mutators_are_scanner_equivalent() {
+    let seeds: Vec<u64> = (0..24).map(|i| 0x5caf + i * 101).collect();
+    let docs = [
+        "<r><a k=\"v\"><b>text &amp; more</b></a><c/><d>tail</d></r>",
+        "<doc><item id=\"1\">x</item><item id=\"2\">y&lt;z</item></doc>",
+        "<a><b><c><d>deep</d></c></b></a>",
+    ];
+    for doc in docs {
+        for mutator in Mutator::ALL {
+            for &seed in &seeds {
+                let mutation = mutate(doc, mutator, seed);
+                if mutation.changed {
+                    assert_scanners_agree(&mutation.xml);
+                }
+            }
+        }
+    }
+}
+
+// ----- property-based layer -----
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_:-]{0,5}"
+}
+
+/// Text mixing plain ASCII runs (the fast path), XML-special characters
+/// (entity escapes on the wire) and non-ASCII (UTF-8 fallback).
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => Just('x'),
+            2 => Just(' '),
+            1 => Just('&'),
+            1 => Just('<'),
+            1 => Just('>'),
+            1 => Just('"'),
+            1 => Just('\''),
+            1 => Just('\u{e9}'),
+            1 => Just('\u{8cea}'),
+        ],
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn attrs() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((name(), text()), 0..3).prop_map(|raw| {
+        let mut seen = std::collections::HashSet::new();
+        raw.into_iter()
+            .filter(|(n, _)| seen.insert(n.clone()))
+            .collect()
+    })
+}
+
+/// Balanced random subtree as an event list, mixing elements with
+/// attributes, text runs and self-closing leaves.
+fn subtree(depth: u32) -> impl Strategy<Value = Vec<XmlEvent>> {
+    let leaf = prop_oneof![
+        text().prop_map(|t| if t.is_empty() {
+            vec![]
+        } else {
+            vec![XmlEvent::text(t)]
+        }),
+        (name(), attrs()).prop_map(|(n, attrs)| {
+            vec![
+                XmlEvent::StartElement {
+                    name: n.clone(),
+                    attributes: attrs
+                        .into_iter()
+                        .map(|(k, v)| spex::xml::Attribute::new(k, v))
+                        .collect(),
+                },
+                XmlEvent::close(n),
+            ]
+        }),
+    ];
+    leaf.prop_recursive(depth, 40, 4, |inner| {
+        (name(), proptest::collection::vec(inner, 0..4)).prop_map(|(n, kids)| {
+            let mut v = vec![XmlEvent::open(n.clone())];
+            for k in kids {
+                v.extend(k);
+            }
+            v.push(XmlEvent::close(n));
+            v
+        })
+    })
+}
+
+fn document_xml() -> impl Strategy<Value = String> {
+    (name(), proptest::collection::vec(subtree(3), 0..4)).prop_map(|(root, kids)| {
+        let mut events = vec![XmlEvent::StartDocument, XmlEvent::open(root.clone())];
+        for k in kids {
+            events.extend(k);
+        }
+        events.push(XmlEvent::close(root));
+        events.push(XmlEvent::EndDocument);
+        spex::xml::writer::events_to_string(&events)
+    })
+}
+
+proptest! {
+    /// Clean random documents: both scanners agree on every observable.
+    #[test]
+    fn random_documents_are_scanner_equivalent(xml in document_xml()) {
+        assert_scanners_agree(&xml);
+    }
+
+    /// Mutated random documents: inject every fault mutator at a random
+    /// seed; the (usually malformed) result must still be read identically.
+    #[test]
+    fn mutated_documents_are_scanner_equivalent(
+        xml in document_xml(),
+        seed in 0u64..1_000_000
+    ) {
+        for mutator in Mutator::ALL {
+            let mutation = mutate(&xml, mutator, seed);
+            if mutation.changed {
+                assert_scanners_agree(&mutation.xml);
+            }
+        }
+    }
+}
